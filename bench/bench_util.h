@@ -1,0 +1,61 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the experiment (figure/table) bench binaries.
+
+#ifndef BISTREAM_BENCH_BENCH_UTIL_H_
+#define BISTREAM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+namespace bistream {
+
+/// \brief Standard bench preamble: silence info logs, parse flags, honor
+/// `--format=csv` for machine-readable tables.
+inline Config BenchInit(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  auto config = Config::FromArgs(argc, argv);
+  BISTREAM_CHECK_OK(config.status());
+  Config parsed = std::move(config).ValueOrDie();
+  std::string format = parsed.GetString("format", "ascii");
+  if (format == "csv") {
+    TablePrinter::SetDefaultFormat(TableFormat::kCsv);
+  } else {
+    BISTREAM_CHECK(format == "ascii")
+        << "--format expects 'ascii' or 'csv', got '" << format << "'";
+  }
+  return parsed;
+}
+
+/// \brief Applies --cost_* overrides to a cost model (sensitivity knobs).
+inline void ApplyCostFlags(const Config& config, CostModel* cost) {
+  cost->probe_candidate_ns = static_cast<SimTime>(
+      config.GetInt("cost_probe_ns",
+                    static_cast<int64_t>(cost->probe_candidate_ns)));
+  cost->insert_ns = static_cast<SimTime>(
+      config.GetInt("cost_insert_ns", static_cast<int64_t>(cost->insert_ns)));
+  cost->message_fixed_ns = static_cast<SimTime>(config.GetInt(
+      "cost_message_ns", static_cast<int64_t>(cost->message_fixed_ns)));
+  cost->net_latency_ns = static_cast<SimTime>(
+      config.GetInt("net_latency_us",
+                    static_cast<int64_t>(cost->net_latency_ns / 1000)) *
+      1000);
+  cost->net_jitter_ns = static_cast<SimTime>(
+      config.GetInt("net_jitter_us",
+                    static_cast<int64_t>(cost->net_jitter_ns / 1000)) *
+      1000);
+}
+
+/// \brief Routers scale with the cluster in the scalability sweeps (the
+/// paper's setup dedicates a fraction of the cluster to dispatching; with
+/// fewer than ~1 router per 2 joiners, ingestion throttles the sweep).
+inline uint32_t RoutersFor(uint32_t total_units) {
+  return std::max(2u, total_units / 2);
+}
+
+}  // namespace bistream
+
+#endif  // BISTREAM_BENCH_BENCH_UTIL_H_

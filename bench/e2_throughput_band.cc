@@ -1,0 +1,111 @@
+// E2 — Throughput scalability, band (non-equi) join: BiStream with
+// content-insensitive ContRand routing vs. join-matrix. Both must broadcast
+// (no key partitioning is possible), so the gap narrows relative to E1;
+// biclique broadcasts each tuple to p/2 units, the matrix to √p — the
+// communication trade-off Section 2.4.1 of the restatement derives. The
+// matrix's advantage is bounded, though: its √p-replicated windows make
+// every probe examine √p-fold more state in aggregate.
+
+#include "bench_util.h"
+
+using namespace bistream;  // NOLINT(build/namespaces)
+
+namespace {
+
+struct SweepPoint {
+  double biclique_tps = 0;
+  double matrix_tps = 0;
+  int64_t biclique_state = 0;
+  int64_t matrix_state = 0;
+};
+
+SweepPoint MeasurePoint(uint32_t units, const Config& config,
+                        const CostModel& cost) {
+  SimTime duration =
+      static_cast<SimTime>(config.GetInt("duration_ms", 300)) * kMillisecond;
+  uint64_t key_domain =
+      static_cast<uint64_t>(config.GetInt("key_domain", 20000));
+  EventTime window = config.GetInt("window_ms", 1000) * kEventMilli;
+  int64_t band = config.GetInt("band_width", 200);
+
+  double probe_rate = config.GetDouble("probe_rate", 1500);
+  int iters = static_cast<int>(config.GetInt("iters", 4));
+
+  SweepPoint point;
+  {
+    BicliqueOptions options;
+    options.num_routers = RoutersFor(units);
+    options.joiners_r = units / 2;
+    options.joiners_s = units - units / 2;
+    options.subgroups_r = 1;  // ContRand: band joins cannot hash-partition.
+    options.subgroups_s = 1;
+    options.predicate = JoinPredicate::Band(band);
+    options.window = window;
+    options.archive_period = window / 8;
+    options.cost = cost;
+    point.biclique_tps = EstimateAndMeasureCapacity(
+        [&](double rate) {
+          return RunBicliqueWorkload(
+              options, MakeWorkload(rate, duration, key_domain, 23));
+        },
+        probe_rate, iters, 0.9);
+    RunReport at_cap = RunBicliqueWorkload(
+        options,
+        MakeWorkload(point.biclique_tps, duration, key_domain, 23));
+    point.biclique_state = at_cap.engine.peak_state_bytes;
+  }
+  {
+    MatrixOptions options = MatrixOptions::Square(units);
+    options.num_routers = RoutersFor(units);
+    options.predicate = JoinPredicate::Band(band);
+    options.window = window;
+    options.archive_period = window / 8;
+    options.cost = cost;
+    point.matrix_tps = EstimateAndMeasureCapacity(
+        [&](double rate) {
+          return RunMatrixWorkload(
+              options, MakeWorkload(rate, duration, key_domain, 23));
+        },
+        probe_rate, iters, 0.9);
+    RunReport at_cap = RunMatrixWorkload(
+        options, MakeWorkload(point.matrix_tps, duration, key_domain, 23));
+    point.matrix_state = at_cap.engine.peak_state_bytes;
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config = BenchInit(argc, argv);
+  CostModel cost = CostModel::Default();
+  ApplyCostFlags(config, &cost);
+
+  PrintExperimentHeader(
+      "E2", "band-join throughput scalability: biclique (ContRand) vs "
+            "join-matrix, sustainable tuples/s per relation");
+
+  TablePrinter table({"units", "biclique_tps", "matrix_tps", "tps_ratio",
+                      "biclique_state", "matrix_state"});
+  for (int64_t units : config.GetIntList("units", {4, 8, 16, 32})) {
+    SweepPoint point =
+        MeasurePoint(static_cast<uint32_t>(units), config, cost);
+    table.AddRow(
+        {TablePrinter::Int(units), TablePrinter::Num(point.biclique_tps, 0),
+         TablePrinter::Num(point.matrix_tps, 0),
+         TablePrinter::Num(point.matrix_tps > 0
+                               ? point.biclique_tps / point.matrix_tps
+                               : 0,
+                           2),
+         TablePrinter::Bytes(point.biclique_state),
+         TablePrinter::Bytes(point.matrix_state)});
+  }
+  table.Print();
+  std::printf(
+      "expected shape: both scale sublinearly (everyone broadcasts). The "
+      "matrix's smaller fan-out (sqrt(p) vs p/2) buys it a bounded "
+      "throughput edge — the Section 2.4.1 concession — but it pays the "
+      "axis-length multiple in state (right columns), which is what caps "
+      "it at large windows (E3)\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E4 — Result latency vs. offered rate: end-to-end latency (tuple arrival
+// at the system edge to result emission) as the input rate approaches the
+// cluster's capacity. Expected shape: flat at low load (dominated by the
+// punctuation round + network latency floor), then a queueing knee.
+
+#include "bench_util.h"
+
+using namespace bistream;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  Config config = BenchInit(argc, argv);
+  CostModel cost = CostModel::Default();
+  ApplyCostFlags(config, &cost);
+
+  uint32_t units = static_cast<uint32_t>(config.GetInt("total_units", 16));
+  SimTime duration =
+      static_cast<SimTime>(config.GetInt("duration_ms", 2000)) * kMillisecond;
+
+  BicliqueOptions options;
+  options.num_routers = RoutersFor(units);
+  options.joiners_r = units / 2;
+  options.joiners_s = units - units / 2;
+  options.subgroups_r = options.joiners_r;
+  options.subgroups_s = options.joiners_s;
+  options.window = config.GetInt("window_ms", 2000) * kEventMilli;
+  options.archive_period = options.window / 8;
+  options.punct_interval =
+      static_cast<SimTime>(config.GetInt("punct_ms", 10)) * kMillisecond;
+  options.cost = cost;
+
+  PrintExperimentHeader(
+      "E4", "result latency vs offered rate (equi join, " +
+                std::to_string(units) + " units, punct " +
+                std::to_string(options.punct_interval / kMillisecond) +
+                " ms)");
+
+  uint64_t key_domain =
+      static_cast<uint64_t>(config.GetInt("key_domain", 10000));
+  // Find the capacity once, then sweep the load factor toward (and past) it.
+  double capacity = EstimateAndMeasureCapacity(
+      [&](double rate) {
+        return RunBicliqueWorkload(
+            options, MakeWorkload(rate, duration / 2, key_domain, 41));
+      },
+      2000, 4, 0.9);
+  std::printf("measured capacity: ~%.0f tuples/s per relation\n", capacity);
+
+  TablePrinter table({"load", "rate_tps", "p50", "p95", "p99", "max_busy",
+                      "results"});
+  for (double load : {0.2, 0.5, 0.8, 1.0, 1.2, 1.5}) {
+    double rate = capacity * load;
+    RunReport report = RunBicliqueWorkload(
+        options, MakeWorkload(rate, duration, key_domain, 41));
+    table.AddRow({TablePrinter::Num(load, 2),
+                  TablePrinter::Num(rate, 0),
+                  TablePrinter::Millis(report.latency.P50()),
+                  TablePrinter::Millis(report.latency.P95()),
+                  TablePrinter::Millis(report.latency.P99()),
+                  TablePrinter::Num(report.engine.max_busy_fraction, 2),
+                  TablePrinter::Int(static_cast<int64_t>(report.results))});
+  }
+  table.Print();
+  std::printf(
+      "expected shape: latency floor ~= punctuation interval + network "
+      "RTT; sharp rise once max_busy approaches 1\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E5 — Punctuation interval trade-off: the order-consistent protocol's
+// signal cadence controls how long tuples sit in joiner OrderBuffers.
+// Expected shape: p50 latency ≈ interval/2 + fixed costs (grows linearly
+// with the interval); punctuation message overhead shrinks ~1/interval;
+// throughput capacity is essentially unaffected over the practical range.
+
+#include "bench_util.h"
+
+using namespace bistream;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  Config config = BenchInit(argc, argv);
+  CostModel cost = CostModel::Default();
+  ApplyCostFlags(config, &cost);
+
+  uint32_t units = static_cast<uint32_t>(config.GetInt("total_units", 8));
+  double rate = config.GetDouble("rate", 4000);
+  SimTime duration =
+      static_cast<SimTime>(config.GetInt("duration_ms", 2000)) * kMillisecond;
+
+  PrintExperimentHeader(
+      "E5", "punctuation-interval sweep (equi join, " +
+                std::to_string(static_cast<int>(rate)) + " tuples/s/rel)");
+
+  TablePrinter table({"punct_ms", "p50", "p99", "punct_msgs", "punct_share",
+                      "max_busy"});
+  for (int64_t punct_ms :
+       config.GetIntList("intervals_ms", {1, 2, 5, 10, 20, 50, 100})) {
+    BicliqueOptions options;
+    options.num_routers = 2;
+    options.joiners_r = units / 2;
+    options.joiners_s = units - units / 2;
+    options.subgroups_r = options.joiners_r;
+    options.subgroups_s = options.joiners_s;
+    options.window = 2 * kEventSecond;
+    options.archive_period = 250 * kEventMilli;
+    options.punct_interval = static_cast<SimTime>(punct_ms) * kMillisecond;
+    options.cost = cost;
+    RunReport report = RunBicliqueWorkload(
+        options,
+        MakeWorkload(rate, duration,
+                     static_cast<uint64_t>(config.GetInt("key_domain", 5000)),
+                     43));
+
+    uint64_t punct_msgs = 0;
+    // Punctuations = rounds × routers × joiners; recover from message
+    // accounting: total - data messages (1 input + 1 store + k joins each).
+    // Simpler: derive from round count ≈ duration / interval.
+    uint64_t rounds = duration / options.punct_interval + 1;
+    punct_msgs = rounds * options.num_routers * units;
+    double share = static_cast<double>(punct_msgs) /
+                   static_cast<double>(report.engine.messages);
+    table.AddRow({TablePrinter::Int(punct_ms),
+                  TablePrinter::Millis(report.latency.P50()),
+                  TablePrinter::Millis(report.latency.P99()),
+                  TablePrinter::Int(static_cast<int64_t>(punct_msgs)),
+                  TablePrinter::Num(share * 100, 1) + "%",
+                  TablePrinter::Num(report.engine.max_busy_fraction, 2)});
+  }
+  table.Print();
+  std::printf(
+      "expected shape: latency grows ~linearly with the interval; overhead "
+      "share decays ~1/interval; pick the knee (paper uses tens of ms)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E9 — Routing strategy vs. predicate selectivity: per-tuple message and
+// byte cost, probe work, and bottleneck utilization for the strategy
+// spectrum, on equi and band predicates. Content-sensitive routing only
+// applies to equi joins (hash partitioning needs key equality); band joins
+// must broadcast. Expected shape: for equi, hash routing cuts messages per
+// tuple from 1 + m to 2 with identical results; broadcast's probe work is
+// spread thin but its traffic dominates.
+
+#include "bench_util.h"
+
+using namespace bistream;  // NOLINT(build/namespaces)
+
+namespace {
+
+void RunRow(TablePrinter* table, const std::string& label,
+            const JoinPredicate& predicate, uint32_t subgroups,
+            const Config& config, const CostModel& cost) {
+  uint32_t per_side = static_cast<uint32_t>(config.GetInt("per_side", 8));
+  BicliqueOptions options;
+  options.num_routers = 2;
+  options.joiners_r = per_side;
+  options.joiners_s = per_side;
+  options.subgroups_r = subgroups;
+  options.subgroups_s = subgroups;
+  options.predicate = predicate;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 125 * kEventMilli;
+  options.cost = cost;
+
+  RunReport report = RunBicliqueWorkload(
+      options,
+      MakeWorkload(config.GetDouble("rate", 3000),
+                   static_cast<SimTime>(config.GetInt("duration_ms", 1500)) *
+                       kMillisecond,
+                   static_cast<uint64_t>(config.GetInt("key_domain", 5000)),
+                   59));
+  double msgs = static_cast<double>(report.engine.messages) /
+                static_cast<double>(report.engine.input_tuples);
+  double bytes = static_cast<double>(report.engine.bytes) /
+                 static_cast<double>(report.engine.input_tuples);
+  double cand = report.engine.probes > 0
+                    ? static_cast<double>(report.engine.probe_candidates) /
+                          static_cast<double>(report.engine.probes)
+                    : 0;
+  table->AddRow({label, TablePrinter::Num(msgs, 1),
+                 TablePrinter::Num(bytes, 0), TablePrinter::Num(cand, 2),
+                 TablePrinter::Num(report.engine.max_busy_fraction, 2),
+                 TablePrinter::Int(static_cast<int64_t>(report.results))});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config = BenchInit(argc, argv);
+  CostModel cost = CostModel::Default();
+  ApplyCostFlags(config, &cost);
+  uint32_t per_side = static_cast<uint32_t>(config.GetInt("per_side", 8));
+
+  PrintExperimentHeader(
+      "E9", "routing strategy vs predicate: per-tuple traffic and probe "
+            "work (" + std::to_string(per_side) + " units/side)");
+
+  TablePrinter table({"config", "msgs/tuple", "bytes/tuple", "cand/probe",
+                      "max_busy", "results"});
+  RunRow(&table, "equi + hash (d=n)", JoinPredicate::Equi(), per_side,
+         config, cost);
+  RunRow(&table, "equi + subgroup (d=n/4)", JoinPredicate::Equi(),
+         std::max(1u, per_side / 4), config, cost);
+  RunRow(&table, "equi + broadcast (d=1)", JoinPredicate::Equi(), 1, config,
+         cost);
+  RunRow(&table, "band + broadcast (d=1)", JoinPredicate::Band(2), 1,
+         config, cost);
+  table.Print();
+  std::printf(
+      "note: band + hash is omitted by design — content-sensitive routing "
+      "requires an equality predicate (the engine rejects it)\n"
+      "expected shape: equi rows produce identical result counts; "
+      "msgs/tuple ~ 3 for hash vs ~ 2 + n for broadcast\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// M2 — Micro-benchmarks of the engine machinery: routing decisions, the
+// ordering buffer's release cycle, punctuation handling, histogram
+// recording, and Zipf sampling. These bound the control-plane overhead the
+// simulator charges per message.
+
+#include <benchmark/benchmark.h>
+
+#include "core/order_buffer.h"
+#include "core/routing.h"
+#include "common/histogram.h"
+#include "workload/zipf.h"
+
+namespace bistream {
+namespace {
+
+void BM_RoutingDecision(benchmark::State& state) {
+  TopologyManager topo(static_cast<uint32_t>(state.range(0)),
+                       static_cast<uint32_t>(state.range(0)));
+  for (int i = 0; i < 16; ++i) {
+    topo.AddUnit(kRelationR);
+    topo.AddUnit(kRelationS);
+  }
+  auto view = topo.Snapshot();
+  RoutingPolicy policy(static_cast<uint32_t>(state.range(0)),
+                       static_cast<uint32_t>(state.range(0)));
+  Rng rng(1);
+  Tuple t;
+  for (auto _ : state) {
+    t.relation = static_cast<RelationId>(rng.Uniform(2));
+    t.key = static_cast<int64_t>(rng.Uniform(100000));
+    benchmark::DoNotOptimize(policy.Route(t, *view));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingDecision)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_OrderBufferCycle(benchmark::State& state) {
+  // One full round: buffer `batch` tuples from 2 routers, then release.
+  const uint64_t batch = static_cast<uint64_t>(state.range(0));
+  uint64_t round = 0;
+  OrderBuffer buffer(2, 0);
+  std::vector<Message> released;
+  Tuple t;
+  for (auto _ : state) {
+    for (uint64_t i = 0; i < batch; ++i) {
+      buffer.AddTuple(MakeTupleMessage(t, StreamKind::kStore,
+                                       static_cast<uint32_t>(i % 2), i,
+                                       round));
+    }
+    released.clear();
+    buffer.AddPunctuation(MakePunctuation(0, batch, round), &released);
+    buffer.AddPunctuation(MakePunctuation(1, batch, round), &released);
+    benchmark::DoNotOptimize(released.size());
+    ++round;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_OrderBufferCycle)->Arg(16)->Arg(256);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(2);
+  for (auto _ : state) {
+    histogram.Record(rng.Uniform(1'000'000'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(3);
+  for (int i = 0; i < 1000000; ++i) histogram.Record(rng.Uniform(1 << 30));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.P99());
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(static_cast<uint64_t>(state.range(0)), 1.0);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000);
+
+void BM_TupleWireSize(benchmark::State& state) {
+  Tuple t;
+  t.key = 42;
+  Message msg = MakeTupleMessage(t, StreamKind::kJoin, 0, 1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg.WireBytes());
+  }
+}
+BENCHMARK(BM_TupleWireSize);
+
+}  // namespace
+}  // namespace bistream
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Anti-money-laundering "structuring" detection: an arbitrary *theta*
+// join. Two wire-transfer streams are correlated by a predicate no index
+// can serve — pairs of transfers whose amounts sum into the band just
+// under the $10,000 reporting threshold within a 5-second window —
+// exercising the engine's scan-index path and the join-biclique model's
+// headline generality claim: every edge of the biclique covers part of
+// the Cartesian space, so *any* predicate evaluates correctly.
+//
+// Run:  ./aml_structuring [--transfers_per_sec=800] [--events=20000]
+
+#include <cstdio>
+
+#include "common/config.h"
+#include "core/query.h"
+
+using namespace bistream;  // NOLINT(build/namespaces)
+
+namespace {
+
+/// Two transfer streams (e.g. two acquiring banks); payload = cents.
+class TransferSource final : public StreamSource {
+ public:
+  TransferSource(double per_stream_rate, uint64_t total)
+      : rate_(per_stream_rate), total_(total), rng_(31) {
+    next_arrival_[0] = Gap();
+    next_arrival_[1] = Gap();
+  }
+
+  std::optional<TimedTuple> Next() override {
+    if (emitted_ >= total_) return std::nullopt;
+    int stream = next_arrival_[0] <= next_arrival_[1] ? 0 : 1;
+    TimedTuple tt;
+    tt.arrival = next_arrival_[stream];
+    tt.tuple.id = ++last_id_;
+    tt.tuple.relation = stream == 0 ? kRelationR : kRelationS;
+    tt.tuple.ts = static_cast<EventTime>(tt.arrival / kMicrosecond);
+    tt.tuple.key = rng_.UniformInt(1, 2000);  // Account id (not joined on).
+    // Most transfers are mundane; a minority sit in the 4-5k band that
+    // pairs into the structuring range.
+    tt.tuple.payload = rng_.NextBool(0.02)
+                           ? rng_.UniformInt(400000, 500000)
+                           : rng_.UniformInt(1000, 350000);
+    next_arrival_[stream] += Gap();
+    ++emitted_;
+    return tt;
+  }
+
+ private:
+  SimTime Gap() {
+    return static_cast<SimTime>(
+        rng_.NextExponential(static_cast<double>(kSecond) / rate_));
+  }
+
+  double rate_;
+  uint64_t total_;
+  Rng rng_;
+  SimTime next_arrival_[2];
+  uint64_t last_id_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+class AlertSink final : public ResultSink {
+ public:
+  void OnResult(const JoinResult& result) override {
+    ++alerts_;
+    latency_.Record(result.latency_ns);
+  }
+  uint64_t alerts() const { return alerts_; }
+  const Histogram& latency() const { return latency_; }
+
+ private:
+  uint64_t alerts_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  Config config = Config::FromArgs(argc, argv).ValueOrDie();
+
+  // The structuring predicate: amounts sum to [9000, 10000) dollars.
+  JoinPredicate structuring = JoinPredicate::Theta(
+      "structuring", [](const Tuple& a, const Tuple& b) {
+        int64_t total_cents = a.payload + b.payload;
+        return total_cents >= 900000 && total_cents < 1000000;
+      });
+
+  TransferSource source(
+      config.GetDouble("transfers_per_sec", 800),
+      static_cast<uint64_t>(config.GetInt("events", 20000)));
+  AlertSink sink;
+
+  // Theta joins derive ContRand routing and the scan index automatically.
+  auto stats = RunQuery(StreamJoinQuery::Join(structuring)
+                            .Window(5 * kEventSecond)
+                            .Parallelism(3, 3)
+                            .Routers(2),
+                        &source, &sink);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("transfers screened : %llu\n",
+              static_cast<unsigned long long>(stats->input_tuples));
+  std::printf("structuring alerts : %llu\n",
+              static_cast<unsigned long long>(sink.alerts()));
+  std::printf("alert latency      : %s\n", sink.latency().Summary().c_str());
+  std::printf("scan probe work    : %.0f candidates/probe (theta joins "
+              "examine the full window)\n",
+              stats->probes > 0
+                  ? static_cast<double>(stats->probe_candidates) /
+                        static_cast<double>(stats->probes)
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Elastic scaling demo: join-biclique's headline operational property.
+//
+// Streams a bursty workload (quiet → spike → quiet) through the engine
+// with an HPA-style CPU autoscaler attached to each joiner side, then
+// prints the controller timeline. Because the biclique scales by routing-
+// epoch changes plus natural window expiry, no stored tuple ever migrates
+// — and the run verifies that results stayed exactly-once throughout.
+//
+// Run:  ./elastic_scaling [--spike_rate=600] [--base_rate=150]
+
+#include <cstdio>
+
+#include "common/config.h"
+#include "harness/table.h"
+#include "ops/autoscaler.h"
+
+using namespace bistream;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  Config config = Config::FromArgs(argc, argv).ValueOrDie();
+
+  double base = config.GetDouble("base_rate", 150);
+  double spike = config.GetDouble("spike_rate", 600);
+
+  // Quiet for 1 min, spike for 2 min, quiet again.
+  auto schedule = RateSchedule::Make({{0, base},
+                                      {60 * kSecond, spike},
+                                      {180 * kSecond, base}})
+                      .ValueOrDie();
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 100;
+  workload.rate_r = schedule;
+  workload.rate_s = schedule;
+  workload.total_tuples =
+      static_cast<uint64_t>(config.GetInt("events", 120000));
+  SyntheticSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  BicliqueOptions options;
+  options.num_routers = 1;
+  options.joiners_r = 1;
+  options.joiners_s = 1;
+  options.window = 30 * kEventSecond;
+  options.archive_period = 3 * kEventSecond;
+  options.retire_grace_factor = 1.2;
+  // Per-candidate work heavy enough that the spike saturates one joiner.
+  options.cost.probe_candidate_ns = 20000;
+
+  EventLoop loop;
+  CollectorSink sink(/*check=*/true);
+  BicliqueEngine engine(&loop, options, &sink);
+
+  AutoscalerOptions scaler_options;
+  scaler_options.metric = ScaleMetric::kCpu;
+  scaler_options.interval = 10 * kSecond;
+  scaler_options.target_cpu = 0.75;
+  scaler_options.min_replicas = 1;
+  scaler_options.max_replicas = 4;
+  scaler_options.cooldown = 20 * kSecond;
+  scaler_options.side = kRelationR;
+  Autoscaler scaler_r(&engine, scaler_options);
+  scaler_options.side = kRelationS;
+  Autoscaler scaler_s(&engine, scaler_options);
+
+  engine.Start();
+  scaler_r.Start();
+  scaler_s.Start();
+  for (const TimedTuple& tt : stream) {
+    loop.RunUntil(tt.arrival);
+    engine.InjectNow(tt.tuple);
+  }
+  scaler_r.Stop();
+  scaler_s.Stop();
+  engine.FlushAndStop();
+  loop.RunUntilIdle();
+
+  std::printf("R-side autoscaler timeline (target %.0f%% CPU):\n",
+              75.0);
+  TablePrinter table({"t_s", "rate_tps", "cpu", "replicas", "action"});
+  for (const AutoscalerSample& s : scaler_r.timeline()) {
+    table.AddRow({TablePrinter::Num(SimTimeToSeconds(s.time), 0),
+                  TablePrinter::Num(schedule.RateAt(s.time) * 2, 0),
+                  TablePrinter::Num(s.metric_value * 100, 0) + "%",
+                  TablePrinter::Int(static_cast<int64_t>(s.active_replicas)),
+                  s.scaled ? "scale" : "-"});
+  }
+  table.Print();
+
+  CheckReport check =
+      sink.checker().Check(stream, options.predicate, options.window);
+  std::printf("\nresults: %llu joined pairs, exactly-once check: %s\n",
+              static_cast<unsigned long long>(sink.count()),
+              check.Clean() ? "PASS" : check.ToString().c_str());
+  std::printf("no stored tuple migrated during any scaling action — new "
+              "units fill via routing; old units drain via window expiry\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Conversion-funnel analytics: a k-way (here 4-way) streaming join.
+//
+// Four event streams keyed by user id — ad impressions, site visits,
+// add-to-cart events, purchases — are joined left-deep with per-stage
+// windows: a conversion is counted when a user progresses through all
+// four steps, each within the configured window of the previous ones.
+// Built on KWayCascade, the paper's multi-way join realized as cascaded
+// join-biclique stages (core/multiway.h).
+//
+// Run:  ./funnel_multiway [--users=5000] [--events=20000]
+
+#include <cstdio>
+
+#include "common/config.h"
+#include "core/multiway.h"
+
+using namespace bistream;  // NOLINT(build/namespaces)
+
+namespace {
+
+/// A funnel sink that also tracks time-to-convert (first to last step).
+class FunnelSink final : public KWaySink {
+ public:
+  void OnKTuple(const KWayResult& result) override {
+    ++conversions_;
+    latency_.Record(result.latency_ns);
+  }
+  uint64_t conversions() const { return conversions_; }
+  const Histogram& latency() const { return latency_; }
+
+ private:
+  uint64_t conversions_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  Config config = Config::FromArgs(argc, argv).ValueOrDie();
+
+  // Event streams: relation 0 = impression, 1 = visit, 2 = add-to-cart,
+  // 3 = purchase; join key = user id. Rates taper down the funnel is
+  // approximated here by a shared rate with a modest user domain so
+  // multi-step coincidences actually occur.
+  MultiWorkloadOptions workload;
+  workload.num_relations = 4;
+  workload.key_domain = static_cast<uint64_t>(config.GetInt("users", 5000));
+  workload.rate_per_relation = config.GetDouble("rate", 800);
+  workload.total_tuples =
+      static_cast<uint64_t>(config.GetInt("events", 20000));
+  workload.seed = 77;
+  MultiSource source(workload);
+
+  KWayOptions options;
+  options.stages.resize(3);
+  const char* step_names[] = {"impression→visit", "…→add-to-cart",
+                              "…→purchase"};
+  EventTime windows[] = {2 * kEventSecond, 4 * kEventSecond,
+                         8 * kEventSecond};
+  for (size_t i = 0; i < options.stages.size(); ++i) {
+    BicliqueOptions& stage = options.stages[i];
+    stage.num_routers = 2;
+    stage.joiners_r = 2;
+    stage.joiners_s = 2;
+    stage.subgroups_r = 2;
+    stage.subgroups_s = 2;
+    stage.window = windows[i];
+    stage.archive_period = windows[i] / 8;
+  }
+
+  EventLoop loop;
+  FunnelSink sink;
+  KWayCascade cascade(&loop, options, &sink);
+  cascade.RunToCompletion(&source);
+
+  std::printf("funnel stages (per-stage windows):\n");
+  for (size_t i = 0; i < 3; ++i) {
+    std::printf("  %-18s window %lld s, partial matches: %llu\n",
+                step_names[i],
+                static_cast<long long>(windows[i] / kEventSecond),
+                static_cast<unsigned long long>(cascade.IntermediateCount(i)));
+  }
+  std::printf("full conversions     : %llu\n",
+              static_cast<unsigned long long>(sink.conversions()));
+  std::printf("detection latency    : %s\n",
+              sink.latency().Summary().c_str());
+  for (size_t stage = 0; stage < 3; ++stage) {
+    EngineStats stats = cascade.StageStats(stage);
+    std::printf("stage %zu: %llu inputs, %.0f%% peak busy\n", stage + 1,
+                static_cast<unsigned long long>(stats.input_tuples),
+                stats.max_busy_fraction * 100);
+  }
+  return 0;
+}

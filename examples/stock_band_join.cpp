@@ -1,0 +1,121 @@
+// Cross-venue price correlation: a *band* (non-equi) stream join.
+//
+// Two exchanges stream trade ticks; we flag pairs of trades whose prices
+// are within --band cents of each other and whose timestamps fall within a
+// 2-second window — the classic "find correlated executions across venues"
+// query. Band predicates cannot be hash-partitioned, so the engine runs
+// the content-insensitive ContRand strategy over an ordered (BST) chained
+// index — the paper's high-selectivity configuration.
+//
+// Run:  ./stock_band_join [--trades_per_sec=2000] [--band=5]
+
+#include <cstdio>
+
+#include "common/config.h"
+#include "core/engine.h"
+
+using namespace bistream;  // NOLINT(build/namespaces)
+
+namespace {
+
+/// Two venues quoting around a shared random-walk mid price (cents).
+class TickSource final : public StreamSource {
+ public:
+  TickSource(double per_venue_rate, uint64_t total)
+      : rate_(per_venue_rate), total_(total), rng_(7) {
+    next_arrival_[0] = NextGap();
+    next_arrival_[1] = NextGap();
+  }
+
+  std::optional<TimedTuple> Next() override {
+    if (emitted_ >= total_) return std::nullopt;
+    int venue = next_arrival_[0] <= next_arrival_[1] ? 0 : 1;
+
+    // Random-walk mid plus a small venue-specific spread.
+    mid_ += rng_.UniformInt(-5, 5);
+    if (mid_ < 1000) mid_ = 1000;
+    int64_t price = mid_ + rng_.UniformInt(-50, 50);
+
+    TimedTuple tt;
+    tt.arrival = next_arrival_[venue];
+    tt.tuple.id = ++last_id_;
+    tt.tuple.relation = venue == 0 ? kRelationR : kRelationS;
+    tt.tuple.ts = static_cast<EventTime>(tt.arrival / kMicrosecond);
+    tt.tuple.key = price;                       // Join attribute: price.
+    tt.tuple.payload = rng_.UniformInt(1, 500);  // Shares.
+    next_arrival_[venue] += NextGap();
+    ++emitted_;
+    return tt;
+  }
+
+ private:
+  SimTime NextGap() {
+    return static_cast<SimTime>(
+        rng_.NextExponential(static_cast<double>(kSecond) / rate_));
+  }
+
+  double rate_;
+  uint64_t total_;
+  Rng rng_;
+  SimTime next_arrival_[2];
+  int64_t mid_ = 15000;  // $150.00 in cents.
+  uint64_t last_id_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+class CorrelationSink final : public ResultSink {
+ public:
+  void OnResult(const JoinResult& result) override {
+    ++pairs_;
+    latency_.Record(result.latency_ns);
+  }
+  uint64_t pairs() const { return pairs_; }
+  const Histogram& latency() const { return latency_; }
+
+ private:
+  uint64_t pairs_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  Config config = Config::FromArgs(argc, argv).ValueOrDie();
+
+  int64_t band = config.GetInt("band", 5);  // Cents.
+  BicliqueOptions options;
+  options.num_routers = 2;
+  options.joiners_r = 3;
+  options.joiners_s = 3;
+  // Band joins require ContRand (subgroups = 1): store anywhere on the own
+  // side, probe-broadcast to the opposite side.
+  options.subgroups_r = 1;
+  options.subgroups_s = 1;
+  options.predicate = JoinPredicate::Band(band);
+  options.window = 1 * kEventSecond;
+  options.archive_period = 125 * kEventMilli;
+
+  TickSource source(config.GetDouble("trades_per_sec", 2000),
+                    static_cast<uint64_t>(config.GetInt("events", 40000)));
+  CorrelationSink sink;
+
+  EventLoop loop;
+  BicliqueEngine engine(&loop, options, &sink);
+  engine.RunToCompletion(&source);
+
+  EngineStats stats = engine.Stats();
+  std::printf("ticks processed    : %llu\n",
+              static_cast<unsigned long long>(stats.input_tuples));
+  std::printf("correlated pairs   : %llu (band = %lld cents, 2 s window)\n",
+              static_cast<unsigned long long>(sink.pairs()),
+              static_cast<long long>(band));
+  std::printf("detection latency  : %s\n", sink.latency().Summary().c_str());
+  std::printf("probe work         : %.1f candidates/probe across %llu probes\n",
+              stats.probes > 0
+                  ? static_cast<double>(stats.probe_candidates) /
+                        static_cast<double>(stats.probes)
+                  : 0.0,
+              static_cast<unsigned long long>(stats.probes));
+  return 0;
+}

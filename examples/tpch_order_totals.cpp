@@ -1,0 +1,115 @@
+// TPC-H-flavoured streaming join: Orders ⋈ LineItem on o_orderkey =
+// l_orderkey within a sliding window, computing running revenue per order
+// priority class — the schema-rich (Row/Schema) API surface, plus a custom
+// aggregating ResultSink that needs the matched rows.
+//
+// Because the engine's JoinResult carries tuple identities (not payloads),
+// the sink keeps a bounded id → row cache fed by a tee on the source —
+// the pattern a downstream aggregation service would use.
+//
+// Run:  ./tpch_order_totals [--orders=4000]
+
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "common/config.h"
+#include "core/engine.h"
+#include "workload/tpch_stream.h"
+
+using namespace bistream;  // NOLINT(build/namespaces)
+
+namespace {
+
+/// Tees a stream, retaining each tuple's Row keyed by tuple id.
+class RowCacheSource final : public StreamSource {
+ public:
+  RowCacheSource(StreamSource* inner,
+                 std::unordered_map<uint64_t, std::shared_ptr<const Row>>*
+                     cache)
+      : inner_(inner), cache_(cache) {}
+
+  std::optional<TimedTuple> Next() override {
+    auto next = inner_->Next();
+    if (next.has_value() && next->tuple.row != nullptr) {
+      (*cache_)[next->tuple.id] = next->tuple.row;
+    }
+    return next;
+  }
+
+ private:
+  StreamSource* inner_;
+  std::unordered_map<uint64_t, std::shared_ptr<const Row>>* cache_;
+};
+
+/// Aggregates joined (order, lineitem) pairs into revenue per priority.
+class RevenueSink final : public ResultSink {
+ public:
+  explicit RevenueSink(
+      const std::unordered_map<uint64_t, std::shared_ptr<const Row>>* cache)
+      : cache_(cache) {}
+
+  void OnResult(const JoinResult& result) override {
+    ++pairs_;
+    auto order = cache_->find(result.r_id);
+    auto item = cache_->find(result.s_id);
+    if (order == cache_->end() || item == cache_->end()) return;
+    std::string priority =
+        order->second->ValueOf("o_orderpriority")->AsString();
+    double price = item->second->ValueOf("l_extendedprice")->AsDouble();
+    revenue_[priority] += price;
+  }
+
+  uint64_t pairs() const { return pairs_; }
+  const std::map<std::string, double>& revenue() const { return revenue_; }
+
+ private:
+  const std::unordered_map<uint64_t, std::shared_ptr<const Row>>* cache_;
+  uint64_t pairs_ = 0;
+  std::map<std::string, double> revenue_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  Config config = Config::FromArgs(argc, argv).ValueOrDie();
+
+  TpchStreamOptions stream_options;
+  stream_options.orders_per_sec = config.GetDouble("orders_per_sec", 800);
+  stream_options.total_orders =
+      static_cast<uint64_t>(config.GetInt("orders", 4000));
+  TpchSource tpch(stream_options);
+
+  std::unordered_map<uint64_t, std::shared_ptr<const Row>> row_cache;
+  RowCacheSource source(&tpch, &row_cache);
+  RevenueSink sink(&row_cache);
+
+  BicliqueOptions options;
+  options.num_routers = 2;
+  options.joiners_r = 2;  // Orders side.
+  options.joiners_s = 4;  // LineItem side (higher rate).
+  options.subgroups_r = 2;
+  options.subgroups_s = 4;
+  options.predicate = JoinPredicate::Equi();
+  options.window = 5 * kEventSecond;  // Line items trail orders by <= 2 s.
+  options.archive_period = 500 * kEventMilli;
+
+  EventLoop loop;
+  BicliqueEngine engine(&loop, options, &sink);
+  engine.RunToCompletion(&source);
+
+  std::printf("orders ⋈ lineitems: %llu joined pairs\n",
+              static_cast<unsigned long long>(sink.pairs()));
+  std::printf("revenue by order priority:\n");
+  for (const auto& [priority, revenue] : sink.revenue()) {
+    std::printf("  %-10s $%.2f\n", priority.c_str(), revenue);
+  }
+  EngineStats stats = engine.Stats();
+  std::printf("engine: %llu tuples, %.1f msgs/tuple, peak state %lld bytes\n",
+              static_cast<unsigned long long>(stats.input_tuples),
+              static_cast<double>(stats.messages) /
+                  static_cast<double>(stats.input_tuples),
+              static_cast<long long>(stats.peak_state_bytes));
+  return 0;
+}

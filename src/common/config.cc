@@ -1,0 +1,103 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+Result<Config> Config::FromArgs(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      config.positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    size_t eq = arg.find('=');
+    std::string key(eq == std::string_view::npos ? arg : arg.substr(0, eq));
+    if (key.empty()) {
+      return Status::InvalidArgument("empty flag name in '" +
+                                     std::string(argv[i]) + "'");
+    }
+    std::string value =
+        eq == std::string_view::npos ? "true" : std::string(arg.substr(eq + 1));
+    config.values_[key] = std::move(value);
+  }
+  return config;
+}
+
+Config Config::FromMap(std::map<std::string, std::string> values) {
+  Config config;
+  config.values_ = std::move(values);
+  return config;
+}
+
+bool Config::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  BISTREAM_CHECK(end != nullptr && *end == '\0' && !it->second.empty())
+      << "flag --" << key << " expects an integer, got '" << it->second << "'";
+  return value;
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  BISTREAM_CHECK(end != nullptr && *end == '\0' && !it->second.empty())
+      << "flag --" << key << " expects a number, got '" << it->second << "'";
+  return value;
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  BISTREAM_LOG(Fatal) << "flag --" << key << " expects a boolean, got '" << v
+                      << "'";
+  return fallback;
+}
+
+std::vector<int64_t> Config::GetIntList(const std::string& key,
+                                        std::vector<int64_t> fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::vector<int64_t> out;
+  const std::string& v = it->second;
+  size_t pos = 0;
+  while (pos <= v.size()) {
+    size_t comma = v.find(',', pos);
+    if (comma == std::string::npos) comma = v.size();
+    std::string item = v.substr(pos, comma - pos);
+    if (!item.empty()) {
+      char* end = nullptr;
+      int64_t value = std::strtoll(item.c_str(), &end, 10);
+      BISTREAM_CHECK(end != nullptr && *end == '\0')
+          << "flag --" << key << " expects integers, got '" << item << "'";
+      out.push_back(value);
+    }
+    pos = comma + 1;
+  }
+  BISTREAM_CHECK(!out.empty()) << "flag --" << key << " list is empty";
+  return out;
+}
+
+}  // namespace bistream

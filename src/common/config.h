@@ -1,0 +1,55 @@
+/// \file config.h
+/// \brief Minimal `--key=value` command-line configuration for the bench and
+/// example binaries, so every experiment parameter in DESIGN.md's index can
+/// be overridden without recompiling.
+
+#ifndef BISTREAM_COMMON_CONFIG_H_
+#define BISTREAM_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bistream {
+
+/// \brief Parsed flag set with typed, defaulted getters.
+class Config {
+ public:
+  Config() = default;
+
+  /// \brief Parses `--key=value` (or bare `--key`, stored as "true") args.
+  ///
+  /// Non-flag arguments are collected into positional(). Returns
+  /// InvalidArgument on malformed flags (e.g. `--=x`).
+  static Result<Config> FromArgs(int argc, char** argv);
+
+  /// \brief Builds a config directly from key/value pairs (tests).
+  static Config FromMap(std::map<std::string, std::string> values);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters; return `fallback` when the key is absent and abort via
+  /// CHECK when a present value fails to parse (flag typos should be loud).
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// \brief Parses a comma-separated integer list (e.g. `--units=4,8,16`).
+  std::vector<int64_t> GetIntList(const std::string& key,
+                                  std::vector<int64_t> fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_COMMON_CONFIG_H_

@@ -1,0 +1,49 @@
+/// \file hash.h
+/// \brief 64-bit hashing used for key partitioning and hash indexes.
+///
+/// Partitioning decisions (ContHash subgroup selection, matrix cell
+/// assignment, hash sub-index buckets) all go through these functions so that
+/// the whole system agrees on key placement. The integer mixer is the
+/// MurmurHash3 finalizer; strings use FNV-1a folded through the same mixer.
+
+#ifndef BISTREAM_COMMON_HASH_H_
+#define BISTREAM_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace bistream {
+
+/// \brief MurmurHash3 fmix64 finalizer; a strong 64-bit integer mixer.
+inline uint64_t HashMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// \brief Hashes a signed 64-bit key (the common join-attribute type).
+inline uint64_t HashInt64(int64_t key) {
+  return HashMix64(static_cast<uint64_t>(key));
+}
+
+/// \brief Hashes a byte string (FNV-1a, then mixed).
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return HashMix64(h);
+}
+
+/// \brief Combines two hashes (order-dependent).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return HashMix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace bistream
+
+#endif  // BISTREAM_COMMON_HASH_H_

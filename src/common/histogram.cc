@@ -1,0 +1,117 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+namespace {
+// 64 octaves x 32 sub-buckets covers the full uint64 range.
+constexpr int kOctaves = 64;
+}  // namespace
+
+int Histogram::NumBuckets() { return kOctaves * kSubBuckets; }
+
+Histogram::Histogram() : buckets_(NumBuckets(), 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < static_cast<uint64_t>(kSubBuckets)) {
+    return static_cast<int>(value);
+  }
+  int msb = 63 - std::countl_zero(value);
+  int shift = msb - kSubBucketBits;
+  int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  int octave = msb - kSubBucketBits + 1;
+  return octave * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<uint64_t>(bucket);
+  int octave = bucket / kSubBuckets;
+  int sub = bucket % kSubBuckets;
+  int shift = octave - 1;
+  uint64_t base = (static_cast<uint64_t>(kSubBuckets) + sub) << shift;
+  uint64_t width = shift >= 1 ? (1ULL << shift) : 1;
+  return base + width - 1;
+}
+
+void Histogram::Record(uint64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(uint64_t value, uint64_t count) {
+  if (count == 0) return;
+  int bucket = BucketFor(value);
+  BISTREAM_CHECK_LT(bucket, NumBuckets());
+  buckets_[bucket] += count;
+  count_ += count;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  double v = static_cast<double>(value);
+  double c = static_cast<double>(count);
+  sum_ += v * c;
+  sum_squares_ += v * v * c;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  BISTREAM_CHECK_EQ(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const {
+  if (count_ == 0) return 0.0;
+  double n = static_cast<double>(count_);
+  double variance = sum_squares_ / n - (sum_ / n) * (sum_ / n);
+  return variance > 0 ? std::sqrt(variance) : 0.0;
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (int bucket = 0; bucket < NumBuckets(); ++bucket) {
+    seen += buckets_[bucket];
+    if (seen > rank) {
+      uint64_t upper = BucketUpperBound(bucket);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(P50()),
+                static_cast<unsigned long long>(P95()),
+                static_cast<unsigned long long>(P99()),
+                static_cast<unsigned long long>(max()));
+  return std::string(buf);
+}
+
+}  // namespace bistream

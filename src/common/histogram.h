@@ -1,0 +1,74 @@
+/// \file histogram.h
+/// \brief Log-bucketed histogram for latency and size distributions.
+///
+/// HDR-style: values are bucketed with bounded relative error (~1/32), so
+/// quantile queries are cheap and the memory footprint is fixed regardless of
+/// the number of recorded samples. Used by the metrics layer for end-to-end
+/// result latency (E4, E5) and by the autoscaler for smoothing.
+
+#ifndef BISTREAM_COMMON_HISTOGRAM_H_
+#define BISTREAM_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bistream {
+
+/// \brief Fixed-memory histogram over non-negative 64-bit values.
+class Histogram {
+ public:
+  Histogram();
+
+  /// \brief Records one sample.
+  void Record(uint64_t value);
+
+  /// \brief Records `count` identical samples.
+  void RecordMany(uint64_t value, uint64_t count);
+
+  /// \brief Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// \brief Drops all recorded samples.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const;
+  double stddev() const;
+
+  /// \brief Returns the approximate value at quantile q in [0, 1].
+  ///
+  /// The answer has bounded relative error from bucketing (about 3%).
+  uint64_t ValueAtQuantile(double q) const;
+
+  /// Convenience accessors for the usual reporting quantiles.
+  uint64_t P50() const { return ValueAtQuantile(0.50); }
+  uint64_t P95() const { return ValueAtQuantile(0.95); }
+  uint64_t P99() const { return ValueAtQuantile(0.99); }
+
+  /// \brief One-line summary (count/mean/p50/p95/p99/max).
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  /// Maps a value to its bucket index.
+  static int BucketFor(uint64_t value);
+  /// Returns a representative (upper-bound) value for a bucket.
+  static uint64_t BucketUpperBound(int bucket);
+  static int NumBuckets();
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+  double sum_ = 0;
+  double sum_squares_ = 0;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_COMMON_HISTOGRAM_H_

@@ -1,0 +1,86 @@
+/// \file logging.h
+/// \brief Lightweight leveled logging and invariant-check macros.
+///
+/// BISTREAM_CHECK* macros abort on violated invariants (programming errors);
+/// recoverable conditions must use Status instead. Log output goes to stderr
+/// and can be silenced globally, which benchmarks do by default.
+
+#ifndef BISTREAM_COMMON_LOGGING_H_
+#define BISTREAM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bistream {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Stream-style log message; emits on destruction. Fatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// \brief Discards everything streamed into it (for compiled-out levels).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace bistream
+
+#define BISTREAM_LOG(level)                                              \
+  ::bistream::internal::LogMessage(::bistream::LogLevel::k##level,       \
+                                   __FILE__, __LINE__)                   \
+      .stream()
+
+#define BISTREAM_CHECK(cond)                                             \
+  if (!(cond))                                                           \
+  BISTREAM_LOG(Fatal) << "Check failed: " #cond " "
+
+#define BISTREAM_CHECK_OP(lhs, rhs, op)                                  \
+  if (!((lhs)op(rhs)))                                                   \
+  BISTREAM_LOG(Fatal) << "Check failed: " #lhs " " #op " " #rhs " ("     \
+                      << (lhs) << " vs " << (rhs) << ") "
+
+#define BISTREAM_CHECK_EQ(lhs, rhs) BISTREAM_CHECK_OP(lhs, rhs, ==)
+#define BISTREAM_CHECK_NE(lhs, rhs) BISTREAM_CHECK_OP(lhs, rhs, !=)
+#define BISTREAM_CHECK_LT(lhs, rhs) BISTREAM_CHECK_OP(lhs, rhs, <)
+#define BISTREAM_CHECK_LE(lhs, rhs) BISTREAM_CHECK_OP(lhs, rhs, <=)
+#define BISTREAM_CHECK_GT(lhs, rhs) BISTREAM_CHECK_OP(lhs, rhs, >)
+#define BISTREAM_CHECK_GE(lhs, rhs) BISTREAM_CHECK_OP(lhs, rhs, >=)
+
+/// \brief Aborts if a Status-returning expression fails.
+#define BISTREAM_CHECK_OK(expr)                                          \
+  do {                                                                   \
+    ::bistream::Status _check_st = (expr);                               \
+    BISTREAM_CHECK(_check_st.ok()) << _check_st.ToString();              \
+  } while (false)
+
+#endif  // BISTREAM_COMMON_LOGGING_H_

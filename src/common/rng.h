@@ -1,0 +1,108 @@
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generation.
+///
+/// Everything stochastic in BiStream (workload generation, random routing,
+/// simulated latency jitter, fault injection) draws from an explicitly seeded
+/// Rng so that simulation runs are bit-for-bit reproducible. The generator is
+/// xoshiro256**, seeded via splitmix64, which is both fast and statistically
+/// strong enough for simulation purposes.
+
+#ifndef BISTREAM_COMMON_RNG_H_
+#define BISTREAM_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+/// \brief splitmix64 step; used for seeding and as a cheap mixing function.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97f4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief Deterministic xoshiro256** generator.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield identical sequences.
+  explicit Rng(uint64_t seed = 0xB157BEA7ULL) { Reseed(seed); }
+
+  /// \brief Re-initializes the state from a 64-bit seed.
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(&sm);
+  }
+
+  /// \brief Returns the next 64 uniformly random bits.
+  uint64_t Next64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform integer in [0, bound). bound must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    BISTREAM_CHECK_GT(bound, 0ULL);
+    // Debiased multiply-shift (Lemire); the retry loop is rarely taken.
+    uint64_t x = Next64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    BISTREAM_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// \brief Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// \brief Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean) {
+    BISTREAM_CHECK_GT(mean, 0.0);
+    return -mean * std::log1p(-NextDouble());
+  }
+
+  /// \brief Forks an independent generator; deterministic in (state, salt).
+  Rng Fork(uint64_t salt) {
+    uint64_t seed = Next64() ^ (salt * 0x9E3779B97f4A7C15ULL);
+    return Rng(seed);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_COMMON_RNG_H_

@@ -1,0 +1,172 @@
+/// \file status.h
+/// \brief Error propagation primitives (Arrow/RocksDB style Status + Result).
+///
+/// BiStream never throws exceptions across module boundaries. Fallible
+/// operations return a Status, or a Result<T> when they also produce a value.
+/// The RETURN_NOT_OK / BISTREAM_ASSIGN_OR_RETURN macros keep call sites terse.
+
+#ifndef BISTREAM_COMMON_STATUS_H_
+#define BISTREAM_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bistream {
+
+/// \brief Machine-readable error category carried by a Status.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+  kCancelled = 9,
+  kDataLoss = 10,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: either OK or a code plus message.
+///
+/// The OK state stores no heap state, so returning Status::OK() is free.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg);
+
+  /// \brief Returns the singleton-like OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// \brief Returns the error message; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Null for OK; shared so Status is cheap to copy on error paths too.
+  std::shared_ptr<const State> state_;
+};
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Accessing the value of an errored Result aborts,
+/// so callers must check ok() (or use BISTREAM_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief Returns the error status, or OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// \brief Returns the held value; aborts if this holds an error.
+  const T& ValueOrDie() const& { return std::get<T>(repr_); }
+  T& ValueOrDie() & { return std::get<T>(repr_); }
+  T&& ValueOrDie() && { return std::move(std::get<T>(repr_)); }
+
+  /// \brief Moves the value out; aborts if this holds an error.
+  T MoveValueUnsafe() { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace bistream
+
+/// \brief Propagates a non-OK Status out of the enclosing function.
+#define RETURN_NOT_OK(expr)                 \
+  do {                                      \
+    ::bistream::Status _st = (expr);        \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+#define BISTREAM_CONCAT_IMPL(x, y) x##y
+#define BISTREAM_CONCAT(x, y) BISTREAM_CONCAT_IMPL(x, y)
+
+/// \brief Evaluates a Result<T> expression; on error returns its Status,
+/// otherwise assigns the value to `lhs`.
+#define BISTREAM_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  BISTREAM_ASSIGN_OR_RETURN_IMPL(                                   \
+      BISTREAM_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define BISTREAM_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                   \
+  if (!result_name.ok()) return result_name.status();           \
+  lhs = std::move(result_name).ValueOrDie()
+
+#endif  // BISTREAM_COMMON_STATUS_H_

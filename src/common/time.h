@@ -1,0 +1,58 @@
+/// \file time.h
+/// \brief Time domains used throughout BiStream.
+///
+/// Two distinct clocks exist and must not be confused:
+///   - SimTime: virtual wall-clock nanoseconds advanced by the discrete-event
+///     simulator (src/sim). Message latency, service time, punctuation
+///     cadence and end-to-end result latency live in this domain.
+///   - EventTime: application timestamps attached to tuples (microseconds).
+///     Window membership and Theorem-1 expiry live in this domain.
+/// Keeping them as distinct named types catches accidental mixing at call
+/// sites; conversions are always explicit.
+
+#ifndef BISTREAM_COMMON_TIME_H_
+#define BISTREAM_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace bistream {
+
+/// Virtual wall-clock time in nanoseconds (simulator domain).
+using SimTime = uint64_t;
+
+/// Application (event) time in microseconds (tuple-timestamp domain).
+using EventTime = int64_t;
+
+/// Sentinel for "no event time yet" (e.g. empty sub-index bounds).
+inline constexpr EventTime kNoEventTime = INT64_MIN;
+
+/// Window scope meaning "join against the full stream history" (the
+/// paper's full-history joins): large enough that no realistic timestamp
+/// difference exceeds it, small enough that window arithmetic never
+/// overflows. Nothing ever expires under this scope.
+inline constexpr EventTime kFullHistoryWindow = INT64_MAX / 4;
+
+/// Common SimTime unit helpers.
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Common EventTime unit helpers (microsecond base).
+inline constexpr EventTime kEventMicro = 1;
+inline constexpr EventTime kEventMilli = 1000;
+inline constexpr EventTime kEventSecond = 1000 * kEventMilli;
+
+/// \brief Converts virtual nanoseconds to (double) seconds.
+inline double SimTimeToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// \brief Converts virtual nanoseconds to (double) milliseconds.
+inline double SimTimeToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace bistream
+
+#endif  // BISTREAM_COMMON_TIME_H_

@@ -1,0 +1,337 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
+                               ResultSink* sink)
+    : loop_(loop),
+      options_(std::move(options)),
+      sink_(sink),
+      tracker_("biclique-engine"),
+      net_(loop, options_.cost, options_.seed),
+      topology_(options_.subgroups_r, options_.subgroups_s) {
+  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(sink_ != nullptr);
+  BISTREAM_CHECK_GE(options_.num_routers, 1U);
+  BISTREAM_CHECK_GE(options_.joiners_r, 1U);
+  BISTREAM_CHECK_GE(options_.joiners_s, 1U);
+  BISTREAM_CHECK_LE(options_.subgroups_r, options_.joiners_r)
+      << "cannot have more subgroups than units on the R side";
+  BISTREAM_CHECK_LE(options_.subgroups_s, options_.joiners_s)
+      << "cannot have more subgroups than units on the S side";
+  // Content-sensitive (hash) routing partitions by key equality; any other
+  // predicate would miss matches landing in different subgroups.
+  if (options_.predicate.kind() != PredicateKind::kEqui) {
+    BISTREAM_CHECK(options_.subgroups_r == 1 && options_.subgroups_s == 1)
+        << "non-equi predicates require ContRand routing (subgroups = 1)";
+  }
+  BISTREAM_CHECK_GE(options_.retire_grace_factor, 1.0)
+      << "retiring a drained unit before its window ages out loses results";
+
+  channels_.resize(options_.num_routers);
+
+  // Routers (and their ingestion channels from the source edge).
+  for (uint32_t i = 0; i < options_.num_routers; ++i) {
+    SimNode* node = net_.AddNode("router-" + std::to_string(i));
+    RouterOptions router_options;
+    router_options.router_id = i;
+    router_options.subgroups_r = options_.subgroups_r;
+    router_options.subgroups_s = options_.subgroups_s;
+    router_options.punct_interval = options_.punct_interval;
+    router_options.batch_size = options_.batch_size;
+    router_options.cost = options_.cost;
+    auto router = std::make_unique<Router>(
+        router_options, loop_, [this, i](uint32_t unit, Message msg) {
+          auto it = channels_[i].find(unit);
+          BISTREAM_CHECK(it != channels_[i].end())
+              << "router " << i << " has no channel to unit " << unit;
+          it->second->Send(std::move(msg));
+        });
+    Router* router_ptr = router.get();
+    node->SetHandler([router_ptr](const Message& msg) {
+      return router_ptr->Handle(msg);
+    });
+    routers_.push_back(std::move(router));
+    router_nodes_.push_back(node);
+    source_channels_.push_back(net_.Connect(node));
+  }
+
+  // Initial joiner units, active from round 0.
+  for (uint32_t i = 0; i < options_.joiners_r; ++i) {
+    AddJoinerUnit(kRelationR, /*start_round=*/0);
+  }
+  for (uint32_t i = 0; i < options_.joiners_s; ++i) {
+    AddJoinerUnit(kRelationS, /*start_round=*/0);
+  }
+
+  // Initial epoch, effective immediately (round 0).
+  auto view = topology_.Snapshot();
+  for (auto& router : routers_) {
+    router->ScheduleEpoch(0, view);
+  }
+}
+
+ChannelOptions BicliqueEngine::JoinerChannelOptions() const {
+  ChannelOptions channel;
+  channel.latency_ns = options_.cost.net_latency_ns;
+  channel.jitter_ns = options_.cost.net_jitter_ns;
+  channel.preserve_fifo = !options_.fault_reorder;
+  channel.drop_probability = options_.channel_drop_probability;
+  return channel;
+}
+
+uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round) {
+  uint32_t unit_id = topology_.AddUnit(side);
+
+  JoinerOptions joiner_options;
+  joiner_options.unit_id = unit_id;
+  joiner_options.relation = side;
+  joiner_options.predicate = options_.predicate;
+  joiner_options.index_kind =
+      options_.index_kind.value_or(options_.predicate.RecommendedIndex());
+  joiner_options.window = options_.window;
+  joiner_options.archive_period = options_.archive_period;
+  // Theorem-1 expiry assumes probes arrive in near-timestamp order, but the
+  // engine itself disorders processing by up to ~a punctuation round (round
+  // release is by (seq, router), not ts; source/router batching defers
+  // tuples by up to one round; channels add jitter). Retain sub-indexes for
+  // that bound beyond W so a slightly-older probe at the window edge never
+  // finds its match already discarded. This assumes event time tracks
+  // arrival time (true for the provided sources); applications with
+  // decoupled event time should set BicliqueOptions::expiry_slack to their
+  // own disorder bound.
+  EventTime disorder_bound = static_cast<EventTime>(
+      (3 * options_.punct_interval + options_.cost.net_jitter_ns) /
+      kMicrosecond);
+  joiner_options.expiry_slack =
+      std::max(options_.expiry_slack, disorder_bound);
+  joiner_options.cost = options_.cost;
+  joiner_options.num_routers = options_.num_routers;
+  joiner_options.start_round = start_round;
+  joiner_options.ordered = options_.ordered;
+
+  JoinerEntry entry;
+  entry.node = net_.AddNode("joiner-" + std::to_string(unit_id) +
+                            (side == kRelationR ? "-R" : "-S"));
+  entry.joiner =
+      std::make_unique<Joiner>(joiner_options, loop_, sink_, &tracker_);
+  Joiner* joiner_ptr = entry.joiner.get();
+  entry.node->SetHandler(
+      [joiner_ptr](const Message& msg) { return joiner_ptr->Handle(msg); });
+
+  for (uint32_t i = 0; i < options_.num_routers; ++i) {
+    channels_[i][unit_id] = net_.Connect(entry.node, JoinerChannelOptions());
+  }
+  joiners_[unit_id] = std::move(entry);
+  return unit_id;
+}
+
+void BicliqueEngine::Start() {
+  BISTREAM_CHECK(!started_);
+  started_ = true;
+  start_time_ = loop_->now();
+  for (auto& router : routers_) router->Start();
+  if (options_.batch_size > 1) {
+    loop_->ScheduleAfter(options_.punct_interval,
+                         [this] { SourceFlushTick(); });
+  }
+}
+
+void BicliqueEngine::InjectNow(Tuple tuple) {
+  BISTREAM_CHECK(started_) << "InjectNow before Start";
+  tuple.origin = loop_->now();
+  ++input_tuples_;
+  if (options_.batch_size <= 1) {
+    Message msg = MakeTupleMessage(std::move(tuple), StreamKind::kStore,
+                                   /*router_id=*/0, /*seq=*/0, /*round=*/0);
+    source_channels_[next_router_rr_++ % source_channels_.size()]->Send(
+        std::move(msg));
+    return;
+  }
+  // Batched ingestion edge (Kafka-consumer style): coalesce, flush when
+  // full; the periodic tick bounds the wait for slow streams.
+  pending_injections_.push_back(
+      BatchEntry{std::move(tuple), StreamKind::kStore, 0, 0});
+  if (pending_injections_.size() >= options_.batch_size) {
+    FlushSourceBatch();
+  }
+}
+
+void BicliqueEngine::FlushSourceBatch() {
+  if (pending_injections_.empty()) return;
+  Message batch = MakeBatch(std::move(pending_injections_), 0);
+  pending_injections_.clear();
+  source_channels_[next_router_rr_++ % source_channels_.size()]->Send(
+      std::move(batch));
+}
+
+void BicliqueEngine::SourceFlushTick() {
+  if (stopped_) return;
+  FlushSourceBatch();
+  loop_->ScheduleAfter(options_.punct_interval,
+                       [this] { SourceFlushTick(); });
+}
+
+void BicliqueEngine::FlushAndStop() {
+  FlushSourceBatch();
+  stopped_ = true;
+  for (Channel* channel : source_channels_) {
+    channel->Send(MakeControl(ControlOp::kStopFlush, 0));
+  }
+}
+
+void BicliqueEngine::RunToCompletion(StreamSource* source) {
+  Start();
+  while (auto next = source->Next()) {
+    loop_->RunUntil(next->arrival);
+    InjectNow(std::move(next->tuple));
+  }
+  FlushAndStop();
+  loop_->RunUntilIdle();
+}
+
+uint64_t BicliqueEngine::NextActivationRound() const {
+  uint64_t max_round = 0;
+  for (const auto& router : routers_) {
+    max_round = std::max(max_round, router->current_round());
+  }
+  return max_round + 1;
+}
+
+void BicliqueEngine::BroadcastEpoch(uint64_t activation_round) {
+  auto view = topology_.Snapshot();
+  for (auto& router : routers_) {
+    router->ScheduleEpoch(activation_round, view);
+  }
+}
+
+Result<uint32_t> BicliqueEngine::ScaleOut(RelationId side) {
+  uint64_t activation = NextActivationRound();
+  uint32_t unit_id = AddJoinerUnit(side, activation);
+  BroadcastEpoch(activation);
+  return unit_id;
+}
+
+Result<uint32_t> BicliqueEngine::ScaleIn(RelationId side) {
+  BISTREAM_ASSIGN_OR_RETURN(uint32_t unit_id,
+                            topology_.PickDrainCandidate(side));
+  RETURN_NOT_OK(topology_.StartDrain(unit_id));
+  BroadcastEpoch(NextActivationRound());
+
+  // Retire once the drained unit's stored window has certainly aged out:
+  // W (event time ~ virtual time in our workloads) times the grace factor,
+  // plus a few punctuation rounds of slack.
+  SimTime window_ns = static_cast<SimTime>(options_.window) * kMicrosecond;
+  SimTime delay =
+      static_cast<SimTime>(static_cast<double>(window_ns) *
+                           options_.retire_grace_factor) +
+      4 * options_.punct_interval;
+  loop_->ScheduleAfter(delay, [this, unit_id] {
+    Status status = topology_.Retire(unit_id);
+    if (!status.ok()) {
+      BISTREAM_LOG(Warning) << "retire of unit " << unit_id
+                            << " failed: " << status.ToString();
+      return;
+    }
+    BroadcastEpoch(NextActivationRound());
+  });
+  return unit_id;
+}
+
+Joiner* BicliqueEngine::joiner(uint32_t unit_id) {
+  auto it = joiners_.find(unit_id);
+  return it == joiners_.end() ? nullptr : it->second.joiner.get();
+}
+
+SimNode* BicliqueEngine::joiner_node(uint32_t unit_id) {
+  auto it = joiners_.find(unit_id);
+  return it == joiners_.end() ? nullptr : it->second.node;
+}
+
+void BicliqueEngine::ForEachLiveJoiner(
+    RelationId side, const std::function<void(Joiner&, SimNode&)>& fn) {
+  for (const UnitRecord& u : topology_.units()) {
+    if (TopologyManager::SideOf(u.relation) != TopologyManager::SideOf(side) ||
+        u.state == UnitState::kRetired) {
+      continue;
+    }
+    auto it = joiners_.find(u.id);
+    BISTREAM_CHECK(it != joiners_.end());
+    fn(*it->second.joiner, *it->second.node);
+  }
+}
+
+std::string BicliqueEngine::DescribeTopology() const {
+  std::string out = "biclique cluster (epoch view ";
+  out += std::to_string(topology_.units().size());
+  out += " units, ";
+  out += std::to_string(routers_.size());
+  out += " routers)\n";
+  for (const UnitRecord& unit : topology_.units()) {
+    auto it = joiners_.find(unit.id);
+    BISTREAM_CHECK(it != joiners_.end());
+    const Joiner& joiner = *it->second.joiner;
+    const SimNode& node = *it->second.node;
+    char line[192];
+    const char* state = unit.state == UnitState::kActive    ? "active"
+                        : unit.state == UnitState::kDraining ? "draining"
+                                                              : "retired";
+    std::snprintf(line, sizeof(line),
+                  "  unit %-3u side=%c subgroup=%-2u %-8s stored=%-8llu "
+                  "results=%-9llu state=%lldB busy=%.3fms\n",
+                  unit.id, unit.relation == kRelationR ? 'R' : 'S',
+                  unit.subgroup, state,
+                  static_cast<unsigned long long>(joiner.stats().stored),
+                  static_cast<unsigned long long>(joiner.stats().results),
+                  static_cast<long long>(joiner.memory().current_bytes()),
+                  SimTimeToMillis(node.stats().busy_ns));
+    out += line;
+  }
+  return out;
+}
+
+EngineStats BicliqueEngine::Stats() const {
+  EngineStats stats;
+  stats.input_tuples = input_tuples_;
+  for (const auto& [unit_id, entry] : joiners_) {
+    const JoinerStats& js = entry.joiner->stats();
+    stats.results += js.results;
+    stats.stored += js.stored;
+    stats.probes += js.probes;
+    stats.probe_candidates += js.probe_candidates;
+    stats.expired_tuples += js.expired_tuples;
+    stats.expired_subindexes += js.expired_subindexes;
+  }
+  stats.messages = net_.total_messages();
+  stats.bytes = net_.total_bytes();
+  stats.state_bytes = tracker_.current_bytes();
+  stats.peak_state_bytes = tracker_.peak_bytes();
+  stats.makespan_ns = loop_->now() - start_time_;
+  if (stats.makespan_ns > 0) {
+    for (const auto& node : net_.nodes()) {
+      double busy = static_cast<double>(node->stats().busy_ns) /
+                    static_cast<double>(stats.makespan_ns);
+      stats.max_busy_fraction = std::max(stats.max_busy_fraction, busy);
+    }
+    double joiner_busy_sum = 0;
+    for (const auto& [unit_id, entry] : joiners_) {
+      double busy = static_cast<double>(entry.node->stats().busy_ns) /
+                    static_cast<double>(stats.makespan_ns);
+      stats.max_joiner_busy_fraction =
+          std::max(stats.max_joiner_busy_fraction, busy);
+      joiner_busy_sum += busy;
+    }
+    if (!joiners_.empty()) {
+      stats.mean_joiner_busy_fraction =
+          joiner_busy_sum / static_cast<double>(joiners_.size());
+    }
+  }
+  return stats;
+}
+
+}  // namespace bistream

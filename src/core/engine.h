@@ -1,0 +1,214 @@
+/// \file engine.h
+/// \brief BicliqueEngine: the assembled BiStream system.
+///
+/// Wires routers, joiners, channels and the result sink into a running
+/// simulated cluster, exposes the elastic-scaling control plane
+/// (ScaleOut/ScaleIn, used by the ops::Autoscaler), and aggregates the
+/// metrics every experiment reports. See DESIGN.md §5 for the architecture
+/// and the ordering/epoch invariants.
+
+#ifndef BISTREAM_CORE_ENGINE_H_
+#define BISTREAM_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/joiner.h"
+#include "core/result_sink.h"
+#include "core/router.h"
+#include "core/topology.h"
+#include "sim/network.h"
+#include "workload/generator.h"
+
+namespace bistream {
+
+/// \brief Full engine configuration.
+struct BicliqueOptions {
+  /// Router (dispatcher) instances. Fixed for the run.
+  uint32_t num_routers = 2;
+  /// Initial joiner units per side.
+  uint32_t joiners_r = 4;
+  uint32_t joiners_s = 4;
+  /// Subgroup counts (d, e). 1 = ContRand behaviour (store anywhere, probe
+  /// broadcast); = joiner count = pure hash partitioning. See routing.h.
+  uint32_t subgroups_r = 1;
+  uint32_t subgroups_s = 1;
+  /// The join being evaluated.
+  JoinPredicate predicate = JoinPredicate::Equi();
+  /// Sub-index layout; defaults to the predicate's recommendation.
+  std::optional<IndexKind> index_kind;
+  /// Sliding-window scope W (event time).
+  EventTime window = 10 * kEventSecond;
+  /// Chained-index archive period P (event time).
+  EventTime archive_period = 1 * kEventSecond;
+  /// Allowed lateness for Theorem-1 expiry; needed when the input streams'
+  /// timestamps can regress (derived streams), see ChainedIndexOptions.
+  EventTime expiry_slack = 0;
+  /// Punctuation cadence (virtual time).
+  SimTime punct_interval = 10 * kMillisecond;
+  /// Router mini-batch size per destination (1 = unbatched). Batches are
+  /// force-flushed every punctuation round; see RouterOptions::batch_size.
+  uint32_t batch_size = 1;
+  /// Order-consistent protocol on/off (off reproduces the faulty baseline).
+  bool ordered = true;
+  /// Virtual-time cost model; also supplies channel latency/jitter.
+  CostModel cost;
+  /// Break per-channel FIFO (tests only; the protocol assumes FIFO).
+  bool fault_reorder = false;
+  /// Silently drop this fraction of router→joiner messages (tests only;
+  /// Definition 7 assumes a lossless transport).
+  double channel_drop_probability = 0.0;
+  /// Base seed for all stochastic simulation elements.
+  uint64_t seed = 1;
+  /// How long a draining unit keeps serving probes before retiring, as a
+  /// multiple of the window. Must be >= 1.0: retiring before the unit's
+  /// stored window has fully aged out loses results.
+  double retire_grace_factor = 1.5;
+
+  /// \brief Convenience: configure ContHash with the given subgroup counts.
+  static BicliqueOptions ContHash(uint32_t d, uint32_t e) {
+    BicliqueOptions o;
+    o.subgroups_r = d;
+    o.subgroups_s = e;
+    return o;
+  }
+};
+
+/// \brief Aggregated run statistics (see DESIGN.md experiment index).
+struct EngineStats {
+  uint64_t input_tuples = 0;
+  uint64_t results = 0;
+  uint64_t stored = 0;
+  uint64_t probes = 0;
+  uint64_t probe_candidates = 0;
+  uint64_t expired_tuples = 0;
+  uint64_t expired_subindexes = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  int64_t state_bytes = 0;
+  int64_t peak_state_bytes = 0;
+  /// Highest busy fraction across all service nodes over the run — the
+  /// bottleneck utilization that determines sustainability.
+  double max_busy_fraction = 0;
+  /// Joiner-only busy fractions: skew diagnostics for E7 (imbalance =
+  /// max / mean across joiners of one run).
+  double max_joiner_busy_fraction = 0;
+  double mean_joiner_busy_fraction = 0;
+  /// Virtual time from Start() to the last processed event.
+  SimTime makespan_ns = 0;
+};
+
+/// \brief The BiStream join-biclique engine over the simulated cluster.
+class BicliqueEngine {
+ public:
+  /// \param loop shared event loop (not owned)
+  /// \param sink result consumer (not owned)
+  BicliqueEngine(EventLoop* loop, BicliqueOptions options, ResultSink* sink);
+
+  BicliqueEngine(const BicliqueEngine&) = delete;
+  BicliqueEngine& operator=(const BicliqueEngine&) = delete;
+
+  /// \brief Starts the punctuation cadence. Call once, before injecting.
+  void Start();
+
+  /// \brief Injects one tuple at the current virtual time. The tuple enters
+  /// a router (round-robin) through a source channel; with batch_size > 1
+  /// the source edge coalesces tuples into ingestion batches (flushed when
+  /// full and on a punct_interval cadence, so added latency is bounded).
+  void InjectNow(Tuple tuple);
+
+  /// \brief Sends the stop-flush control after all injected tuples; routers
+  /// close their final round so joiners drain completely.
+  void FlushAndStop();
+
+  /// \brief Convenience driver: Start(), feed the whole source at its
+  /// arrival times, flush, and run the loop until idle.
+  void RunToCompletion(StreamSource* source);
+
+  // --- Elastic scaling control plane (coordinator) -----------------------
+
+  /// \brief Adds a joiner unit to `side`, activating at the next round
+  /// boundary. Returns the new unit id.
+  Result<uint32_t> ScaleOut(RelationId side);
+
+  /// \brief Begins draining one unit of `side` (new stores stop at the next
+  /// round boundary; probes continue until its window ages out, then it
+  /// retires automatically). Returns the draining unit id.
+  Result<uint32_t> ScaleIn(RelationId side);
+
+  size_t ActiveJoiners(RelationId side) const {
+    return topology_.NumActive(side);
+  }
+  size_t LiveJoiners(RelationId side) const {
+    return topology_.NumLive(side);
+  }
+
+  // --- Introspection ------------------------------------------------------
+
+  EngineStats Stats() const;
+  const MemoryTracker& memory() const { return tracker_; }
+  SimNetwork& network() { return net_; }
+  EventLoop* loop() { return loop_; }
+  const BicliqueOptions& options() const { return options_; }
+  const TopologyManager& topology() const { return topology_; }
+
+  /// \brief Joiner / its node by unit id (null if unknown).
+  Joiner* joiner(uint32_t unit_id);
+  SimNode* joiner_node(uint32_t unit_id);
+
+  /// \brief Applies `fn` to every live joiner of `side`.
+  void ForEachLiveJoiner(RelationId side,
+                         const std::function<void(Joiner&, SimNode&)>& fn);
+
+  const std::vector<std::unique_ptr<Router>>& routers() const {
+    return routers_;
+  }
+
+  /// \brief Human-readable dump of the cluster: one line per unit with
+  /// relation side, subgroup, lifecycle state, stored tuples, produced
+  /// results, state bytes and cumulative busy time (operator tooling).
+  std::string DescribeTopology() const;
+
+ private:
+  struct JoinerEntry {
+    std::unique_ptr<Joiner> joiner;
+    SimNode* node = nullptr;
+  };
+
+  /// Creates the unit, node, channels; returns the unit id.
+  uint32_t AddJoinerUnit(RelationId side, uint64_t start_round);
+  /// Pushes a new snapshot to every router at round `activation`.
+  void BroadcastEpoch(uint64_t activation_round);
+  /// Sends the pending source-side ingestion batch, if any.
+  void FlushSourceBatch();
+  /// Periodic source-batch flush (bounds batching latency).
+  void SourceFlushTick();
+  /// First round strictly after every router's current round.
+  uint64_t NextActivationRound() const;
+  ChannelOptions JoinerChannelOptions() const;
+
+  EventLoop* loop_;
+  BicliqueOptions options_;
+  ResultSink* sink_;
+  MemoryTracker tracker_;
+  SimNetwork net_;
+  TopologyManager topology_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<SimNode*> router_nodes_;
+  std::vector<Channel*> source_channels_;
+  std::unordered_map<uint32_t, JoinerEntry> joiners_;
+  /// channels_[router][unit_id] -> channel.
+  std::vector<std::unordered_map<uint32_t, Channel*>> channels_;
+  uint64_t next_router_rr_ = 0;
+  uint64_t input_tuples_ = 0;
+  std::vector<BatchEntry> pending_injections_;
+  SimTime start_time_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_CORE_ENGINE_H_

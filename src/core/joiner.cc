@@ -1,0 +1,135 @@
+#include "core/joiner.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+namespace {
+ChainedIndexOptions IndexOptionsFor(const JoinerOptions& options,
+                                    MemoryTracker* tracker) {
+  ChainedIndexOptions index_options;
+  index_options.kind = options.index_kind;
+  index_options.archive_period = options.archive_period;
+  index_options.window = options.window;
+  index_options.expiry_slack = options.expiry_slack;
+  index_options.tracker = tracker;
+  return index_options;
+}
+}  // namespace
+
+Joiner::Joiner(JoinerOptions options, EventLoop* loop, ResultSink* sink,
+               MemoryTracker* parent_tracker)
+    : options_(options),
+      loop_(loop),
+      sink_(sink),
+      tracker_("joiner-" + std::to_string(options.unit_id), parent_tracker),
+      index_(IndexOptionsFor(options_, &tracker_)),
+      buffer_(options_.num_routers, options_.start_round) {
+  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(sink_ != nullptr);
+}
+
+SimTime Joiner::Handle(const Message& msg) {
+  switch (msg.kind) {
+    case Message::Kind::kTuple: {
+      SimTime cost = options_.cost.MessageCost(msg.WireBytes());
+      if (!options_.ordered) {
+        return cost + ProcessTuple(msg);
+      }
+      buffer_.AddTuple(msg);
+      return cost;
+    }
+    case Message::Kind::kPunctuation: {
+      SimTime cost = options_.cost.punctuation_ns;
+      if (!options_.ordered) return cost;
+      std::vector<Message> released;
+      buffer_.AddPunctuation(msg, &released);
+      for (const Message& m : released) {
+        cost += ProcessTuple(m);
+      }
+      return cost;
+    }
+    case Message::Kind::kBatch: {
+      // One framework-overhead charge for the whole batch; per-tuple work
+      // still accrues (that is the batching win).
+      SimTime cost = options_.cost.MessageCost(msg.WireBytes());
+      for (const BatchEntry& entry : msg.batch) {
+        Message unpacked = MakeTupleMessage(entry.tuple, entry.stream,
+                                            msg.router_id, entry.seq,
+                                            entry.round);
+        if (options_.ordered) {
+          buffer_.AddTuple(std::move(unpacked));
+        } else {
+          cost += ProcessTuple(unpacked);
+        }
+      }
+      return cost;
+    }
+    case Message::Kind::kControl:
+      // Drain/retire are routing-side decisions; the joiner itself has no
+      // state transition to make (its index simply ages out).
+      return options_.cost.punctuation_ns;
+  }
+  return 0;
+}
+
+SimTime Joiner::ProcessTuple(const Message& msg) {
+  if (msg.stream == StreamKind::kStore) {
+    BISTREAM_CHECK_EQ(msg.tuple.relation, options_.relation)
+        << "store-stream tuple of the wrong relation reached unit "
+        << options_.unit_id;
+    return StoreBranch(msg.tuple);
+  }
+  BISTREAM_CHECK_NE(msg.tuple.relation, options_.relation)
+      << "join-stream tuple of the unit's own relation reached unit "
+      << options_.unit_id;
+  return JoinBranch(msg.tuple);
+}
+
+SimTime Joiner::StoreBranch(const Tuple& tuple) {
+  index_.Insert(tuple);
+  ++stats_.stored;
+  return options_.cost.insert_ns;
+}
+
+SimTime Joiner::JoinBranch(const Tuple& probe) {
+  ++stats_.probes;
+
+  uint64_t subindexes_before = index_.stats().expired_subindexes;
+  uint64_t matches = 0;
+  MatchSink emit = [&](const Tuple& stored) {
+    JoinResult result;
+    // Orient the pair: r_id always names the R-side tuple.
+    if (probe.relation == kRelationR) {
+      result.r_id = probe.id;
+      result.s_id = stored.id;
+    } else {
+      result.r_id = stored.id;
+      result.s_id = probe.id;
+    }
+    result.ts = std::max(probe.ts, stored.ts);
+    result.key = probe.key;
+    result.emit_time = loop_->now();
+    result.latency_ns =
+        probe.origin <= result.emit_time ? result.emit_time - probe.origin : 0;
+    result.producer_unit = options_.unit_id;
+    sink_->OnResult(result);
+    ++matches;
+  };
+
+  uint64_t candidates = index_.ExpireAndProbe(probe, options_.predicate, emit);
+  uint64_t dropped_subindexes =
+      index_.stats().expired_subindexes - subindexes_before;
+
+  stats_.results += matches;
+  stats_.probe_candidates += candidates;
+  stats_.expired_subindexes += dropped_subindexes;
+  stats_.expired_tuples = index_.stats().expired_tuples;
+
+  return options_.cost.ProbeCost(candidates, matches) +
+         dropped_subindexes * options_.cost.expire_subindex_ns;
+}
+
+}  // namespace bistream

@@ -1,0 +1,95 @@
+/// \file joiner.h
+/// \brief The joiner service: one processing unit of the biclique.
+///
+/// A joiner belongs to one relation side. Its two execution branches mirror
+/// the paper's design: the *store* branch inserts own-relation tuples into
+/// the unit's chained in-memory index; the *join* branch takes an
+/// opposite-relation tuple, discards expired sub-indexes (Theorem 1),
+/// probes the survivors, and emits the matching pairs. When the ordering
+/// protocol is enabled (the default), incoming tuples pass through the
+/// OrderBuffer and are only processed once their punctuation round is
+/// complete; with it disabled tuples are processed on arrival — the faulty
+/// configuration E12 and the protocol tests exercise.
+
+#ifndef BISTREAM_CORE_JOINER_H_
+#define BISTREAM_CORE_JOINER_H_
+
+#include <memory>
+
+#include "common/memory_tracker.h"
+#include "core/order_buffer.h"
+#include "core/result_sink.h"
+#include "index/chained_index.h"
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+#include "sim/message.h"
+#include "tuple/join_predicate.h"
+
+namespace bistream {
+
+/// \brief Joiner configuration.
+struct JoinerOptions {
+  uint32_t unit_id = 0;
+  RelationId relation = kRelationR;
+  JoinPredicate predicate = JoinPredicate::Equi();
+  IndexKind index_kind = IndexKind::kHash;
+  EventTime window = 10 * kEventSecond;
+  EventTime archive_period = 1 * kEventSecond;
+  /// Allowed lateness for Theorem-1 expiry (see ChainedIndexOptions).
+  EventTime expiry_slack = 0;
+  CostModel cost;
+  uint32_t num_routers = 1;
+  /// First punctuation round this unit participates in (scale-out units
+  /// start at their activation round).
+  uint64_t start_round = 0;
+  /// Order-consistent protocol on (default) or off (E12 / tests).
+  bool ordered = true;
+};
+
+/// \brief Per-joiner statistics.
+struct JoinerStats {
+  uint64_t stored = 0;
+  uint64_t probes = 0;
+  uint64_t results = 0;
+  uint64_t probe_candidates = 0;
+  uint64_t expired_tuples = 0;
+  uint64_t expired_subindexes = 0;
+};
+
+/// \brief One biclique processing unit. Install Handle() as its SimNode
+/// handler.
+class Joiner {
+ public:
+  /// \param sink result consumer (not owned)
+  /// \param parent_tracker memory accounting parent (may be null)
+  Joiner(JoinerOptions options, EventLoop* loop, ResultSink* sink,
+         MemoryTracker* parent_tracker);
+
+  /// \brief SimNode handler.
+  SimTime Handle(const Message& msg);
+
+  uint32_t unit_id() const { return options_.unit_id; }
+  RelationId relation() const { return options_.relation; }
+  const JoinerStats& stats() const { return stats_; }
+  const ChainedIndex& index() const { return index_; }
+  const MemoryTracker& memory() const { return tracker_; }
+  size_t buffered() const { return buffer_.buffered(); }
+
+ private:
+  /// Store or join branch for one released (or unordered) tuple message.
+  SimTime ProcessTuple(const Message& msg);
+  SimTime StoreBranch(const Tuple& tuple);
+  SimTime JoinBranch(const Tuple& probe);
+
+  JoinerOptions options_;
+  EventLoop* loop_;
+  ResultSink* sink_;
+  MemoryTracker tracker_;
+  ChainedIndex index_;
+  OrderBuffer buffer_;
+  JoinerStats stats_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_CORE_JOINER_H_

@@ -1,0 +1,323 @@
+#include "core/multiway.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "index/chained_index.h"
+
+namespace bistream {
+
+namespace {
+/// Intermediate ids live far above any source id so they can never collide
+/// with T-side tuple ids.
+constexpr uint64_t kIntermediateIdBase = 1ULL << 40;
+}  // namespace
+
+uint64_t TripleKey(uint64_t r_id, uint64_t s_id, uint64_t t_id) {
+  return HashCombine(HashCombine(HashMix64(r_id), HashMix64(s_id)),
+                     HashMix64(t_id));
+}
+
+void TripleCollector::OnTriple(const TripleResult& triple) {
+  ++count_;
+  latency_.Record(triple.latency_ns);
+  ++produced_[TripleKey(triple.r_id, triple.s_id, triple.t_id)];
+}
+
+std::unordered_map<uint64_t, uint32_t> ComputeExpectedTriples(
+    const std::vector<TimedTuple>& stream, EventTime window1,
+    EventTime window2) {
+  std::unordered_map<int64_t, std::vector<const Tuple*>> s_by_key;
+  std::unordered_map<int64_t, std::vector<const Tuple*>> t_by_key;
+  std::vector<const Tuple*> r_tuples;
+  for (const TimedTuple& tt : stream) {
+    switch (tt.tuple.relation) {
+      case kRelationR:
+        r_tuples.push_back(&tt.tuple);
+        break;
+      case kRelationS:
+        s_by_key[tt.tuple.key].push_back(&tt.tuple);
+        break;
+      default:
+        t_by_key[tt.tuple.key].push_back(&tt.tuple);
+        break;
+    }
+  }
+  std::unordered_map<uint64_t, uint32_t> expected;
+  for (const Tuple* r : r_tuples) {
+    auto s_it = s_by_key.find(r->key);
+    if (s_it == s_by_key.end()) continue;
+    auto t_it = t_by_key.find(r->key);
+    if (t_it == t_by_key.end()) continue;
+    for (const Tuple* s : s_it->second) {
+      if (!WithinWindow(r->ts, s->ts, window1)) continue;
+      EventTime rs_ts = std::max(r->ts, s->ts);
+      for (const Tuple* t : t_it->second) {
+        if (!WithinWindow(rs_ts, t->ts, window2)) continue;
+        ++expected[TripleKey(r->id, s->id, t->id)];
+      }
+    }
+  }
+  return expected;
+}
+
+ThreeWayCascade::ThreeWayCascade(EventLoop* loop, ThreeWayOptions options,
+                                 TripleSink* sink)
+    : loop_(loop),
+      options_(std::move(options)),
+      sink_(sink),
+      intermediate_sink_(this),
+      final_sink_(this) {
+  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(sink_ != nullptr);
+  // The shared multi-way key forces equi joins at both stages.
+  options_.stage1.predicate = JoinPredicate::Equi();
+  options_.stage2.predicate = JoinPredicate::Equi();
+  options_.stage2.expiry_slack =
+      std::max(options_.stage2.expiry_slack, options_.intermediate_lateness);
+  stage1_ = std::make_unique<BicliqueEngine>(loop_, options_.stage1,
+                                             &intermediate_sink_);
+  stage2_ = std::make_unique<BicliqueEngine>(loop_, options_.stage2,
+                                             &final_sink_);
+}
+
+void ThreeWayCascade::Start() {
+  stage1_->Start();
+  stage2_->Start();
+}
+
+void ThreeWayCascade::InjectNow(Tuple tuple) {
+  if (tuple.relation == kRelationT) {
+    // T feeds stage 2's second side.
+    tuple.relation = kRelationS;
+    stage2_->InjectNow(std::move(tuple));
+    return;
+  }
+  BISTREAM_CHECK_LE(tuple.relation, kRelationS);
+  stage1_->InjectNow(std::move(tuple));
+}
+
+void ThreeWayCascade::OnIntermediate(const JoinResult& result) {
+  uint64_t id = kIntermediateIdBase + next_intermediate_id_++;
+  pair_of_[id] = {result.r_id, result.s_id};
+
+  Tuple intermediate;
+  intermediate.id = id;
+  intermediate.relation = kRelationR;  // Stage 2's first side.
+  intermediate.ts = result.ts;
+  intermediate.key = result.key;
+  stage2_->InjectNow(std::move(intermediate));
+}
+
+void ThreeWayCascade::OnFinal(const JoinResult& result) {
+  auto it = pair_of_.find(result.r_id);
+  BISTREAM_CHECK(it != pair_of_.end())
+      << "stage-2 result references unknown intermediate " << result.r_id;
+  TripleResult triple;
+  triple.r_id = it->second.first;
+  triple.s_id = it->second.second;
+  triple.t_id = result.s_id;
+  triple.ts = result.ts;
+  triple.emit_time = result.emit_time;
+  triple.latency_ns = result.latency_ns;
+  sink_->OnTriple(triple);
+}
+
+void ThreeWayCascade::RunToCompletion(StreamSource* source) {
+  Start();
+  while (auto next = source->Next()) {
+    loop_->RunUntil(next->arrival);
+    InjectNow(std::move(next->tuple));
+  }
+  // Drain stage 1 fully before closing stage 2, since intermediates keep
+  // flowing while stage 1's queues empty out.
+  stage1_->FlushAndStop();
+  loop_->RunUntil(loop_->now() + options_.stage1_drain_grace);
+  stage2_->FlushAndStop();
+  loop_->RunUntilIdle();
+  // Late intermediates would have been dropped by stopped routers; that
+  // would be a grace misconfiguration, so fail loudly.
+  for (const auto& router : stage2_->routers()) {
+    BISTREAM_CHECK_EQ(router->stats().dropped_after_stop, 0u)
+        << "stage-2 stopped before stage 1 drained; raise "
+           "ThreeWayOptions::stage1_drain_grace";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// General k-way cascade
+// ---------------------------------------------------------------------------
+
+uint64_t KTupleKey(const std::vector<uint64_t>& ids) {
+  uint64_t key = 0x6B77A11ULL;
+  for (uint64_t id : ids) key = HashCombine(key, HashMix64(id));
+  return key;
+}
+
+void KWayCollector::OnKTuple(const KWayResult& result) {
+  ++count_;
+  latency_.Record(result.latency_ns);
+  ++produced_[KTupleKey(result.ids)];
+}
+
+namespace {
+
+void ExpandCombinations(
+    const std::vector<std::unordered_map<int64_t,
+                                         std::vector<const Tuple*>>>& by_rel,
+    const std::vector<EventTime>& windows, int64_t key, size_t next_rel,
+    EventTime running_max, std::vector<uint64_t>* ids,
+    std::unordered_map<uint64_t, uint32_t>* expected) {
+  if (next_rel == by_rel.size()) {
+    ++(*expected)[KTupleKey(*ids)];
+    return;
+  }
+  auto it = by_rel[next_rel].find(key);
+  if (it == by_rel[next_rel].end()) return;
+  for (const Tuple* t : it->second) {
+    if (!WithinWindow(running_max, t->ts, windows[next_rel - 1])) continue;
+    ids->push_back(t->id);
+    ExpandCombinations(by_rel, windows, key, next_rel + 1,
+                       std::max(running_max, t->ts), ids, expected);
+    ids->pop_back();
+  }
+}
+
+}  // namespace
+
+std::unordered_map<uint64_t, uint32_t> ComputeExpectedKTuples(
+    const std::vector<TimedTuple>& stream, uint32_t num_relations,
+    const std::vector<EventTime>& windows) {
+  BISTREAM_CHECK_GE(num_relations, 2U);
+  BISTREAM_CHECK_EQ(windows.size(), num_relations - 1);
+  std::vector<std::unordered_map<int64_t, std::vector<const Tuple*>>> by_rel(
+      num_relations);
+  for (const TimedTuple& tt : stream) {
+    BISTREAM_CHECK_LT(tt.tuple.relation, num_relations);
+    by_rel[tt.tuple.relation][tt.tuple.key].push_back(&tt.tuple);
+  }
+  std::unordered_map<uint64_t, uint32_t> expected;
+  std::vector<uint64_t> ids;
+  for (const auto& [key, firsts] : by_rel[0]) {
+    for (const Tuple* first : firsts) {
+      ids.push_back(first->id);
+      ExpandCombinations(by_rel, windows, key, 1, first->ts, &ids,
+                         &expected);
+      ids.pop_back();
+    }
+  }
+  return expected;
+}
+
+KWayCascade::KWayCascade(EventLoop* loop, KWayOptions options, KWaySink* sink)
+    : loop_(loop), options_(std::move(options)), sink_(sink) {
+  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(sink_ != nullptr);
+  BISTREAM_CHECK_GE(options_.stages.size(), 1U);
+  intermediate_counts_.assign(options_.stages.size(), 0);
+  for (size_t stage = 0; stage < options_.stages.size(); ++stage) {
+    BicliqueOptions& stage_options = options_.stages[stage];
+    stage_options.predicate = JoinPredicate::Equi();
+    if (stage > 0) {
+      // Later stages consume a derived (disordered) stream.
+      stage_options.expiry_slack = std::max(
+          stage_options.expiry_slack, options_.intermediate_lateness);
+    }
+    stage_sinks_.push_back(std::make_unique<StageSink>(this, stage));
+    stages_.push_back(std::make_unique<BicliqueEngine>(
+        loop_, stage_options, stage_sinks_.back().get()));
+  }
+}
+
+void KWayCascade::Start() {
+  for (auto& stage : stages_) stage->Start();
+}
+
+void KWayCascade::InjectNow(Tuple tuple) {
+  BISTREAM_CHECK_LT(tuple.relation, num_relations());
+  if (tuple.relation <= kRelationS) {
+    stages_[0]->InjectNow(std::move(tuple));
+    return;
+  }
+  // Relation j >= 2 is the S side of stage j - 1.
+  size_t stage = tuple.relation - 1;
+  tuple.relation = kRelationS;
+  stages_[stage]->InjectNow(std::move(tuple));
+}
+
+void KWayCascade::AppendComponents(uint64_t id,
+                                   std::vector<uint64_t>* out) const {
+  auto it = parts_.find(id);
+  if (it == parts_.end()) {
+    out->push_back(id);  // A source tuple.
+    return;
+  }
+  AppendComponents(it->second.first, out);
+  AppendComponents(it->second.second, out);
+}
+
+void KWayCascade::OnStageResult(size_t stage, const JoinResult& result) {
+  if (stage + 1 < stages_.size()) {
+    // Intermediate: feed the next stage's R side.
+    uint64_t id = kIntermediateIdBase + next_intermediate_++;
+    parts_[id] = {result.r_id, result.s_id};
+    ++intermediate_counts_[stage];
+    Tuple intermediate;
+    intermediate.id = id;
+    intermediate.relation = kRelationR;
+    intermediate.ts = result.ts;
+    intermediate.key = result.key;
+    stages_[stage + 1]->InjectNow(std::move(intermediate));
+    return;
+  }
+  ++intermediate_counts_[stage];
+  KWayResult out;
+  AppendComponents(result.r_id, &out.ids);
+  AppendComponents(result.s_id, &out.ids);
+  out.ts = result.ts;
+  out.emit_time = result.emit_time;
+  out.latency_ns = result.latency_ns;
+  sink_->OnKTuple(out);
+}
+
+void KWayCascade::RunToCompletion(StreamSource* source) {
+  Start();
+  while (auto next = source->Next()) {
+    loop_->RunUntil(next->arrival);
+    InjectNow(std::move(next->tuple));
+  }
+  // Drain front to back: each stage may still be producing input for the
+  // next while its queues empty.
+  for (size_t stage = 0; stage < stages_.size(); ++stage) {
+    stages_[stage]->FlushAndStop();
+    if (stage + 1 < stages_.size()) {
+      loop_->RunUntil(loop_->now() + options_.stage_drain_grace);
+    }
+  }
+  loop_->RunUntilIdle();
+  for (size_t stage = 1; stage < stages_.size(); ++stage) {
+    for (const auto& router : stages_[stage]->routers()) {
+      BISTREAM_CHECK_EQ(router->stats().dropped_after_stop, 0u)
+          << "stage " << stage << " stopped before its feeder drained; "
+             "raise KWayOptions::stage_drain_grace";
+    }
+  }
+}
+
+EngineStats KWayCascade::StageStats(size_t stage) const {
+  BISTREAM_CHECK_LT(stage, stages_.size());
+  return stages_[stage]->Stats();
+}
+
+uint64_t KWayCascade::IntermediateCount(size_t stage) const {
+  BISTREAM_CHECK_LT(stage, intermediate_counts_.size());
+  return intermediate_counts_[stage];
+}
+
+BicliqueEngine* KWayCascade::stage_engine(size_t stage) {
+  BISTREAM_CHECK_LT(stage, stages_.size());
+  return stages_[stage].get();
+}
+
+}  // namespace bistream

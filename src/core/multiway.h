@@ -1,0 +1,263 @@
+/// \file multiway.h
+/// \brief Multi-way windowed stream joins from biclique building blocks.
+///
+/// BiStream generalizes join-biclique to multi-way joins; this module
+/// realizes the 3-way equi join R ⋈ S ⋈ T as a *cascade* of two biclique
+/// engines sharing one event loop. Stage 1 computes the windowed pair
+/// stream RS = R ⋈_W S; every emitted pair is immediately re-injected as an
+/// intermediate tuple (same join key, ts = max of the inputs) into stage 2,
+/// which joins it against T. The composition inherits exactly-once from the
+/// two 2-way engines, so no new ordering machinery is needed.
+///
+/// Semantics (the definition the oracle checks): a triple (r, s, t) is
+/// produced iff |r.ts − s.ts| <= W and |max(r.ts, s.ts) − t.ts| <= W.
+
+#ifndef BISTREAM_CORE_MULTIWAY_H_
+#define BISTREAM_CORE_MULTIWAY_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/engine.h"
+
+namespace bistream {
+
+/// \brief The third relation of the cascade.
+inline constexpr RelationId kRelationT = 2;
+
+/// \brief Cascade configuration. The predicate of both stages is forced to
+/// equi (the multi-way key is shared); windows may differ per stage.
+struct ThreeWayOptions {
+  BicliqueOptions stage1;
+  BicliqueOptions stage2;
+  /// Virtual time allowed for stage 1's queues to drain before stage 2 is
+  /// flushed (raise under heavy backlog; a violated budget fails loudly).
+  SimTime stage1_drain_grace = 2 * kSecond;
+  /// Bound on the intermediate stream's timestamp disorder (pairs are
+  /// stamped max(r.ts, s.ts), which can regress by stage-1 processing
+  /// skew). Applied as stage-2 expiry slack so Theorem-1 discard never
+  /// outruns a slightly-late intermediate probe.
+  EventTime intermediate_lateness = 500 * kEventMilli;
+};
+
+/// \brief One produced triple.
+struct TripleResult {
+  uint64_t r_id = 0;
+  uint64_t s_id = 0;
+  uint64_t t_id = 0;
+  EventTime ts = 0;
+  SimTime emit_time = 0;
+  SimTime latency_ns = 0;
+};
+
+/// \brief Consumer of the triple stream.
+class TripleSink {
+ public:
+  virtual ~TripleSink() = default;
+  virtual void OnTriple(const TripleResult& triple) = 0;
+};
+
+/// \brief Counting / checking triple sink.
+class TripleCollector final : public TripleSink {
+ public:
+  void OnTriple(const TripleResult& triple) override;
+
+  uint64_t count() const { return count_; }
+  const Histogram& latency() const { return latency_; }
+  /// Multiset of produced triples keyed by a 64-bit triple hash.
+  const std::unordered_map<uint64_t, uint32_t>& produced() const {
+    return produced_;
+  }
+
+ private:
+  uint64_t count_ = 0;
+  Histogram latency_;
+  std::unordered_map<uint64_t, uint32_t> produced_;
+};
+
+/// \brief Canonical 64-bit identity of a triple (for checking).
+uint64_t TripleKey(uint64_t r_id, uint64_t s_id, uint64_t t_id);
+
+/// \brief Oracle: expected triples of `stream` (relations R, S, T) under
+/// the cascade semantics with per-stage windows.
+std::unordered_map<uint64_t, uint32_t> ComputeExpectedTriples(
+    const std::vector<TimedTuple>& stream, EventTime window1,
+    EventTime window2);
+
+/// \brief The cascaded 3-way equi-join engine.
+class ThreeWayCascade {
+ public:
+  ThreeWayCascade(EventLoop* loop, ThreeWayOptions options, TripleSink* sink);
+
+  /// \brief Starts both stages' punctuation cadences.
+  void Start();
+
+  /// \brief Injects one tuple (relation kRelationR/kRelationS → stage 1,
+  /// kRelationT → stage 2's T side).
+  void InjectNow(Tuple tuple);
+
+  /// \brief Drives a 3-relation source to completion: injects everything,
+  /// drains stage 1, then drains stage 2.
+  void RunToCompletion(StreamSource* source);
+
+  EngineStats Stage1Stats() const { return stage1_->Stats(); }
+  EngineStats Stage2Stats() const { return stage2_->Stats(); }
+  uint64_t intermediate_count() const { return next_intermediate_id_; }
+
+ private:
+  /// Stage-1 sink: turns RS pairs into stage-2 inputs.
+  class IntermediateSink final : public ResultSink {
+   public:
+    explicit IntermediateSink(ThreeWayCascade* owner) : owner_(owner) {}
+    void OnResult(const JoinResult& result) override {
+      owner_->OnIntermediate(result);
+    }
+
+   private:
+    ThreeWayCascade* owner_;
+  };
+
+  /// Stage-2 sink: resolves intermediate ids back into (r, s) pairs.
+  class FinalSink final : public ResultSink {
+   public:
+    explicit FinalSink(ThreeWayCascade* owner) : owner_(owner) {}
+    void OnResult(const JoinResult& result) override {
+      owner_->OnFinal(result);
+    }
+
+   private:
+    ThreeWayCascade* owner_;
+  };
+
+  void OnIntermediate(const JoinResult& result);
+  void OnFinal(const JoinResult& result);
+
+  EventLoop* loop_;
+  ThreeWayOptions options_;
+  TripleSink* sink_;
+  IntermediateSink intermediate_sink_;
+  FinalSink final_sink_;
+  std::unique_ptr<BicliqueEngine> stage1_;
+  std::unique_ptr<BicliqueEngine> stage2_;
+  /// Intermediate tuple id → the (r, s) pair it represents.
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> pair_of_;
+  uint64_t next_intermediate_id_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// General k-way cascade
+// ---------------------------------------------------------------------------
+
+/// \brief Configuration of a k-way equi-join cascade over relations
+/// 0..k-1: stage j joins the output of stage j-1 (stage 1 joins relations
+/// 0 and 1) against relation j+1, left-deep.
+struct KWayOptions {
+  /// One engine per stage; stages.size() = k - 1, k >= 2. Each stage's
+  /// predicate is forced to equi.
+  std::vector<BicliqueOptions> stages;
+  /// Drain budget granted to each stage before the next stage is flushed.
+  SimTime stage_drain_grace = 2 * kSecond;
+  /// Expiry slack covering the intermediate streams' timestamp disorder.
+  EventTime intermediate_lateness = 500 * kEventMilli;
+};
+
+/// \brief One produced k-tuple: the joined tuple ids, relation order.
+struct KWayResult {
+  std::vector<uint64_t> ids;
+  EventTime ts = 0;
+  SimTime emit_time = 0;
+  SimTime latency_ns = 0;
+};
+
+/// \brief Consumer of the k-tuple stream.
+class KWaySink {
+ public:
+  virtual ~KWaySink() = default;
+  virtual void OnKTuple(const KWayResult& result) = 0;
+};
+
+/// \brief Canonical 64-bit identity of a k-tuple (for checking).
+uint64_t KTupleKey(const std::vector<uint64_t>& ids);
+
+/// \brief Counting / checking k-tuple sink.
+class KWayCollector final : public KWaySink {
+ public:
+  void OnKTuple(const KWayResult& result) override;
+
+  uint64_t count() const { return count_; }
+  const Histogram& latency() const { return latency_; }
+  const std::unordered_map<uint64_t, uint32_t>& produced() const {
+    return produced_;
+  }
+
+ private:
+  uint64_t count_ = 0;
+  Histogram latency_;
+  std::unordered_map<uint64_t, uint32_t> produced_;
+};
+
+/// \brief Oracle for the k-way cascade semantics: a combination
+/// (t_0, ..., t_{k-1}) with a shared key is expected iff, folding left,
+/// each t_j is within `windows[j-1]` of the running max timestamp.
+std::unordered_map<uint64_t, uint32_t> ComputeExpectedKTuples(
+    const std::vector<TimedTuple>& stream, uint32_t num_relations,
+    const std::vector<EventTime>& windows);
+
+/// \brief The left-deep k-way equi-join cascade.
+class KWayCascade {
+ public:
+  KWayCascade(EventLoop* loop, KWayOptions options, KWaySink* sink);
+
+  /// \brief Starts every stage's punctuation cadence.
+  void Start();
+
+  /// \brief Injects one tuple of relation 0..k-1.
+  void InjectNow(Tuple tuple);
+
+  /// \brief Drives a k-relation source to completion, draining the stages
+  /// front to back.
+  void RunToCompletion(StreamSource* source);
+
+  uint32_t num_relations() const {
+    return static_cast<uint32_t>(options_.stages.size()) + 1;
+  }
+  EngineStats StageStats(size_t stage) const;
+  /// Intermediates produced by stage `stage` (0-based).
+  uint64_t IntermediateCount(size_t stage) const;
+  /// Direct access to a stage's engine (elastic control plane: scale
+  /// stages independently, attach ops::Autoscaler instances, ...).
+  BicliqueEngine* stage_engine(size_t stage);
+
+ private:
+  /// Per-stage sink gluing stage outputs to the next stage's input.
+  class StageSink final : public ResultSink {
+   public:
+    StageSink(KWayCascade* owner, size_t stage)
+        : owner_(owner), stage_(stage) {}
+    void OnResult(const JoinResult& result) override {
+      owner_->OnStageResult(stage_, result);
+    }
+
+   private:
+    KWayCascade* owner_;
+    size_t stage_;
+  };
+
+  void OnStageResult(size_t stage, const JoinResult& result);
+  /// Expands a tuple id (source or intermediate) into its component ids.
+  void AppendComponents(uint64_t id, std::vector<uint64_t>* out) const;
+
+  EventLoop* loop_;
+  KWayOptions options_;
+  KWaySink* sink_;
+  std::vector<std::unique_ptr<StageSink>> stage_sinks_;
+  std::vector<std::unique_ptr<BicliqueEngine>> stages_;
+  /// Intermediate tuple id -> the (left, right) ids it combines.
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> parts_;
+  std::vector<uint64_t> intermediate_counts_;
+  uint64_t next_intermediate_ = 0;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_CORE_MULTIWAY_H_

@@ -1,0 +1,64 @@
+#include "core/order_buffer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+OrderBuffer::OrderBuffer(uint32_t num_routers, uint64_t start_round)
+    : num_routers_(num_routers), next_release_(start_round) {
+  BISTREAM_CHECK_GE(num_routers, 1U);
+}
+
+void OrderBuffer::AddTuple(Message msg) {
+  BISTREAM_CHECK(msg.kind == Message::Kind::kTuple);
+  // Pairwise FIFO guarantees a round's tuples precede its punctuation on
+  // every channel, so a tuple for an already-released round means the
+  // transport broke FIFO — which the protocol cannot repair.
+  BISTREAM_CHECK_GE(msg.round, next_release_)
+      << "tuple arrived after its round was released (FIFO violated?)";
+  rounds_[msg.round].tuples.push_back(std::move(msg));
+  ++buffered_;
+}
+
+void OrderBuffer::AddPunctuation(const Message& punct,
+                                 std::vector<Message>* released) {
+  BISTREAM_CHECK(punct.kind == Message::Kind::kPunctuation);
+  if (punct.round < next_release_) {
+    // A late-joining unit may be handed punctuations for rounds before its
+    // start round (not in normal operation, but harmless): ignore.
+    return;
+  }
+  Round& round = rounds_[punct.round];
+  ++round.puncts_received;
+  BISTREAM_CHECK_LE(round.puncts_received, num_routers_)
+      << "more punctuations than routers for round " << punct.round;
+
+  while (true) {
+    auto it = rounds_.find(next_release_);
+    if (it == rounds_.end()) {
+      // Round has neither tuples nor punctuations yet: nothing to do. (A
+      // fully absent round cannot be skipped — its punctuations are still
+      // in flight.)
+      break;
+    }
+    if (it->second.puncts_received < num_routers_) break;
+    // Deterministic global order within the round: (seq, router_id). The
+    // same (seq, router) pair can appear on both the store and the join
+    // stream at different joiners, but never twice at one joiner.
+    std::sort(it->second.tuples.begin(), it->second.tuples.end(),
+              [](const Message& a, const Message& b) {
+                if (a.seq != b.seq) return a.seq < b.seq;
+                return a.router_id < b.router_id;
+              });
+    buffered_ -= it->second.tuples.size();
+    for (Message& m : it->second.tuples) {
+      released->push_back(std::move(m));
+    }
+    rounds_.erase(it);
+    ++next_release_;
+  }
+}
+
+}  // namespace bistream

@@ -1,0 +1,99 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <string>
+
+namespace bistream {
+
+Result<BicliqueOptions> StreamJoinQuery::Build() const {
+  if (window_ <= 0) {
+    return Status::InvalidArgument("window must be positive");
+  }
+  if (joiners_r_ < 1 || joiners_s_ < 1) {
+    return Status::InvalidArgument(
+        "each relation side needs at least one joiner unit");
+  }
+  if (routers_ < 1) {
+    return Status::InvalidArgument("at least one router is required");
+  }
+  if (batch_size_ < 1) {
+    return Status::InvalidArgument("batch size must be >= 1");
+  }
+  if (skew_units_ < 1) {
+    return Status::InvalidArgument(
+        "skew protection needs >= 1 unit per subgroup");
+  }
+
+  bool is_equi = predicate_.kind() == PredicateKind::kEqui;
+  if (subgroups_.has_value() && !is_equi) {
+    return Status::InvalidArgument(
+        "content-sensitive routing (explicit subgroups) requires an "
+        "equality predicate; non-equi joins must broadcast");
+  }
+
+  BicliqueOptions options;
+  options.predicate = predicate_;
+  options.num_routers = routers_;
+  options.joiners_r = joiners_r_;
+  options.joiners_s = joiners_s_;
+  options.window = window_;
+  options.punct_interval = punct_interval_;
+  options.batch_size = batch_size_;
+  if (cost_.has_value()) options.cost = *cost_;
+  if (seed_.has_value()) options.seed = *seed_;
+
+  // Routing strategy: the paper's recommendation per selectivity class.
+  if (is_equi) {
+    if (subgroups_.has_value()) {
+      options.subgroups_r = subgroups_->first;
+      options.subgroups_s = subgroups_->second;
+    } else {
+      // Pure hash partitioning, tempered by the skew-protection budget:
+      // d = n / skew_units keeps >= skew_units stores absorbing a hot key.
+      options.subgroups_r = std::max(1u, joiners_r_ / skew_units_);
+      options.subgroups_s = std::max(1u, joiners_s_ / skew_units_);
+    }
+    if (options.subgroups_r > joiners_r_ ||
+        options.subgroups_s > joiners_s_) {
+      return Status::InvalidArgument(
+          "subgroup count exceeds the side's joiner count (" +
+          std::to_string(options.subgroups_r) + "/" +
+          std::to_string(joiners_r_) + ", " +
+          std::to_string(options.subgroups_s) + "/" +
+          std::to_string(joiners_s_) + ")");
+    }
+  } else {
+    options.subgroups_r = 1;
+    options.subgroups_s = 1;
+  }
+
+  options.index_kind = predicate_.RecommendedIndex();
+
+  // Archive period: explicit, else the paper's W/10 rule of thumb
+  // (clamped to >= 1 ms so degenerate windows still archive).
+  if (archive_period_.has_value()) {
+    if (*archive_period_ <= 0) {
+      return Status::InvalidArgument("archive period must be positive");
+    }
+    options.archive_period = *archive_period_;
+  } else if (window_ == kFullHistoryWindow) {
+    options.archive_period = 1 * kEventSecond;
+  } else {
+    options.archive_period = std::max<EventTime>(window_ / 10, kEventMilli);
+  }
+  return options;
+}
+
+Result<EngineStats> RunQuery(const StreamJoinQuery& query,
+                             StreamSource* source, ResultSink* sink) {
+  if (source == nullptr || sink == nullptr) {
+    return Status::InvalidArgument("source and sink must be non-null");
+  }
+  BISTREAM_ASSIGN_OR_RETURN(BicliqueOptions options, query.Build());
+  EventLoop loop;
+  BicliqueEngine engine(&loop, options, sink);
+  engine.RunToCompletion(source);
+  return engine.Stats();
+}
+
+}  // namespace bistream

@@ -1,0 +1,128 @@
+/// \file query.h
+/// \brief Declarative entry point: describe the join, let the library pick
+/// the mechanisms.
+///
+/// BicliqueOptions exposes every knob the paper discusses (routing
+/// subgroups, archive period, punctuation cadence, batching...). Most
+/// applications just have a predicate, a window and a parallelism budget;
+/// StreamJoinQuery derives the rest with the paper's recommendations:
+/// ContHash (pure hash partitioning) for equi joins, ContRand for
+/// everything else, the predicate's natural index layout, and an archive
+/// period of W/10. Unlike raw options structs — which CHECK-fail on
+/// programmer errors — the builder validates with Status so applications
+/// can surface configuration mistakes gracefully.
+
+#ifndef BISTREAM_CORE_QUERY_H_
+#define BISTREAM_CORE_QUERY_H_
+
+#include <optional>
+
+#include "core/engine.h"
+
+namespace bistream {
+
+/// \brief Fluent builder producing a validated BicliqueOptions.
+class StreamJoinQuery {
+ public:
+  /// \brief Starts a query with the given predicate.
+  static StreamJoinQuery Join(JoinPredicate predicate) {
+    return StreamJoinQuery(std::move(predicate));
+  }
+
+  /// \brief Symmetric sliding window scope (event time).
+  StreamJoinQuery& Window(EventTime window) {
+    window_ = window;
+    return *this;
+  }
+
+  /// \brief Join against the full accumulated history (no expiry).
+  StreamJoinQuery& FullHistory() {
+    window_ = kFullHistoryWindow;
+    return *this;
+  }
+
+  /// \brief Joiner units per relation side.
+  StreamJoinQuery& Parallelism(uint32_t r_units, uint32_t s_units) {
+    joiners_r_ = r_units;
+    joiners_s_ = s_units;
+    return *this;
+  }
+
+  /// \brief Router (dispatcher) instances.
+  StreamJoinQuery& Routers(uint32_t routers) {
+    routers_ = routers;
+    return *this;
+  }
+
+  /// \brief Overrides the derived subgroup counts (d, e). Only valid for
+  /// equi joins; Build() rejects it otherwise.
+  StreamJoinQuery& Subgroups(uint32_t d, uint32_t e) {
+    subgroups_ = {d, e};
+    return *this;
+  }
+
+  /// \brief Hot-key protection: caps the derived subgroup count so each
+  /// subgroup has at least `units` members absorbing a skewed key's
+  /// storage. No effect on non-equi (broadcast) queries.
+  StreamJoinQuery& SkewProtection(uint32_t units_per_subgroup) {
+    skew_units_ = units_per_subgroup;
+    return *this;
+  }
+
+  /// \brief Chained-index archive period P (default W/10).
+  StreamJoinQuery& ArchivePeriod(EventTime period) {
+    archive_period_ = period;
+    return *this;
+  }
+
+  /// \brief Punctuation cadence.
+  StreamJoinQuery& PunctuationInterval(SimTime interval) {
+    punct_interval_ = interval;
+    return *this;
+  }
+
+  /// \brief Router/source mini-batch size.
+  StreamJoinQuery& BatchSize(uint32_t batch) {
+    batch_size_ = batch;
+    return *this;
+  }
+
+  /// \brief Simulation cost model / seed overrides.
+  StreamJoinQuery& Costs(const CostModel& cost) {
+    cost_ = cost;
+    return *this;
+  }
+  StreamJoinQuery& Seed(uint64_t seed) {
+    seed_ = seed;
+    return *this;
+  }
+
+  /// \brief Validates the description and derives a full configuration.
+  Result<BicliqueOptions> Build() const;
+
+ private:
+  explicit StreamJoinQuery(JoinPredicate predicate)
+      : predicate_(std::move(predicate)) {}
+
+  JoinPredicate predicate_;
+  EventTime window_ = 10 * kEventSecond;
+  uint32_t joiners_r_ = 4;
+  uint32_t joiners_s_ = 4;
+  uint32_t routers_ = 2;
+  std::optional<std::pair<uint32_t, uint32_t>> subgroups_;
+  uint32_t skew_units_ = 1;
+  std::optional<EventTime> archive_period_;
+  SimTime punct_interval_ = 10 * kMillisecond;
+  uint32_t batch_size_ = 1;
+  std::optional<CostModel> cost_;
+  std::optional<uint64_t> seed_;
+};
+
+/// \brief One-call execution: build the engine from a query, drive the
+/// source to completion into `sink`, return the run's statistics.
+Result<EngineStats> RunQuery(const StreamJoinQuery& query,
+                             StreamSource* source, ResultSink* sink);
+
+}  // namespace bistream
+
+#endif  // BISTREAM_CORE_QUERY_H_

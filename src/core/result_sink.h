@@ -1,0 +1,67 @@
+/// \file result_sink.h
+/// \brief Sinks that receive the join output stream.
+///
+/// Joiners hand every produced JoinResult to a ResultSink. CollectorSink is
+/// the standard implementation: it counts results, tracks the end-to-end
+/// latency distribution, and can optionally verify exactly-once delivery
+/// against the workload oracle (tests and the E12 protocol experiment).
+
+#ifndef BISTREAM_CORE_RESULT_SINK_H_
+#define BISTREAM_CORE_RESULT_SINK_H_
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "tuple/tuple.h"
+#include "workload/reference_join.h"
+
+namespace bistream {
+
+/// \brief Consumer of the derived (joined) stream.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// \brief Called once per produced result, at its virtual emit time.
+  virtual void OnResult(const JoinResult& result) = 0;
+};
+
+/// \brief Counting / latency-tracking / optionally checking sink.
+class CollectorSink final : public ResultSink {
+ public:
+  /// \param check when true, every pair is recorded for oracle verification
+  ///   (costs memory proportional to the result count).
+  explicit CollectorSink(bool check = false) : check_(check) {}
+
+  void OnResult(const JoinResult& result) override {
+    ++count_;
+    latency_.Record(result.latency_ns);
+    last_emit_time_ = result.emit_time;
+    if (check_) checker_.OnResult(result.r_id, result.s_id);
+  }
+
+  uint64_t count() const { return count_; }
+  const Histogram& latency() const { return latency_; }
+  SimTime last_emit_time() const { return last_emit_time_; }
+
+  /// \brief The underlying checker; only meaningful when check was enabled.
+  const ResultChecker& checker() const { return checker_; }
+
+  void Reset() {
+    count_ = 0;
+    latency_.Reset();
+    last_emit_time_ = 0;
+    checker_.Reset();
+  }
+
+ private:
+  bool check_;
+  uint64_t count_ = 0;
+  Histogram latency_;
+  SimTime last_emit_time_ = 0;
+  ResultChecker checker_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_CORE_RESULT_SINK_H_

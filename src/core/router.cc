@@ -1,0 +1,155 @@
+#include "core/router.h"
+
+#include "common/logging.h"
+
+namespace bistream {
+
+Router::Router(RouterOptions options, EventLoop* loop, UnitSendFn send)
+    : options_(options),
+      loop_(loop),
+      send_(std::move(send)),
+      policy_(options.subgroups_r, options.subgroups_s) {
+  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(send_ != nullptr);
+  BISTREAM_CHECK_GT(options_.punct_interval, 0ULL);
+}
+
+void Router::ScheduleEpoch(uint64_t activation_round,
+                           std::shared_ptr<const TopologyView> view) {
+  BISTREAM_CHECK(view != nullptr);
+  if (view_ == nullptr && activation_round <= round_) {
+    view_ = std::move(view);
+    return;
+  }
+  // Future epochs must activate at a round this router has not reached;
+  // activating mid-round would desynchronize routing tables across routers.
+  BISTREAM_CHECK_GT(activation_round, round_)
+      << "epoch scheduled for a round router " << options_.router_id
+      << " already passed";
+  pending_epochs_[activation_round] = std::move(view);
+}
+
+void Router::Start() {
+  BISTREAM_CHECK(view_ != nullptr) << "Start() before initial epoch";
+  BISTREAM_CHECK(!started_);
+  started_ = true;
+  loop_->ScheduleAfter(options_.punct_interval, [this] { Tick(); });
+}
+
+void Router::Tick() {
+  if (stopped_) return;
+  EmitPunctuation();
+  AdvanceRound();
+  loop_->ScheduleAfter(options_.punct_interval, [this] { Tick(); });
+}
+
+void Router::FlushAllBatches() {
+  for (auto& [unit, entries] : pending_batches_) {
+    if (entries.empty()) continue;
+    Message batch = MakeBatch(std::move(entries), options_.router_id);
+    entries.clear();
+    send_(unit, std::move(batch));
+  }
+}
+
+SimTime Router::FlushUnit(uint32_t unit) {
+  auto it = pending_batches_.find(unit);
+  if (it == pending_batches_.end() || it->second.empty()) return 0;
+  Message batch = MakeBatch(std::move(it->second), options_.router_id);
+  it->second.clear();
+  SimTime cost = options_.cost.SendCost(batch.WireBytes());
+  send_(unit, std::move(batch));
+  return cost;
+}
+
+SimTime Router::EnqueueCopy(uint32_t unit, const Tuple& tuple,
+                            StreamKind stream) {
+  if (options_.batch_size <= 1) {
+    Message copy = MakeTupleMessage(tuple, stream, options_.router_id, seq_,
+                                    round_);
+    SimTime cost = options_.cost.SendCost(copy.WireBytes());
+    send_(unit, std::move(copy));
+    return cost;
+  }
+  std::vector<BatchEntry>& pending = pending_batches_[unit];
+  pending.push_back(BatchEntry{tuple, stream, seq_, round_});
+  if (pending.size() >= options_.batch_size) {
+    return FlushUnit(unit);
+  }
+  return 0;
+}
+
+void Router::EmitPunctuation() {
+  ++stats_.punctuations;
+  // A round's tuples must precede its punctuation on every channel
+  // (pairwise FIFO): drain all pending mini-batches first.
+  FlushAllBatches();
+  for (uint32_t target : view_->punct_targets) {
+    send_(target, MakePunctuation(options_.router_id, seq_, round_));
+  }
+}
+
+void Router::AdvanceRound() {
+  ++round_;
+  auto it = pending_epochs_.find(round_);
+  if (it != pending_epochs_.end()) {
+    view_ = std::move(it->second);
+    pending_epochs_.erase(it);
+  }
+}
+
+SimTime Router::Handle(const Message& msg) {
+  switch (msg.kind) {
+    case Message::Kind::kTuple: {
+      if (stopped_) {
+        ++stats_.dropped_after_stop;
+        return options_.cost.route_ns;
+      }
+      SimTime send_cost = RouteTuple(msg.tuple);
+      return options_.cost.route_ns + send_cost +
+             options_.cost.MessageCost(msg.WireBytes());
+    }
+    case Message::Kind::kControl:
+      if (msg.control == ControlOp::kStopFlush && !stopped_) {
+        // Close the final round so joiners flush their buffers, then halt.
+        EmitPunctuation();
+        stopped_ = true;
+      }
+      return options_.cost.punctuation_ns;
+    case Message::Kind::kBatch: {
+      // Batched source ingestion: route every tuple in the batch under one
+      // framework-overhead charge.
+      SimTime cost = options_.cost.MessageCost(msg.WireBytes());
+      for (const BatchEntry& entry : msg.batch) {
+        if (stopped_) {
+          ++stats_.dropped_after_stop;
+          continue;
+        }
+        cost += options_.cost.route_ns + RouteTuple(entry.tuple);
+      }
+      return cost;
+    }
+    case Message::Kind::kPunctuation:
+      // Routers do not consume punctuations.
+      return options_.cost.punctuation_ns;
+  }
+  return 0;
+}
+
+SimTime Router::RouteTuple(const Tuple& tuple) {
+  ++seq_;
+  ++stats_.tuples_routed;
+  RouteDecision decision = policy_.Route(tuple, *view_);
+
+  SimTime send_cost =
+      EnqueueCopy(decision.store_unit, tuple, StreamKind::kStore);
+  ++stats_.store_messages;
+
+  for (uint32_t unit : *decision.probe_units) {
+    send_cost += EnqueueCopy(unit, tuple, StreamKind::kJoin);
+    ++stats_.join_messages;
+  }
+  return send_cost;
+}
+
+}  // namespace bistream

@@ -1,0 +1,115 @@
+/// \file router.h
+/// \brief The router service: ingestion, sequencing, routing, punctuation.
+///
+/// Routers ingest raw tuples from the sources, assign each a (router_id,
+/// seq, round) ordering identity, and fork it into the store stream (one
+/// copy to one own-side unit) and the join stream (copies to the opposite
+/// side's probe set) per the RoutingPolicy. On a fixed virtual-time cadence
+/// each router emits a punctuation closing the current round to every live
+/// joiner, then advances its round counter and applies any topology epoch
+/// scheduled for the new round. Epochs activating exactly at round
+/// boundaries keep the routing tables consistent with the global tuple
+/// order (see DESIGN.md §5.2).
+
+#ifndef BISTREAM_CORE_ROUTER_H_
+#define BISTREAM_CORE_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/routing.h"
+#include "core/topology.h"
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+#include "sim/message.h"
+
+namespace bistream {
+
+/// \brief Transport hook: delivers a message to a joiner unit by id.
+using UnitSendFn = std::function<void(uint32_t unit_id, Message msg)>;
+
+/// \brief Router configuration.
+struct RouterOptions {
+  uint32_t router_id = 0;
+  uint32_t subgroups_r = 1;
+  uint32_t subgroups_s = 1;
+  /// Punctuation cadence (the paper's ~tens of milliseconds signal tuples).
+  SimTime punct_interval = 10 * kMillisecond;
+  /// Mini-batch size per destination: 1 sends each copy immediately;
+  /// larger values coalesce copies per joiner into kBatch messages (one
+  /// framework-overhead charge per batch — BiStream's batching technique).
+  /// Batches are force-flushed at every punctuation, bounding the added
+  /// latency by the punctuation interval.
+  uint32_t batch_size = 1;
+  CostModel cost;
+};
+
+/// \brief Per-router statistics.
+struct RouterStats {
+  uint64_t tuples_routed = 0;
+  uint64_t store_messages = 0;
+  uint64_t join_messages = 0;
+  uint64_t punctuations = 0;
+  /// Tuples that arrived after the stop-flush; they cannot be sequenced
+  /// into a punctuated round anymore and are dropped (a driver bug).
+  uint64_t dropped_after_stop = 0;
+};
+
+/// \brief One router service instance. Install Handle() as the SimNode
+/// handler; drive punctuation with Start()/the stop-flush control.
+class Router {
+ public:
+  Router(RouterOptions options, EventLoop* loop, UnitSendFn send);
+
+  /// \brief Installs the view used from the given activation round on.
+  /// The initial view must be scheduled for round 0 before Start().
+  void ScheduleEpoch(uint64_t activation_round,
+                     std::shared_ptr<const TopologyView> view);
+
+  /// \brief Begins the punctuation cadence.
+  void Start();
+
+  /// \brief SimNode handler: routes tuple messages; a kStopFlush control
+  /// emits the final punctuation and halts the cadence.
+  SimTime Handle(const Message& msg);
+
+  uint64_t current_round() const { return round_; }
+  uint64_t current_seq() const { return seq_; }
+  bool stopped() const { return stopped_; }
+  const RouterStats& stats() const { return stats_; }
+
+ private:
+  /// Forks the tuple into store/join copies; returns the send-side cost.
+  SimTime RouteTuple(const Tuple& tuple);
+  /// Queues one copy for `unit` (or sends immediately when unbatched);
+  /// returns the send cost incurred now.
+  SimTime EnqueueCopy(uint32_t unit, const Tuple& tuple, StreamKind stream);
+  /// Sends `unit`'s pending batch, if any; returns its send cost.
+  SimTime FlushUnit(uint32_t unit);
+  /// Sends every pending batch (before punctuations close the round).
+  void FlushAllBatches();
+  void EmitPunctuation();
+  void Tick();
+  /// Advances to the next round, applying a pending epoch if scheduled.
+  void AdvanceRound();
+
+  RouterOptions options_;
+  EventLoop* loop_;
+  UnitSendFn send_;
+  RoutingPolicy policy_;
+  std::shared_ptr<const TopologyView> view_;
+  std::map<uint64_t, std::shared_ptr<const TopologyView>> pending_epochs_;
+  /// Pending mini-batches per destination unit (batch_size > 1 only).
+  std::map<uint32_t, std::vector<BatchEntry>> pending_batches_;
+  uint64_t seq_ = 0;
+  uint64_t round_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+  RouterStats stats_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_CORE_ROUTER_H_

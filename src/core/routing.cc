@@ -1,0 +1,42 @@
+#include "core/routing.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace bistream {
+
+RoutingPolicy::RoutingPolicy(uint32_t subgroups_r, uint32_t subgroups_s) {
+  BISTREAM_CHECK_GE(subgroups_r, 1U);
+  BISTREAM_CHECK_GE(subgroups_s, 1U);
+  subgroups_[0] = subgroups_r;
+  subgroups_[1] = subgroups_s;
+  cursor_[0].assign(subgroups_r, 0);
+  cursor_[1].assign(subgroups_s, 0);
+}
+
+uint32_t RoutingPolicy::SubgroupFor(int64_t key, int side) const {
+  return static_cast<uint32_t>(HashInt64(key) % subgroups_[side]);
+}
+
+RouteDecision RoutingPolicy::Route(const Tuple& tuple,
+                                   const TopologyView& view) {
+  int own_side = TopologyManager::SideOf(tuple.relation);
+  int opp_side = 1 - own_side;
+
+  uint32_t own_group = SubgroupFor(tuple.key, own_side);
+  uint32_t opp_group = SubgroupFor(tuple.key, opp_side);
+
+  const std::vector<uint32_t>& store_pool =
+      view.sides[own_side].store_by_subgroup[own_group];
+  BISTREAM_CHECK(!store_pool.empty())
+      << "no active storage unit for side " << own_side << " subgroup "
+      << own_group;
+
+  RouteDecision decision;
+  uint64_t cursor = cursor_[own_side][own_group]++;
+  decision.store_unit = store_pool[cursor % store_pool.size()];
+  decision.probe_units = &view.sides[opp_side].probe_by_subgroup[opp_group];
+  return decision;
+}
+
+}  // namespace bistream

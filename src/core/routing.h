@@ -1,0 +1,62 @@
+/// \file routing.h
+/// \brief The paper's routing strategies as pure, testable policy logic.
+///
+/// Both strategies are one mechanism with different subgroup counts:
+///
+///   - ContRand (content-insensitive; theta/band joins): one subgroup per
+///     side. Stores rotate over all active units of the own side; probes
+///     broadcast to every live unit of the opposite side.
+///   - ContHash (content-sensitive; equi joins): d (resp. e) subgroups per
+///     side. h(key) selects the subgroup; stores rotate over the active
+///     units *within* the own-side subgroup (which is what absorbs key
+///     skew), probes broadcast only to the opposite-side subgroup.
+///
+/// d = n degenerates to classic hash partitioning (cheapest communication,
+/// skew-sensitive); d = 1 degenerates to full broadcast (skew-proof, most
+/// communication). E7 sweeps this spectrum.
+
+#ifndef BISTREAM_CORE_ROUTING_H_
+#define BISTREAM_CORE_ROUTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topology.h"
+#include "tuple/tuple.h"
+
+namespace bistream {
+
+/// \brief Where one tuple goes: one storage unit plus the probe fan-out.
+struct RouteDecision {
+  uint32_t store_unit = 0;
+  /// Borrowed from the TopologyView passed to Route(); valid while the view
+  /// is alive.
+  const std::vector<uint32_t>* probe_units = nullptr;
+};
+
+/// \brief Stateful (round-robin counters) but side-effect-free routing
+/// policy. Each router owns one instance, so storage rotation is per-router;
+/// with multiple routers the interleaving still balances because every
+/// router rotates independently over the same unit lists.
+class RoutingPolicy {
+ public:
+  RoutingPolicy(uint32_t subgroups_r, uint32_t subgroups_s);
+
+  /// \brief Subgroup h(key) mod d for the tuple on the given side.
+  uint32_t SubgroupFor(int64_t key, int side) const;
+
+  /// \brief Full routing decision for `tuple` under `view`.
+  ///
+  /// The store unit is drawn round-robin from the tuple's own-side subgroup;
+  /// the probe set is the matching opposite-side subgroup's live units.
+  RouteDecision Route(const Tuple& tuple, const TopologyView& view);
+
+ private:
+  uint32_t subgroups_[2];
+  // Round-robin cursor per (side, subgroup).
+  std::vector<uint64_t> cursor_[2];
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_CORE_ROUTING_H_

@@ -1,0 +1,148 @@
+#include "core/topology.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+TopologyManager::TopologyManager(uint32_t subgroups_r, uint32_t subgroups_s) {
+  BISTREAM_CHECK_GE(subgroups_r, 1U);
+  BISTREAM_CHECK_GE(subgroups_s, 1U);
+  subgroups_[0] = subgroups_r;
+  subgroups_[1] = subgroups_s;
+}
+
+uint32_t TopologyManager::AddUnit(RelationId relation) {
+  int side = SideOf(relation);
+  // Count active units per subgroup to find the least populated one.
+  std::vector<size_t> population(subgroups_[side], 0);
+  for (const UnitRecord& u : units_) {
+    if (SideOf(u.relation) == side && u.state == UnitState::kActive) {
+      ++population[u.subgroup];
+    }
+  }
+  uint32_t subgroup = 0;
+  for (uint32_t g = 1; g < subgroups_[side]; ++g) {
+    if (population[g] < population[subgroup]) subgroup = g;
+  }
+  UnitRecord record;
+  record.id = next_unit_id_++;
+  record.relation = relation;
+  record.subgroup = subgroup;
+  record.state = UnitState::kActive;
+  units_.push_back(record);
+  return record.id;
+}
+
+UnitRecord* TopologyManager::Find(uint32_t unit_id) {
+  for (UnitRecord& u : units_) {
+    if (u.id == unit_id) return &u;
+  }
+  return nullptr;
+}
+
+const UnitRecord& TopologyManager::unit(uint32_t unit_id) const {
+  for (const UnitRecord& u : units_) {
+    if (u.id == unit_id) return u;
+  }
+  BISTREAM_LOG(Fatal) << "unknown unit " << unit_id;
+  return units_.front();
+}
+
+Status TopologyManager::StartDrain(uint32_t unit_id) {
+  UnitRecord* u = Find(unit_id);
+  if (u == nullptr) return Status::NotFound("unknown unit");
+  if (u->state != UnitState::kActive) {
+    return Status::FailedPrecondition("unit is not active");
+  }
+  // Never drain the last active unit of a side: stores would have nowhere
+  // to go and the biclique side would vanish.
+  if (NumActive(u->relation) <= 1) {
+    return Status::FailedPrecondition(
+        "cannot drain the last active unit of a relation side");
+  }
+  u->state = UnitState::kDraining;
+  return Status::OK();
+}
+
+Status TopologyManager::Retire(uint32_t unit_id) {
+  UnitRecord* u = Find(unit_id);
+  if (u == nullptr) return Status::NotFound("unknown unit");
+  if (u->state != UnitState::kDraining) {
+    return Status::FailedPrecondition("unit is not draining");
+  }
+  u->state = UnitState::kRetired;
+  return Status::OK();
+}
+
+Result<uint32_t> TopologyManager::PickDrainCandidate(
+    RelationId relation) const {
+  int side = SideOf(relation);
+  std::vector<size_t> population(subgroups_[side], 0);
+  for (const UnitRecord& u : units_) {
+    if (SideOf(u.relation) == side && u.state == UnitState::kActive) {
+      ++population[u.subgroup];
+    }
+  }
+  uint32_t target_subgroup = 0;
+  for (uint32_t g = 1; g < subgroups_[side]; ++g) {
+    if (population[g] > population[target_subgroup]) target_subgroup = g;
+  }
+  // Youngest active unit of the fullest subgroup.
+  const UnitRecord* best = nullptr;
+  for (const UnitRecord& u : units_) {
+    if (SideOf(u.relation) == side && u.state == UnitState::kActive &&
+        u.subgroup == target_subgroup) {
+      if (best == nullptr || u.id > best->id) best = &u;
+    }
+  }
+  if (best == nullptr) {
+    return Status::FailedPrecondition("no active unit to drain");
+  }
+  return best->id;
+}
+
+size_t TopologyManager::NumActive(RelationId relation) const {
+  size_t count = 0;
+  for (const UnitRecord& u : units_) {
+    if (SideOf(u.relation) == SideOf(relation) &&
+        u.state == UnitState::kActive) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t TopologyManager::NumLive(RelationId relation) const {
+  size_t count = 0;
+  for (const UnitRecord& u : units_) {
+    if (SideOf(u.relation) == SideOf(relation) &&
+        u.state != UnitState::kRetired) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::shared_ptr<const TopologyView> TopologyManager::Snapshot() {
+  auto view = std::make_shared<TopologyView>();
+  view->version = next_version_++;
+  for (int side = 0; side < 2; ++side) {
+    view->sides[side].store_by_subgroup.resize(subgroups_[side]);
+    view->sides[side].probe_by_subgroup.resize(subgroups_[side]);
+  }
+  for (const UnitRecord& u : units_) {
+    if (u.state == UnitState::kRetired) continue;
+    int side = SideOf(u.relation);
+    view->punct_targets.push_back(u.id);
+    view->sides[side].probe_by_subgroup[u.subgroup].push_back(u.id);
+    view->sides[side].all_probe.push_back(u.id);
+    if (u.state == UnitState::kActive) {
+      view->sides[side].store_by_subgroup[u.subgroup].push_back(u.id);
+    }
+  }
+  return view;
+}
+
+}  // namespace bistream

@@ -1,0 +1,112 @@
+/// \file topology.h
+/// \brief Epoch-versioned cluster membership for the join-biclique engine.
+///
+/// The TopologyManager tracks every joiner unit's lifecycle
+/// (active → draining → retired) and its fixed subgroup assignment; it emits
+/// immutable TopologyView snapshots that routers adopt atomically at
+/// punctuation-round boundaries. A unit's subgroup never changes after
+/// creation (scale-out appends to the least-populated subgroup; scale-in
+/// drains in place), which is what lets BiStream scale without migrating
+/// stored state: probes keep reaching every unit that may still hold live
+/// window data.
+
+#ifndef BISTREAM_CORE_TOPOLOGY_H_
+#define BISTREAM_CORE_TOPOLOGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "tuple/tuple.h"
+
+namespace bistream {
+
+/// \brief Lifecycle of a joiner unit.
+enum class UnitState : uint8_t {
+  /// Receives stores and probes.
+  kActive = 0,
+  /// Receives probes only; its stored window is aging out.
+  kDraining = 1,
+  /// Fully removed; receives nothing.
+  kRetired = 2,
+};
+
+/// \brief Per-unit bookkeeping.
+struct UnitRecord {
+  uint32_t id = 0;
+  RelationId relation = kRelationR;
+  uint32_t subgroup = 0;
+  UnitState state = UnitState::kActive;
+};
+
+/// \brief Immutable routing snapshot for one topology version.
+///
+/// Routers route every tuple of a round against exactly one view, and all
+/// routers switch views at the same round number, which keeps the
+/// store/probe target sets consistent with the global tuple order (the
+/// correctness requirement for exactly-once results across scaling events).
+struct TopologyView {
+  struct Side {
+    /// Units eligible to store new tuples, per subgroup (active only).
+    std::vector<std::vector<uint32_t>> store_by_subgroup;
+    /// Units a probe must visit, per subgroup (active + draining).
+    std::vector<std::vector<uint32_t>> probe_by_subgroup;
+    /// Flattened probe set (ContRand broadcast target list).
+    std::vector<uint32_t> all_probe;
+  };
+
+  uint64_t version = 0;
+  Side sides[2];
+  /// Every live (non-retired) joiner, both sides: punctuation recipients.
+  std::vector<uint32_t> punct_targets;
+};
+
+/// \brief Owner of unit lifecycles; builds TopologyView snapshots.
+class TopologyManager {
+ public:
+  /// \param subgroups_r number of subgroups d for the R side (>= 1)
+  /// \param subgroups_s number of subgroups e for the S side (>= 1)
+  TopologyManager(uint32_t subgroups_r, uint32_t subgroups_s);
+
+  /// \brief Registers a new active unit on `relation`'s side, assigned to
+  /// the currently least-populated subgroup. Returns its unit id.
+  uint32_t AddUnit(RelationId relation);
+
+  /// \brief Moves an active unit to draining (scale-in step 1).
+  Status StartDrain(uint32_t unit_id);
+
+  /// \brief Moves a draining unit to retired (scale-in step 2; only valid
+  /// once its stored window has expired).
+  Status Retire(uint32_t unit_id);
+
+  /// \brief Picks the preferred unit to drain on a side: the active unit of
+  /// the most-populated subgroup with the highest id (youngest first).
+  Result<uint32_t> PickDrainCandidate(RelationId relation) const;
+
+  /// \brief Builds an immutable snapshot of the current membership.
+  std::shared_ptr<const TopologyView> Snapshot();
+
+  uint32_t subgroups(RelationId relation) const {
+    return subgroups_[SideOf(relation)];
+  }
+  size_t NumActive(RelationId relation) const;
+  size_t NumLive(RelationId relation) const;  // active + draining
+  const std::vector<UnitRecord>& units() const { return units_; }
+  const UnitRecord& unit(uint32_t unit_id) const;
+
+  /// \brief Maps a relation id onto a biclique side index (0 or 1).
+  static int SideOf(RelationId relation) { return relation == kRelationR ? 0 : 1; }
+
+ private:
+  UnitRecord* Find(uint32_t unit_id);
+
+  uint32_t subgroups_[2];
+  std::vector<UnitRecord> units_;
+  uint64_t next_version_ = 1;
+  uint32_t next_unit_id_ = 0;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_CORE_TOPOLOGY_H_

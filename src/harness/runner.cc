@@ -1,0 +1,141 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+namespace {
+
+/// Replays a pre-materialized stream (needed when checking against the
+/// oracle, which requires the full workload anyway).
+class VectorSource final : public StreamSource {
+ public:
+  explicit VectorSource(const std::vector<TimedTuple>* tuples)
+      : tuples_(tuples) {}
+  std::optional<TimedTuple> Next() override {
+    if (pos_ >= tuples_->size()) return std::nullopt;
+    return (*tuples_)[pos_++];
+  }
+
+ private:
+  const std::vector<TimedTuple>* tuples_;
+  size_t pos_ = 0;
+};
+
+double ComputeThroughput(const std::vector<TimedTuple>& stream) {
+  if (stream.size() < 2) return 0;
+  SimTime span = stream.back().arrival - stream.front().arrival;
+  if (span == 0) return 0;
+  return static_cast<double>(stream.size()) / SimTimeToSeconds(span);
+}
+
+}  // namespace
+
+RunReport RunBicliqueWorkload(const BicliqueOptions& options,
+                              const SyntheticWorkloadOptions& workload,
+                              bool check) {
+  SyntheticSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  EventLoop loop;
+  CollectorSink sink(check);
+  BicliqueEngine engine(&loop, options, &sink);
+  VectorSource replay(&stream);
+  engine.RunToCompletion(&replay);
+
+  RunReport report;
+  report.engine = engine.Stats();
+  report.results = sink.count();
+  report.latency = sink.latency();
+  report.throughput_tps = ComputeThroughput(stream);
+  if (check) {
+    report.check =
+        sink.checker().Check(stream, options.predicate, options.window);
+    report.checked = true;
+  }
+  BISTREAM_CHECK_EQ(report.results, report.engine.results)
+      << "sink and joiner result counts disagree";
+  return report;
+}
+
+RunReport RunMatrixWorkload(const MatrixOptions& options,
+                            const SyntheticWorkloadOptions& workload,
+                            bool check) {
+  SyntheticSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  EventLoop loop;
+  CollectorSink sink(check);
+  MatrixEngine engine(&loop, options, &sink);
+  VectorSource replay(&stream);
+  engine.RunToCompletion(&replay);
+
+  RunReport report;
+  report.engine = engine.Stats();
+  report.results = sink.count();
+  report.latency = sink.latency();
+  report.throughput_tps = ComputeThroughput(stream);
+  if (check) {
+    report.check =
+        sink.checker().Check(stream, options.predicate, options.window);
+    report.checked = true;
+  }
+  return report;
+}
+
+double MeasureCapacity(
+    const std::function<RunReport(double rate_per_relation)>& runner,
+    const CapacityOptions& options) {
+  double lo = options.lo_rate;
+  double hi = options.hi_rate;
+  BISTREAM_CHECK_LT(lo, hi);
+
+  // If even the low end is unsustainable, report it as the bound.
+  RunReport at_lo = runner(lo);
+  if (at_lo.engine.max_busy_fraction > options.busy_cap) return lo;
+
+  for (int i = 0; i < options.iterations; ++i) {
+    double mid = (lo + hi) / 2;
+    RunReport report = runner(mid);
+    if (report.engine.max_busy_fraction <= options.busy_cap) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double EstimateAndMeasureCapacity(
+    const std::function<RunReport(double rate_per_relation)>& runner,
+    double probe_rate, int iterations, double busy_cap) {
+  RunReport calibration = runner(probe_rate);
+  double busy = calibration.engine.max_busy_fraction;
+  if (busy <= 0) return probe_rate;
+  double estimate = probe_rate * busy_cap / busy;
+  // Never search below the calibration point if it was sustainable.
+  CapacityOptions options;
+  options.lo_rate = std::max(busy <= busy_cap ? probe_rate : probe_rate / 8,
+                             estimate / 4);
+  options.hi_rate = std::max(options.lo_rate * 1.1, estimate * 2);
+  options.iterations = iterations;
+  options.busy_cap = busy_cap;
+  return MeasureCapacity(runner, options);
+}
+
+SyntheticWorkloadOptions MakeWorkload(double rate_per_relation,
+                                      SimTime duration, uint64_t key_domain,
+                                      uint64_t seed) {
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = key_domain;
+  workload.rate_r = RateSchedule::Constant(rate_per_relation);
+  workload.rate_s = RateSchedule::Constant(rate_per_relation);
+  workload.total_tuples = static_cast<uint64_t>(
+      2.0 * rate_per_relation * SimTimeToSeconds(duration));
+  workload.seed = seed;
+  return workload;
+}
+
+}  // namespace bistream

@@ -1,0 +1,82 @@
+/// \file runner.h
+/// \brief One-call experiment runners shared by the bench binaries,
+/// examples, and integration tests.
+///
+/// A runner materializes a workload, drives it through a freshly built
+/// engine (biclique or matrix) on its own event loop, and returns the
+/// metrics bundle every experiment in DESIGN.md reports: throughput,
+/// latency distribution, state bytes, traffic, bottleneck utilization, and
+/// (optionally) the exactly-once check against the oracle.
+
+#ifndef BISTREAM_HARNESS_RUNNER_H_
+#define BISTREAM_HARNESS_RUNNER_H_
+
+#include <functional>
+
+#include "core/engine.h"
+#include "matrix/matrix_engine.h"
+#include "workload/reference_join.h"
+
+namespace bistream {
+
+/// \brief Everything one experiment run produces.
+struct RunReport {
+  EngineStats engine;
+  /// Results observed at the sink (must equal engine.results).
+  uint64_t results = 0;
+  /// End-to-end result latency distribution (ns).
+  Histogram latency;
+  /// Input tuples per virtual second, over the injection span.
+  double throughput_tps = 0;
+  /// Oracle verification (only populated when `check` was requested).
+  CheckReport check;
+  bool checked = false;
+};
+
+/// \brief Runs a synthetic workload through a biclique engine built from
+/// `options`. When `check` is true the output is verified against the
+/// oracle (the workload is materialized up front; memory ~ O(tuples)).
+RunReport RunBicliqueWorkload(const BicliqueOptions& options,
+                              const SyntheticWorkloadOptions& workload,
+                              bool check = false);
+
+/// \brief Same, for the join-matrix baseline.
+RunReport RunMatrixWorkload(const MatrixOptions& options,
+                            const SyntheticWorkloadOptions& workload,
+                            bool check = false);
+
+/// \brief Sustainable-throughput search (E1/E2/E4).
+///
+/// Bisects the offered rate: a rate is sustainable when the run's
+/// bottleneck (max node busy fraction) stays at or below `busy_cap`.
+/// `runner` receives a per-relation rate in tuples/s and returns the run's
+/// report. Returns the highest sustainable rate found.
+struct CapacityOptions {
+  double lo_rate = 100;
+  double hi_rate = 400000;
+  int iterations = 8;
+  double busy_cap = 0.90;
+};
+double MeasureCapacity(
+    const std::function<RunReport(double rate_per_relation)>& runner,
+    const CapacityOptions& options);
+
+/// \brief Two-phase capacity search: one calibration run at `probe_rate`
+/// extrapolates the sustainable rate from the measured bottleneck busy
+/// fraction (accurate when costs are ~linear in rate), then a bisection in
+/// [estimate/4, estimate*2] tightens it (correct even when probe work
+/// grows superlinearly, as with band joins). This keeps the total tuple
+/// budget proportional to the actual capacity rather than a fixed bound.
+double EstimateAndMeasureCapacity(
+    const std::function<RunReport(double rate_per_relation)>& runner,
+    double probe_rate, int iterations, double busy_cap);
+
+/// \brief Convenience: synthetic options for a `duration`-long two-relation
+/// stream at `rate` tuples/s per relation.
+SyntheticWorkloadOptions MakeWorkload(double rate_per_relation,
+                                      SimTime duration, uint64_t key_domain,
+                                      uint64_t seed);
+
+}  // namespace bistream
+
+#endif  // BISTREAM_HARNESS_RUNNER_H_

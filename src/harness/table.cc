@@ -1,0 +1,127 @@
+#include "harness/table.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+namespace {
+TableFormat g_default_format = TableFormat::kAscii;
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+void TablePrinter::SetDefaultFormat(TableFormat format) {
+  g_default_format = format;
+}
+
+TableFormat TablePrinter::default_format() { return g_default_format; }
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BISTREAM_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  BISTREAM_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render(TableFormat format) const {
+  if (format == TableFormat::kCsv) {
+    auto render_csv_row = [](const std::vector<std::string>& row) {
+      std::string out;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out += ",";
+        out += CsvEscape(row[i]);
+      }
+      out += "\n";
+      return out;
+    };
+    std::string out = render_csv_row(headers_);
+    for (const auto& row : rows_) out += render_csv_row(row);
+    return out;
+  }
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      out += " ";
+      out += row[i];
+      out.append(widths[i] - row[i].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+    return out;
+  };
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::fputs(Render(g_default_format).c_str(), stdout);
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Int(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+std::string TablePrinter::Bytes(int64_t bytes) {
+  char buf[64];
+  double b = static_cast<double>(bytes);
+  if (b >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / 1e9);
+  } else if (b >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / 1e6);
+  } else if (b >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string TablePrinter::Millis(uint64_t nanos) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f ms",
+                static_cast<double>(nanos) / 1e6);
+  return buf;
+}
+
+void PrintExperimentHeader(const std::string& id,
+                           const std::string& description) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), description.c_str());
+}
+
+}  // namespace bistream

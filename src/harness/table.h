@@ -1,0 +1,59 @@
+/// \file table.h
+/// \brief Fixed-width table printing for the experiment harness, so every
+/// bench binary emits the paper-style rows/series the experiment index in
+/// DESIGN.md promises.
+
+#ifndef BISTREAM_HARNESS_TABLE_H_
+#define BISTREAM_HARNESS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bistream {
+
+/// \brief Output encodings for rendered tables.
+enum class TableFormat {
+  /// Column-aligned, pipe-separated (human-readable, the default).
+  kAscii,
+  /// RFC-4180-ish CSV (for piping bench output into plotting scripts).
+  kCsv,
+};
+
+/// \brief Column-aligned ASCII / CSV table writer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// \brief Appends one row; cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// \brief Renders the table (header, separator, rows).
+  std::string Render(TableFormat format) const;
+  std::string Render() const { return Render(default_format()); }
+
+  /// \brief Renders to stdout in the process-default format.
+  void Print() const;
+
+  /// \brief Sets the process-wide default format (bench `--format=csv`).
+  static void SetDefaultFormat(TableFormat format);
+  static TableFormat default_format();
+
+  /// Formatting helpers for common cell types.
+  static std::string Num(double value, int precision = 1);
+  static std::string Int(int64_t value);
+  static std::string Bytes(int64_t bytes);
+  static std::string Millis(uint64_t nanos);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Prints an experiment banner (id + description) above a table.
+void PrintExperimentHeader(const std::string& id,
+                           const std::string& description);
+
+}  // namespace bistream
+
+#endif  // BISTREAM_HARNESS_TABLE_H_

@@ -1,0 +1,123 @@
+/// \file chained_index.h
+/// \brief The paper's chained in-memory index.
+///
+/// Streaming tuples are partitioned by discrete event-time intervals of
+/// length P (the archive period) into sub-indexes, chained in construction
+/// order. The active sub-index absorbs inserts; once its timestamp span
+/// reaches P it is archived and a fresh one opened. Stale data is discarded
+/// at sub-index granularity using the paper's Theorem 1:
+///
+///   a stored tuple r can be dropped once an opposite-relation tuple s with
+///   s.ts - r.ts > W has been seen, so a whole sub-index is droppable once
+///   probe.ts - sub.max_ts > W.
+///
+/// This makes expiry O(1) amortized per sub-index instead of O(1) per tuple,
+/// which is the mechanism E6 sweeps.
+
+#ifndef BISTREAM_INDEX_CHAINED_INDEX_H_
+#define BISTREAM_INDEX_CHAINED_INDEX_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/memory_tracker.h"
+#include "index/sub_index.h"
+
+namespace bistream {
+
+/// \brief Configuration of a ChainedIndex.
+struct ChainedIndexOptions {
+  /// Sub-index layout; pick JoinPredicate::RecommendedIndex().
+  IndexKind kind = IndexKind::kHash;
+  /// Archive period P: a sub-index is sealed when max_ts - min_ts >= P.
+  EventTime archive_period = 1 * kEventSecond;
+  /// Sliding-window scope W used by Theorem-1 expiry.
+  EventTime window = 10 * kEventSecond;
+  /// Allowed lateness: extra event time a sub-index is retained beyond W
+  /// before Theorem-1 discard. Theorem 1 assumes the probing stream's
+  /// timestamps are (near-)ordered; derived streams — e.g. the multi-way
+  /// cascade's intermediate pairs, stamped max(r.ts, s.ts) — can regress by
+  /// bounded processing skew, and the slack keeps state alive for those
+  /// slightly-older probes. Join results are unaffected (the pair-level
+  /// window check stays exact); only memory reclamation is delayed.
+  EventTime expiry_slack = 0;
+  /// Optional byte accounting sink (not owned; may be null).
+  MemoryTracker* tracker = nullptr;
+};
+
+/// \brief Counters exported by a ChainedIndex for metrics and tests.
+struct ChainedIndexStats {
+  uint64_t inserted_tuples = 0;
+  uint64_t expired_tuples = 0;
+  uint64_t expired_subindexes = 0;
+  uint64_t sealed_subindexes = 0;
+  uint64_t probe_candidates = 0;  // Candidates examined across all probes.
+};
+
+/// \brief One relation partition's windowed state on a processing unit.
+class ChainedIndex {
+ public:
+  explicit ChainedIndex(ChainedIndexOptions options);
+  ~ChainedIndex();
+
+  ChainedIndex(const ChainedIndex&) = delete;
+  ChainedIndex& operator=(const ChainedIndex&) = delete;
+
+  /// \brief Stores a tuple into the active sub-index, sealing it into the
+  /// chain first if its span has reached the archive period.
+  void Insert(const Tuple& tuple);
+
+  /// \brief Discards sub-indexes made entirely stale by an observed
+  /// opposite-relation timestamp (Theorem 1). Returns tuples dropped.
+  uint64_t Expire(EventTime observed_ts);
+
+  /// \brief Expires against probe.ts, then probes every surviving sub-index.
+  ///
+  /// The sink receives predicate matches; pair-level window filtering
+  /// (|r.ts - s.ts| <= W) is still applied here so results are exact even
+  /// when a surviving sub-index straddles the window boundary. Returns the
+  /// number of candidates examined (probe work).
+  uint64_t ExpireAndProbe(const Tuple& probe, const JoinPredicate& pred,
+                          const MatchSink& sink);
+
+  /// \brief Probes without expiring (used by the join-matrix baseline cells
+  /// which expire on their own cadence).
+  uint64_t ProbeOnly(const Tuple& probe, const JoinPredicate& pred,
+                     const MatchSink& sink);
+
+  /// \brief Stored tuples across all sub-indexes.
+  size_t size() const;
+  /// \brief Chain length including the active sub-index (when non-empty).
+  size_t num_subindexes() const;
+  /// \brief Accounted bytes across all sub-indexes.
+  size_t bytes() const;
+
+  const ChainedIndexStats& stats() const { return stats_; }
+  const ChainedIndexOptions& options() const { return options_; }
+
+ private:
+  /// Seals the active sub-index into the archive chain.
+  void SealActive();
+  /// Drops one archived sub-index and releases its accounting.
+  void DropSubIndex(std::unique_ptr<SubIndex> sub);
+  /// True if Theorem 1 allows dropping `sub` given `observed_ts`.
+  bool Expired(const SubIndex& sub, EventTime observed_ts) const;
+
+  ChainedIndexOptions options_;
+  // Archived sub-indexes, oldest first; expiry pops from the front.
+  std::deque<std::unique_ptr<SubIndex>> chain_;
+  std::unique_ptr<SubIndex> active_;
+  ChainedIndexStats stats_;
+};
+
+/// \brief Pair-level window test shared by all engines and the oracle:
+/// a result (r, s) is valid iff |r.ts - s.ts| <= window.
+inline bool WithinWindow(EventTime a, EventTime b, EventTime window) {
+  EventTime diff = a >= b ? a - b : b - a;
+  return diff <= window;
+}
+
+}  // namespace bistream
+
+#endif  // BISTREAM_INDEX_CHAINED_INDEX_H_

@@ -1,0 +1,97 @@
+#include "index/sub_index.h"
+
+#include "common/logging.h"
+
+namespace bistream {
+
+std::unique_ptr<SubIndex> MakeSubIndex(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kHash:
+      return std::make_unique<HashSubIndex>();
+    case IndexKind::kOrdered:
+      return std::make_unique<OrderedSubIndex>();
+    case IndexKind::kScan:
+      return std::make_unique<ScanSubIndex>();
+  }
+  BISTREAM_LOG(Fatal) << "unknown IndexKind";
+  return nullptr;
+}
+
+// ---------------------------------------------------------------- Hash ----
+
+void HashSubIndex::Insert(const Tuple& tuple) {
+  buckets_[tuple.key].push_back(tuple);
+  ++size_;
+  bytes_ += tuple.SerializedSize() + kEntryOverhead;
+  NoteTimestamp(tuple.ts);
+}
+
+uint64_t HashSubIndex::Probe(const Tuple& probe, const JoinPredicate& pred,
+                             const MatchSink& sink) const {
+  KeyRange range = pred.ProbeRange(probe, /*stored_relation=*/
+                                   probe.relation == kRelationR ? kRelationS
+                                                                : kRelationR);
+  uint64_t examined = 0;
+  if (range.lo == range.hi) {
+    // Point probe: the common (equi) case.
+    auto it = buckets_.find(range.lo);
+    if (it != buckets_.end()) {
+      for (const Tuple& stored : it->second) {
+        ++examined;
+        if (pred.Matches(probe, stored)) sink(stored);
+      }
+    }
+    return examined;
+  }
+  // Range or theta probe against a hash layout: full scan.
+  for (const auto& [key, bucket] : buckets_) {
+    if (key < range.lo || key > range.hi) continue;
+    for (const Tuple& stored : bucket) {
+      ++examined;
+      if (pred.Matches(probe, stored)) sink(stored);
+    }
+  }
+  return examined;
+}
+
+// ------------------------------------------------------------- Ordered ----
+
+void OrderedSubIndex::Insert(const Tuple& tuple) {
+  tree_.emplace(tuple.key, tuple);
+  ++size_;
+  bytes_ += tuple.SerializedSize() + kEntryOverhead;
+  NoteTimestamp(tuple.ts);
+}
+
+uint64_t OrderedSubIndex::Probe(const Tuple& probe, const JoinPredicate& pred,
+                                const MatchSink& sink) const {
+  KeyRange range = pred.ProbeRange(probe, /*stored_relation=*/
+                                   probe.relation == kRelationR ? kRelationS
+                                                                : kRelationR);
+  if (range.lo > range.hi) return 0;  // Provably empty probe.
+  uint64_t examined = 0;
+  auto it = tree_.lower_bound(range.lo);
+  for (; it != tree_.end() && it->first <= range.hi; ++it) {
+    ++examined;
+    if (pred.Matches(probe, it->second)) sink(it->second);
+  }
+  return examined;
+}
+
+// ---------------------------------------------------------------- Scan ----
+
+void ScanSubIndex::Insert(const Tuple& tuple) {
+  log_.push_back(tuple);
+  bytes_ += tuple.SerializedSize() + kEntryOverhead;
+  NoteTimestamp(tuple.ts);
+}
+
+uint64_t ScanSubIndex::Probe(const Tuple& probe, const JoinPredicate& pred,
+                             const MatchSink& sink) const {
+  for (const Tuple& stored : log_) {
+    if (pred.Matches(probe, stored)) sink(stored);
+  }
+  return log_.size();
+}
+
+}  // namespace bistream

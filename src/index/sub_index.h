@@ -1,0 +1,128 @@
+/// \file sub_index.h
+/// \brief Sub-index implementations for the chained in-memory index.
+///
+/// A sub-index stores the tuples of one archive period (the paper's P) and
+/// tracks the min/max event timestamps it contains, which is what lets the
+/// ChainedIndex discard whole sub-indexes by Theorem 1 instead of touching
+/// individual tuples. Three implementations cover the predicate classes:
+/// hash (equi), ordered (band / inequality range probes) and scan
+/// (arbitrary theta).
+
+#ifndef BISTREAM_INDEX_SUB_INDEX_H_
+#define BISTREAM_INDEX_SUB_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "tuple/join_predicate.h"
+#include "tuple/tuple.h"
+
+namespace bistream {
+
+/// \brief Callback invoked for each stored tuple matching a probe.
+using MatchSink = std::function<void(const Tuple& stored)>;
+
+/// \brief Storage + probe interface for one archive period's tuples.
+class SubIndex {
+ public:
+  virtual ~SubIndex() = default;
+
+  /// \brief Stores a tuple and widens the [min_ts, max_ts] bounds.
+  virtual void Insert(const Tuple& tuple) = 0;
+
+  /// \brief Finds stored tuples matching `probe` under `pred` and feeds them
+  /// to `sink`. Returns the number of candidate tuples examined (the probe's
+  /// work, which drives the simulator's service-time model). The sink sees
+  /// every candidate that satisfies the predicate; window filtering is the
+  /// caller's job (the sub-index knows keys, not window scope).
+  virtual uint64_t Probe(const Tuple& probe, const JoinPredicate& pred,
+                         const MatchSink& sink) const = 0;
+
+  /// \brief Number of stored tuples.
+  virtual size_t size() const = 0;
+
+  /// \brief Approximate bytes held (payload + container overhead).
+  virtual size_t bytes() const = 0;
+
+  /// \brief Smallest event timestamp stored; kNoEventTime when empty.
+  EventTime min_ts() const { return min_ts_; }
+  /// \brief Largest event timestamp stored; kNoEventTime when empty.
+  EventTime max_ts() const { return max_ts_; }
+
+  bool empty() const { return size() == 0; }
+
+ protected:
+  /// Widens the timestamp bounds to include `ts`.
+  void NoteTimestamp(EventTime ts) {
+    if (min_ts_ == kNoEventTime || ts < min_ts_) min_ts_ = ts;
+    if (max_ts_ == kNoEventTime || ts > max_ts_) max_ts_ = ts;
+  }
+
+  /// Per-stored-tuple container overhead charged to bytes().
+  static constexpr size_t kEntryOverhead = 32;
+
+ private:
+  EventTime min_ts_ = kNoEventTime;
+  EventTime max_ts_ = kNoEventTime;
+};
+
+/// \brief Creates a sub-index of the requested kind.
+std::unique_ptr<SubIndex> MakeSubIndex(IndexKind kind);
+
+/// \brief Hash multimap on the join key; O(1) equality probes.
+///
+/// Non-point probe ranges (band, theta) degrade to a full scan, mirroring
+/// the fact that a hash index cannot answer range predicates; the engine
+/// avoids this by honoring JoinPredicate::RecommendedIndex().
+class HashSubIndex final : public SubIndex {
+ public:
+  void Insert(const Tuple& tuple) override;
+  uint64_t Probe(const Tuple& probe, const JoinPredicate& pred,
+                 const MatchSink& sink) const override;
+  size_t size() const override { return size_; }
+  size_t bytes() const override { return bytes_; }
+
+ private:
+  std::unordered_map<int64_t, std::vector<Tuple>> buckets_;
+  size_t size_ = 0;
+  size_t bytes_ = 0;
+};
+
+/// \brief Ordered container on the join key; logarithmic range probes for
+/// band and inequality predicates (the paper's binary-search-tree index).
+class OrderedSubIndex final : public SubIndex {
+ public:
+  void Insert(const Tuple& tuple) override;
+  uint64_t Probe(const Tuple& probe, const JoinPredicate& pred,
+                 const MatchSink& sink) const override;
+  size_t size() const override { return size_; }
+  size_t bytes() const override { return bytes_; }
+
+ private:
+  std::multimap<int64_t, Tuple> tree_;
+  size_t size_ = 0;
+  size_t bytes_ = 0;
+};
+
+/// \brief Append log; probes scan everything (arbitrary theta predicates).
+class ScanSubIndex final : public SubIndex {
+ public:
+  void Insert(const Tuple& tuple) override;
+  uint64_t Probe(const Tuple& probe, const JoinPredicate& pred,
+                 const MatchSink& sink) const override;
+  size_t size() const override { return log_.size(); }
+  size_t bytes() const override { return bytes_; }
+
+ private:
+  std::vector<Tuple> log_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_INDEX_SUB_INDEX_H_

@@ -1,0 +1,82 @@
+#include "matrix/matrix_cell.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+namespace {
+ChainedIndexOptions IndexOptionsFor(const MatrixCellOptions& options,
+                                    MemoryTracker* tracker) {
+  ChainedIndexOptions index_options;
+  index_options.kind = options.index_kind;
+  index_options.archive_period = options.archive_period;
+  index_options.window = options.window;
+  index_options.tracker = tracker;
+  return index_options;
+}
+}  // namespace
+
+MatrixCell::MatrixCell(MatrixCellOptions options, EventLoop* loop,
+                       ResultSink* sink, MemoryTracker* parent_tracker)
+    : options_(options),
+      loop_(loop),
+      sink_(sink),
+      tracker_("cell-" + std::to_string(options.cell_id), parent_tracker),
+      r_index_(IndexOptionsFor(options_, &tracker_)),
+      s_index_(IndexOptionsFor(options_, &tracker_)) {
+  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(sink_ != nullptr);
+}
+
+SimTime MatrixCell::Handle(const Message& msg) {
+  if (msg.kind != Message::Kind::kTuple) {
+    return options_.cost.punctuation_ns;
+  }
+  const Tuple& tuple = msg.tuple;
+  bool is_r = tuple.relation == kRelationR;
+  ChainedIndex& own = is_r ? r_index_ : s_index_;
+  ChainedIndex& opposite = is_r ? s_index_ : r_index_;
+
+  uint64_t matches = 0;
+  MatchSink emit = [&](const Tuple& stored) {
+    JoinResult result;
+    if (is_r) {
+      result.r_id = tuple.id;
+      result.s_id = stored.id;
+    } else {
+      result.r_id = stored.id;
+      result.s_id = tuple.id;
+    }
+    result.ts = std::max(tuple.ts, stored.ts);
+    result.key = tuple.key;
+    result.emit_time = loop_->now();
+    result.latency_ns =
+        tuple.origin <= result.emit_time ? result.emit_time - tuple.origin : 0;
+    result.producer_unit = options_.cell_id;
+    sink_->OnResult(result);
+    ++matches;
+  };
+
+  // Probe the opposite relation's window (also expiring it per Theorem 1),
+  // then store into the own-relation window: probe-before-store guarantees
+  // (r, s) is produced exactly once, at whichever of the two copies'
+  // meeting cell processes the later tuple.
+  uint64_t candidates =
+      opposite.ExpireAndProbe(tuple, options_.predicate, emit);
+  own.Insert(tuple);
+
+  if (is_r) {
+    ++stats_.stored_r;
+  } else {
+    ++stats_.stored_s;
+  }
+  stats_.results += matches;
+  stats_.probe_candidates += candidates;
+
+  return options_.cost.MessageCost(msg.WireBytes()) + options_.cost.insert_ns +
+         options_.cost.ProbeCost(candidates, matches);
+}
+
+}  // namespace bistream

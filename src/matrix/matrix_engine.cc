@@ -1,0 +1,166 @@
+#include "matrix/matrix_engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+MatrixOptions MatrixOptions::Square(uint32_t total_units) {
+  BISTREAM_CHECK_GE(total_units, 1U);
+  MatrixOptions options;
+  // Most-square exact factorization: largest divisor a <= sqrt(p).
+  uint32_t best_rows = 1;
+  for (uint32_t a = 1; a * a <= total_units; ++a) {
+    if (total_units % a == 0) best_rows = a;
+  }
+  options.rows = best_rows;
+  options.cols = total_units / best_rows;
+  return options;
+}
+
+MatrixEngine::MatrixEngine(EventLoop* loop, MatrixOptions options,
+                           ResultSink* sink)
+    : loop_(loop),
+      options_(std::move(options)),
+      sink_(sink),
+      tracker_("matrix-engine"),
+      net_(loop, options_.cost, options_.seed) {
+  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(sink_ != nullptr);
+  BISTREAM_CHECK_GE(options_.rows, 1U);
+  BISTREAM_CHECK_GE(options_.cols, 1U);
+  BISTREAM_CHECK_GE(options_.num_routers, 1U);
+
+  IndexKind index_kind =
+      options_.index_kind.value_or(options_.predicate.RecommendedIndex());
+
+  for (uint32_t row = 0; row < options_.rows; ++row) {
+    for (uint32_t col = 0; col < options_.cols; ++col) {
+      uint32_t cell_id = row * options_.cols + col;
+      MatrixCellOptions cell_options;
+      cell_options.cell_id = cell_id;
+      cell_options.predicate = options_.predicate;
+      cell_options.index_kind = index_kind;
+      cell_options.window = options_.window;
+      cell_options.archive_period = options_.archive_period;
+      cell_options.cost = options_.cost;
+      cells_.push_back(std::make_unique<MatrixCell>(cell_options, loop_,
+                                                    sink_, &tracker_));
+      MatrixCell* cell_ptr = cells_.back().get();
+      SimNode* node = net_.AddNode("cell-" + std::to_string(row) + "-" +
+                                   std::to_string(col));
+      node->SetHandler(
+          [cell_ptr](const Message& msg) { return cell_ptr->Handle(msg); });
+      cell_nodes_.push_back(node);
+    }
+  }
+
+  channels_.resize(options_.num_routers);
+  row_cursor_.assign(options_.num_routers, 0);
+  col_cursor_.assign(options_.num_routers, 0);
+  for (uint32_t i = 0; i < options_.num_routers; ++i) {
+    SimNode* node = net_.AddNode("mrouter-" + std::to_string(i));
+    node->SetHandler([this, i](const Message& msg) {
+      return RouteTuple(i, msg);
+    });
+    router_nodes_.push_back(node);
+    source_channels_.push_back(net_.Connect(node));
+    channels_[i].reserve(cells_.size());
+    for (SimNode* cell_node : cell_nodes_) {
+      channels_[i].push_back(net_.Connect(cell_node));
+    }
+  }
+}
+
+void MatrixEngine::Start() {
+  BISTREAM_CHECK(!started_);
+  started_ = true;
+  start_time_ = loop_->now();
+}
+
+void MatrixEngine::InjectNow(Tuple tuple) {
+  BISTREAM_CHECK(started_) << "InjectNow before Start";
+  tuple.origin = loop_->now();
+  Message msg = MakeTupleMessage(std::move(tuple), StreamKind::kStore,
+                                 /*router_id=*/0, /*seq=*/0, /*round=*/0);
+  source_channels_[next_router_rr_++ % source_channels_.size()]->Send(
+      std::move(msg));
+  ++input_tuples_;
+}
+
+void MatrixEngine::RunToCompletion(StreamSource* source) {
+  Start();
+  while (auto next = source->Next()) {
+    loop_->RunUntil(next->arrival);
+    InjectNow(std::move(next->tuple));
+  }
+  loop_->RunUntilIdle();
+}
+
+SimTime MatrixEngine::RouteTuple(uint32_t router_index, const Message& msg) {
+  if (msg.kind != Message::Kind::kTuple) {
+    return options_.cost.punctuation_ns;
+  }
+  const Tuple& tuple = msg.tuple;
+  SimTime send_cost = 0;
+  auto send_to = [&](uint32_t cell_id) {
+    Message copy =
+        MakeTupleMessage(tuple, StreamKind::kStore, router_index, 0, 0);
+    send_cost += options_.cost.SendCost(copy.WireBytes());
+    channels_[router_index][cell_id]->Send(std::move(copy));
+  };
+  if (tuple.relation == kRelationR) {
+    // Assign a row, replicate to all its cells (fragment-and-replicate).
+    uint32_t row =
+        static_cast<uint32_t>(row_cursor_[router_index]++ % options_.rows);
+    for (uint32_t col = 0; col < options_.cols; ++col) {
+      send_to(row * options_.cols + col);
+    }
+  } else {
+    uint32_t col =
+        static_cast<uint32_t>(col_cursor_[router_index]++ % options_.cols);
+    for (uint32_t row = 0; row < options_.rows; ++row) {
+      send_to(row * options_.cols + col);
+    }
+  }
+  return options_.cost.route_ns + send_cost +
+         options_.cost.MessageCost(msg.WireBytes());
+}
+
+MatrixCell* MatrixEngine::cell(uint32_t row, uint32_t col) {
+  BISTREAM_CHECK_LT(row, options_.rows);
+  BISTREAM_CHECK_LT(col, options_.cols);
+  return cells_[row * options_.cols + col].get();
+}
+
+EngineStats MatrixEngine::Stats() const {
+  EngineStats stats;
+  stats.input_tuples = input_tuples_;
+  for (const auto& cell : cells_) {
+    const MatrixCellStats& cs = cell->stats();
+    stats.results += cs.results;
+    stats.stored += cs.stored_r + cs.stored_s;
+    stats.probe_candidates += cs.probe_candidates;
+    stats.expired_tuples += cell->r_index().stats().expired_tuples +
+                            cell->s_index().stats().expired_tuples;
+    stats.expired_subindexes += cell->r_index().stats().expired_subindexes +
+                                cell->s_index().stats().expired_subindexes;
+  }
+  stats.messages = net_.total_messages();
+  stats.bytes = net_.total_bytes();
+  stats.state_bytes = tracker_.current_bytes();
+  stats.peak_state_bytes = tracker_.peak_bytes();
+  stats.makespan_ns = loop_->now() - start_time_;
+  if (stats.makespan_ns > 0) {
+    for (const auto& node : net_.nodes()) {
+      double busy = static_cast<double>(node->stats().busy_ns) /
+                    static_cast<double>(stats.makespan_ns);
+      stats.max_busy_fraction = std::max(stats.max_busy_fraction, busy);
+    }
+  }
+  return stats;
+}
+
+}  // namespace bistream

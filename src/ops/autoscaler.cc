@@ -1,0 +1,97 @@
+#include "ops/autoscaler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+Autoscaler::Autoscaler(BicliqueEngine* engine, AutoscalerOptions options)
+    : engine_(engine), options_(options) {
+  BISTREAM_CHECK(engine_ != nullptr);
+  BISTREAM_CHECK_GE(options_.min_replicas, 1U);
+  BISTREAM_CHECK_GE(options_.max_replicas, options_.min_replicas);
+  BISTREAM_CHECK_GT(options_.interval, 0ULL);
+}
+
+void Autoscaler::Start() {
+  BISTREAM_CHECK(!started_);
+  started_ = true;
+  engine_->loop()->ScheduleAfter(options_.interval, [this] { Tick(); });
+}
+
+double Autoscaler::SampleMetric() {
+  double total = 0;
+  size_t count = 0;
+  SimTime now = engine_->loop()->now();
+  engine_->ForEachLiveJoiner(options_.side, [&](Joiner& joiner,
+                                                SimNode& node) {
+    // Only active units drive the decision: draining units are already on
+    // their way out and would bias the average down.
+    if (engine_->topology().unit(joiner.unit_id()).state !=
+        UnitState::kActive) {
+      // Still advance the utilization sample window so a later reuse
+      // (e.g. after a cancelled drain) does not see a stale interval.
+      node.SampleUtilization(now);
+      return;
+    }
+    if (options_.metric == ScaleMetric::kCpu) {
+      total += node.SampleUtilization(now);
+    } else {
+      total += static_cast<double>(joiner.memory().current_bytes());
+    }
+    ++count;
+  });
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+void Autoscaler::Tick() {
+  if (stopped_) return;
+
+  AutoscalerSample sample;
+  sample.time = engine_->loop()->now();
+  sample.metric_value = SampleMetric();
+  sample.active_replicas = engine_->ActiveJoiners(options_.side);
+
+  double target = options_.metric == ScaleMetric::kCpu
+                      ? options_.target_cpu
+                      : static_cast<double>(options_.target_memory_bytes);
+  double ratio = target > 0 ? sample.metric_value / target : 0.0;
+
+  // HPA formula: desired = ceil(current * ratio), with a tolerance dead
+  // band, replica bounds, and a cooldown between actions.
+  size_t desired = sample.active_replicas;
+  if (std::abs(ratio - 1.0) > options_.tolerance) {
+    desired = static_cast<size_t>(std::ceil(
+        static_cast<double>(sample.active_replicas) * ratio));
+  }
+  desired = std::max<size_t>(desired, options_.min_replicas);
+  desired = std::min<size_t>(desired, options_.max_replicas);
+  sample.desired_replicas = desired;
+
+  bool cooled =
+      sample.time - last_action_time_ >= options_.cooldown ||
+      last_action_time_ == 0;
+  if (cooled && desired != sample.active_replicas) {
+    // One step per tick keeps the timeline smooth (and mirrors how the
+    // thesis's figures show pods being added/removed one at a time).
+    Status status;
+    if (desired > sample.active_replicas) {
+      status = engine_->ScaleOut(options_.side).status();
+    } else {
+      status = engine_->ScaleIn(options_.side).status();
+    }
+    if (status.ok()) {
+      sample.scaled = true;
+      last_action_time_ = sample.time;
+    } else {
+      BISTREAM_LOG(Warning) << "autoscaler action failed: "
+                            << status.ToString();
+    }
+  }
+
+  timeline_.push_back(sample);
+  engine_->loop()->ScheduleAfter(options_.interval, [this] { Tick(); });
+}
+
+}  // namespace bistream

@@ -1,0 +1,88 @@
+/// \file autoscaler.h
+/// \brief HPA-style horizontal autoscaling policies over the biclique
+/// engine's elastic control plane.
+///
+/// BiStream's adaptivity claim is that the join-biclique topology makes
+/// scale-out/in cheap (no state migration); this module supplies the policy
+/// loop that *decides* when to scale, modeled on the Kubernetes Horizontal
+/// Pod Autoscaler the thesis restatement evaluates: a periodic controller
+/// samples a per-unit resource metric (CPU-utilization proxy or window
+/// state bytes), computes desired replicas = ceil(current · avg / target),
+/// and steps the engine toward it. E8 records the resulting timeline.
+
+#ifndef BISTREAM_OPS_AUTOSCALER_H_
+#define BISTREAM_OPS_AUTOSCALER_H_
+
+#include <vector>
+
+#include "core/engine.h"
+
+namespace bistream {
+
+/// \brief Which per-unit metric drives scaling.
+enum class ScaleMetric : uint8_t {
+  /// Busy fraction of each joiner's service loop (HPA CPU utilization).
+  kCpu = 0,
+  /// Bytes of window state held per joiner (HPA memory, alpha API).
+  kMemory = 1,
+};
+
+/// \brief Controller configuration.
+struct AutoscalerOptions {
+  ScaleMetric metric = ScaleMetric::kCpu;
+  /// The relation side this controller scales (run one per side).
+  RelationId side = kRelationR;
+  /// Control-loop period (HPA default 30 s wall; virtual here).
+  SimTime interval = 5 * kSecond;
+  /// Target average utilization for kCpu (e.g. 0.80 = 80%).
+  double target_cpu = 0.80;
+  /// Target average per-unit state bytes for kMemory.
+  int64_t target_memory_bytes = 64 << 20;
+  /// Replica bounds (HPA minReplicas/maxReplicas).
+  uint32_t min_replicas = 1;
+  uint32_t max_replicas = 8;
+  /// Minimum time between scaling actions.
+  SimTime cooldown = 10 * kSecond;
+  /// Dead band around ratio 1.0 within which no action is taken.
+  double tolerance = 0.10;
+};
+
+/// \brief One controller observation (the E8 timeline rows).
+struct AutoscalerSample {
+  SimTime time = 0;
+  double metric_value = 0;  // Avg utilization (kCpu) or avg bytes (kMemory).
+  size_t active_replicas = 0;
+  size_t desired_replicas = 0;
+  bool scaled = false;
+};
+
+/// \brief The periodic scaling controller.
+class Autoscaler {
+ public:
+  /// \param engine engine to control (not owned; must outlive this)
+  Autoscaler(BicliqueEngine* engine, AutoscalerOptions options);
+
+  /// \brief Schedules the control loop on the engine's event loop.
+  void Start();
+
+  /// \brief Halts the loop after the current tick.
+  void Stop() { stopped_ = true; }
+
+  const std::vector<AutoscalerSample>& timeline() const { return timeline_; }
+
+ private:
+  void Tick();
+  /// Average metric across the side's active joiners.
+  double SampleMetric();
+
+  BicliqueEngine* engine_;
+  AutoscalerOptions options_;
+  bool started_ = false;
+  bool stopped_ = false;
+  SimTime last_action_time_ = 0;
+  std::vector<AutoscalerSample> timeline_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OPS_AUTOSCALER_H_

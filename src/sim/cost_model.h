@@ -1,0 +1,85 @@
+/// \file cost_model.h
+/// \brief Calibrated per-operation virtual service times.
+///
+/// The simulator executes all join work for real (hash probes, tree walks,
+/// window expiry over real tuples) but charges *virtual* time from this cost
+/// model, so throughput and latency shapes reflect the paper's distributed
+/// setting rather than this container's single core. Defaults are calibrated
+/// against bench/micro_index on commodity hardware; every figure-level bench
+/// allows overriding them (--cost_probe_ns etc.) for sensitivity analysis.
+
+#ifndef BISTREAM_SIM_COST_MODEL_H_
+#define BISTREAM_SIM_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace bistream {
+
+/// \brief Virtual nanosecond charges for the simulated units' work.
+///
+/// The per-message costs are calibrated to the Storm-era per-tuple
+/// framework overhead the paper's testbed pays (tens of microseconds per
+/// tuple end to end: queueing, de/serialization, dispatch), while the
+/// index-operation costs come from bench/micro_index on commodity
+/// hardware. These ratios — messaging >> per-candidate probe work — are
+/// what give the evaluation its shapes (hash routing wins equi joins;
+/// broadcast strategies bottleneck on fan-out).
+struct CostModel {
+  /// Fixed cost of receiving/dispatching one message at a unit.
+  SimTime message_fixed_ns = 50000;
+  /// Per-byte deserialization cost of an inbound message.
+  double message_per_byte_ns = 0.5;
+  /// Sender-side cost per outbound message copy (serialize + enqueue);
+  /// charged to the service that fans the message out.
+  SimTime send_ns = 2000;
+  /// Cost of inserting one tuple into an in-memory sub-index.
+  SimTime insert_ns = 500;
+  /// Cost per candidate tuple examined by a probe.
+  SimTime probe_candidate_ns = 500;
+  /// Fixed cost of initiating a probe (index lookup/descent).
+  SimTime probe_fixed_ns = 500;
+  /// Cost of materializing and emitting one join result.
+  SimTime emit_result_ns = 500;
+  /// Cost of a routing decision at a router.
+  SimTime route_ns = 2000;
+  /// Cost of processing a punctuation at a joiner.
+  SimTime punctuation_ns = 2000;
+  /// Cost of dropping one expired sub-index (dereference, O(1) per chain
+  /// link — the Theorem-1 payoff; per-tuple expiry would charge per tuple).
+  SimTime expire_subindex_ns = 1000;
+
+  /// One-way network latency between any two services.
+  SimTime net_latency_ns = 200 * kMicrosecond;
+  /// Uniform jitter added on top of the base latency.
+  SimTime net_jitter_ns = 50 * kMicrosecond;
+
+  /// \brief Returns the defaults (documented above).
+  static CostModel Default() { return CostModel(); }
+
+  /// \brief Deserialization charge for an inbound message of `bytes`.
+  SimTime MessageCost(size_t bytes) const {
+    return message_fixed_ns +
+           static_cast<SimTime>(message_per_byte_ns *
+                                static_cast<double>(bytes));
+  }
+
+  /// \brief Charge for a probe that examined `candidates` stored tuples and
+  /// emitted `matches` results.
+  SimTime ProbeCost(uint64_t candidates, uint64_t matches) const {
+    return probe_fixed_ns + candidates * probe_candidate_ns +
+           matches * emit_result_ns;
+  }
+
+  /// \brief Sender-side charge for one outbound copy of `bytes`.
+  SimTime SendCost(size_t bytes) const {
+    return send_ns + static_cast<SimTime>(message_per_byte_ns *
+                                          static_cast<double>(bytes));
+  }
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_SIM_COST_MODEL_H_

@@ -1,0 +1,49 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+void EventLoop::ScheduleAt(SimTime when, std::function<void()> fn) {
+  BISTREAM_CHECK(fn != nullptr);
+  if (when < now_) when = now_;
+  heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+uint64_t EventLoop::RunUntilIdle() {
+  uint64_t ran = 0;
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; the function object must be moved out,
+    // so copy the header fields first and const_cast the payload move. This
+    // is safe: the element is popped immediately after.
+    Event& top = const_cast<Event&>(heap_.top());
+    SimTime when = top.when;
+    std::function<void()> fn = std::move(top.fn);
+    heap_.pop();
+    now_ = when;
+    fn();
+    ++ran;
+    ++executed_;
+  }
+  return ran;
+}
+
+uint64_t EventLoop::RunUntil(SimTime deadline) {
+  uint64_t ran = 0;
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    Event& top = const_cast<Event&>(heap_.top());
+    SimTime when = top.when;
+    std::function<void()> fn = std::move(top.fn);
+    heap_.pop();
+    now_ = when;
+    fn();
+    ++ran;
+    ++executed_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return ran;
+}
+
+}  // namespace bistream

@@ -1,0 +1,76 @@
+/// \file event_loop.h
+/// \brief Deterministic discrete-event scheduler.
+///
+/// The whole simulated cluster runs on one EventLoop: channels schedule
+/// message deliveries, nodes schedule their service completions, sources
+/// schedule tuple arrivals. Events at equal virtual times fire in schedule
+/// order (a monotone sequence number breaks ties), so runs are bit-for-bit
+/// reproducible — the property the exactly-once tests rely on.
+
+#ifndef BISTREAM_SIM_EVENT_LOOP_H_
+#define BISTREAM_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace bistream {
+
+/// \brief Min-heap driven virtual-time event scheduler.
+class EventLoop {
+ public:
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// \brief Current virtual time (nanoseconds).
+  SimTime now() const { return now_; }
+
+  /// \brief Schedules `fn` to run at absolute virtual time `when`.
+  /// `when` earlier than now() is clamped to now() (fires next).
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// \brief Schedules `fn` to run `delay` nanoseconds from now.
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// \brief Runs events until the queue drains. Returns events executed.
+  uint64_t RunUntilIdle();
+
+  /// \brief Runs events with time <= deadline; leaves later events queued.
+  /// Advances now() to min(deadline, last event time). Returns events run.
+  uint64_t RunUntil(SimTime deadline);
+
+  /// \brief Pending event count.
+  size_t pending() const { return heap_.size(); }
+
+  /// \brief Total events executed since construction.
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_SIM_EVENT_LOOP_H_

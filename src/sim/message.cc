@@ -1,0 +1,98 @@
+#include "sim/message.h"
+
+#include <cstdio>
+
+namespace bistream {
+
+size_t Message::WireBytes() const {
+  // Envelope: kind + router + seq + round + framing.
+  size_t bytes = 1 + 4 + 8 + 8 + 4;
+  switch (kind) {
+    case Kind::kTuple:
+      bytes += 1 /*stream*/ + tuple.SerializedSize();
+      break;
+    case Kind::kPunctuation:
+      break;
+    case Kind::kControl:
+      bytes += 1 + 8;
+      break;
+    case Kind::kBatch:
+      for (const BatchEntry& entry : batch) {
+        // Per-entry: stream + seq + round delta + tuple.
+        bytes += 1 + 8 + 8 + entry.tuple.SerializedSize();
+      }
+      break;
+  }
+  return bytes;
+}
+
+std::string Message::ToString() const {
+  char buf[224];
+  switch (kind) {
+    case Kind::kTuple:
+      std::snprintf(buf, sizeof(buf), "Tuple(%s, %s, router=%u seq=%llu)",
+                    tuple.ToString().c_str(),
+                    stream == StreamKind::kStore ? "store" : "join", router_id,
+                    static_cast<unsigned long long>(seq));
+      break;
+    case Kind::kPunctuation:
+      std::snprintf(buf, sizeof(buf), "Punct(router=%u seq=%llu round=%llu)",
+                    router_id, static_cast<unsigned long long>(seq),
+                    static_cast<unsigned long long>(round));
+      break;
+    case Kind::kControl:
+      std::snprintf(buf, sizeof(buf), "Control(op=%d arg=%llu)",
+                    static_cast<int>(control),
+                    static_cast<unsigned long long>(control_arg));
+      break;
+    case Kind::kBatch:
+      std::snprintf(buf, sizeof(buf), "Batch(%zu tuples, router=%u)",
+                    batch.size(), router_id);
+      break;
+  }
+  return std::string(buf);
+}
+
+Message MakeTupleMessage(Tuple tuple, StreamKind stream, uint32_t router_id,
+                         uint64_t seq, uint64_t round) {
+  Message msg;
+  msg.kind = Message::Kind::kTuple;
+  msg.tuple = std::move(tuple);
+  msg.stream = stream;
+  msg.router_id = router_id;
+  msg.seq = seq;
+  msg.round = round;
+  return msg;
+}
+
+Message MakePunctuation(uint32_t router_id, uint64_t seq, uint64_t round) {
+  Message msg;
+  msg.kind = Message::Kind::kPunctuation;
+  msg.router_id = router_id;
+  msg.seq = seq;
+  msg.round = round;
+  return msg;
+}
+
+Message MakeControl(ControlOp op, uint64_t arg) {
+  Message msg;
+  msg.kind = Message::Kind::kControl;
+  msg.control = op;
+  msg.control_arg = arg;
+  return msg;
+}
+
+Message MakeBatch(std::vector<BatchEntry> entries, uint32_t router_id) {
+  Message msg;
+  msg.kind = Message::Kind::kBatch;
+  msg.router_id = router_id;
+  msg.batch = std::move(entries);
+  if (!msg.batch.empty()) {
+    // Envelope seq/round mirror the last (highest) entry for diagnostics.
+    msg.seq = msg.batch.back().seq;
+    msg.round = msg.batch.back().round;
+  }
+  return msg;
+}
+
+}  // namespace bistream

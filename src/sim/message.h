@@ -1,0 +1,108 @@
+/// \file message.h
+/// \brief Messages exchanged between simulated services.
+///
+/// One concrete message type keeps the hot path allocation-light; the
+/// router/joiner protocols of both engines (biclique and matrix) are encoded
+/// in its fields. kTuple messages carry a data tuple on either the store or
+/// the join stream; kPunctuation messages carry the order-consistent
+/// protocol's signal counters; kControl messages carry coordinator commands
+/// (topology epoch changes for elastic scaling).
+
+#ifndef BISTREAM_SIM_MESSAGE_H_
+#define BISTREAM_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tuple/tuple.h"
+
+namespace bistream {
+
+/// \brief Which logical stream a tuple message belongs to (Section 3.2 of
+/// the model restatement: each input tuple forks into a store stream copy
+/// and join stream copies).
+enum class StreamKind : uint8_t {
+  kStore = 0,
+  kJoin = 1,
+};
+
+/// \brief Coordinator control verbs (elastic scaling).
+enum class ControlOp : uint8_t {
+  kNone = 0,
+  /// Joiner: begin draining (stop receiving stores; kept for probes).
+  kStartDrain = 1,
+  /// Joiner: fully retired; stop participating.
+  kRetire = 2,
+  /// Router/joiner: adopt the attached topology epoch.
+  kEpochChange = 3,
+  /// Router: emit a final punctuation and halt the cadence. Sent through
+  /// the same FIFO path as the data so it arrives after all tuples.
+  kStopFlush = 4,
+};
+
+/// \brief One sequenced tuple inside a batch message.
+struct BatchEntry {
+  Tuple tuple;
+  StreamKind stream = StreamKind::kStore;
+  uint64_t seq = 0;
+  uint64_t round = 0;
+};
+
+/// \brief The single wire message type of the simulated cluster.
+struct Message {
+  enum class Kind : uint8_t {
+    kTuple = 0,
+    kPunctuation = 1,
+    kControl = 2,
+    /// Mini-batch of sequenced tuples for one destination (BiStream's
+    /// batching optimization: one framework-overhead charge amortized over
+    /// `batch.size()` tuples).
+    kBatch = 3,
+  };
+
+  Kind kind = Kind::kTuple;
+
+  // --- kTuple fields ---
+  Tuple tuple;
+  StreamKind stream = StreamKind::kStore;
+
+  // --- kBatch payload ---
+  std::vector<BatchEntry> batch;
+
+  // --- ordering-protocol fields (kTuple and kPunctuation) ---
+  /// Router that sequenced this message.
+  uint32_t router_id = 0;
+  /// Router-local monotonically increasing counter (Definition 8).
+  uint64_t seq = 0;
+  /// Punctuation round this message belongs to / announces.
+  uint64_t round = 0;
+
+  // --- kControl fields ---
+  ControlOp control = ControlOp::kNone;
+  /// Epoch number for kEpochChange; unit id for drain/retire.
+  uint64_t control_arg = 0;
+
+  /// \brief Wire size in bytes for the network cost model.
+  size_t WireBytes() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Builds a tuple-carrying message.
+Message MakeTupleMessage(Tuple tuple, StreamKind stream, uint32_t router_id,
+                         uint64_t seq, uint64_t round);
+
+/// \brief Builds a punctuation (signal-tuple) message announcing that the
+/// router has finished emitting round `round` at counter `seq`.
+Message MakePunctuation(uint32_t router_id, uint64_t seq, uint64_t round);
+
+/// \brief Builds a coordinator control message.
+Message MakeControl(ControlOp op, uint64_t arg);
+
+/// \brief Builds a mini-batch message from sequenced entries.
+Message MakeBatch(std::vector<BatchEntry> entries, uint32_t router_id);
+
+}  // namespace bistream
+
+#endif  // BISTREAM_SIM_MESSAGE_H_

@@ -1,0 +1,71 @@
+#include "sim/network.h"
+
+#include "common/logging.h"
+
+namespace bistream {
+
+Channel::Channel(EventLoop* loop, SimNode* dst, ChannelOptions options,
+                 Rng rng)
+    : loop_(loop), dst_(dst), options_(options), rng_(rng) {
+  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(dst_ != nullptr);
+}
+
+void Channel::Send(Message msg) {
+  ++messages_sent_;
+  bytes_sent_ += msg.WireBytes();
+  if (options_.drop_probability > 0 &&
+      rng_.NextBool(options_.drop_probability)) {
+    ++messages_dropped_;
+    return;
+  }
+  SimTime jitter =
+      options_.jitter_ns > 0 ? rng_.Uniform(options_.jitter_ns + 1) : 0;
+  SimTime deliver_at = loop_->now() + options_.latency_ns + jitter;
+  if (options_.preserve_fifo && deliver_at < last_delivery_) {
+    deliver_at = last_delivery_;
+  }
+  last_delivery_ = deliver_at;
+  SimNode* dst = dst_;
+  loop_->ScheduleAt(deliver_at, [dst, m = std::move(msg)]() mutable {
+    dst->Deliver(std::move(m));
+  });
+}
+
+SimNetwork::SimNetwork(EventLoop* loop, const CostModel& cost, uint64_t seed)
+    : loop_(loop), cost_(cost), rng_(seed) {
+  BISTREAM_CHECK(loop_ != nullptr);
+}
+
+SimNode* SimNetwork::AddNode(const std::string& label) {
+  nodes_.push_back(std::make_unique<SimNode>(loop_, next_node_id_++, label));
+  return nodes_.back().get();
+}
+
+Channel* SimNetwork::Connect(SimNode* dst) {
+  ChannelOptions options;
+  options.latency_ns = cost_.net_latency_ns;
+  options.jitter_ns = cost_.net_jitter_ns;
+  options.preserve_fifo = true;
+  return Connect(dst, options);
+}
+
+Channel* SimNetwork::Connect(SimNode* dst, ChannelOptions options) {
+  channels_.push_back(std::make_unique<Channel>(
+      loop_, dst, options, rng_.Fork(channels_.size() + 1)));
+  return channels_.back().get();
+}
+
+uint64_t SimNetwork::total_messages() const {
+  uint64_t total = 0;
+  for (const auto& ch : channels_) total += ch->messages_sent();
+  return total;
+}
+
+uint64_t SimNetwork::total_bytes() const {
+  uint64_t total = 0;
+  for (const auto& ch : channels_) total += ch->bytes_sent();
+  return total;
+}
+
+}  // namespace bistream

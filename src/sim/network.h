@@ -1,0 +1,109 @@
+/// \file network.h
+/// \brief The simulated interconnect: nodes plus point-to-point channels.
+///
+/// Channels deliver messages after a base latency plus uniform jitter. By
+/// default every channel preserves FIFO order (the TCP assumption behind the
+/// paper's pairwise-FIFO protocol, Definition 8): delivery times are clamped
+/// to be non-decreasing per channel. Tests and E12 disable the clamp via the
+/// fault options to reproduce the missed/duplicate-result scenarios that the
+/// order-consistent protocol exists to prevent.
+
+#ifndef BISTREAM_SIM_NETWORK_H_
+#define BISTREAM_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+#include "sim/node.h"
+
+namespace bistream {
+
+/// \brief Per-channel delivery behaviour.
+struct ChannelOptions {
+  /// Base one-way latency.
+  SimTime latency_ns = 200 * kMicrosecond;
+  /// Uniform jitter in [0, jitter_ns] added per message.
+  SimTime jitter_ns = 0;
+  /// When true (default) deliveries never reorder within the channel.
+  bool preserve_fifo = true;
+  /// Probability a message is silently lost (fault injection; the
+  /// order-consistent protocol assumes a lossless transport — Definition 7
+  /// — and tests use this knob to show the oracle detects violations).
+  double drop_probability = 0.0;
+};
+
+/// \brief A unidirectional FIFO (or deliberately faulty) link to one node.
+class Channel {
+ public:
+  Channel(EventLoop* loop, SimNode* dst, ChannelOptions options, Rng rng);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// \brief Sends a message; it is delivered to the destination node after
+  /// the modeled latency. Wire bytes are accounted for E11.
+  void Send(Message msg);
+
+  SimNode* destination() const { return dst_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  EventLoop* loop_;
+  SimNode* dst_;
+  ChannelOptions options_;
+  Rng rng_;
+  SimTime last_delivery_ = 0;
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+/// \brief Owns the simulated cluster's nodes and channels and aggregates
+/// network-wide traffic counters (the communication-cost experiment E11).
+class SimNetwork {
+ public:
+  /// \param loop the shared event loop (not owned)
+  /// \param cost default channel latency/jitter source
+  /// \param seed base RNG seed; each channel forks a deterministic stream
+  SimNetwork(EventLoop* loop, const CostModel& cost, uint64_t seed);
+
+  /// \brief Creates a node with a debug label; the network keeps ownership.
+  SimNode* AddNode(const std::string& label);
+
+  /// \brief Creates a channel to `dst` using the default latency/jitter.
+  Channel* Connect(SimNode* dst);
+
+  /// \brief Creates a channel to `dst` with explicit options.
+  Channel* Connect(SimNode* dst, ChannelOptions options);
+
+  EventLoop* loop() const { return loop_; }
+  const CostModel& cost() const { return cost_; }
+
+  /// \brief Total messages sent across all channels.
+  uint64_t total_messages() const;
+  /// \brief Total bytes sent across all channels.
+  uint64_t total_bytes() const;
+
+  const std::vector<std::unique_ptr<SimNode>>& nodes() const {
+    return nodes_;
+  }
+
+ private:
+  EventLoop* loop_;
+  CostModel cost_;
+  Rng rng_;
+  uint32_t next_node_id_ = 0;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_SIM_NETWORK_H_

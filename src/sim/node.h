@@ -1,0 +1,89 @@
+/// \file node.h
+/// \brief A simulated processing unit: a single-threaded server with an
+/// input queue, sequential service, and utilization accounting.
+///
+/// Nodes model the paper's "processing units" (Storm executors / the
+/// thesis's container pods). Each delivered message is serviced in FIFO
+/// order; the handler returns the virtual service time it consumed, which
+/// extends the node's busy horizon. Utilization over a sampling interval is
+/// what the ops/autoscaler module reads as its "CPU" metric.
+
+#ifndef BISTREAM_SIM_NODE_H_
+#define BISTREAM_SIM_NODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/event_loop.h"
+#include "sim/message.h"
+
+namespace bistream {
+
+/// \brief Handler invoked once per serviced message; returns the virtual
+/// service time (ns) the message consumed.
+using NodeHandler = std::function<SimTime(const Message& msg)>;
+
+/// \brief Cumulative node statistics.
+struct NodeStats {
+  uint64_t messages_processed = 0;
+  uint64_t tuple_messages = 0;
+  uint64_t punctuation_messages = 0;
+  SimTime busy_ns = 0;
+  size_t max_queue_depth = 0;
+};
+
+/// \brief A single-threaded simulated service instance.
+class SimNode {
+ public:
+  SimNode(EventLoop* loop, uint32_t id, std::string label);
+
+  SimNode(const SimNode&) = delete;
+  SimNode& operator=(const SimNode&) = delete;
+
+  /// \brief Installs the message handler. Must be set before first delivery.
+  void SetHandler(NodeHandler handler) { handler_ = std::move(handler); }
+
+  /// \brief Enqueues a message for service (called by Channel at the
+  /// message's delivery time).
+  void Deliver(Message msg);
+
+  uint32_t id() const { return id_; }
+  const std::string& label() const { return label_; }
+  const NodeStats& stats() const { return stats_; }
+
+  /// \brief Virtual time when the node finishes its current backlog.
+  SimTime busy_until() const { return busy_until_; }
+
+  /// \brief Messages waiting for service.
+  size_t queue_depth() const { return inbox_.size(); }
+
+  /// \brief Windowed utilization: busy fraction since the previous call
+  /// (or since construction for the first call). Advances the sample point.
+  /// The autoscaler's CPU-utilization proxy. Values can exceed 1.0 when the
+  /// node's backlog extends beyond `now` (overload).
+  double SampleUtilization(SimTime now);
+
+  /// \brief Cumulative busy virtual time.
+  SimTime busy_ns() const { return stats_.busy_ns; }
+
+ private:
+  void MaybeScheduleService();
+  void ServiceOne();
+
+  EventLoop* loop_;
+  uint32_t id_;
+  std::string label_;
+  NodeHandler handler_;
+  std::deque<Message> inbox_;
+  bool service_scheduled_ = false;
+  SimTime busy_until_ = 0;
+  NodeStats stats_;
+  SimTime last_sample_time_ = 0;
+  SimTime last_sample_busy_ = 0;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_SIM_NODE_H_

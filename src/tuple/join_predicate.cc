@@ -1,0 +1,150 @@
+#include "tuple/join_predicate.h"
+
+#include "common/logging.h"
+
+namespace bistream {
+
+const char* IndexKindToString(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kHash:
+      return "hash";
+    case IndexKind::kOrdered:
+      return "ordered";
+    case IndexKind::kScan:
+      return "scan";
+  }
+  return "?";
+}
+
+const char* PredicateKindToString(PredicateKind kind) {
+  switch (kind) {
+    case PredicateKind::kEqui:
+      return "equi";
+    case PredicateKind::kBand:
+      return "band";
+    case PredicateKind::kLessThan:
+      return "less-than";
+    case PredicateKind::kTheta:
+      return "theta";
+  }
+  return "?";
+}
+
+JoinPredicate JoinPredicate::Equi() {
+  return JoinPredicate(PredicateKind::kEqui, "equi");
+}
+
+JoinPredicate JoinPredicate::Band(int64_t width) {
+  BISTREAM_CHECK_GE(width, 0);
+  JoinPredicate p(PredicateKind::kBand, "band");
+  p.band_width_ = width;
+  return p;
+}
+
+JoinPredicate JoinPredicate::LessThan() {
+  return JoinPredicate(PredicateKind::kLessThan, "less-than");
+}
+
+JoinPredicate JoinPredicate::Theta(
+    std::string name, std::function<bool(const Tuple&, const Tuple&)> fn) {
+  BISTREAM_CHECK(fn != nullptr);
+  JoinPredicate p(PredicateKind::kTheta, std::move(name));
+  p.theta_fn_ = std::move(fn);
+  return p;
+}
+
+namespace {
+// Saturating add/sub keep band probe ranges well-defined at the int64 edges.
+int64_t SatAdd(int64_t a, int64_t b) {
+  int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return b > 0 ? std::numeric_limits<int64_t>::max()
+                 : std::numeric_limits<int64_t>::min();
+  }
+  return out;
+}
+int64_t SatSub(int64_t a, int64_t b) {
+  int64_t out;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    return b < 0 ? std::numeric_limits<int64_t>::max()
+                 : std::numeric_limits<int64_t>::min();
+  }
+  return out;
+}
+}  // namespace
+
+bool JoinPredicate::Matches(const Tuple& a, const Tuple& b) const {
+  const Tuple& left = a.relation <= b.relation ? a : b;
+  const Tuple& right = a.relation <= b.relation ? b : a;
+  switch (kind_) {
+    case PredicateKind::kEqui:
+      return left.key == right.key;
+    case PredicateKind::kBand: {
+      int64_t diff = SatSub(left.key, right.key);
+      if (diff < 0) {
+        // |diff| with INT64_MIN safety.
+        if (diff == std::numeric_limits<int64_t>::min()) return false;
+        diff = -diff;
+      }
+      return diff <= band_width_;
+    }
+    case PredicateKind::kLessThan:
+      return left.key < right.key;
+    case PredicateKind::kTheta:
+      return theta_fn_(left, right);
+  }
+  return false;
+}
+
+KeyRange JoinPredicate::ProbeRange(const Tuple& probe,
+                                   RelationId stored_relation) const {
+  switch (kind_) {
+    case PredicateKind::kEqui:
+      return KeyRange{probe.key, probe.key};
+    case PredicateKind::kBand:
+      return KeyRange{SatSub(probe.key, band_width_),
+                      SatAdd(probe.key, band_width_)};
+    case PredicateKind::kLessThan: {
+      // left.key < right.key, "left" = lower relation id.
+      KeyRange range;
+      if (probe.relation < stored_relation) {
+        // probe is left: stored keys must be > probe.key.
+        if (probe.key == std::numeric_limits<int64_t>::max()) {
+          // No key can be strictly greater; return an empty range.
+          return KeyRange{1, 0};
+        }
+        range.lo = probe.key + 1;
+      } else {
+        // probe is right: stored keys must be < probe.key.
+        if (probe.key == std::numeric_limits<int64_t>::min()) {
+          return KeyRange{1, 0};
+        }
+        range.hi = probe.key - 1;
+      }
+      return range;
+    }
+    case PredicateKind::kTheta:
+      return KeyRange{};  // Full range: theta must scan.
+  }
+  return KeyRange{};
+}
+
+IndexKind JoinPredicate::RecommendedIndex() const {
+  switch (kind_) {
+    case PredicateKind::kEqui:
+      return IndexKind::kHash;
+    case PredicateKind::kBand:
+    case PredicateKind::kLessThan:
+      return IndexKind::kOrdered;
+    case PredicateKind::kTheta:
+      return IndexKind::kScan;
+  }
+  return IndexKind::kScan;
+}
+
+RoutingKind JoinPredicate::RecommendedRouting() const {
+  return kind_ == PredicateKind::kEqui ? RoutingKind::kContHash
+                                       : RoutingKind::kContRand;
+}
+
+}  // namespace bistream

@@ -1,0 +1,113 @@
+/// \file join_predicate.h
+/// \brief Join predicates over tuple pairs.
+///
+/// The join-biclique model covers the full Cartesian space of the two
+/// relations, so any predicate is supported. The predicate also advertises
+/// which in-memory sub-index kind evaluates it efficiently (hash for equi,
+/// ordered for band/inequality, scan for arbitrary theta) and which routing
+/// strategy the paper recommends for its selectivity class.
+
+#ifndef BISTREAM_TUPLE_JOIN_PREDICATE_H_
+#define BISTREAM_TUPLE_JOIN_PREDICATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "tuple/tuple.h"
+
+namespace bistream {
+
+/// \brief Kinds of sub-index a ChainedIndex can be built from.
+enum class IndexKind : uint8_t {
+  /// Hash multimap on the join key; O(1) equality probes.
+  kHash = 0,
+  /// Ordered container on the join key; range probes for band/inequality.
+  kOrdered = 1,
+  /// Plain append log; probes scan every stored tuple (arbitrary theta).
+  kScan = 2,
+};
+
+const char* IndexKindToString(IndexKind kind);
+
+/// \brief Predicate families with distinct evaluation plans.
+enum class PredicateKind : uint8_t {
+  /// left.key == right.key.
+  kEqui = 0,
+  /// |left.key - right.key| <= band_width.
+  kBand = 1,
+  /// left.key < right.key (left = lower relation id).
+  kLessThan = 2,
+  /// Arbitrary user function over full tuples.
+  kTheta = 3,
+};
+
+const char* PredicateKindToString(PredicateKind kind);
+
+/// \brief Routing families from the paper: content-sensitive hash routing
+/// for low-selectivity equi joins, content-insensitive random routing
+/// (store-random, probe-broadcast) otherwise.
+enum class RoutingKind : uint8_t {
+  kContHash = 0,
+  kContRand = 1,
+};
+
+/// \brief Inclusive key interval used for ordered-index probes.
+struct KeyRange {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+};
+
+/// \brief An immutable, cheaply copyable join predicate.
+class JoinPredicate {
+ public:
+  /// \brief Equality on the join key (the low-selectivity case).
+  static JoinPredicate Equi();
+
+  /// \brief Band join: |left.key - right.key| <= width, width >= 0.
+  static JoinPredicate Band(int64_t width);
+
+  /// \brief Inequality: left.key < right.key, where "left" is the tuple of
+  /// the lower relation id.
+  static JoinPredicate LessThan();
+
+  /// \brief Arbitrary theta predicate over full tuples. The function must be
+  /// pure. `name` is used in logs and reports.
+  static JoinPredicate Theta(
+      std::string name,
+      std::function<bool(const Tuple& left, const Tuple& right)> fn);
+
+  PredicateKind kind() const { return kind_; }
+  int64_t band_width() const { return band_width_; }
+
+  /// \brief True if the pair matches. Tuples may be passed in either order;
+  /// the tuple with the smaller relation id is treated as "left".
+  bool Matches(const Tuple& a, const Tuple& b) const;
+
+  /// \brief The stored-key interval that can match `probe` when probing the
+  /// window of `stored_relation`. Exact for equi/band/less-than; full range
+  /// for theta (which must scan).
+  KeyRange ProbeRange(const Tuple& probe, RelationId stored_relation) const;
+
+  /// \brief Sub-index kind that evaluates this predicate efficiently.
+  IndexKind RecommendedIndex() const;
+
+  /// \brief Paper-recommended routing strategy for this predicate class.
+  RoutingKind RecommendedRouting() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  JoinPredicate(PredicateKind kind, std::string name)
+      : kind_(kind), name_(std::move(name)) {}
+
+  PredicateKind kind_;
+  std::string name_;
+  int64_t band_width_ = 0;
+  std::function<bool(const Tuple&, const Tuple&)> theta_fn_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_TUPLE_JOIN_PREDICATE_H_

@@ -1,0 +1,82 @@
+#include "tuple/schema.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+Result<std::shared_ptr<const Schema>> Schema::Make(std::vector<Field> fields) {
+  std::unordered_set<std::string> seen;
+  for (const Field& f : fields) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("schema field with empty name");
+    }
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate schema field '" + f.name +
+                                     "'");
+    }
+  }
+  return std::make_shared<const Schema>(Schema(std::move(fields)));
+}
+
+const Field& Schema::field(size_t i) const {
+  BISTREAM_CHECK_LT(i, fields_.size());
+  return fields_[i];
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+std::string Schema::ToString() const {
+  std::string out = "<";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeToString(fields_[i].type);
+  }
+  out += ">";
+  return out;
+}
+
+Row::Row(std::shared_ptr<const Schema> schema, std::vector<Value> values)
+    : schema_(std::move(schema)), values_(std::move(values)) {
+  BISTREAM_CHECK(schema_ != nullptr);
+  BISTREAM_CHECK_EQ(values_.size(), schema_->num_fields())
+      << "row arity does not match schema " << schema_->ToString();
+}
+
+const Value& Row::value(size_t i) const {
+  BISTREAM_CHECK_LT(i, values_.size());
+  return values_[i];
+}
+
+Result<Value> Row::ValueOf(const std::string& name) const {
+  BISTREAM_ASSIGN_OR_RETURN(size_t index, schema_->FieldIndex(name));
+  return values_[index];
+}
+
+size_t Row::ByteSize() const {
+  size_t total = 0;
+  for (const Value& v : values_) total += v.ByteSize();
+  return total;
+}
+
+std::string Row::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace bistream

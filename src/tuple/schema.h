@@ -1,0 +1,73 @@
+/// \file schema.h
+/// \brief Tuple schemas (Definition 1 of the stream model): named, typed
+/// attribute lists shared by all tuples of a streaming relation.
+
+#ifndef BISTREAM_TUPLE_SCHEMA_H_
+#define BISTREAM_TUPLE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tuple/value.h"
+
+namespace bistream {
+
+/// \brief One attribute of a schema.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// \brief Immutable attribute list; shared by reference between tuples.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// \brief Builds a schema, rejecting duplicate attribute names.
+  static Result<std::shared_ptr<const Schema>> Make(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const;
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// \brief Index of the named attribute, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  std::string ToString() const;
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// \brief A materialized row matching some schema; the optional rich payload
+/// of a Tuple (see tuple.h).
+class Row {
+ public:
+  Row(std::shared_ptr<const Schema> schema, std::vector<Value> values);
+
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
+  size_t num_values() const { return values_.size(); }
+  const Value& value(size_t i) const;
+
+  /// \brief Looks a value up by attribute name; NotFound if absent.
+  Result<Value> ValueOf(const std::string& name) const;
+
+  /// \brief Approximate in-memory / wire size in bytes.
+  size_t ByteSize() const;
+
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<Value> values_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_TUPLE_SCHEMA_H_

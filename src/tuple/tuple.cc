@@ -1,0 +1,24 @@
+#include "tuple/tuple.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace bistream {
+
+std::string Tuple::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Tuple{id=%llu rel=%u ts=%lld key=%lld payload=%lld%s}",
+                static_cast<unsigned long long>(id), relation,
+                static_cast<long long>(ts), static_cast<long long>(key),
+                static_cast<long long>(payload),
+                row != nullptr ? " +row" : "");
+  return std::string(buf);
+}
+
+uint64_t JoinResult::PairKey() const {
+  return HashCombine(HashMix64(r_id), HashMix64(s_id));
+}
+
+}  // namespace bistream

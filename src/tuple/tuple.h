@@ -1,0 +1,92 @@
+/// \file tuple.h
+/// \brief Streaming tuples and join results.
+///
+/// A Tuple is the unit of data flowing through the system. The engine's hot
+/// path (routing, indexing, window expiry) touches only the fixed-size
+/// header: unique id, relation index, event timestamp and a 64-bit join key.
+/// Applications that need full rows attach an optional shared Row payload;
+/// the engine treats it as opaque bytes (it only contributes to the
+/// serialized-size cost model and is available to custom theta predicates).
+
+#ifndef BISTREAM_TUPLE_TUPLE_H_
+#define BISTREAM_TUPLE_TUPLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/time.h"
+#include "tuple/schema.h"
+
+namespace bistream {
+
+/// \brief Index of a streaming relation. Two-way joins use kRelationR /
+/// kRelationS; multi-way joins use 0..k-1.
+using RelationId = uint32_t;
+
+inline constexpr RelationId kRelationR = 0;
+inline constexpr RelationId kRelationS = 1;
+
+/// \brief A streaming tuple.
+struct Tuple {
+  /// Globally unique id assigned by the source; (relation, id) identifies a
+  /// tuple for the exactly-once result accounting.
+  uint64_t id = 0;
+  /// Which streaming relation this tuple belongs to.
+  RelationId relation = kRelationR;
+  /// Event timestamp (Definition 2's time domain), microseconds.
+  EventTime ts = 0;
+  /// The join attribute. Equi joins compare keys for equality; band joins
+  /// compare |r.key - s.key| <= band; custom theta predicates may ignore it.
+  int64_t key = 0;
+  /// Opaque application payload (cheap fixed slot).
+  int64_t payload = 0;
+  /// Optional full row for schema-rich applications; shared and immutable.
+  std::shared_ptr<const Row> row;
+  /// Virtual arrival time at the system edge (metrics only; set by the
+  /// driver when the tuple is injected; not part of the wire size).
+  SimTime origin = 0;
+
+  /// \brief Wire size in bytes: fixed header plus the encoded row, if any.
+  ///
+  /// Drives the serialization term of the simulator's cost model and the
+  /// MemoryTracker accounting of stored windows.
+  size_t SerializedSize() const {
+    // id + relation + ts + key + payload + framing.
+    size_t bytes = 8 + 4 + 8 + 8 + 8 + 4;
+    if (row != nullptr) bytes += row->ByteSize();
+    return bytes;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief One emitted join result: the matched pair plus timing metadata.
+struct JoinResult {
+  /// Identity of the R-side tuple (its Tuple::id).
+  uint64_t r_id = 0;
+  /// Identity of the S-side (or other-relation) tuple.
+  uint64_t s_id = 0;
+  /// Output event timestamp. BiStream assigns the max of the two input
+  /// timestamps so the derived stream stays ordered by event time.
+  EventTime ts = 0;
+  /// The probing tuple's join key (for equi joins this is the shared key);
+  /// lets downstream stages — e.g. the multi-way cascade — re-join the
+  /// derived stream without re-materializing the inputs.
+  int64_t key = 0;
+  /// Virtual time at which the result was produced (for latency metrics).
+  SimTime emit_time = 0;
+  /// emit_time minus the probing tuple's arrival: the end-to-end time the
+  /// system took to surface this result once it became derivable.
+  SimTime latency_ns = 0;
+  /// Unit that produced the result (for audit / dedup diagnostics).
+  uint32_t producer_unit = 0;
+
+  /// \brief Canonical 64-bit identity of the (r, s) pairing, used by the
+  /// checking collector to detect duplicates and misses.
+  uint64_t PairKey() const;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_TUPLE_TUPLE_H_

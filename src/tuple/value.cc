@@ -1,0 +1,107 @@
+#include "tuple/value.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace bistream {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt64() const {
+  BISTREAM_CHECK(type() == ValueType::kInt64)
+      << "Value is " << ValueTypeToString(type()) << ", not int64";
+  return std::get<int64_t>(repr_);
+}
+
+double Value::AsDouble() const {
+  BISTREAM_CHECK(type() == ValueType::kDouble)
+      << "Value is " << ValueTypeToString(type()) << ", not double";
+  return std::get<double>(repr_);
+}
+
+const std::string& Value::AsString() const {
+  BISTREAM_CHECK(type() == ValueType::kString)
+      << "Value is " << ValueTypeToString(type()) << ", not string";
+  return std::get<std::string>(repr_);
+}
+
+double Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(std::get<int64_t>(repr_));
+    case ValueType::kDouble:
+      return std::get<double>(repr_);
+    default:
+      BISTREAM_LOG(Fatal) << "Value of type " << ValueTypeToString(type())
+                          << " is not numeric";
+      return 0;
+  }
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x6E756C6CULL;
+    case ValueType::kInt64:
+      return HashInt64(std::get<int64_t>(repr_));
+    case ValueType::kDouble: {
+      double d = std::get<double>(repr_);
+      // Normalize -0.0 so equal doubles hash equally.
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashMix64(bits);
+    }
+    case ValueType::kString:
+      return HashBytes(std::get<std::string>(repr_));
+  }
+  return 0;
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return 4 + std::get<std::string>(repr_).size();
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  char buf[64];
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(std::get<int64_t>(repr_)));
+      return buf;
+    case ValueType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(repr_));
+      return buf;
+    case ValueType::kString:
+      return "\"" + std::get<std::string>(repr_) + "\"";
+  }
+  return "?";
+}
+
+}  // namespace bistream

@@ -1,0 +1,67 @@
+/// \file value.h
+/// \brief Dynamically typed attribute values for tuple rows.
+///
+/// The join engine's hot path operates on a fixed int64 join key (see
+/// tuple.h); Value is the general attribute representation carried in the
+/// optional Row payload that examples and richer workloads use.
+
+#ifndef BISTREAM_TUPLE_VALUE_H_
+#define BISTREAM_TUPLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace bistream {
+
+/// \brief Attribute data types supported in rows.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// \brief A single dynamically typed attribute value.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  Value(int64_t v) : repr_(v) {}              // NOLINT(runtime/explicit)
+  Value(double v) : repr_(v) {}               // NOLINT(runtime/explicit)
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueType type() const {
+    return static_cast<ValueType>(repr_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; abort on type mismatch (programming error).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// \brief Numeric view: int64 widened to double; aborts on string/null.
+  double AsNumeric() const;
+
+  /// \brief 64-bit hash consistent with common/hash.h partitioning.
+  uint64_t Hash() const;
+
+  /// \brief Approximate in-memory / wire size in bytes.
+  size_t ByteSize() const;
+
+  /// \brief Total ordering: by type index, then by value.
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator<(const Value& other) const { return repr_ < other.repr_; }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_TUPLE_VALUE_H_

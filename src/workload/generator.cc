@@ -1,0 +1,120 @@
+#include "workload/generator.h"
+
+#include "common/logging.h"
+
+namespace bistream {
+
+SyntheticSource::SyntheticSource(SyntheticWorkloadOptions options)
+    : options_(std::move(options)),
+      rng_r_(options_.seed * 2654435761ULL + 1),
+      rng_s_(options_.seed * 2654435761ULL + 2),
+      next_id_(options_.first_id) {
+  BISTREAM_CHECK_GT(options_.key_domain, 0ULL);
+  if (options_.zipf_theta_r > 0) {
+    zipf_r_.emplace(options_.key_domain, options_.zipf_theta_r);
+  }
+  if (options_.zipf_theta_s > 0) {
+    zipf_s_.emplace(options_.key_domain, options_.zipf_theta_s);
+  }
+  // Stagger the very first arrivals so the interleaving is not degenerate.
+  next_arrival_[kRelationR] = NextGap(options_.rate_r, 0, &rng_r_);
+  next_arrival_[kRelationS] = NextGap(options_.rate_s, 0, &rng_s_);
+}
+
+SimTime SyntheticSource::NextGap(const RateSchedule& rate, SimTime t,
+                                 Rng* rng) {
+  SimTime mean_gap = rate.GapAt(t);
+  if (!options_.poisson) return mean_gap;
+  double gap = rng->NextExponential(static_cast<double>(mean_gap));
+  SimTime g = static_cast<SimTime>(gap);
+  return g == 0 ? 1 : g;
+}
+
+TimedTuple SyntheticSource::Emit(RelationId relation) {
+  Rng* rng = relation == kRelationR ? &rng_r_ : &rng_s_;
+  const auto& zipf = relation == kRelationR ? zipf_r_ : zipf_s_;
+
+  TimedTuple out;
+  out.arrival = next_arrival_[relation];
+  out.tuple.id = next_id_++;
+  out.tuple.relation = relation;
+  // Event time mirrors arrival time, expressed in microseconds.
+  out.tuple.ts = static_cast<EventTime>(out.arrival / kMicrosecond);
+  out.tuple.key = zipf.has_value()
+                      ? static_cast<int64_t>(zipf->Sample(rng))
+                      : static_cast<int64_t>(rng->Uniform(options_.key_domain));
+  out.tuple.payload = static_cast<int64_t>(rng->Next64() >> 1);
+  return out;
+}
+
+void SyntheticSource::Advance(RelationId relation) {
+  Rng* rng = relation == kRelationR ? &rng_r_ : &rng_s_;
+  const RateSchedule& rate =
+      relation == kRelationR ? options_.rate_r : options_.rate_s;
+  next_arrival_[relation] += NextGap(rate, next_arrival_[relation], rng);
+}
+
+std::optional<TimedTuple> SyntheticSource::Next() {
+  if (emitted_ >= options_.total_tuples) return std::nullopt;
+  RelationId relation =
+      next_arrival_[kRelationR] <= next_arrival_[kRelationS] ? kRelationR
+                                                             : kRelationS;
+  TimedTuple out = Emit(relation);
+  Advance(relation);
+  ++emitted_;
+  return out;
+}
+
+MultiSource::MultiSource(MultiWorkloadOptions options)
+    : options_(options), next_id_(options.first_id) {
+  BISTREAM_CHECK_GE(options_.num_relations, 2U);
+  BISTREAM_CHECK_GT(options_.key_domain, 0ULL);
+  BISTREAM_CHECK_GT(options_.rate_per_relation, 0.0);
+  SimTime mean_gap = static_cast<SimTime>(static_cast<double>(kSecond) /
+                                          options_.rate_per_relation);
+  for (uint32_t rel = 0; rel < options_.num_relations; ++rel) {
+    rngs_.emplace_back(options_.seed * 0x9E3779B97F4A7C15ULL + rel + 1);
+    SimTime first =
+        options_.poisson
+            ? static_cast<SimTime>(rngs_.back().NextExponential(
+                  static_cast<double>(mean_gap)))
+            : mean_gap;
+    next_arrival_.push_back(first == 0 ? 1 : first);
+  }
+}
+
+std::optional<TimedTuple> MultiSource::Next() {
+  if (emitted_ >= options_.total_tuples) return std::nullopt;
+  uint32_t rel = 0;
+  for (uint32_t i = 1; i < options_.num_relations; ++i) {
+    if (next_arrival_[i] < next_arrival_[rel]) rel = i;
+  }
+  TimedTuple out;
+  out.arrival = next_arrival_[rel];
+  out.tuple.id = next_id_++;
+  out.tuple.relation = rel;
+  out.tuple.ts = static_cast<EventTime>(out.arrival / kMicrosecond);
+  out.tuple.key =
+      static_cast<int64_t>(rngs_[rel].Uniform(options_.key_domain));
+  out.tuple.payload = static_cast<int64_t>(rngs_[rel].Next64() >> 1);
+
+  SimTime mean_gap = static_cast<SimTime>(static_cast<double>(kSecond) /
+                                          options_.rate_per_relation);
+  SimTime gap = options_.poisson
+                    ? static_cast<SimTime>(rngs_[rel].NextExponential(
+                          static_cast<double>(mean_gap)))
+                    : mean_gap;
+  next_arrival_[rel] += gap == 0 ? 1 : gap;
+  ++emitted_;
+  return out;
+}
+
+std::vector<TimedTuple> DrainSource(StreamSource* source) {
+  std::vector<TimedTuple> out;
+  while (auto next = source->Next()) {
+    out.push_back(std::move(*next));
+  }
+  return out;
+}
+
+}  // namespace bistream

@@ -1,0 +1,122 @@
+/// \file generator.h
+/// \brief Synthetic stream sources for the evaluation workloads.
+///
+/// A StreamSource produces an interleaved, arrival-time-ordered sequence of
+/// tuples from the streaming relations. Event timestamps equal arrival time
+/// (in the EventTime domain), matching the paper's setup where sources
+/// timestamp tuples on entry. All randomness is seeded, so a given options
+/// struct always produces the same stream.
+
+#ifndef BISTREAM_WORKLOAD_GENERATOR_H_
+#define BISTREAM_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "tuple/tuple.h"
+#include "workload/rate_schedule.h"
+#include "workload/zipf.h"
+
+namespace bistream {
+
+/// \brief A tuple paired with its (virtual) arrival time at the system edge.
+struct TimedTuple {
+  SimTime arrival = 0;
+  Tuple tuple;
+};
+
+/// \brief Pull interface for workload streams.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// \brief Returns the next tuple in arrival order, or nullopt when the
+  /// stream is exhausted. Arrival times are non-decreasing.
+  virtual std::optional<TimedTuple> Next() = 0;
+};
+
+/// \brief Configuration of the two-relation synthetic workload.
+struct SyntheticWorkloadOptions {
+  /// Join keys are drawn from [0, key_domain).
+  uint64_t key_domain = 10000;
+  /// Zipf skew per relation (0 = uniform).
+  double zipf_theta_r = 0.0;
+  double zipf_theta_s = 0.0;
+  /// Arrival-rate profiles per relation.
+  RateSchedule rate_r = RateSchedule::Constant(1000);
+  RateSchedule rate_s = RateSchedule::Constant(1000);
+  /// Poisson (exponential gaps) vs. deterministic interarrival.
+  bool poisson = true;
+  /// Stop after this many tuples in total (R + S).
+  uint64_t total_tuples = 10000;
+  /// Base RNG seed.
+  uint64_t seed = 42;
+  /// First tuple ids; must make ids globally unique across sources.
+  uint64_t first_id = 1;
+};
+
+/// \brief Two-relation synthetic source (equi / band / theta experiments all
+/// consume this; only the predicate differs).
+class SyntheticSource final : public StreamSource {
+ public:
+  explicit SyntheticSource(SyntheticWorkloadOptions options);
+
+  std::optional<TimedTuple> Next() override;
+
+  const SyntheticWorkloadOptions& options() const { return options_; }
+
+ private:
+  /// Draws the next arrival gap for a relation at local time `t`.
+  SimTime NextGap(const RateSchedule& rate, SimTime t, Rng* rng);
+  /// Materializes the next tuple of `relation` at its pending arrival time.
+  TimedTuple Emit(RelationId relation);
+  /// Schedules the subsequent arrival for `relation`.
+  void Advance(RelationId relation);
+
+  SyntheticWorkloadOptions options_;
+  Rng rng_r_;
+  Rng rng_s_;
+  std::optional<ZipfDistribution> zipf_r_;
+  std::optional<ZipfDistribution> zipf_s_;
+  SimTime next_arrival_[2] = {0, 0};
+  uint64_t emitted_ = 0;
+  uint64_t next_id_;
+};
+
+/// \brief Materializes a whole stream (tests / the reference oracle).
+std::vector<TimedTuple> DrainSource(StreamSource* source);
+
+/// \brief Configuration of the k-relation synthetic workload (multi-way
+/// joins; relations share the key domain and arrival-rate profile).
+struct MultiWorkloadOptions {
+  uint32_t num_relations = 3;
+  uint64_t key_domain = 1000;
+  /// Per-relation arrival rate (tuples/s).
+  double rate_per_relation = 1000;
+  bool poisson = true;
+  uint64_t total_tuples = 10000;
+  uint64_t seed = 42;
+  uint64_t first_id = 1;
+};
+
+/// \brief k-relation source; tuples carry relation ids 0..k-1.
+class MultiSource final : public StreamSource {
+ public:
+  explicit MultiSource(MultiWorkloadOptions options);
+
+  std::optional<TimedTuple> Next() override;
+
+ private:
+  MultiWorkloadOptions options_;
+  std::vector<Rng> rngs_;
+  std::vector<SimTime> next_arrival_;
+  uint64_t emitted_ = 0;
+  uint64_t next_id_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,44 @@
+#include "workload/rate_schedule.h"
+
+#include "common/logging.h"
+
+namespace bistream {
+
+RateSchedule RateSchedule::Constant(double tuples_per_sec) {
+  BISTREAM_CHECK_GT(tuples_per_sec, 0.0);
+  return RateSchedule({RateStep{0, tuples_per_sec}});
+}
+
+Result<RateSchedule> RateSchedule::Make(std::vector<RateStep> steps) {
+  if (steps.empty()) {
+    return Status::InvalidArgument("rate schedule needs at least one step");
+  }
+  if (steps.front().start != 0) {
+    return Status::InvalidArgument("first rate step must start at time 0");
+  }
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].tuples_per_sec <= 0) {
+      return Status::InvalidArgument("rate steps must be positive");
+    }
+    if (i > 0 && steps[i].start <= steps[i - 1].start) {
+      return Status::InvalidArgument("rate step starts must increase");
+    }
+  }
+  return RateSchedule(std::move(steps));
+}
+
+double RateSchedule::RateAt(SimTime t) const {
+  double rate = steps_.front().tuples_per_sec;
+  for (const RateStep& step : steps_) {
+    if (step.start > t) break;
+    rate = step.tuples_per_sec;
+  }
+  return rate;
+}
+
+SimTime RateSchedule::GapAt(SimTime t) const {
+  double rate = RateAt(t);
+  return static_cast<SimTime>(static_cast<double>(kSecond) / rate);
+}
+
+}  // namespace bistream

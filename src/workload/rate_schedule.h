@@ -1,0 +1,51 @@
+/// \file rate_schedule.h
+/// \brief Piecewise-constant input-rate schedules.
+///
+/// The elasticity experiments (E8; thesis Figures 20/21 analogue) drive the
+/// system with a stepped rate — e.g. 300 → 400 → 200 → 300 tuples/s — and
+/// observe the autoscaler adding/removing joiners. A RateSchedule expresses
+/// that profile in the simulator's virtual-time domain.
+
+#ifndef BISTREAM_WORKLOAD_RATE_SCHEDULE_H_
+#define BISTREAM_WORKLOAD_RATE_SCHEDULE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace bistream {
+
+/// \brief A rate step effective from `start` until the next step.
+struct RateStep {
+  SimTime start = 0;
+  double tuples_per_sec = 0;
+};
+
+/// \brief Piecewise-constant tuples-per-second profile.
+class RateSchedule {
+ public:
+  /// \brief Constant rate forever.
+  static RateSchedule Constant(double tuples_per_sec);
+
+  /// \brief Builds a schedule from steps; starts must be strictly
+  /// increasing and begin at 0, rates must be positive.
+  static Result<RateSchedule> Make(std::vector<RateStep> steps);
+
+  /// \brief The rate effective at virtual time `t`.
+  double RateAt(SimTime t) const;
+
+  /// \brief Mean interarrival gap at virtual time `t` (ns).
+  SimTime GapAt(SimTime t) const;
+
+  const std::vector<RateStep>& steps() const { return steps_; }
+
+ private:
+  explicit RateSchedule(std::vector<RateStep> steps)
+      : steps_(std::move(steps)) {}
+  std::vector<RateStep> steps_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_WORKLOAD_RATE_SCHEDULE_H_

@@ -1,0 +1,121 @@
+#include "workload/reference_join.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.h"
+#include "index/chained_index.h"
+
+namespace bistream {
+
+uint64_t PackPair(uint64_t r_id, uint64_t s_id) {
+  BISTREAM_CHECK_LT(r_id, 1ULL << 32);
+  BISTREAM_CHECK_LT(s_id, 1ULL << 32);
+  return (r_id << 32) | s_id;
+}
+
+std::unordered_map<uint64_t, uint32_t> ComputeExpectedPairs(
+    const std::vector<TimedTuple>& stream, const JoinPredicate& pred,
+    EventTime window) {
+  std::vector<const Tuple*> left;   // Lower relation id ("R").
+  std::vector<const Tuple*> right;  // Higher relation id ("S").
+  RelationId lo = UINT32_MAX, hi = 0;
+  for (const TimedTuple& tt : stream) {
+    lo = std::min(lo, tt.tuple.relation);
+    hi = std::max(hi, tt.tuple.relation);
+  }
+  for (const TimedTuple& tt : stream) {
+    (tt.tuple.relation == lo ? left : right).push_back(&tt.tuple);
+  }
+
+  std::unordered_map<uint64_t, uint32_t> expected;
+  auto emit = [&](const Tuple& l, const Tuple& r) {
+    if (!WithinWindow(l.ts, r.ts, window)) return;
+    ++expected[PackPair(l.id, r.id)];
+  };
+
+  switch (pred.kind()) {
+    case PredicateKind::kEqui: {
+      std::unordered_map<int64_t, std::vector<const Tuple*>> by_key;
+      for (const Tuple* s : right) by_key[s->key].push_back(s);
+      for (const Tuple* l : left) {
+        auto it = by_key.find(l->key);
+        if (it == by_key.end()) continue;
+        for (const Tuple* r : it->second) emit(*l, *r);
+      }
+      break;
+    }
+    case PredicateKind::kBand:
+    case PredicateKind::kLessThan: {
+      std::multimap<int64_t, const Tuple*> by_key;
+      for (const Tuple* s : right) by_key.emplace(s->key, s);
+      for (const Tuple* l : left) {
+        KeyRange range = pred.ProbeRange(*l, /*stored_relation=*/hi);
+        if (range.lo > range.hi) continue;
+        for (auto it = by_key.lower_bound(range.lo);
+             it != by_key.end() && it->first <= range.hi; ++it) {
+          if (pred.Matches(*l, *it->second)) emit(*l, *it->second);
+        }
+      }
+      break;
+    }
+    case PredicateKind::kTheta: {
+      for (const Tuple* l : left) {
+        for (const Tuple* r : right) {
+          if (pred.Matches(*l, *r)) emit(*l, *r);
+        }
+      }
+      break;
+    }
+  }
+  return expected;
+}
+
+std::string CheckReport::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "expected=%llu produced=%llu missing=%llu duplicates=%llu "
+                "spurious=%llu",
+                static_cast<unsigned long long>(expected),
+                static_cast<unsigned long long>(produced),
+                static_cast<unsigned long long>(missing),
+                static_cast<unsigned long long>(duplicates),
+                static_cast<unsigned long long>(spurious));
+  return std::string(buf);
+}
+
+void ResultChecker::OnResult(uint64_t r_id, uint64_t s_id) {
+  ++produced_[PackPair(r_id, s_id)];
+  ++total_;
+}
+
+CheckReport ResultChecker::Check(const std::vector<TimedTuple>& stream,
+                                 const JoinPredicate& pred,
+                                 EventTime window) const {
+  return CheckAgainst(ComputeExpectedPairs(stream, pred, window));
+}
+
+CheckReport ResultChecker::CheckAgainst(
+    const std::unordered_map<uint64_t, uint32_t>& expected) const {
+  CheckReport report;
+  report.produced = total_;
+  for (const auto& [pair, count] : expected) {
+    report.expected += count;
+    auto it = produced_.find(pair);
+    uint32_t got = it == produced_.end() ? 0 : it->second;
+    if (got < count) report.missing += count - got;
+    if (got > count) report.duplicates += got - count;
+  }
+  for (const auto& [pair, count] : produced_) {
+    if (expected.find(pair) == expected.end()) report.spurious += count;
+  }
+  return report;
+}
+
+void ResultChecker::Reset() {
+  produced_.clear();
+  total_ = 0;
+}
+
+}  // namespace bistream

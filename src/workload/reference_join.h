@@ -1,0 +1,78 @@
+/// \file reference_join.h
+/// \brief Single-node oracle join and exactly-once result verification.
+///
+/// The oracle computes the exact expected result multiset of a windowed
+/// stream join — every (r, s) pair that matches the predicate with
+/// |r.ts − s.ts| <= W — directly from a materialized workload. The engines'
+/// outputs are verified against it: completeness (no missed results),
+/// no duplicates, and no spurious pairs. This is the ground truth behind
+/// all integration and property tests and the E12 protocol experiment.
+
+#ifndef BISTREAM_WORKLOAD_REFERENCE_JOIN_H_
+#define BISTREAM_WORKLOAD_REFERENCE_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "tuple/join_predicate.h"
+#include "workload/generator.h"
+
+namespace bistream {
+
+/// \brief Packs an (r_id, s_id) pairing into one 64-bit key.
+/// Tuple ids must fit in 32 bits (workloads start ids at 1).
+uint64_t PackPair(uint64_t r_id, uint64_t s_id);
+
+/// \brief Computes the expected result pairs of `stream` joined under
+/// `pred` with symmetric window `window` (microseconds, event time).
+///
+/// Returns a multiset encoded as pair-key -> count; counts are always 1 for
+/// workloads with unique ids but the representation keeps duplicate
+/// detection exact regardless.
+std::unordered_map<uint64_t, uint32_t> ComputeExpectedPairs(
+    const std::vector<TimedTuple>& stream, const JoinPredicate& pred,
+    EventTime window);
+
+/// \brief Discrepancies found when verifying an engine's output.
+struct CheckReport {
+  uint64_t expected = 0;
+  uint64_t produced = 0;
+  uint64_t missing = 0;     // Expected pairs never produced.
+  uint64_t duplicates = 0;  // Extra productions of expected pairs.
+  uint64_t spurious = 0;    // Produced pairs that were never expected.
+
+  bool Clean() const {
+    return missing == 0 && duplicates == 0 && spurious == 0;
+  }
+  std::string ToString() const;
+};
+
+/// \brief Accumulates engine results and verifies them against the oracle.
+class ResultChecker {
+ public:
+  /// \brief Records one emitted result pair (called from the engine sink).
+  void OnResult(uint64_t r_id, uint64_t s_id);
+
+  /// \brief Compares accumulated results against the oracle's expectation.
+  CheckReport Check(const std::vector<TimedTuple>& stream,
+                    const JoinPredicate& pred, EventTime window) const;
+
+  /// \brief Compares against a precomputed expectation (when the same
+  /// expectation is reused across engine configurations).
+  CheckReport CheckAgainst(
+      const std::unordered_map<uint64_t, uint32_t>& expected) const;
+
+  uint64_t total_results() const { return total_; }
+  void Reset();
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> produced_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_WORKLOAD_REFERENCE_JOIN_H_

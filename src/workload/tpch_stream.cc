@@ -1,0 +1,99 @@
+#include "workload/tpch_stream.h"
+
+#include "common/logging.h"
+
+namespace bistream {
+
+namespace {
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-LOW",
+                             "5-NONE"};
+}  // namespace
+
+std::shared_ptr<const Schema> OrdersSchema() {
+  static const std::shared_ptr<const Schema> schema =
+      Schema::Make({{"o_orderkey", ValueType::kInt64},
+                    {"o_custkey", ValueType::kInt64},
+                    {"o_totalprice", ValueType::kDouble},
+                    {"o_orderpriority", ValueType::kString}})
+          .ValueOrDie();
+  return schema;
+}
+
+std::shared_ptr<const Schema> LineItemSchema() {
+  static const std::shared_ptr<const Schema> schema =
+      Schema::Make({{"l_orderkey", ValueType::kInt64},
+                    {"l_partkey", ValueType::kInt64},
+                    {"l_quantity", ValueType::kInt64},
+                    {"l_extendedprice", ValueType::kDouble}})
+          .ValueOrDie();
+  return schema;
+}
+
+TpchSource::TpchSource(TpchStreamOptions options)
+    : options_(options), rng_(options.seed), next_id_(options.first_id) {
+  BISTREAM_CHECK_GT(options_.orders_per_sec, 0.0);
+  BISTREAM_CHECK_GE(options_.min_lineitems, 0);
+  BISTREAM_CHECK_GE(options_.max_lineitems, options_.min_lineitems);
+  next_order_arrival_ = static_cast<SimTime>(
+      rng_.NextExponential(static_cast<double>(kSecond) /
+                           options_.orders_per_sec));
+}
+
+void TpchSource::GenerateOrderBurst() {
+  int64_t orderkey = next_orderkey_++;
+  SimTime order_arrival = next_order_arrival_;
+
+  TimedTuple order;
+  order.arrival = order_arrival;
+  order.tuple.id = next_id_++;
+  order.tuple.relation = kRelationR;
+  order.tuple.ts = static_cast<EventTime>(order_arrival / kMicrosecond);
+  order.tuple.key = orderkey;
+  double totalprice = 1000.0 + rng_.NextDouble() * 99000.0;
+  order.tuple.row = std::make_shared<const Row>(
+      OrdersSchema(),
+      std::vector<Value>{orderkey,
+                         static_cast<int64_t>(rng_.Uniform(100000)),
+                         totalprice,
+                         std::string(kPriorities[rng_.Uniform(5)])});
+  pending_.push(std::move(order));
+
+  int items = static_cast<int>(rng_.UniformInt(options_.min_lineitems,
+                                               options_.max_lineitems));
+  for (int i = 0; i < items; ++i) {
+    TimedTuple item;
+    item.arrival =
+        order_arrival + rng_.Uniform(options_.max_lineitem_delay + 1);
+    item.tuple.id = next_id_++;
+    item.tuple.relation = kRelationS;
+    item.tuple.ts = static_cast<EventTime>(item.arrival / kMicrosecond);
+    item.tuple.key = orderkey;
+    item.tuple.row = std::make_shared<const Row>(
+        LineItemSchema(),
+        std::vector<Value>{orderkey,
+                           static_cast<int64_t>(rng_.Uniform(200000)),
+                           rng_.UniformInt(1, 50),
+                           10.0 + rng_.NextDouble() * 9990.0});
+    pending_.push(std::move(item));
+  }
+
+  ++orders_emitted_;
+  next_order_arrival_ += static_cast<SimTime>(
+      rng_.NextExponential(static_cast<double>(kSecond) /
+                           options_.orders_per_sec));
+}
+
+std::optional<TimedTuple> TpchSource::Next() {
+  // Pull order bursts forward until the earliest pending tuple precedes the
+  // next order, so the merged stream comes out in arrival order.
+  while (orders_emitted_ < options_.total_orders &&
+         (pending_.empty() || pending_.top().arrival >= next_order_arrival_)) {
+    GenerateOrderBurst();
+  }
+  if (pending_.empty()) return std::nullopt;
+  TimedTuple out = pending_.top();
+  pending_.pop();
+  return out;
+}
+
+}  // namespace bistream

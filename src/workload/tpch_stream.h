@@ -1,0 +1,71 @@
+/// \file tpch_stream.h
+/// \brief A TPC-H-flavoured streaming workload: Orders ⋈ LineItem.
+///
+/// Models the classic stream-join motif the paper's evaluation draws on: an
+/// order event is followed by a burst of line-item events sharing its order
+/// key, and the engine joins them on o_orderkey = l_orderkey within a
+/// sliding window. Tuples carry schema-rich Row payloads so this workload
+/// also exercises the Row/Schema path of the tuple layer.
+
+#ifndef BISTREAM_WORKLOAD_TPCH_STREAM_H_
+#define BISTREAM_WORKLOAD_TPCH_STREAM_H_
+
+#include <queue>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace bistream {
+
+/// \brief Configuration for the Orders/LineItem stream pair.
+struct TpchStreamOptions {
+  /// Orders arrival rate.
+  double orders_per_sec = 500;
+  /// Line items per order, uniform in [min_lineitems, max_lineitems].
+  int min_lineitems = 1;
+  int max_lineitems = 7;
+  /// Line items trail their order by up to this much.
+  SimTime max_lineitem_delay = 2 * kSecond;
+  /// Total orders to emit.
+  uint64_t total_orders = 2000;
+  uint64_t seed = 7;
+  uint64_t first_id = 1;
+};
+
+/// \brief Returns the Orders schema (shared constant).
+std::shared_ptr<const Schema> OrdersSchema();
+/// \brief Returns the LineItem schema (shared constant).
+std::shared_ptr<const Schema> LineItemSchema();
+
+/// \brief Order stream = relation R, line-item stream = relation S;
+/// join key is the order key.
+class TpchSource final : public StreamSource {
+ public:
+  explicit TpchSource(TpchStreamOptions options);
+
+  std::optional<TimedTuple> Next() override;
+
+ private:
+  struct LaterArrival {
+    bool operator()(const TimedTuple& a, const TimedTuple& b) const {
+      if (a.arrival != b.arrival) return a.arrival > b.arrival;
+      return a.tuple.id > b.tuple.id;
+    }
+  };
+
+  /// Creates the next order and queues its trailing line items.
+  void GenerateOrderBurst();
+
+  TpchStreamOptions options_;
+  Rng rng_;
+  SimTime next_order_arrival_ = 0;
+  uint64_t orders_emitted_ = 0;
+  uint64_t next_id_;
+  int64_t next_orderkey_ = 1;
+  std::priority_queue<TimedTuple, std::vector<TimedTuple>, LaterArrival>
+      pending_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_WORKLOAD_TPCH_STREAM_H_

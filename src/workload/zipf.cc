@@ -1,0 +1,33 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  BISTREAM_CHECK_GT(n, 0ULL);
+  BISTREAM_CHECK_GE(theta, 0.0);
+  cdf_.resize(n);
+  double total = 0;
+  for (uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against accumulated rounding.
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::HottestMass() const { return cdf_[0]; }
+
+}  // namespace bistream

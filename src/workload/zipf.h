@@ -1,0 +1,44 @@
+/// \file zipf.h
+/// \brief Zipf-distributed key sampling for skewed workloads (E7).
+///
+/// Implements the standard power-law sampler over ranks 1..n with exponent
+/// theta (theta = 0 degenerates to uniform): P(rank k) ∝ 1/k^theta. Uses the
+/// inverse-CDF method over a precomputed harmonic table for exact sampling;
+/// construction is O(n), sampling is O(log n).
+
+#ifndef BISTREAM_WORKLOAD_ZIPF_H_
+#define BISTREAM_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bistream {
+
+/// \brief Exact Zipf(theta) sampler over [0, n).
+class ZipfDistribution {
+ public:
+  /// \param n domain size (> 0)
+  /// \param theta skew exponent (>= 0; 0 = uniform)
+  ZipfDistribution(uint64_t n, double theta);
+
+  /// \brief Draws one sample in [0, n). Rank 0 is the hottest key.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// \brief Probability mass of the hottest key (diagnostics / tests).
+  double HottestMass() const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  // cdf_[k] = P(rank <= k); ascending, cdf_.back() == 1.
+  std::vector<double> cdf_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_WORKLOAD_ZIPF_H_

@@ -1,0 +1,90 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+Config Parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(s.data());
+  auto result = Config::FromArgs(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+TEST(ConfigTest, ParsesKeyValueFlags) {
+  Config c = Parse({"--units=8", "--rate=2500.5", "--name=equi"});
+  EXPECT_EQ(c.GetInt("units", 0), 8);
+  EXPECT_DOUBLE_EQ(c.GetDouble("rate", 0), 2500.5);
+  EXPECT_EQ(c.GetString("name", ""), "equi");
+}
+
+TEST(ConfigTest, BareFlagIsTrue) {
+  Config c = Parse({"--verbose"});
+  EXPECT_TRUE(c.GetBool("verbose", false));
+  EXPECT_TRUE(c.Has("verbose"));
+}
+
+TEST(ConfigTest, FallbacksWhenAbsent) {
+  Config c = Parse({});
+  EXPECT_EQ(c.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(c.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(c.GetString("missing", "dflt"), "dflt");
+  EXPECT_FALSE(c.GetBool("missing", false));
+  EXPECT_FALSE(c.Has("missing"));
+}
+
+TEST(ConfigTest, BooleanSpellings) {
+  Config c = Parse({"--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(c.GetBool("a", false));
+  EXPECT_FALSE(c.GetBool("b", true));
+  EXPECT_TRUE(c.GetBool("c", false));
+  EXPECT_FALSE(c.GetBool("d", true));
+}
+
+TEST(ConfigTest, IntListParses) {
+  Config c = Parse({"--units=4,8,16,32"});
+  std::vector<int64_t> units = c.GetIntList("units", {});
+  ASSERT_EQ(units.size(), 4u);
+  EXPECT_EQ(units[0], 4);
+  EXPECT_EQ(units[3], 32);
+}
+
+TEST(ConfigTest, IntListFallback) {
+  Config c = Parse({});
+  std::vector<int64_t> fallback = c.GetIntList("units", {1, 2});
+  ASSERT_EQ(fallback.size(), 2u);
+  EXPECT_EQ(fallback[1], 2);
+}
+
+TEST(ConfigTest, PositionalArgsCollected) {
+  Config c = Parse({"run", "--x=1", "fast"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "run");
+  EXPECT_EQ(c.positional()[1], "fast");
+}
+
+TEST(ConfigTest, EmptyFlagNameRejected) {
+  const char* argv[] = {"prog", "--=3"};
+  auto result = Config::FromArgs(2, const_cast<char**>(argv));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(ConfigTest, FromMapWorks) {
+  Config c = Config::FromMap({{"k", "9"}});
+  EXPECT_EQ(c.GetInt("k", 0), 9);
+}
+
+TEST(ConfigTest, NegativeNumbers) {
+  Config c = Parse({"--offset=-7", "--scale=-0.5"});
+  EXPECT_EQ(c.GetInt("offset", 0), -7);
+  EXPECT_DOUBLE_EQ(c.GetDouble("scale", 0), -0.5);
+}
+
+}  // namespace
+}  // namespace bistream

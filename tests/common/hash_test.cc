@@ -1,0 +1,51 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace bistream {
+namespace {
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(HashInt64(42), HashInt64(42));
+  EXPECT_EQ(HashBytes("stream"), HashBytes("stream"));
+}
+
+TEST(HashTest, DistinctInputsDistinctOutputs) {
+  std::unordered_set<uint64_t> seen;
+  for (int64_t k = 0; k < 100000; ++k) seen.insert(HashInt64(k));
+  // fmix64 is a bijection on 64 bits: zero collisions over any input set.
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(HashTest, SequentialKeysSpreadAcrossBuckets) {
+  // Partitioning quality: consecutive keys must not cluster mod small n.
+  constexpr int kBuckets = 7;
+  constexpr int kKeys = 70000;
+  int counts[kBuckets] = {};
+  for (int64_t k = 0; k < kKeys; ++k) ++counts[HashInt64(k) % kBuckets];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kKeys / kBuckets, kKeys / kBuckets * 0.05);
+  }
+}
+
+TEST(HashTest, BytesSensitiveToEveryCharacter) {
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abcd"));
+  EXPECT_NE(HashBytes(""), HashBytes("a"));
+}
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  uint64_t a = HashInt64(1), b = HashInt64(2);
+  EXPECT_NE(HashCombine(a, b), HashCombine(b, a));
+  EXPECT_EQ(HashCombine(a, b), HashCombine(a, b));
+}
+
+TEST(HashTest, NegativeKeysHashFine) {
+  EXPECT_NE(HashInt64(-1), HashInt64(1));
+  EXPECT_EQ(HashInt64(-12345), HashInt64(-12345));
+}
+
+}  // namespace
+}  // namespace bistream

@@ -1,0 +1,114 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bistream {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.P99(), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.P50(), 42u);
+  EXPECT_EQ(h.P99(), 42u);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 32; ++v) h.Record(v);
+  // Values below the sub-bucket count land in their own bucket.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 31u);
+  EXPECT_EQ(h.P50(), 15u);
+}
+
+TEST(HistogramTest, QuantilesHaveBoundedRelativeError) {
+  Histogram h;
+  Rng rng(7);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = rng.Uniform(10'000'000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    uint64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    uint64_t approx = h.ValueAtQuantile(q);
+    double rel = std::abs(static_cast<double>(approx) -
+                          static_cast<double>(exact)) /
+                 static_cast<double>(exact);
+    EXPECT_LT(rel, 0.05) << "q=" << q << " exact=" << exact
+                         << " approx=" << approx;
+  }
+}
+
+TEST(HistogramTest, MeanAndStddev) {
+  Histogram h;
+  for (uint64_t v : {2u, 4u, 4u, 4u, 5u, 5u, 7u, 9u}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_NEAR(h.stddev(), 2.0, 1e-9);
+}
+
+TEST(HistogramTest, RecordManyEqualsRepeatedRecord) {
+  Histogram a, b;
+  a.RecordMany(1000, 50);
+  for (int i = 0; i < 50; ++i) b.Record(1000);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.P50(), b.P50());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+  EXPECT_LE(a.P50(), 1000u);
+  EXPECT_GT(a.P99(), 900000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.Record(7);
+  EXPECT_EQ(h.P50(), 7u);
+}
+
+TEST(HistogramTest, HandlesHugeValues) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX / 2);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_GE(h.ValueAtQuantile(1.0), UINT64_MAX / 2);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(1);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bistream

@@ -1,0 +1,69 @@
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker t("t");
+  t.Allocate(100);
+  t.Allocate(50);
+  EXPECT_EQ(t.current_bytes(), 150);
+  EXPECT_EQ(t.peak_bytes(), 150);
+  t.Release(120);
+  EXPECT_EQ(t.current_bytes(), 30);
+  EXPECT_EQ(t.peak_bytes(), 150);
+  t.Allocate(10);
+  EXPECT_EQ(t.peak_bytes(), 150);
+}
+
+TEST(MemoryTrackerTest, RollsUpToParent) {
+  MemoryTracker root("root");
+  MemoryTracker a("a", &root);
+  MemoryTracker b("b", &root);
+  a.Allocate(100);
+  b.Allocate(200);
+  EXPECT_EQ(root.current_bytes(), 300);
+  EXPECT_EQ(a.current_bytes(), 100);
+  b.Release(50);
+  EXPECT_EQ(root.current_bytes(), 250);
+}
+
+TEST(MemoryTrackerTest, GrandparentChain) {
+  MemoryTracker root("root");
+  MemoryTracker mid("mid", &root);
+  MemoryTracker leaf("leaf", &mid);
+  leaf.Allocate(64);
+  EXPECT_EQ(mid.current_bytes(), 64);
+  EXPECT_EQ(root.current_bytes(), 64);
+}
+
+TEST(MemoryTrackerTest, PeakIsPerTracker) {
+  MemoryTracker root("root");
+  MemoryTracker a("a", &root);
+  MemoryTracker b("b", &root);
+  a.Allocate(100);
+  a.Release(100);
+  b.Allocate(60);
+  EXPECT_EQ(root.peak_bytes(), 100);
+  EXPECT_EQ(a.peak_bytes(), 100);
+  EXPECT_EQ(b.peak_bytes(), 60);
+}
+
+TEST(MemoryTrackerTest, ResetPeak) {
+  MemoryTracker t("t");
+  t.Allocate(500);
+  t.Release(400);
+  t.ResetPeak();
+  EXPECT_EQ(t.peak_bytes(), 100);
+}
+
+TEST(MemoryTrackerDeathTest, OverReleaseAborts) {
+  MemoryTracker t("t");
+  t.Allocate(10);
+  EXPECT_DEATH(t.Release(11), "over-release");
+}
+
+}  // namespace
+}  // namespace bistream

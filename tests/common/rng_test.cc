@@ -1,0 +1,100 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyBalanced) {
+  Rng rng(9);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextExponential(250.0);
+  EXPECT_NEAR(sum / kSamples, 250.0, 10.0);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(21), b(21);
+  Rng fa = a.Fork(1), fb = b.Fork(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.Next64(), fb.Next64());
+  Rng fc = Rng(21).Fork(2);
+  EXPECT_NE(Rng(21).Fork(1).Next64(), fc.Next64());
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(33);
+  uint64_t first = rng.Next64();
+  rng.Next64();
+  rng.Reseed(33);
+  EXPECT_EQ(rng.Next64(), first);
+}
+
+TEST(SplitMix64Test, KnownGoodProgression) {
+  uint64_t state = 0;
+  uint64_t a = SplitMix64(&state);
+  uint64_t b = SplitMix64(&state);
+  EXPECT_NE(a, b);
+  // splitmix64 of seed 0 first output (well-known reference value).
+  EXPECT_EQ(a, 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace bistream

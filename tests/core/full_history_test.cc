@@ -1,0 +1,86 @@
+// Full-history joins (the paper supports joining against the entire
+// accumulated stream, not only a sliding window): with the window scope
+// set to kFullHistoryWindow nothing ever expires and every matching pair
+// across the whole stream is produced exactly once.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+namespace bistream {
+namespace {
+
+SyntheticWorkloadOptions LongWorkload(uint64_t seed) {
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 80;
+  workload.rate_r = RateSchedule::Constant(300);
+  workload.rate_s = RateSchedule::Constant(300);
+  workload.total_tuples = 3000;  // ~5 s of stream: far beyond any window
+                                 // the sliding tests use.
+  workload.seed = seed;
+  return workload;
+}
+
+BicliqueOptions FullHistoryEngine() {
+  BicliqueOptions options;
+  options.num_routers = 2;
+  options.joiners_r = 2;
+  options.joiners_s = 2;
+  options.window = kFullHistoryWindow;
+  options.archive_period = 500 * kEventMilli;
+  return options;
+}
+
+TEST(FullHistoryTest, AllHistoricalPairsProducedExactlyOnce) {
+  RunReport report = RunBicliqueWorkload(FullHistoryEngine(),
+                                         LongWorkload(1), /*check=*/true);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+  // Cross-check the count analytically-ish: the oracle with the same scope
+  // is the check itself; additionally nothing may have expired.
+  EXPECT_EQ(report.engine.expired_tuples, 0u);
+  EXPECT_EQ(report.engine.expired_subindexes, 0u);
+  // Every tuple stays stored.
+  EXPECT_EQ(static_cast<uint64_t>(report.engine.state_bytes) > 0, true);
+  EXPECT_EQ(report.engine.stored, 3000u);
+}
+
+TEST(FullHistoryTest, ProducesStrictlyMoreThanSlidingWindow) {
+  SyntheticWorkloadOptions workload = LongWorkload(2);
+  RunReport full =
+      RunBicliqueWorkload(FullHistoryEngine(), workload, /*check=*/false);
+  BicliqueOptions sliding = FullHistoryEngine();
+  sliding.window = 500 * kEventMilli;
+  RunReport windowed = RunBicliqueWorkload(sliding, workload);
+  EXPECT_GT(full.results, windowed.results);
+  // And a windowed run does reclaim memory while the full-history run
+  // keeps everything.
+  EXPECT_GT(windowed.engine.expired_tuples, 0u);
+  EXPECT_LT(windowed.engine.state_bytes, full.engine.state_bytes);
+}
+
+TEST(FullHistoryTest, FullHistoryCountMatchesClosedForm) {
+  // With uniform keys over domain D and n_r, n_s tuples, the expected pair
+  // count is sum over keys of n_r(k) * n_s(k); verify exactly via the
+  // oracle and the engine agreeing (already done above) plus a sanity
+  // magnitude check here.
+  SyntheticWorkloadOptions workload = LongWorkload(3);
+  RunReport report = RunBicliqueWorkload(FullHistoryEngine(), workload);
+  double n_per_side = 1500.0;
+  double expected_mean = n_per_side * n_per_side / 80.0;
+  EXPECT_NEAR(static_cast<double>(report.results), expected_mean,
+              expected_mean * 0.2);
+}
+
+TEST(FullHistoryTest, MatrixSupportsFullHistoryToo) {
+  MatrixOptions options;
+  options.rows = 2;
+  options.cols = 2;
+  options.window = kFullHistoryWindow;
+  RunReport report =
+      RunMatrixWorkload(options, LongWorkload(4), /*check=*/true);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+  EXPECT_EQ(report.engine.expired_tuples, 0u);
+}
+
+}  // namespace
+}  // namespace bistream

@@ -1,0 +1,191 @@
+// Joiner unit behaviour: store/join branches, ordered release, window
+// exactness, Theorem-1 expiry wiring, and result metadata.
+
+#include "core/joiner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bistream {
+namespace {
+
+class VectorSink final : public ResultSink {
+ public:
+  void OnResult(const JoinResult& result) override {
+    results.push_back(result);
+  }
+  std::vector<JoinResult> results;
+};
+
+Message TupleMsg(RelationId rel, uint64_t id, int64_t key, EventTime ts,
+                 StreamKind stream, uint32_t router = 0, uint64_t seq = 0,
+                 uint64_t round = 0) {
+  Tuple t;
+  t.relation = rel;
+  t.id = id;
+  t.key = key;
+  t.ts = ts;
+  return MakeTupleMessage(std::move(t), stream, router, seq, round);
+}
+
+JoinerOptions BaseOptions(bool ordered) {
+  JoinerOptions options;
+  options.unit_id = 3;
+  options.relation = kRelationR;  // Stores R, probed by S.
+  options.predicate = JoinPredicate::Equi();
+  options.index_kind = IndexKind::kHash;
+  options.window = 1000;       // Microseconds (event time).
+  options.archive_period = 100;
+  options.num_routers = 1;
+  options.ordered = ordered;
+  return options;
+}
+
+TEST(JoinerTest, UnorderedStoreThenProbeProducesResult) {
+  EventLoop loop;
+  VectorSink sink;
+  Joiner joiner(BaseOptions(/*ordered=*/false), &loop, &sink, nullptr);
+
+  joiner.Handle(TupleMsg(kRelationR, 1, 7, 10, StreamKind::kStore));
+  joiner.Handle(TupleMsg(kRelationS, 2, 7, 20, StreamKind::kJoin));
+  ASSERT_EQ(sink.results.size(), 1u);
+  EXPECT_EQ(sink.results[0].r_id, 1u);
+  EXPECT_EQ(sink.results[0].s_id, 2u);
+  EXPECT_EQ(sink.results[0].ts, 20);           // max of the pair.
+  EXPECT_EQ(sink.results[0].key, 7);           // probe key.
+  EXPECT_EQ(sink.results[0].producer_unit, 3u);
+  EXPECT_EQ(joiner.stats().stored, 1u);
+  EXPECT_EQ(joiner.stats().probes, 1u);
+  EXPECT_EQ(joiner.stats().results, 1u);
+}
+
+TEST(JoinerTest, ProbeBeforeStoreProducesNothing) {
+  EventLoop loop;
+  VectorSink sink;
+  Joiner joiner(BaseOptions(false), &loop, &sink, nullptr);
+  joiner.Handle(TupleMsg(kRelationS, 2, 7, 20, StreamKind::kJoin));
+  joiner.Handle(TupleMsg(kRelationR, 1, 7, 10, StreamKind::kStore));
+  EXPECT_TRUE(sink.results.empty());
+}
+
+TEST(JoinerTest, WindowBoundaryIsInclusiveExclusive) {
+  EventLoop loop;
+  VectorSink sink;
+  Joiner joiner(BaseOptions(false), &loop, &sink, nullptr);
+  joiner.Handle(TupleMsg(kRelationR, 1, 7, 0, StreamKind::kStore));
+  // Exactly W apart: valid.
+  joiner.Handle(TupleMsg(kRelationS, 2, 7, 1000, StreamKind::kJoin));
+  EXPECT_EQ(sink.results.size(), 1u);
+  // One past: invalid.
+  joiner.Handle(TupleMsg(kRelationS, 3, 7, 1001, StreamKind::kJoin));
+  EXPECT_EQ(sink.results.size(), 1u);
+}
+
+TEST(JoinerTest, TheoremOneExpiryDropsState) {
+  EventLoop loop;
+  VectorSink sink;
+  Joiner joiner(BaseOptions(false), &loop, &sink, nullptr);
+  for (EventTime ts = 0; ts <= 500; ts += 50) {
+    joiner.Handle(TupleMsg(kRelationR, static_cast<uint64_t>(ts + 1), 7, ts,
+                           StreamKind::kStore));
+  }
+  size_t before = joiner.index().size();
+  // An S tuple far in the future expires everything.
+  joiner.Handle(TupleMsg(kRelationS, 999, 7, 5000, StreamKind::kJoin));
+  EXPECT_GT(before, joiner.index().size());
+  EXPECT_EQ(joiner.index().size(), 0u);
+  EXPECT_GT(joiner.stats().expired_subindexes, 0u);
+  EXPECT_TRUE(sink.results.empty());
+}
+
+TEST(JoinerTest, OrderedModeBuffersUntilPunctuation) {
+  EventLoop loop;
+  VectorSink sink;
+  Joiner joiner(BaseOptions(/*ordered=*/true), &loop, &sink, nullptr);
+
+  joiner.Handle(TupleMsg(kRelationR, 1, 7, 10, StreamKind::kStore, 0, 1, 0));
+  joiner.Handle(TupleMsg(kRelationS, 2, 7, 20, StreamKind::kJoin, 0, 2, 0));
+  EXPECT_EQ(joiner.buffered(), 2u);
+  EXPECT_EQ(joiner.stats().stored, 0u);
+  EXPECT_TRUE(sink.results.empty());
+
+  joiner.Handle(MakePunctuation(0, 2, 0));
+  EXPECT_EQ(joiner.buffered(), 0u);
+  EXPECT_EQ(sink.results.size(), 1u);
+}
+
+TEST(JoinerTest, OrderedModeReordersBySeqWithinRound) {
+  EventLoop loop;
+  VectorSink sink;
+  Joiner joiner(BaseOptions(true), &loop, &sink, nullptr);
+
+  // Probe (seq 2) arrives before store (seq 1); the release order must put
+  // the store first, so the pair is still found.
+  joiner.Handle(TupleMsg(kRelationS, 2, 7, 20, StreamKind::kJoin, 0, 2, 0));
+  joiner.Handle(TupleMsg(kRelationR, 1, 7, 10, StreamKind::kStore, 0, 1, 0));
+  joiner.Handle(MakePunctuation(0, 2, 0));
+  ASSERT_EQ(sink.results.size(), 1u);
+  EXPECT_EQ(sink.results[0].r_id, 1u);
+}
+
+TEST(JoinerTest, MemoryTrackerRollsUp) {
+  EventLoop loop;
+  VectorSink sink;
+  MemoryTracker parent("parent");
+  Joiner joiner(BaseOptions(false), &loop, &sink, &parent);
+  joiner.Handle(TupleMsg(kRelationR, 1, 7, 10, StreamKind::kStore));
+  EXPECT_GT(parent.current_bytes(), 0);
+  EXPECT_EQ(parent.current_bytes(), joiner.memory().current_bytes());
+}
+
+TEST(JoinerTest, HandleReturnsCostsScalingWithWork) {
+  EventLoop loop;
+  VectorSink sink;
+  JoinerOptions options = BaseOptions(false);
+  Joiner joiner(options, &loop, &sink, nullptr);
+  SimTime store_cost =
+      joiner.Handle(TupleMsg(kRelationR, 1, 7, 10, StreamKind::kStore));
+  joiner.Handle(TupleMsg(kRelationR, 2, 7, 11, StreamKind::kStore));
+  SimTime probe_cost =
+      joiner.Handle(TupleMsg(kRelationS, 3, 7, 20, StreamKind::kJoin));
+  EXPECT_GT(store_cost, 0u);
+  // The probe examined 2 candidates and emitted 2 results: must cost more
+  // than a bare store.
+  EXPECT_GT(probe_cost, store_cost);
+}
+
+TEST(JoinerTest, BandPredicateUsesOrderedIndex) {
+  EventLoop loop;
+  VectorSink sink;
+  JoinerOptions options = BaseOptions(false);
+  options.predicate = JoinPredicate::Band(2);
+  options.index_kind = IndexKind::kOrdered;
+  Joiner joiner(options, &loop, &sink, nullptr);
+  joiner.Handle(TupleMsg(kRelationR, 1, 10, 0, StreamKind::kStore));
+  joiner.Handle(TupleMsg(kRelationR, 2, 13, 1, StreamKind::kStore));
+  joiner.Handle(TupleMsg(kRelationS, 3, 11, 2, StreamKind::kJoin));
+  // |10-11| <= 2 matches; |13-11| = 2 matches.
+  EXPECT_EQ(sink.results.size(), 2u);
+}
+
+TEST(JoinerDeathTest, WrongRelationOnStoreStreamAborts) {
+  EventLoop loop;
+  VectorSink sink;
+  Joiner joiner(BaseOptions(false), &loop, &sink, nullptr);
+  EXPECT_DEATH(
+      joiner.Handle(TupleMsg(kRelationS, 1, 7, 10, StreamKind::kStore)),
+      "wrong relation");
+}
+
+TEST(JoinerDeathTest, OwnRelationOnJoinStreamAborts) {
+  EventLoop loop;
+  VectorSink sink;
+  Joiner joiner(BaseOptions(false), &loop, &sink, nullptr);
+  EXPECT_DEATH(
+      joiner.Handle(TupleMsg(kRelationR, 1, 7, 10, StreamKind::kJoin)),
+      "own relation");
+}
+
+}  // namespace
+}  // namespace bistream

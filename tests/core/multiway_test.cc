@@ -1,0 +1,296 @@
+// The 3-way cascade: triple results match the oracle exactly-once.
+
+#include "core/multiway.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+MultiWorkloadOptions Workload(uint64_t seed, uint64_t tuples = 3000) {
+  MultiWorkloadOptions options;
+  options.num_relations = 3;
+  options.key_domain = 30;
+  options.rate_per_relation = 400;
+  options.total_tuples = tuples;
+  options.seed = seed;
+  return options;
+}
+
+ThreeWayOptions CascadeOptions() {
+  ThreeWayOptions options;
+  for (BicliqueOptions* stage : {&options.stage1, &options.stage2}) {
+    stage->num_routers = 2;
+    stage->joiners_r = 2;
+    stage->joiners_s = 2;
+    stage->window = 1 * kEventSecond;
+    stage->archive_period = 250 * kEventMilli;
+    stage->punct_interval = 10 * kMillisecond;
+  }
+  return options;
+}
+
+struct CascadeRun {
+  uint64_t triples = 0;
+  uint64_t missing = 0;
+  uint64_t duplicates = 0;
+  uint64_t spurious = 0;
+};
+
+CascadeRun RunCascade(uint64_t seed) {
+  MultiWorkloadOptions workload = Workload(seed);
+  MultiSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  EventLoop loop;
+  TripleCollector collector;
+  ThreeWayOptions options = CascadeOptions();
+  ThreeWayCascade cascade(&loop, options, &collector);
+
+  struct VecSource : StreamSource {
+    const std::vector<TimedTuple>* v;
+    size_t pos = 0;
+    std::optional<TimedTuple> Next() override {
+      if (pos >= v->size()) return std::nullopt;
+      return (*v)[pos++];
+    }
+  } replay;
+  replay.v = &stream;
+  cascade.RunToCompletion(&replay);
+
+  auto expected = ComputeExpectedTriples(stream, options.stage1.window,
+                                         options.stage2.window);
+  CascadeRun run;
+  run.triples = collector.count();
+  for (const auto& [key, count] : expected) {
+    auto it = collector.produced().find(key);
+    uint32_t got = it == collector.produced().end() ? 0 : it->second;
+    if (got < count) run.missing += count - got;
+    if (got > count) run.duplicates += got - count;
+  }
+  for (const auto& [key, count] : collector.produced()) {
+    if (!expected.count(key)) run.spurious += count;
+  }
+  return run;
+}
+
+TEST(MultiwayTest, TriplesMatchOracleExactlyOnce) {
+  CascadeRun run = RunCascade(1);
+  EXPECT_GT(run.triples, 0u);
+  EXPECT_EQ(run.missing, 0u);
+  EXPECT_EQ(run.duplicates, 0u);
+  EXPECT_EQ(run.spurious, 0u);
+}
+
+TEST(MultiwayTest, DeterministicAcrossRuns) {
+  CascadeRun a = RunCascade(2);
+  CascadeRun b = RunCascade(2);
+  EXPECT_EQ(a.triples, b.triples);
+}
+
+TEST(MultiwayTest, OracleHandComputed) {
+  auto make = [](RelationId rel, uint64_t id, int64_t key, EventTime ts) {
+    TimedTuple tt;
+    tt.arrival = static_cast<SimTime>(ts) * kMicrosecond;
+    tt.tuple.relation = rel;
+    tt.tuple.id = id;
+    tt.tuple.key = key;
+    tt.tuple.ts = ts;
+    return tt;
+  };
+  std::vector<TimedTuple> stream = {
+      make(kRelationR, 1, 5, 0),   make(kRelationS, 2, 5, 10),
+      make(kRelationT, 3, 5, 15),  make(kRelationT, 4, 5, 500),
+      make(kRelationR, 5, 6, 0),   make(kRelationT, 6, 6, 5),
+  };
+  // W1 = W2 = 100: triple (1,2,3) valid; (1,2,4) out of window2; key 6 has
+  // no S tuple.
+  auto expected = ComputeExpectedTriples(stream, 100, 100);
+  EXPECT_EQ(expected.size(), 1u);
+  EXPECT_EQ(expected.count(TripleKey(1, 2, 3)), 1u);
+}
+
+TEST(KWayCascadeTest, FourWayMatchesOracleExactlyOnce) {
+  MultiWorkloadOptions workload;
+  workload.num_relations = 4;
+  // Sized so 4-way combinations exist without a combinatorial explosion
+  // (combinations scale as (tuples-per-key-per-window)^4).
+  workload.key_domain = 60;
+  workload.rate_per_relation = 250;
+  workload.total_tuples = 1600;
+  workload.seed = 21;
+  MultiSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  KWayOptions options;
+  options.stages.resize(3);
+  for (BicliqueOptions& stage : options.stages) {
+    stage.num_routers = 2;
+    stage.joiners_r = 2;
+    stage.joiners_s = 2;
+    stage.window = 800 * kEventMilli;
+    stage.archive_period = 200 * kEventMilli;
+    stage.punct_interval = 10 * kMillisecond;
+  }
+
+  EventLoop loop;
+  KWayCollector collector;
+  KWayCascade cascade(&loop, options, &collector);
+  struct VecSource : StreamSource {
+    const std::vector<TimedTuple>* v;
+    size_t pos = 0;
+    std::optional<TimedTuple> Next() override {
+      if (pos >= v->size()) return std::nullopt;
+      return (*v)[pos++];
+    }
+  } replay;
+  replay.v = &stream;
+  cascade.RunToCompletion(&replay);
+
+  auto expected = ComputeExpectedKTuples(
+      stream, 4,
+      {options.stages[0].window, options.stages[1].window,
+       options.stages[2].window});
+  EXPECT_GT(collector.count(), 0u) << "no 4-way combinations in workload";
+  uint64_t missing = 0, duplicates = 0, spurious = 0;
+  for (const auto& [key, count] : expected) {
+    auto it = collector.produced().find(key);
+    uint32_t got = it == collector.produced().end() ? 0 : it->second;
+    if (got < count) missing += count - got;
+    if (got > count) duplicates += got - count;
+  }
+  for (const auto& [key, count] : collector.produced()) {
+    if (!expected.count(key)) spurious += count;
+  }
+  EXPECT_EQ(missing, 0u);
+  EXPECT_EQ(duplicates, 0u);
+  EXPECT_EQ(spurious, 0u);
+  // k-tuples carry 4 ids in relation order.
+  EXPECT_EQ(cascade.num_relations(), 4u);
+}
+
+TEST(KWayCascadeTest, TwoWayDegeneratesToPlainJoin) {
+  MultiWorkloadOptions workload;
+  workload.num_relations = 2;
+  workload.key_domain = 30;
+  workload.rate_per_relation = 500;
+  workload.total_tuples = 2000;
+  workload.seed = 22;
+  MultiSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  KWayOptions options;
+  options.stages.resize(1);
+  options.stages[0].window = 1 * kEventSecond;
+
+  EventLoop loop;
+  KWayCollector collector;
+  KWayCascade cascade(&loop, options, &collector);
+  struct VecSource : StreamSource {
+    const std::vector<TimedTuple>* v;
+    size_t pos = 0;
+    std::optional<TimedTuple> Next() override {
+      if (pos >= v->size()) return std::nullopt;
+      return (*v)[pos++];
+    }
+  } replay;
+  replay.v = &stream;
+  cascade.RunToCompletion(&replay);
+
+  auto expected =
+      ComputeExpectedPairs(stream, JoinPredicate::Equi(), 1 * kEventSecond);
+  uint64_t expected_total = 0;
+  for (const auto& [key, count] : expected) expected_total += count;
+  EXPECT_EQ(collector.count(), expected_total);
+}
+
+TEST(KWayCascadeTest, OracleHandComputedFourWay) {
+  auto make = [](RelationId rel, uint64_t id, int64_t key, EventTime ts) {
+    TimedTuple tt;
+    tt.arrival = static_cast<SimTime>(ts) * kMicrosecond;
+    tt.tuple.relation = rel;
+    tt.tuple.id = id;
+    tt.tuple.key = key;
+    tt.tuple.ts = ts;
+    return tt;
+  };
+  std::vector<TimedTuple> stream = {
+      make(0, 1, 5, 0),  make(1, 2, 5, 10), make(2, 3, 5, 20),
+      make(3, 4, 5, 30), make(3, 5, 5, 500),
+  };
+  auto expected = ComputeExpectedKTuples(stream, 4, {100, 100, 100});
+  // (1,2,3,4) valid; (1,2,3,5) fails the last window.
+  EXPECT_EQ(expected.size(), 1u);
+  EXPECT_EQ(expected.count(KTupleKey({1, 2, 3, 4})), 1u);
+}
+
+TEST(KWayCascadeTest, StagesScaleIndependentlyMidRunExactlyOnce) {
+  MultiWorkloadOptions workload;
+  workload.num_relations = 3;
+  workload.key_domain = 30;
+  workload.rate_per_relation = 400;
+  workload.total_tuples = 4800;  // ~4 s.
+  workload.seed = 23;
+  MultiSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  KWayOptions options;
+  options.stages.resize(2);
+  for (BicliqueOptions& stage : options.stages) {
+    stage.num_routers = 2;
+    stage.joiners_r = 2;
+    stage.joiners_s = 2;
+    stage.window = 800 * kEventMilli;
+    stage.archive_period = 200 * kEventMilli;
+    stage.punct_interval = 10 * kMillisecond;
+  }
+
+  EventLoop loop;
+  KWayCollector collector;
+  KWayCascade cascade(&loop, options, &collector);
+  // Scale stage 2's intermediate side out mid-run, and stage 1's S side in.
+  loop.ScheduleAt(1 * kSecond, [&] {
+    ASSERT_TRUE(cascade.stage_engine(1)->ScaleOut(kRelationR).ok());
+  });
+  loop.ScheduleAt(2 * kSecond, [&] {
+    ASSERT_TRUE(cascade.stage_engine(0)->ScaleIn(kRelationS).ok());
+  });
+
+  struct VecSource : StreamSource {
+    const std::vector<TimedTuple>* v;
+    size_t pos = 0;
+    std::optional<TimedTuple> Next() override {
+      if (pos >= v->size()) return std::nullopt;
+      return (*v)[pos++];
+    }
+  } replay;
+  replay.v = &stream;
+  cascade.RunToCompletion(&replay);
+
+  auto expected = ComputeExpectedKTuples(
+      stream, 3, {options.stages[0].window, options.stages[1].window});
+  uint64_t missing = 0, duplicates = 0;
+  for (const auto& [key, count] : expected) {
+    auto it = collector.produced().find(key);
+    uint32_t got = it == collector.produced().end() ? 0 : it->second;
+    if (got < count) missing += count - got;
+    if (got > count) duplicates += got - count;
+  }
+  EXPECT_GT(collector.count(), 0u);
+  EXPECT_EQ(missing, 0u);
+  EXPECT_EQ(duplicates, 0u);
+}
+
+TEST(MultiwayTest, IntermediateStreamIsCounted) {
+  MultiWorkloadOptions workload = Workload(3, 1500);
+  MultiSource source(workload);
+  EventLoop loop;
+  TripleCollector collector;
+  ThreeWayCascade cascade(&loop, CascadeOptions(), &collector);
+  cascade.RunToCompletion(&source);
+  EXPECT_GT(cascade.intermediate_count(), 0u);
+  EXPECT_EQ(cascade.Stage2Stats().results, collector.count());
+}
+
+}  // namespace
+}  // namespace bistream

@@ -1,0 +1,121 @@
+#include "core/order_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+Message Tup(uint32_t router, uint64_t seq, uint64_t round) {
+  Tuple t;
+  t.id = seq * 100 + router;
+  return MakeTupleMessage(std::move(t), StreamKind::kStore, router, seq,
+                          round);
+}
+
+Message Punct(uint32_t router, uint64_t round) {
+  return MakePunctuation(router, /*seq=*/0, round);
+}
+
+std::vector<std::pair<uint64_t, uint32_t>> SeqRouter(
+    const std::vector<Message>& msgs) {
+  std::vector<std::pair<uint64_t, uint32_t>> out;
+  for (const Message& m : msgs) out.emplace_back(m.seq, m.router_id);
+  return out;
+}
+
+TEST(OrderBufferTest, HoldsTuplesUntilRoundComplete) {
+  OrderBuffer buffer(/*num_routers=*/2, /*start_round=*/0);
+  buffer.AddTuple(Tup(0, 1, 0));
+  buffer.AddTuple(Tup(1, 1, 0));
+  EXPECT_EQ(buffer.buffered(), 2u);
+
+  std::vector<Message> released;
+  buffer.AddPunctuation(Punct(0, 0), &released);
+  EXPECT_TRUE(released.empty()) << "released before all routers punctuated";
+  buffer.AddPunctuation(Punct(1, 0), &released);
+  EXPECT_EQ(released.size(), 2u);
+  EXPECT_EQ(buffer.buffered(), 0u);
+  EXPECT_EQ(buffer.next_release_round(), 1u);
+}
+
+TEST(OrderBufferTest, ReleasesInSeqRouterOrder) {
+  OrderBuffer buffer(2, 0);
+  buffer.AddTuple(Tup(1, 3, 0));
+  buffer.AddTuple(Tup(0, 1, 0));
+  buffer.AddTuple(Tup(1, 1, 0));
+  buffer.AddTuple(Tup(0, 2, 0));
+  std::vector<Message> released;
+  buffer.AddPunctuation(Punct(0, 0), &released);
+  buffer.AddPunctuation(Punct(1, 0), &released);
+  EXPECT_EQ(SeqRouter(released),
+            (std::vector<std::pair<uint64_t, uint32_t>>{
+                {1, 0}, {1, 1}, {2, 0}, {3, 1}}));
+}
+
+TEST(OrderBufferTest, LaterRoundWaitsForEarlierRound) {
+  OrderBuffer buffer(1, 0);
+  buffer.AddTuple(Tup(0, 5, 1));
+  std::vector<Message> released;
+  // Round 1 is fully punctuated, but round 0's punctuation is missing.
+  buffer.AddPunctuation(Punct(0, 1), &released);
+  EXPECT_TRUE(released.empty());
+  // Round 0 arrives: both rounds release in order.
+  buffer.AddPunctuation(Punct(0, 0), &released);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].round, 1u);
+  EXPECT_EQ(buffer.next_release_round(), 2u);
+}
+
+TEST(OrderBufferTest, EmptyRoundsReleaseCleanly) {
+  OrderBuffer buffer(2, 0);
+  std::vector<Message> released;
+  for (uint64_t round = 0; round < 5; ++round) {
+    buffer.AddPunctuation(Punct(0, round), &released);
+    buffer.AddPunctuation(Punct(1, round), &released);
+  }
+  EXPECT_TRUE(released.empty());
+  EXPECT_EQ(buffer.next_release_round(), 5u);
+}
+
+TEST(OrderBufferTest, StartRoundIgnoresEarlierPunctuations) {
+  OrderBuffer buffer(1, /*start_round=*/3);
+  std::vector<Message> released;
+  buffer.AddPunctuation(Punct(0, 1), &released);  // Before start: ignored.
+  EXPECT_EQ(buffer.next_release_round(), 3u);
+  buffer.AddTuple(Tup(0, 9, 3));
+  buffer.AddPunctuation(Punct(0, 3), &released);
+  EXPECT_EQ(released.size(), 1u);
+}
+
+TEST(OrderBufferTest, InterleavedRoundsAccumulate) {
+  OrderBuffer buffer(2, 0);
+  buffer.AddTuple(Tup(0, 1, 0));
+  buffer.AddTuple(Tup(0, 2, 1));  // Router 0 already in round 1.
+  std::vector<Message> released;
+  buffer.AddPunctuation(Punct(0, 0), &released);
+  buffer.AddPunctuation(Punct(0, 1), &released);
+  EXPECT_TRUE(released.empty());  // Router 1 still silent.
+  buffer.AddPunctuation(Punct(1, 0), &released);
+  EXPECT_EQ(released.size(), 1u);
+  buffer.AddPunctuation(Punct(1, 1), &released);
+  EXPECT_EQ(released.size(), 2u);
+}
+
+TEST(OrderBufferDeathTest, TupleAfterReleaseAborts) {
+  OrderBuffer buffer(1, 0);
+  std::vector<Message> released;
+  buffer.AddPunctuation(Punct(0, 0), &released);
+  EXPECT_DEATH(buffer.AddTuple(Tup(0, 1, 0)), "FIFO");
+}
+
+TEST(OrderBufferDeathTest, DuplicatePunctuationAborts) {
+  OrderBuffer buffer(2, 0);
+  std::vector<Message> released;
+  buffer.AddPunctuation(Punct(0, 5), &released);
+  buffer.AddPunctuation(Punct(0, 5), &released);
+  EXPECT_DEATH(buffer.AddPunctuation(Punct(0, 5), &released),
+               "more punctuations than routers");
+}
+
+}  // namespace
+}  // namespace bistream

@@ -1,0 +1,132 @@
+// The order-consistent protocol (Definitions 7/8): with it enabled, results
+// are exactly-once under channel jitter; with it disabled, the store/join
+// stream races produce the paper's missed/duplicate result scenarios.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+namespace bistream {
+namespace {
+
+SyntheticWorkloadOptions RacyWorkload(uint64_t seed) {
+  SyntheticWorkloadOptions workload;
+  // A small key domain and high rate maximize near-simultaneous matching
+  // pairs, which is what makes ordering races visible.
+  workload.key_domain = 10;
+  workload.rate_r = RateSchedule::Constant(2000);
+  workload.rate_s = RateSchedule::Constant(2000);
+  workload.total_tuples = 4000;
+  workload.seed = seed;
+  return workload;
+}
+
+BicliqueOptions RacyEngine(bool ordered) {
+  BicliqueOptions options;
+  options.num_routers = 3;
+  options.joiners_r = 3;
+  options.joiners_s = 3;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 200 * kEventMilli;
+  options.punct_interval = 5 * kMillisecond;
+  options.ordered = ordered;
+  // Strong jitter relative to latency: copies of the same tuple take very
+  // different paths, exactly the disorder source the paper names.
+  options.cost.net_latency_ns = 100 * kMicrosecond;
+  options.cost.net_jitter_ns = 2 * kMillisecond;
+  return options;
+}
+
+TEST(OrderingProtocolTest, ProtocolOnIsExactlyOnceUnderJitter) {
+  RunReport report =
+      RunBicliqueWorkload(RacyEngine(/*ordered=*/true), RacyWorkload(11),
+                          /*check=*/true);
+  EXPECT_GT(report.results, 0u);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+}
+
+TEST(OrderingProtocolTest, ProtocolOffProducesErrorsUnderJitter) {
+  uint64_t total_errors = 0;
+  // A single seed could get lucky; accumulate over a few.
+  for (uint64_t seed = 20; seed < 23; ++seed) {
+    RunReport report =
+        RunBicliqueWorkload(RacyEngine(/*ordered=*/false),
+                            RacyWorkload(seed), /*check=*/true);
+    total_errors += report.check.missing + report.check.duplicates;
+  }
+  EXPECT_GT(total_errors, 0u)
+      << "disabling the protocol should surface missed/duplicate results";
+}
+
+TEST(OrderingProtocolTest, ProtocolOnWithManyRoutersStillClean) {
+  BicliqueOptions options = RacyEngine(/*ordered=*/true);
+  options.num_routers = 5;
+  RunReport report =
+      RunBicliqueWorkload(options, RacyWorkload(31), /*check=*/true);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+}
+
+// Definition 7 assumes a lossless transport; injected message loss must
+// surface as missing results that the oracle detects (the protocol makes
+// ordering consistent, it does not mask loss).
+TEST(OrderingProtocolTest, MessageLossIsDetectedByOracle) {
+  SyntheticWorkloadOptions workload = RacyWorkload(51);
+  SyntheticSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  BicliqueOptions options = RacyEngine(/*ordered=*/false);
+  // Hand-build the engine so the joiner channels can be made lossy: the
+  // unordered configuration isolates the loss effect (with the protocol a
+  // lost punctuation also stalls rounds, which shows up the same way).
+  EventLoop loop;
+  CollectorSink sink(/*check=*/true);
+  options.cost.net_jitter_ns = 0;
+  BicliqueEngine engine(&loop, options, &sink);
+  // Replace is not possible post-hoc; instead drop at the source channels
+  // by rebuilding with fault options via the public knob below.
+  engine.Start();
+  for (const TimedTuple& tt : stream) {
+    loop.RunUntil(tt.arrival);
+    engine.InjectNow(tt.tuple);
+  }
+  engine.FlushAndStop();
+  loop.RunUntilIdle();
+  CheckReport clean =
+      sink.checker().Check(stream, options.predicate, options.window);
+  EXPECT_TRUE(clean.Clean());
+
+  // Now the lossy variant.
+  options.channel_drop_probability = 0.01;
+  EventLoop lossy_loop;
+  CollectorSink lossy_sink(/*check=*/true);
+  BicliqueEngine lossy(&lossy_loop, options, &lossy_sink);
+  lossy.Start();
+  for (const TimedTuple& tt : stream) {
+    lossy_loop.RunUntil(tt.arrival);
+    lossy.InjectNow(tt.tuple);
+  }
+  lossy.FlushAndStop();
+  lossy_loop.RunUntilIdle();
+  CheckReport report =
+      lossy_sink.checker().Check(stream, options.predicate, options.window);
+  EXPECT_GT(report.missing, 0u)
+      << "1% transport loss must lose results, and the oracle must see it";
+}
+
+// The matrix baseline needs no protocol: each pair has a single meeting
+// cell, so it stays exactly-once under the same jitter.
+TEST(OrderingProtocolTest, MatrixNeedsNoProtocolUnderJitter) {
+  MatrixOptions options;
+  options.rows = 3;
+  options.cols = 3;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 200 * kEventMilli;
+  options.cost.net_latency_ns = 100 * kMicrosecond;
+  options.cost.net_jitter_ns = 2 * kMillisecond;
+  RunReport report =
+      RunMatrixWorkload(options, RacyWorkload(41), /*check=*/true);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+}
+
+}  // namespace
+}  // namespace bistream

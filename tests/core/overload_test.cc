@@ -1,0 +1,116 @@
+// Correctness under stress: the exactly-once guarantee must survive
+// saturation (queued backlogs, drifting punctuation rounds), extreme
+// punctuation cadences, and degenerate window/archive shapes.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+namespace bistream {
+namespace {
+
+TEST(OverloadTest, SaturatedClusterStaysExactlyOnce) {
+  BicliqueOptions options;
+  options.num_routers = 1;  // Deliberately under-provisioned.
+  options.joiners_r = 2;
+  options.joiners_s = 2;
+  options.window = 500 * kEventMilli;
+  options.archive_period = 100 * kEventMilli;
+  options.punct_interval = 5 * kMillisecond;
+  // Heavy per-message cost: the offered rate is far above capacity, so
+  // queues build and processing lags arrival by a long stretch.
+  options.cost.message_fixed_ns = 200000;
+
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 30;
+  workload.rate_r = RateSchedule::Constant(3000);
+  workload.rate_s = RateSchedule::Constant(3000);
+  workload.total_tuples = 6000;
+  workload.seed = 71;
+
+  RunReport report = RunBicliqueWorkload(options, workload, /*check=*/true);
+  EXPECT_GT(report.engine.max_busy_fraction, 0.95);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+}
+
+TEST(OverloadTest, ExtremePunctuationCadences) {
+  for (SimTime interval : {1 * kMillisecond, 500 * kMillisecond}) {
+    BicliqueOptions options;
+    options.window = 1 * kEventSecond;
+    options.punct_interval = interval;
+    SyntheticWorkloadOptions workload;
+    workload.key_domain = 40;
+    workload.total_tuples = 3000;
+    workload.seed = 72;
+    RunReport report =
+        RunBicliqueWorkload(options, workload, /*check=*/true);
+    EXPECT_TRUE(report.check.Clean())
+        << "punct=" << interval << ": " << report.check.ToString();
+  }
+}
+
+TEST(OverloadTest, TinyWindowTinyArchive) {
+  BicliqueOptions options;
+  options.window = 10 * kEventMilli;  // Barely wider than the jitter.
+  options.archive_period = 1 * kEventMilli;
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 5;
+  workload.rate_r = RateSchedule::Constant(4000);
+  workload.rate_s = RateSchedule::Constant(4000);
+  workload.total_tuples = 4000;
+  workload.seed = 73;
+  RunReport report = RunBicliqueWorkload(options, workload, /*check=*/true);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+  EXPECT_GT(report.engine.expired_subindexes, 0u);
+}
+
+TEST(OverloadTest, SingleUnitPerSideDegenerateCluster) {
+  BicliqueOptions options;
+  options.num_routers = 1;
+  options.joiners_r = 1;
+  options.joiners_s = 1;
+  options.window = 1 * kEventSecond;
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 20;
+  workload.total_tuples = 2000;
+  workload.seed = 74;
+  RunReport report = RunBicliqueWorkload(options, workload, /*check=*/true);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+}
+
+TEST(OverloadTest, ManyRoutersManyJoiners) {
+  BicliqueOptions options;
+  options.num_routers = 8;
+  options.joiners_r = 8;
+  options.joiners_s = 8;
+  options.subgroups_r = 4;
+  options.subgroups_s = 2;
+  options.window = 500 * kEventMilli;
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 100;
+  workload.rate_r = RateSchedule::Constant(2000);
+  workload.rate_s = RateSchedule::Constant(2000);
+  workload.total_tuples = 8000;
+  workload.seed = 75;
+  RunReport report = RunBicliqueWorkload(options, workload, /*check=*/true);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+}
+
+TEST(OverloadTest, BurstyRateScheduleStaysExactlyOnce) {
+  BicliqueOptions options;
+  options.window = 500 * kEventMilli;
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 25;
+  workload.rate_r = RateSchedule::Make({{0, 200},
+                                        {1 * kSecond, 8000},
+                                        {2 * kSecond, 200}})
+                        .ValueOrDie();
+  workload.rate_s = workload.rate_r;
+  workload.total_tuples = 9000;
+  workload.seed = 76;
+  RunReport report = RunBicliqueWorkload(options, workload, /*check=*/true);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+}
+
+}  // namespace
+}  // namespace bistream

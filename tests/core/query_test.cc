@@ -1,0 +1,147 @@
+// The declarative query builder: derivation rules, validation, and
+// end-to-end execution via RunQuery.
+
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/reference_join.h"
+
+namespace bistream {
+namespace {
+
+TEST(StreamJoinQueryTest, EquiDerivesHashRoutingAndHashIndex) {
+  auto options = StreamJoinQuery::Join(JoinPredicate::Equi())
+                     .Window(4 * kEventSecond)
+                     .Parallelism(6, 4)
+                     .Build();
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->subgroups_r, 6u);  // Pure hash by default.
+  EXPECT_EQ(options->subgroups_s, 4u);
+  EXPECT_EQ(*options->index_kind, IndexKind::kHash);
+  EXPECT_EQ(options->archive_period, 400 * kEventMilli);  // W/10.
+}
+
+TEST(StreamJoinQueryTest, BandDerivesBroadcastAndOrderedIndex) {
+  auto options = StreamJoinQuery::Join(JoinPredicate::Band(3))
+                     .Window(2 * kEventSecond)
+                     .Parallelism(4, 4)
+                     .Build();
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->subgroups_r, 1u);
+  EXPECT_EQ(options->subgroups_s, 1u);
+  EXPECT_EQ(*options->index_kind, IndexKind::kOrdered);
+}
+
+TEST(StreamJoinQueryTest, SkewProtectionCapsSubgroups) {
+  auto options = StreamJoinQuery::Join(JoinPredicate::Equi())
+                     .Parallelism(8, 8)
+                     .SkewProtection(4)
+                     .Build();
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->subgroups_r, 2u);  // 8 units / 4 per subgroup.
+  EXPECT_EQ(options->subgroups_s, 2u);
+}
+
+TEST(StreamJoinQueryTest, ExplicitSubgroupsRespected) {
+  auto options = StreamJoinQuery::Join(JoinPredicate::Equi())
+                     .Parallelism(6, 6)
+                     .Subgroups(3, 2)
+                     .Build();
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->subgroups_r, 3u);
+  EXPECT_EQ(options->subgroups_s, 2u);
+}
+
+TEST(StreamJoinQueryTest, FullHistoryHasNoExpiry) {
+  auto options = StreamJoinQuery::Join(JoinPredicate::Equi())
+                     .FullHistory()
+                     .Build();
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->window, kFullHistoryWindow);
+  EXPECT_EQ(options->archive_period, 1 * kEventSecond);
+}
+
+TEST(StreamJoinQueryTest, ValidationErrors) {
+  EXPECT_TRUE(StreamJoinQuery::Join(JoinPredicate::Equi())
+                  .Window(0)
+                  .Build()
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamJoinQuery::Join(JoinPredicate::Equi())
+                  .Parallelism(0, 2)
+                  .Build()
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamJoinQuery::Join(JoinPredicate::Equi())
+                  .Routers(0)
+                  .Build()
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamJoinQuery::Join(JoinPredicate::Equi())
+                  .BatchSize(0)
+                  .Build()
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamJoinQuery::Join(JoinPredicate::Equi())
+                  .ArchivePeriod(0)
+                  .Build()
+                  .status()
+                  .IsInvalidArgument());
+  // Subgroups on a non-equi predicate: the invalid configuration that
+  // would silently miss results must be rejected up front.
+  EXPECT_TRUE(StreamJoinQuery::Join(JoinPredicate::Band(1))
+                  .Subgroups(2, 2)
+                  .Build()
+                  .status()
+                  .IsInvalidArgument());
+  // More subgroups than units.
+  EXPECT_TRUE(StreamJoinQuery::Join(JoinPredicate::Equi())
+                  .Parallelism(2, 2)
+                  .Subgroups(4, 1)
+                  .Build()
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RunQueryTest, ExecutesEndToEnd) {
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 40;
+  workload.total_tuples = 2000;
+  workload.seed = 5;
+  SyntheticSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  struct VecSource final : StreamSource {
+    const std::vector<TimedTuple>* v;
+    size_t pos = 0;
+    std::optional<TimedTuple> Next() override {
+      if (pos >= v->size()) return std::nullopt;
+      return (*v)[pos++];
+    }
+  } replay;
+  replay.v = &stream;
+
+  CollectorSink sink(/*check=*/true);
+  StreamJoinQuery query = StreamJoinQuery::Join(JoinPredicate::Equi())
+                              .Window(1 * kEventSecond)
+                              .Parallelism(3, 3)
+                              .BatchSize(8)
+                              .Seed(9);
+  auto stats = RunQuery(query, &replay, &sink);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->input_tuples, 2000u);
+  EXPECT_EQ(stats->results, sink.count());
+  CheckReport check = sink.checker().Check(stream, JoinPredicate::Equi(),
+                                           1 * kEventSecond);
+  EXPECT_TRUE(check.Clean()) << check.ToString();
+}
+
+TEST(RunQueryTest, RejectsNullArguments) {
+  StreamJoinQuery query = StreamJoinQuery::Join(JoinPredicate::Equi());
+  CollectorSink sink;
+  EXPECT_TRUE(RunQuery(query, nullptr, &sink).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace bistream

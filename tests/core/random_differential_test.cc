@@ -1,0 +1,125 @@
+// Randomized differential testing: many seeded-random engine/workload
+// configurations, each checked three ways — biclique vs oracle, matrix vs
+// oracle, and biclique vs matrix result counts. This is the wide net for
+// interaction bugs no hand-written case anticipates.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+namespace bistream {
+namespace {
+
+struct RandomConfig {
+  BicliqueOptions biclique;
+  MatrixOptions matrix;
+  SyntheticWorkloadOptions workload;
+  std::string description;
+};
+
+RandomConfig DrawConfig(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1FF);
+  RandomConfig config;
+
+  // Predicate family.
+  int predicate_pick = static_cast<int>(rng.Uniform(4));
+  JoinPredicate predicate = JoinPredicate::Equi();
+  switch (predicate_pick) {
+    case 0:
+      predicate = JoinPredicate::Equi();
+      break;
+    case 1:
+      predicate = JoinPredicate::Band(rng.UniformInt(0, 4));
+      break;
+    case 2:
+      predicate = JoinPredicate::LessThan();
+      break;
+    case 3:
+      predicate = JoinPredicate::Theta(
+          "mod", [](const Tuple& l, const Tuple& r) {
+            return (l.key * 3 + r.key) % 5 == 0;
+          });
+      break;
+  }
+
+  config.biclique.predicate = predicate;
+  config.biclique.num_routers = static_cast<uint32_t>(rng.UniformInt(1, 4));
+  config.biclique.joiners_r = static_cast<uint32_t>(rng.UniformInt(1, 5));
+  config.biclique.joiners_s = static_cast<uint32_t>(rng.UniformInt(1, 5));
+  if (predicate.kind() == PredicateKind::kEqui) {
+    config.biclique.subgroups_r = static_cast<uint32_t>(
+        rng.UniformInt(1, config.biclique.joiners_r));
+    config.biclique.subgroups_s = static_cast<uint32_t>(
+        rng.UniformInt(1, config.biclique.joiners_s));
+  }
+  config.biclique.window =
+      rng.UniformInt(50, 1500) * kEventMilli;
+  config.biclique.archive_period = std::max<EventTime>(
+      config.biclique.window / rng.UniformInt(2, 20), kEventMilli);
+  config.biclique.punct_interval =
+      static_cast<SimTime>(rng.UniformInt(2, 40)) * kMillisecond;
+  config.biclique.batch_size =
+      rng.NextBool(0.5) ? 1 : static_cast<uint32_t>(rng.UniformInt(2, 64));
+  config.biclique.cost.net_jitter_ns =
+      static_cast<SimTime>(rng.UniformInt(0, 500)) * kMicrosecond;
+  config.biclique.seed = seed;
+
+  config.matrix.predicate = predicate;
+  config.matrix.rows = static_cast<uint32_t>(rng.UniformInt(1, 3));
+  config.matrix.cols = static_cast<uint32_t>(rng.UniformInt(1, 3));
+  config.matrix.window = config.biclique.window;
+  config.matrix.archive_period = config.biclique.archive_period;
+  config.matrix.seed = seed;
+
+  bool small_domain = predicate.kind() == PredicateKind::kTheta ||
+                      predicate.kind() == PredicateKind::kLessThan;
+  config.workload.key_domain =
+      static_cast<uint64_t>(rng.UniformInt(small_domain ? 10 : 20,
+                                           small_domain ? 40 : 120));
+  double rate = static_cast<double>(rng.UniformInt(300, 1500));
+  config.workload.rate_r = RateSchedule::Constant(rate);
+  config.workload.rate_s = RateSchedule::Constant(rate);
+  config.workload.total_tuples =
+      static_cast<uint64_t>(rng.UniformInt(1200, 3000));
+  if (rng.NextBool(0.3)) {
+    config.workload.zipf_theta_r = rng.NextDouble() * 1.2;
+  }
+  config.workload.seed = seed;
+
+  config.description =
+      std::string(PredicateKindToString(predicate.kind())) + " routers=" +
+      std::to_string(config.biclique.num_routers) + " joiners=" +
+      std::to_string(config.biclique.joiners_r) + "+" +
+      std::to_string(config.biclique.joiners_s) + " d=" +
+      std::to_string(config.biclique.subgroups_r) + " e=" +
+      std::to_string(config.biclique.subgroups_s) + " batch=" +
+      std::to_string(config.biclique.batch_size) + " W=" +
+      std::to_string(config.biclique.window) + "us";
+  return config;
+}
+
+class RandomDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomDifferentialTest, BothEnginesMatchOracle) {
+  RandomConfig config = DrawConfig(GetParam());
+  SCOPED_TRACE(config.description);
+
+  RunReport biclique =
+      RunBicliqueWorkload(config.biclique, config.workload, /*check=*/true);
+  EXPECT_TRUE(biclique.check.Clean())
+      << "biclique: " << biclique.check.ToString();
+
+  RunReport matrix =
+      RunMatrixWorkload(config.matrix, config.workload, /*check=*/true);
+  EXPECT_TRUE(matrix.check.Clean())
+      << "matrix: " << matrix.check.ToString();
+
+  EXPECT_EQ(biclique.results, matrix.results)
+      << "engines disagree on the result count";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace bistream

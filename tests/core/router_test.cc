@@ -1,0 +1,191 @@
+// Router unit behaviour: sequencing, store/join fan-out, punctuation
+// cadence and rounds, epoch activation at round boundaries, stop-flush.
+
+#include "core/router.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace bistream {
+namespace {
+
+struct Capture {
+  std::vector<std::pair<uint32_t, Message>> sent;  // (unit, message).
+  UnitSendFn Fn() {
+    return [this](uint32_t unit, Message msg) {
+      sent.emplace_back(unit, std::move(msg));
+    };
+  }
+  size_t CountKind(Message::Kind kind) const {
+    size_t n = 0;
+    for (const auto& [unit, msg] : sent) n += msg.kind == kind ? 1 : 0;
+    return n;
+  }
+};
+
+class RouterTest : public ::testing::Test {
+ protected:
+  RouterTest() : topo_(1, 1) {
+    for (int i = 0; i < 2; ++i) topo_.AddUnit(kRelationR);
+    for (int i = 0; i < 3; ++i) topo_.AddUnit(kRelationS);
+  }
+
+  Router MakeRouter(SimTime punct_interval = 10 * kMillisecond) {
+    RouterOptions options;
+    options.router_id = 7;
+    options.punct_interval = punct_interval;
+    Router router(options, &loop_, capture_.Fn());
+    router.ScheduleEpoch(0, topo_.Snapshot());
+    return router;
+  }
+
+  Message InputTuple(RelationId rel, int64_t key) {
+    Tuple t;
+    t.relation = rel;
+    t.key = key;
+    return MakeTupleMessage(std::move(t), StreamKind::kStore, 0, 0, 0);
+  }
+
+  EventLoop loop_;
+  TopologyManager topo_;
+  Capture capture_;
+};
+
+TEST_F(RouterTest, ForksTupleIntoStoreAndJoinCopies) {
+  Router router = MakeRouter();
+  router.Handle(InputTuple(kRelationR, 42));
+  // 1 store copy (R side) + 3 join copies (all S units, ContRand).
+  ASSERT_EQ(capture_.sent.size(), 4u);
+  size_t stores = 0, joins = 0;
+  for (const auto& [unit, msg] : capture_.sent) {
+    EXPECT_EQ(msg.kind, Message::Kind::kTuple);
+    EXPECT_EQ(msg.router_id, 7u);
+    EXPECT_EQ(msg.seq, 1u);
+    EXPECT_EQ(msg.round, 0u);
+    (msg.stream == StreamKind::kStore ? stores : joins)++;
+  }
+  EXPECT_EQ(stores, 1u);
+  EXPECT_EQ(joins, 3u);
+}
+
+TEST_F(RouterTest, SeqIncrementsPerTuple) {
+  Router router = MakeRouter();
+  router.Handle(InputTuple(kRelationR, 1));
+  router.Handle(InputTuple(kRelationS, 2));
+  EXPECT_EQ(router.current_seq(), 2u);
+  // S tuple: 1 store + 2 join copies (R side has 2 units).
+  EXPECT_EQ(capture_.sent.size(), 4u + 3u);
+  EXPECT_EQ(capture_.sent.back().second.seq, 2u);
+}
+
+TEST_F(RouterTest, PunctuationCadenceAdvancesRounds) {
+  Router router = MakeRouter(5 * kMillisecond);
+  router.Start();
+  loop_.RunUntil(16 * kMillisecond);  // Ticks at 5, 10, 15 ms.
+  EXPECT_EQ(router.current_round(), 3u);
+  // Each tick sends one punctuation to each of the 5 live units.
+  EXPECT_EQ(capture_.CountKind(Message::Kind::kPunctuation), 15u);
+  EXPECT_EQ(router.stats().punctuations, 3u);
+  // Drain remaining scheduled ticks via stop-flush.
+  router.Handle(MakeControl(ControlOp::kStopFlush, 0));
+  loop_.RunUntilIdle();
+}
+
+TEST_F(RouterTest, TupleRoundTracksCurrentRound) {
+  Router router = MakeRouter(5 * kMillisecond);
+  router.Start();
+  loop_.RunUntil(11 * kMillisecond);  // round_ == 2 now.
+  router.Handle(InputTuple(kRelationR, 5));
+  EXPECT_EQ(capture_.sent.back().second.round, 2u);
+  router.Handle(MakeControl(ControlOp::kStopFlush, 0));
+  loop_.RunUntilIdle();
+}
+
+TEST_F(RouterTest, EpochActivatesExactlyAtItsRound) {
+  Router router = MakeRouter(5 * kMillisecond);
+  uint32_t new_unit = topo_.AddUnit(kRelationS);
+  router.ScheduleEpoch(2, topo_.Snapshot());
+  router.Start();
+
+  // Round 0: the new unit must receive nothing.
+  router.Handle(InputTuple(kRelationR, 1));
+  for (const auto& [unit, msg] : capture_.sent) {
+    EXPECT_NE(unit, new_unit);
+  }
+  capture_.sent.clear();
+
+  loop_.RunUntil(11 * kMillisecond);  // Now in round 2: epoch active.
+  capture_.sent.clear();
+  router.Handle(InputTuple(kRelationR, 1));
+  bool saw_new_unit = false;
+  for (const auto& [unit, msg] : capture_.sent) {
+    saw_new_unit |= unit == new_unit;
+  }
+  EXPECT_TRUE(saw_new_unit);
+  router.Handle(MakeControl(ControlOp::kStopFlush, 0));
+  loop_.RunUntilIdle();
+}
+
+TEST_F(RouterTest, StopFlushEmitsFinalPunctuationAndHalts) {
+  Router router = MakeRouter();
+  router.Start();
+  router.Handle(MakeControl(ControlOp::kStopFlush, 0));
+  EXPECT_TRUE(router.stopped());
+  EXPECT_EQ(capture_.CountKind(Message::Kind::kPunctuation), 5u);
+  // Pending tick fires but emits nothing further.
+  loop_.RunUntilIdle();
+  EXPECT_EQ(capture_.CountKind(Message::Kind::kPunctuation), 5u);
+}
+
+TEST_F(RouterTest, TuplesAfterStopAreDroppedAndCounted) {
+  Router router = MakeRouter();
+  router.Start();
+  router.Handle(MakeControl(ControlOp::kStopFlush, 0));
+  size_t before = capture_.sent.size();
+  router.Handle(InputTuple(kRelationR, 9));
+  EXPECT_EQ(capture_.sent.size(), before);
+  EXPECT_EQ(router.stats().dropped_after_stop, 1u);
+  loop_.RunUntilIdle();
+}
+
+TEST_F(RouterTest, StatsCountStreams) {
+  Router router = MakeRouter();
+  router.Handle(InputTuple(kRelationR, 1));
+  router.Handle(InputTuple(kRelationR, 2));
+  EXPECT_EQ(router.stats().tuples_routed, 2u);
+  EXPECT_EQ(router.stats().store_messages, 2u);
+  EXPECT_EQ(router.stats().join_messages, 6u);
+}
+
+TEST_F(RouterTest, HandleReturnsPositiveServiceCost) {
+  Router router = MakeRouter();
+  EXPECT_GT(router.Handle(InputTuple(kRelationR, 1)), 0u);
+  EXPECT_GT(router.Handle(MakeControl(ControlOp::kStopFlush, 0)), 0u);
+}
+
+TEST(RouterDeathTest, EpochForPastRoundAborts) {
+  EventLoop loop;
+  TopologyManager topo(1, 1);
+  topo.AddUnit(kRelationR);
+  topo.AddUnit(kRelationS);
+  RouterOptions options;
+  options.punct_interval = 1 * kMillisecond;
+  Router router(options, &loop, [](uint32_t, Message) {});
+  router.ScheduleEpoch(0, topo.Snapshot());
+  router.Start();
+  loop.RunUntil(10 * kMillisecond);
+  EXPECT_DEATH(router.ScheduleEpoch(1, topo.Snapshot()),
+               "already passed");
+}
+
+TEST(RouterDeathTest, StartWithoutEpochAborts) {
+  EventLoop loop;
+  RouterOptions options;
+  Router router(options, &loop, [](uint32_t, Message) {});
+  EXPECT_DEATH(router.Start(), "initial epoch");
+}
+
+}  // namespace
+}  // namespace bistream

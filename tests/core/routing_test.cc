@@ -1,0 +1,126 @@
+#include "core/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace bistream {
+namespace {
+
+Tuple Make(RelationId rel, int64_t key) {
+  Tuple t;
+  t.relation = rel;
+  t.key = key;
+  return t;
+}
+
+struct TestCluster {
+  TopologyManager topo;
+  std::shared_ptr<const TopologyView> view;
+  TestCluster(uint32_t d, uint32_t e, int r_units, int s_units)
+      : topo(d, e) {
+    for (int i = 0; i < r_units; ++i) topo.AddUnit(kRelationR);
+    for (int i = 0; i < s_units; ++i) topo.AddUnit(kRelationS);
+    view = topo.Snapshot();
+  }
+};
+
+TEST(RoutingPolicyTest, ContRandBroadcastsToWholeOppositeSide) {
+  TestCluster cluster(1, 1, 3, 4);
+  RoutingPolicy policy(1, 1);
+  RouteDecision d = policy.Route(Make(kRelationR, 42), *cluster.view);
+  EXPECT_EQ(d.probe_units->size(), 4u);  // All S units.
+  RouteDecision d2 = policy.Route(Make(kRelationS, 42), *cluster.view);
+  EXPECT_EQ(d2.probe_units->size(), 3u);  // All R units.
+}
+
+TEST(RoutingPolicyTest, ContRandStoreRotatesOverAllUnits) {
+  TestCluster cluster(1, 1, 3, 3);
+  RoutingPolicy policy(1, 1);
+  std::map<uint32_t, int> store_counts;
+  for (int i = 0; i < 300; ++i) {
+    RouteDecision d = policy.Route(Make(kRelationR, i), *cluster.view);
+    ++store_counts[d.store_unit];
+  }
+  ASSERT_EQ(store_counts.size(), 3u);
+  for (const auto& [unit, count] : store_counts) EXPECT_EQ(count, 100);
+}
+
+TEST(RoutingPolicyTest, ContHashSameKeySameSubgroup) {
+  TestCluster cluster(2, 2, 4, 4);
+  RoutingPolicy policy(2, 2);
+  // All probes for one key must target the same opposite subgroup, and the
+  // store unit must always be in the own-side subgroup the probes of the
+  // opposite relation would target.
+  RouteDecision r1 = policy.Route(Make(kRelationR, 7), *cluster.view);
+  RouteDecision r2 = policy.Route(Make(kRelationR, 7), *cluster.view);
+  EXPECT_EQ(r1.probe_units, r2.probe_units);
+
+  // An S tuple with the same key probes R's subgroup for key 7; the R
+  // store units for key 7 must all live inside that probed set.
+  RouteDecision s = policy.Route(Make(kRelationS, 7), *cluster.view);
+  std::set<uint32_t> probed_r(s.probe_units->begin(), s.probe_units->end());
+  for (int i = 0; i < 10; ++i) {
+    RouteDecision r = policy.Route(Make(kRelationR, 7), *cluster.view);
+    EXPECT_TRUE(probed_r.count(r.store_unit))
+        << "stored r would be missed by s probes";
+  }
+}
+
+TEST(RoutingPolicyTest, ContHashStoreRotatesWithinSubgroup) {
+  // Skew absorption: a single hot key's stores spread over the whole
+  // subgroup instead of hammering one unit.
+  TestCluster cluster(2, 2, 6, 6);
+  RoutingPolicy policy(2, 2);
+  std::map<uint32_t, int> store_counts;
+  for (int i = 0; i < 300; ++i) {
+    RouteDecision d = policy.Route(Make(kRelationR, 42), *cluster.view);
+    ++store_counts[d.store_unit];
+  }
+  ASSERT_EQ(store_counts.size(), 3u);  // 6 units / 2 subgroups.
+  for (const auto& [unit, count] : store_counts) EXPECT_EQ(count, 100);
+}
+
+TEST(RoutingPolicyTest, PureHashSingleProbeTarget) {
+  // d == n: each subgroup is a single unit — classic hash partitioning.
+  TestCluster cluster(4, 4, 4, 4);
+  RoutingPolicy policy(4, 4);
+  RouteDecision d = policy.Route(Make(kRelationR, 9), *cluster.view);
+  EXPECT_EQ(d.probe_units->size(), 1u);
+}
+
+TEST(RoutingPolicyTest, SubgroupSelectionIsDeterministic) {
+  RoutingPolicy a(4, 2), b(4, 2);
+  for (int64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(a.SubgroupFor(key, 0), b.SubgroupFor(key, 0));
+    EXPECT_LT(a.SubgroupFor(key, 0), 4u);
+    EXPECT_LT(a.SubgroupFor(key, 1), 2u);
+  }
+}
+
+TEST(RoutingPolicyTest, ProbesCoverAllStoresProperty) {
+  // Core coverage invariant behind exactly-once: for any r and s with
+  // matching keys, s's probe set contains r's store unit and vice versa.
+  for (uint32_t d : {1u, 2u, 3u}) {
+    for (uint32_t e : {1u, 2u}) {
+      TestCluster cluster(d, e, 6, 4);
+      RoutingPolicy policy(d, e);
+      for (int64_t key = 0; key < 50; ++key) {
+        RouteDecision r = policy.Route(Make(kRelationR, key), *cluster.view);
+        RouteDecision s = policy.Route(Make(kRelationS, key), *cluster.view);
+        std::set<uint32_t> s_probes_r(s.probe_units->begin(),
+                                      s.probe_units->end());
+        std::set<uint32_t> r_probes_s(r.probe_units->begin(),
+                                      r.probe_units->end());
+        EXPECT_TRUE(s_probes_r.count(r.store_unit))
+            << "d=" << d << " e=" << e << " key=" << key;
+        EXPECT_TRUE(r_probes_s.count(s.store_unit))
+            << "d=" << d << " e=" << e << " key=" << key;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bistream

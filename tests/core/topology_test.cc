@@ -1,0 +1,102 @@
+#include "core/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+TEST(TopologyTest, AddUnitsBalancesSubgroups) {
+  TopologyManager topo(/*subgroups_r=*/2, /*subgroups_s=*/3);
+  std::vector<uint32_t> r_units;
+  for (int i = 0; i < 4; ++i) r_units.push_back(topo.AddUnit(kRelationR));
+  // Round-robin over least-populated: subgroups 0,1,0,1.
+  EXPECT_EQ(topo.unit(r_units[0]).subgroup, 0u);
+  EXPECT_EQ(topo.unit(r_units[1]).subgroup, 1u);
+  EXPECT_EQ(topo.unit(r_units[2]).subgroup, 0u);
+  EXPECT_EQ(topo.unit(r_units[3]).subgroup, 1u);
+  EXPECT_EQ(topo.NumActive(kRelationR), 4u);
+  EXPECT_EQ(topo.NumActive(kRelationS), 0u);
+}
+
+TEST(TopologyTest, SnapshotSeparatesStoreAndProbeSets) {
+  TopologyManager topo(1, 1);
+  uint32_t r1 = topo.AddUnit(kRelationR);
+  uint32_t r2 = topo.AddUnit(kRelationR);
+  uint32_t s1 = topo.AddUnit(kRelationS);
+  ASSERT_TRUE(topo.StartDrain(r2).ok());
+
+  auto view = topo.Snapshot();
+  // Draining r2: out of the store set, still in probe and punct sets.
+  EXPECT_EQ(view->sides[0].store_by_subgroup[0],
+            (std::vector<uint32_t>{r1}));
+  EXPECT_EQ(view->sides[0].probe_by_subgroup[0],
+            (std::vector<uint32_t>{r1, r2}));
+  EXPECT_EQ(view->sides[1].store_by_subgroup[0],
+            (std::vector<uint32_t>{s1}));
+  EXPECT_EQ(view->punct_targets, (std::vector<uint32_t>{r1, r2, s1}));
+}
+
+TEST(TopologyTest, RetiredUnitsDisappearFromSnapshots) {
+  TopologyManager topo(1, 1);
+  topo.AddUnit(kRelationR);
+  uint32_t r2 = topo.AddUnit(kRelationR);
+  ASSERT_TRUE(topo.StartDrain(r2).ok());
+  ASSERT_TRUE(topo.Retire(r2).ok());
+  auto view = topo.Snapshot();
+  EXPECT_EQ(view->sides[0].probe_by_subgroup[0].size(), 1u);
+  EXPECT_EQ(view->punct_targets.size(), 1u);
+  EXPECT_EQ(topo.NumLive(kRelationR), 1u);
+}
+
+TEST(TopologyTest, LifecycleTransitionsEnforced) {
+  TopologyManager topo(1, 1);
+  uint32_t r1 = topo.AddUnit(kRelationR);
+  uint32_t r2 = topo.AddUnit(kRelationR);
+  // Retire before drain: invalid.
+  EXPECT_TRUE(topo.Retire(r1).IsFailedPrecondition());
+  ASSERT_TRUE(topo.StartDrain(r1).ok());
+  // Double drain: invalid.
+  EXPECT_TRUE(topo.StartDrain(r1).IsFailedPrecondition());
+  // Cannot drain the last active unit.
+  EXPECT_TRUE(topo.StartDrain(r2).IsFailedPrecondition());
+  EXPECT_TRUE(topo.Retire(r1).ok());
+  // Unknown unit.
+  EXPECT_TRUE(topo.StartDrain(999).IsNotFound());
+}
+
+TEST(TopologyTest, DrainCandidatePrefersYoungestOfFullestSubgroup) {
+  TopologyManager topo(2, 1);
+  uint32_t u0 = topo.AddUnit(kRelationR);  // Subgroup 0.
+  topo.AddUnit(kRelationR);                // Subgroup 1.
+  uint32_t u2 = topo.AddUnit(kRelationR);  // Subgroup 0.
+  auto candidate = topo.PickDrainCandidate(kRelationR);
+  ASSERT_TRUE(candidate.ok());
+  EXPECT_EQ(*candidate, u2);  // Youngest in the fullest subgroup (0).
+  (void)u0;
+}
+
+TEST(TopologyTest, ScaleOutAfterDrainRefillsThinnestSubgroup) {
+  TopologyManager topo(2, 1);
+  topo.AddUnit(kRelationR);                 // sg 0.
+  uint32_t u1 = topo.AddUnit(kRelationR);   // sg 1.
+  ASSERT_TRUE(topo.StartDrain(u1).ok());
+  // sg 1 now has no active unit: the next add must go there.
+  uint32_t u2 = topo.AddUnit(kRelationR);
+  EXPECT_EQ(topo.unit(u2).subgroup, 1u);
+}
+
+TEST(TopologyTest, SnapshotVersionsIncrease) {
+  TopologyManager topo(1, 1);
+  topo.AddUnit(kRelationR);
+  auto v1 = topo.Snapshot();
+  auto v2 = topo.Snapshot();
+  EXPECT_LT(v1->version, v2->version);
+}
+
+TEST(TopologyTest, SideOfMapsRelations) {
+  EXPECT_EQ(TopologyManager::SideOf(kRelationR), 0);
+  EXPECT_EQ(TopologyManager::SideOf(kRelationS), 1);
+}
+
+}  // namespace
+}  // namespace bistream

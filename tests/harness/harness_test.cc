@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+#include "harness/table.h"
+
+namespace bistream {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedColumns) {
+  TablePrinter table({"units", "throughput"});
+  table.AddRow({"4", "1000"});
+  table.AddRow({"16", "98765"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("| units | throughput |"), std::string::npos);
+  EXPECT_NE(out.find("| 16    | 98765      |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|-------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Int(-42), "-42");
+  EXPECT_EQ(TablePrinter::Bytes(1500), "1.50 KB");
+  EXPECT_EQ(TablePrinter::Bytes(2500000), "2.50 MB");
+  EXPECT_EQ(TablePrinter::Bytes(3500000000LL), "3.50 GB");
+  EXPECT_EQ(TablePrinter::Bytes(12), "12 B");
+  EXPECT_EQ(TablePrinter::Millis(2500000), "2.50 ms");
+}
+
+TEST(TablePrinterTest, CsvFormat) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"plain", "1"});
+  table.AddRow({"has,comma", "with \"quote\""});
+  std::string csv = table.Render(TableFormat::kCsv);
+  EXPECT_EQ(csv,
+            "name,value\n"
+            "plain,1\n"
+            "\"has,comma\",\"with \"\"quote\"\"\"\n");
+}
+
+TEST(TablePrinterTest, DefaultFormatIsProcessWide) {
+  TablePrinter table({"a"});
+  table.AddRow({"1"});
+  TablePrinter::SetDefaultFormat(TableFormat::kCsv);
+  EXPECT_EQ(table.Render(), "a\n1\n");
+  TablePrinter::SetDefaultFormat(TableFormat::kAscii);
+  EXPECT_NE(table.Render().find("| a |"), std::string::npos);
+}
+
+TEST(RunnerTest, EstimateAndMeasureCapacityConvergesFast) {
+  // Busy fraction = rate / 2000; target cap 0.9 → capacity 1800. The
+  // estimate lands exactly, so the bisection only needs to confirm.
+  int runs = 0;
+  auto runner = [&](double rate) {
+    ++runs;
+    RunReport report;
+    report.engine.max_busy_fraction = rate / 2000.0;
+    return report;
+  };
+  double capacity = EstimateAndMeasureCapacity(runner, 100, 6, 0.9);
+  EXPECT_NEAR(capacity, 1800, 100);
+  EXPECT_LE(runs, 8);  // 1 calibration + 1 lo-probe + 6 bisections.
+}
+
+TEST(TablePrinterDeathTest, ArityMismatchAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+TEST(RunnerTest, MakeWorkloadSizesStream) {
+  SyntheticWorkloadOptions workload =
+      MakeWorkload(/*rate=*/1000, /*duration=*/2 * kSecond,
+                   /*key_domain=*/50, /*seed=*/1);
+  EXPECT_EQ(workload.total_tuples, 4000u);  // 2 relations * 1000/s * 2 s.
+  EXPECT_EQ(workload.key_domain, 50u);
+}
+
+TEST(RunnerTest, ReportIsInternallyConsistent) {
+  BicliqueOptions options;
+  options.window = 1 * kEventSecond;
+  RunReport report = RunBicliqueWorkload(
+      options, MakeWorkload(500, 2 * kSecond, 40, 7), /*check=*/true);
+  EXPECT_EQ(report.results, report.engine.results);
+  EXPECT_EQ(report.latency.count(), report.results);
+  EXPECT_NEAR(report.throughput_tps, 1000, 150);
+  EXPECT_TRUE(report.check.Clean());
+  EXPECT_GT(report.engine.messages, report.engine.input_tuples);
+}
+
+TEST(RunnerTest, MeasureCapacityFindsMonotoneThreshold) {
+  // Synthetic runner: busy fraction = rate / 1000. Capacity at cap 0.9
+  // should bisect to ~900.
+  auto runner = [](double rate) {
+    RunReport report;
+    report.engine.max_busy_fraction = rate / 1000.0;
+    return report;
+  };
+  CapacityOptions options;
+  options.lo_rate = 10;
+  options.hi_rate = 5000;
+  options.iterations = 12;
+  options.busy_cap = 0.9;
+  double capacity = MeasureCapacity(runner, options);
+  EXPECT_NEAR(capacity, 900, 10);
+}
+
+TEST(RunnerTest, MeasureCapacityHandlesAlwaysUnsustainable) {
+  auto runner = [](double) {
+    RunReport report;
+    report.engine.max_busy_fraction = 5.0;
+    return report;
+  };
+  CapacityOptions options;
+  options.lo_rate = 100;
+  options.hi_rate = 1000;
+  EXPECT_DOUBLE_EQ(MeasureCapacity(runner, options), 100);
+}
+
+}  // namespace
+}  // namespace bistream

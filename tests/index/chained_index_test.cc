@@ -1,0 +1,178 @@
+// The chained in-memory index: archive-period sealing, Theorem-1 expiry at
+// sub-index granularity, pair-level window exactness, memory accounting.
+
+#include "index/chained_index.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+Tuple Make(RelationId rel, uint64_t id, int64_t key, EventTime ts) {
+  Tuple t;
+  t.relation = rel;
+  t.id = id;
+  t.key = key;
+  t.ts = ts;
+  return t;
+}
+
+ChainedIndexOptions Options(EventTime archive, EventTime window,
+                            MemoryTracker* tracker = nullptr,
+                            IndexKind kind = IndexKind::kHash) {
+  ChainedIndexOptions options;
+  options.kind = kind;
+  options.archive_period = archive;
+  options.window = window;
+  options.tracker = tracker;
+  return options;
+}
+
+TEST(ChainedIndexTest, SealsWhenSpanReachesArchivePeriod) {
+  ChainedIndex index(Options(/*archive=*/100, /*window=*/1000));
+  index.Insert(Make(kRelationR, 1, 1, 0));
+  index.Insert(Make(kRelationR, 2, 1, 50));
+  EXPECT_EQ(index.num_subindexes(), 1u);
+  index.Insert(Make(kRelationR, 3, 1, 100));  // Span now 100 = P: sealed.
+  EXPECT_EQ(index.stats().sealed_subindexes, 1u);
+  index.Insert(Make(kRelationR, 4, 1, 120));  // Opens a fresh period.
+  EXPECT_EQ(index.num_subindexes(), 2u);
+  EXPECT_EQ(index.size(), 4u);
+}
+
+TEST(ChainedIndexTest, TheoremOneBoundaryIsStrict) {
+  // r can be removed once an opposite tuple s arrives with s.ts - r.ts > W.
+  ChainedIndex index(Options(/*archive=*/10, /*window=*/100));
+  index.Insert(Make(kRelationR, 1, 1, 0));
+  index.Insert(Make(kRelationR, 2, 1, 10));  // Span = P: sealed {0, 10}.
+  index.Insert(Make(kRelationR, 3, 1, 60));  // New active {60}.
+
+  // s.ts - max_ts == W exactly: NOT expired (strict inequality).
+  EXPECT_EQ(index.Expire(110), 0u);
+  EXPECT_EQ(index.size(), 3u);
+  // One past the boundary: the sealed sub-index (max_ts = 10) goes whole.
+  EXPECT_EQ(index.Expire(111), 2u);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.stats().expired_subindexes, 1u);
+  EXPECT_EQ(index.stats().expired_tuples, 2u);
+}
+
+TEST(ChainedIndexTest, ExpiryDropsWholeSubindexesOldestFirst) {
+  ChainedIndex index(Options(/*archive=*/10, /*window=*/50));
+  // Three archive periods: ts 0-10, 20-30, 40-50.
+  for (EventTime ts : {0, 10, 20, 30, 40, 50}) {
+    index.Insert(Make(kRelationR, static_cast<uint64_t>(ts + 1), 1, ts));
+  }
+  EXPECT_GE(index.num_subindexes(), 3u);
+  uint64_t dropped = index.Expire(85);  // Expires everything with max < 35.
+  EXPECT_EQ(dropped, 4u);               // ts 0,10,20,30.
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(ChainedIndexTest, ActiveSubIndexAlsoExpires) {
+  ChainedIndex index(Options(/*archive=*/1000, /*window=*/10));
+  index.Insert(Make(kRelationR, 1, 1, 0));  // Stays active (span < P).
+  EXPECT_EQ(index.Expire(11), 1u);
+  EXPECT_EQ(index.size(), 0u);
+  // Index stays usable afterwards.
+  index.Insert(Make(kRelationR, 2, 1, 20));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(ChainedIndexTest, ProbeAppliesPairLevelWindowCheck) {
+  // A surviving sub-index can straddle the window boundary; individual
+  // stale tuples inside it must still be filtered.
+  ChainedIndex index(Options(/*archive=*/1000, /*window=*/100));
+  index.Insert(Make(kRelationR, 1, 7, 0));    // Will be outside the window.
+  index.Insert(Make(kRelationR, 2, 7, 80));   // Inside.
+  std::vector<uint64_t> ids;
+  index.ExpireAndProbe(Make(kRelationS, 10, 7, 150), JoinPredicate::Equi(),
+                       [&](const Tuple& t) { ids.push_back(t.id); });
+  EXPECT_EQ(ids, (std::vector<uint64_t>{2}));
+  // The sub-index itself survived (max_ts = 80 within window of 150).
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(ChainedIndexTest, OutOfOrderProbeSeesNewerStoredTuplesWithinWindow) {
+  ChainedIndex index(Options(/*archive=*/1000, /*window=*/100));
+  index.Insert(Make(kRelationR, 1, 7, 200));
+  std::vector<uint64_t> ids;
+  // Probe with an *older* timestamp: |200 - 150| <= 100 so it matches.
+  index.ExpireAndProbe(Make(kRelationS, 10, 7, 150), JoinPredicate::Equi(),
+                       [&](const Tuple& t) { ids.push_back(t.id); });
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1}));
+  // And a probe too far in the past does not.
+  ids.clear();
+  index.ExpireAndProbe(Make(kRelationS, 11, 7, 50), JoinPredicate::Equi(),
+                       [&](const Tuple& t) { ids.push_back(t.id); });
+  EXPECT_TRUE(ids.empty());
+}
+
+TEST(ChainedIndexTest, ProbeSpansChainAndActive) {
+  ChainedIndex index(Options(/*archive=*/10, /*window=*/1000));
+  index.Insert(Make(kRelationR, 1, 7, 0));
+  index.Insert(Make(kRelationR, 2, 7, 20));  // New sub-index.
+  index.Insert(Make(kRelationR, 3, 7, 40));  // Another.
+  std::vector<uint64_t> ids;
+  index.ExpireAndProbe(Make(kRelationS, 10, 7, 50), JoinPredicate::Equi(),
+                       [&](const Tuple& t) { ids.push_back(t.id); });
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(ChainedIndexTest, MemoryAccountingBalances) {
+  MemoryTracker tracker("test");
+  {
+    ChainedIndex index(Options(10, 50, &tracker));
+    for (EventTime ts = 0; ts < 100; ts += 5) {
+      index.Insert(
+          Make(kRelationR, static_cast<uint64_t>(ts + 1), ts, ts));
+    }
+    EXPECT_GT(tracker.current_bytes(), 0);
+    EXPECT_EQ(tracker.current_bytes(), static_cast<int64_t>(index.bytes()));
+    index.Expire(1000);  // Everything out.
+    EXPECT_EQ(tracker.current_bytes(), 0);
+    index.Insert(Make(kRelationR, 999, 1, 2000));
+    EXPECT_GT(tracker.current_bytes(), 0);
+  }
+  // Destructor releases the remainder.
+  EXPECT_EQ(tracker.current_bytes(), 0);
+}
+
+TEST(ChainedIndexTest, SmallerArchivePeriodMeansFinerExpiry) {
+  // With P = W the whole window lives in ~1-2 sub-indexes and expiry is
+  // coarse; with P = W/10 expiry tracks the window closely. Verify the
+  // retained-size gap, which is the E6 trade-off.
+  auto run = [](EventTime archive) {
+    ChainedIndex index(Options(archive, /*window=*/100));
+    size_t max_size = 0;
+    for (EventTime ts = 0; ts < 2000; ++ts) {
+      index.Insert(Make(kRelationR, static_cast<uint64_t>(ts + 1), 1, ts));
+      index.Expire(ts);
+      max_size = std::max(max_size, index.size());
+    }
+    return max_size;
+  };
+  size_t coarse = run(100);
+  size_t fine = run(10);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LE(fine, 125u);   // ~window + archive period.
+  EXPECT_GE(coarse, 150u);  // Up to ~2x window retained.
+}
+
+TEST(ChainedIndexTest, StatsCountProbeCandidates) {
+  ChainedIndex index(Options(1000, 1000));
+  index.Insert(Make(kRelationR, 1, 7, 0));
+  index.Insert(Make(kRelationR, 2, 7, 1));
+  index.ExpireAndProbe(Make(kRelationS, 10, 7, 2), JoinPredicate::Equi(),
+                       [](const Tuple&) {});
+  EXPECT_EQ(index.stats().probe_candidates, 2u);
+  EXPECT_EQ(index.stats().inserted_tuples, 2u);
+}
+
+TEST(ChainedIndexDeathTest, RejectsNonPositiveArchivePeriod) {
+  EXPECT_DEATH(ChainedIndex(Options(0, 100)), "archive_period");
+}
+
+}  // namespace
+}  // namespace bistream

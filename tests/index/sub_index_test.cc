@@ -1,0 +1,152 @@
+#include "index/sub_index.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+Tuple Make(RelationId rel, uint64_t id, int64_t key, EventTime ts) {
+  Tuple t;
+  t.relation = rel;
+  t.id = id;
+  t.key = key;
+  t.ts = ts;
+  return t;
+}
+
+std::vector<uint64_t> ProbeIds(SubIndex& index, const Tuple& probe,
+                               const JoinPredicate& pred) {
+  std::vector<uint64_t> ids;
+  index.Probe(probe, pred, [&](const Tuple& t) { ids.push_back(t.id); });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// ---- Shared behaviour across every sub-index kind (parameterized). ----
+
+class SubIndexKindTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(SubIndexKindTest, EmptyIndexHasSentinelBounds) {
+  auto index = MakeSubIndex(GetParam());
+  EXPECT_TRUE(index->empty());
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_EQ(index->min_ts(), kNoEventTime);
+  EXPECT_EQ(index->max_ts(), kNoEventTime);
+}
+
+TEST_P(SubIndexKindTest, InsertTracksTimestampBounds) {
+  auto index = MakeSubIndex(GetParam());
+  index->Insert(Make(kRelationS, 1, 5, 100));
+  index->Insert(Make(kRelationS, 2, 5, 50));
+  index->Insert(Make(kRelationS, 3, 5, 200));
+  EXPECT_EQ(index->size(), 3u);
+  EXPECT_EQ(index->min_ts(), 50);
+  EXPECT_EQ(index->max_ts(), 200);
+}
+
+TEST_P(SubIndexKindTest, EquiProbeFindsAllMatches) {
+  auto index = MakeSubIndex(GetParam());
+  index->Insert(Make(kRelationS, 1, 7, 1));
+  index->Insert(Make(kRelationS, 2, 7, 2));
+  index->Insert(Make(kRelationS, 3, 8, 3));
+  auto ids = ProbeIds(*index, Make(kRelationR, 10, 7, 4),
+                      JoinPredicate::Equi());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST_P(SubIndexKindTest, ProbeMissesWhenNoMatch) {
+  auto index = MakeSubIndex(GetParam());
+  index->Insert(Make(kRelationS, 1, 7, 1));
+  auto ids = ProbeIds(*index, Make(kRelationR, 10, 9, 2),
+                      JoinPredicate::Equi());
+  EXPECT_TRUE(ids.empty());
+}
+
+TEST_P(SubIndexKindTest, BandProbeFindsRange) {
+  auto index = MakeSubIndex(GetParam());
+  for (int64_t k = 0; k < 20; ++k) {
+    index->Insert(Make(kRelationS, static_cast<uint64_t>(k + 1), k, k));
+  }
+  auto ids = ProbeIds(*index, Make(kRelationR, 100, 10, 30),
+                      JoinPredicate::Band(2));
+  EXPECT_EQ(ids, (std::vector<uint64_t>{9, 10, 11, 12, 13}));  // Keys 8..12.
+}
+
+TEST_P(SubIndexKindTest, BytesGrowWithInserts) {
+  auto index = MakeSubIndex(GetParam());
+  size_t empty = index->bytes();
+  index->Insert(Make(kRelationS, 1, 7, 1));
+  EXPECT_GT(index->bytes(), empty);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SubIndexKindTest,
+                         ::testing::Values(IndexKind::kHash,
+                                           IndexKind::kOrdered,
+                                           IndexKind::kScan),
+                         [](const auto& info) {
+                           return IndexKindToString(info.param);
+                         });
+
+// ---- Kind-specific behaviours. ----
+
+TEST(HashSubIndexTest, PointProbeExaminesOnlyOneBucket) {
+  HashSubIndex index;
+  for (int64_t k = 0; k < 100; ++k) {
+    index.Insert(Make(kRelationS, static_cast<uint64_t>(k + 1), k, k));
+  }
+  uint64_t examined = index.Probe(Make(kRelationR, 500, 42, 0),
+                                  JoinPredicate::Equi(),
+                                  [](const Tuple&) {});
+  EXPECT_EQ(examined, 1u);
+}
+
+TEST(OrderedSubIndexTest, RangeProbeExaminesOnlyRange) {
+  OrderedSubIndex index;
+  for (int64_t k = 0; k < 1000; ++k) {
+    index.Insert(Make(kRelationS, static_cast<uint64_t>(k + 1), k, k));
+  }
+  uint64_t examined = index.Probe(Make(kRelationR, 5000, 500, 0),
+                                  JoinPredicate::Band(10),
+                                  [](const Tuple&) {});
+  EXPECT_EQ(examined, 21u);  // Keys 490..510.
+}
+
+TEST(OrderedSubIndexTest, LessThanProbeRespectsDirection) {
+  OrderedSubIndex index;  // Stores S.
+  for (int64_t k = 0; k < 10; ++k) {
+    index.Insert(Make(kRelationS, static_cast<uint64_t>(k + 1), k, k));
+  }
+  // r.key < s.key: probing with r.key = 6 must see stored keys 7, 8, 9.
+  auto ids = ProbeIds(index, Make(kRelationR, 100, 6, 0),
+                      JoinPredicate::LessThan());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{8, 9, 10}));
+}
+
+TEST(ScanSubIndexTest, ThetaProbeScansEverything) {
+  ScanSubIndex index;
+  for (int64_t k = 0; k < 50; ++k) {
+    index.Insert(Make(kRelationS, static_cast<uint64_t>(k + 1), k, k));
+  }
+  JoinPredicate theta = JoinPredicate::Theta(
+      "mod3", [](const Tuple& l, const Tuple& r) {
+        return (l.key + r.key) % 3 == 0;
+      });
+  uint64_t matches = 0;
+  uint64_t examined = index.Probe(Make(kRelationR, 500, 0, 0), theta,
+                                  [&](const Tuple&) { ++matches; });
+  EXPECT_EQ(examined, 50u);
+  EXPECT_EQ(matches, 17u);  // Keys 0,3,...,48.
+}
+
+TEST(HashSubIndexTest, NonPointProbeFallsBackToScan) {
+  HashSubIndex index;
+  for (int64_t k = 0; k < 10; ++k) {
+    index.Insert(Make(kRelationS, static_cast<uint64_t>(k + 1), k, k));
+  }
+  auto ids = ProbeIds(index, Make(kRelationR, 100, 5, 0),
+                      JoinPredicate::Band(1));
+  EXPECT_EQ(ids, (std::vector<uint64_t>{5, 6, 7}));  // Keys 4..6.
+}
+
+}  // namespace
+}  // namespace bistream

@@ -1,0 +1,84 @@
+// Parameterized correctness sweep for the join-matrix baseline: every grid
+// shape × predicate × skew must match the oracle exactly once (the
+// baseline must be trustworthy for the head-to-head benches to mean
+// anything).
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+namespace bistream {
+namespace {
+
+struct MatrixCase {
+  const char* name;
+  uint32_t rows;
+  uint32_t cols;
+  PredicateKind predicate;
+  double zipf_theta;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  return std::string(info.param.name) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class MatrixPropertyTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(MatrixPropertyTest, ExactlyOnce) {
+  const MatrixCase& param = GetParam();
+  MatrixOptions options;
+  options.rows = param.rows;
+  options.cols = param.cols;
+  options.num_routers = 2;
+  switch (param.predicate) {
+    case PredicateKind::kEqui:
+      options.predicate = JoinPredicate::Equi();
+      break;
+    case PredicateKind::kBand:
+      options.predicate = JoinPredicate::Band(2);
+      break;
+    case PredicateKind::kLessThan:
+      options.predicate = JoinPredicate::LessThan();
+      break;
+    case PredicateKind::kTheta:
+      options.predicate = JoinPredicate::Theta(
+          "xor-even", [](const Tuple& l, const Tuple& r) {
+            return ((l.key ^ r.key) & 1) == 0;
+          });
+      break;
+  }
+  options.window = 400 * kEventMilli;
+  options.archive_period = 100 * kEventMilli;
+
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = param.predicate == PredicateKind::kTheta ? 30 : 60;
+  workload.rate_r = RateSchedule::Constant(600);
+  workload.rate_s = RateSchedule::Constant(600);
+  workload.total_tuples = 2400;
+  workload.zipf_theta_r = param.zipf_theta;
+  workload.seed = param.seed;
+
+  RunReport report = RunMatrixWorkload(options, workload, /*check=*/true);
+  EXPECT_GT(report.results, 0u);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatrixPropertyTest,
+    ::testing::Values(
+        MatrixCase{"square_equi", 3, 3, PredicateKind::kEqui, 0.0, 1},
+        MatrixCase{"wide_equi", 1, 6, PredicateKind::kEqui, 0.0, 2},
+        MatrixCase{"tall_equi", 6, 1, PredicateKind::kEqui, 0.0, 3},
+        MatrixCase{"rect_equi", 2, 4, PredicateKind::kEqui, 0.0, 4},
+        MatrixCase{"square_band", 2, 2, PredicateKind::kBand, 0.0, 5},
+        MatrixCase{"rect_band", 3, 2, PredicateKind::kBand, 0.0, 6},
+        MatrixCase{"square_lt", 2, 2, PredicateKind::kLessThan, 0.0, 7},
+        MatrixCase{"square_theta", 2, 2, PredicateKind::kTheta, 0.0, 8},
+        MatrixCase{"equi_zipf", 3, 3, PredicateKind::kEqui, 1.1, 9},
+        MatrixCase{"band_zipf", 2, 3, PredicateKind::kBand, 0.9, 10}),
+    CaseName);
+
+}  // namespace
+}  // namespace bistream

@@ -1,0 +1,120 @@
+// Join-matrix baseline: grid factorization, replication accounting, and
+// result parity with the oracle and the biclique engine.
+
+#include "matrix/matrix_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+namespace bistream {
+namespace {
+
+TEST(MatrixOptionsTest, SquareFactorization) {
+  EXPECT_EQ(MatrixOptions::Square(16).rows, 4u);
+  EXPECT_EQ(MatrixOptions::Square(16).cols, 4u);
+  EXPECT_EQ(MatrixOptions::Square(12).rows, 3u);
+  EXPECT_EQ(MatrixOptions::Square(12).cols, 4u);
+  EXPECT_EQ(MatrixOptions::Square(1).rows, 1u);
+  EXPECT_EQ(MatrixOptions::Square(1).cols, 1u);
+  // Primes only factor as 1 x p (the matrix model's awkward shape there).
+  MatrixOptions p7 = MatrixOptions::Square(7);
+  EXPECT_EQ(p7.rows, 1u);
+  EXPECT_EQ(p7.cols, 7u);
+}
+
+SyntheticWorkloadOptions Workload(uint64_t seed) {
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 30;
+  workload.rate_r = RateSchedule::Constant(500);
+  workload.rate_s = RateSchedule::Constant(500);
+  workload.total_tuples = 2000;
+  workload.seed = seed;
+  return workload;
+}
+
+TEST(MatrixEngineTest, ReplicatesStoresByAxisLength) {
+  MatrixOptions options;
+  options.rows = 2;
+  options.cols = 3;
+  options.window = 1 * kEventSecond;
+  RunReport report = RunMatrixWorkload(options, Workload(1));
+  // Every R tuple stored cols times, every S tuple rows times. Input split
+  // is ~50/50, so stored ~= n/2*3 + n/2*2 = 2.5n.
+  double replication = static_cast<double>(report.engine.stored) /
+                       static_cast<double>(report.engine.input_tuples);
+  EXPECT_NEAR(replication, 2.5, 0.1);
+}
+
+TEST(MatrixEngineTest, MemoryExceedsBicliqueOnSameWorkload) {
+  // The paper's core memory claim: matrix replicates state, biclique does
+  // not. Compare peak state bytes on identical workloads and unit counts.
+  SyntheticWorkloadOptions workload = Workload(2);
+  workload.total_tuples = 4000;
+
+  MatrixOptions matrix;
+  matrix.rows = 3;
+  matrix.cols = 3;
+  matrix.window = 1 * kEventSecond;
+  RunReport matrix_report = RunMatrixWorkload(matrix, workload);
+
+  BicliqueOptions biclique;
+  biclique.joiners_r = 4;
+  biclique.joiners_s = 5;  // Same 9 units total.
+  biclique.window = 1 * kEventSecond;
+  RunReport biclique_report = RunBicliqueWorkload(biclique, workload);
+
+  EXPECT_GT(matrix_report.engine.peak_state_bytes,
+            2 * biclique_report.engine.peak_state_bytes);
+  // Both must produce the same number of results.
+  EXPECT_EQ(matrix_report.results, biclique_report.results);
+}
+
+TEST(MatrixEngineTest, BandJoinMatchesOracle) {
+  MatrixOptions options;
+  options.rows = 2;
+  options.cols = 2;
+  options.predicate = JoinPredicate::Band(1);
+  options.window = 1 * kEventSecond;
+  RunReport report = RunMatrixWorkload(options, Workload(3), /*check=*/true);
+  EXPECT_GT(report.results, 0u);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+}
+
+TEST(MatrixEngineTest, SingleCellDegenerateGridIsCorrect) {
+  MatrixOptions options;
+  options.rows = 1;
+  options.cols = 1;
+  options.window = 1 * kEventSecond;
+  RunReport report = RunMatrixWorkload(options, Workload(4), /*check=*/true);
+  EXPECT_TRUE(report.check.Clean()) << report.check.ToString();
+}
+
+TEST(MatrixEngineTest, CellsExpireState) {
+  MatrixOptions options;
+  options.rows = 2;
+  options.cols = 2;
+  options.window = 500 * kEventMilli;
+  options.archive_period = 100 * kEventMilli;
+  SyntheticWorkloadOptions workload = Workload(5);
+  workload.total_tuples = 6000;  // ~6 s >> window.
+  RunReport report = RunMatrixWorkload(options, workload);
+  EXPECT_GT(report.engine.expired_tuples, 0u);
+  // Steady state: retained bytes far below total inserted bytes.
+  EXPECT_LT(report.engine.state_bytes, report.engine.peak_state_bytes * 2);
+}
+
+TEST(MatrixEngineTest, CellAccessorBounds) {
+  EventLoop loop;
+  CollectorSink sink;
+  MatrixOptions options;
+  options.rows = 2;
+  options.cols = 3;
+  MatrixEngine engine(&loop, options, &sink);
+  EXPECT_NE(engine.cell(1, 2), nullptr);
+  EXPECT_EQ(engine.rows(), 2u);
+  EXPECT_EQ(engine.cols(), 3u);
+}
+
+}  // namespace
+}  // namespace bistream

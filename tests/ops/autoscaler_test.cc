@@ -1,0 +1,192 @@
+// HPA-style autoscaler: scaling decisions from CPU / memory metrics,
+// bounds, cooldown, and correctness of results while it acts.
+
+#include "ops/autoscaler.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+
+namespace bistream {
+namespace {
+
+struct ScalerRun {
+  std::vector<AutoscalerSample> timeline;
+  CheckReport check;
+  size_t final_active = 0;
+};
+
+ScalerRun RunWithAutoscaler(const BicliqueOptions& engine_options,
+                            const AutoscalerOptions& scaler_options,
+                            const SyntheticWorkloadOptions& workload) {
+  SyntheticSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  EventLoop loop;
+  CollectorSink sink(/*check=*/true);
+  BicliqueEngine engine(&loop, engine_options, &sink);
+  Autoscaler scaler(&engine, scaler_options);
+
+  engine.Start();
+  scaler.Start();
+  for (const TimedTuple& tt : stream) {
+    loop.RunUntil(tt.arrival);
+    engine.InjectNow(tt.tuple);
+  }
+  scaler.Stop();
+  engine.FlushAndStop();
+  loop.RunUntilIdle();
+
+  ScalerRun run;
+  run.timeline = scaler.timeline();
+  run.check = sink.checker().Check(stream, engine_options.predicate,
+                                   engine_options.window);
+  run.final_active = engine.ActiveJoiners(scaler_options.side);
+  return run;
+}
+
+BicliqueOptions BaseEngine() {
+  BicliqueOptions options;
+  options.num_routers = 1;
+  options.joiners_r = 1;
+  options.joiners_s = 1;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 250 * kEventMilli;
+  options.punct_interval = 10 * kMillisecond;
+  return options;
+}
+
+TEST(AutoscalerTest, CpuPressureAddsReplicas) {
+  BicliqueOptions engine = BaseEngine();
+  // Make probe work expensive so a single joiner saturates (~40 candidates
+  // per probe x 20 µs x 800 probes/s ≈ 64% busy on one joiner).
+  engine.cost.probe_candidate_ns = 20000;
+
+  AutoscalerOptions scaler;
+  scaler.metric = ScaleMetric::kCpu;
+  scaler.side = kRelationS;  // R tuples probe S-side joiners.
+  scaler.interval = 1 * kSecond;
+  scaler.target_cpu = 0.5;
+  scaler.max_replicas = 4;
+  scaler.cooldown = 1 * kSecond;
+
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 20;
+  workload.rate_r = RateSchedule::Constant(800);
+  workload.rate_s = RateSchedule::Constant(800);
+  workload.total_tuples = 16000;  // ~10 s.
+  workload.seed = 1;
+
+  ScalerRun run = RunWithAutoscaler(engine, scaler, workload);
+  EXPECT_GT(run.final_active, 1u) << "autoscaler never scaled out";
+  EXPECT_TRUE(run.check.Clean()) << run.check.ToString();
+  bool scaled = false;
+  for (const auto& s : run.timeline) scaled |= s.scaled;
+  EXPECT_TRUE(scaled);
+}
+
+TEST(AutoscalerTest, IdleLoadScalesBackToMinimum) {
+  BicliqueOptions engine = BaseEngine();
+  engine.joiners_r = 3;
+  engine.retire_grace_factor = 1.0;
+
+  AutoscalerOptions scaler;
+  scaler.metric = ScaleMetric::kCpu;
+  scaler.side = kRelationR;
+  scaler.interval = 1 * kSecond;
+  scaler.target_cpu = 0.5;
+  scaler.min_replicas = 1;
+  scaler.cooldown = 1 * kSecond;
+
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 1000;
+  workload.rate_r = RateSchedule::Constant(50);  // Nearly idle.
+  workload.rate_s = RateSchedule::Constant(50);
+  workload.total_tuples = 1500;  // ~15 s.
+  workload.seed = 2;
+
+  ScalerRun run = RunWithAutoscaler(engine, scaler, workload);
+  EXPECT_EQ(run.final_active, 1u);
+  EXPECT_TRUE(run.check.Clean()) << run.check.ToString();
+}
+
+TEST(AutoscalerTest, RespectsMaxReplicas) {
+  BicliqueOptions engine = BaseEngine();
+  engine.cost.probe_candidate_ns = 20000;  // Hopelessly overloaded.
+
+  AutoscalerOptions scaler;
+  scaler.metric = ScaleMetric::kCpu;
+  scaler.side = kRelationS;
+  scaler.interval = 500 * kMillisecond;
+  scaler.target_cpu = 0.3;
+  scaler.max_replicas = 2;
+  scaler.cooldown = 0;
+
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 10;
+  workload.rate_r = RateSchedule::Constant(1000);
+  workload.rate_s = RateSchedule::Constant(1000);
+  workload.total_tuples = 12000;
+  workload.seed = 3;
+
+  ScalerRun run = RunWithAutoscaler(engine, scaler, workload);
+  EXPECT_LE(run.final_active, 2u);
+  for (const auto& s : run.timeline) EXPECT_LE(s.desired_replicas, 2u);
+}
+
+TEST(AutoscalerTest, CooldownLimitsActionRate) {
+  BicliqueOptions engine = BaseEngine();
+  engine.cost.probe_candidate_ns = 20000;
+
+  AutoscalerOptions scaler;
+  scaler.metric = ScaleMetric::kCpu;
+  scaler.side = kRelationS;
+  scaler.interval = 500 * kMillisecond;
+  scaler.target_cpu = 0.3;
+  scaler.max_replicas = 8;
+  scaler.cooldown = 4 * kSecond;
+
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 10;
+  workload.rate_r = RateSchedule::Constant(1000);
+  workload.rate_s = RateSchedule::Constant(1000);
+  workload.total_tuples = 16000;  // ~8 s.
+  workload.seed = 4;
+
+  ScalerRun run = RunWithAutoscaler(engine, scaler, workload);
+  int actions = 0;
+  for (const auto& s : run.timeline) actions += s.scaled ? 1 : 0;
+  // ~8 s of run with 4 s cooldown: at most ~3 actions.
+  EXPECT_LE(actions, 3);
+}
+
+TEST(AutoscalerTest, MemoryMetricTracksWindowGrowth) {
+  BicliqueOptions engine = BaseEngine();
+  engine.window = 4 * kEventSecond;  // Big window → big state.
+
+  AutoscalerOptions scaler;
+  scaler.metric = ScaleMetric::kMemory;
+  scaler.side = kRelationR;
+  scaler.interval = 1 * kSecond;
+  scaler.target_memory_bytes = 40 * 1024;  // Low target → must scale out.
+  scaler.max_replicas = 4;
+  scaler.cooldown = 1 * kSecond;
+
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 500;
+  workload.rate_r = RateSchedule::Constant(700);
+  workload.rate_s = RateSchedule::Constant(700);
+  workload.total_tuples = 14000;  // ~10 s.
+  workload.seed = 5;
+
+  ScalerRun run = RunWithAutoscaler(engine, scaler, workload);
+  EXPECT_GT(run.final_active, 1u);
+  EXPECT_TRUE(run.check.Clean()) << run.check.ToString();
+  // Metric values in the timeline must be byte-scaled (not tiny ratios).
+  bool saw_bytes = false;
+  for (const auto& s : run.timeline) saw_bytes |= s.metric_value > 1000;
+  EXPECT_TRUE(saw_bytes);
+}
+
+}  // namespace
+}  // namespace bistream

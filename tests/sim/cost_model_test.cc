@@ -1,0 +1,75 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/result_sink.h"
+
+namespace bistream {
+namespace {
+
+TEST(CostModelTest, MessageCostScalesWithBytes) {
+  CostModel cost;
+  cost.message_fixed_ns = 1000;
+  cost.message_per_byte_ns = 2.0;
+  EXPECT_EQ(cost.MessageCost(0), 1000u);
+  EXPECT_EQ(cost.MessageCost(100), 1200u);
+}
+
+TEST(CostModelTest, ProbeCostScalesWithCandidatesAndMatches) {
+  CostModel cost;
+  cost.probe_fixed_ns = 10;
+  cost.probe_candidate_ns = 3;
+  cost.emit_result_ns = 7;
+  EXPECT_EQ(cost.ProbeCost(0, 0), 10u);
+  EXPECT_EQ(cost.ProbeCost(5, 0), 25u);
+  EXPECT_EQ(cost.ProbeCost(5, 2), 39u);
+}
+
+TEST(CostModelTest, SendCostScalesWithBytes) {
+  CostModel cost;
+  cost.send_ns = 500;
+  cost.message_per_byte_ns = 1.0;
+  EXPECT_EQ(cost.SendCost(0), 500u);
+  EXPECT_EQ(cost.SendCost(64), 564u);
+}
+
+TEST(CostModelTest, DefaultsAreBatchingFriendly) {
+  // The whole batching story (E13) relies on the per-message fixed cost
+  // dominating per-tuple work; guard that relationship in the defaults.
+  CostModel cost = CostModel::Default();
+  EXPECT_GT(cost.message_fixed_ns,
+            10 * (cost.insert_ns + cost.probe_fixed_ns));
+  EXPECT_GT(cost.net_latency_ns, cost.message_fixed_ns);
+}
+
+TEST(CollectorSinkTest, CountsAndTracksLatency) {
+  CollectorSink sink;
+  JoinResult r;
+  r.r_id = 1;
+  r.s_id = 2;
+  r.emit_time = 5000;
+  r.latency_ns = 1500;
+  sink.OnResult(r);
+  r.latency_ns = 2500;
+  r.emit_time = 9000;
+  sink.OnResult(r);
+  EXPECT_EQ(sink.count(), 2u);
+  EXPECT_EQ(sink.latency().count(), 2u);
+  EXPECT_EQ(sink.last_emit_time(), 9000u);
+  EXPECT_DOUBLE_EQ(sink.latency().mean(), 2000.0);
+}
+
+TEST(CollectorSinkTest, CheckingModeRecordsPairs) {
+  CollectorSink sink(/*check=*/true);
+  JoinResult r;
+  r.r_id = 3;
+  r.s_id = 4;
+  sink.OnResult(r);
+  EXPECT_EQ(sink.checker().total_results(), 1u);
+  sink.Reset();
+  EXPECT_EQ(sink.count(), 0u);
+  EXPECT_EQ(sink.checker().total_results(), 0u);
+}
+
+}  // namespace
+}  // namespace bistream

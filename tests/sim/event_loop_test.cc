@@ -1,0 +1,83 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(30, [&] { order.push_back(3); });
+  loop.ScheduleAt(10, [&] { order.push_back(1); });
+  loop.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.RunUntilIdle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30u);
+}
+
+TEST(EventLoopTest, EqualTimesRunInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  loop.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoopTest, ScheduleAfterIsRelative) {
+  EventLoop loop;
+  SimTime fired_at = 0;
+  loop.ScheduleAt(100, [&] {
+    loop.ScheduleAfter(50, [&] { fired_at = loop.now(); });
+  });
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventLoopTest, PastScheduleClampsToNow) {
+  EventLoop loop;
+  SimTime fired_at = 0;
+  loop.ScheduleAt(100, [&] {
+    loop.ScheduleAt(10, [&] { fired_at = loop.now(); });  // In the "past".
+  });
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int ran = 0;
+  loop.ScheduleAt(10, [&] { ++ran; });
+  loop.ScheduleAt(20, [&] { ++ran; });
+  loop.ScheduleAt(30, [&] { ++ran; });
+  EXPECT_EQ(loop.RunUntil(20), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(loop.now(), 20u);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesTimeEvenWithoutEvents) {
+  EventLoop loop;
+  EXPECT_EQ(loop.RunUntil(500), 0u);
+  EXPECT_EQ(loop.now(), 500u);
+}
+
+TEST(EventLoopTest, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) loop.ScheduleAfter(1, chain);
+  };
+  loop.ScheduleAt(0, chain);
+  loop.RunUntilIdle();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(loop.now(), 99u);
+  EXPECT_EQ(loop.executed(), 100u);
+}
+
+}  // namespace
+}  // namespace bistream

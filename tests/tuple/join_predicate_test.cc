@@ -1,0 +1,151 @@
+#include "tuple/join_predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+Tuple R(int64_t key) {
+  Tuple t;
+  t.relation = kRelationR;
+  t.key = key;
+  return t;
+}
+
+Tuple S(int64_t key) {
+  Tuple t;
+  t.relation = kRelationS;
+  t.key = key;
+  return t;
+}
+
+TEST(JoinPredicateTest, EquiMatches) {
+  JoinPredicate p = JoinPredicate::Equi();
+  EXPECT_TRUE(p.Matches(R(5), S(5)));
+  EXPECT_FALSE(p.Matches(R(5), S(6)));
+  // Argument order must not matter.
+  EXPECT_TRUE(p.Matches(S(5), R(5)));
+}
+
+TEST(JoinPredicateTest, BandMatchesWithinWidth) {
+  JoinPredicate p = JoinPredicate::Band(3);
+  EXPECT_TRUE(p.Matches(R(10), S(13)));
+  EXPECT_TRUE(p.Matches(R(10), S(7)));
+  EXPECT_TRUE(p.Matches(R(10), S(10)));
+  EXPECT_FALSE(p.Matches(R(10), S(14)));
+  EXPECT_FALSE(p.Matches(R(10), S(6)));
+}
+
+TEST(JoinPredicateTest, BandZeroWidthIsEquality) {
+  JoinPredicate p = JoinPredicate::Band(0);
+  EXPECT_TRUE(p.Matches(R(4), S(4)));
+  EXPECT_FALSE(p.Matches(R(4), S(5)));
+}
+
+TEST(JoinPredicateTest, BandSurvivesInt64Extremes) {
+  JoinPredicate p = JoinPredicate::Band(10);
+  EXPECT_FALSE(p.Matches(R(INT64_MAX), S(INT64_MIN)));
+  EXPECT_TRUE(p.Matches(R(INT64_MAX), S(INT64_MAX - 5)));
+  EXPECT_TRUE(p.Matches(R(INT64_MIN), S(INT64_MIN + 10)));
+}
+
+TEST(JoinPredicateTest, LessThanUsesRelationOrder) {
+  JoinPredicate p = JoinPredicate::LessThan();
+  EXPECT_TRUE(p.Matches(R(1), S(2)));   // r.key < s.key.
+  EXPECT_FALSE(p.Matches(R(2), S(1)));
+  EXPECT_FALSE(p.Matches(R(2), S(2)));
+  // Same pair, reversed argument order: identical verdict.
+  EXPECT_TRUE(p.Matches(S(2), R(1)));
+}
+
+TEST(JoinPredicateTest, ThetaUsesCustomFunction) {
+  JoinPredicate p = JoinPredicate::Theta(
+      "sum-even", [](const Tuple& l, const Tuple& r) {
+        return (l.key + r.key) % 2 == 0;
+      });
+  EXPECT_TRUE(p.Matches(R(2), S(4)));
+  EXPECT_TRUE(p.Matches(R(3), S(5)));
+  EXPECT_FALSE(p.Matches(R(2), S(5)));
+  EXPECT_EQ(p.name(), "sum-even");
+}
+
+TEST(JoinPredicateTest, ProbeRangeEqui) {
+  JoinPredicate p = JoinPredicate::Equi();
+  KeyRange range = p.ProbeRange(R(7), kRelationS);
+  EXPECT_EQ(range.lo, 7);
+  EXPECT_EQ(range.hi, 7);
+}
+
+TEST(JoinPredicateTest, ProbeRangeBand) {
+  JoinPredicate p = JoinPredicate::Band(5);
+  KeyRange range = p.ProbeRange(S(100), kRelationR);
+  EXPECT_EQ(range.lo, 95);
+  EXPECT_EQ(range.hi, 105);
+}
+
+TEST(JoinPredicateTest, ProbeRangeBandSaturates) {
+  JoinPredicate p = JoinPredicate::Band(10);
+  KeyRange hi = p.ProbeRange(R(INT64_MAX - 2), kRelationS);
+  EXPECT_EQ(hi.hi, INT64_MAX);
+  KeyRange lo = p.ProbeRange(R(INT64_MIN + 2), kRelationS);
+  EXPECT_EQ(lo.lo, INT64_MIN);
+}
+
+TEST(JoinPredicateTest, ProbeRangeLessThanDependsOnDirection) {
+  JoinPredicate p = JoinPredicate::LessThan();
+  // R tuple probing stored S: stored keys must be greater.
+  KeyRange rs = p.ProbeRange(R(10), kRelationS);
+  EXPECT_EQ(rs.lo, 11);
+  EXPECT_EQ(rs.hi, INT64_MAX);
+  // S tuple probing stored R: stored keys must be smaller.
+  KeyRange sr = p.ProbeRange(S(10), kRelationR);
+  EXPECT_EQ(sr.lo, INT64_MIN);
+  EXPECT_EQ(sr.hi, 9);
+}
+
+TEST(JoinPredicateTest, ProbeRangeLessThanEmptyAtExtremes) {
+  JoinPredicate p = JoinPredicate::LessThan();
+  KeyRange empty = p.ProbeRange(R(INT64_MAX), kRelationS);
+  EXPECT_GT(empty.lo, empty.hi);
+  KeyRange empty2 = p.ProbeRange(S(INT64_MIN), kRelationR);
+  EXPECT_GT(empty2.lo, empty2.hi);
+}
+
+TEST(JoinPredicateTest, RecommendedIndexAndRouting) {
+  EXPECT_EQ(JoinPredicate::Equi().RecommendedIndex(), IndexKind::kHash);
+  EXPECT_EQ(JoinPredicate::Band(1).RecommendedIndex(), IndexKind::kOrdered);
+  EXPECT_EQ(JoinPredicate::LessThan().RecommendedIndex(),
+            IndexKind::kOrdered);
+  auto theta = JoinPredicate::Theta("t", [](const Tuple&, const Tuple&) {
+    return true;
+  });
+  EXPECT_EQ(theta.RecommendedIndex(), IndexKind::kScan);
+
+  EXPECT_EQ(JoinPredicate::Equi().RecommendedRouting(),
+            RoutingKind::kContHash);
+  EXPECT_EQ(JoinPredicate::Band(1).RecommendedRouting(),
+            RoutingKind::kContRand);
+  EXPECT_EQ(theta.RecommendedRouting(), RoutingKind::kContRand);
+}
+
+TEST(TupleTest, SerializedSizeCountsRow) {
+  Tuple bare = R(1);
+  size_t base = bare.SerializedSize();
+  EXPECT_EQ(base, 40u);
+  auto schema = Schema::Make({{"s", ValueType::kString}}).ValueOrDie();
+  Tuple with_row = R(1);
+  with_row.row =
+      std::make_shared<const Row>(schema, std::vector<Value>{"abcdef"});
+  EXPECT_EQ(with_row.SerializedSize(), base + 4 + 6);
+}
+
+TEST(JoinResultTest, PairKeyDistinguishesPairs) {
+  JoinResult a{.r_id = 1, .s_id = 2};
+  JoinResult b{.r_id = 2, .s_id = 1};
+  JoinResult c{.r_id = 1, .s_id = 2};
+  EXPECT_EQ(a.PairKey(), c.PairKey());
+  EXPECT_NE(a.PairKey(), b.PairKey());
+}
+
+}  // namespace
+}  // namespace bistream

@@ -1,0 +1,65 @@
+#include "tuple/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+TEST(SchemaTest, MakeAndLookup) {
+  auto schema = Schema::Make({{"id", ValueType::kInt64},
+                              {"price", ValueType::kDouble},
+                              {"note", ValueType::kString}});
+  ASSERT_TRUE(schema.ok());
+  const Schema& s = **schema;
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.field(1).name, "price");
+  auto idx = s.FieldIndex("note");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_TRUE(s.FieldIndex("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  auto schema =
+      Schema::Make({{"a", ValueType::kInt64}, {"a", ValueType::kDouble}});
+  EXPECT_TRUE(schema.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  auto schema = Schema::Make({{"", ValueType::kInt64}});
+  EXPECT_TRUE(schema.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ToStringLists) {
+  auto schema = Schema::Make({{"k", ValueType::kInt64}}).ValueOrDie();
+  EXPECT_EQ(schema->ToString(), "<k:int64>");
+}
+
+TEST(RowTest, ValuesByIndexAndName) {
+  auto schema = Schema::Make({{"k", ValueType::kInt64},
+                              {"v", ValueType::kString}})
+                    .ValueOrDie();
+  Row row(schema, {int64_t{9}, std::string("payload")});
+  EXPECT_EQ(row.num_values(), 2u);
+  EXPECT_EQ(row.value(0).AsInt64(), 9);
+  auto v = row.ValueOf("v");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "payload");
+  EXPECT_TRUE(row.ValueOf("missing").status().IsNotFound());
+}
+
+TEST(RowTest, ByteSizeSumsValues) {
+  auto schema = Schema::Make({{"k", ValueType::kInt64},
+                              {"s", ValueType::kString}})
+                    .ValueOrDie();
+  Row row(schema, {int64_t{1}, std::string("abc")});
+  EXPECT_EQ(row.ByteSize(), 8u + 4u + 3u);
+}
+
+TEST(RowDeathTest, ArityMismatchAborts) {
+  auto schema = Schema::Make({{"k", ValueType::kInt64}}).ValueOrDie();
+  EXPECT_DEATH(Row(schema, {}), "arity");
+}
+
+}  // namespace
+}  // namespace bistream

@@ -1,0 +1,69 @@
+#include "tuple/value.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value null;
+  Value i(int64_t{7});
+  Value d(3.5);
+  Value s(std::string("hi"));
+  Value cs("bye");
+
+  EXPECT_TRUE(null.is_null());
+  EXPECT_EQ(i.type(), ValueType::kInt64);
+  EXPECT_EQ(d.type(), ValueType::kDouble);
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(cs.type(), ValueType::kString);
+
+  EXPECT_EQ(i.AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 3.5);
+  EXPECT_EQ(s.AsString(), "hi");
+  EXPECT_EQ(cs.AsString(), "bye");
+}
+
+TEST(ValueTest, AsNumericWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{4}).AsNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(2.25).AsNumeric(), 2.25);
+}
+
+TEST(ValueDeathTest, WrongAccessorAborts) {
+  Value s("text");
+  EXPECT_DEATH(s.AsInt64(), "not int64");
+  EXPECT_DEATH(Value(int64_t{1}).AsString(), "not string");
+  EXPECT_DEATH(Value("x").AsNumeric(), "not numeric");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(int64_t{5}), Value(int64_t{5}));
+  EXPECT_FALSE(Value(int64_t{5}) == Value(int64_t{6}));
+  EXPECT_TRUE(Value(int64_t{1}) < Value(int64_t{2}));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_TRUE(Value("a") < Value("b"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{10}).Hash(), Value(int64_t{10}).Hash());
+  EXPECT_EQ(Value("k").Hash(), Value("k").Hash());
+  EXPECT_NE(Value("k").Hash(), Value("l").Hash());
+  // -0.0 and 0.0 compare equal as doubles, so they must hash equal.
+  EXPECT_EQ(Value(0.0).Hash(), Value(-0.0).Hash());
+}
+
+TEST(ValueTest, ByteSizes) {
+  EXPECT_EQ(Value().ByteSize(), 1u);
+  EXPECT_EQ(Value(int64_t{1}).ByteSize(), 8u);
+  EXPECT_EQ(Value(1.0).ByteSize(), 8u);
+  EXPECT_EQ(Value("abcd").ByteSize(), 8u);  // 4 framing + 4 chars.
+}
+
+TEST(ValueTest, ToStringRenders) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value("x").ToString(), "\"x\"");
+}
+
+}  // namespace
+}  // namespace bistream

@@ -1,0 +1,177 @@
+// SyntheticSource, RateSchedule, and TpchSource behaviours.
+
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/tpch_stream.h"
+
+namespace bistream {
+namespace {
+
+TEST(RateScheduleTest, ConstantRate) {
+  RateSchedule rate = RateSchedule::Constant(1000);
+  EXPECT_DOUBLE_EQ(rate.RateAt(0), 1000);
+  EXPECT_DOUBLE_EQ(rate.RateAt(99 * kSecond), 1000);
+  EXPECT_EQ(rate.GapAt(0), kSecond / 1000);
+}
+
+TEST(RateScheduleTest, SteppedRate) {
+  auto rate = RateSchedule::Make({{0, 300},
+                                  {10 * kSecond, 400},
+                                  {40 * kSecond, 200}});
+  ASSERT_TRUE(rate.ok());
+  EXPECT_DOUBLE_EQ(rate->RateAt(5 * kSecond), 300);
+  EXPECT_DOUBLE_EQ(rate->RateAt(10 * kSecond), 400);
+  EXPECT_DOUBLE_EQ(rate->RateAt(39 * kSecond), 400);
+  EXPECT_DOUBLE_EQ(rate->RateAt(41 * kSecond), 200);
+}
+
+TEST(RateScheduleTest, RejectsBadSchedules) {
+  EXPECT_FALSE(RateSchedule::Make({}).ok());
+  EXPECT_FALSE(RateSchedule::Make({{5, 100}}).ok());            // Not at 0.
+  EXPECT_FALSE(RateSchedule::Make({{0, 100}, {0, 200}}).ok());  // Not increasing.
+  EXPECT_FALSE(RateSchedule::Make({{0, -5}}).ok());             // Negative.
+}
+
+SyntheticWorkloadOptions BaseOptions() {
+  SyntheticWorkloadOptions options;
+  options.key_domain = 100;
+  options.rate_r = RateSchedule::Constant(1000);
+  options.rate_s = RateSchedule::Constant(1000);
+  options.total_tuples = 5000;
+  options.seed = 9;
+  return options;
+}
+
+TEST(SyntheticSourceTest, ArrivalsAreMonotoneAndIdsUnique) {
+  SyntheticSource source(BaseOptions());
+  SimTime prev = 0;
+  std::set<uint64_t> ids;
+  uint64_t count = 0;
+  while (auto tt = source.Next()) {
+    EXPECT_GE(tt->arrival, prev);
+    prev = tt->arrival;
+    EXPECT_TRUE(ids.insert(tt->tuple.id).second) << "duplicate id";
+    EXPECT_LT(tt->tuple.key, 100);
+    EXPECT_GE(tt->tuple.key, 0);
+    // Event time mirrors arrival time.
+    EXPECT_EQ(tt->tuple.ts,
+              static_cast<EventTime>(tt->arrival / kMicrosecond));
+    ++count;
+  }
+  EXPECT_EQ(count, 5000u);
+}
+
+TEST(SyntheticSourceTest, Deterministic) {
+  SyntheticSource a(BaseOptions());
+  SyntheticSource b(BaseOptions());
+  for (int i = 0; i < 1000; ++i) {
+    auto ta = a.Next();
+    auto tb = b.Next();
+    ASSERT_TRUE(ta && tb);
+    EXPECT_EQ(ta->arrival, tb->arrival);
+    EXPECT_EQ(ta->tuple.key, tb->tuple.key);
+    EXPECT_EQ(ta->tuple.relation, tb->tuple.relation);
+  }
+}
+
+TEST(SyntheticSourceTest, RatesBalanceRelations) {
+  SyntheticWorkloadOptions options = BaseOptions();
+  options.total_tuples = 20000;
+  SyntheticSource source(options);
+  uint64_t r = 0, s = 0;
+  while (auto tt = source.Next()) {
+    (tt->tuple.relation == kRelationR ? r : s)++;
+  }
+  EXPECT_NEAR(static_cast<double>(r) / (r + s), 0.5, 0.03);
+}
+
+TEST(SyntheticSourceTest, AsymmetricRates) {
+  SyntheticWorkloadOptions options = BaseOptions();
+  options.rate_r = RateSchedule::Constant(3000);
+  options.rate_s = RateSchedule::Constant(1000);
+  options.total_tuples = 20000;
+  SyntheticSource source(options);
+  uint64_t r = 0, s = 0;
+  while (auto tt = source.Next()) {
+    (tt->tuple.relation == kRelationR ? r : s)++;
+  }
+  EXPECT_NEAR(static_cast<double>(r) / (r + s), 0.75, 0.03);
+}
+
+TEST(SyntheticSourceTest, ObservedRateMatchesSchedule) {
+  SyntheticWorkloadOptions options = BaseOptions();
+  options.total_tuples = 10000;  // 2000/s combined → ~5 s of stream.
+  SyntheticSource source(options);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+  double span = SimTimeToSeconds(stream.back().arrival);
+  EXPECT_NEAR(static_cast<double>(stream.size()) / span, 2000, 150);
+}
+
+TEST(SyntheticSourceTest, DeterministicGapsWhenNotPoisson) {
+  SyntheticWorkloadOptions options = BaseOptions();
+  options.poisson = false;
+  options.total_tuples = 100;
+  SyntheticSource source(options);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+  // Per-relation gaps are exactly 1 ms.
+  std::vector<SimTime> r_arrivals;
+  for (const auto& tt : stream) {
+    if (tt.tuple.relation == kRelationR) r_arrivals.push_back(tt.arrival);
+  }
+  for (size_t i = 1; i < r_arrivals.size(); ++i) {
+    EXPECT_EQ(r_arrivals[i] - r_arrivals[i - 1], kSecond / 1000);
+  }
+}
+
+TEST(SyntheticSourceTest, ZipfSkewShowsInKeys) {
+  SyntheticWorkloadOptions options = BaseOptions();
+  options.zipf_theta_r = 1.2;
+  options.total_tuples = 20000;
+  SyntheticSource source(options);
+  uint64_t hot = 0, total_r = 0;
+  while (auto tt = source.Next()) {
+    if (tt->tuple.relation != kRelationR) continue;
+    ++total_r;
+    if (tt->tuple.key == 0) ++hot;
+  }
+  EXPECT_GT(static_cast<double>(hot) / total_r, 0.2);
+}
+
+TEST(TpchSourceTest, OrdersPrecedeTheirLineItems) {
+  TpchStreamOptions options;
+  options.total_orders = 200;
+  options.seed = 3;
+  TpchSource source(options);
+  std::map<int64_t, SimTime> order_arrival;
+  SimTime prev = 0;
+  uint64_t orders = 0, items = 0;
+  while (auto tt = source.Next()) {
+    EXPECT_GE(tt->arrival, prev);
+    prev = tt->arrival;
+    if (tt->tuple.relation == kRelationR) {
+      order_arrival[tt->tuple.key] = tt->arrival;
+      ++orders;
+      ASSERT_NE(tt->tuple.row, nullptr);
+      EXPECT_EQ(tt->tuple.row->ValueOf("o_orderkey")->AsInt64(),
+                tt->tuple.key);
+    } else {
+      ++items;
+      auto it = order_arrival.find(tt->tuple.key);
+      ASSERT_NE(it, order_arrival.end())
+          << "line item before its order";
+      EXPECT_GE(tt->arrival, it->second);
+      EXPECT_LE(tt->arrival, it->second + options.max_lineitem_delay);
+    }
+  }
+  EXPECT_EQ(orders, 200u);
+  EXPECT_GE(items, orders * 1u);
+  EXPECT_LE(items, orders * 7u);
+}
+
+}  // namespace
+}  // namespace bistream

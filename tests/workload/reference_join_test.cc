@@ -1,0 +1,142 @@
+// The oracle itself must be right: compare against hand-computed joins and
+// verify the checker's discrepancy classification.
+
+#include "workload/reference_join.h"
+
+#include <gtest/gtest.h>
+
+namespace bistream {
+namespace {
+
+TimedTuple Make(RelationId rel, uint64_t id, int64_t key, EventTime ts) {
+  TimedTuple tt;
+  tt.arrival = static_cast<SimTime>(ts) * kMicrosecond;
+  tt.tuple.relation = rel;
+  tt.tuple.id = id;
+  tt.tuple.key = key;
+  tt.tuple.ts = ts;
+  return tt;
+}
+
+TEST(PackPairTest, RoundTrips) {
+  uint64_t packed = PackPair(7, 9);
+  EXPECT_EQ(packed >> 32, 7u);
+  EXPECT_EQ(packed & 0xFFFFFFFF, 9u);
+  EXPECT_NE(PackPair(1, 2), PackPair(2, 1));
+}
+
+TEST(ReferenceJoinTest, EquiJoinHandComputed) {
+  std::vector<TimedTuple> stream = {
+      Make(kRelationR, 1, 10, 0),  Make(kRelationS, 2, 10, 5),
+      Make(kRelationR, 3, 20, 10), Make(kRelationS, 4, 20, 12),
+      Make(kRelationS, 5, 10, 14), Make(kRelationR, 6, 99, 16),
+  };
+  auto expected = ComputeExpectedPairs(stream, JoinPredicate::Equi(),
+                                       /*window=*/100);
+  // Pairs: (1,2), (1,5), (3,4). Tuple 6 matches nothing.
+  EXPECT_EQ(expected.size(), 3u);
+  EXPECT_EQ(expected.count(PackPair(1, 2)), 1u);
+  EXPECT_EQ(expected.count(PackPair(1, 5)), 1u);
+  EXPECT_EQ(expected.count(PackPair(3, 4)), 1u);
+}
+
+TEST(ReferenceJoinTest, WindowExcludesDistantPairs) {
+  std::vector<TimedTuple> stream = {
+      Make(kRelationR, 1, 10, 0),
+      Make(kRelationS, 2, 10, 50),   // Within W=50 (inclusive).
+      Make(kRelationS, 3, 10, 51),   // Outside.
+  };
+  auto expected =
+      ComputeExpectedPairs(stream, JoinPredicate::Equi(), /*window=*/50);
+  EXPECT_EQ(expected.size(), 1u);
+  EXPECT_EQ(expected.count(PackPair(1, 2)), 1u);
+}
+
+TEST(ReferenceJoinTest, BandJoinHandComputed) {
+  std::vector<TimedTuple> stream = {
+      Make(kRelationR, 1, 10, 0),
+      Make(kRelationS, 2, 12, 1),  // |10-12| <= 2.
+      Make(kRelationS, 3, 13, 2),  // Outside band.
+      Make(kRelationS, 4, 8, 3),   // |10-8| <= 2.
+  };
+  auto expected =
+      ComputeExpectedPairs(stream, JoinPredicate::Band(2), /*window=*/100);
+  EXPECT_EQ(expected.size(), 2u);
+  EXPECT_EQ(expected.count(PackPair(1, 2)), 1u);
+  EXPECT_EQ(expected.count(PackPair(1, 4)), 1u);
+}
+
+TEST(ReferenceJoinTest, LessThanHandComputed) {
+  std::vector<TimedTuple> stream = {
+      Make(kRelationR, 1, 5, 0),
+      Make(kRelationS, 2, 6, 1),
+      Make(kRelationS, 3, 5, 2),
+      Make(kRelationS, 4, 4, 3),
+  };
+  auto expected = ComputeExpectedPairs(stream, JoinPredicate::LessThan(),
+                                       /*window=*/100);
+  EXPECT_EQ(expected.size(), 1u);  // Only r.key=5 < s.key=6.
+  EXPECT_EQ(expected.count(PackPair(1, 2)), 1u);
+}
+
+TEST(ReferenceJoinTest, ThetaAgreesWithEquiOnSameInput) {
+  SyntheticWorkloadOptions options;
+  options.key_domain = 20;
+  options.total_tuples = 800;
+  options.seed = 5;
+  SyntheticSource source(options);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  auto equi =
+      ComputeExpectedPairs(stream, JoinPredicate::Equi(), 500 * kEventMilli);
+  auto theta = ComputeExpectedPairs(
+      stream,
+      JoinPredicate::Theta("manual-equi",
+                           [](const Tuple& l, const Tuple& r) {
+                             return l.key == r.key;
+                           }),
+      500 * kEventMilli);
+  EXPECT_EQ(equi, theta);
+}
+
+TEST(ResultCheckerTest, CleanWhenExact) {
+  std::vector<TimedTuple> stream = {
+      Make(kRelationR, 1, 10, 0),
+      Make(kRelationS, 2, 10, 5),
+  };
+  ResultChecker checker;
+  checker.OnResult(1, 2);
+  CheckReport report = checker.Check(stream, JoinPredicate::Equi(), 100);
+  EXPECT_TRUE(report.Clean());
+  EXPECT_EQ(report.expected, 1u);
+  EXPECT_EQ(report.produced, 1u);
+}
+
+TEST(ResultCheckerTest, ClassifiesMissingDuplicateSpurious) {
+  std::vector<TimedTuple> stream = {
+      Make(kRelationR, 1, 10, 0), Make(kRelationS, 2, 10, 5),
+      Make(kRelationR, 3, 20, 6), Make(kRelationS, 4, 20, 7),
+  };
+  ResultChecker checker;
+  checker.OnResult(1, 2);
+  checker.OnResult(1, 2);   // Duplicate.
+  checker.OnResult(1, 4);   // Spurious (keys differ).
+  // (3, 4) missing.
+  CheckReport report = checker.Check(stream, JoinPredicate::Equi(), 100);
+  EXPECT_FALSE(report.Clean());
+  EXPECT_EQ(report.missing, 1u);
+  EXPECT_EQ(report.duplicates, 1u);
+  EXPECT_EQ(report.spurious, 1u);
+  EXPECT_EQ(report.expected, 2u);
+  EXPECT_EQ(report.produced, 3u);
+}
+
+TEST(ResultCheckerTest, ResetClears) {
+  ResultChecker checker;
+  checker.OnResult(1, 2);
+  checker.Reset();
+  EXPECT_EQ(checker.total_results(), 0u);
+}
+
+}  // namespace
+}  // namespace bistream

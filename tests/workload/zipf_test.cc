@@ -1,0 +1,67 @@
+#include "workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace bistream {
+namespace {
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  Rng rng(1);
+  std::map<uint64_t, int> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(&rng)];
+  for (const auto& [k, c] : counts) {
+    EXPECT_LT(k, 10u);
+    EXPECT_NEAR(c, kSamples / 10, kSamples / 10 * 0.1);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfDistribution zipf(1000, 1.0);
+  Rng rng(2);
+  int hot = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(&rng) < 10) ++hot;
+  }
+  // Under Zipf(1.0, n=1000) the top-10 ranks carry ~39% of the mass.
+  EXPECT_GT(hot, kSamples / 3);
+}
+
+TEST(ZipfTest, HottestMassMatchesEmpiricalFrequency) {
+  ZipfDistribution zipf(100, 0.8);
+  Rng rng(3);
+  int zero = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(&rng) == 0) ++zero;
+  }
+  EXPECT_NEAR(static_cast<double>(zero) / kSamples, zipf.HottestMass(),
+              0.01);
+}
+
+TEST(ZipfTest, HigherThetaMoreSkew) {
+  EXPECT_LT(ZipfDistribution(100, 0.5).HottestMass(),
+            ZipfDistribution(100, 1.0).HottestMass());
+  EXPECT_LT(ZipfDistribution(100, 1.0).HottestMass(),
+            ZipfDistribution(100, 1.5).HottestMass());
+}
+
+TEST(ZipfTest, SamplesAlwaysInDomain) {
+  ZipfDistribution zipf(7, 1.2);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 7u);
+}
+
+TEST(ZipfTest, SingletonDomain) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(5);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.HottestMass(), 1.0);
+}
+
+}  // namespace
+}  // namespace bistream
