@@ -1,0 +1,173 @@
+// E15 — Fault recovery: cost and completeness of round-aligned
+// checkpoint/replay recovery. Part 1 sweeps the checkpoint period against a
+// single mid-run crash: a shorter period writes more checkpoint bytes but
+// shrinks the replayed backlog and the replacement's catch-up time. Part 2
+// sweeps a Poisson crash rate at a fixed period: recovery must stay
+// exactly-once as crashes (including crashes of replacements) pile up.
+
+#include "bench_util.h"
+#include "ops/failure_detector.h"
+#include "sim/fault.h"
+
+using namespace bistream;  // NOLINT(build/namespaces)
+
+namespace {
+
+struct RecoveryRun {
+  EngineStats stats;
+  CheckReport check;
+  std::vector<InjectedFault> timeline;
+  std::vector<DetectionEvent> detections;
+  std::vector<RecoveryEvent> recoveries;
+};
+
+RecoveryRun RunOnce(const BicliqueOptions& options,
+                    const SyntheticWorkloadOptions& workload,
+                    const FaultPlan& plan) {
+  SyntheticSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  EventLoop loop;
+  CollectorSink sink(/*check=*/true);
+  BicliqueEngine engine(&loop, options, &sink);
+  FaultInjector injector(
+      &loop, plan, [&engine](const FaultPlan::Crash& crash, uint64_t draw) {
+        return engine.InjectCrash(crash, draw);
+      });
+  FailureDetectorOptions detect;
+  detect.check_interval = 20 * kMillisecond;
+  detect.timeout = 60 * kMillisecond;
+  detect.backoff = 100 * kMillisecond;
+  FailureDetector detector(&engine, detect);
+
+  injector.Start();
+  detector.Start();
+  engine.Start();
+  for (const TimedTuple& tt : stream) {
+    loop.RunUntil(tt.arrival);
+    engine.InjectNow(tt.tuple);
+  }
+  engine.FlushAndStop();
+  loop.RunUntilIdle();
+
+  RecoveryRun run;
+  run.stats = engine.Stats();
+  run.check = sink.checker().Check(stream, options.predicate, options.window);
+  run.timeline = injector.timeline();
+  run.detections = detector.detections();
+  run.recoveries = engine.recovery_events();
+  return run;
+}
+
+BicliqueOptions EngineOptions(uint64_t checkpoint_rounds,
+                              const CostModel& cost) {
+  BicliqueOptions options;
+  options.num_routers = 2;
+  options.joiners_r = 2;
+  options.joiners_s = 2;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 250 * kEventMilli;
+  options.punct_interval = 10 * kMillisecond;
+  options.cost = cost;
+  options.fault_tolerance.enabled = true;
+  options.fault_tolerance.checkpoint_rounds = checkpoint_rounds;
+  return options;
+}
+
+SyntheticWorkloadOptions Workload(uint64_t total_tuples) {
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 40;
+  workload.rate_r = RateSchedule::Constant(500);
+  workload.rate_s = RateSchedule::Constant(500);
+  workload.total_tuples = total_tuples;
+  workload.seed = 151;
+  return workload;
+}
+
+void SweepCheckpointPeriod(const Config& config, const CostModel& cost) {
+  std::printf(
+      "\n-- checkpoint period vs recovery cost (one crash at t = 2 s) --\n");
+  TablePrinter table({"ckpt_rounds", "ckpts", "ckpt_bytes", "restored",
+                      "replayed", "detect_ms", "catchup_ms", "suppressed",
+                      "exact_once"});
+  uint64_t total_tuples =
+      static_cast<uint64_t>(config.GetInt("total_tuples", 6000));
+  for (uint64_t rounds : {4, 16, 64, 256}) {
+    FaultPlan plan;
+    plan.crashes.push_back({.at = 2 * kSecond, .unit = 1});
+    RecoveryRun run =
+        RunOnce(EngineOptions(rounds, cost), Workload(total_tuples), plan);
+
+    double detect_ms = 0;
+    double catchup_ms = 0;
+    if (!run.detections.empty() && !run.recoveries.empty()) {
+      detect_ms =
+          static_cast<double>(run.detections[0].time - run.timeline[0].at) /
+          1e6;
+      catchup_ms = static_cast<double>(run.recoveries[0].caught_up_at -
+                                       run.recoveries[0].detected_at) /
+                   1e6;
+    }
+    table.AddRow({TablePrinter::Int(static_cast<int64_t>(rounds)),
+                  TablePrinter::Int(static_cast<int64_t>(run.stats.checkpoints)),
+                  TablePrinter::Bytes(
+                      static_cast<int64_t>(run.stats.checkpoint_bytes)),
+                  TablePrinter::Int(
+                      static_cast<int64_t>(run.stats.restored_tuples)),
+                  TablePrinter::Int(
+                      static_cast<int64_t>(run.stats.replayed_messages)),
+                  TablePrinter::Num(detect_ms, 1),
+                  TablePrinter::Num(catchup_ms, 1),
+                  TablePrinter::Int(
+                      static_cast<int64_t>(run.stats.suppressed_duplicates)),
+                  run.check.Clean() ? "PASS" : "FAIL"});
+  }
+  table.Print();
+}
+
+void SweepCrashRate(const Config& config, const CostModel& cost) {
+  std::printf(
+      "\n-- Poisson crash rate vs completeness (ckpt every 16 rounds) --\n");
+  TablePrinter table({"crashes_per_s", "crashes", "recoveries", "replayed",
+                      "suppressed", "missing", "dups", "exact_once"});
+  uint64_t total_tuples =
+      static_cast<uint64_t>(config.GetInt("total_tuples", 6000));
+  for (double rate : {0.25, 0.5, 1.0}) {
+    FaultPlan plan;
+    plan.crash_rate_per_sec = rate;
+    plan.horizon = 5 * kSecond;
+    plan.seed = 0xFA17;
+    RecoveryRun run =
+        RunOnce(EngineOptions(16, cost), Workload(total_tuples), plan);
+    table.AddRow(
+        {TablePrinter::Num(rate, 2),
+         TablePrinter::Int(static_cast<int64_t>(run.stats.crashes)),
+         TablePrinter::Int(static_cast<int64_t>(run.stats.recoveries)),
+         TablePrinter::Int(static_cast<int64_t>(run.stats.replayed_messages)),
+         TablePrinter::Int(
+             static_cast<int64_t>(run.stats.suppressed_duplicates)),
+         TablePrinter::Int(static_cast<int64_t>(run.check.missing)),
+         TablePrinter::Int(static_cast<int64_t>(run.check.duplicates)),
+         run.check.Clean() ? "PASS" : "FAIL"});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config = BenchInit(argc, argv);
+  CostModel cost = CostModel::Default();
+  ApplyCostFlags(config, &cost);
+
+  PrintExperimentHeader(
+      "E15", "joiner crash recovery: checkpoint period vs recovery time, "
+             "and exactly-once completeness under a Poisson crash process");
+  SweepCheckpointPeriod(config, cost);
+  SweepCrashRate(config, cost);
+  std::printf(
+      "\nexpected shape: coarser checkpoint periods write fewer bytes but "
+      "replay a longer backlog (higher catch-up time and more suppressed "
+      "duplicates); every configuration stays exactly-once (PASS)\n");
+  return 0;
+}

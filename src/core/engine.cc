@@ -7,6 +7,60 @@
 
 namespace bistream {
 
+Status BicliqueOptions::Validate() const {
+  if (num_routers < 1) return Status::InvalidArgument("num_routers must be >= 1");
+  if (joiners_r < 1 || joiners_s < 1) {
+    return Status::InvalidArgument("each side needs at least one joiner");
+  }
+  if (subgroups_r < 1 || subgroups_s < 1) {
+    return Status::InvalidArgument("subgroup counts must be >= 1");
+  }
+  if (subgroups_r > joiners_r || subgroups_s > joiners_s) {
+    return Status::InvalidArgument(
+        "cannot have more subgroups than units on a side");
+  }
+  // Content-sensitive (hash) routing partitions by key equality; any other
+  // predicate would miss matches landing in different subgroups.
+  if (predicate.kind() != PredicateKind::kEqui &&
+      (subgroups_r != 1 || subgroups_s != 1)) {
+    return Status::InvalidArgument(
+        "non-equi predicates require ContRand routing (subgroups = 1)");
+  }
+  if (window < 0) return Status::InvalidArgument("window must be >= 0");
+  if (archive_period <= 0) {
+    return Status::InvalidArgument("archive_period must be > 0");
+  }
+  if (archive_period > window && window > 0) {
+    return Status::InvalidArgument(
+        "archive_period must not exceed the window: a coarser period defeats "
+        "sub-index-granularity expiry (state would outlive W by up to P)");
+  }
+  if (punct_interval <= 0) {
+    return Status::InvalidArgument("punct_interval must be > 0");
+  }
+  if (batch_size < 1) return Status::InvalidArgument("batch_size must be >= 1");
+  if (channel_drop_probability < 0.0 || channel_drop_probability > 1.0) {
+    return Status::InvalidArgument(
+        "channel_drop_probability must be in [0, 1]");
+  }
+  if (retire_grace_factor < 1.0) {
+    return Status::InvalidArgument(
+        "retire_grace_factor must be >= 1.0: retiring a drained unit before "
+        "its window ages out loses results");
+  }
+  if (fault_tolerance.enabled) {
+    if (!ordered) {
+      return Status::InvalidArgument(
+          "fault tolerance requires the order-consistent protocol: "
+          "checkpoints are only meaningful at round boundaries");
+    }
+    if (fault_tolerance.checkpoint_rounds < 1) {
+      return Status::InvalidArgument("checkpoint_rounds must be >= 1");
+    }
+  }
+  return Status::OK();
+}
+
 BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
                                ResultSink* sink)
     : loop_(loop),
@@ -17,21 +71,16 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
       topology_(options_.subgroups_r, options_.subgroups_s) {
   BISTREAM_CHECK(loop_ != nullptr);
   BISTREAM_CHECK(sink_ != nullptr);
-  BISTREAM_CHECK_GE(options_.num_routers, 1U);
-  BISTREAM_CHECK_GE(options_.joiners_r, 1U);
-  BISTREAM_CHECK_GE(options_.joiners_s, 1U);
-  BISTREAM_CHECK_LE(options_.subgroups_r, options_.joiners_r)
-      << "cannot have more subgroups than units on the R side";
-  BISTREAM_CHECK_LE(options_.subgroups_s, options_.joiners_s)
-      << "cannot have more subgroups than units on the S side";
-  // Content-sensitive (hash) routing partitions by key equality; any other
-  // predicate would miss matches landing in different subgroups.
-  if (options_.predicate.kind() != PredicateKind::kEqui) {
-    BISTREAM_CHECK(options_.subgroups_r == 1 && options_.subgroups_s == 1)
-        << "non-equi predicates require ContRand routing (subgroups = 1)";
+  Status valid = options_.Validate();
+  BISTREAM_CHECK(valid.ok()) << "invalid BicliqueOptions: "
+                             << valid.ToString();
+
+  if (options_.fault_tolerance.enabled) {
+    // Replayed probes may re-derive pairs already emitted before a crash;
+    // the dedup filter drops exactly those (replay-flagged) duplicates.
+    dedup_sink_ = std::make_unique<RecoveryDedupSink>(sink_);
+    sink_ = dedup_sink_.get();
   }
-  BISTREAM_CHECK_GE(options_.retire_grace_factor, 1.0)
-      << "retiring a drained unit before its window ages out loses results";
 
   channels_.resize(options_.num_routers);
 
@@ -44,6 +93,7 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
     router_options.subgroups_s = options_.subgroups_s;
     router_options.punct_interval = options_.punct_interval;
     router_options.batch_size = options_.batch_size;
+    router_options.retain_for_replay = options_.fault_tolerance.enabled;
     router_options.cost = options_.cost;
     auto router = std::make_unique<Router>(
         router_options, loop_, [this, i](uint32_t unit, Message msg) {
@@ -85,8 +135,11 @@ ChannelOptions BicliqueEngine::JoinerChannelOptions() const {
   return channel;
 }
 
-uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round) {
-  uint32_t unit_id = topology_.AddUnit(side);
+uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round,
+                                       std::optional<uint32_t> subgroup) {
+  uint32_t unit_id = subgroup.has_value()
+                         ? topology_.AddUnit(side, *subgroup)
+                         : topology_.AddUnit(side);
 
   JoinerOptions joiner_options;
   joiner_options.unit_id = unit_id;
@@ -114,6 +167,9 @@ uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round) {
   joiner_options.num_routers = options_.num_routers;
   joiner_options.start_round = start_round;
   joiner_options.ordered = options_.ordered;
+  if (options_.fault_tolerance.enabled) {
+    joiner_options.checkpoint_rounds = options_.fault_tolerance.checkpoint_rounds;
+  }
 
   JoinerEntry entry;
   entry.node = net_.AddNode("joiner-" + std::to_string(unit_id) +
@@ -121,6 +177,12 @@ uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round) {
   entry.joiner =
       std::make_unique<Joiner>(joiner_options, loop_, sink_, &tracker_);
   Joiner* joiner_ptr = entry.joiner.get();
+  if (options_.fault_tolerance.enabled) {
+    joiner_ptr->SetCheckpointFn(
+        [this](uint32_t unit, uint64_t round, std::vector<Tuple> tuples) {
+          OnCheckpoint(unit, round, std::move(tuples));
+        });
+  }
   entry.node->SetHandler(
       [joiner_ptr](const Message& msg) { return joiner_ptr->Handle(msg); });
 
@@ -243,6 +305,114 @@ Result<uint32_t> BicliqueEngine::ScaleIn(RelationId side) {
   return unit_id;
 }
 
+void BicliqueEngine::OnCheckpoint(uint32_t unit, uint64_t round,
+                                  std::vector<Tuple> tuples) {
+  ckpt_store_.Put(unit, round, std::move(tuples));
+  // Acknowledged: the routers no longer need this unit's log up to `round`.
+  for (auto& router : routers_) {
+    router->NoteCheckpoint(unit, round);
+  }
+}
+
+Status BicliqueEngine::CrashJoiner(uint32_t unit_id) {
+  auto it = joiners_.find(unit_id);
+  if (it == joiners_.end()) {
+    return Status::NotFound("unknown unit " + std::to_string(unit_id));
+  }
+  const UnitRecord& record = topology_.unit(unit_id);
+  if (record.state != UnitState::kActive &&
+      record.state != UnitState::kDraining) {
+    return Status::FailedPrecondition("unit is not live");
+  }
+  it->second.node->Fail();
+  it->second.joiner->OnCrash();
+  ++crashes_;
+  return Status::OK();
+}
+
+std::optional<uint32_t> BicliqueEngine::InjectCrash(
+    const FaultPlan::Crash& crash, uint64_t draw) {
+  if (crash.unit.has_value()) {
+    return CrashJoiner(*crash.unit).ok() ? crash.unit : std::nullopt;
+  }
+  // Unset victim: pick deterministically among the live joiners (topology
+  // order is id order, so equal draws give equal victims).
+  std::vector<uint32_t> live;
+  for (const UnitRecord& u : topology_.units()) {
+    if (u.state == UnitState::kActive || u.state == UnitState::kDraining) {
+      live.push_back(u.id);
+    }
+  }
+  if (live.empty()) return std::nullopt;
+  uint32_t victim = live[draw % live.size()];
+  return CrashJoiner(victim).ok() ? std::optional<uint32_t>(victim)
+                                  : std::nullopt;
+}
+
+Result<uint32_t> BicliqueEngine::RecoverUnit(uint32_t failed_unit) {
+  if (!options_.fault_tolerance.enabled) {
+    return Status::FailedPrecondition("fault tolerance is disabled");
+  }
+  auto it = joiners_.find(failed_unit);
+  if (it == joiners_.end()) {
+    return Status::NotFound("unknown unit " + std::to_string(failed_unit));
+  }
+  const UnitRecord record = topology_.unit(failed_unit);
+
+  // Fence the suspect first: a false-positive detection must not leave two
+  // units serving the same slot, so the suspect is killed even if alive.
+  if (it->second.node->alive()) {
+    it->second.node->Fail();
+    it->second.joiner->OnCrash();
+    ++crashes_;
+  }
+  RETURN_NOT_OK(topology_.MarkFailed(failed_unit));
+
+  // The restore point decides the replay span: a checkpoint tagged C holds
+  // exactly rounds <= C, so replay resumes at C+1; with no checkpoint the
+  // whole history since the unit's first round is replayed.
+  const Checkpoint* ckpt = ckpt_store_.Latest(failed_unit);
+  uint64_t replay_from =
+      ckpt != nullptr ? ckpt->round + 1 : it->second.joiner->start_round();
+  uint64_t activation = NextActivationRound();
+
+  // The replacement inherits the failed unit's subgroup so the restored
+  // window stays reachable by the same probe set, and its order buffer
+  // starts at the first replayed round.
+  uint32_t replacement =
+      AddJoinerUnit(record.relation, replay_from, record.subgroup);
+  Joiner* repl = joiners_[replacement].joiner.get();
+  if (ckpt != nullptr) {
+    repl->RestoreWindow(ckpt->tuples);
+  }
+
+  // New epoch (failed unit out, replacement in) and the replay both take
+  // effect at `activation`; replayed rounds precede live activation-round
+  // traffic on the replacement's FIFO channels, preserving round order.
+  BroadcastEpoch(activation);
+  for (auto& router : routers_) {
+    router->ScheduleReplay(
+        activation, ReplayRequest{failed_unit, replacement, replay_from});
+  }
+
+  RecoveryEvent event;
+  event.detected_at = loop_->now();
+  event.failed_unit = failed_unit;
+  event.replacement_unit = replacement;
+  if (ckpt != nullptr) event.checkpoint_round = ckpt->round;
+  event.replay_from = replay_from;
+  event.activation_round = activation;
+  event.restored_tuples = ckpt != nullptr ? ckpt->tuples.size() : 0;
+  recovery_events_.push_back(event);
+  size_t event_index = recovery_events_.size() - 1;
+  repl->NotifyWhenCaughtUp(activation, [this, event_index] {
+    recovery_events_[event_index].caught_up_at = loop_->now();
+  });
+
+  ckpt_store_.Drop(failed_unit);
+  return replacement;
+}
+
 Joiner* BicliqueEngine::joiner(uint32_t unit_id) {
   auto it = joiners_.find(unit_id);
   return it == joiners_.end() ? nullptr : it->second.joiner.get();
@@ -257,7 +427,7 @@ void BicliqueEngine::ForEachLiveJoiner(
     RelationId side, const std::function<void(Joiner&, SimNode&)>& fn) {
   for (const UnitRecord& u : topology_.units()) {
     if (TopologyManager::SideOf(u.relation) != TopologyManager::SideOf(side) ||
-        u.state == UnitState::kRetired) {
+        (u.state != UnitState::kActive && u.state != UnitState::kDraining)) {
       continue;
     }
     auto it = joiners_.find(u.id);
@@ -278,9 +448,10 @@ std::string BicliqueEngine::DescribeTopology() const {
     const Joiner& joiner = *it->second.joiner;
     const SimNode& node = *it->second.node;
     char line[192];
-    const char* state = unit.state == UnitState::kActive    ? "active"
+    const char* state = unit.state == UnitState::kActive     ? "active"
                         : unit.state == UnitState::kDraining ? "draining"
-                                                              : "retired";
+                        : unit.state == UnitState::kFailed   ? "failed"
+                                                             : "retired";
     std::snprintf(line, sizeof(line),
                   "  unit %-3u side=%c subgroup=%-2u %-8s stored=%-8llu "
                   "results=%-9llu state=%lldB busy=%.3fms\n",
@@ -290,6 +461,21 @@ std::string BicliqueEngine::DescribeTopology() const {
                   static_cast<unsigned long long>(joiner.stats().results),
                   static_cast<long long>(joiner.memory().current_bytes()),
                   SimTimeToMillis(node.stats().busy_ns));
+    out += line;
+  }
+  uint64_t dropped = net_.total_dropped();
+  uint64_t dropped_dead = net_.total_dropped_dead();
+  uint64_t lost = net_.total_lost_on_crash();
+  if (dropped + dropped_dead + lost + crashes_ + recovery_events_.size() > 0) {
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "  faults: crashes=%llu recoveries=%llu dropped=%llu "
+                  "dropped_dead=%llu lost_on_crash=%llu\n",
+                  static_cast<unsigned long long>(crashes_),
+                  static_cast<unsigned long long>(recovery_events_.size()),
+                  static_cast<unsigned long long>(dropped),
+                  static_cast<unsigned long long>(dropped_dead),
+                  static_cast<unsigned long long>(lost));
     out += line;
   }
   return out;
@@ -306,9 +492,23 @@ EngineStats BicliqueEngine::Stats() const {
     stats.probe_candidates += js.probe_candidates;
     stats.expired_tuples += js.expired_tuples;
     stats.expired_subindexes += js.expired_subindexes;
+    stats.restored_tuples += js.restored_tuples;
   }
   stats.messages = net_.total_messages();
   stats.bytes = net_.total_bytes();
+  stats.messages_dropped = net_.total_dropped();
+  stats.messages_dropped_dead = net_.total_dropped_dead();
+  stats.messages_lost_on_crash = net_.total_lost_on_crash();
+  stats.crashes = crashes_;
+  stats.recoveries = recovery_events_.size();
+  stats.checkpoints = ckpt_store_.checkpoints_taken();
+  stats.checkpoint_bytes = ckpt_store_.bytes_written();
+  for (const auto& router : routers_) {
+    stats.replayed_messages += router->stats().replayed_messages;
+  }
+  if (dedup_sink_ != nullptr) {
+    stats.suppressed_duplicates = dedup_sink_->suppressed();
+  }
   stats.state_bytes = tracker_.current_bytes();
   stats.peak_state_bytes = tracker_.peak_bytes();
   stats.makespan_ns = loop_->now() - start_time_;

@@ -16,9 +16,11 @@
 #include <vector>
 
 #include "core/joiner.h"
+#include "core/recovery.h"
 #include "core/result_sink.h"
 #include "core/router.h"
 #include "core/topology.h"
+#include "sim/fault.h"
 #include "sim/network.h"
 #include "workload/generator.h"
 
@@ -67,6 +69,21 @@ struct BicliqueOptions {
   /// stored window has fully aged out loses results.
   double retire_grace_factor = 1.5;
 
+  /// \brief Joiner crash recovery (DESIGN.md §8).
+  struct FaultToleranceOptions {
+    /// Master switch: checkpointing, router replay logs, duplicate
+    /// suppression and the RecoverUnit control plane. Requires `ordered`.
+    bool enabled = false;
+    /// Checkpoint each joiner's window every N released punctuation rounds.
+    uint64_t checkpoint_rounds = 32;
+  };
+  FaultToleranceOptions fault_tolerance;
+
+  /// \brief Checks option consistency; the engine constructor fails on a
+  /// non-OK status. Callers building configs programmatically (benches,
+  /// the autoscaler harness) can validate before paying construction.
+  Status Validate() const;
+
   /// \brief Convenience: configure ContHash with the given subgroup counts.
   static BicliqueOptions ContHash(uint32_t d, uint32_t e) {
     BicliqueOptions o;
@@ -98,6 +115,27 @@ struct EngineStats {
   double mean_joiner_busy_fraction = 0;
   /// Virtual time from Start() to the last processed event.
   SimTime makespan_ns = 0;
+
+  // --- fault counters ------------------------------------------------------
+  /// Messages silently lost in transit (channel_drop_probability).
+  uint64_t messages_dropped = 0;
+  /// Deliveries discarded because the destination node was down.
+  uint64_t messages_dropped_dead = 0;
+  /// Inbox messages wiped by node crashes.
+  uint64_t messages_lost_on_crash = 0;
+  /// Joiner crashes applied (CrashJoiner / injected faults).
+  uint64_t crashes = 0;
+  /// Completed RecoverUnit invocations.
+  uint64_t recoveries = 0;
+  /// Checkpoints written to the store.
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_bytes = 0;
+  /// Tuple copies re-sent to replacements during recovery.
+  uint64_t replayed_messages = 0;
+  /// Replay-flagged duplicate results filtered before the sink.
+  uint64_t suppressed_duplicates = 0;
+  /// Tuples loaded from checkpoints into replacement windows.
+  uint64_t restored_tuples = 0;
 };
 
 /// \brief The BiStream join-biclique engine over the simulated cluster.
@@ -145,6 +183,32 @@ class BicliqueEngine {
     return topology_.NumLive(side);
   }
 
+  // --- Fault tolerance control plane -------------------------------------
+
+  /// \brief Crashes a live joiner: its node stops accepting deliveries and
+  /// its window state is lost. Recovery is separate (the failure detector
+  /// notices the silence and calls RecoverUnit).
+  Status CrashJoiner(uint32_t unit_id);
+
+  /// \brief FaultInjector binding (CrashFn): applies one planned crash,
+  /// resolving an unset victim to the `draw % live`-th live joiner (id
+  /// order). Returns the crashed unit, or nullopt if nothing was crashed.
+  std::optional<uint32_t> InjectCrash(const FaultPlan::Crash& crash,
+                                      uint64_t draw);
+
+  /// \brief Recovers a failed (or falsely-suspected — it is fenced first)
+  /// unit: provisions a replacement in the same subgroup, restores the
+  /// latest checkpoint, and schedules router replay of the rounds since.
+  /// Returns the replacement unit id. Requires fault_tolerance.enabled.
+  Result<uint32_t> RecoverUnit(uint32_t failed_unit);
+
+  /// \brief Completed recoveries, in order.
+  const std::vector<RecoveryEvent>& recovery_events() const {
+    return recovery_events_;
+  }
+  const CheckpointStore& checkpoint_store() const { return ckpt_store_; }
+  bool stopped() const { return stopped_; }
+
   // --- Introspection ------------------------------------------------------
 
   EngineStats Stats() const;
@@ -177,8 +241,14 @@ class BicliqueEngine {
     SimNode* node = nullptr;
   };
 
-  /// Creates the unit, node, channels; returns the unit id.
-  uint32_t AddJoinerUnit(RelationId side, uint64_t start_round);
+  /// Creates the unit, node, channels; returns the unit id. A set
+  /// `subgroup` pins the placement (recovery replacements must sit in the
+  /// failed unit's subgroup); unset picks the least-populated one.
+  uint32_t AddJoinerUnit(RelationId side, uint64_t start_round,
+                         std::optional<uint32_t> subgroup = std::nullopt);
+  /// Checkpoint sink for every joiner: stores the snapshot and lets the
+  /// routers trim their replay logs.
+  void OnCheckpoint(uint32_t unit, uint64_t round, std::vector<Tuple> tuples);
   /// Pushes a new snapshot to every router at round `activation`.
   void BroadcastEpoch(uint64_t activation_round);
   /// Sends the pending source-side ingestion batch, if any.
@@ -192,6 +262,9 @@ class BicliqueEngine {
   EventLoop* loop_;
   BicliqueOptions options_;
   ResultSink* sink_;
+  /// Installed between the joiners and the user sink when fault tolerance
+  /// is enabled (filters replay-flagged duplicates); sink_ points at it.
+  std::unique_ptr<RecoveryDedupSink> dedup_sink_;
   MemoryTracker tracker_;
   SimNetwork net_;
   TopologyManager topology_;
@@ -207,6 +280,9 @@ class BicliqueEngine {
   SimTime start_time_ = 0;
   bool started_ = false;
   bool stopped_ = false;
+  CheckpointStore ckpt_store_;
+  std::vector<RecoveryEvent> recovery_events_;
+  uint64_t crashes_ = 0;
 };
 
 }  // namespace bistream

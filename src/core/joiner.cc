@@ -29,6 +29,12 @@ Joiner::Joiner(JoinerOptions options, EventLoop* loop, ResultSink* sink,
       buffer_(options_.num_routers, options_.start_round) {
   BISTREAM_CHECK(loop_ != nullptr);
   BISTREAM_CHECK(sink_ != nullptr);
+  if (options_.checkpoint_rounds > 0) {
+    BISTREAM_CHECK(options_.ordered)
+        << "checkpointing requires the order-consistent protocol";
+    next_checkpoint_round_ = options_.start_round + options_.checkpoint_rounds;
+  }
+  last_progress_time_ = loop_->now();
 }
 
 SimTime Joiner::Handle(const Message& msg) {
@@ -43,12 +49,15 @@ SimTime Joiner::Handle(const Message& msg) {
     }
     case Message::Kind::kPunctuation: {
       SimTime cost = options_.cost.punctuation_ns;
+      last_progress_time_ = loop_->now();
       if (!options_.ordered) return cost;
       std::vector<Message> released;
       buffer_.AddPunctuation(msg, &released);
       for (const Message& m : released) {
         cost += ProcessTuple(m);
       }
+      cost += MaybeCheckpoint();
+      CheckCaughtUp();
       return cost;
     }
     case Message::Kind::kBatch: {
@@ -85,7 +94,7 @@ SimTime Joiner::ProcessTuple(const Message& msg) {
   BISTREAM_CHECK_NE(msg.tuple.relation, options_.relation)
       << "join-stream tuple of the unit's own relation reached unit "
       << options_.unit_id;
-  return JoinBranch(msg.tuple);
+  return JoinBranch(msg.tuple, msg.replayed);
 }
 
 SimTime Joiner::StoreBranch(const Tuple& tuple) {
@@ -94,7 +103,7 @@ SimTime Joiner::StoreBranch(const Tuple& tuple) {
   return options_.cost.insert_ns;
 }
 
-SimTime Joiner::JoinBranch(const Tuple& probe) {
+SimTime Joiner::JoinBranch(const Tuple& probe, bool replayed) {
   ++stats_.probes;
 
   uint64_t subindexes_before = index_.stats().expired_subindexes;
@@ -115,6 +124,7 @@ SimTime Joiner::JoinBranch(const Tuple& probe) {
     result.latency_ns =
         probe.origin <= result.emit_time ? result.emit_time - probe.origin : 0;
     result.producer_unit = options_.unit_id;
+    result.replayed = replayed;
     sink_->OnResult(result);
     ++matches;
   };
@@ -130,6 +140,55 @@ SimTime Joiner::JoinBranch(const Tuple& probe) {
 
   return options_.cost.ProbeCost(candidates, matches) +
          dropped_subindexes * options_.cost.expire_subindex_ns;
+}
+
+SimTime Joiner::MaybeCheckpoint() {
+  if (options_.checkpoint_rounds == 0 || checkpoint_fn_ == nullptr) return 0;
+  if (buffer_.next_release_round() == 0) return 0;
+  // Last round whose tuples have been fully processed; the snapshot reflects
+  // exactly the stores of rounds <= completed.
+  uint64_t completed = buffer_.next_release_round() - 1;
+  if (completed < next_checkpoint_round_) return 0;
+  std::vector<Tuple> tuples = index_.SnapshotTuples();
+  SimTime cost = options_.cost.CheckpointCost(tuples.size());
+  ++stats_.checkpoints;
+  next_checkpoint_round_ = completed + options_.checkpoint_rounds;
+  checkpoint_fn_(options_.unit_id, completed, std::move(tuples));
+  return cost;
+}
+
+void Joiner::OnCrash() {
+  index_.Clear();
+  catch_up_waiters_.clear();
+}
+
+void Joiner::RestoreWindow(const std::vector<Tuple>& tuples) {
+  stats_.restored_tuples += tuples.size();
+  index_.RestoreFrom(tuples);
+}
+
+void Joiner::NotifyWhenCaughtUp(uint64_t round, std::function<void()> fn) {
+  if (buffer_.next_release_round() >= round) {
+    fn();
+    return;
+  }
+  catch_up_waiters_.push_back(CatchUpWaiter{round, std::move(fn)});
+}
+
+void Joiner::CheckCaughtUp() {
+  if (catch_up_waiters_.empty()) return;
+  uint64_t reached = buffer_.next_release_round();
+  std::vector<CatchUpWaiter> still_waiting;
+  std::vector<CatchUpWaiter> ready;
+  for (CatchUpWaiter& waiter : catch_up_waiters_) {
+    if (reached >= waiter.round) {
+      ready.push_back(std::move(waiter));
+    } else {
+      still_waiting.push_back(std::move(waiter));
+    }
+  }
+  catch_up_waiters_ = std::move(still_waiting);
+  for (CatchUpWaiter& waiter : ready) waiter.fn();
 }
 
 }  // namespace bistream

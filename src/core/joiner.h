@@ -14,7 +14,9 @@
 #ifndef BISTREAM_CORE_JOINER_H_
 #define BISTREAM_CORE_JOINER_H_
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/memory_tracker.h"
 #include "core/order_buffer.h"
@@ -44,7 +46,17 @@ struct JoinerOptions {
   uint64_t start_round = 0;
   /// Order-consistent protocol on (default) or off (E12 / tests).
   bool ordered = true;
+  /// Checkpoint the window every N fully released punctuation rounds
+  /// (0 = checkpointing off). Requires `ordered`: a checkpoint tagged with
+  /// round C must mean "state reflects exactly the tuples of rounds <= C",
+  /// which only the round-release discipline guarantees.
+  uint64_t checkpoint_rounds = 0;
 };
+
+/// \brief Receives a round-aligned window snapshot. `round` is the last
+/// punctuation round whose tuples the snapshot includes.
+using CheckpointFn = std::function<void(uint32_t unit, uint64_t round,
+                                        std::vector<Tuple> tuples)>;
 
 /// \brief Per-joiner statistics.
 struct JoinerStats {
@@ -54,6 +66,8 @@ struct JoinerStats {
   uint64_t probe_candidates = 0;
   uint64_t expired_tuples = 0;
   uint64_t expired_subindexes = 0;
+  uint64_t checkpoints = 0;
+  uint64_t restored_tuples = 0;
 };
 
 /// \brief One biclique processing unit. Install Handle() as its SimNode
@@ -70,16 +84,47 @@ class Joiner {
 
   uint32_t unit_id() const { return options_.unit_id; }
   RelationId relation() const { return options_.relation; }
+  uint64_t start_round() const { return options_.start_round; }
   const JoinerStats& stats() const { return stats_; }
   const ChainedIndex& index() const { return index_; }
   const MemoryTracker& memory() const { return tracker_; }
   size_t buffered() const { return buffer_.buffered(); }
 
+  // ----------------------------------------------------- fault tolerance --
+
+  /// \brief Installs the checkpoint sink (the engine's checkpoint store).
+  /// Takes effect only when options.checkpoint_rounds > 0.
+  void SetCheckpointFn(CheckpointFn fn) { checkpoint_fn_ = std::move(fn); }
+
+  /// \brief Virtual time of the last punctuation this unit processed
+  /// (liveness heartbeat for the failure detector). Initialized to the
+  /// construction time so a fresh unit is not instantly "silent".
+  SimTime last_progress_time() const { return last_progress_time_; }
+
+  /// \brief Models the memory loss of a process crash: drops the window
+  /// index (releasing its byte accounting). The crashed object is never
+  /// reused — recovery builds a replacement Joiner.
+  void OnCrash();
+
+  /// \brief Loads a checkpoint snapshot into the (empty) window index.
+  /// Called on a replacement unit before its activation round.
+  void RestoreWindow(const std::vector<Tuple>& tuples);
+
+  /// \brief Invokes `fn` once every round below `round` has been released
+  /// (i.e. the unit has caught up through the replayed backlog). Fires
+  /// immediately when already true.
+  void NotifyWhenCaughtUp(uint64_t round, std::function<void()> fn);
+
  private:
   /// Store or join branch for one released (or unordered) tuple message.
   SimTime ProcessTuple(const Message& msg);
   SimTime StoreBranch(const Tuple& tuple);
-  SimTime JoinBranch(const Tuple& probe);
+  SimTime JoinBranch(const Tuple& probe, bool replayed);
+  /// Snapshots the window if the checkpoint cadence is due; returns the
+  /// virtual-time charge.
+  SimTime MaybeCheckpoint();
+  /// Fires pending catch-up callbacks whose round has been reached.
+  void CheckCaughtUp();
 
   JoinerOptions options_;
   EventLoop* loop_;
@@ -88,6 +133,15 @@ class Joiner {
   ChainedIndex index_;
   OrderBuffer buffer_;
   JoinerStats stats_;
+  CheckpointFn checkpoint_fn_;
+  /// First round tag at/after which the next checkpoint fires.
+  uint64_t next_checkpoint_round_ = 0;
+  SimTime last_progress_time_ = 0;
+  struct CatchUpWaiter {
+    uint64_t round = 0;
+    std::function<void()> fn;
+  };
+  std::vector<CatchUpWaiter> catch_up_waiters_;
 };
 
 }  // namespace bistream

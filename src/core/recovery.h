@@ -1,0 +1,118 @@
+/// \file recovery.h
+/// \brief Checkpoint storage and duplicate suppression for joiner recovery.
+///
+/// The fault-tolerance protocol (DESIGN.md §8) is round-aligned: a joiner
+/// checkpoints its window index after fully releasing every
+/// `checkpoint_rounds`-th punctuation round, so a checkpoint tagged C means
+/// "state reflects exactly the stores of rounds <= C" — and, because rounds
+/// release in order, every result derivable from rounds <= C was already
+/// emitted before the crash. Recovery therefore restores the checkpoint,
+/// replays the routers' logged traffic for rounds (C, activation), and
+/// suppresses only the *replayed* duplicates this necessarily re-derives.
+
+#ifndef BISTREAM_CORE_RECOVERY_H_
+#define BISTREAM_CORE_RECOVERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/result_sink.h"
+#include "sim/event_loop.h"
+#include "tuple/tuple.h"
+
+namespace bistream {
+
+/// \brief One durable window snapshot.
+struct Checkpoint {
+  uint32_t unit = 0;
+  /// Last punctuation round whose tuples the snapshot includes.
+  uint64_t round = 0;
+  std::vector<Tuple> tuples;
+};
+
+/// \brief Durable checkpoint storage (models a replicated store the failed
+/// process cannot take down with it). Only the latest snapshot per unit is
+/// retained — recovery never needs an older one.
+class CheckpointStore {
+ public:
+  void Put(uint32_t unit, uint64_t round, std::vector<Tuple> tuples) {
+    ++checkpoints_taken_;
+    for (const Tuple& t : tuples) bytes_written_ += t.SerializedSize();
+    latest_[unit] = Checkpoint{unit, round, std::move(tuples)};
+  }
+
+  /// \brief Latest snapshot for `unit`, or null when none was ever taken.
+  const Checkpoint* Latest(uint32_t unit) const {
+    auto it = latest_.find(unit);
+    return it == latest_.end() ? nullptr : &it->second;
+  }
+
+  /// \brief Discards a unit's snapshot (after its recovery completed or the
+  /// unit retired).
+  void Drop(uint32_t unit) { latest_.erase(unit); }
+
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  size_t stored_units() const { return latest_.size(); }
+
+ private:
+  std::unordered_map<uint32_t, Checkpoint> latest_;
+  uint64_t checkpoints_taken_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// \brief Filters the duplicates that checkpoint+replay necessarily
+/// re-derives: a replayed probe against restored state can re-produce pairs
+/// already emitted between the checkpoint and the crash.
+///
+/// Only results carrying the `replayed` flag are ever suppressed, so a
+/// genuine protocol bug (an unflagged duplicate) still reaches the checking
+/// collector and fails the oracle.
+class RecoveryDedupSink final : public ResultSink {
+ public:
+  explicit RecoveryDedupSink(ResultSink* down) : down_(down) {}
+
+  void OnResult(const JoinResult& result) override {
+    bool first = seen_.insert(result.PairKey()).second;
+    if (result.replayed && !first) {
+      ++suppressed_;
+      return;
+    }
+    down_->OnResult(result);
+  }
+
+  uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  ResultSink* down_;
+  std::unordered_set<uint64_t> seen_;
+  uint64_t suppressed_ = 0;
+};
+
+/// \brief Audit record of one completed recovery.
+struct RecoveryEvent {
+  /// Virtual time the failure was acted on (RecoverUnit entry).
+  SimTime detected_at = 0;
+  /// Virtual time the replacement finished releasing the replayed backlog
+  /// (reached its activation round); 0 until then.
+  SimTime caught_up_at = 0;
+  uint32_t failed_unit = 0;
+  uint32_t replacement_unit = 0;
+  /// Checkpoint the restore used; nullopt = none existed (full replay from
+  /// the failed unit's start round).
+  std::optional<uint64_t> checkpoint_round;
+  /// First replayed round.
+  uint64_t replay_from = 0;
+  /// Round at which the replacement takes over live traffic.
+  uint64_t activation_round = 0;
+  /// Tuples loaded from the checkpoint.
+  uint64_t restored_tuples = 0;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_CORE_RECOVERY_H_

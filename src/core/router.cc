@@ -1,5 +1,7 @@
 #include "core/router.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace bistream {
@@ -64,6 +66,7 @@ SimTime Router::FlushUnit(uint32_t unit) {
 
 SimTime Router::EnqueueCopy(uint32_t unit, const Tuple& tuple,
                             StreamKind stream) {
+  LogCopy(unit, tuple, stream, seq_, round_);
   if (options_.batch_size <= 1) {
     Message copy = MakeTupleMessage(tuple, stream, options_.router_id, seq_,
                                     round_);
@@ -96,6 +99,96 @@ void Router::AdvanceRound() {
     view_ = std::move(it->second);
     pending_epochs_.erase(it);
   }
+  auto range = pending_replays_.equal_range(round_);
+  if (range.first != range.second) {
+    for (auto rit = range.first; rit != range.second; ++rit) {
+      SendReplay(rit->second, round_);
+    }
+    pending_replays_.erase(range.first, range.second);
+  }
+  GcReplayLogs();
+}
+
+void Router::LogCopy(uint32_t unit, const Tuple& tuple, StreamKind stream,
+                     uint64_t seq, uint64_t round) {
+  if (!options_.retain_for_replay) return;
+  replay_log_[unit][round].push_back(BatchEntry{tuple, stream, seq, round});
+}
+
+void Router::NoteCheckpoint(uint32_t unit, uint64_t round) {
+  auto it = replay_log_.find(unit);
+  if (it == replay_log_.end()) return;
+  std::map<uint64_t, std::vector<BatchEntry>>& rounds = it->second;
+  rounds.erase(rounds.begin(), rounds.upper_bound(round));
+  if (rounds.empty()) replay_log_.erase(it);
+}
+
+void Router::ScheduleReplay(uint64_t activation_round,
+                            ReplayRequest request) {
+  BISTREAM_CHECK(options_.retain_for_replay)
+      << "replay scheduled on a router without a replay log";
+  BISTREAM_CHECK_GT(activation_round, round_)
+      << "replay scheduled for a round router " << options_.router_id
+      << " already passed";
+  pending_replays_.emplace(activation_round, request);
+}
+
+void Router::SendReplay(const ReplayRequest& request,
+                        uint64_t activation_round) {
+  auto log_it = replay_log_.find(request.failed_unit);
+  for (uint64_t r = request.from_round; r < activation_round; ++r) {
+    if (log_it != replay_log_.end()) {
+      auto round_it = log_it->second.find(r);
+      if (round_it != log_it->second.end()) {
+        for (const BatchEntry& entry : round_it->second) {
+          Message copy = MakeTupleMessage(entry.tuple, entry.stream,
+                                          options_.router_id, entry.seq, r);
+          copy.replayed = true;
+          // Re-log under the replacement so a second crash during catch-up
+          // is itself recoverable.
+          LogCopy(request.replacement_unit, entry.tuple, entry.stream,
+                  entry.seq, r);
+          send_(request.replacement_unit, std::move(copy));
+          ++stats_.replayed_messages;
+        }
+      }
+    }
+    // Close each replayed round even when it logged no copies: the
+    // replacement's order buffer needs a punctuation per router per round.
+    send_(request.replacement_unit,
+          MakePunctuation(options_.router_id, seq_, r));
+  }
+  replay_log_.erase(request.failed_unit);
+}
+
+void Router::GcReplayLogs() {
+  if (!options_.retain_for_replay || replay_log_.empty()) return;
+  for (auto it = replay_log_.begin(); it != replay_log_.end();) {
+    uint32_t unit = it->first;
+    bool in_view =
+        std::find(view_->punct_targets.begin(), view_->punct_targets.end(),
+                  unit) != view_->punct_targets.end();
+    bool awaited = false;
+    for (const auto& [activation, request] : pending_replays_) {
+      if (request.failed_unit == unit) {
+        awaited = true;
+        break;
+      }
+    }
+    if (!in_view && !awaited) {
+      it = replay_log_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t Router::replay_log_entries() const {
+  size_t total = 0;
+  for (const auto& [unit, rounds] : replay_log_) {
+    for (const auto& [round, entries] : rounds) total += entries.size();
+  }
+  return total;
 }
 
 SimTime Router::Handle(const Message& msg) {

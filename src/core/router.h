@@ -43,6 +43,10 @@ struct RouterOptions {
   /// Batches are force-flushed at every punctuation, bounding the added
   /// latency by the punctuation interval.
   uint32_t batch_size = 1;
+  /// Fault tolerance: keep a per-unit log of routed copies (by round) so a
+  /// failed unit's traffic since its last checkpoint can be replayed to a
+  /// replacement. Logs are trimmed on checkpoint acknowledgements.
+  bool retain_for_replay = false;
   CostModel cost;
 };
 
@@ -55,6 +59,16 @@ struct RouterStats {
   /// Tuples that arrived after the stop-flush; they cannot be sequenced
   /// into a punctuated round anymore and are dropped (a driver bug).
   uint64_t dropped_after_stop = 0;
+  /// Tuple copies re-sent to replacement units during recovery.
+  uint64_t replayed_messages = 0;
+};
+
+/// \brief One pending recovery replay: resend the failed unit's logged
+/// copies for rounds [from_round, activation) to the replacement.
+struct ReplayRequest {
+  uint32_t failed_unit = 0;
+  uint32_t replacement_unit = 0;
+  uint64_t from_round = 0;
 };
 
 /// \brief One router service instance. Install Handle() as the SimNode
@@ -80,6 +94,21 @@ class Router {
   bool stopped() const { return stopped_; }
   const RouterStats& stats() const { return stats_; }
 
+  // ----------------------------------------------------- fault tolerance --
+
+  /// \brief Checkpoint acknowledgement: rounds <= `round` of `unit`'s log
+  /// are durable and can be trimmed.
+  void NoteCheckpoint(uint32_t unit, uint64_t round);
+
+  /// \brief Registers a replay that fires when this router reaches the
+  /// replacement's activation round (must be a round not yet reached). The
+  /// replayed copies precede any live activation-round traffic on the
+  /// replacement's FIFO channel, so the round order is preserved.
+  void ScheduleReplay(uint64_t activation_round, ReplayRequest request);
+
+  /// \brief Bytes currently held in replay logs (for tests / metrics).
+  size_t replay_log_entries() const;
+
  private:
   /// Forks the tuple into store/join copies; returns the send-side cost.
   SimTime RouteTuple(const Tuple& tuple);
@@ -94,6 +123,15 @@ class Router {
   void Tick();
   /// Advances to the next round, applying a pending epoch if scheduled.
   void AdvanceRound();
+  /// Records one routed copy into the replay log (retain_for_replay only).
+  void LogCopy(uint32_t unit, const Tuple& tuple, StreamKind stream,
+               uint64_t seq, uint64_t round);
+  /// Resends logged rounds [from_round, activation) to the replacement,
+  /// with per-round punctuations, then drops the failed unit's log.
+  void SendReplay(const ReplayRequest& request, uint64_t activation_round);
+  /// Drops logs of units that left the view (retired/failed) and are not
+  /// awaited by a pending replay.
+  void GcReplayLogs();
 
   RouterOptions options_;
   EventLoop* loop_;
@@ -103,6 +141,10 @@ class Router {
   std::map<uint64_t, std::shared_ptr<const TopologyView>> pending_epochs_;
   /// Pending mini-batches per destination unit (batch_size > 1 only).
   std::map<uint32_t, std::vector<BatchEntry>> pending_batches_;
+  /// Replay log: unit -> round -> sequenced copies (retain_for_replay).
+  std::map<uint32_t, std::map<uint64_t, std::vector<BatchEntry>>> replay_log_;
+  /// Replays keyed by the activation round that triggers them.
+  std::multimap<uint64_t, ReplayRequest> pending_replays_;
   uint64_t seq_ = 0;
   uint64_t round_ = 0;
   bool started_ = false;

@@ -26,6 +26,11 @@ uint32_t TopologyManager::AddUnit(RelationId relation) {
   for (uint32_t g = 1; g < subgroups_[side]; ++g) {
     if (population[g] < population[subgroup]) subgroup = g;
   }
+  return AddUnit(relation, subgroup);
+}
+
+uint32_t TopologyManager::AddUnit(RelationId relation, uint32_t subgroup) {
+  BISTREAM_CHECK_LT(subgroup, subgroups_[SideOf(relation)]);
   UnitRecord record;
   record.id = next_unit_id_++;
   record.relation = relation;
@@ -33,6 +38,16 @@ uint32_t TopologyManager::AddUnit(RelationId relation) {
   record.state = UnitState::kActive;
   units_.push_back(record);
   return record.id;
+}
+
+Status TopologyManager::MarkFailed(uint32_t unit_id) {
+  UnitRecord* u = Find(unit_id);
+  if (u == nullptr) return Status::NotFound("unknown unit");
+  if (u->state != UnitState::kActive && u->state != UnitState::kDraining) {
+    return Status::FailedPrecondition("unit is not live");
+  }
+  u->state = UnitState::kFailed;
+  return Status::OK();
 }
 
 UnitRecord* TopologyManager::Find(uint32_t unit_id) {
@@ -118,7 +133,7 @@ size_t TopologyManager::NumLive(RelationId relation) const {
   size_t count = 0;
   for (const UnitRecord& u : units_) {
     if (SideOf(u.relation) == SideOf(relation) &&
-        u.state != UnitState::kRetired) {
+        (u.state == UnitState::kActive || u.state == UnitState::kDraining)) {
       ++count;
     }
   }
@@ -133,7 +148,9 @@ std::shared_ptr<const TopologyView> TopologyManager::Snapshot() {
     view->sides[side].probe_by_subgroup.resize(subgroups_[side]);
   }
   for (const UnitRecord& u : units_) {
-    if (u.state == UnitState::kRetired) continue;
+    if (u.state == UnitState::kRetired || u.state == UnitState::kFailed) {
+      continue;
+    }
     int side = SideOf(u.relation);
     view->punct_targets.push_back(u.id);
     view->sides[side].probe_by_subgroup[u.subgroup].push_back(u.id);

@@ -30,6 +30,9 @@ enum class UnitState : uint8_t {
   kDraining = 1,
   /// Fully removed; receives nothing.
   kRetired = 2,
+  /// Crashed; removed from routing like kRetired, but its stored window was
+  /// lost rather than aged out (a replacement unit restores it).
+  kFailed = 3,
 };
 
 /// \brief Per-unit bookkeeping.
@@ -72,6 +75,15 @@ class TopologyManager {
   /// \brief Registers a new active unit on `relation`'s side, assigned to
   /// the currently least-populated subgroup. Returns its unit id.
   uint32_t AddUnit(RelationId relation);
+
+  /// \brief Registers a new active unit pinned to an explicit subgroup
+  /// (recovery: a replacement must sit where the failed unit sat, so the
+  /// restored window stays reachable by the same probe set).
+  uint32_t AddUnit(RelationId relation, uint32_t subgroup);
+
+  /// \brief Marks a crashed unit. Valid from kActive or kDraining; the unit
+  /// leaves every routing set at the next epoch, like retirement.
+  Status MarkFailed(uint32_t unit_id);
 
   /// \brief Moves an active unit to draining (scale-in step 1).
   Status StartDrain(uint32_t unit_id);

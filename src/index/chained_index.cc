@@ -1,5 +1,7 @@
 #include "index/chained_index.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace bistream {
@@ -93,6 +95,34 @@ uint64_t ChainedIndex::ProbeOnly(const Tuple& probe, const JoinPredicate& pred,
   examined += active_->Probe(probe, pred, windowed);
   stats_.probe_candidates += examined;
   return examined;
+}
+
+std::vector<Tuple> ChainedIndex::SnapshotTuples() const {
+  std::vector<Tuple> tuples;
+  tuples.reserve(size());
+  MatchSink collect = [&](const Tuple& stored) { tuples.push_back(stored); };
+  for (const auto& sub : chain_) sub->ForEach(collect);
+  active_->ForEach(collect);
+  std::sort(tuples.begin(), tuples.end(), [](const Tuple& a, const Tuple& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.id < b.id;
+  });
+  return tuples;
+}
+
+void ChainedIndex::RestoreFrom(const std::vector<Tuple>& tuples) {
+  BISTREAM_CHECK_EQ(size(), 0u);
+  // Snapshot order is (ts, id)-sorted, so replayed inserts reconstruct the
+  // same archive-period partitioning an uninterrupted run would have built.
+  for (const Tuple& tuple : tuples) Insert(tuple);
+}
+
+void ChainedIndex::Clear() {
+  if (options_.tracker != nullptr) {
+    options_.tracker->Release(bytes());
+  }
+  chain_.clear();
+  active_ = MakeSubIndex(options_.kind);
 }
 
 size_t ChainedIndex::size() const {

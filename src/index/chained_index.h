@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "common/memory_tracker.h"
 #include "index/sub_index.h"
@@ -85,6 +86,19 @@ class ChainedIndex {
   /// which expire on their own cadence).
   uint64_t ProbeOnly(const Tuple& probe, const JoinPredicate& pred,
                      const MatchSink& sink);
+
+  /// \brief Copies every stored tuple, sorted by (ts, id) so equal states
+  /// serialize identically regardless of sub-index layout (checkpointing).
+  std::vector<Tuple> SnapshotTuples() const;
+
+  /// \brief Rebuilds the index from a checkpoint snapshot. The index must be
+  /// empty (freshly constructed or Clear()ed); sub-index boundaries are
+  /// re-derived by replaying the inserts in snapshot order.
+  void RestoreFrom(const std::vector<Tuple>& tuples);
+
+  /// \brief Drops all state and releases its byte accounting (models the
+  /// memory loss of a process crash).
+  void Clear();
 
   /// \brief Stored tuples across all sub-indexes.
   size_t size() const;

@@ -54,6 +54,12 @@ uint64_t HashSubIndex::Probe(const Tuple& probe, const JoinPredicate& pred,
   return examined;
 }
 
+void HashSubIndex::ForEach(const MatchSink& sink) const {
+  for (const auto& [key, bucket] : buckets_) {
+    for (const Tuple& stored : bucket) sink(stored);
+  }
+}
+
 // ------------------------------------------------------------- Ordered ----
 
 void OrderedSubIndex::Insert(const Tuple& tuple) {
@@ -78,6 +84,10 @@ uint64_t OrderedSubIndex::Probe(const Tuple& probe, const JoinPredicate& pred,
   return examined;
 }
 
+void OrderedSubIndex::ForEach(const MatchSink& sink) const {
+  for (const auto& [key, stored] : tree_) sink(stored);
+}
+
 // ---------------------------------------------------------------- Scan ----
 
 void ScanSubIndex::Insert(const Tuple& tuple) {
@@ -92,6 +102,10 @@ uint64_t ScanSubIndex::Probe(const Tuple& probe, const JoinPredicate& pred,
     if (pred.Matches(probe, stored)) sink(stored);
   }
   return log_.size();
+}
+
+void ScanSubIndex::ForEach(const MatchSink& sink) const {
+  for (const Tuple& stored : log_) sink(stored);
 }
 
 }  // namespace bistream

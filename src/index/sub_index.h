@@ -43,6 +43,10 @@ class SubIndex {
   virtual uint64_t Probe(const Tuple& probe, const JoinPredicate& pred,
                          const MatchSink& sink) const = 0;
 
+  /// \brief Visits every stored tuple in unspecified order (checkpointing;
+  /// callers needing determinism sort the collected tuples themselves).
+  virtual void ForEach(const MatchSink& sink) const = 0;
+
   /// \brief Number of stored tuples.
   virtual size_t size() const = 0;
 
@@ -84,6 +88,7 @@ class HashSubIndex final : public SubIndex {
   void Insert(const Tuple& tuple) override;
   uint64_t Probe(const Tuple& probe, const JoinPredicate& pred,
                  const MatchSink& sink) const override;
+  void ForEach(const MatchSink& sink) const override;
   size_t size() const override { return size_; }
   size_t bytes() const override { return bytes_; }
 
@@ -100,6 +105,7 @@ class OrderedSubIndex final : public SubIndex {
   void Insert(const Tuple& tuple) override;
   uint64_t Probe(const Tuple& probe, const JoinPredicate& pred,
                  const MatchSink& sink) const override;
+  void ForEach(const MatchSink& sink) const override;
   size_t size() const override { return size_; }
   size_t bytes() const override { return bytes_; }
 
@@ -115,6 +121,7 @@ class ScanSubIndex final : public SubIndex {
   void Insert(const Tuple& tuple) override;
   uint64_t Probe(const Tuple& probe, const JoinPredicate& pred,
                  const MatchSink& sink) const override;
+  void ForEach(const MatchSink& sink) const override;
   size_t size() const override { return log_.size(); }
   size_t bytes() const override { return bytes_; }
 

@@ -1,0 +1,73 @@
+#include "ops/failure_detector.h"
+
+#include "common/logging.h"
+
+namespace bistream {
+
+FailureDetector::FailureDetector(BicliqueEngine* engine,
+                                 FailureDetectorOptions options)
+    : engine_(engine), options_(options) {
+  BISTREAM_CHECK(engine_ != nullptr);
+  BISTREAM_CHECK_GT(options_.check_interval, 0ULL);
+  BISTREAM_CHECK_GT(options_.timeout, 0ULL);
+}
+
+void FailureDetector::Start() {
+  BISTREAM_CHECK(!started_);
+  started_ = true;
+  engine_->loop()->ScheduleAfter(options_.check_interval, [this] { Tick(); });
+}
+
+void FailureDetector::Tick() {
+  // Once the run has stopped, punctuations cease cluster-wide and every
+  // joiner goes silent; without this guard the detector would "recover"
+  // perfectly healthy units forever and keep the loop from draining.
+  if (stopped_ || engine_->stopped()) return;
+
+  // Scan first, act after: RecoverUnit grows the topology's unit vector,
+  // which would invalidate the records this loop walks. One recovery per
+  // scan — the epoch/replay machinery is per-activation-round, and a
+  // rescan after the backoff handles multi-failure storms.
+  SimTime now = engine_->loop()->now();
+  uint32_t suspect = 0;
+  SimTime suspect_silence = 0;
+  bool found = false;
+  for (const UnitRecord& u : engine_->topology().units()) {
+    if (u.state != UnitState::kActive && u.state != UnitState::kDraining) {
+      continue;
+    }
+    Joiner* joiner = engine_->joiner(u.id);
+    if (joiner == nullptr) continue;
+    SimTime last = joiner->last_progress_time();
+    SimTime silence = now > last ? now - last : 0;
+    if (silence <= options_.timeout) continue;
+    suspect = u.id;
+    suspect_silence = silence;
+    found = true;
+    break;
+  }
+
+  bool acted = false;
+  if (found) {
+    Result<uint32_t> replacement = engine_->RecoverUnit(suspect);
+    if (replacement.ok()) {
+      detections_.push_back(
+          DetectionEvent{now, suspect, *replacement, suspect_silence});
+      acted = true;
+    } else {
+      BISTREAM_LOG(Warning) << "recovery of silent unit " << suspect
+                            << " failed: "
+                            << replacement.status().ToString();
+    }
+  }
+
+  if (options_.max_recoveries > 0 &&
+      detections_.size() >= options_.max_recoveries) {
+    stopped_ = true;
+    return;
+  }
+  engine_->loop()->ScheduleAfter(
+      acted ? options_.backoff : options_.check_interval, [this] { Tick(); });
+}
+
+}  // namespace bistream

@@ -1,0 +1,76 @@
+/// \file failure_detector.h
+/// \brief Heartbeat-timeout failure detection for joiner units.
+///
+/// The order-consistent protocol gives every joiner a natural heartbeat for
+/// free: routers punctuate every live unit each round, so a healthy joiner
+/// processes a punctuation at least once per punctuation interval even when
+/// no data flows. The detector runs beside the autoscaler as a periodic
+/// controller: any active or draining unit silent for longer than the
+/// timeout is declared failed and handed to the engine's recovery
+/// coordinator (BicliqueEngine::RecoverUnit). Because the engine fences the
+/// suspect before provisioning a replacement, a false positive (slow but
+/// alive unit) degrades to an unnecessary recovery, never to a split brain.
+
+#ifndef BISTREAM_OPS_FAILURE_DETECTOR_H_
+#define BISTREAM_OPS_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace bistream {
+
+/// \brief Detector configuration.
+struct FailureDetectorOptions {
+  /// Scan period of the detection loop.
+  SimTime check_interval = 20 * kMillisecond;
+  /// A unit silent (no punctuation processed) for longer than this is
+  /// declared failed. Must exceed the punctuation interval by a healthy
+  /// margin or slow-but-alive units get recovered spuriously.
+  SimTime timeout = 100 * kMillisecond;
+  /// Quiet period after a recovery action before the next scan — gives the
+  /// replacement time to catch up before it could be suspected itself.
+  SimTime backoff = 200 * kMillisecond;
+  /// Stop after this many recoveries (safety valve; 0 = unlimited).
+  uint64_t max_recoveries = 0;
+};
+
+/// \brief One detection (the fault-recovery timeline rows).
+struct DetectionEvent {
+  SimTime time = 0;
+  uint32_t failed_unit = 0;
+  uint32_t replacement_unit = 0;
+  /// How long the unit had been silent when declared failed.
+  SimTime silence_ns = 0;
+};
+
+/// \brief The periodic failure-detection controller.
+class FailureDetector {
+ public:
+  /// \param engine engine to watch (not owned; must outlive this)
+  FailureDetector(BicliqueEngine* engine, FailureDetectorOptions options);
+
+  /// \brief Schedules the detection loop on the engine's event loop.
+  void Start();
+
+  /// \brief Halts the loop after the current tick.
+  void Stop() { stopped_ = true; }
+
+  const std::vector<DetectionEvent>& detections() const {
+    return detections_;
+  }
+
+ private:
+  void Tick();
+
+  BicliqueEngine* engine_;
+  FailureDetectorOptions options_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::vector<DetectionEvent> detections_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OPS_FAILURE_DETECTOR_H_

@@ -50,6 +50,10 @@ struct CostModel {
   /// Cost of dropping one expired sub-index (dereference, O(1) per chain
   /// link — the Theorem-1 payoff; per-tuple expiry would charge per tuple).
   SimTime expire_subindex_ns = 1000;
+  /// Fixed cost of initiating a checkpoint (fault tolerance).
+  SimTime checkpoint_fixed_ns = 20000;
+  /// Per-tuple cost of serializing window state into a checkpoint.
+  SimTime checkpoint_tuple_ns = 100;
 
   /// One-way network latency between any two services.
   SimTime net_latency_ns = 200 * kMicrosecond;
@@ -71,6 +75,11 @@ struct CostModel {
   SimTime ProbeCost(uint64_t candidates, uint64_t matches) const {
     return probe_fixed_ns + candidates * probe_candidate_ns +
            matches * emit_result_ns;
+  }
+
+  /// \brief Charge for snapshotting a window of `tuples` stored tuples.
+  SimTime CheckpointCost(uint64_t tuples) const {
+    return checkpoint_fixed_ns + tuples * checkpoint_tuple_ns;
   }
 
   /// \brief Sender-side charge for one outbound copy of `bytes`.

@@ -1,0 +1,56 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+FaultInjector::FaultInjector(EventLoop* loop, FaultPlan plan, CrashFn crash)
+    : loop_(loop),
+      plan_(std::move(plan)),
+      crash_(std::move(crash)),
+      rng_(plan_.seed) {
+  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(crash_ != nullptr);
+  BISTREAM_CHECK_GE(plan_.crash_rate_per_sec, 0.0);
+}
+
+void FaultInjector::Start() {
+  BISTREAM_CHECK(!started_);
+  started_ = true;
+
+  for (const FaultPlan::Crash& crash : plan_.crashes) {
+    schedule_.push_back(ScheduledCrash{crash, 0});
+  }
+  if (plan_.crash_rate_per_sec > 0 && plan_.horizon > 0) {
+    double mean_gap_ns = 1e9 / plan_.crash_rate_per_sec;
+    SimTime t = loop_->now();
+    while (true) {
+      t += static_cast<SimTime>(rng_.NextExponential(mean_gap_ns));
+      if (t > plan_.horizon) break;
+      FaultPlan::Crash crash;
+      crash.at = t;
+      schedule_.push_back(ScheduledCrash{crash, 0});
+    }
+  }
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const ScheduledCrash& a, const ScheduledCrash& b) {
+              return a.crash.at < b.crash.at;
+            });
+  // Victim draws are assigned in schedule order so the sequence of draws —
+  // and therefore every victim choice — is a pure function of the seed.
+  for (ScheduledCrash& sc : schedule_) {
+    sc.draw = rng_.Next64();
+  }
+  for (const ScheduledCrash& sc : schedule_) {
+    loop_->ScheduleAt(sc.crash.at, [this, sc] {
+      std::optional<uint32_t> victim = crash_(sc.crash, sc.draw);
+      if (victim.has_value()) {
+        timeline_.push_back(InjectedFault{loop_->now(), *victim});
+      }
+    });
+  }
+}
+
+}  // namespace bistream

@@ -66,6 +66,11 @@ struct Message {
   // --- kTuple fields ---
   Tuple tuple;
   StreamKind stream = StreamKind::kStore;
+  /// True when this copy is a recovery replay of a message originally sent
+  /// to a failed unit. Join results produced from replayed probes pass the
+  /// engine's duplicate-suppression filter (some may already have been
+  /// emitted before the crash).
+  bool replayed = false;
 
   // --- kBatch payload ---
   std::vector<BatchEntry> batch;

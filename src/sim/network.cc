@@ -68,4 +68,22 @@ uint64_t SimNetwork::total_bytes() const {
   return total;
 }
 
+uint64_t SimNetwork::total_dropped() const {
+  uint64_t total = 0;
+  for (const auto& ch : channels_) total += ch->messages_dropped();
+  return total;
+}
+
+uint64_t SimNetwork::total_dropped_dead() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->stats().messages_dropped_dead;
+  return total;
+}
+
+uint64_t SimNetwork::total_lost_on_crash() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->stats().messages_lost_on_crash;
+  return total;
+}
+
 }  // namespace bistream

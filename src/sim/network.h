@@ -90,6 +90,13 @@ class SimNetwork {
   uint64_t total_messages() const;
   /// \brief Total bytes sent across all channels.
   uint64_t total_bytes() const;
+  /// \brief Messages silently lost in transit across all channels (the
+  /// drop_probability fault knob).
+  uint64_t total_dropped() const;
+  /// \brief Deliveries discarded because the destination node was down.
+  uint64_t total_dropped_dead() const;
+  /// \brief Inbox messages wiped by node crashes.
+  uint64_t total_lost_on_crash() const;
 
   const std::vector<std::unique_ptr<SimNode>>& nodes() const {
     return nodes_;

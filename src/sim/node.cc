@@ -10,11 +10,32 @@ SimNode::SimNode(EventLoop* loop, uint32_t id, std::string label)
 }
 
 void SimNode::Deliver(Message msg) {
+  if (!alive_) {
+    ++stats_.messages_dropped_dead;
+    return;
+  }
   inbox_.push_back(std::move(msg));
   if (inbox_.size() > stats_.max_queue_depth) {
     stats_.max_queue_depth = inbox_.size();
   }
   MaybeScheduleService();
+}
+
+void SimNode::Fail() {
+  if (!alive_) return;
+  alive_ = false;
+  ++stats_.crashes;
+  stats_.messages_lost_on_crash += inbox_.size();
+  inbox_.clear();
+  // A scheduled ServiceOne may still fire; it bails out on !alive_.
+  busy_until_ = 0;
+}
+
+void SimNode::Restart() {
+  if (alive_) return;
+  alive_ = true;
+  ++stats_.restarts;
+  busy_until_ = loop_->now();
 }
 
 void SimNode::MaybeScheduleService() {
@@ -26,7 +47,7 @@ void SimNode::MaybeScheduleService() {
 
 void SimNode::ServiceOne() {
   service_scheduled_ = false;
-  if (inbox_.empty()) return;
+  if (!alive_ || inbox_.empty()) return;
   BISTREAM_CHECK(handler_ != nullptr)
       << "node " << label_ << " serviced before SetHandler";
   Message msg = std::move(inbox_.front());

@@ -7,6 +7,12 @@
 /// order; the handler returns the virtual service time it consumed, which
 /// extends the node's busy horizon. Utilization over a sampling interval is
 /// what the ops/autoscaler module reads as its "CPU" metric.
+///
+/// Nodes also carry the failure model: Fail() kills the process (the inbox
+/// is lost, later deliveries are dropped and counted) and Restart() brings
+/// an empty-state process back up. Crashes are silent — nothing notifies
+/// the rest of the cluster; detecting the death from the outside is the
+/// ops::FailureDetector's job.
 
 #ifndef BISTREAM_SIM_NODE_H_
 #define BISTREAM_SIM_NODE_H_
@@ -32,6 +38,13 @@ struct NodeStats {
   uint64_t punctuation_messages = 0;
   SimTime busy_ns = 0;
   size_t max_queue_depth = 0;
+  /// Deliveries that arrived while the node was down (silently dropped).
+  uint64_t messages_dropped_dead = 0;
+  /// Queued messages wiped by a crash (in-memory inbox lost with the
+  /// process).
+  uint64_t messages_lost_on_crash = 0;
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
 };
 
 /// \brief A single-threaded simulated service instance.
@@ -48,6 +61,20 @@ class SimNode {
   /// \brief Enqueues a message for service (called by Channel at the
   /// message's delivery time).
   void Deliver(Message msg);
+
+  /// \brief Kills the node: the queued inbox is lost with the process, any
+  /// in-flight service is abandoned, and later deliveries are dropped (and
+  /// counted) until Restart(). Idempotent. The crash is silent — no other
+  /// service is informed.
+  void Fail();
+
+  /// \brief Brings a failed node back up with an empty inbox. The handler
+  /// stays installed, but any in-memory state the handler's owner held is
+  /// the owner's problem — the sim models only the process lifecycle.
+  void Restart();
+
+  /// \brief False between Fail() and Restart().
+  bool alive() const { return alive_; }
 
   uint32_t id() const { return id_; }
   const std::string& label() const { return label_; }
@@ -77,6 +104,7 @@ class SimNode {
   std::string label_;
   NodeHandler handler_;
   std::deque<Message> inbox_;
+  bool alive_ = true;
   bool service_scheduled_ = false;
   SimTime busy_until_ = 0;
   NodeStats stats_;

@@ -81,6 +81,10 @@ struct JoinResult {
   SimTime latency_ns = 0;
   /// Unit that produced the result (for audit / dedup diagnostics).
   uint32_t producer_unit = 0;
+  /// True when produced by a recovery-replayed probe; the engine's
+  /// duplicate-suppression filter only drops results carrying this flag,
+  /// so genuine protocol bugs stay visible to the checking collector.
+  bool replayed = false;
 
   /// \brief Canonical 64-bit identity of the (r, s) pairing, used by the
   /// checking collector to detect duplicates and misses.

@@ -138,6 +138,44 @@ TEST(ElasticityTest, NewUnitAbsorbsStorage) {
   EXPECT_EQ(engine.ActiveJoiners(kRelationR), 3u);
 }
 
+// The transport fault knobs must compose with elastic scaling, and the
+// oracle must still catch the violations they cause: a scaling epoch change
+// cannot mask lost messages.
+TEST(ElasticityFaultTest, ChannelLossUnderScalingIsDetectedByOracle) {
+  BicliqueOptions options = ScalingEngine();
+  options.channel_drop_probability = 0.02;
+  RunReport report = RunWithScaling(
+      options, ScalingWorkload(7),
+      {{1 * kSecond, kRelationR, true}, {2 * kSecond, kRelationS, false}});
+  EXPECT_GT(report.engine.messages_dropped, 0u);
+  EXPECT_FALSE(report.check.Clean())
+      << "2% transport loss across a scaling run cannot be exactly-once";
+  EXPECT_GT(report.check.missing, 0u);
+}
+
+// FIFO-breaking jitter during scaling must surface as ordering errors when
+// the order-consistent protocol is off (it assumes FIFO channels, so the
+// reorder knob is only meaningful with `ordered` disabled).
+TEST(ElasticityFaultTest, ReorderingUnderScalingIsDetectedByOracle) {
+  uint64_t total_errors = 0;
+  for (uint64_t seed = 8; seed < 11; ++seed) {
+    BicliqueOptions options = ScalingEngine();
+    options.ordered = false;
+    options.fault_reorder = true;
+    options.cost.net_latency_ns = 100 * kMicrosecond;
+    options.cost.net_jitter_ns = 2 * kMillisecond;
+    SyntheticWorkloadOptions workload = ScalingWorkload(seed);
+    workload.key_domain = 10;  // Dense matches make races visible.
+    RunReport report = RunWithScaling(
+        options, workload,
+        {{1 * kSecond, kRelationR, true}, {2 * kSecond, kRelationS, true}});
+    total_errors += report.check.missing + report.check.duplicates +
+                    report.check.spurious;
+  }
+  EXPECT_GT(total_errors, 0u)
+      << "unordered + reordered channels should race during scaling";
+}
+
 TEST(ElasticityTest, DrainedUnitRetiresAndReceivesNoMoreStores) {
   SyntheticWorkloadOptions workload = ScalingWorkload(6);
   workload.total_tuples = 8000;  // ~8 s: enough for the retire grace.

@@ -125,6 +125,7 @@ TEST(EngineDeterminismTest, SameSeedSameResults) {
   options.joiners_r = 3;
   options.joiners_s = 3;
   options.window = 500 * kEventMilli;
+  options.archive_period = 125 * kEventMilli;
 
   SyntheticWorkloadOptions workload;
   workload.key_domain = 50;
@@ -143,6 +144,7 @@ TEST(EngineDeterminismTest, SameSeedSameResults) {
 TEST(EngineDeterminismTest, DifferentSeedsDifferentTraffic) {
   BicliqueOptions options;
   options.window = 500 * kEventMilli;
+  options.archive_period = 125 * kEventMilli;
   SyntheticWorkloadOptions workload;
   workload.key_domain = 50;
   workload.total_tuples = 3000;

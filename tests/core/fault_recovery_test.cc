@@ -1,0 +1,255 @@
+// Crash-recovery correctness: a joiner killed mid-run by a seeded
+// FaultPlan must be detected from its punctuation silence, replaced via
+// checkpoint restore plus router replay, and the run must still produce
+// exactly the oracle's result multiset — deterministically across runs
+// with the same seed.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+#include "ops/failure_detector.h"
+#include "sim/fault.h"
+
+namespace bistream {
+namespace {
+
+struct FaultRun {
+  RunReport report;
+  std::vector<InjectedFault> timeline;
+  std::vector<DetectionEvent> detections;
+  std::vector<RecoveryEvent> recoveries;
+  std::string topology;
+};
+
+FailureDetectorOptions DetectorOptions() {
+  FailureDetectorOptions options;
+  options.check_interval = 20 * kMillisecond;
+  options.timeout = 60 * kMillisecond;
+  options.backoff = 100 * kMillisecond;
+  return options;
+}
+
+// Drives a workload with a fault plan injected and the detector running.
+FaultRun RunWithFaults(const BicliqueOptions& options,
+                       const SyntheticWorkloadOptions& workload,
+                       const FaultPlan& plan) {
+  SyntheticSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  EventLoop loop;
+  CollectorSink sink(/*check=*/true);
+  BicliqueEngine engine(&loop, options, &sink);
+  FaultInjector injector(
+      &loop, plan, [&engine](const FaultPlan::Crash& crash, uint64_t draw) {
+        return engine.InjectCrash(crash, draw);
+      });
+  FailureDetector detector(&engine, DetectorOptions());
+
+  injector.Start();
+  detector.Start();
+  engine.Start();
+  for (const TimedTuple& tt : stream) {
+    loop.RunUntil(tt.arrival);
+    engine.InjectNow(tt.tuple);
+  }
+  engine.FlushAndStop();
+  loop.RunUntilIdle();
+
+  FaultRun run;
+  run.report.engine = engine.Stats();
+  run.report.results = sink.count();
+  run.report.check =
+      sink.checker().Check(stream, options.predicate, options.window);
+  run.report.checked = true;
+  run.timeline = injector.timeline();
+  run.detections = detector.detections();
+  run.recoveries = engine.recovery_events();
+  run.topology = engine.DescribeTopology();
+  return run;
+}
+
+SyntheticWorkloadOptions FaultWorkload(uint64_t seed) {
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 40;
+  workload.rate_r = RateSchedule::Constant(500);
+  workload.rate_s = RateSchedule::Constant(500);
+  workload.total_tuples = 6000;  // ~6 s of stream.
+  workload.seed = seed;
+  return workload;
+}
+
+BicliqueOptions FaultTolerantEngine() {
+  BicliqueOptions options;
+  options.num_routers = 2;
+  options.joiners_r = 2;
+  options.joiners_s = 2;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 250 * kEventMilli;
+  options.punct_interval = 10 * kMillisecond;
+  options.fault_tolerance.enabled = true;
+  options.fault_tolerance.checkpoint_rounds = 16;
+  return options;
+}
+
+TEST(FaultRecoveryTest, CrashedJoinerIsDetectedAndRecoveredExactlyOnce) {
+  FaultPlan plan;
+  plan.crashes.push_back({.at = 1500 * kMillisecond, .unit = 1});
+
+  FaultRun run = RunWithFaults(FaultTolerantEngine(), FaultWorkload(21), plan);
+
+  ASSERT_EQ(run.timeline.size(), 1u);
+  EXPECT_EQ(run.timeline[0].unit, 1u);
+  ASSERT_EQ(run.detections.size(), 1u);
+  EXPECT_EQ(run.detections[0].failed_unit, 1u);
+  EXPECT_GT(run.detections[0].time, SimTime{1500 * kMillisecond});
+  EXPECT_GE(run.detections[0].silence_ns, DetectorOptions().timeout);
+
+  ASSERT_EQ(run.recoveries.size(), 1u);
+  const RecoveryEvent& event = run.recoveries[0];
+  EXPECT_EQ(event.failed_unit, 1u);
+  EXPECT_EQ(event.replacement_unit, run.detections[0].replacement_unit);
+  // 150 rounds elapsed before the crash with a checkpoint every 16: the
+  // restore must have found one, and replay starts right after it.
+  ASSERT_TRUE(event.checkpoint_round.has_value());
+  EXPECT_EQ(event.replay_from, *event.checkpoint_round + 1);
+  EXPECT_GT(event.activation_round, event.replay_from);
+  EXPECT_GT(event.restored_tuples, 0u);
+  EXPECT_GT(event.caught_up_at, event.detected_at)
+      << "replacement never finished its replayed backlog";
+
+  const EngineStats& stats = run.report.engine;
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_GT(stats.checkpoints, 0u);
+  EXPECT_GT(stats.checkpoint_bytes, 0u);
+  EXPECT_GT(stats.replayed_messages, 0u);
+  EXPECT_GT(stats.restored_tuples, 0u);
+  EXPECT_GT(stats.messages_lost_on_crash + stats.messages_dropped_dead, 0u);
+
+  // The whole point: despite the crash, the sink saw the oracle's multiset
+  // exactly once.
+  EXPECT_GT(run.report.results, 0u);
+  EXPECT_TRUE(run.report.check.Clean()) << run.report.check.ToString();
+
+  // Operator tooling surfaces the failure counters.
+  EXPECT_NE(run.topology.find("faults:"), std::string::npos) << run.topology;
+  EXPECT_NE(run.topology.find("failed"), std::string::npos) << run.topology;
+}
+
+TEST(FaultRecoveryTest, RecoveryIsDeterministicAcrossRuns) {
+  FaultPlan plan;
+  plan.crashes.push_back({.at = 1500 * kMillisecond, .unit = 2});
+
+  FaultRun a = RunWithFaults(FaultTolerantEngine(), FaultWorkload(22), plan);
+  FaultRun b = RunWithFaults(FaultTolerantEngine(), FaultWorkload(22), plan);
+
+  EXPECT_TRUE(a.report.check.Clean()) << a.report.check.ToString();
+  EXPECT_TRUE(b.report.check.Clean()) << b.report.check.ToString();
+  EXPECT_EQ(a.report.results, b.report.results);
+  EXPECT_EQ(a.report.engine.replayed_messages,
+            b.report.engine.replayed_messages);
+  EXPECT_EQ(a.report.engine.suppressed_duplicates,
+            b.report.engine.suppressed_duplicates);
+
+  ASSERT_EQ(a.recoveries.size(), 1u);
+  ASSERT_EQ(b.recoveries.size(), 1u);
+  EXPECT_EQ(a.recoveries[0].detected_at, b.recoveries[0].detected_at);
+  EXPECT_EQ(a.recoveries[0].caught_up_at, b.recoveries[0].caught_up_at);
+  EXPECT_EQ(a.recoveries[0].checkpoint_round, b.recoveries[0].checkpoint_round);
+  EXPECT_EQ(a.recoveries[0].replay_from, b.recoveries[0].replay_from);
+  EXPECT_EQ(a.recoveries[0].activation_round, b.recoveries[0].activation_round);
+  EXPECT_EQ(a.recoveries[0].restored_tuples, b.recoveries[0].restored_tuples);
+}
+
+TEST(FaultRecoveryTest, CrashBeforeFirstCheckpointReplaysFromStart) {
+  BicliqueOptions options = FaultTolerantEngine();
+  // Next checkpoint would land at round 1000 (~10 s): never reached.
+  options.fault_tolerance.checkpoint_rounds = 1000;
+  FaultPlan plan;
+  plan.crashes.push_back({.at = 1 * kSecond, .unit = 0});
+
+  FaultRun run = RunWithFaults(options, FaultWorkload(23), plan);
+
+  ASSERT_EQ(run.recoveries.size(), 1u);
+  EXPECT_FALSE(run.recoveries[0].checkpoint_round.has_value());
+  EXPECT_EQ(run.recoveries[0].replay_from, 0u);
+  EXPECT_EQ(run.recoveries[0].restored_tuples, 0u);
+  EXPECT_GT(run.report.engine.replayed_messages, 0u);
+  EXPECT_TRUE(run.report.check.Clean()) << run.report.check.ToString();
+}
+
+TEST(FaultRecoveryTest, CrashesOnBothSidesRecover) {
+  FaultPlan plan;
+  plan.crashes.push_back({.at = 1200 * kMillisecond, .unit = 0});   // R side.
+  plan.crashes.push_back({.at = 2800 * kMillisecond, .unit = 3});   // S side.
+
+  FaultRun run = RunWithFaults(FaultTolerantEngine(), FaultWorkload(24), plan);
+
+  EXPECT_EQ(run.timeline.size(), 2u);
+  ASSERT_EQ(run.recoveries.size(), 2u);
+  EXPECT_EQ(run.report.engine.crashes, 2u);
+  EXPECT_TRUE(run.report.check.Clean()) << run.report.check.ToString();
+}
+
+TEST(FaultRecoveryTest, SeededRandomVictimIsDeterministic) {
+  FaultPlan plan;
+  // No explicit unit: the victim comes from the plan's seeded draw.
+  plan.crashes.push_back({.at = 1500 * kMillisecond, .unit = std::nullopt});
+  plan.seed = 99;
+
+  FaultRun a = RunWithFaults(FaultTolerantEngine(), FaultWorkload(25), plan);
+  FaultRun b = RunWithFaults(FaultTolerantEngine(), FaultWorkload(25), plan);
+
+  ASSERT_EQ(a.timeline.size(), 1u);
+  ASSERT_EQ(b.timeline.size(), 1u);
+  EXPECT_EQ(a.timeline[0].unit, b.timeline[0].unit);
+  EXPECT_TRUE(a.report.check.Clean()) << a.report.check.ToString();
+  EXPECT_EQ(a.report.results, b.report.results);
+}
+
+// A false positive (recovering a healthy unit) must fence the suspect
+// first, so the cluster degrades to one unnecessary recovery — never to a
+// split brain with two owners of the same window emitting duplicates.
+TEST(FaultRecoveryTest, FalsePositiveRecoveryIsFencedAndStaysClean) {
+  SyntheticWorkloadOptions workload = FaultWorkload(26);
+  SyntheticSource source(workload);
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  EventLoop loop;
+  CollectorSink sink(/*check=*/true);
+  BicliqueOptions options = FaultTolerantEngine();
+  BicliqueEngine engine(&loop, options, &sink);
+  loop.ScheduleAt(1500 * kMillisecond, [&] {
+    ASSERT_TRUE(engine.RecoverUnit(2).ok());  // Unit 2 is alive and healthy.
+  });
+
+  engine.Start();
+  for (const TimedTuple& tt : stream) {
+    loop.RunUntil(tt.arrival);
+    engine.InjectNow(tt.tuple);
+  }
+  engine.FlushAndStop();
+  loop.RunUntilIdle();
+
+  EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.crashes, 1u) << "fencing must kill the healthy suspect";
+  EXPECT_EQ(stats.recoveries, 1u);
+  CheckReport check =
+      sink.checker().Check(stream, options.predicate, options.window);
+  EXPECT_TRUE(check.Clean()) << check.ToString();
+}
+
+TEST(FaultRecoveryTest, RecoveryRequiresFaultTolerance) {
+  EventLoop loop;
+  CollectorSink sink;
+  BicliqueOptions options;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 250 * kEventMilli;
+  BicliqueEngine engine(&loop, options, &sink);
+  engine.Start();
+  EXPECT_FALSE(engine.RecoverUnit(0).ok());
+  EXPECT_FALSE(engine.CrashJoiner(99).ok());  // Unknown unit.
+}
+
+}  // namespace
+}  // namespace bistream

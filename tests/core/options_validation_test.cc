@@ -1,0 +1,124 @@
+// BicliqueOptions::Validate(): every consistency rule must reject its
+// violation with a Status instead of letting a misconfigured engine run.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace bistream {
+namespace {
+
+BicliqueOptions Valid() {
+  BicliqueOptions options;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 250 * kEventMilli;
+  return options;
+}
+
+TEST(OptionsValidationTest, DefaultsAreValid) {
+  EXPECT_TRUE(BicliqueOptions().Validate().ok());
+  EXPECT_TRUE(Valid().Validate().ok());
+}
+
+TEST(OptionsValidationTest, RejectsZeroCounts) {
+  BicliqueOptions options = Valid();
+  options.num_routers = 0;
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = Valid();
+  options.joiners_r = 0;
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = Valid();
+  options.joiners_s = 0;
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = Valid();
+  options.subgroups_s = 0;
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = Valid();
+  options.batch_size = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(OptionsValidationTest, RejectsMoreSubgroupsThanJoiners) {
+  BicliqueOptions options = Valid();
+  options.joiners_r = 2;
+  options.subgroups_r = 3;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(OptionsValidationTest, RejectsHashRoutingForNonEquiPredicates) {
+  BicliqueOptions options = Valid();
+  options.predicate = JoinPredicate::Band(2);
+  options.subgroups_r = 2;
+  Status status = options.Validate();
+  EXPECT_FALSE(status.ok());
+  options.subgroups_r = 1;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidationTest, RejectsBadWindowAndArchiveShapes) {
+  BicliqueOptions options = Valid();
+  options.window = -1;
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = Valid();
+  options.archive_period = 0;
+  EXPECT_FALSE(options.Validate().ok());
+
+  // State would outlive W by up to P if the archive period were coarser
+  // than the window.
+  options = Valid();
+  options.window = 100 * kEventMilli;
+  options.archive_period = 200 * kEventMilli;
+  EXPECT_FALSE(options.Validate().ok());
+
+  // Equality is fine (single sub-index per window span)...
+  options.archive_period = 100 * kEventMilli;
+  EXPECT_TRUE(options.Validate().ok());
+
+  // ...and an unbounded window accepts any period.
+  options.window = 0;
+  options.archive_period = 1 * kEventSecond;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidationTest, RejectsBadCadencesAndProbabilities) {
+  BicliqueOptions options = Valid();
+  options.punct_interval = 0;
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = Valid();
+  options.channel_drop_probability = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = Valid();
+  options.channel_drop_probability = -0.1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(OptionsValidationTest, RejectsRetireGraceBelowWindow) {
+  BicliqueOptions options = Valid();
+  options.retire_grace_factor = 0.5;
+  Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsValidationTest, FaultToleranceRequiresOrderedProtocol) {
+  BicliqueOptions options = Valid();
+  options.fault_tolerance.enabled = true;
+  EXPECT_TRUE(options.Validate().ok());
+
+  options.ordered = false;
+  EXPECT_FALSE(options.Validate().ok());
+
+  options.ordered = true;
+  options.fault_tolerance.checkpoint_rounds = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+}  // namespace
+}  // namespace bistream

@@ -86,6 +86,7 @@ TEST(OverloadTest, ManyRoutersManyJoiners) {
   options.subgroups_r = 4;
   options.subgroups_s = 2;
   options.window = 500 * kEventMilli;
+  options.archive_period = 125 * kEventMilli;
   SyntheticWorkloadOptions workload;
   workload.key_domain = 100;
   workload.rate_r = RateSchedule::Constant(2000);
@@ -99,6 +100,7 @@ TEST(OverloadTest, ManyRoutersManyJoiners) {
 TEST(OverloadTest, BurstyRateScheduleStaysExactlyOnce) {
   BicliqueOptions options;
   options.window = 500 * kEventMilli;
+  options.archive_period = 125 * kEventMilli;
   SyntheticWorkloadOptions workload;
   workload.key_domain = 25;
   workload.rate_r = RateSchedule::Make({{0, 200},

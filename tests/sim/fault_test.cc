@@ -1,0 +1,156 @@
+// SimNode crash lifecycle and the deterministic fault injector.
+
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+
+namespace bistream {
+namespace {
+
+Message Tup(uint64_t id) {
+  Tuple t;
+  t.id = id;
+  return MakeTupleMessage(t, StreamKind::kStore, 0, id, 0);
+}
+
+TEST(SimNodeLifecycleTest, FailDropsInboxAndRefusesDeliveries) {
+  EventLoop loop;
+  SimNode node(&loop, 0, "victim");
+  uint64_t handled = 0;
+  node.SetHandler([&](const Message&) {
+    ++handled;
+    return SimTime{1000};
+  });
+
+  node.Deliver(Tup(1));
+  node.Deliver(Tup(2));
+  EXPECT_TRUE(node.alive());
+
+  node.Fail();
+  EXPECT_FALSE(node.alive());
+  EXPECT_EQ(node.stats().crashes, 1u);
+  // Queued-but-unprocessed messages die with the process.
+  EXPECT_EQ(node.stats().messages_lost_on_crash, 2u);
+
+  node.Deliver(Tup(3));
+  EXPECT_EQ(node.stats().messages_dropped_dead, 1u);
+
+  loop.RunUntilIdle();
+  EXPECT_EQ(handled, 0u) << "a dead node must not service messages";
+}
+
+TEST(SimNodeLifecycleTest, RestartAcceptsNewDeliveries) {
+  EventLoop loop;
+  SimNode node(&loop, 0, "victim");
+  uint64_t handled = 0;
+  node.SetHandler([&](const Message&) {
+    ++handled;
+    return SimTime{1000};
+  });
+
+  node.Fail();
+  node.Deliver(Tup(1));
+  node.Restart();
+  EXPECT_TRUE(node.alive());
+  EXPECT_EQ(node.stats().restarts, 1u);
+  node.Deliver(Tup(2));
+  loop.RunUntilIdle();
+  EXPECT_EQ(handled, 1u);  // Only the post-restart message.
+  EXPECT_EQ(node.stats().messages_dropped_dead, 1u);
+
+  // Fail/Restart are idempotent.
+  node.Restart();
+  EXPECT_EQ(node.stats().restarts, 1u);
+}
+
+TEST(SimNetworkTest, AggregatesDeadDeliveryCounters) {
+  EventLoop loop;
+  SimNetwork net(&loop, CostModel::Default(), /*seed=*/7);
+  SimNode* a = net.AddNode("a");
+  SimNode* b = net.AddNode("b");
+  a->SetHandler([](const Message&) { return SimTime{0}; });
+  b->SetHandler([](const Message&) { return SimTime{0}; });
+  Channel* to_a = net.Connect(a);
+  Channel* to_b = net.Connect(b);
+
+  b->Fail();
+  to_a->Send(Tup(1));
+  to_b->Send(Tup(2));
+  to_b->Send(Tup(3));
+  loop.RunUntilIdle();
+
+  EXPECT_EQ(net.total_dropped_dead(), 2u);
+  EXPECT_EQ(net.total_lost_on_crash(), 0u);
+  EXPECT_EQ(net.total_dropped(), 0u);
+}
+
+TEST(FaultInjectorTest, FiresExplicitCrashesAtTheirTimes) {
+  EventLoop loop;
+  FaultPlan plan;
+  plan.crashes.push_back({.at = 5 * kMillisecond, .unit = 3});
+  plan.crashes.push_back({.at = 1 * kMillisecond, .unit = 1});
+
+  std::vector<std::pair<SimTime, uint32_t>> fired;
+  FaultInjector injector(&loop, plan,
+                         [&](const FaultPlan::Crash& crash, uint64_t) {
+                           fired.emplace_back(loop.now(), *crash.unit);
+                           return crash.unit;
+                         });
+  injector.Start();
+  loop.RunUntilIdle();
+
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].first, 1 * kMillisecond);
+  EXPECT_EQ(fired[0].second, 1u);
+  EXPECT_EQ(fired[1].first, 5 * kMillisecond);
+  EXPECT_EQ(fired[1].second, 3u);
+  EXPECT_EQ(injector.timeline().size(), 2u);
+}
+
+TEST(FaultInjectorTest, CallbackMayDeclineAVictim) {
+  EventLoop loop;
+  FaultPlan plan;
+  plan.crashes.push_back({.at = 1 * kMillisecond, .unit = 1});
+  FaultInjector injector(
+      &loop, plan,
+      [](const FaultPlan::Crash&, uint64_t) -> std::optional<uint32_t> {
+        return std::nullopt;  // Already down.
+      });
+  injector.Start();
+  loop.RunUntilIdle();
+  EXPECT_EQ(injector.scheduled_crashes(), 1u);
+  EXPECT_TRUE(injector.timeline().empty());
+}
+
+// The Poisson expansion and victim draws must be a pure function of the
+// seed: two injectors with equal plans produce identical schedules.
+TEST(FaultInjectorTest, PoissonScheduleIsDeterministicPerSeed) {
+  auto expand = [](uint64_t seed) {
+    EventLoop loop;
+    FaultPlan plan;
+    plan.crash_rate_per_sec = 5.0;
+    plan.horizon = 10 * kSecond;
+    plan.seed = seed;
+    std::vector<std::pair<SimTime, uint64_t>> events;
+    FaultInjector injector(&loop, plan,
+                           [&](const FaultPlan::Crash&, uint64_t draw) {
+                             events.emplace_back(loop.now(), draw);
+                             return std::optional<uint32_t>(0);
+                           });
+    injector.Start();
+    loop.RunUntilIdle();
+    return events;
+  };
+
+  auto a = expand(11);
+  auto b = expand(11);
+  auto c = expand(12);
+  EXPECT_FALSE(a.empty()) << "rate 5/s over 10 s should schedule crashes";
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace bistream
