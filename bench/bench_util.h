@@ -5,6 +5,10 @@
 #define BISTREAM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/config.h"
 #include "common/logging.h"
@@ -13,13 +17,22 @@
 
 namespace bistream {
 
-/// \brief Standard bench preamble: silence info logs, parse flags, honor
+/// \brief Standard bench preamble: silence info logs (override with
+/// `--log_level=debug|info|warning|error`), parse flags, honor
 /// `--format=csv` for machine-readable tables.
 inline Config BenchInit(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
   auto config = Config::FromArgs(argc, argv);
   BISTREAM_CHECK_OK(config.status());
   Config parsed = std::move(config).ValueOrDie();
+  std::string level_name = parsed.GetString("log_level", "");
+  if (!level_name.empty()) {
+    LogLevel level = LogLevel::kWarning;
+    BISTREAM_CHECK(ParseLogLevel(level_name, &level))
+        << "--log_level expects debug|info|warning|error|fatal, got '"
+        << level_name << "'";
+    SetLogLevel(level);
+  }
   std::string format = parsed.GetString("format", "ascii");
   if (format == "csv") {
     TablePrinter::SetDefaultFormat(TableFormat::kCsv);
@@ -29,6 +42,84 @@ inline Config BenchInit(int argc, char** argv) {
   }
   return parsed;
 }
+
+/// \brief Applies the bench-default telemetry configuration — 50 ms virtual
+/// sampling and 1-in-32 tuple tracing — overridable with --sample_ms /
+/// --trace_every (0 disables either). Tracing never perturbs results or
+/// virtual time, so it is safe to leave on for every measured run.
+inline void ApplyTelemetryFlags(const Config& config,
+                                BicliqueOptions* options) {
+  options->telemetry.sample_period =
+      static_cast<SimTime>(config.GetInt("sample_ms", 50)) * kMillisecond;
+  options->telemetry.trace_every =
+      static_cast<uint64_t>(config.GetInt("trace_every", 32));
+}
+
+/// \brief Collects per-run telemetry into the bench's JSON artifact.
+///
+/// Every bench binary writes BENCH_<ID>.json (path overridable with
+/// --json_out=...) holding one entry per recorded run: the sweep-point
+/// parameters plus the full RunReport serialization — engine stats, latency
+/// snapshot, metric time series, and per-hop latency breakdown. The
+/// tier-1 smoke tests validate the artifact against
+/// tests/bench_schema.json; see README "Reading the JSON artifacts".
+class BenchReporter {
+ public:
+  BenchReporter(const std::string& experiment, const Config& config)
+      : experiment_(experiment),
+        path_(config.GetString("json_out",
+                               "BENCH_" + experiment + ".json")),
+        runs_(JsonValue::Array()) {}
+
+  /// \brief Records one sweep point with numeric parameters, e.g.
+  /// AddRun({{"units", 8}, {"rate_tps", rate}}, report).
+  void AddRun(std::initializer_list<std::pair<const char*, double>> params,
+              const RunReport& report) {
+    JsonValue object = JsonValue::Object();
+    for (const auto& [key, value] : params) {
+      object.Set(key, JsonValue::Number(value));
+    }
+    AddRun(std::move(object), report);
+  }
+
+  /// \brief Records one sweep point with an arbitrary params object.
+  void AddRun(JsonValue params, const RunReport& report) {
+    JsonValue run = JsonValue::Object();
+    run.Set("params", std::move(params));
+    run.Set("report", report.ToJson());
+    runs_.Push(std::move(run));
+  }
+
+  /// \brief Attaches an extra top-level field (capacities, notes, ...).
+  void Set(const std::string& key, JsonValue value) {
+    extra_.emplace_back(key, std::move(value));
+  }
+
+  size_t runs() const { return runs_.size(); }
+
+  /// \brief Writes the artifact; call once at the end of main().
+  void Finish() {
+    JsonValue root = JsonValue::Object();
+    root.Set("experiment", JsonValue::String(experiment_));
+    for (auto& [key, value] : extra_) {
+      root.Set(key, std::move(value));
+    }
+    root.Set("runs", std::move(runs_));
+    Status status = WriteJsonFile(path_, root);
+    if (status.ok()) {
+      std::printf("telemetry artifact: %s\n", path_.c_str());
+    } else {
+      BISTREAM_LOG(Warning) << "failed to write " << path_ << ": "
+                            << status.ToString();
+    }
+  }
+
+ private:
+  std::string experiment_;
+  std::string path_;
+  std::vector<std::pair<std::string, JsonValue>> extra_;
+  JsonValue runs_;
+};
 
 /// \brief Applies --cost_* overrides to a cost model (sensitivity knobs).
 inline void ApplyCostFlags(const Config& config, CostModel* cost) {

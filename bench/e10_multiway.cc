@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       "E10", "3-way equi join via cascaded bicliques, sweeping per-side "
              "units per stage");
 
+  BenchReporter reporter("E10", config);
   TablePrinter table({"units/side", "pairs(RS)", "triples", "stage1_busy",
                       "stage2_busy", "p50_latency"});
   for (int64_t per_side : config.GetIntList("units", {1, 2, 4, 8})) {
@@ -44,9 +45,26 @@ int main(int argc, char** argv) {
       stage->window = 1 * kEventSecond;
       stage->archive_period = 125 * kEventMilli;
       stage->cost = cost;
+      ApplyTelemetryFlags(config, stage);
     }
     ThreeWayCascade cascade(&loop, options, &collector);
     cascade.RunToCompletion(&source);
+
+    // One recorded run per stage: each stage is a full biclique engine
+    // with its own registry, series, and trace spans.
+    for (int stage_idx : {1, 2}) {
+      BicliqueEngine* stage = stage_idx == 1 ? cascade.stage1_engine()
+                                             : cascade.stage2_engine();
+      RunReport report;
+      report.engine = stage->Stats();
+      report.results =
+          stage_idx == 1 ? cascade.intermediate_count() : collector.count();
+      report.latency = collector.latency();
+      report.CaptureTelemetry(*stage);
+      reporter.AddRun({{"units_per_side", static_cast<double>(per_side)},
+                       {"stage", static_cast<double>(stage_idx)}},
+                      report);
+    }
 
     table.AddRow(
         {TablePrinter::Int(per_side),
@@ -60,5 +78,6 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: pair/triple counts constant across sizes; busy "
       "fractions fall as units are added\n");
+  reporter.Finish();
   return 0;
 }

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
       "E11", "communication cost: analytic vs measured data messages per "
              "input tuple");
 
+  BenchReporter reporter("E11", config);
   TablePrinter table({"p", "biclique_rand", "analytic", "biclique_hash",
                       "analytic", "matrix", "analytic"});
   for (int64_t p : config.GetIntList("units", {4, 16, 36, 64})) {
@@ -52,7 +53,11 @@ int main(int argc, char** argv) {
       options.window = 1 * kEventSecond;
       options.punct_interval = punct;
       options.cost = cost;
+      ApplyTelemetryFlags(config, &options);
       RunReport report = RunBicliqueWorkload(options, workload);
+      reporter.AddRun({{"units", static_cast<double>(p)},
+                       {"subgroups", static_cast<double>(subgroups)}},
+                      report);
       uint64_t rounds = duration / punct + 1;
       uint64_t punct_msgs = rounds * options.num_routers * units;
       return MeasuredDataMsgsPerTuple(report, punct_msgs);
@@ -85,5 +90,6 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: biclique-rand ~ 2 + p/2 (beats matrix's ~1 + sqrt(p) "
       "only via hash routing, ~3 flat — the Section 2.4.1 trade-off)\n");
+  reporter.Finish();
   return 0;
 }

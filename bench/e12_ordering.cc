@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
       "E12", "ordering protocol necessity/overhead: result errors and "
              "latency, protocol on vs off, vs channel jitter");
 
+  BenchReporter reporter("E12", config);
   TablePrinter table({"jitter_ms", "protocol", "missed", "dups", "results",
                       "p50_latency", "p99_latency"});
   for (int64_t jitter_ms : config.GetIntList("jitters_ms", {0, 1, 2, 5})) {
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
       options.punct_interval = 5 * kMillisecond;
       options.ordered = ordered;
       options.cost = cost;
+      ApplyTelemetryFlags(config, &options);
       options.cost.net_latency_ns = 100 * kMicrosecond;
       options.cost.net_jitter_ns =
           static_cast<SimTime>(jitter_ms) * kMillisecond;
@@ -44,6 +46,9 @@ int main(int argc, char** argv) {
 
       RunReport report =
           RunBicliqueWorkload(options, workload, /*check=*/true);
+      reporter.AddRun({{"jitter_ms", static_cast<double>(jitter_ms)},
+                       {"ordered", ordered ? 1.0 : 0.0}},
+                      report);
       table.AddRow(
           {TablePrinter::Int(jitter_ms), ordered ? "on" : "off",
            TablePrinter::Int(static_cast<int64_t>(report.check.missing)),
@@ -58,5 +63,6 @@ int main(int argc, char** argv) {
       "expected shape: 'on' rows have zero missed/dups at every jitter; "
       "'off' rows accumulate errors with jitter; 'on' pays ~punctuation-"
       "interval extra latency\n");
+  reporter.Finish();
   return 0;
 }

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
       "E13", "router mini-batch size ablation (equi join, " +
                  std::to_string(units) + " units, punct 10 ms)");
 
+  BenchReporter reporter("E13", config);
   TablePrinter table({"batch", "capacity_tps", "speedup", "p50", "p99",
                       "msgs/tuple"});
   double base_capacity = 0;
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
     options.archive_period = 250 * kEventMilli;
     options.batch_size = static_cast<uint32_t>(batch);
     options.cost = cost;
+    ApplyTelemetryFlags(config, &options);
 
     double capacity = EstimateAndMeasureCapacity(
         [&](double rate) {
@@ -53,6 +55,9 @@ int main(int argc, char** argv) {
     RunReport report = RunBicliqueWorkload(
         options,
         MakeWorkload(base_capacity * 0.8, duration * 4, key_domain, 83));
+    reporter.AddRun({{"batch", static_cast<double>(batch)},
+                     {"capacity_tps", capacity}},
+                    report);
     double msgs = static_cast<double>(report.engine.messages) /
                   static_cast<double>(report.engine.input_tuples);
     table.AddRow({TablePrinter::Int(batch), TablePrinter::Num(capacity, 0),
@@ -67,5 +72,6 @@ int main(int argc, char** argv) {
       "expected shape: capacity rises with batch size and saturates; "
       "latency stays within ~one punctuation interval of the unbatched "
       "run; msgs/tuple collapses toward 1/batch\n");
+  reporter.Finish();
   return 0;
 }

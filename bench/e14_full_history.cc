@@ -12,7 +12,7 @@ using namespace bistream;  // NOLINT(build/namespaces)
 namespace {
 
 RunReport RunWith(EventTime window, double rate, SimTime duration,
-                  const CostModel& cost) {
+                  const CostModel& cost, const Config& config) {
   BicliqueOptions options;
   options.num_routers = 2;
   options.joiners_r = 3;
@@ -22,6 +22,7 @@ RunReport RunWith(EventTime window, double rate, SimTime duration,
   options.window = window;
   options.archive_period = 500 * kEventMilli;
   options.cost = cost;
+  ApplyTelemetryFlags(config, &options);
   return RunBicliqueWorkload(options,
                              MakeWorkload(rate, duration, 5000, 91));
 }
@@ -41,13 +42,21 @@ int main(int argc, char** argv) {
              "stream length (W = " +
                  std::to_string(window / kEventMilli) + " ms sliding)");
 
+  BenchReporter reporter("E14", config);
   TablePrinter table({"stream_s", "sliding_state", "full_state",
                       "sliding_results", "full_results", "sliding_busy",
                       "full_busy"});
   for (int64_t seconds : config.GetIntList("lengths_s", {2, 4, 8, 16})) {
     SimTime duration = static_cast<SimTime>(seconds) * kSecond;
-    RunReport sliding = RunWith(window, rate, duration, cost);
-    RunReport full = RunWith(kFullHistoryWindow, rate, duration, cost);
+    RunReport sliding = RunWith(window, rate, duration, cost, config);
+    RunReport full =
+        RunWith(kFullHistoryWindow, rate, duration, cost, config);
+    reporter.AddRun({{"stream_s", static_cast<double>(seconds)},
+                     {"full_history", 0.0}},
+                    sliding);
+    reporter.AddRun({{"stream_s", static_cast<double>(seconds)},
+                     {"full_history", 1.0}},
+                    full);
     table.AddRow(
         {TablePrinter::Int(seconds),
          TablePrinter::Bytes(sliding.engine.state_bytes),
@@ -61,5 +70,6 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: sliding state plateaus (~rate x W), full-history "
       "state and result counts grow superlinearly with stream length\n");
+  reporter.Finish();
   return 0;
 }

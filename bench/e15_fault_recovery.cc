@@ -19,6 +19,7 @@ struct RecoveryRun {
   std::vector<InjectedFault> timeline;
   std::vector<DetectionEvent> detections;
   std::vector<RecoveryEvent> recoveries;
+  RunReport report;
 };
 
 RecoveryRun RunOnce(const BicliqueOptions& options,
@@ -56,11 +57,17 @@ RecoveryRun RunOnce(const BicliqueOptions& options,
   run.timeline = injector.timeline();
   run.detections = detector.detections();
   run.recoveries = engine.recovery_events();
+  run.report.engine = run.stats;
+  run.report.results = sink.count();
+  run.report.latency = sink.latency();
+  run.report.check = run.check;
+  run.report.checked = true;
+  run.report.CaptureTelemetry(engine);
   return run;
 }
 
 BicliqueOptions EngineOptions(uint64_t checkpoint_rounds,
-                              const CostModel& cost) {
+                              const CostModel& cost, const Config& config) {
   BicliqueOptions options;
   options.num_routers = 2;
   options.joiners_r = 2;
@@ -71,6 +78,7 @@ BicliqueOptions EngineOptions(uint64_t checkpoint_rounds,
   options.cost = cost;
   options.fault_tolerance.enabled = true;
   options.fault_tolerance.checkpoint_rounds = checkpoint_rounds;
+  ApplyTelemetryFlags(config, &options);
   return options;
 }
 
@@ -84,7 +92,8 @@ SyntheticWorkloadOptions Workload(uint64_t total_tuples) {
   return workload;
 }
 
-void SweepCheckpointPeriod(const Config& config, const CostModel& cost) {
+void SweepCheckpointPeriod(const Config& config, const CostModel& cost,
+                           BenchReporter* reporter) {
   std::printf(
       "\n-- checkpoint period vs recovery cost (one crash at t = 2 s) --\n");
   TablePrinter table({"ckpt_rounds", "ckpts", "ckpt_bytes", "restored",
@@ -95,8 +104,10 @@ void SweepCheckpointPeriod(const Config& config, const CostModel& cost) {
   for (uint64_t rounds : {4, 16, 64, 256}) {
     FaultPlan plan;
     plan.crashes.push_back({.at = 2 * kSecond, .unit = 1});
-    RecoveryRun run =
-        RunOnce(EngineOptions(rounds, cost), Workload(total_tuples), plan);
+    RecoveryRun run = RunOnce(EngineOptions(rounds, cost, config),
+                              Workload(total_tuples), plan);
+    reporter->AddRun({{"ckpt_rounds", static_cast<double>(rounds)}},
+                     run.report);
 
     double detect_ms = 0;
     double catchup_ms = 0;
@@ -125,7 +136,8 @@ void SweepCheckpointPeriod(const Config& config, const CostModel& cost) {
   table.Print();
 }
 
-void SweepCrashRate(const Config& config, const CostModel& cost) {
+void SweepCrashRate(const Config& config, const CostModel& cost,
+                    BenchReporter* reporter) {
   std::printf(
       "\n-- Poisson crash rate vs completeness (ckpt every 16 rounds) --\n");
   TablePrinter table({"crashes_per_s", "crashes", "recoveries", "replayed",
@@ -137,8 +149,9 @@ void SweepCrashRate(const Config& config, const CostModel& cost) {
     plan.crash_rate_per_sec = rate;
     plan.horizon = 5 * kSecond;
     plan.seed = 0xFA17;
-    RecoveryRun run =
-        RunOnce(EngineOptions(16, cost), Workload(total_tuples), plan);
+    RecoveryRun run = RunOnce(EngineOptions(16, cost, config),
+                              Workload(total_tuples), plan);
+    reporter->AddRun({{"crash_rate", rate}}, run.report);
     table.AddRow(
         {TablePrinter::Num(rate, 2),
          TablePrinter::Int(static_cast<int64_t>(run.stats.crashes)),
@@ -163,11 +176,13 @@ int main(int argc, char** argv) {
   PrintExperimentHeader(
       "E15", "joiner crash recovery: checkpoint period vs recovery time, "
              "and exactly-once completeness under a Poisson crash process");
-  SweepCheckpointPeriod(config, cost);
-  SweepCrashRate(config, cost);
+  BenchReporter reporter("E15", config);
+  SweepCheckpointPeriod(config, cost, &reporter);
+  SweepCrashRate(config, cost, &reporter);
   std::printf(
       "\nexpected shape: coarser checkpoint periods write fewer bytes but "
       "replay a longer backlog (higher catch-up time and more suppressed "
       "duplicates); every configuration stays exactly-once (PASS)\n");
+  reporter.Finish();
   return 0;
 }

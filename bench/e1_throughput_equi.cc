@@ -11,7 +11,7 @@ using namespace bistream;  // NOLINT(build/namespaces)
 namespace {
 
 double BicliqueCapacity(uint32_t units, const Config& config,
-                        const CostModel& cost) {
+                        const CostModel& cost, BenchReporter* reporter) {
   SimTime duration =
       static_cast<SimTime>(config.GetInt("duration_ms", 300)) * kMillisecond;
   uint64_t key_domain =
@@ -30,18 +30,29 @@ double BicliqueCapacity(uint32_t units, const Config& config,
   options.window = window;
   options.archive_period = window / 8;
   options.cost = cost;
+  ApplyTelemetryFlags(config, &options);
 
-  return EstimateAndMeasureCapacity(
+  double capacity = EstimateAndMeasureCapacity(
       [&](double rate) {
         return RunBicliqueWorkload(
             options, MakeWorkload(rate, duration, key_domain, 17));
       },
       config.GetDouble("probe_rate", 2000),
       static_cast<int>(config.GetInt("iters", 4)), 0.9);
+
+  // One recorded validation run at the measured capacity.
+  RunReport at_cap = RunBicliqueWorkload(
+      options, MakeWorkload(capacity, duration, key_domain, 17));
+  JsonValue params = JsonValue::Object();
+  params.Set("engine", JsonValue::String("biclique"));
+  params.Set("units", JsonValue::Number(static_cast<uint64_t>(units)));
+  params.Set("rate_tps", JsonValue::Number(capacity));
+  reporter->AddRun(std::move(params), at_cap);
+  return capacity;
 }
 
 double MatrixCapacity(uint32_t units, const Config& config,
-                      const CostModel& cost) {
+                      const CostModel& cost, BenchReporter* reporter) {
   SimTime duration =
       static_cast<SimTime>(config.GetInt("duration_ms", 300)) * kMillisecond;
   uint64_t key_domain =
@@ -56,13 +67,22 @@ double MatrixCapacity(uint32_t units, const Config& config,
   options.archive_period = window / 8;
   options.cost = cost;
 
-  return EstimateAndMeasureCapacity(
+  double capacity = EstimateAndMeasureCapacity(
       [&](double rate) {
         return RunMatrixWorkload(
             options, MakeWorkload(rate, duration, key_domain, 17));
       },
       config.GetDouble("probe_rate", 2000),
       static_cast<int>(config.GetInt("iters", 4)), 0.9);
+
+  RunReport at_cap = RunMatrixWorkload(
+      options, MakeWorkload(capacity, duration, key_domain, 17));
+  JsonValue params = JsonValue::Object();
+  params.Set("engine", JsonValue::String("matrix"));
+  params.Set("units", JsonValue::Number(static_cast<uint64_t>(units)));
+  params.Set("rate_tps", JsonValue::Number(capacity));
+  reporter->AddRun(std::move(params), at_cap);
+  return capacity;
 }
 
 }  // namespace
@@ -76,12 +96,13 @@ int main(int argc, char** argv) {
       "E1", "equi-join throughput scalability: biclique (ContHash) vs "
             "join-matrix, sustainable tuples/s per relation");
 
+  BenchReporter reporter("E1", config);
   TablePrinter table({"units", "biclique_tps", "matrix_tps", "speedup"});
   for (int64_t units : config.GetIntList("units", {4, 8, 16, 32})) {
     double biclique = BicliqueCapacity(static_cast<uint32_t>(units), config,
-                                       cost);
+                                       cost, &reporter);
     double matrix =
-        MatrixCapacity(static_cast<uint32_t>(units), config, cost);
+        MatrixCapacity(static_cast<uint32_t>(units), config, cost, &reporter);
     table.AddRow({TablePrinter::Int(units), TablePrinter::Num(biclique, 0),
                   TablePrinter::Num(matrix, 0),
                   TablePrinter::Num(matrix > 0 ? biclique / matrix : 0, 2)});
@@ -90,5 +111,6 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: biclique > matrix at every p; biclique grows ~p, "
       "matrix ~sqrt(p)\n");
+  reporter.Finish();
   return 0;
 }

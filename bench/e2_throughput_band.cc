@@ -20,7 +20,7 @@ struct SweepPoint {
 };
 
 SweepPoint MeasurePoint(uint32_t units, const Config& config,
-                        const CostModel& cost) {
+                        const CostModel& cost, BenchReporter* reporter) {
   SimTime duration =
       static_cast<SimTime>(config.GetInt("duration_ms", 300)) * kMillisecond;
   uint64_t key_domain =
@@ -43,6 +43,7 @@ SweepPoint MeasurePoint(uint32_t units, const Config& config,
     options.window = window;
     options.archive_period = window / 8;
     options.cost = cost;
+    ApplyTelemetryFlags(config, &options);
     point.biclique_tps = EstimateAndMeasureCapacity(
         [&](double rate) {
           return RunBicliqueWorkload(
@@ -53,6 +54,11 @@ SweepPoint MeasurePoint(uint32_t units, const Config& config,
         options,
         MakeWorkload(point.biclique_tps, duration, key_domain, 23));
     point.biclique_state = at_cap.engine.peak_state_bytes;
+    JsonValue params = JsonValue::Object();
+    params.Set("engine", JsonValue::String("biclique"));
+    params.Set("units", JsonValue::Number(static_cast<uint64_t>(units)));
+    params.Set("rate_tps", JsonValue::Number(point.biclique_tps));
+    reporter->AddRun(std::move(params), at_cap);
   }
   {
     MatrixOptions options = MatrixOptions::Square(units);
@@ -70,6 +76,11 @@ SweepPoint MeasurePoint(uint32_t units, const Config& config,
     RunReport at_cap = RunMatrixWorkload(
         options, MakeWorkload(point.matrix_tps, duration, key_domain, 23));
     point.matrix_state = at_cap.engine.peak_state_bytes;
+    JsonValue params = JsonValue::Object();
+    params.Set("engine", JsonValue::String("matrix"));
+    params.Set("units", JsonValue::Number(static_cast<uint64_t>(units)));
+    params.Set("rate_tps", JsonValue::Number(point.matrix_tps));
+    reporter->AddRun(std::move(params), at_cap);
   }
   return point;
 }
@@ -85,11 +96,12 @@ int main(int argc, char** argv) {
       "E2", "band-join throughput scalability: biclique (ContRand) vs "
             "join-matrix, sustainable tuples/s per relation");
 
+  BenchReporter reporter("E2", config);
   TablePrinter table({"units", "biclique_tps", "matrix_tps", "tps_ratio",
                       "biclique_state", "matrix_state"});
   for (int64_t units : config.GetIntList("units", {4, 8, 16, 32})) {
     SweepPoint point =
-        MeasurePoint(static_cast<uint32_t>(units), config, cost);
+        MeasurePoint(static_cast<uint32_t>(units), config, cost, &reporter);
     table.AddRow(
         {TablePrinter::Int(units), TablePrinter::Num(point.biclique_tps, 0),
          TablePrinter::Num(point.matrix_tps, 0),
@@ -107,5 +119,6 @@ int main(int argc, char** argv) {
       "throughput edge — the Section 2.4.1 concession — but it pays the "
       "axis-length multiple in state (right columns), which is what caps "
       "it at large windows (E3)\n");
+  reporter.Finish();
   return 0;
 }

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
                 std::to_string(units) + " units, " +
                 std::to_string(static_cast<int>(rate)) + " tuples/s/rel");
 
+  BenchReporter reporter("E3", config);
   TablePrinter table({"window_s", "biclique_peak", "matrix_peak", "ratio",
                       "biclique_stored", "matrix_stored"});
   for (int64_t window_s : config.GetIntList("windows_s", {1, 2, 5, 10})) {
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
     biclique.window = window;
     biclique.archive_period = window / 8;
     biclique.cost = cost;
+    ApplyTelemetryFlags(config, &biclique);
     RunReport b = RunBicliqueWorkload(biclique, workload);
 
     MatrixOptions matrix = MatrixOptions::Square(units);
@@ -49,6 +51,15 @@ int main(int argc, char** argv) {
     matrix.archive_period = window / 8;
     matrix.cost = cost;
     RunReport m = RunMatrixWorkload(matrix, workload);
+
+    JsonValue b_params = JsonValue::Object();
+    b_params.Set("engine", JsonValue::String("biclique"));
+    b_params.Set("window_s", JsonValue::Number(window_s));
+    reporter.AddRun(std::move(b_params), b);
+    JsonValue m_params = JsonValue::Object();
+    m_params.Set("engine", JsonValue::String("matrix"));
+    m_params.Set("window_s", JsonValue::Number(window_s));
+    reporter.AddRun(std::move(m_params), m);
 
     table.AddRow({TablePrinter::Int(window_s),
                   TablePrinter::Bytes(b.engine.peak_state_bytes),
@@ -64,5 +75,6 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: both grow linearly with W; matrix/biclique ratio "
       "stays ~= the grid axis length (no-replication claim)\n");
+  reporter.Finish();
   return 0;
 }

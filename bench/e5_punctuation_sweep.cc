@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
       "E5", "punctuation-interval sweep (equi join, " +
                 std::to_string(static_cast<int>(rate)) + " tuples/s/rel)");
 
+  BenchReporter reporter("E5", config);
   TablePrinter table({"punct_ms", "p50", "p99", "punct_msgs", "punct_share",
                       "max_busy"});
   for (int64_t punct_ms :
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
     options.archive_period = 250 * kEventMilli;
     options.punct_interval = static_cast<SimTime>(punct_ms) * kMillisecond;
     options.cost = cost;
+    ApplyTelemetryFlags(config, &options);
     RunReport report = RunBicliqueWorkload(
         options,
         MakeWorkload(rate, duration,
@@ -56,10 +58,12 @@ int main(int argc, char** argv) {
                   TablePrinter::Int(static_cast<int64_t>(punct_msgs)),
                   TablePrinter::Num(share * 100, 1) + "%",
                   TablePrinter::Num(report.engine.max_busy_fraction, 2)});
+    reporter.AddRun({{"punct_ms", static_cast<double>(punct_ms)}}, report);
   }
   table.Print();
   std::printf(
       "expected shape: latency grows ~linearly with the interval; overhead "
       "share decays ~1/interval; pick the knee (paper uses tens of ms)\n");
+  reporter.Finish();
   return 0;
 }

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
       "E6", "archive-period sweep (equi join, W = " +
                 std::to_string(window / kEventMilli) + " ms)");
 
+  BenchReporter reporter("E6", config);
   TablePrinter table({"P_ms", "P/W", "peak_state", "expired_subidx",
                       "cand_per_probe", "max_busy"});
   for (int64_t p_ms :
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
     options.window = window;
     options.archive_period = p_ms * kEventMilli;
     options.cost = cost;
+    ApplyTelemetryFlags(config, &options);
     RunReport report = RunBicliqueWorkload(
         options,
         MakeWorkload(rate, duration,
@@ -56,10 +58,12 @@ int main(int argc, char** argv) {
              static_cast<int64_t>(report.engine.expired_subindexes)),
          TablePrinter::Num(cand_per_probe, 1),
          TablePrinter::Num(report.engine.max_busy_fraction, 2)});
+    reporter.AddRun({{"period_ms", static_cast<double>(p_ms)}}, report);
   }
   table.Print();
   std::printf(
       "expected shape: peak state grows with P (retention up to W + P); "
       "expiry events shrink with P; the paper picks P ~ W/10\n");
+  reporter.Finish();
   return 0;
 }

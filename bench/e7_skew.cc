@@ -19,7 +19,8 @@ struct StrategyResult {
 };
 
 StrategyResult RunStrategy(uint32_t subgroups, double theta,
-                           const Config& config, const CostModel& cost) {
+                           const Config& config, const CostModel& cost,
+                           BenchReporter* reporter) {
   uint32_t per_side = static_cast<uint32_t>(config.GetInt("per_side", 8));
   BicliqueOptions options;
   options.num_routers = 2;
@@ -30,6 +31,7 @@ StrategyResult RunStrategy(uint32_t subgroups, double theta,
   options.window = 1 * kEventSecond;
   options.archive_period = 125 * kEventMilli;
   options.cost = cost;
+  ApplyTelemetryFlags(config, &options);
 
   SyntheticWorkloadOptions workload = MakeWorkload(
       config.GetDouble("rate", 4000),
@@ -39,6 +41,9 @@ StrategyResult RunStrategy(uint32_t subgroups, double theta,
   workload.zipf_theta_s = theta;
 
   RunReport report = RunBicliqueWorkload(options, workload);
+  reporter->AddRun({{"subgroups", static_cast<double>(subgroups)},
+                    {"theta", theta}},
+                   report);
   StrategyResult result;
   result.max_busy = report.engine.max_busy_fraction;
   result.imbalance = report.engine.mean_joiner_busy_fraction > 0
@@ -62,13 +67,15 @@ int main(int argc, char** argv) {
       "E7", "skew resilience: joiner-load imbalance (max/mean busy) vs "
             "Zipf theta, per routing strategy");
 
+  BenchReporter reporter("E7", config);
   TablePrinter table({"theta", "hash(d=n)", "subgrp(d=n/4)", "bcast(d=1)",
                       "hash_msgs/t", "subgrp_msgs/t", "bcast_msgs/t"});
   for (double theta : {0.0, 0.4, 0.8, 1.0, 1.2}) {
-    StrategyResult hash = RunStrategy(per_side, theta, config, cost);
-    StrategyResult subgroup =
-        RunStrategy(std::max(1u, per_side / 4), theta, config, cost);
-    StrategyResult broadcast = RunStrategy(1, theta, config, cost);
+    StrategyResult hash =
+        RunStrategy(per_side, theta, config, cost, &reporter);
+    StrategyResult subgroup = RunStrategy(std::max(1u, per_side / 4), theta,
+                                          config, cost, &reporter);
+    StrategyResult broadcast = RunStrategy(1, theta, config, cost, &reporter);
     table.AddRow({TablePrinter::Num(theta, 1),
                   TablePrinter::Num(hash.imbalance, 2),
                   TablePrinter::Num(subgroup.imbalance, 2),
@@ -81,5 +88,6 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: hash imbalance grows with theta; subgrouping stays "
       "near broadcast's ~1.0 at a fraction of broadcast's messages\n");
+  reporter.Finish();
   return 0;
 }

@@ -14,7 +14,7 @@ using namespace bistream;  // NOLINT(build/namespaces)
 namespace {
 
 void RunTimeline(ScaleMetric metric, const Config& config,
-                 const CostModel& base_cost) {
+                 const CostModel& base_cost, BenchReporter* reporter) {
   // 10 virtual minutes, phases at 0 / 2 / 5 / 7 min (thesis: 60 min).
   SimTime minute = 60 * kSecond;
   auto schedule = RateSchedule::Make({{0, 150},
@@ -44,6 +44,10 @@ void RunTimeline(ScaleMetric metric, const Config& config,
   // in the thesis's single-vCPU pods.
   options.cost.probe_candidate_ns = static_cast<SimTime>(
       config.GetInt("cost_probe_ns", 50000));
+  ApplyTelemetryFlags(config, &options);
+  // One sample per control-loop tick is plenty at this time scale.
+  options.telemetry.sample_period =
+      static_cast<SimTime>(config.GetInt("sample_ms", 15000)) * kMillisecond;
 
   AutoscalerOptions scaler;
   scaler.metric = metric;
@@ -103,6 +107,19 @@ void RunTimeline(ScaleMetric metric, const Config& config,
       sink.checker().Check(stream, options.predicate, options.window);
   std::printf("exactly-once during scaling: %s (%s)\n",
               check.Clean() ? "PASS" : "FAIL", check.ToString().c_str());
+
+  RunReport report;
+  report.engine = engine.Stats();
+  report.results = sink.count();
+  report.latency = sink.latency();
+  report.check = check;
+  report.checked = true;
+  report.CaptureTelemetry(engine);
+  JsonValue params = JsonValue::Object();
+  params.Set("metric", JsonValue::String(metric == ScaleMetric::kCpu
+                                             ? "cpu"
+                                             : "memory"));
+  reporter->AddRun(std::move(params), report);
 }
 
 }  // namespace
@@ -115,10 +132,12 @@ int main(int argc, char** argv) {
   PrintExperimentHeader(
       "E8", "dynamic scaling timelines under a stepped input rate "
             "(thesis Figs. 20/21 analogue, time compressed 6x)");
-  RunTimeline(ScaleMetric::kCpu, config, cost);
-  RunTimeline(ScaleMetric::kMemory, config, cost);
+  BenchReporter reporter("E8", config);
+  RunTimeline(ScaleMetric::kCpu, config, cost, &reporter);
+  RunTimeline(ScaleMetric::kMemory, config, cost, &reporter);
   std::printf(
       "\nexpected shape: replicas follow the rate steps with the control "
       "loop's lag; metric re-converges to the target; zero result errors\n");
+  reporter.Finish();
   return 0;
 }

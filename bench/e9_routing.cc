@@ -12,9 +12,9 @@ using namespace bistream;  // NOLINT(build/namespaces)
 
 namespace {
 
-void RunRow(TablePrinter* table, const std::string& label,
-            const JoinPredicate& predicate, uint32_t subgroups,
-            const Config& config, const CostModel& cost) {
+void RunRow(TablePrinter* table, BenchReporter* reporter,
+            const std::string& label, const JoinPredicate& predicate,
+            uint32_t subgroups, const Config& config, const CostModel& cost) {
   uint32_t per_side = static_cast<uint32_t>(config.GetInt("per_side", 8));
   BicliqueOptions options;
   options.num_routers = 2;
@@ -26,6 +26,7 @@ void RunRow(TablePrinter* table, const std::string& label,
   options.window = 1 * kEventSecond;
   options.archive_period = 125 * kEventMilli;
   options.cost = cost;
+  ApplyTelemetryFlags(config, &options);
 
   RunReport report = RunBicliqueWorkload(
       options,
@@ -34,6 +35,10 @@ void RunRow(TablePrinter* table, const std::string& label,
                        kMillisecond,
                    static_cast<uint64_t>(config.GetInt("key_domain", 5000)),
                    59));
+  JsonValue params = JsonValue::Object();
+  params.Set("config", JsonValue::String(label));
+  params.Set("subgroups", JsonValue::Number(static_cast<uint64_t>(subgroups)));
+  reporter->AddRun(std::move(params), report);
   double msgs = static_cast<double>(report.engine.messages) /
                 static_cast<double>(report.engine.input_tuples);
   double bytes = static_cast<double>(report.engine.bytes) /
@@ -60,21 +65,23 @@ int main(int argc, char** argv) {
       "E9", "routing strategy vs predicate: per-tuple traffic and probe "
             "work (" + std::to_string(per_side) + " units/side)");
 
+  BenchReporter reporter("E9", config);
   TablePrinter table({"config", "msgs/tuple", "bytes/tuple", "cand/probe",
                       "max_busy", "results"});
-  RunRow(&table, "equi + hash (d=n)", JoinPredicate::Equi(), per_side,
-         config, cost);
-  RunRow(&table, "equi + subgroup (d=n/4)", JoinPredicate::Equi(),
+  RunRow(&table, &reporter, "equi + hash (d=n)", JoinPredicate::Equi(),
+         per_side, config, cost);
+  RunRow(&table, &reporter, "equi + subgroup (d=n/4)", JoinPredicate::Equi(),
          std::max(1u, per_side / 4), config, cost);
-  RunRow(&table, "equi + broadcast (d=1)", JoinPredicate::Equi(), 1, config,
-         cost);
-  RunRow(&table, "band + broadcast (d=1)", JoinPredicate::Band(2), 1,
-         config, cost);
+  RunRow(&table, &reporter, "equi + broadcast (d=1)", JoinPredicate::Equi(),
+         1, config, cost);
+  RunRow(&table, &reporter, "band + broadcast (d=1)", JoinPredicate::Band(2),
+         1, config, cost);
   table.Print();
   std::printf(
       "note: band + hash is omitted by design — content-sensitive routing "
       "requires an equality predicate (the engine rejects it)\n"
       "expected shape: equi rows produce identical result counts; "
       "msgs/tuple ~ 3 for hash vs ~ 2 + n for broadcast\n");
+  reporter.Finish();
   return 0;
 }

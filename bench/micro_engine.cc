@@ -8,6 +8,7 @@
 #include "core/order_buffer.h"
 #include "core/routing.h"
 #include "common/histogram.h"
+#include "harness/runner.h"
 #include "workload/zipf.h"
 
 namespace bistream {
@@ -86,6 +87,40 @@ void BM_ZipfSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000);
+
+void BM_EngineRunTraced(benchmark::State& state) {
+  // Full simulated run with the tuple tracer off (arg 0), sampling every
+  // 32nd tuple (arg 32), or every tuple (arg 1). Wall-clock per run bounds
+  // the real (host-side) overhead of tracing; the virtual-time results are
+  // identical by construction.
+  const uint64_t trace_every = static_cast<uint64_t>(state.range(0));
+  BicliqueOptions options;
+  options.num_routers = 2;
+  options.joiners_r = 2;
+  options.joiners_s = 2;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 250 * kEventMilli;
+  options.telemetry.trace_every = trace_every;
+
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 500;
+  workload.rate_r = RateSchedule::Constant(2000);
+  workload.rate_s = RateSchedule::Constant(2000);
+  workload.total_tuples = 8000;
+  workload.seed = 29;
+
+  uint64_t results = 0;
+  for (auto _ : state) {
+    RunReport report = RunBicliqueWorkload(options, workload);
+    results = report.results;
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.total_tuples));
+}
+BENCHMARK(BM_EngineRunTraced)->Arg(0)->Arg(32)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TupleWireSize(benchmark::State& state) {
   Tuple t;

@@ -88,8 +88,9 @@ double Histogram::stddev() const {
 
 uint64_t Histogram::ValueAtQuantile(double q) const {
   if (count_ == 0) return 0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
+  // The extremes are tracked exactly; don't let bucketing round them.
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
   uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
   uint64_t seen = 0;
   for (int bucket = 0; bucket < NumBuckets(); ++bucket) {
@@ -100,6 +101,19 @@ uint64_t Histogram::ValueAtQuantile(double q) const {
     }
   }
   return max_;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.count = count_;
+  snap.min = min();
+  snap.max = max();
+  snap.mean = mean();
+  snap.stddev = stddev();
+  snap.p50 = P50();
+  snap.p95 = P95();
+  snap.p99 = P99();
+  return snap;
 }
 
 std::string Histogram::Summary() const {

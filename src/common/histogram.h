@@ -18,6 +18,21 @@ namespace bistream {
 /// \brief Fixed-memory histogram over non-negative 64-bit values.
 class Histogram {
  public:
+  /// \brief Immutable point-in-time view of a histogram.
+  ///
+  /// A Snapshot is a plain value: once taken it never changes, so telemetry
+  /// consumers can hold it while the source histogram keeps recording.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double mean = 0;
+    double stddev = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+  };
+
   Histogram();
 
   /// \brief Records one sample.
@@ -41,7 +56,12 @@ class Histogram {
   /// \brief Returns the approximate value at quantile q in [0, 1].
   ///
   /// The answer has bounded relative error from bucketing (about 3%).
+  /// Edge cases are exact: q <= 0 returns min(), q >= 1 returns max(), and
+  /// an empty histogram returns 0 for any q.
   uint64_t ValueAtQuantile(double q) const;
+
+  /// \brief Captures the current distribution as an immutable value.
+  Snapshot TakeSnapshot() const;
 
   /// Convenience accessors for the usual reporting quantiles.
   uint64_t P50() const { return ValueAtQuantile(0.50); }

@@ -25,6 +25,10 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// \brief Parses "debug"/"info"/"warning"/"error"/"fatal" (case-insensitive;
+/// "warn" accepted). Returns false and leaves `out` untouched on junk input.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
 namespace internal {
 
 /// \brief Stream-style log message; emits on destruction. Fatal aborts.

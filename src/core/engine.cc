@@ -82,6 +82,13 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
     sink_ = dedup_sink_.get();
   }
 
+  tracer_ = std::make_unique<TupleTracer>(options_.telemetry.trace_every);
+  TelemetrySamplerOptions sampler_options;
+  sampler_options.sample_period = options_.telemetry.sample_period;
+  sampler_ =
+      std::make_unique<TelemetrySampler>(loop_, &metrics_, sampler_options);
+  RegisterEngineGauges();
+
   channels_.resize(options_.num_routers);
 
   // Routers (and their ingestion channels from the source edge).
@@ -95,6 +102,7 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
     router_options.batch_size = options_.batch_size;
     router_options.retain_for_replay = options_.fault_tolerance.enabled;
     router_options.cost = options_.cost;
+    router_options.tracer = tracer_.get();
     auto router = std::make_unique<Router>(
         router_options, loop_, [this, i](uint32_t unit, Message msg) {
           auto it = channels_[i].find(unit);
@@ -109,6 +117,17 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
     routers_.push_back(std::move(router));
     router_nodes_.push_back(node);
     source_channels_.push_back(net_.Connect(node));
+
+    std::string scope = MetricsRegistry::ScopedName("router", i, "");
+    metrics_.RegisterGauge(scope + "tuples_routed", [router_ptr] {
+      return static_cast<double>(router_ptr->stats().tuples_routed);
+    });
+    metrics_.RegisterGauge(scope + "punctuations", [router_ptr] {
+      return static_cast<double>(router_ptr->stats().punctuations);
+    });
+    metrics_.RegisterGauge(scope + "busy_ns", [node] {
+      return static_cast<double>(node->stats().busy_ns);
+    });
   }
 
   // Initial joiner units, active from round 0.
@@ -124,6 +143,89 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
   for (auto& router : routers_) {
     router->ScheduleEpoch(0, view);
   }
+}
+
+void BicliqueEngine::RegisterEngineGauges() {
+  metrics_.RegisterGauge("engine.input_tuples", [this] {
+    return static_cast<double>(input_tuples_);
+  });
+  metrics_.RegisterGauge("engine.state_bytes", [this] {
+    return static_cast<double>(tracker_.current_bytes());
+  });
+  metrics_.RegisterGauge("engine.inflight_events", [this] {
+    return static_cast<double>(loop_->pending());
+  });
+  metrics_.RegisterGauge("engine.messages", [this] {
+    return static_cast<double>(net_.total_messages());
+  });
+  metrics_.RegisterGauge("engine.bytes", [this] {
+    return static_cast<double>(net_.total_bytes());
+  });
+  metrics_.RegisterGauge("engine.active_joiners_r", [this] {
+    return static_cast<double>(topology_.NumActive(kRelationR));
+  });
+  metrics_.RegisterGauge("engine.active_joiners_s", [this] {
+    return static_cast<double>(topology_.NumActive(kRelationS));
+  });
+  metrics_.RegisterGauge("engine.crashes", [this] {
+    return static_cast<double>(crashes_);
+  });
+  metrics_.RegisterGauge("engine.recoveries", [this] {
+    return static_cast<double>(recovery_events_.size());
+  });
+  metrics_.RegisterGauge("engine.checkpoints", [this] {
+    return static_cast<double>(ckpt_store_.checkpoints_taken());
+  });
+  metrics_.RegisterGauge("engine.results", [this] {
+    uint64_t total = 0;
+    for (const auto& [unit_id, entry] : joiners_) {
+      total += entry.joiner->stats().results;
+    }
+    return static_cast<double>(total);
+  });
+  metrics_.RegisterGauge("engine.stored", [this] {
+    uint64_t total = 0;
+    for (const auto& [unit_id, entry] : joiners_) {
+      total += entry.joiner->stats().stored;
+    }
+    return static_cast<double>(total);
+  });
+  metrics_.RegisterGauge("engine.probes", [this] {
+    uint64_t total = 0;
+    for (const auto& [unit_id, entry] : joiners_) {
+      total += entry.joiner->stats().probes;
+    }
+    return static_cast<double>(total);
+  });
+}
+
+void BicliqueEngine::RegisterJoinerGauges(uint32_t unit_id, Joiner* joiner,
+                                          SimNode* node) {
+  std::string scope = MetricsRegistry::ScopedName("joiner", unit_id, "");
+  metrics_.RegisterGauge(scope + "busy_ns", [node] {
+    return static_cast<double>(node->stats().busy_ns);
+  });
+  metrics_.RegisterGauge(scope + "queue_depth", [node] {
+    return static_cast<double>(node->queue_depth());
+  });
+  metrics_.RegisterGauge(scope + "state_bytes", [joiner] {
+    return static_cast<double>(joiner->memory().current_bytes());
+  });
+  metrics_.RegisterGauge(scope + "stored", [joiner] {
+    return static_cast<double>(joiner->stats().stored);
+  });
+  metrics_.RegisterGauge(scope + "results", [joiner] {
+    return static_cast<double>(joiner->stats().results);
+  });
+  metrics_.RegisterGauge(scope + "probes", [joiner] {
+    return static_cast<double>(joiner->stats().probes);
+  });
+  metrics_.RegisterGauge(scope + "buffered", [joiner] {
+    return static_cast<double>(joiner->buffered());
+  });
+  metrics_.RegisterGauge(scope + "last_progress_ns", [joiner] {
+    return static_cast<double>(joiner->last_progress_time());
+  });
 }
 
 ChannelOptions BicliqueEngine::JoinerChannelOptions() const {
@@ -170,6 +272,7 @@ uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round,
   if (options_.fault_tolerance.enabled) {
     joiner_options.checkpoint_rounds = options_.fault_tolerance.checkpoint_rounds;
   }
+  joiner_options.tracer = tracer_.get();
 
   JoinerEntry entry;
   entry.node = net_.AddNode("joiner-" + std::to_string(unit_id) +
@@ -189,6 +292,7 @@ uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round,
   for (uint32_t i = 0; i < options_.num_routers; ++i) {
     channels_[i][unit_id] = net_.Connect(entry.node, JoinerChannelOptions());
   }
+  RegisterJoinerGauges(unit_id, joiner_ptr, entry.node);
   joiners_[unit_id] = std::move(entry);
   return unit_id;
 }
@@ -202,12 +306,16 @@ void BicliqueEngine::Start() {
     loop_->ScheduleAfter(options_.punct_interval,
                          [this] { SourceFlushTick(); });
   }
+  // The sampler polls the stop flag so it ceases rescheduling once the run
+  // winds down (otherwise RunUntilIdle would never drain).
+  sampler_->Start([this] { return stopped_; });
 }
 
 void BicliqueEngine::InjectNow(Tuple tuple) {
   BISTREAM_CHECK(started_) << "InjectNow before Start";
   tuple.origin = loop_->now();
   ++input_tuples_;
+  if (tracer_->enabled()) tracer_->OnIngress(tuple, loop_->now());
   if (options_.batch_size <= 1) {
     Message msg = MakeTupleMessage(std::move(tuple), StreamKind::kStore,
                                    /*router_id=*/0, /*seq=*/0, /*round=*/0);
@@ -276,6 +384,9 @@ Result<uint32_t> BicliqueEngine::ScaleOut(RelationId side) {
   uint64_t activation = NextActivationRound();
   uint32_t unit_id = AddJoinerUnit(side, activation);
   BroadcastEpoch(activation);
+  BISTREAM_LOG(Info) << "scale-out: unit " << unit_id << " joins side "
+                     << (side == kRelationR ? "R" : "S") << " at round "
+                     << activation;
   return unit_id;
 }
 
@@ -284,6 +395,9 @@ Result<uint32_t> BicliqueEngine::ScaleIn(RelationId side) {
                             topology_.PickDrainCandidate(side));
   RETURN_NOT_OK(topology_.StartDrain(unit_id));
   BroadcastEpoch(NextActivationRound());
+  BISTREAM_LOG(Info) << "scale-in: unit " << unit_id
+                     << " starts draining on side "
+                     << (side == kRelationR ? "R" : "S");
 
   // Retire once the drained unit's stored window has certainly aged out:
   // W (event time ~ virtual time in our workloads) times the grace factor,
@@ -300,6 +414,7 @@ Result<uint32_t> BicliqueEngine::ScaleIn(RelationId side) {
                             << " failed: " << status.ToString();
       return;
     }
+    BISTREAM_LOG(Info) << "retired drained unit " << unit_id;
     BroadcastEpoch(NextActivationRound());
   });
   return unit_id;
@@ -307,6 +422,8 @@ Result<uint32_t> BicliqueEngine::ScaleIn(RelationId side) {
 
 void BicliqueEngine::OnCheckpoint(uint32_t unit, uint64_t round,
                                   std::vector<Tuple> tuples) {
+  BISTREAM_LOG(Debug) << "checkpoint: unit " << unit << " round " << round
+                      << " (" << tuples.size() << " tuples)";
   ckpt_store_.Put(unit, round, std::move(tuples));
   // Acknowledged: the routers no longer need this unit's log up to `round`.
   for (auto& router : routers_) {
@@ -327,6 +444,8 @@ Status BicliqueEngine::CrashJoiner(uint32_t unit_id) {
   it->second.node->Fail();
   it->second.joiner->OnCrash();
   ++crashes_;
+  BISTREAM_LOG(Warning) << "crash: unit " << unit_id
+                        << " failed (window state lost, inbox dropped)";
   return Status::OK();
 }
 
@@ -362,6 +481,8 @@ Result<uint32_t> BicliqueEngine::RecoverUnit(uint32_t failed_unit) {
   // Fence the suspect first: a false-positive detection must not leave two
   // units serving the same slot, so the suspect is killed even if alive.
   if (it->second.node->alive()) {
+    BISTREAM_LOG(Warning) << "recovery: fencing still-alive suspect unit "
+                          << failed_unit;
     it->second.node->Fail();
     it->second.joiner->OnCrash();
     ++crashes_;
@@ -403,6 +524,11 @@ Result<uint32_t> BicliqueEngine::RecoverUnit(uint32_t failed_unit) {
   event.replay_from = replay_from;
   event.activation_round = activation;
   event.restored_tuples = ckpt != nullptr ? ckpt->tuples.size() : 0;
+  BISTREAM_LOG(Info) << "recovery: unit " << failed_unit << " -> replacement "
+                     << replacement << ", restored "
+                     << event.restored_tuples << " tuples from checkpoint, "
+                     << "replay from round " << replay_from
+                     << ", activation round " << activation;
   recovery_events_.push_back(event);
   size_t event_index = recovery_events_.size() - 1;
   repl->NotifyWhenCaughtUp(activation, [this, event_index] {

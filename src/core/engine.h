@@ -20,6 +20,9 @@
 #include "core/result_sink.h"
 #include "core/router.h"
 #include "core/topology.h"
+#include "obs/metrics.h"
+#include "obs/time_series.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/network.h"
 #include "workload/generator.h"
@@ -78,6 +81,18 @@ struct BicliqueOptions {
     uint64_t checkpoint_rounds = 32;
   };
   FaultToleranceOptions fault_tolerance;
+
+  /// \brief Observability (DESIGN.md §9). Both knobs default off; neither
+  /// perturbs virtual time — traced runs are bit-identical to untraced.
+  struct TelemetryOptions {
+    /// TelemetrySampler cadence (virtual time): snapshot every registry
+    /// counter and gauge into the engine's TimeSeries. 0 = no sampling.
+    SimTime sample_period = 0;
+    /// Deterministic tuple tracing: record a per-hop TraceSpan for every
+    /// N-th injected tuple. 0 = tracing off.
+    uint64_t trace_every = 0;
+  };
+  TelemetryOptions telemetry;
 
   /// \brief Checks option consistency; the engine constructor fails on a
   /// non-OK status. Callers building configs programmatically (benches,
@@ -218,6 +233,26 @@ class BicliqueEngine {
   const BicliqueOptions& options() const { return options_; }
   const TopologyManager& topology() const { return topology_; }
 
+  // --- Observability (DESIGN.md §9) ---------------------------------------
+
+  /// \brief The engine's metric registry. Always live (registration is
+  /// cheap); the ops controllers read their signals from here.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// \brief Sampled metric time series (empty unless telemetry.sample_period
+  /// was set).
+  const TimeSeries& telemetry_series() const { return sampler_->series(); }
+  TelemetrySampler& sampler() { return *sampler_; }
+
+  /// \brief The per-tuple tracer (disabled unless telemetry.trace_every).
+  const TupleTracer& tracer() const { return *tracer_; }
+
+  /// \brief Latency decomposition over the finished trace spans.
+  LatencyBreakdown ComputeLatencyBreakdown() const {
+    return tracer_->ComputeBreakdown();
+  }
+
   /// \brief Joiner / its node by unit id (null if unknown).
   Joiner* joiner(uint32_t unit_id);
   SimNode* joiner_node(uint32_t unit_id);
@@ -258,6 +293,10 @@ class BicliqueEngine {
   /// First round strictly after every router's current round.
   uint64_t NextActivationRound() const;
   ChannelOptions JoinerChannelOptions() const;
+  /// Registers the engine-scope callback gauges (once, at construction).
+  void RegisterEngineGauges();
+  /// Registers one unit's `joiner.<id>.*` callback gauges.
+  void RegisterJoinerGauges(uint32_t unit_id, Joiner* joiner, SimNode* node);
 
   EventLoop* loop_;
   BicliqueOptions options_;
@@ -283,6 +322,13 @@ class BicliqueEngine {
   CheckpointStore ckpt_store_;
   std::vector<RecoveryEvent> recovery_events_;
   uint64_t crashes_ = 0;
+  // Observability. Declaration order matters only for construction; the
+  // registry's gauge closures capture `this` and unit pointers, all of
+  // which outlive the registry's consumers (joiners_ entries are never
+  // erased and SimNodes live in net_ for the engine's lifetime).
+  MetricsRegistry metrics_;
+  std::unique_ptr<TupleTracer> tracer_;
+  std::unique_ptr<TelemetrySampler> sampler_;
 };
 
 }  // namespace bistream

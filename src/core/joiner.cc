@@ -41,6 +41,7 @@ SimTime Joiner::Handle(const Message& msg) {
   switch (msg.kind) {
     case Message::Kind::kTuple: {
       SimTime cost = options_.cost.MessageCost(msg.WireBytes());
+      TraceArrival(msg);
       if (!options_.ordered) {
         return cost + ProcessTuple(msg);
       }
@@ -68,6 +69,7 @@ SimTime Joiner::Handle(const Message& msg) {
         Message unpacked = MakeTupleMessage(entry.tuple, entry.stream,
                                             msg.router_id, entry.seq,
                                             entry.round);
+        TraceArrival(unpacked);
         if (options_.ordered) {
           buffer_.AddTuple(std::move(unpacked));
         } else {
@@ -84,16 +86,38 @@ SimTime Joiner::Handle(const Message& msg) {
   return 0;
 }
 
+void Joiner::TraceArrival(const Message& msg) {
+  if (!Tracing(msg)) return;
+  if (msg.stream == StreamKind::kStore) {
+    options_.tracer->OnStoreArrival(msg.tuple.relation, msg.tuple.id,
+                                    loop_->now());
+  } else {
+    options_.tracer->OnJoinArrival(msg.tuple.relation, msg.tuple.id,
+                                   loop_->now());
+  }
+}
+
 SimTime Joiner::ProcessTuple(const Message& msg) {
   if (msg.stream == StreamKind::kStore) {
     BISTREAM_CHECK_EQ(msg.tuple.relation, options_.relation)
         << "store-stream tuple of the wrong relation reached unit "
         << options_.unit_id;
-    return StoreBranch(msg.tuple);
+    SimTime cost = StoreBranch(msg.tuple);
+    if (Tracing(msg)) {
+      options_.tracer->OnStore(msg.tuple.relation, msg.tuple.id, cost);
+    }
+    return cost;
   }
   BISTREAM_CHECK_NE(msg.tuple.relation, options_.relation)
       << "join-stream tuple of the unit's own relation reached unit "
       << options_.unit_id;
+  // The release hop: in ordered mode this is the round-release instant (the
+  // ordering-buffer delay's endpoint); unordered processing releases on
+  // arrival, so the ordering component reads as zero — as it should.
+  if (Tracing(msg)) {
+    options_.tracer->OnRelease(msg.tuple.relation, msg.tuple.id,
+                               loop_->now());
+  }
   return JoinBranch(msg.tuple, msg.replayed);
 }
 
@@ -138,7 +162,14 @@ SimTime Joiner::JoinBranch(const Tuple& probe, bool replayed) {
   stats_.expired_subindexes += dropped_subindexes;
   stats_.expired_tuples = index_.stats().expired_tuples;
 
-  return options_.cost.ProbeCost(candidates, matches) +
+  SimTime probe_cost = options_.cost.ProbeCost(candidates, matches);
+  if (!replayed && options_.tracer != nullptr && options_.tracer->enabled()) {
+    // Probe cost only — expiry housekeeping is amortized window maintenance,
+    // not latency attributable to this tuple.
+    options_.tracer->OnProbe(probe.relation, probe.id, candidates, matches,
+                             probe_cost, loop_->now());
+  }
+  return probe_cost +
          dropped_subindexes * options_.cost.expire_subindex_ns;
 }
 

@@ -22,6 +22,7 @@
 #include "core/order_buffer.h"
 #include "core/result_sink.h"
 #include "index/chained_index.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/event_loop.h"
 #include "sim/message.h"
@@ -51,6 +52,10 @@ struct JoinerOptions {
   /// round C must mean "state reflects exactly the tuples of rounds <= C",
   /// which only the round-release discipline guarantees.
   uint64_t checkpoint_rounds = 0;
+  /// Optional per-tuple tracer (engine-owned; may be null or disabled).
+  /// Records arrival/release/store/probe hops of sampled tuples; charges no
+  /// virtual time.
+  TupleTracer* tracer = nullptr;
 };
 
 /// \brief Receives a round-aligned window snapshot. `round` is the last
@@ -120,6 +125,13 @@ class Joiner {
   SimTime ProcessTuple(const Message& msg);
   SimTime StoreBranch(const Tuple& tuple);
   SimTime JoinBranch(const Tuple& probe, bool replayed);
+  /// Records a traced tuple's arrival hop (no-op for untraced/replayed).
+  void TraceArrival(const Message& msg);
+  /// True when the tracer should see this message's hops.
+  bool Tracing(const Message& msg) const {
+    return options_.tracer != nullptr && options_.tracer->enabled() &&
+           !msg.replayed;
+  }
   /// Snapshots the window if the checkpoint cadence is due; returns the
   /// virtual-time charge.
   SimTime MaybeCheckpoint();

@@ -103,6 +103,9 @@ class ThreeWayCascade {
   EngineStats Stage1Stats() const { return stage1_->Stats(); }
   EngineStats Stage2Stats() const { return stage2_->Stats(); }
   uint64_t intermediate_count() const { return next_intermediate_id_; }
+  /// Direct access to the stage engines (telemetry capture, ops wiring).
+  BicliqueEngine* stage1_engine() { return stage1_.get(); }
+  BicliqueEngine* stage2_engine() { return stage2_.get(); }
 
  private:
   /// Stage-1 sink: turns RS pairs into stage-2 inputs.

@@ -233,6 +233,9 @@ SimTime Router::RouteTuple(const Tuple& tuple) {
   ++seq_;
   ++stats_.tuples_routed;
   RouteDecision decision = policy_.Route(tuple, *view_);
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    options_.tracer->OnRouted(tuple.relation, tuple.id, loop_->now());
+  }
 
   SimTime send_cost =
       EnqueueCopy(decision.store_unit, tuple, StreamKind::kStore);

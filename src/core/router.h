@@ -21,6 +21,7 @@
 
 #include "core/routing.h"
 #include "core/topology.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/event_loop.h"
 #include "sim/message.h"
@@ -48,6 +49,9 @@ struct RouterOptions {
   /// replacement. Logs are trimmed on checkpoint acknowledgements.
   bool retain_for_replay = false;
   CostModel cost;
+  /// Optional per-tuple tracer (engine-owned; may be null or disabled).
+  /// Records the route hop of sampled tuples; charges no virtual time.
+  TupleTracer* tracer = nullptr;
 };
 
 /// \brief Per-router statistics.

@@ -33,6 +33,72 @@ double ComputeThroughput(const std::vector<TimedTuple>& stream) {
 
 }  // namespace
 
+void RunReport::CaptureTelemetry(const BicliqueEngine& engine_ref) {
+  series = engine_ref.telemetry_series();
+  breakdown = engine_ref.ComputeLatencyBreakdown();
+  trace_spans = engine_ref.tracer().spans().size();
+  sample_period_ns = engine_ref.options().telemetry.sample_period;
+}
+
+JsonValue RunReport::ToJson() const {
+  JsonValue stats = JsonValue::Object();
+  stats.Set("input_tuples", JsonValue::Number(engine.input_tuples));
+  stats.Set("results", JsonValue::Number(engine.results));
+  stats.Set("stored", JsonValue::Number(engine.stored));
+  stats.Set("probes", JsonValue::Number(engine.probes));
+  stats.Set("probe_candidates", JsonValue::Number(engine.probe_candidates));
+  stats.Set("expired_tuples", JsonValue::Number(engine.expired_tuples));
+  stats.Set("messages", JsonValue::Number(engine.messages));
+  stats.Set("bytes", JsonValue::Number(engine.bytes));
+  stats.Set("state_bytes", JsonValue::Number(engine.state_bytes));
+  stats.Set("peak_state_bytes", JsonValue::Number(engine.peak_state_bytes));
+  stats.Set("max_busy_fraction", JsonValue::Number(engine.max_busy_fraction));
+  stats.Set("max_joiner_busy_fraction",
+            JsonValue::Number(engine.max_joiner_busy_fraction));
+  stats.Set("mean_joiner_busy_fraction",
+            JsonValue::Number(engine.mean_joiner_busy_fraction));
+  stats.Set("makespan_ns", JsonValue::Number(engine.makespan_ns));
+  stats.Set("crashes", JsonValue::Number(engine.crashes));
+  stats.Set("recoveries", JsonValue::Number(engine.recoveries));
+  stats.Set("checkpoints", JsonValue::Number(engine.checkpoints));
+  stats.Set("replayed_messages", JsonValue::Number(engine.replayed_messages));
+  stats.Set("suppressed_duplicates",
+            JsonValue::Number(engine.suppressed_duplicates));
+  stats.Set("restored_tuples", JsonValue::Number(engine.restored_tuples));
+
+  Histogram::Snapshot snap = latency.TakeSnapshot();
+  JsonValue lat = JsonValue::Object();
+  lat.Set("count", JsonValue::Number(snap.count));
+  lat.Set("min_ns", JsonValue::Number(snap.min));
+  lat.Set("max_ns", JsonValue::Number(snap.max));
+  lat.Set("mean_ns", JsonValue::Number(snap.mean));
+  lat.Set("stddev_ns", JsonValue::Number(snap.stddev));
+  lat.Set("p50_ns", JsonValue::Number(snap.p50));
+  lat.Set("p95_ns", JsonValue::Number(snap.p95));
+  lat.Set("p99_ns", JsonValue::Number(snap.p99));
+
+  JsonValue out = JsonValue::Object();
+  out.Set("engine", std::move(stats));
+  out.Set("results", JsonValue::Number(results));
+  out.Set("throughput_tps", JsonValue::Number(throughput_tps));
+  out.Set("latency", std::move(lat));
+  if (checked) {
+    JsonValue chk = JsonValue::Object();
+    chk.Set("expected", JsonValue::Number(check.expected));
+    chk.Set("produced", JsonValue::Number(check.produced));
+    chk.Set("missing", JsonValue::Number(check.missing));
+    chk.Set("duplicates", JsonValue::Number(check.duplicates));
+    chk.Set("spurious", JsonValue::Number(check.spurious));
+    chk.Set("clean", JsonValue::Bool(check.Clean()));
+    out.Set("check", std::move(chk));
+  }
+  out.Set("sample_period_ns", JsonValue::Number(sample_period_ns));
+  out.Set("series", series.ToJson());
+  out.Set("trace_spans", JsonValue::Number(trace_spans));
+  out.Set("breakdown", breakdown.ToJson());
+  return out;
+}
+
 RunReport RunBicliqueWorkload(const BicliqueOptions& options,
                               const SyntheticWorkloadOptions& workload,
                               bool check) {
@@ -50,6 +116,7 @@ RunReport RunBicliqueWorkload(const BicliqueOptions& options,
   report.results = sink.count();
   report.latency = sink.latency();
   report.throughput_tps = ComputeThroughput(stream);
+  report.CaptureTelemetry(engine);
   if (check) {
     report.check =
         sink.checker().Check(stream, options.predicate, options.window);

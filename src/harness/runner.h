@@ -15,6 +15,9 @@
 
 #include "core/engine.h"
 #include "matrix/matrix_engine.h"
+#include "obs/json.h"
+#include "obs/time_series.h"
+#include "obs/trace.h"
 #include "workload/reference_join.h"
 
 namespace bistream {
@@ -31,6 +34,26 @@ struct RunReport {
   /// Oracle verification (only populated when `check` was requested).
   CheckReport check;
   bool checked = false;
+
+  // --- telemetry (populated when the engine ran with it on) ---------------
+  /// Periodic metric samples (empty when telemetry.sample_period == 0).
+  TimeSeries series;
+  /// Per-hop latency decomposition (zero spans when trace_every == 0).
+  LatencyBreakdown breakdown;
+  /// Number of trace spans collected.
+  uint64_t trace_spans = 0;
+  /// The sampling cadence the run used (echoed into the artifact).
+  SimTime sample_period_ns = 0;
+
+  /// \brief Copies the engine's telemetry (time series, breakdown, span
+  /// count) into this report. RunBicliqueWorkload does this automatically;
+  /// call it yourself for hand-built engines (E8/E15 style drivers).
+  void CaptureTelemetry(const BicliqueEngine& engine_ref);
+
+  /// \brief Serializes the full report — engine stats, latency snapshot,
+  /// check outcome, time series, and latency breakdown — for the
+  /// BENCH_*.json artifacts (see DESIGN.md §9).
+  JsonValue ToJson() const;
 };
 
 /// \brief Runs a synthetic workload through a biclique engine built from

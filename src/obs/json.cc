@@ -1,0 +1,430 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double d) {
+  // NaN/Inf are not representable in JSON; emit null rather than junk.
+  if (!std::isfinite(d)) {
+    out->append("null");
+    return;
+  }
+  // Integers (the common case: counters, timestamps) print exactly.
+  if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out->append(buf);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", d);
+  out->append(buf);
+}
+
+/// Recursive-descent parser over a raw buffer.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    JsonValue v;
+    RETURN_NOT_OK(ParseValue(&v));
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::String(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue::Null(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* word, JsonValue value, JsonValue* out) {
+    size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    *out = JsonValue::Number(d);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    RETURN_NOT_OK(Expect('"'));
+    std::string s;
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            s.push_back('"');
+            break;
+          case '\\':
+            s.push_back('\\');
+            break;
+          case '/':
+            s.push_back('/');
+            break;
+          case 'n':
+            s.push_back('\n');
+            break;
+          case 't':
+            s.push_back('\t');
+            break;
+          case 'r':
+            s.push_back('\r');
+            break;
+          case 'b':
+            s.push_back('\b');
+            break;
+          case 'f':
+            s.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            // Telemetry strings are ASCII; encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              s.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              s.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              s.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              s.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        s.push_back(c);
+      }
+    }
+    *out = std::move(s);
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out) {
+    RETURN_NOT_OK(Expect('['));
+    JsonValue arr = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) {
+      *out = std::move(arr);
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue element;
+      RETURN_NOT_OK(ParseValue(&element));
+      arr.Push(std::move(element));
+      SkipSpace();
+      if (Consume(']')) break;
+      RETURN_NOT_OK(Expect(','));
+    }
+    *out = std::move(arr);
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out) {
+    RETURN_NOT_OK(Expect('{'));
+    JsonValue obj = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) {
+      *out = std::move(obj);
+      return Status::OK();
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      RETURN_NOT_OK(Expect(':'));
+      JsonValue value;
+      RETURN_NOT_OK(ParseValue(&value));
+      obj.Set(key, std::move(value));
+      SkipSpace();
+      if (Consume('}')) break;
+      RETURN_NOT_OK(Expect(','));
+    }
+    *out = std::move(obj);
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue& JsonValue::Push(JsonValue v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  BISTREAM_CHECK(type_ == Type::kArray) << "Push on non-array JsonValue";
+  elements_.push_back(std::move(v));
+  return elements_.back();
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  BISTREAM_CHECK(type_ == Type::kObject) << "Set on non-object JsonValue";
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(v);
+      return member.second;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return members_.back().second;
+}
+
+size_t JsonValue::size() const {
+  if (type_ == Type::kArray) return elements_.size();
+  if (type_ == Type::kObject) return members_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(size_t index) const {
+  BISTREAM_CHECK(type_ == Type::kArray);
+  BISTREAM_CHECK_LT(index, elements_.size());
+  return elements_[index];
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  auto newline = [&](int d) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      break;
+    case Type::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Type::kArray: {
+      if (elements_.empty()) {
+        out->append("[]");
+        break;
+      }
+      // Flat arrays of scalars stay on one line; they dominate time series
+      // output and pretty-printing them one-per-line would bloat artifacts.
+      bool scalars_only = true;
+      for (const JsonValue& e : elements_) {
+        if (e.is_array() || e.is_object()) {
+          scalars_only = false;
+          break;
+        }
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (!scalars_only) {
+          newline(depth + 1);
+        } else if (i > 0 && pretty) {
+          out->push_back(' ');
+        }
+        elements_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!scalars_only) newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        AppendEscaped(out, members_[i].first);
+        out->push_back(':');
+        if (pretty) out->push_back(' ');
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+Status WriteJsonFile(const std::string& path, const JsonValue& value,
+                     int indent) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  out << value.Dump(indent) << "\n";
+  out.flush();
+  if (!out.good()) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Result<JsonValue> ReadJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::in);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return JsonValue::Parse(buf.str());
+}
+
+}  // namespace bistream

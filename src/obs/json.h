@@ -1,0 +1,131 @@
+/// \file json.h
+/// \brief Minimal JSON value tree: build, serialize, parse.
+///
+/// The telemetry layer exports machine-readable artifacts (BENCH_*.json) and
+/// the bench smoke tests validate them against a checked-in schema, so both
+/// a writer and a parser are needed. The container ships no JSON library and
+/// adding dependencies is off the table, hence this small hand-rolled one.
+/// It covers exactly what the telemetry artifacts use: objects with ordered
+/// keys, arrays, finite doubles, strings, bools, null.
+
+#ifndef BISTREAM_OBS_JSON_H_
+#define BISTREAM_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bistream {
+
+/// \brief A JSON document node. Value-semantic tree.
+///
+/// Object keys keep insertion order so exported artifacts are stable and
+/// diffable across runs (important for the schema smoke test).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.type_ = Type::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue Number(uint64_t n) {
+    return Number(static_cast<double>(n));
+  }
+  static JsonValue Number(int64_t n) { return Number(static_cast<double>(n)); }
+  static JsonValue Number(int n) { return Number(static_cast<double>(n)); }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  /// \brief Appends to an array; converts a null node into an array first.
+  JsonValue& Push(JsonValue v);
+
+  /// \brief Sets a key on an object (replacing any existing entry); converts
+  /// a null node into an object first.
+  JsonValue& Set(const std::string& key, JsonValue v);
+
+  /// Array / object element count.
+  size_t size() const;
+
+  /// \brief Array element access (aborts out of range).
+  const JsonValue& at(size_t index) const;
+
+  /// \brief Object member lookup; nullptr when absent.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Ordered object members.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// Array elements.
+  const std::vector<JsonValue>& elements() const { return elements_; }
+
+  /// \brief Serializes the tree. `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  /// \brief Parses a JSON document (full input must be consumed).
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> elements_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// \brief Writes a JSON document to a file (atomically via rename is
+/// overkill here; plain write + explicit Status on failure).
+Status WriteJsonFile(const std::string& path, const JsonValue& value,
+                     int indent = 2);
+
+/// \brief Reads and parses a JSON file.
+Result<JsonValue> ReadJsonFile(const std::string& path);
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OBS_JSON_H_

@@ -1,0 +1,88 @@
+#include "obs/metrics.h"
+
+namespace bistream {
+
+std::string MetricsRegistry::ScopedName(const std::string& unit_kind,
+                                        uint32_t unit_id,
+                                        const std::string& metric) {
+  return unit_kind + "." + std::to_string(unit_id) + "." + metric;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetTimer(const std::string& name) {
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    std::function<double()> fn) {
+  gauges_[name] = std::move(fn);
+}
+
+void MetricsRegistry::UnregisterGauge(const std::string& name) {
+  gauges_.erase(name);
+}
+
+void MetricsRegistry::UnregisterGaugesWithPrefix(const std::string& prefix) {
+  auto it = gauges_.lower_bound(prefix);
+  while (it != gauges_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = gauges_.erase(it);
+  }
+}
+
+std::optional<double> MetricsRegistry::ReadGauge(
+    const std::string& name) const {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second();
+}
+
+std::optional<uint64_t> MetricsRegistry::ReadCounter(
+    const std::string& name) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return std::nullopt;
+  return it->second->value();
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Sample() const {
+  // Both maps iterate sorted; merge them to keep the combined list sorted.
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size());
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  while (c != counters_.end() || g != gauges_.end()) {
+    bool take_counter =
+        g == gauges_.end() ||
+        (c != counters_.end() && c->first < g->first);
+    if (take_counter) {
+      out.emplace_back(c->first, static_cast<double>(c->second->value()));
+      ++c;
+    } else {
+      out.emplace_back(g->first, g->second());
+      ++g;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+MetricsRegistry::SampleTimers() const {
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, hist] : timers_) {
+    out.emplace_back(name, hist->TakeSnapshot());
+  }
+  return out;
+}
+
+}  // namespace bistream

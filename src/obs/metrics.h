@@ -1,0 +1,103 @@
+/// \file metrics.h
+/// \brief Named metric registry: counters, callback gauges, histogram timers.
+///
+/// One registry per engine. Hot-path updates go through stable Counter* /
+/// Histogram* pointers obtained once at wiring time — an update is a single
+/// add with no lookup, no lock, no allocation (the simulator is
+/// single-threaded; "lock-free-style" here means the update cost profile,
+/// not atomics). Gauges are registered as callbacks and are only evaluated
+/// when sampled, so instrumented code pays nothing between samples.
+///
+/// Naming convention (see DESIGN.md §9 for the full catalogue):
+///   engine.<metric>               engine-wide scope
+///   router.<id>.<metric>          per-router scope
+///   joiner.<id>.<metric>          per-joiner scope
+/// Cumulative time counters end in `_ns`; the telemetry sampler derives a
+/// windowed `*.busy_fraction` column from every `*.busy_ns` gauge.
+
+#ifndef BISTREAM_OBS_METRICS_H_
+#define BISTREAM_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace bistream {
+
+/// \brief Monotonic event counter with a stable address for hot paths.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// \brief Registry of named metrics scoped to one engine instance.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \brief Builds "kind.id.metric", e.g. ScopedName("joiner", 3, "probes").
+  static std::string ScopedName(const std::string& unit_kind, uint32_t unit_id,
+                                const std::string& metric);
+
+  /// \brief Returns the counter with this name, creating it on first use.
+  /// The pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+
+  /// \brief Returns the histogram-backed timer with this name, creating it
+  /// on first use. Values are durations in virtual nanoseconds.
+  Histogram* GetTimer(const std::string& name);
+
+  /// \brief Registers (or replaces — unit recovery re-registers) a gauge
+  /// evaluated lazily at sample time. Must be side-effect free: several
+  /// consumers (sampler, autoscaler, failure detector) read independently.
+  void RegisterGauge(const std::string& name, std::function<double()> fn);
+
+  /// \brief Drops a gauge (e.g. when its backing unit is destroyed).
+  void UnregisterGauge(const std::string& name);
+
+  /// \brief Drops every gauge whose name starts with `prefix`.
+  void UnregisterGaugesWithPrefix(const std::string& prefix);
+
+  /// \brief Reads one gauge; nullopt when not registered.
+  std::optional<double> ReadGauge(const std::string& name) const;
+
+  /// \brief Reads one counter; nullopt when not registered.
+  std::optional<uint64_t> ReadCounter(const std::string& name) const;
+
+  /// \brief Evaluates every counter and gauge, sorted by name. This is the
+  /// sampler's entry point; counters and gauges share one namespace here.
+  std::vector<std::pair<std::string, double>> Sample() const;
+
+  /// \brief Snapshots every timer, sorted by name.
+  std::vector<std::pair<std::string, Histogram::Snapshot>> SampleTimers()
+      const;
+
+  size_t counter_count() const { return counters_.size(); }
+  size_t gauge_count() const { return gauges_.size(); }
+  size_t timer_count() const { return timers_.size(); }
+
+ private:
+  // std::map keeps iteration (and therefore export) order deterministic;
+  // unique_ptr gives the stable hot-path addresses.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> timers_;
+  std::map<std::string, std::function<double()>> gauges_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OBS_METRICS_H_

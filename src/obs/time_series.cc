@@ -1,0 +1,110 @@
+#include "obs/time_series.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+void TimeSeries::Append(
+    SimTime timestamp,
+    const std::vector<std::pair<std::string, double>>& sample) {
+  size_t row = timestamps_.size();
+  timestamps_.push_back(timestamp);
+  for (const auto& [name, value] : sample) {
+    auto [it, inserted] = columns_.try_emplace(name);
+    std::vector<double>& column = it->second;
+    if (inserted) {
+      // Metric appeared mid-run (e.g. scale-out): backfill history with 0.
+      column.assign(row, 0.0);
+    }
+    column.push_back(value);
+  }
+  // Metrics absent from this sample (e.g. retired units) hold their last
+  // value, which reads better on plots than snapping to zero.
+  for (auto& [name, column] : columns_) {
+    if (column.size() <= row) {
+      column.push_back(column.empty() ? 0.0 : column.back());
+    }
+    BISTREAM_CHECK_EQ(column.size(), timestamps_.size());
+  }
+}
+
+const std::vector<double>* TimeSeries::Column(const std::string& name) const {
+  auto it = columns_.find(name);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+JsonValue TimeSeries::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  JsonValue times = JsonValue::Array();
+  for (SimTime t : timestamps_) times.Push(JsonValue::Number(t));
+  root.Set("timestamps_ns", std::move(times));
+  JsonValue metrics = JsonValue::Object();
+  for (const auto& [name, column] : columns_) {
+    JsonValue values = JsonValue::Array();
+    for (double v : column) values.Push(JsonValue::Number(v));
+    metrics.Set(name, std::move(values));
+  }
+  root.Set("metrics", std::move(metrics));
+  return root;
+}
+
+Status TimeSeries::WriteJson(const std::string& path) const {
+  return WriteJsonFile(path, ToJson());
+}
+
+TelemetrySampler::TelemetrySampler(EventLoop* loop, MetricsRegistry* registry,
+                                   TelemetrySamplerOptions options)
+    : loop_(loop), registry_(registry), options_(options) {
+  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(registry_ != nullptr);
+}
+
+void TelemetrySampler::Start(std::function<bool()> stopped) {
+  if (options_.sample_period == 0) return;
+  BISTREAM_CHECK(!active_);
+  active_ = true;
+  last_sample_time_ = loop_->now();
+  loop_->ScheduleRepeating(
+      options_.sample_period, [this, stopped = std::move(stopped)] {
+        SampleNow();
+        if (stopped && stopped()) {
+          active_ = false;
+          return false;
+        }
+        return true;
+      });
+}
+
+void TelemetrySampler::SampleNow() {
+  SimTime now = loop_->now();
+  std::vector<std::pair<std::string, double>> sample = registry_->Sample();
+  if (options_.derive_busy_fractions) {
+    const std::string suffix = kBusySuffix;
+    double dt = static_cast<double>(now - last_sample_time_);
+    std::vector<std::pair<std::string, double>> derived;
+    for (const auto& [name, value] : sample) {
+      if (name.size() <= suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+              0) {
+        continue;
+      }
+      double prev = 0;
+      auto it = last_busy_ns_.find(name);
+      if (it != last_busy_ns_.end()) prev = it->second;
+      last_busy_ns_[name] = value;
+      double fraction = dt > 0 ? (value - prev) / dt : 0.0;
+      fraction = std::clamp(fraction, 0.0, 1.0);
+      std::string scope = name.substr(0, name.size() - suffix.size());
+      derived.emplace_back(scope + ".busy_fraction", fraction);
+    }
+    // Keep the row sorted by name: merge the derived columns in.
+    sample.insert(sample.end(), derived.begin(), derived.end());
+    std::sort(sample.begin(), sample.end());
+  }
+  series_.Append(now, sample);
+  last_sample_time_ = now;
+}
+
+}  // namespace bistream

@@ -1,0 +1,112 @@
+/// \file time_series.h
+/// \brief In-memory metric time series + the virtual-clock sampler.
+///
+/// The TelemetrySampler rides the simulator's event loop: every
+/// `sample_period` of *virtual* time it evaluates every counter and gauge in
+/// the engine's MetricsRegistry and appends one row to a TimeSeries. This
+/// replaces the old single end-of-run aggregate with within-run visibility —
+/// throughput ramps, per-joiner busy fractions, state growth, recovery
+/// activity — at zero cost to the instrumented hot paths (gauges are lazy).
+///
+/// Columns may appear mid-run (scale-out registers new per-joiner gauges) or
+/// vanish (unit retirement unregisters them); the series backfills new
+/// columns with zeros and pads absent ones, so every column always has
+/// exactly one value per sampled timestamp.
+
+#ifndef BISTREAM_OBS_TIME_SERIES_H_
+#define BISTREAM_OBS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "sim/event_loop.h"
+
+namespace bistream {
+
+/// \brief Column-oriented store of sampled metric values over virtual time.
+class TimeSeries {
+ public:
+  /// \brief Appends one sample row. `sample` must be sorted by name (the
+  /// registry's Sample() already is). Unknown names start a new column
+  /// backfilled with zeros; known names missing from `sample` are padded
+  /// with their column's last value.
+  void Append(SimTime timestamp,
+              const std::vector<std::pair<std::string, double>>& sample);
+
+  size_t size() const { return timestamps_.size(); }
+  bool empty() const { return timestamps_.empty(); }
+  const std::vector<SimTime>& timestamps() const { return timestamps_; }
+  const std::map<std::string, std::vector<double>>& columns() const {
+    return columns_;
+  }
+
+  /// \brief Returns a column by metric name; nullptr when never sampled.
+  const std::vector<double>* Column(const std::string& name) const;
+
+  /// \brief {"timestamps_ns": [...], "metrics": {name: [...], ...}}
+  JsonValue ToJson() const;
+
+  /// \brief Writes ToJson() to `path`.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  std::vector<SimTime> timestamps_;
+  std::map<std::string, std::vector<double>> columns_;
+};
+
+/// \brief Options for TelemetrySampler.
+struct TelemetrySamplerOptions {
+  /// Virtual time between samples. 0 disables sampling entirely.
+  SimTime sample_period = 0;
+  /// Derive a windowed `<scope>.busy_fraction` column from every gauge
+  /// named `<scope>.busy_ns` (cumulative busy nanoseconds).
+  bool derive_busy_fractions = true;
+};
+
+/// \brief Periodically snapshots a MetricsRegistry into a TimeSeries.
+///
+/// The sampler owns the only windowed state derived from cumulative gauges,
+/// so other consumers (autoscaler, failure detector) can read the same
+/// gauges without interference — the PR-1 SampleUtilization sharing hazard
+/// is gone by construction.
+class TelemetrySampler {
+ public:
+  TelemetrySampler(EventLoop* loop, MetricsRegistry* registry,
+                   TelemetrySamplerOptions options);
+
+  /// \brief Starts periodic sampling. `stopped` is polled each tick; once it
+  /// returns true the sampler takes a final sample and stops rescheduling
+  /// (otherwise it would keep the event loop from draining forever).
+  void Start(std::function<bool()> stopped);
+
+  /// \brief Takes one sample immediately (also usable with period 0 for
+  /// manual sampling at interesting instants).
+  void SampleNow();
+
+  bool active() const { return active_; }
+  const TimeSeries& series() const { return series_; }
+  SimTime sample_period() const { return options_.sample_period; }
+
+ private:
+  static constexpr const char* kBusySuffix = ".busy_ns";
+
+  EventLoop* loop_;
+  MetricsRegistry* registry_;
+  TelemetrySamplerOptions options_;
+  TimeSeries series_;
+  bool active_ = false;
+  // Windowed busy-fraction derivation state, private to this sampler.
+  SimTime last_sample_time_ = 0;
+  std::map<std::string, double> last_busy_ns_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OBS_TIME_SERIES_H_

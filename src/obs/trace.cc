@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+namespace bistream {
+
+JsonValue TraceSpan::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("tuple_id", JsonValue::Number(tuple_id));
+  v.Set("relation", JsonValue::Number(static_cast<uint64_t>(relation)));
+  v.Set("ingress_ns", JsonValue::Number(ingress));
+  v.Set("routed_ns", JsonValue::Number(routed));
+  v.Set("store_arrival_ns", JsonValue::Number(store_arrival));
+  v.Set("join_arrival_ns", JsonValue::Number(join_arrival));
+  v.Set("released_ns", JsonValue::Number(released));
+  v.Set("emit_ns", JsonValue::Number(emit));
+  v.Set("store_cost_ns", JsonValue::Number(store_cost_ns));
+  v.Set("probe_cost_ns", JsonValue::Number(probe_cost_ns));
+  v.Set("probe_candidates", JsonValue::Number(probe_candidates));
+  v.Set("results", JsonValue::Number(results));
+  v.Set("probe_units", JsonValue::Number(static_cast<uint64_t>(probe_units)));
+  return v;
+}
+
+JsonValue LatencyBreakdown::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("spans", JsonValue::Number(spans));
+  v.Set("mean_total_ns", JsonValue::Number(mean_total_ns));
+  v.Set("mean_queue_ns", JsonValue::Number(mean_queue_ns));
+  v.Set("mean_order_ns", JsonValue::Number(mean_order_ns));
+  v.Set("mean_probe_ns", JsonValue::Number(mean_probe_ns));
+  return v;
+}
+
+TraceSpan* TupleTracer::OnIngress(const Tuple& tuple, SimTime now) {
+  if (!enabled()) return nullptr;
+  uint64_t ordinal = ingress_seen_++;
+  if (ordinal % trace_every_ != 0) return nullptr;
+  spans_.emplace_back();
+  TraceSpan* span = &spans_.back();
+  span->tuple_id = tuple.id;
+  span->relation = tuple.relation;
+  span->ingress = now;
+  by_tuple_[Key(tuple.relation, tuple.id)] = span;
+  return span;
+}
+
+TraceSpan* TupleTracer::Find(RelationId relation, uint64_t id) {
+  if (!enabled()) return nullptr;
+  auto it = by_tuple_.find(Key(relation, id));
+  return it == by_tuple_.end() ? nullptr : it->second;
+}
+
+void TupleTracer::OnRouted(RelationId relation, uint64_t id, SimTime now) {
+  TraceSpan* span = Find(relation, id);
+  if (span == nullptr) return;
+  if (span->routed == 0) span->routed = now;
+}
+
+void TupleTracer::OnStoreArrival(RelationId relation, uint64_t id,
+                                 SimTime now) {
+  TraceSpan* span = Find(relation, id);
+  if (span == nullptr) return;
+  if (span->store_arrival == 0) span->store_arrival = now;
+}
+
+void TupleTracer::OnJoinArrival(RelationId relation, uint64_t id,
+                                SimTime now) {
+  TraceSpan* span = Find(relation, id);
+  if (span == nullptr) return;
+  if (span->join_arrival == 0) span->join_arrival = now;
+  ++span->probe_units;
+}
+
+void TupleTracer::OnRelease(RelationId relation, uint64_t id, SimTime now) {
+  TraceSpan* span = Find(relation, id);
+  if (span == nullptr) return;
+  if (span->released == 0) span->released = now;
+}
+
+void TupleTracer::OnStore(RelationId relation, uint64_t id,
+                          uint64_t cost_ns) {
+  TraceSpan* span = Find(relation, id);
+  if (span == nullptr) return;
+  span->store_cost_ns += cost_ns;
+}
+
+void TupleTracer::OnProbe(RelationId relation, uint64_t id,
+                          uint64_t candidates, uint64_t matches,
+                          uint64_t cost_ns, SimTime now) {
+  TraceSpan* span = Find(relation, id);
+  if (span == nullptr) return;
+  span->probe_candidates += candidates;
+  span->results += matches;
+  span->probe_cost_ns += cost_ns;
+  if (matches > 0 && span->emit == 0) span->emit = now;
+}
+
+LatencyBreakdown TupleTracer::ComputeBreakdown() const {
+  LatencyBreakdown b;
+  double total = 0, queue = 0, order = 0, probe = 0;
+  for (const TraceSpan& span : spans_) {
+    // Only spans that actually reached a probe joiner decompose; store-only
+    // or in-flight spans have no end-to-end latency to attribute.
+    if (span.join_arrival == 0 || span.released == 0) continue;
+    SimTime done = span.emit != 0 ? span.emit : span.released;
+    if (done < span.ingress) continue;
+    ++b.spans;
+    total += static_cast<double>(done - span.ingress);
+    queue += static_cast<double>(span.join_arrival - span.ingress);
+    order += static_cast<double>(span.released - span.join_arrival);
+    probe += static_cast<double>(span.probe_cost_ns);
+  }
+  if (b.spans > 0) {
+    double n = static_cast<double>(b.spans);
+    b.mean_total_ns = total / n;
+    b.mean_queue_ns = queue / n;
+    b.mean_order_ns = order / n;
+    b.mean_probe_ns = probe / n;
+  }
+  return b;
+}
+
+JsonValue TupleTracer::SpansToJson(size_t limit) const {
+  JsonValue arr = JsonValue::Array();
+  size_t n = 0;
+  for (const TraceSpan& span : spans_) {
+    if (n++ >= limit) break;
+    arr.Push(span.ToJson());
+  }
+  return arr;
+}
+
+}  // namespace bistream

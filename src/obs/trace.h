@@ -1,0 +1,124 @@
+/// \file trace.h
+/// \brief Deterministic 1-in-N per-tuple trace spans.
+///
+/// A traced tuple accumulates per-hop virtual timestamps as it moves
+/// ingress → route → (store | join arrival) → ordering-buffer release →
+/// probe/emit. From the finished spans the harness derives a latency
+/// *breakdown* — how much of end-to-end latency is network/queueing delay,
+/// how much is the order-consistent protocol's buffering, and how much is
+/// probe work — which the aggregate EngineStats cannot distinguish (E4/E5/
+/// E12 motivate this).
+///
+/// Sampling is deterministic: the tracer counts ingress tuples and traces
+/// every N-th one (the 1st, N+1-th, ...), so a fixed seed yields a fixed
+/// span population, and tracing perturbs neither routing nor virtual time —
+/// traced runs are bit-identical to untraced ones in results and makespan.
+///
+/// Hop recorders use set-if-zero semantics, and instrumentation points skip
+/// replay-flagged messages entirely, so recovery replay (which pushes the
+/// same tuples through the pipeline again) cannot overwrite or double-count
+/// the original timeline.
+
+#ifndef BISTREAM_OBS_TRACE_H_
+#define BISTREAM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/time.h"
+#include "obs/json.h"
+#include "tuple/tuple.h"
+
+namespace bistream {
+
+/// \brief Per-hop timeline of one traced tuple. Times are virtual ns.
+struct TraceSpan {
+  uint64_t tuple_id = 0;
+  RelationId relation = kRelationR;
+  SimTime ingress = 0;        ///< Injection at the system edge.
+  SimTime routed = 0;         ///< Router forked it into store + join copies.
+  SimTime store_arrival = 0;  ///< Store copy arrived at its own-side joiner.
+  SimTime join_arrival = 0;   ///< First join copy arrived at a probe joiner.
+  SimTime released = 0;       ///< Ordering buffer released the join copy.
+  SimTime emit = 0;           ///< First result emitted by probing it.
+  uint64_t store_cost_ns = 0;   ///< Charged virtual index-insert cost.
+  uint64_t probe_cost_ns = 0;   ///< Charged virtual probe cost, all units.
+  uint64_t probe_candidates = 0;
+  uint64_t results = 0;
+  uint32_t probe_units = 0;  ///< Join-copy fan-out observed via arrivals.
+
+  JsonValue ToJson() const;
+};
+
+/// \brief Aggregated latency decomposition over finished spans.
+///
+/// For each probed span: total = (emit ? emit : released) - ingress,
+/// queueing = join_arrival - ingress, ordering = released - join_arrival,
+/// probe = charged virtual probe cost. Because results are emitted at the
+/// release instant (virtual time does not advance inside a node handler),
+/// queueing + ordering equals total exactly and probe is the only — tiny —
+/// overcount, so the components sum to within a few percent of end-to-end.
+struct LatencyBreakdown {
+  uint64_t spans = 0;  ///< Spans that reached a probe joiner.
+  double mean_total_ns = 0;
+  double mean_queue_ns = 0;
+  double mean_order_ns = 0;
+  double mean_probe_ns = 0;
+
+  JsonValue ToJson() const;
+};
+
+/// \brief Deterministic sampling tracer; one per engine.
+class TupleTracer {
+ public:
+  /// \brief Traces every `trace_every`-th ingress tuple; 0 disables.
+  explicit TupleTracer(uint64_t trace_every) : trace_every_(trace_every) {}
+
+  TupleTracer(const TupleTracer&) = delete;
+  TupleTracer& operator=(const TupleTracer&) = delete;
+
+  bool enabled() const { return trace_every_ > 0; }
+
+  /// \brief Ingress sampling decision; returns the new span when this tuple
+  /// is selected, nullptr otherwise. Must be called exactly once per
+  /// injected tuple (the counter is the sampling clock).
+  TraceSpan* OnIngress(const Tuple& tuple, SimTime now);
+
+  /// \brief Looks up a live span; nullptr when the tuple is untraced.
+  TraceSpan* Find(RelationId relation, uint64_t id);
+
+  // Hop recorders. All are no-ops for untraced tuples, and timestamp fields
+  // are set-if-zero so replays cannot rewrite history.
+  void OnRouted(RelationId relation, uint64_t id, SimTime now);
+  void OnStoreArrival(RelationId relation, uint64_t id, SimTime now);
+  void OnJoinArrival(RelationId relation, uint64_t id, SimTime now);
+  void OnRelease(RelationId relation, uint64_t id, SimTime now);
+  void OnStore(RelationId relation, uint64_t id, uint64_t cost_ns);
+  void OnProbe(RelationId relation, uint64_t id, uint64_t candidates,
+               uint64_t matches, uint64_t cost_ns, SimTime now);
+
+  uint64_t ingress_seen() const { return ingress_seen_; }
+  uint64_t trace_every() const { return trace_every_; }
+  const std::deque<TraceSpan>& spans() const { return spans_; }
+
+  LatencyBreakdown ComputeBreakdown() const;
+
+  /// \brief First `limit` spans as a JSON array (artifact size control).
+  JsonValue SpansToJson(size_t limit) const;
+
+ private:
+  static uint64_t Key(RelationId relation, uint64_t id) {
+    // Tuple ids are per-relation sequences; fold the side into the top bit.
+    return (static_cast<uint64_t>(relation & 1u) << 63) | id;
+  }
+
+  uint64_t trace_every_;
+  uint64_t ingress_seen_ = 0;
+  std::deque<TraceSpan> spans_;  // deque: stable addresses for Find().
+  std::unordered_map<uint64_t, TraceSpan*> by_tuple_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OBS_TRACE_H_

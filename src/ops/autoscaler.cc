@@ -1,6 +1,8 @@
 #include "ops/autoscaler.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/logging.h"
 
@@ -24,21 +26,32 @@ double Autoscaler::SampleMetric() {
   double total = 0;
   size_t count = 0;
   SimTime now = engine_->loop()->now();
-  engine_->ForEachLiveJoiner(options_.side, [&](Joiner& joiner,
-                                                SimNode& node) {
+  const MetricsRegistry& metrics = engine_->metrics();
+  engine_->ForEachLiveJoiner(options_.side, [&](Joiner& joiner, SimNode&) {
     // Only active units drive the decision: draining units are already on
     // their way out and would bias the average down.
-    if (engine_->topology().unit(joiner.unit_id()).state !=
-        UnitState::kActive) {
-      // Still advance the utilization sample window so a later reuse
-      // (e.g. after a cancelled drain) does not see a stale interval.
-      node.SampleUtilization(now);
+    uint32_t unit = joiner.unit_id();
+    if (engine_->topology().unit(unit).state != UnitState::kActive) {
       return;
     }
     if (options_.metric == ScaleMetric::kCpu) {
-      total += node.SampleUtilization(now);
+      std::optional<double> busy = metrics.ReadGauge(
+          MetricsRegistry::ScopedName("joiner", unit, "busy_ns"));
+      if (!busy.has_value()) return;
+      BusyWindow& window = busy_windows_[unit];
+      double fraction = 0;
+      if (now > window.time) {
+        fraction = std::clamp(
+            (*busy - window.busy_ns) / static_cast<double>(now - window.time),
+            0.0, 1.0);
+      }
+      window = BusyWindow{*busy, now};
+      total += fraction;
     } else {
-      total += static_cast<double>(joiner.memory().current_bytes());
+      std::optional<double> bytes = metrics.ReadGauge(
+          MetricsRegistry::ScopedName("joiner", unit, "state_bytes"));
+      if (!bytes.has_value()) return;
+      total += *bytes;
     }
     ++count;
   });

@@ -13,6 +13,7 @@
 #ifndef BISTREAM_OPS_AUTOSCALER_H_
 #define BISTREAM_OPS_AUTOSCALER_H_
 
+#include <map>
 #include <vector>
 
 #include "core/engine.h"
@@ -72,7 +73,8 @@ class Autoscaler {
 
  private:
   void Tick();
-  /// Average metric across the side's active joiners.
+  /// Average metric across the side's active joiners, read from the
+  /// engine's metrics registry.
   double SampleMetric();
 
   BicliqueEngine* engine_;
@@ -80,6 +82,14 @@ class Autoscaler {
   bool started_ = false;
   bool stopped_ = false;
   SimTime last_action_time_ = 0;
+  /// Registry busy_ns gauges are cumulative; the controller keeps its own
+  /// per-unit sampling window so it never disturbs the telemetry sampler
+  /// (or any other consumer) reading the same gauges.
+  struct BusyWindow {
+    double busy_ns = 0;
+    SimTime time = 0;
+  };
+  std::map<uint32_t, BusyWindow> busy_windows_;
   std::vector<AutoscalerSample> timeline_;
 };
 

@@ -1,5 +1,7 @@
 #include "ops/failure_detector.h"
 
+#include <optional>
+
 #include "common/logging.h"
 
 namespace bistream {
@@ -36,9 +38,13 @@ void FailureDetector::Tick() {
     if (u.state != UnitState::kActive && u.state != UnitState::kDraining) {
       continue;
     }
-    Joiner* joiner = engine_->joiner(u.id);
-    if (joiner == nullptr) continue;
-    SimTime last = joiner->last_progress_time();
+    // Liveness is read from the registry's heartbeat gauge, not the Joiner
+    // object: the detector depends only on the telemetry surface, the same
+    // one operators would watch.
+    std::optional<double> heartbeat = engine_->metrics().ReadGauge(
+        MetricsRegistry::ScopedName("joiner", u.id, "last_progress_ns"));
+    if (!heartbeat.has_value()) continue;
+    SimTime last = static_cast<SimTime>(*heartbeat);
     SimTime silence = now > last ? now - last : 0;
     if (silence <= options_.timeout) continue;
     suspect = u.id;

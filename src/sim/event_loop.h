@@ -39,6 +39,12 @@ class EventLoop {
     ScheduleAt(now_ + delay, std::move(fn));
   }
 
+  /// \brief Runs `fn` every `period` ns, starting one period from now, for
+  /// as long as `fn` returns true. A tick that returns false is the last —
+  /// nothing stays queued, so RunUntilIdle can drain. This is the hook the
+  /// telemetry sampler (and other periodic controllers) ride on.
+  void ScheduleRepeating(SimTime period, std::function<bool()> fn);
+
   /// \brief Runs events until the queue drains. Returns events executed.
   uint64_t RunUntilIdle();
 

@@ -64,6 +64,20 @@ void SimNode::ServiceOne() {
 
   SimTime service = handler_(msg);
   stats_.busy_ns += service;
+  switch (msg.kind) {
+    case Message::Kind::kTuple:
+      stats_.busy_tuple_ns += service;
+      break;
+    case Message::Kind::kPunctuation:
+      stats_.busy_punctuation_ns += service;
+      break;
+    case Message::Kind::kBatch:
+      stats_.busy_batch_ns += service;
+      break;
+    case Message::Kind::kControl:
+      stats_.busy_control_ns += service;
+      break;
+  }
   busy_until_ = loop_->now() + service;
   MaybeScheduleService();
 }

@@ -37,6 +37,13 @@ struct NodeStats {
   uint64_t tuple_messages = 0;
   uint64_t punctuation_messages = 0;
   SimTime busy_ns = 0;
+  /// Per-event-type decomposition of busy_ns: where this unit's service
+  /// time actually goes (data vs. protocol vs. control), surfaced by the
+  /// telemetry layer. Sums to busy_ns.
+  SimTime busy_tuple_ns = 0;
+  SimTime busy_punctuation_ns = 0;
+  SimTime busy_batch_ns = 0;
+  SimTime busy_control_ns = 0;
   size_t max_queue_depth = 0;
   /// Deliveries that arrived while the node was down (silently dropped).
   uint64_t messages_dropped_dead = 0;

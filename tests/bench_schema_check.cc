@@ -1,0 +1,198 @@
+// Validates a BENCH_*.json telemetry artifact against the checked-in shape
+// contract (tests/bench_schema.json). Used by the tier-1 bench smoke tests:
+// every bench/e* binary must emit an artifact that passes this checker.
+//
+// Usage: bench_schema_check <schema.json> <artifact.json>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace bistream {
+namespace {
+
+int g_errors = 0;
+
+void Fail(const std::string& message) {
+  std::fprintf(stderr, "SCHEMA VIOLATION: %s\n", message.c_str());
+  ++g_errors;
+}
+
+std::vector<std::string> RequiredKeys(const JsonValue& schema,
+                                      const std::string& field) {
+  std::vector<std::string> keys;
+  const JsonValue* list = schema.Find(field);
+  if (list == nullptr || !list->is_array()) {
+    Fail("schema itself is missing list '" + field + "'");
+    return keys;
+  }
+  for (const JsonValue& key : list->elements()) keys.push_back(key.AsString());
+  return keys;
+}
+
+/// Checks `object` has every key in `required`; `where` labels the message.
+void CheckRequired(const JsonValue* object,
+                   const std::vector<std::string>& required,
+                   const std::string& where) {
+  if (object == nullptr || !object->is_object()) {
+    Fail(where + " is missing or not an object");
+    return;
+  }
+  for (const std::string& key : required) {
+    if (object->Find(key) == nullptr) {
+      Fail(where + " lacks required key '" + key + "'");
+    }
+  }
+}
+
+/// Every metric column must have exactly one value per sampled timestamp.
+void CheckSeries(const JsonValue* series, const std::string& where) {
+  if (series == nullptr) return;  // Absence already reported.
+  const JsonValue* timestamps = series->Find("timestamps_ns");
+  const JsonValue* metrics = series->Find("metrics");
+  if (timestamps == nullptr || !timestamps->is_array() || metrics == nullptr ||
+      !metrics->is_object()) {
+    return;  // Key absence already reported by CheckRequired.
+  }
+  for (const auto& [name, column] : metrics->members()) {
+    if (!column.is_array() || column.size() != timestamps->size()) {
+      Fail(where + " metric '" + name + "' has " + std::to_string(column.size()) +
+           " values for " + std::to_string(timestamps->size()) + " timestamps");
+    }
+  }
+}
+
+/// When spans were traced, queueing + ordering must account for end-to-end
+/// latency to within 5% — results emit at the ordering-buffer release
+/// instant, so this holds structurally (see trace.h). The probe component
+/// is charged virtual work reported alongside; it is a deliberate overcount
+/// and can be large when a bench inflates probe cost (E8), so it is only
+/// required to be non-negative here. E4's stronger property (all three
+/// components summing within 5%) is asserted by tests/obs/telemetry_test.cc.
+void CheckBreakdown(const JsonValue* breakdown, const std::string& where) {
+  if (breakdown == nullptr) return;
+  const JsonValue* spans = breakdown->Find("spans");
+  const JsonValue* total = breakdown->Find("mean_total_ns");
+  const JsonValue* queue = breakdown->Find("mean_queue_ns");
+  const JsonValue* order = breakdown->Find("mean_order_ns");
+  const JsonValue* probe = breakdown->Find("mean_probe_ns");
+  if (spans == nullptr || total == nullptr || queue == nullptr ||
+      order == nullptr) {
+    return;  // Key absence already reported by CheckRequired.
+  }
+  if (spans->AsNumber() <= 0 || total->AsNumber() <= 0) return;
+  double sum = queue->AsNumber() + order->AsNumber();
+  double error = std::fabs(sum - total->AsNumber()) / total->AsNumber();
+  if (error > 0.05) {
+    Fail(where + " queue + order components sum to " + std::to_string(sum) +
+         " vs total " + std::to_string(total->AsNumber()) + " (" +
+         std::to_string(error * 100) + "% off, limit 5%)");
+  }
+  if (probe != nullptr && probe->AsNumber() < 0) {
+    Fail(where + " mean_probe_ns is negative");
+  }
+}
+
+int Run(const std::string& schema_path, const std::string& artifact_path) {
+  Result<JsonValue> schema_result = ReadJsonFile(schema_path);
+  if (!schema_result.ok()) {
+    Fail("cannot read schema: " + schema_result.status().message());
+    return 1;
+  }
+  Result<JsonValue> artifact_result = ReadJsonFile(artifact_path);
+  if (!artifact_result.ok()) {
+    Fail("cannot read artifact: " + artifact_result.status().message());
+    return 1;
+  }
+  const JsonValue& schema = *schema_result;
+  const JsonValue& artifact = *artifact_result;
+
+  CheckRequired(&artifact, RequiredKeys(schema, "file_required"), "artifact");
+
+  const JsonValue* runs = artifact.Find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    Fail("artifact 'runs' is missing or not an array");
+    return 1;
+  }
+  double min_runs = 1;
+  if (const JsonValue* v = schema.Find("min_runs")) min_runs = v->AsNumber();
+  if (static_cast<double>(runs->size()) < min_runs) {
+    Fail("artifact has " + std::to_string(runs->size()) +
+         " runs, schema requires at least " + std::to_string(min_runs));
+  }
+
+  std::vector<std::string> run_required = RequiredKeys(schema, "run_required");
+  std::vector<std::string> report_required =
+      RequiredKeys(schema, "report_required");
+  std::vector<std::string> engine_required =
+      RequiredKeys(schema, "engine_required");
+  std::vector<std::string> latency_required =
+      RequiredKeys(schema, "latency_required");
+  std::vector<std::string> series_required =
+      RequiredKeys(schema, "series_required");
+  std::vector<std::string> breakdown_required =
+      RequiredKeys(schema, "breakdown_required");
+
+  size_t runs_with_series = 0;
+  for (size_t i = 0; i < runs->size(); ++i) {
+    std::string where = "runs[" + std::to_string(i) + "]";
+    const JsonValue& run = runs->at(i);
+    CheckRequired(&run, run_required, where);
+    const JsonValue* report = run.Find("report");
+    if (report == nullptr) continue;
+    CheckRequired(report, report_required, where + ".report");
+    CheckRequired(report->Find("engine"), engine_required,
+                  where + ".report.engine");
+    CheckRequired(report->Find("latency"), latency_required,
+                  where + ".report.latency");
+    CheckRequired(report->Find("series"), series_required,
+                  where + ".report.series");
+    CheckRequired(report->Find("breakdown"), breakdown_required,
+                  where + ".report.breakdown");
+    CheckSeries(report->Find("series"), where + ".report.series");
+    CheckBreakdown(report->Find("breakdown"), where + ".report.breakdown");
+
+    const JsonValue* series = report->Find("series");
+    if (series != nullptr) {
+      const JsonValue* timestamps = series->Find("timestamps_ns");
+      if (timestamps != nullptr && timestamps->is_array() &&
+          timestamps->size() > 0) {
+        ++runs_with_series;
+      }
+    }
+  }
+
+  double min_with_series = 0;
+  if (const JsonValue* v = schema.Find("min_runs_with_series")) {
+    min_with_series = v->AsNumber();
+  }
+  if (static_cast<double>(runs_with_series) < min_with_series) {
+    Fail("only " + std::to_string(runs_with_series) +
+         " runs carry a non-empty time series, schema requires " +
+         std::to_string(min_with_series));
+  }
+
+  if (g_errors == 0) {
+    std::printf("OK: %s conforms to %s (%zu runs, %zu with series)\n",
+                artifact_path.c_str(), schema_path.c_str(), runs->size(),
+                runs_with_series);
+    return 0;
+  }
+  std::fprintf(stderr, "%d schema violation(s) in %s\n", g_errors,
+               artifact_path.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace bistream
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <schema.json> <artifact.json>\n", argv[0]);
+    return 2;
+  }
+  return bistream::Run(argv[1], argv[2]);
+}

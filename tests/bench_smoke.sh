@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 bench smoke: run one bench binary with tiny parameters, then
+# validate the BENCH_*.json telemetry artifact it emits against the
+# checked-in schema. Usage:
+#   bench_smoke.sh <bench_binary> <schema.json> <bench_schema_check> [args...]
+set -eu
+
+bench="$1"
+schema="$2"
+checker="$3"
+shift 3
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+artifact="$workdir/artifact.json"
+"$bench" --json_out="$artifact" "$@" > "$workdir/stdout.txt" 2>&1 || {
+  echo "bench binary failed; output follows:" >&2
+  cat "$workdir/stdout.txt" >&2
+  exit 1
+}
+
+if [ ! -s "$artifact" ]; then
+  echo "bench binary exited cleanly but wrote no artifact at $artifact" >&2
+  cat "$workdir/stdout.txt" >&2
+  exit 1
+fi
+
+exec "$checker" "$schema" "$artifact"

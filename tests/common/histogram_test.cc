@@ -110,5 +110,63 @@ TEST(HistogramTest, SummaryMentionsCount) {
   EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
 }
 
+TEST(HistogramTest, QuantileEdgeCasesAreExact) {
+  Histogram h;
+  // Empty: every quantile is 0, including the endpoints.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 0u);
+  h.Record(100);
+  h.Record(100000);
+  h.Record(977);
+  // q <= 0 is exactly min and q >= 1 exactly max — no bucket rounding at
+  // the endpoints, even with out-of-range q.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 100u);
+  EXPECT_EQ(h.ValueAtQuantile(-0.5), 100u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 100000u);
+  EXPECT_EQ(h.ValueAtQuantile(2.0), 100000u);
+}
+
+TEST(HistogramTest, SnapshotIsImmutablePointInTime) {
+  Histogram h;
+  h.Record(10);
+  h.Record(30);
+  Histogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.min, 10u);
+  EXPECT_EQ(snap.max, 30u);
+  EXPECT_DOUBLE_EQ(snap.mean, 20.0);
+  // The source keeps recording; the snapshot must not move.
+  h.Record(1000000);
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.max, 30u);
+  EXPECT_EQ(h.TakeSnapshot().count, 3u);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram::Snapshot snap = Histogram().TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.mean, 0.0);
+  EXPECT_EQ(snap.stddev, 0.0);
+  EXPECT_EQ(snap.p99, 0u);
+}
+
+TEST(HistogramTest, MergeTracksMinMaxAcrossEmptySides) {
+  Histogram empty, full;
+  full.Record(5);
+  full.Record(500);
+  // Merging into an empty histogram adopts the other's extremes.
+  empty.Merge(full);
+  EXPECT_EQ(empty.min(), 5u);
+  EXPECT_EQ(empty.max(), 500u);
+  // Merging an empty histogram must not disturb existing extremes.
+  Histogram none;
+  full.Merge(none);
+  EXPECT_EQ(full.count(), 2u);
+  EXPECT_EQ(full.min(), 5u);
+  EXPECT_EQ(full.max(), 500u);
+}
+
 }  // namespace
 }  // namespace bistream

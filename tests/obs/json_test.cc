@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+
+namespace bistream {
+namespace {
+
+TEST(JsonValueTest, BuildAndInspect) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::String("e4"));
+  obj.Set("runs", JsonValue::Number(uint64_t{3}));
+  obj.Set("ok", JsonValue::Bool(true));
+  obj.Set("missing", JsonValue::Null());
+  JsonValue arr = JsonValue::Array();
+  arr.Push(JsonValue::Number(1.5));
+  arr.Push(JsonValue::Number(-2));
+  obj.Set("xs", std::move(arr));
+
+  EXPECT_TRUE(obj.is_object());
+  EXPECT_EQ(obj.size(), 5u);
+  ASSERT_NE(obj.Find("name"), nullptr);
+  EXPECT_EQ(obj.Find("name")->AsString(), "e4");
+  EXPECT_DOUBLE_EQ(obj.Find("runs")->AsNumber(), 3);
+  EXPECT_TRUE(obj.Find("ok")->AsBool());
+  EXPECT_TRUE(obj.Find("missing")->is_null());
+  EXPECT_EQ(obj.Find("absent"), nullptr);
+  ASSERT_EQ(obj.Find("xs")->size(), 2u);
+  EXPECT_DOUBLE_EQ(obj.Find("xs")->at(1).AsNumber(), -2);
+}
+
+TEST(JsonValueTest, SetReplacesExistingKeyKeepingOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("a", JsonValue::Number(1));
+  obj.Set("b", JsonValue::Number(2));
+  obj.Set("a", JsonValue::Number(9));
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_DOUBLE_EQ(obj.Find("a")->AsNumber(), 9);
+  // Insertion order preserved: "a" still first.
+  EXPECT_EQ(obj.members()[0].first, "a");
+}
+
+TEST(JsonValueTest, NullPromotesToContainerOnFirstMutation) {
+  JsonValue v;
+  v.Push(JsonValue::Number(1));
+  EXPECT_TRUE(v.is_array());
+  JsonValue w;
+  w.Set("k", JsonValue::Bool(false));
+  EXPECT_TRUE(w.is_object());
+}
+
+TEST(JsonValueTest, DumpParseRoundTrip) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("str", JsonValue::String("with \"quotes\", \\ and\nnewline\ttab"));
+  obj.Set("neg", JsonValue::Number(-0.125));
+  obj.Set("big", JsonValue::Number(uint64_t{1} << 40));
+  obj.Set("flag", JsonValue::Bool(false));
+  obj.Set("none", JsonValue::Null());
+  JsonValue inner = JsonValue::Array();
+  inner.Push(JsonValue::String(""));
+  inner.Push(JsonValue::Object());
+  obj.Set("arr", std::move(inner));
+
+  for (int indent : {0, 2}) {
+    Result<JsonValue> parsed = JsonValue::Parse(obj.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    const JsonValue& back = *parsed;
+    EXPECT_EQ(back.Find("str")->AsString(),
+              "with \"quotes\", \\ and\nnewline\ttab");
+    EXPECT_DOUBLE_EQ(back.Find("neg")->AsNumber(), -0.125);
+    EXPECT_DOUBLE_EQ(back.Find("big")->AsNumber(),
+                     static_cast<double>(uint64_t{1} << 40));
+    EXPECT_FALSE(back.Find("flag")->AsBool());
+    EXPECT_TRUE(back.Find("none")->is_null());
+    EXPECT_EQ(back.Find("arr")->at(0).AsString(), "");
+    EXPECT_TRUE(back.Find("arr")->at(1).is_object());
+  }
+}
+
+TEST(JsonValueTest, ParseAcceptsWhitespaceAndNested) {
+  Result<JsonValue> parsed = JsonValue::Parse(
+      " { \"a\" : [ 1 , 2.5e1 , { \"b\" : null } ] , \"c\" : true } ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->Find("a")->at(1).AsNumber(), 25.0);
+  EXPECT_TRUE(parsed->Find("a")->at(2).Find("b")->is_null());
+}
+
+TEST(JsonValueTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("{'a':1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+}
+
+TEST(JsonFileTest, WriteReadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/json_test_artifact.json";
+  JsonValue obj = JsonValue::Object();
+  obj.Set("experiment", JsonValue::String("unit"));
+  obj.Set("runs", JsonValue::Array());
+  ASSERT_TRUE(WriteJsonFile(path, obj).ok());
+  Result<JsonValue> back = ReadJsonFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Find("experiment")->AsString(), "unit");
+  EXPECT_TRUE(back->Find("runs")->is_array());
+  std::remove(path.c_str());
+}
+
+TEST(JsonFileTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadJsonFile("/nonexistent/dir/nope.json").ok());
+}
+
+}  // namespace
+}  // namespace bistream

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/time_series.h"
+#include "sim/event_loop.h"
+
+namespace bistream {
+namespace {
+
+TEST(MetricsRegistryTest, ScopedNameFormat) {
+  EXPECT_EQ(MetricsRegistry::ScopedName("joiner", 3, "probes"),
+            "joiner.3.probes");
+  EXPECT_EQ(MetricsRegistry::ScopedName("router", 0, "busy_ns"),
+            "router.0.busy_ns");
+}
+
+TEST(MetricsRegistryTest, CountersHaveStableAddresses) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("engine.results");
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(registry.GetCounter("engine.results"), c);
+  EXPECT_EQ(registry.ReadCounter("engine.results"), 42u);
+  EXPECT_FALSE(registry.ReadCounter("engine.absent").has_value());
+  EXPECT_EQ(registry.counter_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, GaugeLifecycle) {
+  MetricsRegistry registry;
+  double state = 7;
+  registry.RegisterGauge("joiner.0.state_bytes", [&state] { return state; });
+  EXPECT_EQ(registry.ReadGauge("joiner.0.state_bytes"), 7.0);
+  state = 11;
+  EXPECT_EQ(registry.ReadGauge("joiner.0.state_bytes"), 11.0);
+
+  // Re-registration replaces (unit recovery re-wires its gauges).
+  registry.RegisterGauge("joiner.0.state_bytes", [] { return 99.0; });
+  EXPECT_EQ(registry.ReadGauge("joiner.0.state_bytes"), 99.0);
+  EXPECT_EQ(registry.gauge_count(), 1u);
+
+  registry.UnregisterGauge("joiner.0.state_bytes");
+  EXPECT_FALSE(registry.ReadGauge("joiner.0.state_bytes").has_value());
+}
+
+TEST(MetricsRegistryTest, UnregisterByPrefix) {
+  MetricsRegistry registry;
+  registry.RegisterGauge("joiner.1.busy_ns", [] { return 1.0; });
+  registry.RegisterGauge("joiner.1.state_bytes", [] { return 2.0; });
+  registry.RegisterGauge("joiner.10.busy_ns", [] { return 3.0; });
+  registry.UnregisterGaugesWithPrefix("joiner.1.");
+  EXPECT_FALSE(registry.ReadGauge("joiner.1.busy_ns").has_value());
+  EXPECT_FALSE(registry.ReadGauge("joiner.1.state_bytes").has_value());
+  // "joiner.10." does not match the "joiner.1." prefix.
+  EXPECT_TRUE(registry.ReadGauge("joiner.10.busy_ns").has_value());
+}
+
+TEST(MetricsRegistryTest, SampleMergesCountersAndGaugesSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.count")->Increment(2);
+  registry.RegisterGauge("a.gauge", [] { return 1.5; });
+  registry.GetCounter("c.count")->Increment(3);
+  std::vector<std::pair<std::string, double>> sample = registry.Sample();
+  ASSERT_EQ(sample.size(), 3u);
+  EXPECT_EQ(sample[0].first, "a.gauge");
+  EXPECT_EQ(sample[1].first, "b.count");
+  EXPECT_EQ(sample[2].first, "c.count");
+  EXPECT_DOUBLE_EQ(sample[0].second, 1.5);
+  EXPECT_DOUBLE_EQ(sample[1].second, 2.0);
+}
+
+TEST(MetricsRegistryTest, TimersSnapshot) {
+  MetricsRegistry registry;
+  Histogram* t = registry.GetTimer("joiner.0.probe_ns");
+  t->Record(100);
+  t->Record(300);
+  auto timers = registry.SampleTimers();
+  ASSERT_EQ(timers.size(), 1u);
+  EXPECT_EQ(timers[0].first, "joiner.0.probe_ns");
+  EXPECT_EQ(timers[0].second.count, 2u);
+  EXPECT_EQ(timers[0].second.min, 100u);
+  EXPECT_EQ(timers[0].second.max, 300u);
+}
+
+TEST(TimeSeriesTest, BackfillsNewColumnsAndPadsMissing) {
+  TimeSeries series;
+  series.Append(10, {{"a", 1.0}});
+  // "b" appears at the second sample: its column is backfilled with a zero
+  // for the first timestamp.
+  series.Append(20, {{"a", 2.0}, {"b", 5.0}});
+  // "b" vanishes (unit retired): padded with its last value.
+  series.Append(30, {{"a", 3.0}});
+
+  EXPECT_EQ(series.size(), 3u);
+  const std::vector<double>* a = series.Column("a");
+  const std::vector<double>* b = series.Column("b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*a, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(*b, (std::vector<double>{0.0, 5.0, 5.0}));
+  EXPECT_EQ(series.Column("absent"), nullptr);
+
+  JsonValue json = series.ToJson();
+  EXPECT_EQ(json.Find("timestamps_ns")->size(), 3u);
+  EXPECT_EQ(json.Find("metrics")->Find("b")->size(), 3u);
+}
+
+TEST(TelemetrySamplerTest, SamplesAtPeriodUntilStopped) {
+  EventLoop loop;
+  MetricsRegistry registry;
+  Counter* ticks = registry.GetCounter("engine.ticks");
+  TelemetrySamplerOptions options;
+  options.sample_period = 100;
+  TelemetrySampler sampler(&loop, &registry, options);
+
+  bool stopped = false;
+  sampler.Start([&stopped] { return stopped; });
+  // Stop the world at t = 450: samples at 100..400 plus the final one.
+  loop.ScheduleAt(450, [&] {
+    ticks->Increment(9);
+    stopped = true;
+  });
+  loop.RunUntilIdle();
+
+  const TimeSeries& series = sampler.series();
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_EQ(series.timestamps().back(), 500u);
+  EXPECT_EQ(series.Column("engine.ticks")->back(), 9.0);
+}
+
+TEST(TelemetrySamplerTest, DerivesBusyFractionFromCumulativeGauge) {
+  EventLoop loop;
+  MetricsRegistry registry;
+  // Cumulative busy_ns grows at 50%: busy = now / 2.
+  registry.RegisterGauge("joiner.0.busy_ns",
+                         [&loop] { return static_cast<double>(loop.now()) / 2; });
+  TelemetrySamplerOptions options;
+  options.sample_period = 1000;
+  TelemetrySampler sampler(&loop, &registry, options);
+  bool stopped = false;
+  sampler.Start([&stopped] { return stopped; });
+  loop.ScheduleAt(3500, [&stopped] { stopped = true; });
+  loop.RunUntilIdle();
+
+  const std::vector<double>* fraction =
+      sampler.series().Column("joiner.0.busy_fraction");
+  ASSERT_NE(fraction, nullptr);
+  for (double f : *fraction) EXPECT_NEAR(f, 0.5, 1e-9);
+}
+
+TEST(TelemetrySamplerTest, PeriodZeroDisables) {
+  EventLoop loop;
+  MetricsRegistry registry;
+  TelemetrySampler sampler(&loop, &registry, {});
+  sampler.Start([] { return false; });
+  EXPECT_FALSE(sampler.active());
+  loop.RunUntilIdle();
+  EXPECT_TRUE(sampler.series().empty());
+  // Manual sampling still works with period 0.
+  sampler.SampleNow();
+  EXPECT_EQ(sampler.series().size(), 1u);
+}
+
+}  // namespace
+}  // namespace bistream

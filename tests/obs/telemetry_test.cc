@@ -1,0 +1,162 @@
+// End-to-end tests of the telemetry subsystem riding a real simulated run:
+// deterministic trace sampling, series cadence, zero-perturbation, and the
+// latency-breakdown sum property the E4 artifact relies on.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+#include "obs/trace.h"
+
+namespace bistream {
+namespace {
+
+BicliqueOptions SmallEngine() {
+  BicliqueOptions options;
+  options.num_routers = 2;
+  options.joiners_r = 2;
+  options.joiners_s = 2;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 250 * kEventMilli;
+  return options;
+}
+
+SyntheticWorkloadOptions SmallWorkload(uint64_t total_tuples) {
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 200;
+  workload.rate_r = RateSchedule::Constant(1000);
+  workload.rate_s = RateSchedule::Constant(1000);
+  workload.total_tuples = total_tuples;
+  workload.seed = 977;
+  return workload;
+}
+
+TEST(TupleTracerTest, SamplesEveryNthIngress) {
+  TupleTracer tracer(/*trace_every=*/4);
+  Tuple t;
+  int traced = 0;
+  for (uint64_t i = 0; i < 10; ++i) {
+    t.relation = kRelationR;
+    t.id = i;
+    if (tracer.OnIngress(t, /*now=*/i) != nullptr) ++traced;
+  }
+  // 10 ingress tuples at 1-in-4: tuples 0, 4, 8.
+  EXPECT_EQ(traced, 3);
+  EXPECT_EQ(tracer.ingress_seen(), 10u);
+  EXPECT_NE(tracer.Find(kRelationR, 0), nullptr);
+  EXPECT_EQ(tracer.Find(kRelationR, 1), nullptr);
+}
+
+TEST(TupleTracerTest, HopTimestampsAreSetIfZero) {
+  TupleTracer tracer(/*trace_every=*/1);
+  Tuple t;
+  t.relation = kRelationS;
+  t.id = 7;
+  TraceSpan* span = tracer.OnIngress(t, 100);
+  ASSERT_NE(span, nullptr);
+  tracer.OnJoinArrival(kRelationS, 7, 250);
+  tracer.OnJoinArrival(kRelationS, 7, 999);  // Replay echo: must not rewrite.
+  EXPECT_EQ(span->join_arrival, 250u);
+  tracer.OnRelease(kRelationS, 7, 300);
+  tracer.OnRelease(kRelationS, 7, 999);
+  EXPECT_EQ(span->released, 300u);
+  // Untraced relation/id pair: all recorders are no-ops.
+  tracer.OnProbe(kRelationR, 7, 5, 2, 10, 400);
+  EXPECT_EQ(span->results, 0u);
+}
+
+TEST(TupleTracerTest, DisabledTracerTracesNothing) {
+  TupleTracer tracer(/*trace_every=*/0);
+  EXPECT_FALSE(tracer.enabled());
+  Tuple t;
+  EXPECT_EQ(tracer.OnIngress(t, 1), nullptr);
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(TelemetryIntegrationTest, SpanCountIsDeterministic) {
+  constexpr uint64_t kTuples = 4000;
+  constexpr uint64_t kEvery = 16;
+  BicliqueOptions options = SmallEngine();
+  options.telemetry.trace_every = kEvery;
+  RunReport report = RunBicliqueWorkload(options, SmallWorkload(kTuples));
+  // 1-in-16 of a fixed-size injection: exactly ceil(4000/16) spans, run
+  // after run (sampling is by ingress ordinal, not by randomness).
+  EXPECT_EQ(report.trace_spans, (kTuples + kEvery - 1) / kEvery);
+
+  RunReport again = RunBicliqueWorkload(options, SmallWorkload(kTuples));
+  EXPECT_EQ(again.trace_spans, report.trace_spans);
+  EXPECT_EQ(again.breakdown.spans, report.breakdown.spans);
+  EXPECT_DOUBLE_EQ(again.breakdown.mean_total_ns,
+                   report.breakdown.mean_total_ns);
+}
+
+TEST(TelemetryIntegrationTest, SeriesLengthMatchesMakespanOverPeriod) {
+  BicliqueOptions options = SmallEngine();
+  options.telemetry.sample_period = 50 * kMillisecond;
+  RunReport report = RunBicliqueWorkload(options, SmallWorkload(4000));
+  ASSERT_GT(report.engine.makespan_ns, 0u);
+  // One sample per period over the makespan, plus the final drain sample;
+  // allow one tick of slack at each end.
+  double expected = static_cast<double>(report.engine.makespan_ns) /
+                    static_cast<double>(options.telemetry.sample_period);
+  EXPECT_GE(report.series.size(), static_cast<size_t>(expected) - 1);
+  EXPECT_LE(report.series.size(), static_cast<size_t>(expected) + 2);
+  // Sampled counters must agree with the final aggregate at the last row.
+  const std::vector<double>* results = report.series.Column("engine.results");
+  ASSERT_NE(results, nullptr);
+  EXPECT_EQ(results->back(), static_cast<double>(report.results));
+}
+
+TEST(TelemetryIntegrationTest, TracingDoesNotPerturbTheRun) {
+  BicliqueOptions plain = SmallEngine();
+  RunReport untraced = RunBicliqueWorkload(plain, SmallWorkload(3000));
+
+  BicliqueOptions traced_opts = SmallEngine();
+  traced_opts.telemetry.trace_every = 1;  // Trace every single tuple.
+  traced_opts.telemetry.sample_period = 10 * kMillisecond;
+  RunReport traced = RunBicliqueWorkload(traced_opts, SmallWorkload(3000));
+
+  // Telemetry charges zero virtual cost: results, makespan, message and
+  // byte counts are bit-identical with tracing at full rate.
+  EXPECT_EQ(traced.results, untraced.results);
+  EXPECT_EQ(traced.engine.makespan_ns, untraced.engine.makespan_ns);
+  EXPECT_EQ(traced.engine.messages, untraced.engine.messages);
+  EXPECT_EQ(traced.engine.bytes, untraced.engine.bytes);
+  EXPECT_EQ(traced.engine.probes, untraced.engine.probes);
+  EXPECT_EQ(traced.trace_spans, 3000u);
+}
+
+TEST(TelemetryIntegrationTest, BreakdownComponentsSumToTotal) {
+  BicliqueOptions options = SmallEngine();
+  options.telemetry.trace_every = 4;
+  RunReport report = RunBicliqueWorkload(options, SmallWorkload(6000));
+  const LatencyBreakdown& b = report.breakdown;
+  ASSERT_GT(b.spans, 0u);
+  ASSERT_GT(b.mean_total_ns, 0.0);
+  // The E4 acceptance property: queueing + ordering + probe within 5% of
+  // end-to-end (probe cost is the only overcount; see trace.h).
+  double sum = b.mean_queue_ns + b.mean_order_ns + b.mean_probe_ns;
+  EXPECT_NEAR(sum / b.mean_total_ns, 1.0, 0.05);
+  // With the ordering protocol on, the ordering component is a real,
+  // nonzero share (the buffer holds tuples up to a punctuation round).
+  EXPECT_GT(b.mean_order_ns, 0.0);
+}
+
+TEST(TelemetryIntegrationTest, ReportToJsonCarriesTelemetry) {
+  BicliqueOptions options = SmallEngine();
+  options.telemetry.trace_every = 8;
+  options.telemetry.sample_period = 50 * kMillisecond;
+  RunReport report = RunBicliqueWorkload(options, SmallWorkload(2000));
+  JsonValue json = report.ToJson();
+  ASSERT_NE(json.Find("engine"), nullptr);
+  ASSERT_NE(json.Find("latency"), nullptr);
+  ASSERT_NE(json.Find("series"), nullptr);
+  ASSERT_NE(json.Find("breakdown"), nullptr);
+  EXPECT_GT(json.Find("series")->Find("timestamps_ns")->size(), 0u);
+  EXPECT_DOUBLE_EQ(json.Find("trace_spans")->AsNumber(),
+                   static_cast<double>(report.trace_spans));
+  EXPECT_DOUBLE_EQ(json.Find("sample_period_ns")->AsNumber(),
+                   static_cast<double>(options.telemetry.sample_period));
+}
+
+}  // namespace
+}  // namespace bistream
