@@ -126,6 +126,10 @@ inline void ApplyCostFlags(const Config& config, CostModel* cost) {
   cost->probe_candidate_ns = static_cast<SimTime>(
       config.GetInt("cost_probe_ns",
                     static_cast<int64_t>(cost->probe_candidate_ns)));
+  cost->probe_fixed_ns = static_cast<SimTime>(config.GetInt(
+      "cost_probe_fixed_ns", static_cast<int64_t>(cost->probe_fixed_ns)));
+  cost->emit_result_ns = static_cast<SimTime>(config.GetInt(
+      "cost_emit_ns", static_cast<int64_t>(cost->emit_result_ns)));
   cost->insert_ns = static_cast<SimTime>(
       config.GetInt("cost_insert_ns", static_cast<int64_t>(cost->insert_ns)));
   cost->message_fixed_ns = static_cast<SimTime>(config.GetInt(

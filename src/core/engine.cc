@@ -89,6 +89,42 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
       std::make_unique<TelemetrySampler>(loop_, &metrics_, sampler_options);
   RegisterEngineGauges();
 
+  if (options_.telemetry.diagnostics) {
+    DiagnoserOptions diag_options;
+    diag_options.detectors = options_.telemetry.detectors;
+    diag_options.strict_audit = options_.telemetry.strict_audit;
+    // Theorem-1 bound for the window audit. Full-history runs never expire,
+    // so there is no lag to bound.
+    diag_options.max_expiry_lag_us =
+        options_.window >= kFullHistoryWindow
+            ? 0.0
+            : static_cast<double>(options_.window + EffectiveExpirySlack());
+    diagnoser_ = std::make_unique<Diagnoser>(
+        &metrics_, diag_options, [this] {
+          std::vector<UnitMeta> units;
+          for (const UnitRecord& u : topology_.units()) {
+            UnitMeta meta;
+            meta.id = u.id;
+            meta.relation = u.relation;
+            meta.subgroup = u.subgroup;
+            meta.active = u.state == UnitState::kActive;
+            meta.live = u.state == UnitState::kActive ||
+                        u.state == UnitState::kDraining;
+            units.push_back(meta);
+          }
+          return units;
+        });
+    sampler_->SetSampleObserver([this](SimTime now, const SampleRow& row) {
+      diagnoser_->OnSample(now, row);
+    });
+  }
+  // Each sample window opens a fresh queue high-watermark on every node
+  // (routers included) — the queue_hwm gauges are per-window by contract,
+  // whether or not the diagnoser consumes them.
+  sampler_->SetPostSampleHook([this] {
+    for (const auto& node : net_.nodes()) node->ResetWindowQueueHwm();
+  });
+
   channels_.resize(options_.num_routers);
 
   // Routers (and their ingestion channels from the source edge).
@@ -127,6 +163,38 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
     });
     metrics_.RegisterGauge(scope + "busy_ns", [node] {
       return static_cast<double>(node->stats().busy_ns);
+    });
+    // Stage decomposition (the SimNode's per-event-type split) plus the
+    // protocol/queue state the diagnosis layer reads.
+    metrics_.RegisterGauge(scope + "busy_tuple_ns", [node] {
+      return static_cast<double>(node->stats().busy_tuple_ns);
+    });
+    metrics_.RegisterGauge(scope + "busy_punct_ns", [node] {
+      return static_cast<double>(node->stats().busy_punctuation_ns);
+    });
+    metrics_.RegisterGauge(scope + "busy_batch_ns", [node] {
+      return static_cast<double>(node->stats().busy_batch_ns);
+    });
+    metrics_.RegisterGauge(scope + "busy_control_ns", [node] {
+      return static_cast<double>(node->stats().busy_control_ns);
+    });
+    metrics_.RegisterGauge(scope + "round", [router_ptr] {
+      return static_cast<double>(router_ptr->current_round());
+    });
+    metrics_.RegisterGauge(scope + "replayed", [router_ptr] {
+      return static_cast<double>(router_ptr->stats().replayed_messages);
+    });
+    metrics_.RegisterGauge(scope + "dropped_after_stop", [router_ptr] {
+      return static_cast<double>(router_ptr->stats().dropped_after_stop);
+    });
+    metrics_.RegisterGauge(scope + "queue_depth", [node] {
+      return static_cast<double>(node->queue_depth());
+    });
+    metrics_.RegisterGauge(scope + "queue_hwm", [node] {
+      return static_cast<double>(node->window_queue_hwm());
+    });
+    metrics_.RegisterGauge(scope + "queue_peak", [node] {
+      return static_cast<double>(node->stats().max_queue_depth);
     });
   }
 
@@ -226,6 +294,56 @@ void BicliqueEngine::RegisterJoinerGauges(uint32_t unit_id, Joiner* joiner,
   metrics_.RegisterGauge(scope + "last_progress_ns", [joiner] {
     return static_cast<double>(joiner->last_progress_time());
   });
+  // Per-stage decomposition (exactly partitions this unit's busy_ns; the
+  // sampler derives a windowed `busy_*_fraction` from each).
+  metrics_.RegisterGauge(scope + "busy_store_ns", [joiner] {
+    return static_cast<double>(joiner->stats().busy_store_ns);
+  });
+  metrics_.RegisterGauge(scope + "busy_probe_ns", [joiner] {
+    return static_cast<double>(joiner->stats().busy_probe_ns);
+  });
+  metrics_.RegisterGauge(scope + "busy_expire_ns", [joiner] {
+    return static_cast<double>(joiner->stats().busy_expire_ns);
+  });
+  metrics_.RegisterGauge(scope + "busy_punct_ns", [joiner] {
+    return static_cast<double>(joiner->stats().busy_punct_ns);
+  });
+  metrics_.RegisterGauge(scope + "busy_replay_ns", [joiner] {
+    return static_cast<double>(joiner->stats().busy_replay_ns);
+  });
+  metrics_.RegisterGauge(scope + "busy_msg_ns", [joiner] {
+    return static_cast<double>(joiner->stats().busy_msg_ns);
+  });
+  // Queue pressure: sample-instant depth, per-window high-watermark, and
+  // the run-global peak; the protocol/window invariants the auditor reads.
+  metrics_.RegisterGauge(scope + "queue_hwm", [node] {
+    return static_cast<double>(node->window_queue_hwm());
+  });
+  metrics_.RegisterGauge(scope + "queue_peak", [node] {
+    return static_cast<double>(node->stats().max_queue_depth);
+  });
+  metrics_.RegisterGauge(scope + "release_round", [joiner] {
+    return static_cast<double>(joiner->release_round());
+  });
+  metrics_.RegisterGauge(scope + "expiry_lag_us", [joiner] {
+    return static_cast<double>(joiner->expiry_lag());
+  });
+}
+
+EventTime BicliqueEngine::EffectiveExpirySlack() const {
+  // Theorem-1 expiry assumes probes arrive in near-timestamp order, but the
+  // engine itself disorders processing by up to ~a punctuation round (round
+  // release is by (seq, router), not ts; source/router batching defers
+  // tuples by up to one round; channels add jitter). Retain sub-indexes for
+  // that bound beyond W so a slightly-older probe at the window edge never
+  // finds its match already discarded. This assumes event time tracks
+  // arrival time (true for the provided sources); applications with
+  // decoupled event time should set BicliqueOptions::expiry_slack to their
+  // own disorder bound.
+  EventTime disorder_bound = static_cast<EventTime>(
+      (3 * options_.punct_interval + options_.cost.net_jitter_ns) /
+      kMicrosecond);
+  return std::max(options_.expiry_slack, disorder_bound);
 }
 
 ChannelOptions BicliqueEngine::JoinerChannelOptions() const {
@@ -251,20 +369,7 @@ uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round,
       options_.index_kind.value_or(options_.predicate.RecommendedIndex());
   joiner_options.window = options_.window;
   joiner_options.archive_period = options_.archive_period;
-  // Theorem-1 expiry assumes probes arrive in near-timestamp order, but the
-  // engine itself disorders processing by up to ~a punctuation round (round
-  // release is by (seq, router), not ts; source/router batching defers
-  // tuples by up to one round; channels add jitter). Retain sub-indexes for
-  // that bound beyond W so a slightly-older probe at the window edge never
-  // finds its match already discarded. This assumes event time tracks
-  // arrival time (true for the provided sources); applications with
-  // decoupled event time should set BicliqueOptions::expiry_slack to their
-  // own disorder bound.
-  EventTime disorder_bound = static_cast<EventTime>(
-      (3 * options_.punct_interval + options_.cost.net_jitter_ns) /
-      kMicrosecond);
-  joiner_options.expiry_slack =
-      std::max(options_.expiry_slack, disorder_bound);
+  joiner_options.expiry_slack = EffectiveExpirySlack();
   joiner_options.cost = options_.cost;
   joiner_options.num_routers = options_.num_routers;
   joiner_options.start_round = start_round;
@@ -363,6 +468,7 @@ void BicliqueEngine::RunToCompletion(StreamSource* source) {
   }
   FlushAndStop();
   loop_->RunUntilIdle();
+  FinalizeDiagnostics();
 }
 
 uint64_t BicliqueEngine::NextActivationRound() const {
@@ -605,6 +711,27 @@ std::string BicliqueEngine::DescribeTopology() const {
     out += line;
   }
   return out;
+}
+
+void BicliqueEngine::FinalizeDiagnostics() {
+  if (diagnoser_ == nullptr || diagnoser_->finalized()) return;
+  EngineStats stats = Stats();
+  FinalCounters counters;
+  counters.input_tuples = stats.input_tuples;
+  for (const auto& router : routers_) {
+    counters.routed += router->stats().tuples_routed;
+    counters.dropped_after_stop += router->stats().dropped_after_stop;
+  }
+  counters.stored = stats.stored;
+  counters.replayed_messages = stats.replayed_messages;
+  counters.results = stats.results;
+  counters.suppressed_duplicates = stats.suppressed_duplicates;
+  counters.crashes = stats.crashes;
+  counters.messages_dropped = stats.messages_dropped;
+  counters.messages_dropped_dead = stats.messages_dropped_dead;
+  counters.messages_lost_on_crash = stats.messages_lost_on_crash;
+  counters.makespan_ns = stats.makespan_ns;
+  diagnoser_->Finalize(loop_->now(), counters);
 }
 
 EngineStats BicliqueEngine::Stats() const {

@@ -20,6 +20,7 @@
 #include "core/result_sink.h"
 #include "core/router.h"
 #include "core/topology.h"
+#include "obs/diagnose/diagnoser.h"
 #include "obs/metrics.h"
 #include "obs/time_series.h"
 #include "obs/trace.h"
@@ -91,6 +92,14 @@ struct BicliqueOptions {
     /// Deterministic tuple tracing: record a per-hop TraceSpan for every
     /// N-th injected tuple. 0 = tracing off.
     uint64_t trace_every = 0;
+    /// Diagnosis layer (profiler + detectors + invariant auditor). It rides
+    /// the sampler, so without a sample_period only the end-of-run audit
+    /// runs. Costs no virtual time either way.
+    bool diagnostics = true;
+    /// Detector thresholds (backpressure / skew / straggler).
+    DetectorOptions detectors;
+    /// Invariant violations abort instead of only logging kError (tests).
+    bool strict_audit = false;
   };
   TelemetryOptions telemetry;
 
@@ -248,6 +257,17 @@ class BicliqueEngine {
   /// \brief The per-tuple tracer (disabled unless telemetry.trace_every).
   const TupleTracer& tracer() const { return *tracer_; }
 
+  /// \brief The diagnosis layer (null when telemetry.diagnostics is off).
+  /// Online consumers: the autoscaler reads SmoothedBusyFraction, the
+  /// failure detector reads HeartbeatSilence, both falling back to their
+  /// own derivations when diagnosis is off.
+  Diagnoser* diagnoser() { return diagnoser_.get(); }
+  const Diagnoser* diagnoser() const { return diagnoser_.get(); }
+
+  /// \brief Runs the end-of-run invariant audit and freezes the profile.
+  /// Call after the loop drains; idempotent (harness and tests both call).
+  void FinalizeDiagnostics();
+
   /// \brief Latency decomposition over the finished trace spans.
   LatencyBreakdown ComputeLatencyBreakdown() const {
     return tracer_->ComputeBreakdown();
@@ -293,6 +313,10 @@ class BicliqueEngine {
   /// First round strictly after every router's current round.
   uint64_t NextActivationRound() const;
   ChannelOptions JoinerChannelOptions() const;
+  /// Effective Theorem-1 lateness allowance (µs): the configured
+  /// expiry_slack or the engine's own disorder bound, whichever is larger.
+  /// Shared by joiner construction and the auditor's window bound.
+  EventTime EffectiveExpirySlack() const;
   /// Registers the engine-scope callback gauges (once, at construction).
   void RegisterEngineGauges();
   /// Registers one unit's `joiner.<id>.*` callback gauges.
@@ -329,6 +353,7 @@ class BicliqueEngine {
   MetricsRegistry metrics_;
   std::unique_ptr<TupleTracer> tracer_;
   std::unique_ptr<TelemetrySampler> sampler_;
+  std::unique_ptr<Diagnoser> diagnoser_;
 };
 
 }  // namespace bistream

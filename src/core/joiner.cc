@@ -41,6 +41,7 @@ SimTime Joiner::Handle(const Message& msg) {
   switch (msg.kind) {
     case Message::Kind::kTuple: {
       SimTime cost = options_.cost.MessageCost(msg.WireBytes());
+      (msg.replayed ? stats_.busy_replay_ns : stats_.busy_msg_ns) += cost;
       TraceArrival(msg);
       if (!options_.ordered) {
         return cost + ProcessTuple(msg);
@@ -51,13 +52,18 @@ SimTime Joiner::Handle(const Message& msg) {
     case Message::Kind::kPunctuation: {
       SimTime cost = options_.cost.punctuation_ns;
       last_progress_time_ = loop_->now();
-      if (!options_.ordered) return cost;
+      if (!options_.ordered) {
+        stats_.busy_punct_ns += cost;
+        return cost;
+      }
       std::vector<Message> released;
       buffer_.AddPunctuation(msg, &released);
       for (const Message& m : released) {
         cost += ProcessTuple(m);
       }
-      cost += MaybeCheckpoint();
+      SimTime ckpt = MaybeCheckpoint();
+      stats_.busy_punct_ns += options_.cost.punctuation_ns + ckpt;
+      cost += ckpt;
       CheckCaughtUp();
       return cost;
     }
@@ -65,10 +71,12 @@ SimTime Joiner::Handle(const Message& msg) {
       // One framework-overhead charge for the whole batch; per-tuple work
       // still accrues (that is the batching win).
       SimTime cost = options_.cost.MessageCost(msg.WireBytes());
+      (msg.replayed ? stats_.busy_replay_ns : stats_.busy_msg_ns) += cost;
       for (const BatchEntry& entry : msg.batch) {
         Message unpacked = MakeTupleMessage(entry.tuple, entry.stream,
                                             msg.router_id, entry.seq,
                                             entry.round);
+        unpacked.replayed = msg.replayed;
         TraceArrival(unpacked);
         if (options_.ordered) {
           buffer_.AddTuple(std::move(unpacked));
@@ -81,6 +89,7 @@ SimTime Joiner::Handle(const Message& msg) {
     case Message::Kind::kControl:
       // Drain/retire are routing-side decisions; the joiner itself has no
       // state transition to make (its index simply ages out).
+      stats_.busy_msg_ns += options_.cost.punctuation_ns;
       return options_.cost.punctuation_ns;
   }
   return 0;
@@ -102,7 +111,7 @@ SimTime Joiner::ProcessTuple(const Message& msg) {
     BISTREAM_CHECK_EQ(msg.tuple.relation, options_.relation)
         << "store-stream tuple of the wrong relation reached unit "
         << options_.unit_id;
-    SimTime cost = StoreBranch(msg.tuple);
+    SimTime cost = StoreBranch(msg.tuple, msg.replayed);
     if (Tracing(msg)) {
       options_.tracer->OnStore(msg.tuple.relation, msg.tuple.id, cost);
     }
@@ -121,9 +130,11 @@ SimTime Joiner::ProcessTuple(const Message& msg) {
   return JoinBranch(msg.tuple, msg.replayed);
 }
 
-SimTime Joiner::StoreBranch(const Tuple& tuple) {
+SimTime Joiner::StoreBranch(const Tuple& tuple, bool replayed) {
   index_.Insert(tuple);
   ++stats_.stored;
+  (replayed ? stats_.busy_replay_ns : stats_.busy_store_ns) +=
+      options_.cost.insert_ns;
   return options_.cost.insert_ns;
 }
 
@@ -169,8 +180,21 @@ SimTime Joiner::JoinBranch(const Tuple& probe, bool replayed) {
     options_.tracer->OnProbe(probe.relation, probe.id, candidates, matches,
                              probe_cost, loop_->now());
   }
-  return probe_cost +
-         dropped_subindexes * options_.cost.expire_subindex_ns;
+  SimTime expire_cost = dropped_subindexes * options_.cost.expire_subindex_ns;
+  if (replayed) {
+    stats_.busy_replay_ns += probe_cost + expire_cost;
+  } else {
+    stats_.busy_probe_ns += probe_cost;
+    stats_.busy_expire_ns += expire_cost;
+  }
+  return probe_cost + expire_cost;
+}
+
+EventTime Joiner::expiry_lag() const {
+  EventTime observed = index_.last_expire_observed_ts();
+  EventTime oldest = index_.oldest_live_max_ts();
+  if (observed == kNoEventTime || oldest == kNoEventTime) return 0;
+  return observed > oldest ? observed - oldest : 0;
 }
 
 SimTime Joiner::MaybeCheckpoint() {

@@ -73,6 +73,16 @@ struct JoinerStats {
   uint64_t expired_subindexes = 0;
   uint64_t checkpoints = 0;
   uint64_t restored_tuples = 0;
+  /// Virtual-time decomposition of this unit's service time by pipeline
+  /// stage. Every nanosecond Handle() returns is attributed to exactly one
+  /// bucket, so the six sum to the unit's SimNode busy_ns — the per-stage
+  /// cost profile the diagnosis layer exports.
+  SimTime busy_store_ns = 0;    ///< index inserts
+  SimTime busy_probe_ns = 0;    ///< probe work (candidates + matches)
+  SimTime busy_expire_ns = 0;   ///< Theorem-1 sub-index discards
+  SimTime busy_punct_ns = 0;    ///< punctuation protocol + checkpoints
+  SimTime busy_replay_ns = 0;   ///< recovery replay traffic (all stages)
+  SimTime busy_msg_ns = 0;      ///< message/batch framing overhead
 };
 
 /// \brief One biclique processing unit. Install Handle() as its SimNode
@@ -94,6 +104,15 @@ class Joiner {
   const ChainedIndex& index() const { return index_; }
   const MemoryTracker& memory() const { return tracker_; }
   size_t buffered() const { return buffer_.buffered(); }
+
+  /// \brief First punctuation round not yet fully released (monotone; the
+  /// auditor's ordering invariant).
+  uint64_t release_round() const { return buffer_.next_release_round(); }
+
+  /// \brief Event-time lag (µs) between the most advanced Theorem-1 expiry
+  /// scan and the oldest surviving sub-index; 0 before any scan. Bounded by
+  /// window + expiry_slack — the window invariant the auditor checks.
+  EventTime expiry_lag() const;
 
   // ----------------------------------------------------- fault tolerance --
 
@@ -123,7 +142,7 @@ class Joiner {
  private:
   /// Store or join branch for one released (or unordered) tuple message.
   SimTime ProcessTuple(const Message& msg);
-  SimTime StoreBranch(const Tuple& tuple);
+  SimTime StoreBranch(const Tuple& tuple, bool replayed);
   SimTime JoinBranch(const Tuple& probe, bool replayed);
   /// Records a traced tuple's arrival hop (no-op for untraced/replayed).
   void TraceArrival(const Message& msg);

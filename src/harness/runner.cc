@@ -33,11 +33,16 @@ double ComputeThroughput(const std::vector<TimedTuple>& stream) {
 
 }  // namespace
 
-void RunReport::CaptureTelemetry(const BicliqueEngine& engine_ref) {
+void RunReport::CaptureTelemetry(BicliqueEngine& engine_ref) {
   series = engine_ref.telemetry_series();
   breakdown = engine_ref.ComputeLatencyBreakdown();
   trace_spans = engine_ref.tracer().spans().size();
   sample_period_ns = engine_ref.options().telemetry.sample_period;
+  if (engine_ref.diagnoser() != nullptr) {
+    engine_ref.FinalizeDiagnostics();
+    diagnostics = engine_ref.diagnoser()->DiagnosticsJson();
+    profile = engine_ref.diagnoser()->ProfileJson();
+  }
 }
 
 JsonValue RunReport::ToJson() const {
@@ -96,6 +101,31 @@ JsonValue RunReport::ToJson() const {
   out.Set("series", series.ToJson());
   out.Set("trace_spans", JsonValue::Number(trace_spans));
   out.Set("breakdown", breakdown.ToJson());
+
+  // Diagnosis sections are schema-required on every artifact; engines that
+  // ran without a diagnoser (matrix baseline) emit the empty shapes.
+  if (diagnostics.is_object()) {
+    out.Set("diagnostics", diagnostics);
+  } else {
+    JsonValue empty = JsonValue::Object();
+    empty.Set("total_events", JsonValue::Number(0));
+    empty.Set("errors", JsonValue::Number(0));
+    empty.Set("dropped", JsonValue::Number(0));
+    empty.Set("counts", JsonValue::Object());
+    empty.Set("events", JsonValue::Array());
+    empty.Set("windows", JsonValue::Number(0));
+    empty.Set("finalized", JsonValue::Bool(false));
+    out.Set("diagnostics", std::move(empty));
+  }
+  if (profile.is_object()) {
+    out.Set("profile", profile);
+  } else {
+    JsonValue empty = JsonValue::Object();
+    empty.Set("makespan_ns", JsonValue::Number(0));
+    empty.Set("windows", JsonValue::Number(0));
+    empty.Set("nodes", JsonValue::Array());
+    out.Set("profile", std::move(empty));
+  }
   return out;
 }
 

@@ -44,11 +44,18 @@ struct RunReport {
   uint64_t trace_spans = 0;
   /// The sampling cadence the run used (echoed into the artifact).
   SimTime sample_period_ns = 0;
+  /// Diagnosis sections (see DESIGN.md §9): the detector/auditor event log
+  /// and the per-node stage profile. Null until CaptureTelemetry runs on a
+  /// diagnosing engine; ToJson() emits empty-shaped sections then, so every
+  /// artifact (matrix runs included) carries both keys.
+  JsonValue diagnostics;
+  JsonValue profile;
 
   /// \brief Copies the engine's telemetry (time series, breakdown, span
-  /// count) into this report. RunBicliqueWorkload does this automatically;
-  /// call it yourself for hand-built engines (E8/E15 style drivers).
-  void CaptureTelemetry(const BicliqueEngine& engine_ref);
+  /// count, diagnosis sections) into this report, finalizing the end-of-run
+  /// audit first. RunBicliqueWorkload does this automatically; call it
+  /// yourself for hand-built engines (E8/E15 style drivers).
+  void CaptureTelemetry(BicliqueEngine& engine_ref);
 
   /// \brief Serializes the full report — engine stats, latency snapshot,
   /// check outcome, time series, and latency breakdown — for the

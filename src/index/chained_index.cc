@@ -56,6 +56,12 @@ void ChainedIndex::DropSubIndex(std::unique_ptr<SubIndex> sub) {
 }
 
 uint64_t ChainedIndex::Expire(EventTime observed_ts) {
+  // Out-of-order probes can pass older timestamps; the auditor's bound is
+  // against the most advanced scan, so keep the running maximum.
+  if (last_expire_observed_ts_ == kNoEventTime ||
+      observed_ts > last_expire_observed_ts_) {
+    last_expire_observed_ts_ = observed_ts;
+  }
   uint64_t dropped = 0;
   // The chain is ordered by construction time, and within one relation event
   // time grows (sources are timestamp-ordered), so once a sub-index
@@ -123,6 +129,12 @@ void ChainedIndex::Clear() {
   }
   chain_.clear();
   active_ = MakeSubIndex(options_.kind);
+  last_expire_observed_ts_ = kNoEventTime;
+}
+
+EventTime ChainedIndex::oldest_live_max_ts() const {
+  if (!chain_.empty()) return chain_.front()->max_ts();
+  return active_->max_ts();
 }
 
 size_t ChainedIndex::size() const {

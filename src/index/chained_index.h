@@ -110,6 +110,17 @@ class ChainedIndex {
   const ChainedIndexStats& stats() const { return stats_; }
   const ChainedIndexOptions& options() const { return options_; }
 
+  /// \brief Largest opposite-relation timestamp any Expire() scan has
+  /// observed; kNoEventTime before the first scan. Together with
+  /// oldest_live_max_ts() this exposes the Theorem-1 bound the invariant
+  /// auditor checks: after every scan,
+  ///   last_expire_observed_ts - oldest_live_max_ts <= window + slack.
+  EventTime last_expire_observed_ts() const { return last_expire_observed_ts_; }
+
+  /// \brief max_ts of the oldest surviving sub-index (the expiry frontier);
+  /// kNoEventTime when the index is empty.
+  EventTime oldest_live_max_ts() const;
+
  private:
   /// Seals the active sub-index into the archive chain.
   void SealActive();
@@ -123,6 +134,7 @@ class ChainedIndex {
   std::deque<std::unique_ptr<SubIndex>> chain_;
   std::unique_ptr<SubIndex> active_;
   ChainedIndexStats stats_;
+  EventTime last_expire_observed_ts_ = kNoEventTime;
 };
 
 /// \brief Pair-level window test shared by all engines and the oracle:

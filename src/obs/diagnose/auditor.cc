@@ -1,0 +1,163 @@
+#include "obs/diagnose/auditor.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+namespace {
+
+std::string LastComponent(const std::string& name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+bool InvariantAuditor::IsMonotone(const std::string& name) {
+  std::string comp = LastComponent(name);
+  if (TelemetrySampler::IsBusyCumulative(comp)) return true;
+  static constexpr std::array<const char*, 15> kMonotone = {
+      "input_tuples", "results",       "stored",        "probes",
+      "messages",     "bytes",         "tuples_routed", "punctuations",
+      "round",        "release_round", "crashes",       "recoveries",
+      "checkpoints",  "queue_peak",    "last_progress_ns"};
+  for (const char* candidate : kMonotone) {
+    if (comp == candidate) return true;
+  }
+  return false;
+}
+
+void InvariantAuditor::Violation(SimTime now, uint64_t window,
+                                 const std::string& scope, double score,
+                                 double threshold, const std::string& message,
+                                 DiagnosticLog* log) {
+  ++violations_;
+  DiagnosticEvent event;
+  event.time = now;
+  event.window = window;
+  event.detector = "audit";
+  event.severity = DiagnosticSeverity::kError;
+  event.scope = scope;
+  event.score = score;
+  event.threshold = threshold;
+  event.message = message;
+  log->Emit(std::move(event));
+  BISTREAM_CHECK(!options_.strict) << "invariant violation: " << message;
+}
+
+void InvariantAuditor::OnSample(SimTime now, uint64_t window,
+                                const SampleRow& row, DiagnosticLog* log) {
+  double stored_total = -1;
+  double routed_total = 0;
+  double replayed_total = 0;
+  bool saw_router = false;
+  for (const auto& [name, value] : row) {
+    // Ordering/monotonicity: cumulative counters and protocol rounds never
+    // regress. Half-a-count tolerance absorbs double rounding.
+    if (IsMonotone(name)) {
+      auto it = last_values_.find(name);
+      if (it != last_values_.end() && value < it->second - 0.5) {
+        Violation(now, window, name, value, it->second,
+                  "monotone metric '" + name + "' regressed from " +
+                      std::to_string(it->second) + " to " +
+                      std::to_string(value),
+                  log);
+      }
+      last_values_[name] = value;
+    }
+    // Window: Theorem-1 expiry lag bounded by window + slack.
+    if (options_.max_expiry_lag_us > 0 &&
+        LastComponent(name) == "expiry_lag_us" &&
+        value > options_.max_expiry_lag_us + 0.5) {
+      Violation(now, window, name, value, options_.max_expiry_lag_us,
+                "Theorem-1 expiry lag " + std::to_string(value) +
+                    "us exceeds window + slack = " +
+                    std::to_string(options_.max_expiry_lag_us) + "us on " +
+                    name,
+                log);
+    }
+    if (name == "engine.stored") stored_total = value;
+    if (StartsWith(name, "router.")) {
+      std::string comp = LastComponent(name);
+      if (comp == "tuples_routed") {
+        routed_total += value;
+        saw_router = true;
+      } else if (comp == "replayed") {
+        replayed_total += value;
+      }
+    }
+  }
+  // Conservation (instantaneous direction): a tuple must be routed (or
+  // replayed to a replacement) before any joiner can have stored it.
+  if (stored_total >= 0 && saw_router &&
+      stored_total > routed_total + replayed_total + 0.5) {
+    Violation(now, window, "engine", stored_total,
+              routed_total + replayed_total,
+              "conservation: stored " + std::to_string(stored_total) +
+                  " exceeds routed " + std::to_string(routed_total) +
+                  " + replayed " + std::to_string(replayed_total),
+              log);
+  }
+}
+
+void InvariantAuditor::Finalize(SimTime now, uint64_t window,
+                                const FinalCounters& c, DiagnosticLog* log) {
+  // Routers are immortal and the source edge is lossless, so every injected
+  // tuple is either routed into a round or counted as arriving after the
+  // stop-flush.
+  if (c.routed + c.dropped_after_stop != c.input_tuples) {
+    Violation(now, window, "engine",
+              static_cast<double>(c.routed + c.dropped_after_stop),
+              static_cast<double>(c.input_tuples),
+              "conservation: routed " + std::to_string(c.routed) +
+                  " + dropped_after_stop " +
+                  std::to_string(c.dropped_after_stop) + " != input " +
+                  std::to_string(c.input_tuples),
+              log);
+  }
+  bool fault_free = c.crashes == 0 && c.messages_dropped == 0 &&
+                    c.messages_dropped_dead == 0 &&
+                    c.messages_lost_on_crash == 0;
+  if (fault_free) {
+    // Every routed tuple is stored by exactly one unit of its subgroup.
+    if (c.stored != c.routed) {
+      Violation(now, window, "engine", static_cast<double>(c.stored),
+                static_cast<double>(c.routed),
+                "conservation: fault-free run stored " +
+                    std::to_string(c.stored) + " != routed " +
+                    std::to_string(c.routed),
+                log);
+    }
+    if (c.suppressed_duplicates != 0) {
+      Violation(now, window, "engine",
+                static_cast<double>(c.suppressed_duplicates), 0,
+                "fault-free run suppressed " +
+                    std::to_string(c.suppressed_duplicates) +
+                    " replay duplicates",
+                log);
+    }
+  } else if (c.stored > c.routed + c.replayed_messages) {
+    Violation(now, window, "engine", static_cast<double>(c.stored),
+              static_cast<double>(c.routed + c.replayed_messages),
+              "conservation: stored " + std::to_string(c.stored) +
+                  " exceeds routed + replayed " +
+                  std::to_string(c.routed + c.replayed_messages),
+              log);
+  }
+  // Emitted results reach the sink minus exactly the replay-flagged
+  // duplicates the recovery filter absorbed.
+  if (c.suppressed_duplicates > c.results) {
+    Violation(now, window, "engine",
+              static_cast<double>(c.suppressed_duplicates),
+              static_cast<double>(c.results),
+              "suppressed duplicates exceed emitted results", log);
+  }
+}
+
+}  // namespace bistream

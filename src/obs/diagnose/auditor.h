@@ -1,0 +1,89 @@
+/// \file auditor.h
+/// \brief Online invariant auditor over the sampled metric rows.
+///
+/// Three invariant families, all checked with O(1) retained state per
+/// metric:
+///
+///  - ordering: cumulative counters and protocol rounds never regress
+///    (pairwise-FIFO + punctuation monotonicity surface as monotone
+///    router rounds, joiner release rounds, and every `*_ns`/count
+///    counter);
+///  - window: each joiner's Theorem-1 expiry lag (most advanced expiry
+///    scan minus oldest surviving sub-index) stays within
+///    window + expiry_slack — state neither outlives the bound nor is
+///    dropped early enough to have been probed;
+///  - conservation: stores never exceed routed tuples plus recovery
+///    replays at any sample instant, and at Finalize the full balance
+///    holds (fault-free runs: routed + dropped_after_stop == input and
+///    stored == routed; emitted results == sink deliveries + suppressed
+///    replay duplicates).
+///
+/// Violations emit kError DiagnosticEvents; in strict mode (tests) they
+/// abort via BISTREAM_CHECK so regressions fail loudly.
+
+#ifndef BISTREAM_OBS_DIAGNOSE_AUDITOR_H_
+#define BISTREAM_OBS_DIAGNOSE_AUDITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/diagnose/diagnostics.h"
+#include "obs/time_series.h"
+
+namespace bistream {
+
+/// \brief End-of-run totals the engine hands to Finalize().
+struct FinalCounters {
+  uint64_t input_tuples = 0;
+  uint64_t routed = 0;
+  uint64_t dropped_after_stop = 0;
+  uint64_t stored = 0;
+  uint64_t replayed_messages = 0;
+  uint64_t results = 0;
+  uint64_t suppressed_duplicates = 0;
+  uint64_t crashes = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t messages_dropped_dead = 0;
+  uint64_t messages_lost_on_crash = 0;
+  SimTime makespan_ns = 0;
+};
+
+struct AuditorOptions {
+  /// Abort on violation instead of only logging kError (tests).
+  bool strict = false;
+  /// Upper bound for each joiner's `expiry_lag_us` gauge; 0 disables the
+  /// window check (full-history runs have no expiry to bound).
+  double max_expiry_lag_us = 0;
+};
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(AuditorOptions options) : options_(options) {}
+
+  /// \brief Checks one sampled row (sorted by name).
+  void OnSample(SimTime now, uint64_t window, const SampleRow& row,
+                DiagnosticLog* log);
+
+  /// \brief End-of-run balance checks over the engine's final counters.
+  void Finalize(SimTime now, uint64_t window, const FinalCounters& counters,
+                DiagnosticLog* log);
+
+  uint64_t violations() const { return violations_; }
+
+ private:
+  /// True for metrics that must never decrease (matched on the final
+  /// name component).
+  static bool IsMonotone(const std::string& name);
+  void Violation(SimTime now, uint64_t window, const std::string& scope,
+                 double score, double threshold, const std::string& message,
+                 DiagnosticLog* log);
+
+  AuditorOptions options_;
+  uint64_t violations_ = 0;
+  std::map<std::string, double> last_values_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OBS_DIAGNOSE_AUDITOR_H_

@@ -1,0 +1,182 @@
+#include "obs/diagnose/detectors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bistream {
+
+namespace {
+
+char SideLetter(RelationId relation) {
+  return relation == kRelationR ? 'R' : 'S';
+}
+
+std::string Round2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+double GiniCoefficient(std::vector<double> loads) {
+  if (loads.size() < 2) return 0.0;
+  std::sort(loads.begin(), loads.end());
+  double total = 0;
+  double weighted = 0;
+  const double n = static_cast<double>(loads.size());
+  for (size_t i = 0; i < loads.size(); ++i) {
+    total += loads[i];
+    weighted += static_cast<double>(i + 1) * loads[i];
+  }
+  if (total <= 0) return 0.0;
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+void Detectors::OnWindow(SimTime now, uint64_t window,
+                         const std::vector<UnitWindow>& units,
+                         DiagnosticLog* log) {
+  if (window < options_.warmup_windows) return;
+  if (options_.backpressure) Backpressure(now, window, units, log);
+  if (options_.skew) Skew(now, window, units, log);
+  if (options_.straggler) Straggler(now, window, units, log);
+}
+
+void Detectors::SetAlarm(const std::string& detector, const std::string& scope,
+                         bool firing, SimTime now, uint64_t window,
+                         double score, double threshold,
+                         const std::string& message, DiagnosticLog* log) {
+  Alarm& alarm = alarms_[detector + "|" + scope];
+  if (firing == alarm.raised) return;
+  alarm.raised = firing;
+  DiagnosticEvent event;
+  event.time = now;
+  event.window = window;
+  event.detector = detector;
+  event.severity =
+      firing ? DiagnosticSeverity::kWarning : DiagnosticSeverity::kInfo;
+  event.scope = scope;
+  event.score = score;
+  event.threshold = threshold;
+  event.message = firing ? message : detector + " cleared on " + scope;
+  log->Emit(std::move(event));
+}
+
+void Detectors::Backpressure(SimTime now, uint64_t window,
+                             const std::vector<UnitWindow>& units,
+                             DiagnosticLog* log) {
+  for (const UnitWindow& u : units) {
+    QueueTrend& trend = queue_trends_[u.meta.id];
+    bool grew = trend.has_last && u.queue_depth > trend.last_depth;
+    trend.growth_streak = grew ? trend.growth_streak + 1 : 0;
+    trend.last_depth = u.queue_depth;
+    trend.has_last = true;
+
+    bool firing = trend.growth_streak >= options_.bp_growth_windows &&
+                  u.queue_depth >= options_.bp_min_queue;
+    SetAlarm("backpressure",
+             "joiner." + std::to_string(u.meta.id), firing, now, window,
+             u.queue_depth, options_.bp_min_queue,
+             "queue grew " + std::to_string(trend.growth_streak) +
+                 " consecutive windows to depth " + Round2(u.queue_depth) +
+                 " (arrivals outpace drain)",
+             log);
+  }
+}
+
+void Detectors::Skew(SimTime now, uint64_t window,
+                     const std::vector<UnitWindow>& units,
+                     DiagnosticLog* log) {
+  for (RelationId side : {kRelationR, kRelationS}) {
+    std::vector<const UnitWindow*> members;
+    for (const UnitWindow& u : units) {
+      if (u.meta.relation == side && u.meta.active && u.fresh) {
+        members.push_back(&u);
+      }
+    }
+    std::string side_scope = std::string("side.") + SideLetter(side);
+    if (members.size() < 2) {
+      SetAlarm("skew", side_scope, false, now, window, 0, 0, "", log);
+      continue;
+    }
+    double total = 0;
+    double max_load = 0;
+    const UnitWindow* hottest = members.front();
+    std::vector<double> loads;
+    loads.reserve(members.size());
+    std::map<uint32_t, double> subgroup_loads;
+    for (const UnitWindow* u : members) {
+      total += u->load;
+      loads.push_back(u->load);
+      subgroup_loads[u->meta.subgroup] += u->load;
+      if (u->load > max_load) {
+        max_load = u->load;
+        hottest = u;
+      }
+    }
+    double mean = total / static_cast<double>(members.size());
+    double imbalance = mean > 0 ? max_load / mean : 0.0;
+    double gini = GiniCoefficient(loads);
+    bool firing = total >= options_.skew_min_load &&
+                  (imbalance >= options_.skew_imbalance ||
+                   gini >= options_.skew_gini);
+
+    // Name the hot subgroup too when the side is hash-partitioned: that is
+    // the actionable unit of repartitioning.
+    uint32_t hot_subgroup = hottest->meta.subgroup;
+    std::string message =
+        "load imbalance on side " + std::string(1, SideLetter(side)) +
+        ": max/mean=" + Round2(imbalance) + " gini=" + Round2(gini) +
+        ", hottest joiner." + std::to_string(hottest->meta.id);
+    if (subgroup_loads.size() > 1) {
+      message += " (subgroup." + std::string(1, SideLetter(side)) + "." +
+                 std::to_string(hot_subgroup) + ")";
+    }
+    SetAlarm("skew", side_scope, firing, now, window, imbalance,
+             options_.skew_imbalance, message, log);
+  }
+}
+
+void Detectors::Straggler(SimTime now, uint64_t window,
+                          const std::vector<UnitWindow>& units,
+                          DiagnosticLog* log) {
+  for (RelationId side : {kRelationR, kRelationS}) {
+    std::vector<const UnitWindow*> members;
+    for (const UnitWindow& u : units) {
+      if (u.meta.relation == side && u.meta.active && u.fresh) {
+        members.push_back(&u);
+      }
+    }
+    // A z-score against fewer than three peers is meaningless.
+    double mean = 0;
+    double sigma = 0;
+    if (members.size() >= 3) {
+      for (const UnitWindow* u : members) mean += u->busy_fraction;
+      mean /= static_cast<double>(members.size());
+      for (const UnitWindow* u : members) {
+        double d = u->busy_fraction - mean;
+        sigma += d * d;
+      }
+      sigma = std::sqrt(sigma / static_cast<double>(members.size()));
+    }
+    for (const UnitWindow* u : members) {
+      bool firing = false;
+      double z = 0;
+      if (members.size() >= 3 && sigma >= options_.straggler_min_sigma &&
+          u->busy_fraction >= options_.straggler_min_busy) {
+        z = (u->busy_fraction - mean) / sigma;
+        firing = z >= options_.straggler_z;
+      }
+      SetAlarm("straggler", "joiner." + std::to_string(u->meta.id), firing,
+               now, window, z, options_.straggler_z,
+               "joiner." + std::to_string(u->meta.id) + " busy " +
+                   Round2(u->busy_fraction) + " vs side " +
+                   std::string(1, SideLetter(side)) + " mean " + Round2(mean) +
+                   " (z=" + Round2(z) + ")",
+               log);
+    }
+  }
+}
+
+}  // namespace bistream

@@ -1,0 +1,108 @@
+/// \file detectors.h
+/// \brief Online health detectors over the profiler's per-window views.
+///
+/// Three deterministic, registry-driven detectors:
+///
+///  - backpressure: a unit's input queue has grown for N consecutive sample
+///    windows (arrival rate sustained above drain rate) and sits above a
+///    floor — the canonical overload precursor;
+///  - skew: per-unit (and, under ContHash, per-subgroup) store+probe load
+///    imbalance on one relation side, scored by max/mean ratio and the Gini
+///    coefficient — the E7 hot-partition signal;
+///  - straggler: one unit's windowed busy fraction is a z-score outlier
+///    against its own biclique side — slow node, not slow workload.
+///
+/// Detectors are edge-triggered: an alarm emits one kWarning event when it
+/// enters and one kInfo event when it clears, so event volume is bounded by
+/// state transitions rather than windows. All state is per-scope O(1);
+/// nothing here reads the engine or the clock.
+
+#ifndef BISTREAM_OBS_DIAGNOSE_DETECTORS_H_
+#define BISTREAM_OBS_DIAGNOSE_DETECTORS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/diagnose/diagnostics.h"
+#include "obs/diagnose/profiler.h"
+
+namespace bistream {
+
+/// \brief Detector configuration (engine-visible; BicliqueOptions carries
+/// one).
+struct DetectorOptions {
+  bool backpressure = true;
+  bool skew = true;
+  bool straggler = true;
+  /// Sample windows to ignore before judging (the first delta covers the
+  /// partially-idle startup span).
+  uint64_t warmup_windows = 1;
+
+  /// Backpressure: queue depth strictly grew for this many consecutive
+  /// windows and the latest depth is at least bp_min_queue.
+  uint64_t bp_growth_windows = 3;
+  double bp_min_queue = 8;
+
+  /// Skew: trips when max/mean per-unit window load >= skew_imbalance or
+  /// the side's Gini coefficient >= skew_gini, provided the side handled at
+  /// least skew_min_load operations that window (idle sides are noise).
+  double skew_imbalance = 2.0;
+  double skew_gini = 0.4;
+  double skew_min_load = 64;
+
+  /// Straggler: a unit's busy-fraction z-score against its side's mean
+  /// exceeds straggler_z, with floors on the unit's own busy fraction and
+  /// the side's stddev to mask idle/homogeneous sides.
+  double straggler_z = 2.0;
+  double straggler_min_busy = 0.30;
+  double straggler_min_sigma = 0.02;
+};
+
+/// \brief The detector bank. Feed it one window at a time.
+class Detectors {
+ public:
+  explicit Detectors(DetectorOptions options) : options_(options) {}
+
+  /// \brief Evaluates all enabled detectors over one profiled window,
+  /// emitting enter/clear events into `log`.
+  void OnWindow(SimTime now, uint64_t window,
+                const std::vector<UnitWindow>& units, DiagnosticLog* log);
+
+ private:
+  struct Alarm {
+    bool raised = false;
+  };
+
+  void Backpressure(SimTime now, uint64_t window,
+                    const std::vector<UnitWindow>& units, DiagnosticLog* log);
+  void Skew(SimTime now, uint64_t window, const std::vector<UnitWindow>& units,
+            DiagnosticLog* log);
+  void Straggler(SimTime now, uint64_t window,
+                 const std::vector<UnitWindow>& units, DiagnosticLog* log);
+  /// Edge-triggers `scope`'s alarm: emits on raise/clear transitions only.
+  void SetAlarm(const std::string& detector, const std::string& scope,
+                bool firing, SimTime now, uint64_t window, double score,
+                double threshold, const std::string& message,
+                DiagnosticLog* log);
+
+  DetectorOptions options_;
+  /// "detector|scope" -> alarm state.
+  std::map<std::string, Alarm> alarms_;
+  /// Backpressure streaks: unit -> (last queue depth, consecutive growth).
+  struct QueueTrend {
+    double last_depth = 0;
+    uint64_t growth_streak = 0;
+    bool has_last = false;
+  };
+  std::map<uint32_t, QueueTrend> queue_trends_;
+};
+
+/// \brief Gini coefficient of a non-negative load vector (0 = perfectly
+/// even, -> 1 = one unit carries everything). Exposed for tests.
+double GiniCoefficient(std::vector<double> loads);
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OBS_DIAGNOSE_DETECTORS_H_

@@ -1,0 +1,181 @@
+#include "obs/diagnose/diagnoser.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bistream {
+
+namespace {
+
+/// Splits "kind.id.metric" into (kind.id, metric); returns false for names
+/// without two dots (engine-scope metrics).
+bool SplitScoped(const std::string& name, std::string* scope,
+                 std::string* metric) {
+  size_t last = name.rfind('.');
+  if (last == std::string::npos) return false;
+  size_t first = name.find('.');
+  if (first == last) return false;
+  *scope = name.substr(0, last);
+  *metric = name.substr(last + 1);
+  return true;
+}
+
+void SetStage(JsonValue* stages, double* accounted, const char* key,
+              double ns) {
+  stages->Set(key, JsonValue::Number(ns));
+  *accounted += ns;
+}
+
+}  // namespace
+
+Diagnoser::Diagnoser(const MetricsRegistry* registry, DiagnoserOptions options,
+                     UnitMetaFn units_fn)
+    : registry_(registry),
+      options_(options),
+      units_fn_(std::move(units_fn)),
+      log_(options.max_events),
+      profiler_(units_fn_),
+      detectors_(options.detectors),
+      auditor_(AuditorOptions{options.strict_audit, options.max_expiry_lag_us}) {
+  BISTREAM_CHECK(registry_ != nullptr);
+}
+
+void Diagnoser::OnSample(SimTime now, const SampleRow& row) {
+  if (finalized_) return;
+  uint64_t window = windows_++;
+  profiler_.OnSample(now, window, row);
+  detectors_.OnWindow(now, window, profiler_.current(), &log_);
+  if (options_.audit) auditor_.OnSample(now, window, row, &log_);
+}
+
+void Diagnoser::Finalize(SimTime now, const FinalCounters& counters) {
+  if (finalized_) return;
+  finalized_ = true;
+  makespan_ns_ = counters.makespan_ns > 0 ? counters.makespan_ns : now;
+  if (options_.audit) {
+    auditor_.Finalize(now, windows_ == 0 ? 0 : windows_ - 1, counters, &log_);
+  }
+}
+
+std::optional<SimTime> Diagnoser::HeartbeatSilence(uint32_t unit,
+                                                   SimTime now) const {
+  std::optional<double> last = registry_->ReadGauge(
+      MetricsRegistry::ScopedName("joiner", unit, "last_progress_ns"));
+  if (!last.has_value()) return std::nullopt;
+  SimTime last_ns = static_cast<SimTime>(*last);
+  return now > last_ns ? now - last_ns : 0;
+}
+
+JsonValue Diagnoser::DiagnosticsJson() const {
+  JsonValue out = log_.ToJson();
+  out.Set("windows", JsonValue::Number(windows_));
+  out.Set("finalized", JsonValue::Bool(finalized_));
+  return out;
+}
+
+JsonValue Diagnoser::ProfileJson() const {
+  // Group the registry's final sample by unit scope. The registry is the
+  // single source of truth; the profiler only contributes run peaks.
+  std::map<std::string, std::map<std::string, double>> scopes;
+  for (const auto& [name, value] : registry_->Sample()) {
+    std::string scope;
+    std::string metric;
+    if (!SplitScoped(name, &scope, &metric)) continue;
+    scopes[scope][metric] = value;
+  }
+
+  std::map<uint32_t, UnitMeta> meta_by_id;
+  for (const UnitMeta& meta : units_fn_()) meta_by_id[meta.id] = meta;
+
+  const double makespan =
+      makespan_ns_ > 0 ? static_cast<double>(makespan_ns_) : 0.0;
+
+  JsonValue nodes = JsonValue::Array();
+  for (const auto& [scope, metrics] : scopes) {
+    bool is_joiner = scope.rfind("joiner.", 0) == 0;
+    bool is_router = scope.rfind("router.", 0) == 0;
+    if (!is_joiner && !is_router) continue;
+    auto metric = [&metrics = metrics](const char* key) {
+      auto it = metrics.find(key);
+      return it == metrics.end() ? 0.0 : it->second;
+    };
+    // Both "joiner." and "router." are 7 characters.
+    uint32_t id =
+        static_cast<uint32_t>(std::strtoul(scope.c_str() + 7, nullptr, 10));
+
+    JsonValue node = JsonValue::Object();
+    node.Set("scope", JsonValue::String(scope));
+    node.Set("kind", JsonValue::String(is_joiner ? "joiner" : "router"));
+    node.Set("id", JsonValue::Number(static_cast<uint64_t>(id)));
+    if (is_joiner) {
+      auto it = meta_by_id.find(id);
+      if (it != meta_by_id.end()) {
+        node.Set("relation", JsonValue::String(
+                                 it->second.relation == kRelationR ? "R" : "S"));
+        node.Set("subgroup",
+                 JsonValue::Number(static_cast<uint64_t>(it->second.subgroup)));
+        node.Set("active", JsonValue::Bool(it->second.active));
+        node.Set("live", JsonValue::Bool(it->second.live));
+      }
+    }
+
+    double busy_ns = metric("busy_ns");
+    node.Set("busy_ns", JsonValue::Number(busy_ns));
+    node.Set("busy_fraction",
+             JsonValue::Number(makespan > 0
+                                   ? std::clamp(busy_ns / makespan, 0.0, 1.0)
+                                   : 0.0));
+
+    JsonValue stages = JsonValue::Object();
+    double accounted = 0;
+    if (is_joiner) {
+      SetStage(&stages, &accounted, "store", metric("busy_store_ns"));
+      SetStage(&stages, &accounted, "probe", metric("busy_probe_ns"));
+      SetStage(&stages, &accounted, "expire", metric("busy_expire_ns"));
+      SetStage(&stages, &accounted, "punctuation", metric("busy_punct_ns"));
+      SetStage(&stages, &accounted, "replay", metric("busy_replay_ns"));
+      SetStage(&stages, &accounted, "message", metric("busy_msg_ns"));
+    } else {
+      SetStage(&stages, &accounted, "tuple", metric("busy_tuple_ns"));
+      SetStage(&stages, &accounted, "punctuation", metric("busy_punct_ns"));
+      SetStage(&stages, &accounted, "batch", metric("busy_batch_ns"));
+      SetStage(&stages, &accounted, "control", metric("busy_control_ns"));
+    }
+    node.Set("stage_ns", std::move(stages));
+
+    JsonValue shares = JsonValue::Object();
+    for (const auto& [key, value] : node.Find("stage_ns")->members()) {
+      shares.Set(key, JsonValue::Number(
+                          busy_ns > 0 ? value.AsNumber() / busy_ns : 0.0));
+    }
+    node.Set("stage_share", std::move(shares));
+    // The stage buckets are designed to partition busy_ns exactly; surface
+    // the residual so drift is visible in the artifact instead of silent.
+    node.Set("unattributed_ns", JsonValue::Number(busy_ns - accounted));
+
+    node.Set("queue_peak", JsonValue::Number(metric("queue_peak")));
+    if (is_joiner) {
+      node.Set("peak_window_busy_fraction",
+               JsonValue::Number(profiler_.PeakWindowBusyFraction(id)));
+      node.Set("peak_window_queue_hwm",
+               JsonValue::Number(profiler_.PeakWindowQueueHwm(id)));
+      node.Set("stored", JsonValue::Number(metric("stored")));
+      node.Set("probes", JsonValue::Number(metric("probes")));
+      node.Set("results", JsonValue::Number(metric("results")));
+    } else {
+      node.Set("tuples_routed", JsonValue::Number(metric("tuples_routed")));
+    }
+    nodes.Push(std::move(node));
+  }
+
+  JsonValue out = JsonValue::Object();
+  out.Set("makespan_ns", JsonValue::Number(makespan));
+  out.Set("windows", JsonValue::Number(windows_));
+  out.Set("nodes", std::move(nodes));
+  return out;
+}
+
+}  // namespace bistream

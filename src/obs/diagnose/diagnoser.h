@@ -1,0 +1,96 @@
+/// \file diagnoser.h
+/// \brief The diagnosis facade: profiler + detectors + auditor behind one
+/// sampler observer.
+///
+/// The engine installs Diagnoser::OnSample as the TelemetrySampler's sample
+/// observer, so diagnosis runs exactly once per sample window, inside the
+/// existing sampling tick — it schedules no events and charges no virtual
+/// time, keeping diagnosed runs bit-identical to plain ones. At the end of
+/// the run the engine calls Finalize() with its closing counters; the
+/// resulting `diagnostics` and `profile` JSON sections land in the
+/// RunReport artifact that `bistream-inspect` reads offline.
+///
+/// The ops controllers consume the same object online: the autoscaler reads
+/// SmoothedBusyFraction() instead of re-deriving utilization windows, and
+/// the failure detector reads HeartbeatSilence().
+
+#ifndef BISTREAM_OBS_DIAGNOSE_DIAGNOSER_H_
+#define BISTREAM_OBS_DIAGNOSE_DIAGNOSER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/diagnose/auditor.h"
+#include "obs/diagnose/detectors.h"
+#include "obs/diagnose/diagnostics.h"
+#include "obs/diagnose/profiler.h"
+#include "obs/metrics.h"
+
+namespace bistream {
+
+struct DiagnoserOptions {
+  DetectorOptions detectors;
+  bool audit = true;
+  /// Audit violations abort (tests) instead of only logging kError.
+  bool strict_audit = false;
+  /// Theorem-1 bound for the window audit (µs); 0 skips it (full history).
+  double max_expiry_lag_us = 0;
+  /// Detail cap on retained DiagnosticEvents.
+  size_t max_events = 256;
+};
+
+class Diagnoser {
+ public:
+  /// \param registry the engine's metric registry (not owned)
+  /// \param units_fn topology metadata callback (engine-installed)
+  Diagnoser(const MetricsRegistry* registry, DiagnoserOptions options,
+            UnitMetaFn units_fn);
+
+  /// \brief Sampler observer: one call per sample window, with the full
+  /// sorted row (fractions included). Must stay side-effect free towards
+  /// the simulation.
+  void OnSample(SimTime now, const SampleRow& row);
+
+  /// \brief End-of-run audit + profile freeze. Idempotent.
+  void Finalize(SimTime now, const FinalCounters& counters);
+  bool finalized() const { return finalized_; }
+
+  const DiagnosticLog& log() const { return log_; }
+  const StageProfiler& profiler() const { return profiler_; }
+  uint64_t windows() const { return windows_; }
+
+  /// \brief EWMA busy fraction for the autoscaler; nullopt until the unit
+  /// has a completed window.
+  std::optional<double> SmoothedBusyFraction(uint32_t unit) const {
+    return profiler_.SmoothedBusyFraction(unit);
+  }
+
+  /// \brief Heartbeat silence for the failure detector: now minus the
+  /// unit's `last_progress_ns` gauge; nullopt when the gauge is missing.
+  std::optional<SimTime> HeartbeatSilence(uint32_t unit, SimTime now) const;
+
+  /// \brief The artifact's "diagnostics" section.
+  JsonValue DiagnosticsJson() const;
+
+  /// \brief The artifact's "profile" section: one node entry per router and
+  /// joiner with cumulative stage decomposition, shares, and window peaks.
+  JsonValue ProfileJson() const;
+
+ private:
+  const MetricsRegistry* registry_;
+  DiagnoserOptions options_;
+  UnitMetaFn units_fn_;
+  DiagnosticLog log_;
+  StageProfiler profiler_;
+  Detectors detectors_;
+  InvariantAuditor auditor_;
+  uint64_t windows_ = 0;
+  bool finalized_ = false;
+  SimTime makespan_ns_ = 0;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OBS_DIAGNOSE_DIAGNOSER_H_

@@ -1,0 +1,57 @@
+#include "obs/diagnose/diagnostics.h"
+
+namespace bistream {
+
+const char* DiagnosticSeverityName(DiagnosticSeverity severity) {
+  switch (severity) {
+    case DiagnosticSeverity::kInfo:
+      return "info";
+    case DiagnosticSeverity::kWarning:
+      return "warning";
+    case DiagnosticSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+JsonValue DiagnosticEvent::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("time_ns", JsonValue::Number(time));
+  out.Set("window", JsonValue::Number(window));
+  out.Set("detector", JsonValue::String(detector));
+  out.Set("severity", JsonValue::String(DiagnosticSeverityName(severity)));
+  out.Set("scope", JsonValue::String(scope));
+  out.Set("score", JsonValue::Number(score));
+  out.Set("threshold", JsonValue::Number(threshold));
+  out.Set("message", JsonValue::String(message));
+  return out;
+}
+
+void DiagnosticLog::Emit(DiagnosticEvent event) {
+  ++total_emitted_;
+  if (event.severity == DiagnosticSeverity::kError) ++errors_;
+  ++counts_[event.detector + "/" + DiagnosticSeverityName(event.severity)];
+  if (events_.size() < max_events_) {
+    events_.push_back(std::move(event));
+  }
+}
+
+JsonValue DiagnosticLog::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("total_events", JsonValue::Number(total_emitted_));
+  out.Set("errors", JsonValue::Number(errors_));
+  out.Set("dropped", JsonValue::Number(dropped()));
+  JsonValue counts = JsonValue::Object();
+  for (const auto& [key, n] : counts_) {
+    counts.Set(key, JsonValue::Number(n));
+  }
+  out.Set("counts", std::move(counts));
+  JsonValue events = JsonValue::Array();
+  for (const DiagnosticEvent& event : events_) {
+    events.Push(event.ToJson());
+  }
+  out.Set("events", std::move(events));
+  return out;
+}
+
+}  // namespace bistream

@@ -1,0 +1,91 @@
+/// \file diagnostics.h
+/// \brief Structured diagnostic events + the bounded, deterministic log.
+///
+/// Every online detector and the invariant auditor report through one
+/// DiagnosticLog. Events are plain data — virtual time, sample-window
+/// ordinal, detector name, severity, the scope they implicate
+/// ("joiner.5", "side.R", "subgroup.S.2", "engine"), a score and the
+/// threshold it tripped — so the RunReport can serialize them and the
+/// bistream-inspect tool can render a timeline. Emission order is fully
+/// determined by the virtual clock and the registry's sorted sample rows,
+/// which is what makes the byte-identical determinism tests possible.
+
+#ifndef BISTREAM_OBS_DIAGNOSE_DIAGNOSTICS_H_
+#define BISTREAM_OBS_DIAGNOSE_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/json.h"
+#include "sim/event_loop.h"
+
+namespace bistream {
+
+enum class DiagnosticSeverity : uint8_t {
+  kInfo = 0,     ///< informational (e.g. an alarm clearing)
+  kWarning = 1,  ///< a health signal (backpressure, skew, straggler)
+  kError = 2,    ///< an invariant violation (auditor only)
+};
+
+const char* DiagnosticSeverityName(DiagnosticSeverity severity);
+
+/// \brief One detector or auditor finding.
+struct DiagnosticEvent {
+  /// Virtual time of the sample that produced the event.
+  SimTime time = 0;
+  /// Sample-window ordinal (0-based) within the run.
+  uint64_t window = 0;
+  /// Producing detector: "backpressure", "skew", "straggler", "audit".
+  std::string detector;
+  DiagnosticSeverity severity = DiagnosticSeverity::kInfo;
+  /// What the event implicates: "joiner.<id>", "router.<id>", "side.R",
+  /// "subgroup.<side>.<n>", or "engine".
+  std::string scope;
+  /// Detector-specific magnitude (imbalance ratio, z-score, queue depth…).
+  double score = 0;
+  /// The configured trip point the score is compared against.
+  double threshold = 0;
+  /// Human-readable one-liner.
+  std::string message;
+
+  JsonValue ToJson() const;
+};
+
+/// \brief Append-only event log with a detail cap and per-(detector,
+/// severity) counts. The cap bounds artifact size on pathological runs;
+/// counts and totals keep accumulating past it.
+class DiagnosticLog {
+ public:
+  explicit DiagnosticLog(size_t max_events = 256) : max_events_(max_events) {}
+
+  void Emit(DiagnosticEvent event);
+
+  /// \brief Retained events (at most max_events, emission order).
+  const std::vector<DiagnosticEvent>& events() const { return events_; }
+  uint64_t total_emitted() const { return total_emitted_; }
+  uint64_t dropped() const { return total_emitted_ - events_.size(); }
+  /// \brief Number of kError events (invariant violations).
+  uint64_t errors() const { return errors_; }
+
+  /// \brief {"total_events", "errors", "dropped", "counts", "events"}.
+  JsonValue ToJson() const;
+
+  /// \brief Canonical single-line serialization; the detector-determinism
+  /// tests compare two runs' strings byte-wise.
+  std::string Serialize() const { return ToJson().Dump(); }
+
+ private:
+  size_t max_events_;
+  std::vector<DiagnosticEvent> events_;
+  uint64_t total_emitted_ = 0;
+  uint64_t errors_ = 0;
+  /// "detector/severity" -> occurrences, e.g. "skew/warning" -> 3.
+  std::map<std::string, uint64_t> counts_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OBS_DIAGNOSE_DIAGNOSTICS_H_

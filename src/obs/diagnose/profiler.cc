@@ -1,0 +1,101 @@
+#include "obs/diagnose/profiler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace bistream {
+
+double RowValue(const SampleRow& row, const std::string& name,
+                double fallback) {
+  auto it = std::lower_bound(
+      row.begin(), row.end(), name,
+      [](const std::pair<std::string, double>& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it == row.end() || it->first != name) return fallback;
+  return it->second;
+}
+
+StageProfiler::StageProfiler(UnitMetaFn units_fn)
+    : units_fn_(std::move(units_fn)) {
+  BISTREAM_CHECK(units_fn_ != nullptr);
+}
+
+void StageProfiler::OnSample(SimTime now, uint64_t window,
+                             const SampleRow& row) {
+  (void)window;
+  current_.clear();
+  constexpr double kAlpha = 0.25;
+  for (const UnitMeta& meta : units_fn_()) {
+    if (!meta.live) continue;
+    std::string scope = MetricsRegistry::ScopedName("joiner", meta.id, "");
+    double busy_ns = RowValue(row, scope + "busy_ns");
+    double store_ns = RowValue(row, scope + "busy_store_ns");
+    double probe_ns = RowValue(row, scope + "busy_probe_ns");
+    double expire_ns = RowValue(row, scope + "busy_expire_ns");
+    double punct_ns = RowValue(row, scope + "busy_punct_ns");
+    double replay_ns = RowValue(row, scope + "busy_replay_ns");
+    double msg_ns = RowValue(row, scope + "busy_msg_ns");
+    double load = RowValue(row, scope + "stored") + RowValue(row, scope + "probes");
+
+    PerUnit& unit = units_[meta.id];
+    UnitWindow view;
+    view.meta = meta;
+    view.queue_depth = RowValue(row, scope + "queue_depth");
+    view.queue_hwm = RowValue(row, scope + "queue_hwm");
+    if (unit.has_prev && now > unit.prev_time) {
+      double dt = static_cast<double>(now - unit.prev_time);
+      view.fresh = true;
+      view.busy_fraction =
+          std::clamp((busy_ns - unit.prev_busy_ns) / dt, 0.0, 1.0);
+      view.store_ns = std::max(0.0, store_ns - unit.prev_store_ns);
+      view.probe_ns = std::max(0.0, probe_ns - unit.prev_probe_ns);
+      view.expire_ns = std::max(0.0, expire_ns - unit.prev_expire_ns);
+      view.punct_ns = std::max(0.0, punct_ns - unit.prev_punct_ns);
+      view.replay_ns = std::max(0.0, replay_ns - unit.prev_replay_ns);
+      view.msg_ns = std::max(0.0, msg_ns - unit.prev_msg_ns);
+      view.load = std::max(0.0, load - unit.prev_load);
+      unit.ewma_busy = unit.ewma_valid
+                           ? kAlpha * view.busy_fraction +
+                                 (1.0 - kAlpha) * unit.ewma_busy
+                           : view.busy_fraction;
+      unit.ewma_valid = true;
+      unit.peak_busy_fraction =
+          std::max(unit.peak_busy_fraction, view.busy_fraction);
+      unit.peak_queue_hwm = std::max(unit.peak_queue_hwm, view.queue_hwm);
+    }
+    unit.has_prev = true;
+    unit.prev_time = now;
+    unit.prev_busy_ns = busy_ns;
+    unit.prev_store_ns = store_ns;
+    unit.prev_probe_ns = probe_ns;
+    unit.prev_expire_ns = expire_ns;
+    unit.prev_punct_ns = punct_ns;
+    unit.prev_replay_ns = replay_ns;
+    unit.prev_msg_ns = msg_ns;
+    unit.prev_load = load;
+    current_.push_back(std::move(view));
+  }
+  ++windows_;
+}
+
+std::optional<double> StageProfiler::SmoothedBusyFraction(
+    uint32_t unit) const {
+  auto it = units_.find(unit);
+  if (it == units_.end() || !it->second.ewma_valid) return std::nullopt;
+  return it->second.ewma_busy;
+}
+
+double StageProfiler::PeakWindowBusyFraction(uint32_t unit) const {
+  auto it = units_.find(unit);
+  return it == units_.end() ? 0.0 : it->second.peak_busy_fraction;
+}
+
+double StageProfiler::PeakWindowQueueHwm(uint32_t unit) const {
+  auto it = units_.find(unit);
+  return it == units_.end() ? 0.0 : it->second.peak_queue_hwm;
+}
+
+}  // namespace bistream

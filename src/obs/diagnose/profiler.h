@@ -1,0 +1,115 @@
+/// \file profiler.h
+/// \brief Per-stage, per-window cost profiler over the sampled metric rows.
+///
+/// The engine exports cumulative per-unit stage gauges (busy_store_ns,
+/// busy_probe_ns, …, stored, probes, queue_hwm). The profiler consumes each
+/// sampled row, differences it against the previous sample, and materializes
+/// one UnitWindow per live joiner per sample window: windowed busy fraction,
+/// per-stage virtual-time deltas, store+probe load, queue depth and the
+/// in-window queue high-watermark. Detectors read these windows; the
+/// autoscaler reads the EWMA-smoothed busy fraction. Everything here is
+/// derived state — the profiler never touches the engine and charges no
+/// virtual time.
+///
+/// The obs layer sits below core, so unit metadata (relation side, subgroup,
+/// lifecycle state) flows in through a UnitMetaFn callback the engine
+/// installs.
+
+#ifndef BISTREAM_OBS_DIAGNOSE_PROFILER_H_
+#define BISTREAM_OBS_DIAGNOSE_PROFILER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/time_series.h"
+#include "tuple/tuple.h"
+
+namespace bistream {
+
+/// \brief What the engine knows about one joiner unit (topology metadata the
+/// obs layer cannot reach directly).
+struct UnitMeta {
+  uint32_t id = 0;
+  RelationId relation = kRelationR;
+  uint32_t subgroup = 0;
+  bool active = false;  ///< kActive (drives scaling/skew decisions)
+  bool live = false;    ///< kActive or kDraining (still serving)
+};
+
+/// \brief Supplies the current unit list at each sample (engine-installed).
+using UnitMetaFn = std::function<std::vector<UnitMeta>()>;
+
+/// \brief One joiner's view of one sample window (all deltas are
+/// window-local; queue_depth is the sample-instant value).
+struct UnitWindow {
+  UnitMeta meta;
+  bool fresh = false;  ///< a previous sample existed, so deltas are valid
+  double busy_fraction = 0;
+  double store_ns = 0;
+  double probe_ns = 0;
+  double expire_ns = 0;
+  double punct_ns = 0;
+  double replay_ns = 0;
+  double msg_ns = 0;
+  /// Store + probe operations this window — the skew detector's load.
+  double load = 0;
+  double queue_depth = 0;
+  double queue_hwm = 0;
+};
+
+/// \brief Reads one gauge value out of a sorted sample row.
+double RowValue(const SampleRow& row, const std::string& name,
+                double fallback = 0.0);
+
+/// \brief Windowed per-unit stage profiler.
+class StageProfiler {
+ public:
+  explicit StageProfiler(UnitMetaFn units_fn);
+
+  /// \brief Consumes one sampled row (sorted by name).
+  void OnSample(SimTime now, uint64_t window, const SampleRow& row);
+
+  /// \brief The most recent window's per-unit views (live units only).
+  const std::vector<UnitWindow>& current() const { return current_; }
+  uint64_t windows() const { return windows_; }
+
+  /// \brief EWMA over the unit's per-window busy fractions (alpha 0.25).
+  /// nullopt until the unit has completed one full window — callers fall
+  /// back to their own derivation then.
+  std::optional<double> SmoothedBusyFraction(uint32_t unit) const;
+
+  /// \brief Run peaks, for the profile export.
+  double PeakWindowBusyFraction(uint32_t unit) const;
+  double PeakWindowQueueHwm(uint32_t unit) const;
+
+ private:
+  struct PerUnit {
+    bool has_prev = false;
+    SimTime prev_time = 0;
+    double prev_busy_ns = 0;
+    double prev_store_ns = 0;
+    double prev_probe_ns = 0;
+    double prev_expire_ns = 0;
+    double prev_punct_ns = 0;
+    double prev_replay_ns = 0;
+    double prev_msg_ns = 0;
+    double prev_load = 0;
+    double ewma_busy = 0;
+    bool ewma_valid = false;
+    double peak_busy_fraction = 0;
+    double peak_queue_hwm = 0;
+  };
+
+  UnitMetaFn units_fn_;
+  std::map<uint32_t, PerUnit> units_;
+  std::vector<UnitWindow> current_;
+  uint64_t windows_ = 0;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OBS_DIAGNOSE_PROFILER_H_

@@ -77,27 +77,32 @@ void TelemetrySampler::Start(std::function<bool()> stopped) {
       });
 }
 
+bool TelemetrySampler::IsBusyCumulative(const std::string& name) {
+  size_t dot = name.rfind('.');
+  size_t start = dot == std::string::npos ? 0 : dot + 1;
+  // "busy_ns" itself is the shortest qualifying component.
+  if (name.size() - start < 7) return false;
+  return name.compare(start, 4, "busy") == 0 &&
+         name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
 void TelemetrySampler::SampleNow() {
   SimTime now = loop_->now();
-  std::vector<std::pair<std::string, double>> sample = registry_->Sample();
+  SampleRow sample = registry_->Sample();
   if (options_.derive_busy_fractions) {
-    const std::string suffix = kBusySuffix;
     double dt = static_cast<double>(now - last_sample_time_);
-    std::vector<std::pair<std::string, double>> derived;
+    SampleRow derived;
     for (const auto& [name, value] : sample) {
-      if (name.size() <= suffix.size() ||
-          name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
-              0) {
-        continue;
-      }
+      if (!IsBusyCumulative(name)) continue;
       double prev = 0;
       auto it = last_busy_ns_.find(name);
       if (it != last_busy_ns_.end()) prev = it->second;
       last_busy_ns_[name] = value;
       double fraction = dt > 0 ? (value - prev) / dt : 0.0;
       fraction = std::clamp(fraction, 0.0, 1.0);
-      std::string scope = name.substr(0, name.size() - suffix.size());
-      derived.emplace_back(scope + ".busy_fraction", fraction);
+      // "<...>busy*_ns" -> "<...>busy*_fraction".
+      std::string stem = name.substr(0, name.size() - 3);
+      derived.emplace_back(stem + "_fraction", fraction);
     }
     // Keep the row sorted by name: merge the derived columns in.
     sample.insert(sample.end(), derived.begin(), derived.end());
@@ -105,6 +110,8 @@ void TelemetrySampler::SampleNow() {
   }
   series_.Append(now, sample);
   last_sample_time_ = now;
+  if (observer_) observer_(now, sample);
+  if (post_sample_hook_) post_sample_hook_();
 }
 
 }  // namespace bistream

@@ -61,12 +61,16 @@ class TimeSeries {
   std::map<std::string, std::vector<double>> columns_;
 };
 
+/// \brief One sampled row: (metric name, value) pairs sorted by name.
+using SampleRow = std::vector<std::pair<std::string, double>>;
+
 /// \brief Options for TelemetrySampler.
 struct TelemetrySamplerOptions {
   /// Virtual time between samples. 0 disables sampling entirely.
   SimTime sample_period = 0;
-  /// Derive a windowed `<scope>.busy_fraction` column from every gauge
-  /// named `<scope>.busy_ns` (cumulative busy nanoseconds).
+  /// Derive a windowed `*_fraction` column from every cumulative busy
+  /// gauge — any metric whose final name component starts with "busy" and
+  /// ends with "_ns" (busy_ns, busy_probe_ns, ...).
   bool derive_busy_fractions = true;
 };
 
@@ -90,18 +94,37 @@ class TelemetrySampler {
   /// manual sampling at interesting instants).
   void SampleNow();
 
+  /// \brief Installs a callback invoked after every appended sample with
+  /// the full (sorted, fractions included) row — the diagnosis layer's
+  /// entry point. It runs inside the sampling tick and must not schedule
+  /// events or charge virtual time (zero perturbation).
+  void SetSampleObserver(std::function<void(SimTime, const SampleRow&)> fn) {
+    observer_ = std::move(fn);
+  }
+
+  /// \brief Installs a callback invoked once per sample, after the
+  /// observer. The engine resets per-window high-watermarks here so gauges
+  /// themselves stay side-effect free.
+  void SetPostSampleHook(std::function<void()> fn) {
+    post_sample_hook_ = std::move(fn);
+  }
+
   bool active() const { return active_; }
   const TimeSeries& series() const { return series_; }
   SimTime sample_period() const { return options_.sample_period; }
 
- private:
-  static constexpr const char* kBusySuffix = ".busy_ns";
+  /// \brief True for cumulative busy gauges: the final name component
+  /// starts with "busy" and ends with "_ns".
+  static bool IsBusyCumulative(const std::string& name);
 
+ private:
   EventLoop* loop_;
   MetricsRegistry* registry_;
   TelemetrySamplerOptions options_;
   TimeSeries series_;
   bool active_ = false;
+  std::function<void(SimTime, const SampleRow&)> observer_;
+  std::function<void()> post_sample_hook_;
   // Windowed busy-fraction derivation state, private to this sampler.
   SimTime last_sample_time_ = 0;
   std::map<std::string, double> last_busy_ns_;

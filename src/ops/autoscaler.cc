@@ -35,17 +35,30 @@ double Autoscaler::SampleMetric() {
       return;
     }
     if (options_.metric == ScaleMetric::kCpu) {
-      std::optional<double> busy = metrics.ReadGauge(
-          MetricsRegistry::ScopedName("joiner", unit, "busy_ns"));
-      if (!busy.has_value()) return;
-      BusyWindow& window = busy_windows_[unit];
-      double fraction = 0;
-      if (now > window.time) {
-        fraction = std::clamp(
-            (*busy - window.busy_ns) / static_cast<double>(now - window.time),
-            0.0, 1.0);
+      // Preferred source: the diagnosis layer's EWMA-smoothed per-window
+      // busy fraction — less tick-phase noise than a raw two-point window.
+      // Falls back to the local derivation when diagnosis is off or the
+      // sampler has not produced a full window yet (sample_period == 0).
+      std::optional<double> smoothed;
+      if (const Diagnoser* diag = engine_->diagnoser()) {
+        smoothed = diag->SmoothedBusyFraction(unit);
       }
-      window = BusyWindow{*busy, now};
+      double fraction = 0;
+      if (smoothed.has_value()) {
+        fraction = *smoothed;
+      } else {
+        std::optional<double> busy = metrics.ReadGauge(
+            MetricsRegistry::ScopedName("joiner", unit, "busy_ns"));
+        if (!busy.has_value()) return;
+        BusyWindow& window = busy_windows_[unit];
+        if (now > window.time) {
+          fraction = std::clamp(
+              (*busy - window.busy_ns) /
+                  static_cast<double>(now - window.time),
+              0.0, 1.0);
+        }
+        window = BusyWindow{*busy, now};
+      }
       total += fraction;
     } else {
       std::optional<double> bytes = metrics.ReadGauge(

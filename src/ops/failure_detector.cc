@@ -38,14 +38,22 @@ void FailureDetector::Tick() {
     if (u.state != UnitState::kActive && u.state != UnitState::kDraining) {
       continue;
     }
-    // Liveness is read from the registry's heartbeat gauge, not the Joiner
-    // object: the detector depends only on the telemetry surface, the same
-    // one operators would watch.
-    std::optional<double> heartbeat = engine_->metrics().ReadGauge(
-        MetricsRegistry::ScopedName("joiner", u.id, "last_progress_ns"));
-    if (!heartbeat.has_value()) continue;
-    SimTime last = static_cast<SimTime>(*heartbeat);
-    SimTime silence = now > last ? now - last : 0;
+    // Liveness is read from the telemetry surface, not the Joiner object —
+    // the same signal operators would watch. The diagnosis layer wraps the
+    // heartbeat gauge (identical numbers); the raw read is the fallback
+    // when diagnostics are disabled.
+    std::optional<SimTime> measured;
+    if (const Diagnoser* diag = engine_->diagnoser()) {
+      measured = diag->HeartbeatSilence(u.id, now);
+    }
+    if (!measured.has_value()) {
+      std::optional<double> heartbeat = engine_->metrics().ReadGauge(
+          MetricsRegistry::ScopedName("joiner", u.id, "last_progress_ns"));
+      if (!heartbeat.has_value()) continue;
+      SimTime last = static_cast<SimTime>(*heartbeat);
+      measured = now > last ? now - last : 0;
+    }
+    SimTime silence = *measured;
     if (silence <= options_.timeout) continue;
     suspect = u.id;
     suspect_silence = silence;

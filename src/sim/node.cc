@@ -18,6 +18,9 @@ void SimNode::Deliver(Message msg) {
   if (inbox_.size() > stats_.max_queue_depth) {
     stats_.max_queue_depth = inbox_.size();
   }
+  if (inbox_.size() > window_queue_hwm_) {
+    window_queue_hwm_ = inbox_.size();
+  }
   MaybeScheduleService();
 }
 

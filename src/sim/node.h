@@ -93,6 +93,17 @@ class SimNode {
   /// \brief Messages waiting for service.
   size_t queue_depth() const { return inbox_.size(); }
 
+  /// \brief Highest queue depth since the last ResetWindowQueueHwm() call.
+  /// stats().max_queue_depth keeps the run-global peak; this per-window
+  /// high-watermark is what the telemetry sampler exports, so transient
+  /// backpressure spikes between samples are not understated.
+  size_t window_queue_hwm() const { return window_queue_hwm_; }
+
+  /// \brief Opens a new high-watermark window. A standing backlog still
+  /// counts against the fresh window, so the mark restarts at the current
+  /// depth rather than zero.
+  void ResetWindowQueueHwm() { window_queue_hwm_ = inbox_.size(); }
+
   /// \brief Windowed utilization: busy fraction since the previous call
   /// (or since construction for the first call). Advances the sample point.
   /// The autoscaler's CPU-utilization proxy. Values can exceed 1.0 when the
@@ -115,6 +126,7 @@ class SimNode {
   bool service_scheduled_ = false;
   SimTime busy_until_ = 0;
   NodeStats stats_;
+  size_t window_queue_hwm_ = 0;
   SimTime last_sample_time_ = 0;
   SimTime last_sample_busy_ = 0;
 };

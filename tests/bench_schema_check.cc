@@ -96,6 +96,47 @@ void CheckBreakdown(const JsonValue* breakdown, const std::string& where) {
   }
 }
 
+/// Any invariant violation recorded by the run's auditor fails the smoke
+/// test: benches must produce audit-clean runs.
+void CheckDiagnostics(const JsonValue* diagnostics, const std::string& where) {
+  if (diagnostics == nullptr || !diagnostics->is_object()) return;
+  const JsonValue* errors = diagnostics->Find("errors");
+  if (errors != nullptr && errors->is_number() && errors->AsNumber() > 0) {
+    Fail(where + " records " + std::to_string(errors->AsNumber()) +
+         " invariant violation(s)");
+  }
+}
+
+/// Per-node stage times must partition busy time exactly: the profile
+/// exports the residual as unattributed_ns, so drift in the stage
+/// accounting shows up here instead of silently skewing attributions.
+void CheckProfile(const JsonValue* profile, const std::string& where) {
+  if (profile == nullptr || !profile->is_object()) return;
+  const JsonValue* nodes = profile->Find("nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    Fail(where + " has no nodes array");
+    return;
+  }
+  for (const JsonValue& node : nodes->elements()) {
+    const JsonValue* scope = node.Find("scope");
+    std::string label =
+        scope != nullptr && scope->is_string() ? scope->AsString() : "?";
+    for (const char* key : {"scope", "kind", "busy_ns", "busy_fraction",
+                            "stage_ns", "unattributed_ns", "queue_peak"}) {
+      if (node.Find(key) == nullptr) {
+        Fail(where + " node " + label + " lacks key '" + key + "'");
+      }
+    }
+    const JsonValue* residual = node.Find("unattributed_ns");
+    if (residual != nullptr && residual->is_number() &&
+        std::fabs(residual->AsNumber()) > 1.0) {
+      Fail(where + " node " + label + " stage times leave " +
+           std::to_string(residual->AsNumber()) +
+           " ns of busy time unattributed");
+    }
+  }
+}
+
 int Run(const std::string& schema_path, const std::string& artifact_path) {
   Result<JsonValue> schema_result = ReadJsonFile(schema_path);
   if (!schema_result.ok()) {
@@ -135,6 +176,10 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
       RequiredKeys(schema, "series_required");
   std::vector<std::string> breakdown_required =
       RequiredKeys(schema, "breakdown_required");
+  std::vector<std::string> diagnostics_required =
+      RequiredKeys(schema, "diagnostics_required");
+  std::vector<std::string> profile_required =
+      RequiredKeys(schema, "profile_required");
 
   size_t runs_with_series = 0;
   for (size_t i = 0; i < runs->size(); ++i) {
@@ -152,8 +197,15 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
                   where + ".report.series");
     CheckRequired(report->Find("breakdown"), breakdown_required,
                   where + ".report.breakdown");
+    CheckRequired(report->Find("diagnostics"), diagnostics_required,
+                  where + ".report.diagnostics");
+    CheckRequired(report->Find("profile"), profile_required,
+                  where + ".report.profile");
     CheckSeries(report->Find("series"), where + ".report.series");
     CheckBreakdown(report->Find("breakdown"), where + ".report.breakdown");
+    CheckDiagnostics(report->Find("diagnostics"),
+                     where + ".report.diagnostics");
+    CheckProfile(report->Find("profile"), where + ".report.profile");
 
     const JsonValue* series = report->Find("series");
     if (series != nullptr) {

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Tier-1 smoke for the bistream-inspect tool: run a cost-flag-capable bench
+# twice — the second time with probe cost doubled — then assert that
+#   1. the tool's verdict self-check passes,
+#   2. a clean artifact reads healthy (exit 0),
+#   3. the A/B diff flags the injected slowdown and attributes it to the
+#      probe stage (exit 1),
+#   4. malformed input is rejected with exit 2.
+# Usage:
+#   inspect_smoke.sh <bistream-inspect> <bench_binary> [bench args...]
+set -eu
+
+inspect="$1"
+bench="$2"
+shift 2
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+  echo "inspect_smoke: $1" >&2
+  exit 1
+}
+
+"$inspect" --self_check > "$workdir/selfcheck.txt" 2>&1 ||
+  { cat "$workdir/selfcheck.txt" >&2; fail "--self_check failed"; }
+
+base="$workdir/base.json"
+slow="$workdir/slow.json"
+"$bench" --json_out="$base" "$@" > "$workdir/base_run.txt" 2>&1 ||
+  { cat "$workdir/base_run.txt" >&2; fail "baseline bench run failed"; }
+# Double every ProbeCost component (candidate/fixed/emit all default 500):
+# the same workload with probes exactly 2x slower. Store, message and
+# punctuation stage times are count-driven and stay identical, so the diff
+# must attribute the regression to the probe stage alone.
+"$bench" --json_out="$slow" --cost_probe_ns=1000 --cost_probe_fixed_ns=1000 \
+  --cost_emit_ns=1000 "$@" > "$workdir/slow_run.txt" 2>&1 ||
+  { cat "$workdir/slow_run.txt" >&2; fail "slowed bench run failed"; }
+
+# 2. Health verdict on the clean baseline.
+"$inspect" "$base" > "$workdir/health.txt" 2>&1 ||
+  { cat "$workdir/health.txt" >&2; fail "healthy artifact flagged (exit $?)"; }
+
+# 3. The diff must detect the regression (exit 1, not 0 and not 2) and name
+# the probe stage.
+status=0
+"$inspect" --diff "$base" "$slow" > "$workdir/diff.txt" 2>&1 || status=$?
+[ "$status" -eq 1 ] ||
+  { cat "$workdir/diff.txt" >&2; fail "diff exit $status, expected 1"; }
+grep -q "REGRESSION.*probe" "$workdir/diff.txt" ||
+  { cat "$workdir/diff.txt" >&2; fail "regression not attributed to probe"; }
+
+# 4. Malformed input: truncated JSON must exit 2 in both modes.
+head -c 40 "$base" > "$workdir/truncated.json"
+status=0
+"$inspect" "$workdir/truncated.json" > /dev/null 2>&1 || status=$?
+[ "$status" -eq 2 ] || fail "malformed health input: exit $status, expected 2"
+status=0
+"$inspect" --diff "$workdir/truncated.json" "$slow" > /dev/null 2>&1 ||
+  status=$?
+[ "$status" -eq 2 ] || fail "malformed diff input: exit $status, expected 2"
+
+echo "OK: self-check, health, diff attribution, malformed-input rejection"

@@ -1,0 +1,451 @@
+// bistream-inspect — offline analysis of BENCH_*.json run artifacts.
+//
+// Modes:
+//   bistream-inspect <artifact.json>            health report over the
+//                                               artifact's diagnostics and
+//                                               per-stage profile sections
+//   bistream-inspect --diff <base> <candidate>  A/B regression diff with
+//                                               per-stage attribution
+//   bistream-inspect --self-check               verdict-logic self test
+//
+// Thresholds (all overridable):
+//   --max_errors=0         health: max tolerated invariant violations
+//   --max_peak_busy=0      health: cap on any node's busy fraction
+//                          (0 disables the check)
+//   --stage_ratio=1.5      diff: a stage regressed when its total virtual
+//                          time grew by at least this factor ...
+//   --share_delta=0.05     ... and its share of busy time grew by at least
+//                          this much (absolute)
+//   --latency_ratio=1.5    diff: p99 latency regression factor
+//   --throughput_ratio=0.8 diff: throughput floor (candidate/base)
+//
+// Exit codes: 0 healthy / no regression, 1 threshold breach or regression,
+// 2 malformed input or usage error. The tier-1 inspect smoke test drives
+// all three.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "obs/json.h"
+
+namespace bistream {
+namespace {
+
+struct Thresholds {
+  double max_errors = 0;
+  double max_peak_busy = 0;  // 0 = disabled
+  double stage_ratio = 1.5;
+  double share_delta = 0.05;
+  double latency_ratio = 1.5;
+  double throughput_ratio = 0.8;
+};
+
+double NumberOr(const JsonValue* v, double fallback) {
+  return v != nullptr && v->is_number() ? v->AsNumber() : fallback;
+}
+
+/// Everything the analyses need from one artifact, aggregated over runs.
+struct ArtifactSummary {
+  std::string experiment;
+  size_t runs = 0;
+  double diagnostic_errors = 0;
+  double diagnostic_events = 0;
+  /// "detector/severity" -> count, summed over runs.
+  std::map<std::string, double> event_counts;
+  /// Retained detail events as (severity, detector, scope, message).
+  std::vector<std::vector<std::string>> events;
+  /// Joiner stage -> total virtual ns, summed over runs and units.
+  std::map<std::string, double> stage_ns;
+  double joiner_busy_ns = 0;
+  double peak_busy_fraction = 0;
+  std::string peak_busy_scope;
+  double mean_throughput_tps = 0;
+  double mean_p99_ns = 0;
+};
+
+/// Parses and validates one artifact. Returns non-OK for anything the
+/// analyses cannot work with (the caller maps that to exit code 2).
+Result<ArtifactSummary> Summarize(const JsonValue& artifact,
+                                  const std::string& path) {
+  ArtifactSummary out;
+  if (!artifact.is_object()) {
+    return Status::InvalidArgument(path + ": artifact root is not an object");
+  }
+  if (const JsonValue* exp = artifact.Find("experiment")) {
+    if (exp->is_string()) out.experiment = exp->AsString();
+  }
+  const JsonValue* runs = artifact.Find("runs");
+  if (runs == nullptr || !runs->is_array() || runs->size() == 0) {
+    return Status::InvalidArgument(path +
+                                   ": missing or empty 'runs' array");
+  }
+  out.runs = runs->size();
+
+  double throughput_sum = 0;
+  double p99_sum = 0;
+  for (size_t i = 0; i < runs->size(); ++i) {
+    const JsonValue& run = runs->at(i);
+    const JsonValue* report = run.Find("report");
+    if (report == nullptr || !report->is_object()) {
+      return Status::InvalidArgument(path + ": runs[" + std::to_string(i) +
+                                     "] has no report object");
+    }
+    const JsonValue* diagnostics = report->Find("diagnostics");
+    const JsonValue* profile = report->Find("profile");
+    if (diagnostics == nullptr || !diagnostics->is_object() ||
+        profile == nullptr || !profile->is_object()) {
+      return Status::InvalidArgument(
+          path + ": runs[" + std::to_string(i) +
+          "] lacks diagnostics/profile sections (artifact predates the "
+          "diagnosis layer?)");
+    }
+
+    out.diagnostic_errors += NumberOr(diagnostics->Find("errors"), 0);
+    out.diagnostic_events += NumberOr(diagnostics->Find("total_events"), 0);
+    if (const JsonValue* counts = diagnostics->Find("counts")) {
+      for (const auto& [key, value] : counts->members()) {
+        out.event_counts[key] += NumberOr(&value, 0);
+      }
+    }
+    if (const JsonValue* events = diagnostics->Find("events")) {
+      for (const JsonValue& event : events->elements()) {
+        const JsonValue* severity = event.Find("severity");
+        const JsonValue* detector = event.Find("detector");
+        const JsonValue* scope = event.Find("scope");
+        const JsonValue* message = event.Find("message");
+        out.events.push_back(
+            {severity != nullptr && severity->is_string() ? severity->AsString()
+                                                          : "?",
+             detector != nullptr && detector->is_string() ? detector->AsString()
+                                                          : "?",
+             scope != nullptr && scope->is_string() ? scope->AsString() : "?",
+             message != nullptr && message->is_string() ? message->AsString()
+                                                        : ""});
+      }
+    }
+
+    const JsonValue* nodes = profile->Find("nodes");
+    if (nodes == nullptr || !nodes->is_array()) {
+      return Status::InvalidArgument(path + ": runs[" + std::to_string(i) +
+                                     "].report.profile has no nodes array");
+    }
+    for (const JsonValue& node : nodes->elements()) {
+      const JsonValue* kind = node.Find("kind");
+      double busy_fraction = NumberOr(node.Find("busy_fraction"), 0);
+      if (busy_fraction > out.peak_busy_fraction) {
+        out.peak_busy_fraction = busy_fraction;
+        const JsonValue* scope = node.Find("scope");
+        out.peak_busy_scope =
+            scope != nullptr && scope->is_string() ? scope->AsString() : "?";
+      }
+      if (kind == nullptr || !kind->is_string() || kind->AsString() != "joiner") {
+        continue;
+      }
+      out.joiner_busy_ns += NumberOr(node.Find("busy_ns"), 0);
+      if (const JsonValue* stages = node.Find("stage_ns")) {
+        for (const auto& [stage, ns] : stages->members()) {
+          out.stage_ns[stage] += NumberOr(&ns, 0);
+        }
+      }
+    }
+
+    throughput_sum += NumberOr(report->Find("throughput_tps"), 0);
+    if (const JsonValue* latency = report->Find("latency")) {
+      p99_sum += NumberOr(latency->Find("p99_ns"), 0);
+    }
+  }
+  out.mean_throughput_tps = throughput_sum / static_cast<double>(out.runs);
+  out.mean_p99_ns = p99_sum / static_cast<double>(out.runs);
+  return out;
+}
+
+Result<ArtifactSummary> LoadAndSummarize(const std::string& path) {
+  Result<JsonValue> parsed = ReadJsonFile(path);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   parsed.status().message());
+  }
+  return Summarize(*parsed, path);
+}
+
+void PrintStageTable(const ArtifactSummary& s) {
+  std::printf("  per-stage joiner time (all runs, all units):\n");
+  for (const auto& [stage, ns] : s.stage_ns) {
+    double share = s.joiner_busy_ns > 0 ? ns / s.joiner_busy_ns : 0;
+    std::printf("    %-12s %14.0f ns  %5.1f%%\n", stage.c_str(), ns,
+                share * 100);
+  }
+}
+
+/// Health verdict over one artifact. Returns the number of breaches.
+int AnalyzeHealth(const ArtifactSummary& s, const Thresholds& t,
+                  bool verbose) {
+  int breaches = 0;
+  if (verbose) {
+    std::printf("health report: %s (%zu runs)\n",
+                s.experiment.empty() ? "<unnamed>" : s.experiment.c_str(),
+                s.runs);
+    std::printf("  diagnostic events: %.0f (errors: %.0f)\n",
+                s.diagnostic_events, s.diagnostic_errors);
+    for (const auto& [key, count] : s.event_counts) {
+      std::printf("    %-24s %6.0f\n", key.c_str(), count);
+    }
+    size_t shown = 0;
+    for (const auto& event : s.events) {
+      if (event[0] == "info") continue;  // Alarm clears are noise here.
+      if (++shown > 10) {
+        std::printf("    ... (%zu more)\n", s.events.size() - shown + 1);
+        break;
+      }
+      std::printf("    [%s] %s @ %s: %s\n", event[0].c_str(),
+                  event[1].c_str(), event[2].c_str(), event[3].c_str());
+    }
+    PrintStageTable(s);
+    std::printf("  peak node busy fraction: %.3f (%s)\n",
+                s.peak_busy_fraction, s.peak_busy_scope.c_str());
+  }
+  if (s.diagnostic_errors > t.max_errors) {
+    std::printf("BREACH: %.0f invariant violation(s), tolerated %.0f\n",
+                s.diagnostic_errors, t.max_errors);
+    ++breaches;
+  }
+  if (t.max_peak_busy > 0 && s.peak_busy_fraction > t.max_peak_busy) {
+    std::printf("BREACH: peak busy fraction %.3f (%s) exceeds %.3f\n",
+                s.peak_busy_fraction, s.peak_busy_scope.c_str(),
+                t.max_peak_busy);
+    ++breaches;
+  }
+  if (breaches == 0) std::printf("healthy: no threshold breaches\n");
+  return breaches;
+}
+
+/// A/B regression diff. Returns the number of regressions found.
+int AnalyzeDiff(const ArtifactSummary& base, const ArtifactSummary& cand,
+                const Thresholds& t, bool verbose) {
+  int regressions = 0;
+  if (verbose) {
+    std::printf("A/B diff: base %zu runs vs candidate %zu runs\n", base.runs,
+                cand.runs);
+    std::printf("  %-12s %14s %14s %7s %8s %8s\n", "stage", "base_ns",
+                "cand_ns", "ratio", "share_b", "share_c");
+  }
+  // Stage attribution: a regression names the stage whose cost grew, not
+  // just "the run got slower".
+  for (const auto& [stage, base_ns] : base.stage_ns) {
+    auto it = cand.stage_ns.find(stage);
+    double cand_ns = it == cand.stage_ns.end() ? 0 : it->second;
+    double base_share =
+        base.joiner_busy_ns > 0 ? base_ns / base.joiner_busy_ns : 0;
+    double cand_share =
+        cand.joiner_busy_ns > 0 ? cand_ns / cand.joiner_busy_ns : 0;
+    double ratio = base_ns > 0 ? cand_ns / base_ns : (cand_ns > 0 ? 1e9 : 1);
+    if (verbose) {
+      std::printf("  %-12s %14.0f %14.0f %7.2f %7.1f%% %7.1f%%\n",
+                  stage.c_str(), base_ns, cand_ns, ratio, base_share * 100,
+                  cand_share * 100);
+    }
+    // Tiny absolute stages are noise regardless of ratio.
+    if (base_ns < 1000 && cand_ns < 1000) continue;
+    if (ratio >= t.stage_ratio && cand_share - base_share >= t.share_delta) {
+      std::printf(
+          "REGRESSION: stage '%s' grew %.2fx (share %.1f%% -> %.1f%%)\n",
+          stage.c_str(), ratio, base_share * 100, cand_share * 100);
+      ++regressions;
+    }
+  }
+  if (base.mean_p99_ns > 0 &&
+      cand.mean_p99_ns / base.mean_p99_ns >= t.latency_ratio) {
+    std::printf("REGRESSION: mean p99 latency %.0f ns -> %.0f ns (%.2fx)\n",
+                base.mean_p99_ns, cand.mean_p99_ns,
+                cand.mean_p99_ns / base.mean_p99_ns);
+    ++regressions;
+  }
+  if (base.mean_throughput_tps > 0 &&
+      cand.mean_throughput_tps / base.mean_throughput_tps <
+          t.throughput_ratio) {
+    std::printf("REGRESSION: throughput %.0f tps -> %.0f tps (%.2fx)\n",
+                base.mean_throughput_tps, cand.mean_throughput_tps,
+                cand.mean_throughput_tps / base.mean_throughput_tps);
+    ++regressions;
+  }
+  if (cand.diagnostic_errors > base.diagnostic_errors) {
+    std::printf("REGRESSION: invariant violations %.0f -> %.0f\n",
+                base.diagnostic_errors, cand.diagnostic_errors);
+    ++regressions;
+  }
+  if (regressions == 0) std::printf("no regression detected\n");
+  return regressions;
+}
+
+// ------------------------------------------------------------ self check --
+
+JsonValue MakeSyntheticRun(double store_ns, double probe_ns, double errors) {
+  JsonValue stages = JsonValue::Object();
+  stages.Set("store", JsonValue::Number(store_ns));
+  stages.Set("probe", JsonValue::Number(probe_ns));
+  stages.Set("expire", JsonValue::Number(500.0));
+  stages.Set("punctuation", JsonValue::Number(2000.0));
+  stages.Set("replay", JsonValue::Number(0.0));
+  stages.Set("message", JsonValue::Number(1500.0));
+  double busy = store_ns + probe_ns + 500.0 + 2000.0 + 1500.0;
+
+  JsonValue node = JsonValue::Object();
+  node.Set("scope", JsonValue::String("joiner.0"));
+  node.Set("kind", JsonValue::String("joiner"));
+  node.Set("id", JsonValue::Number(0));
+  node.Set("busy_ns", JsonValue::Number(busy));
+  node.Set("busy_fraction", JsonValue::Number(busy / 1e6));
+  node.Set("stage_ns", std::move(stages));
+
+  JsonValue nodes = JsonValue::Array();
+  nodes.Push(std::move(node));
+  JsonValue profile = JsonValue::Object();
+  profile.Set("makespan_ns", JsonValue::Number(1e6));
+  profile.Set("windows", JsonValue::Number(4));
+  profile.Set("nodes", std::move(nodes));
+
+  JsonValue diagnostics = JsonValue::Object();
+  diagnostics.Set("total_events", JsonValue::Number(errors));
+  diagnostics.Set("errors", JsonValue::Number(errors));
+  diagnostics.Set("dropped", JsonValue::Number(0));
+  diagnostics.Set("counts", JsonValue::Object());
+  diagnostics.Set("events", JsonValue::Array());
+
+  JsonValue latency = JsonValue::Object();
+  latency.Set("p99_ns", JsonValue::Number(50000.0));
+
+  JsonValue report = JsonValue::Object();
+  report.Set("diagnostics", std::move(diagnostics));
+  report.Set("profile", std::move(profile));
+  report.Set("throughput_tps", JsonValue::Number(1000.0));
+  report.Set("latency", std::move(latency));
+
+  JsonValue run = JsonValue::Object();
+  run.Set("params", JsonValue::Object());
+  run.Set("report", std::move(report));
+  return run;
+}
+
+JsonValue MakeSyntheticArtifact(double store_ns, double probe_ns,
+                                double errors) {
+  JsonValue runs = JsonValue::Array();
+  runs.Push(MakeSyntheticRun(store_ns, probe_ns, errors));
+  JsonValue artifact = JsonValue::Object();
+  artifact.Set("experiment", JsonValue::String("self-check"));
+  artifact.Set("runs", std::move(runs));
+  return artifact;
+}
+
+int g_failures = 0;
+
+void Expect(bool ok, const char* what) {
+  std::printf("%s: %s\n", ok ? "PASS" : "FAIL", what);
+  if (!ok) ++g_failures;
+}
+
+/// Exercises the verdict logic against synthetic artifacts with known
+/// answers; guards the analysis code itself (runs in tier-1).
+int SelfCheck(const Thresholds& t) {
+  JsonValue base = MakeSyntheticArtifact(10000, 20000, 0);
+  JsonValue probe_2x = MakeSyntheticArtifact(10000, 40000, 0);
+  JsonValue broken = MakeSyntheticArtifact(10000, 20000, 3);
+
+  Result<ArtifactSummary> base_summary = Summarize(base, "base");
+  Result<ArtifactSummary> cand_summary = Summarize(probe_2x, "cand");
+  Result<ArtifactSummary> broken_summary = Summarize(broken, "broken");
+  Expect(base_summary.ok() && cand_summary.ok() && broken_summary.ok(),
+         "synthetic artifacts summarize");
+  if (g_failures > 0) return 1;
+
+  Expect(AnalyzeHealth(*base_summary, t, false) == 0,
+         "clean artifact reads healthy");
+  Expect(AnalyzeHealth(*broken_summary, t, false) > 0,
+         "invariant violations breach health");
+  Expect(AnalyzeDiff(*base_summary, *base_summary, t, false) == 0,
+         "identical artifacts diff clean");
+  Expect(AnalyzeDiff(*base_summary, *cand_summary, t, false) > 0,
+         "2x probe cost flags a regression");
+
+  // The flagged stage must be the probe stage: attribution, not just
+  // detection.
+  const double base_probe = base_summary->stage_ns.at("probe");
+  const double cand_probe = cand_summary->stage_ns.at("probe");
+  const double base_store = base_summary->stage_ns.at("store");
+  const double cand_store = cand_summary->stage_ns.at("store");
+  Expect(cand_probe / base_probe >= t.stage_ratio &&
+             cand_store / base_store < t.stage_ratio,
+         "regression attributes to the probe stage only");
+
+  JsonValue malformed = JsonValue::Object();
+  malformed.Set("experiment", JsonValue::String("x"));
+  Expect(!Summarize(malformed, "malformed").ok(),
+         "artifact without runs is rejected");
+
+  return g_failures == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  Result<Config> config_result = Config::FromArgs(argc, argv);
+  if (!config_result.ok()) {
+    std::fprintf(stderr, "bad flags: %s\n",
+                 config_result.status().message().c_str());
+    return 2;
+  }
+  const Config& config = *config_result;
+  Thresholds t;
+  t.max_errors = config.GetDouble("max_errors", t.max_errors);
+  t.max_peak_busy = config.GetDouble("max_peak_busy", t.max_peak_busy);
+  t.stage_ratio = config.GetDouble("stage_ratio", t.stage_ratio);
+  t.share_delta = config.GetDouble("share_delta", t.share_delta);
+  t.latency_ratio = config.GetDouble("latency_ratio", t.latency_ratio);
+  t.throughput_ratio =
+      config.GetDouble("throughput_ratio", t.throughput_ratio);
+
+  if (config.GetBool("self_check", false)) {
+    return SelfCheck(t);
+  }
+
+  const std::vector<std::string>& paths = config.positional();
+  if (config.GetBool("diff", false)) {
+    if (paths.size() != 2) {
+      std::fprintf(stderr,
+                   "usage: bistream-inspect --diff <base.json> <cand.json>\n");
+      return 2;
+    }
+    Result<ArtifactSummary> base = LoadAndSummarize(paths[0]);
+    Result<ArtifactSummary> cand = LoadAndSummarize(paths[1]);
+    if (!base.ok() || !cand.ok()) {
+      std::fprintf(stderr, "malformed input: %s\n",
+                   (!base.ok() ? base.status() : cand.status())
+                       .message()
+                       .c_str());
+      return 2;
+    }
+    return AnalyzeDiff(*base, *cand, t, true) > 0 ? 1 : 0;
+  }
+
+  if (paths.size() != 1) {
+    std::fprintf(
+        stderr,
+        "usage: bistream-inspect <artifact.json>\n"
+        "       bistream-inspect --diff <base.json> <candidate.json>\n"
+        "       bistream-inspect --self_check\n");
+    return 2;
+  }
+  Result<ArtifactSummary> summary = LoadAndSummarize(paths[0]);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "malformed input: %s\n",
+                 summary.status().message().c_str());
+    return 2;
+  }
+  return AnalyzeHealth(*summary, t, true) > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace bistream
+
+int main(int argc, char** argv) { return bistream::Main(argc, argv); }
