@@ -55,6 +55,37 @@ inline void ApplyTelemetryFlags(const Config& config,
       static_cast<uint64_t>(config.GetInt("trace_every", 32));
 }
 
+/// \brief Applies the runtime-backend flags: `--backend=sim|parallel`
+/// (default sim), `--queue_capacity=N` (parallel inbox bound), and
+/// `--workers=N` (0 = one thread per unit). The parallel backend measures
+/// wall-clock time, so the virtual-time telemetry sampler and tracer are
+/// forced off after ApplyTelemetryFlags — call this second.
+inline void ApplyBackendFlags(const Config& config, BicliqueOptions* options) {
+  std::string backend = config.GetString("backend", "sim");
+  if (backend == "parallel") {
+    options->backend = runtime::BackendKind::kParallel;
+    // Virtual-time sampling/tracing has no meaning on worker threads;
+    // Validate() rejects it, so zero whatever the telemetry flags set.
+    options->telemetry.sample_period = 0;
+    options->telemetry.trace_every = 0;
+  } else {
+    BISTREAM_CHECK(backend == "sim")
+        << "--backend expects 'sim' or 'parallel', got '" << backend << "'";
+    options->backend = runtime::BackendKind::kSim;
+  }
+  options->queue_capacity = static_cast<size_t>(config.GetInt(
+      "queue_capacity", static_cast<int64_t>(options->queue_capacity)));
+  options->workers = static_cast<uint32_t>(
+      config.GetInt("workers", static_cast<int64_t>(options->workers)));
+}
+
+/// \brief True when the parsed flags select the parallel backend. Benches
+/// use this to skip the capacity bisection (busy fractions are wall-time
+/// measurements there, not the sim's load model) and run fixed sweeps.
+inline bool ParallelBackendRequested(const Config& config) {
+  return config.GetString("backend", "sim") == "parallel";
+}
+
 /// \brief Collects per-run telemetry into the bench's JSON artifact.
 ///
 /// Every bench binary writes BENCH_<ID>.json (path overridable with

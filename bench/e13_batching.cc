@@ -40,6 +40,29 @@ int main(int argc, char** argv) {
     options.batch_size = static_cast<uint32_t>(batch);
     options.cost = cost;
     ApplyTelemetryFlags(config, &options);
+    ApplyBackendFlags(config, &options);
+
+    if (options.backend == runtime::BackendKind::kParallel) {
+      // Wall-clock mode: one measured run per batch size (no bisection);
+      // "capacity" is the measured wall tuples/s of that run.
+      RunReport report = RunBicliqueWorkload(
+          options, MakeWorkload(config.GetDouble("probe_rate", 2000),
+                                duration, key_domain, 83));
+      double capacity = report.wall_throughput_tps;
+      if (batch == 1) base_capacity = capacity;
+      reporter.AddRun(
+          {{"batch", static_cast<double>(batch)}, {"capacity_tps", capacity}},
+          report);
+      double msgs = static_cast<double>(report.engine.messages) /
+                    static_cast<double>(report.engine.input_tuples);
+      table.AddRow({TablePrinter::Int(batch), TablePrinter::Num(capacity, 0),
+                    TablePrinter::Num(
+                        base_capacity > 0 ? capacity / base_capacity : 0, 2),
+                    TablePrinter::Millis(report.latency.P50()),
+                    TablePrinter::Millis(report.latency.P99()),
+                    TablePrinter::Num(msgs, 2)});
+      continue;
+    }
 
     double capacity = EstimateAndMeasureCapacity(
         [&](double rate) {

@@ -31,6 +31,22 @@ double BicliqueCapacity(uint32_t units, const Config& config,
   options.archive_period = window / 8;
   options.cost = cost;
   ApplyTelemetryFlags(config, &options);
+  ApplyBackendFlags(config, &options);
+
+  if (options.backend == runtime::BackendKind::kParallel) {
+    // Wall-clock mode: there is no simulated load model to bisect against,
+    // so run the offered stream once (firehose-injected into the bounded
+    // inboxes) and report the measured wall tuples/s.
+    double rate = config.GetDouble("probe_rate", 2000);
+    RunReport report = RunBicliqueWorkload(
+        options, MakeWorkload(rate, duration, key_domain, 17));
+    JsonValue params = JsonValue::Object();
+    params.Set("engine", JsonValue::String("biclique"));
+    params.Set("units", JsonValue::Number(static_cast<uint64_t>(units)));
+    params.Set("rate_tps", JsonValue::Number(rate));
+    reporter->AddRun(std::move(params), report);
+    return report.wall_throughput_tps;
+  }
 
   double capacity = EstimateAndMeasureCapacity(
       [&](double rate) {
@@ -97,6 +113,22 @@ int main(int argc, char** argv) {
             "join-matrix, sustainable tuples/s per relation");
 
   BenchReporter reporter("E1", config);
+  if (ParallelBackendRequested(config)) {
+    // Real-hardware mode: biclique only (the matrix baseline is sim-only);
+    // the column is measured wall-clock throughput, not simulated capacity.
+    TablePrinter table({"units", "biclique_wall_tps"});
+    for (int64_t units : config.GetIntList("units", {4, 8, 16, 32})) {
+      double wall_tps = BicliqueCapacity(static_cast<uint32_t>(units), config,
+                                         cost, &reporter);
+      table.AddRow({TablePrinter::Int(units), TablePrinter::Num(wall_tps, 0)});
+    }
+    table.Print();
+    std::printf(
+        "parallel backend: measured tuples/s on worker threads; matrix "
+        "baseline skipped (sim-only)\n");
+    reporter.Finish();
+    return 0;
+  }
   TablePrinter table({"units", "biclique_tps", "matrix_tps", "speedup"});
   for (int64_t units : config.GetIntList("units", {4, 8, 16, 32})) {
     double biclique = BicliqueCapacity(static_cast<uint32_t>(units), config,

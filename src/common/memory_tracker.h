@@ -10,6 +10,7 @@
 #ifndef BISTREAM_COMMON_MEMORY_TRACKER_H_
 #define BISTREAM_COMMON_MEMORY_TRACKER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -18,8 +19,12 @@
 
 namespace bistream {
 
-/// \brief Hierarchical byte counter. Not thread-safe (the simulator is
-/// single-threaded by design).
+/// \brief Hierarchical byte counter. Thread-safe: the counters are relaxed
+/// atomics (each joiner updates its own tracker, but all roll up into the
+/// shared engine-level parent, which worker threads hit concurrently under
+/// the parallel backend). The peak is maintained with a CAS-max, so it can
+/// transiently under-report interleaved concurrent peaks by design — it is
+/// a capacity diagnostic, not an invariant.
 class MemoryTracker {
  public:
   MemoryTracker() = default;
@@ -31,32 +36,45 @@ class MemoryTracker {
 
   /// \brief Records an allocation of `bytes`.
   void Allocate(size_t bytes) {
-    current_ += static_cast<int64_t>(bytes);
-    if (current_ > peak_) peak_ = current_;
+    int64_t now =
+        current_.fetch_add(static_cast<int64_t>(bytes),
+                           std::memory_order_relaxed) +
+        static_cast<int64_t>(bytes);
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
     if (parent_ != nullptr) parent_->Allocate(bytes);
   }
 
   /// \brief Records a release of `bytes`; must not exceed current usage.
   void Release(size_t bytes) {
-    current_ -= static_cast<int64_t>(bytes);
-    BISTREAM_CHECK_GE(current_, 0) << "over-release on tracker " << label_;
+    int64_t now = current_.fetch_sub(static_cast<int64_t>(bytes),
+                                     std::memory_order_relaxed) -
+                  static_cast<int64_t>(bytes);
+    BISTREAM_CHECK_GE(now, 0) << "over-release on tracker " << label_;
     if (parent_ != nullptr) parent_->Release(bytes);
   }
 
   /// \brief Bytes currently accounted.
-  int64_t current_bytes() const { return current_; }
+  int64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
   /// \brief High-water mark since construction (or last ResetPeak).
-  int64_t peak_bytes() const { return peak_; }
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
   const std::string& label() const { return label_; }
 
   /// \brief Resets the high-water mark to current usage.
-  void ResetPeak() { peak_ = current_; }
+  void ResetPeak() {
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
 
  private:
   std::string label_;
   MemoryTracker* parent_ = nullptr;
-  int64_t current_ = 0;
-  int64_t peak_ = 0;
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
 };
 
 }  // namespace bistream

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "sim/network.h"
 
 namespace bistream {
 
@@ -58,23 +59,94 @@ Status BicliqueOptions::Validate() const {
       return Status::InvalidArgument("checkpoint_rounds must be >= 1");
     }
   }
+  if (queue_capacity < 1) {
+    return Status::InvalidArgument(
+        "queue_capacity must be >= 1: a zero-capacity inbox can never "
+        "accept a delivery");
+  }
+  if (backend == runtime::BackendKind::kSim) {
+    if (workers != 0) {
+      return Status::InvalidArgument(
+          "workers is a parallel-backend knob; the sim backend services "
+          "every unit on the event loop (leave workers = 0)");
+    }
+  } else {
+    const uint32_t threads_needed = num_routers + joiners_r + joiners_s;
+    if (workers != 0 && workers < threads_needed) {
+      return Status::InvalidArgument(
+          "workers budget too small: the parallel backend runs one thread "
+          "per unit, and " + std::to_string(num_routers) + " routers + " +
+          std::to_string(joiners_r + joiners_s) + " joiners need " +
+          std::to_string(threads_needed) + " threads");
+    }
+    if (fault_tolerance.enabled) {
+      return Status::InvalidArgument(
+          "fault tolerance requires the sim backend: the parallel backend "
+          "has no process-failure model to recover from");
+    }
+    if (fault_reorder) {
+      return Status::InvalidArgument(
+          "fault_reorder is a sim-transport fault; the parallel transport "
+          "is always FIFO");
+    }
+    if (channel_drop_probability > 0.0) {
+      return Status::InvalidArgument(
+          "channel_drop_probability is a sim-transport fault; the parallel "
+          "transport is lossless");
+    }
+    if (telemetry.sample_period > 0) {
+      return Status::InvalidArgument(
+          "mid-run telemetry sampling reads unit counters while workers "
+          "write them; set telemetry.sample_period = 0 under the parallel "
+          "backend");
+    }
+    if (telemetry.trace_every > 0) {
+      return Status::InvalidArgument(
+          "the tuple tracer is not thread-safe; set telemetry.trace_every "
+          "= 0 under the parallel backend");
+    }
+  }
   return Status::OK();
 }
 
 BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
                                ResultSink* sink)
-    : loop_(loop),
-      options_(std::move(options)),
+    : options_(std::move(options)),
       sink_(sink),
       tracker_("biclique-engine"),
-      net_(loop, options_.cost, options_.seed),
+      owned_exec_(
+          std::make_unique<SimNetwork>(loop, options_.cost, options_.seed)),
+      exec_(owned_exec_.get()),
+      clock_(exec_->clock()),
       topology_(options_.subgroups_r, options_.subgroups_s) {
-  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(loop != nullptr);
+  Init();
+}
+
+BicliqueEngine::BicliqueEngine(runtime::Executor* exec,
+                               BicliqueOptions options, ResultSink* sink)
+    : options_(std::move(options)),
+      sink_(sink),
+      tracker_("biclique-engine"),
+      exec_(exec),
+      clock_(exec_->clock()),
+      topology_(options_.subgroups_r, options_.subgroups_s) {
+  BISTREAM_CHECK(exec_ != nullptr);
+  Init();
+}
+
+void BicliqueEngine::Init() {
   BISTREAM_CHECK(sink_ != nullptr);
   Status valid = options_.Validate();
   BISTREAM_CHECK(valid.ok()) << "invalid BicliqueOptions: "
                              << valid.ToString();
 
+  if (exec_->concurrent()) {
+    // Joiners call OnResult from different worker threads; serialize them
+    // before the user's sink.
+    locking_sink_ = std::make_unique<LockingResultSink>(sink_);
+    sink_ = locking_sink_.get();
+  }
   if (options_.fault_tolerance.enabled) {
     // Replayed probes may re-derive pairs already emitted before a crash;
     // the dedup filter drops exactly those (replay-flagged) duplicates.
@@ -86,7 +158,7 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
   TelemetrySamplerOptions sampler_options;
   sampler_options.sample_period = options_.telemetry.sample_period;
   sampler_ =
-      std::make_unique<TelemetrySampler>(loop_, &metrics_, sampler_options);
+      std::make_unique<TelemetrySampler>(clock_, &metrics_, sampler_options);
   RegisterEngineGauges();
 
   if (options_.telemetry.diagnostics) {
@@ -122,14 +194,15 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
   // (routers included) — the queue_hwm gauges are per-window by contract,
   // whether or not the diagnoser consumes them.
   sampler_->SetPostSampleHook([this] {
-    for (const auto& node : net_.nodes()) node->ResetWindowQueueHwm();
+    exec_->ForEachUnit(
+        [](runtime::Unit& unit) { unit.ResetWindowQueueHwm(); });
   });
 
   channels_.resize(options_.num_routers);
 
   // Routers (and their ingestion channels from the source edge).
   for (uint32_t i = 0; i < options_.num_routers; ++i) {
-    SimNode* node = net_.AddNode("router-" + std::to_string(i));
+    runtime::Unit* node = exec_->AddUnit("router-" + std::to_string(i));
     RouterOptions router_options;
     router_options.router_id = i;
     router_options.subgroups_r = options_.subgroups_r;
@@ -139,8 +212,12 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
     router_options.retain_for_replay = options_.fault_tolerance.enabled;
     router_options.cost = options_.cost;
     router_options.tracer = tracer_.get();
+    // The punctuation cadence runs on the router unit's own clock, so the
+    // tick executes in the unit's context on every backend (the event loop
+    // under sim, the unit's worker thread under parallel).
     auto router = std::make_unique<Router>(
-        router_options, loop_, [this, i](uint32_t unit, Message msg) {
+        router_options, node->clock(),
+        [this, i](uint32_t unit, Message msg) {
           auto it = channels_[i].find(unit);
           BISTREAM_CHECK(it != channels_[i].end())
               << "router " << i << " has no channel to unit " << unit;
@@ -152,7 +229,7 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
     });
     routers_.push_back(std::move(router));
     router_nodes_.push_back(node);
-    source_channels_.push_back(net_.Connect(node));
+    source_channels_.push_back(exec_->Connect(node));
 
     std::string scope = MetricsRegistry::ScopedName("router", i, "");
     metrics_.RegisterGauge(scope + "tuples_routed", [router_ptr] {
@@ -164,7 +241,7 @@ BicliqueEngine::BicliqueEngine(EventLoop* loop, BicliqueOptions options,
     metrics_.RegisterGauge(scope + "busy_ns", [node] {
       return static_cast<double>(node->stats().busy_ns);
     });
-    // Stage decomposition (the SimNode's per-event-type split) plus the
+    // Stage decomposition (the unit's per-event-type split) plus the
     // protocol/queue state the diagnosis layer reads.
     metrics_.RegisterGauge(scope + "busy_tuple_ns", [node] {
       return static_cast<double>(node->stats().busy_tuple_ns);
@@ -221,13 +298,13 @@ void BicliqueEngine::RegisterEngineGauges() {
     return static_cast<double>(tracker_.current_bytes());
   });
   metrics_.RegisterGauge("engine.inflight_events", [this] {
-    return static_cast<double>(loop_->pending());
+    return static_cast<double>(exec_->pending_events());
   });
   metrics_.RegisterGauge("engine.messages", [this] {
-    return static_cast<double>(net_.total_messages());
+    return static_cast<double>(exec_->total_messages());
   });
   metrics_.RegisterGauge("engine.bytes", [this] {
-    return static_cast<double>(net_.total_bytes());
+    return static_cast<double>(exec_->total_bytes());
   });
   metrics_.RegisterGauge("engine.active_joiners_r", [this] {
     return static_cast<double>(topology_.NumActive(kRelationR));
@@ -268,7 +345,7 @@ void BicliqueEngine::RegisterEngineGauges() {
 }
 
 void BicliqueEngine::RegisterJoinerGauges(uint32_t unit_id, Joiner* joiner,
-                                          SimNode* node) {
+                                          runtime::Unit* node) {
   std::string scope = MetricsRegistry::ScopedName("joiner", unit_id, "");
   metrics_.RegisterGauge(scope + "busy_ns", [node] {
     return static_cast<double>(node->stats().busy_ns);
@@ -380,10 +457,10 @@ uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round,
   joiner_options.tracer = tracer_.get();
 
   JoinerEntry entry;
-  entry.node = net_.AddNode("joiner-" + std::to_string(unit_id) +
-                            (side == kRelationR ? "-R" : "-S"));
-  entry.joiner =
-      std::make_unique<Joiner>(joiner_options, loop_, sink_, &tracker_);
+  entry.node = exec_->AddUnit("joiner-" + std::to_string(unit_id) +
+                              (side == kRelationR ? "-R" : "-S"));
+  entry.joiner = std::make_unique<Joiner>(joiner_options, entry.node->clock(),
+                                          sink_, &tracker_);
   Joiner* joiner_ptr = entry.joiner.get();
   if (options_.fault_tolerance.enabled) {
     joiner_ptr->SetCheckpointFn(
@@ -395,7 +472,7 @@ uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round,
       [joiner_ptr](const Message& msg) { return joiner_ptr->Handle(msg); });
 
   for (uint32_t i = 0; i < options_.num_routers; ++i) {
-    channels_[i][unit_id] = net_.Connect(entry.node, JoinerChannelOptions());
+    channels_[i][unit_id] = exec_->Connect(entry.node, JoinerChannelOptions());
   }
   RegisterJoinerGauges(unit_id, joiner_ptr, entry.node);
   joiners_[unit_id] = std::move(entry);
@@ -405,11 +482,11 @@ uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round,
 void BicliqueEngine::Start() {
   BISTREAM_CHECK(!started_);
   started_ = true;
-  start_time_ = loop_->now();
+  start_time_ = clock_->now();
   for (auto& router : routers_) router->Start();
   if (options_.batch_size > 1) {
-    loop_->ScheduleAfter(options_.punct_interval,
-                         [this] { SourceFlushTick(); });
+    clock_->ScheduleAfter(options_.punct_interval,
+                          [this] { SourceFlushTick(); });
   }
   // The sampler polls the stop flag so it ceases rescheduling once the run
   // winds down (otherwise RunUntilIdle would never drain).
@@ -418,9 +495,9 @@ void BicliqueEngine::Start() {
 
 void BicliqueEngine::InjectNow(Tuple tuple) {
   BISTREAM_CHECK(started_) << "InjectNow before Start";
-  tuple.origin = loop_->now();
+  tuple.origin = clock_->now();
   ++input_tuples_;
-  if (tracer_->enabled()) tracer_->OnIngress(tuple, loop_->now());
+  if (tracer_->enabled()) tracer_->OnIngress(tuple, clock_->now());
   if (options_.batch_size <= 1) {
     Message msg = MakeTupleMessage(std::move(tuple), StreamKind::kStore,
                                    /*router_id=*/0, /*seq=*/0, /*round=*/0);
@@ -448,14 +525,14 @@ void BicliqueEngine::FlushSourceBatch() {
 void BicliqueEngine::SourceFlushTick() {
   if (stopped_) return;
   FlushSourceBatch();
-  loop_->ScheduleAfter(options_.punct_interval,
-                       [this] { SourceFlushTick(); });
+  clock_->ScheduleAfter(options_.punct_interval,
+                        [this] { SourceFlushTick(); });
 }
 
 void BicliqueEngine::FlushAndStop() {
   FlushSourceBatch();
   stopped_ = true;
-  for (Channel* channel : source_channels_) {
+  for (runtime::Transport* channel : source_channels_) {
     channel->Send(MakeControl(ControlOp::kStopFlush, 0));
   }
 }
@@ -463,11 +540,11 @@ void BicliqueEngine::FlushAndStop() {
 void BicliqueEngine::RunToCompletion(StreamSource* source) {
   Start();
   while (auto next = source->Next()) {
-    loop_->RunUntil(next->arrival);
+    exec_->RunUntil(next->arrival);
     InjectNow(std::move(next->tuple));
   }
   FlushAndStop();
-  loop_->RunUntilIdle();
+  exec_->RunUntilIdle();
   FinalizeDiagnostics();
 }
 
@@ -487,6 +564,11 @@ void BicliqueEngine::BroadcastEpoch(uint64_t activation_round) {
 }
 
 Result<uint32_t> BicliqueEngine::ScaleOut(RelationId side) {
+  if (exec_->concurrent()) {
+    return Status::FailedPrecondition(
+        "elastic scaling mutates router epochs from the driver thread; not "
+        "supported on a concurrent backend");
+  }
   uint64_t activation = NextActivationRound();
   uint32_t unit_id = AddJoinerUnit(side, activation);
   BroadcastEpoch(activation);
@@ -497,6 +579,11 @@ Result<uint32_t> BicliqueEngine::ScaleOut(RelationId side) {
 }
 
 Result<uint32_t> BicliqueEngine::ScaleIn(RelationId side) {
+  if (exec_->concurrent()) {
+    return Status::FailedPrecondition(
+        "elastic scaling mutates router epochs from the driver thread; not "
+        "supported on a concurrent backend");
+  }
   BISTREAM_ASSIGN_OR_RETURN(uint32_t unit_id,
                             topology_.PickDrainCandidate(side));
   RETURN_NOT_OK(topology_.StartDrain(unit_id));
@@ -513,7 +600,7 @@ Result<uint32_t> BicliqueEngine::ScaleIn(RelationId side) {
       static_cast<SimTime>(static_cast<double>(window_ns) *
                            options_.retire_grace_factor) +
       4 * options_.punct_interval;
-  loop_->ScheduleAfter(delay, [this, unit_id] {
+  clock_->ScheduleAfter(delay, [this, unit_id] {
     Status status = topology_.Retire(unit_id);
     if (!status.ok()) {
       BISTREAM_LOG(Warning) << "retire of unit " << unit_id
@@ -538,6 +625,10 @@ void BicliqueEngine::OnCheckpoint(uint32_t unit, uint64_t round,
 }
 
 Status BicliqueEngine::CrashJoiner(uint32_t unit_id) {
+  if (exec_->concurrent()) {
+    return Status::FailedPrecondition(
+        "crash injection needs the sim process-failure model");
+  }
   auto it = joiners_.find(unit_id);
   if (it == joiners_.end()) {
     return Status::NotFound("unknown unit " + std::to_string(unit_id));
@@ -575,6 +666,10 @@ std::optional<uint32_t> BicliqueEngine::InjectCrash(
 }
 
 Result<uint32_t> BicliqueEngine::RecoverUnit(uint32_t failed_unit) {
+  if (exec_->concurrent()) {
+    return Status::FailedPrecondition(
+        "recovery needs the sim process-failure model");
+  }
   if (!options_.fault_tolerance.enabled) {
     return Status::FailedPrecondition("fault tolerance is disabled");
   }
@@ -623,7 +718,7 @@ Result<uint32_t> BicliqueEngine::RecoverUnit(uint32_t failed_unit) {
   }
 
   RecoveryEvent event;
-  event.detected_at = loop_->now();
+  event.detected_at = clock_->now();
   event.failed_unit = failed_unit;
   event.replacement_unit = replacement;
   if (ckpt != nullptr) event.checkpoint_round = ckpt->round;
@@ -638,7 +733,7 @@ Result<uint32_t> BicliqueEngine::RecoverUnit(uint32_t failed_unit) {
   recovery_events_.push_back(event);
   size_t event_index = recovery_events_.size() - 1;
   repl->NotifyWhenCaughtUp(activation, [this, event_index] {
-    recovery_events_[event_index].caught_up_at = loop_->now();
+    recovery_events_[event_index].caught_up_at = clock_->now();
   });
 
   ckpt_store_.Drop(failed_unit);
@@ -650,13 +745,14 @@ Joiner* BicliqueEngine::joiner(uint32_t unit_id) {
   return it == joiners_.end() ? nullptr : it->second.joiner.get();
 }
 
-SimNode* BicliqueEngine::joiner_node(uint32_t unit_id) {
+runtime::Unit* BicliqueEngine::joiner_node(uint32_t unit_id) {
   auto it = joiners_.find(unit_id);
   return it == joiners_.end() ? nullptr : it->second.node;
 }
 
 void BicliqueEngine::ForEachLiveJoiner(
-    RelationId side, const std::function<void(Joiner&, SimNode&)>& fn) {
+    RelationId side,
+    const std::function<void(Joiner&, runtime::Unit&)>& fn) {
   for (const UnitRecord& u : topology_.units()) {
     if (TopologyManager::SideOf(u.relation) != TopologyManager::SideOf(side) ||
         (u.state != UnitState::kActive && u.state != UnitState::kDraining)) {
@@ -678,7 +774,7 @@ std::string BicliqueEngine::DescribeTopology() const {
     auto it = joiners_.find(unit.id);
     BISTREAM_CHECK(it != joiners_.end());
     const Joiner& joiner = *it->second.joiner;
-    const SimNode& node = *it->second.node;
+    const runtime::Unit& node = *it->second.node;
     char line[192];
     const char* state = unit.state == UnitState::kActive     ? "active"
                         : unit.state == UnitState::kDraining ? "draining"
@@ -695,9 +791,9 @@ std::string BicliqueEngine::DescribeTopology() const {
                   SimTimeToMillis(node.stats().busy_ns));
     out += line;
   }
-  uint64_t dropped = net_.total_dropped();
-  uint64_t dropped_dead = net_.total_dropped_dead();
-  uint64_t lost = net_.total_lost_on_crash();
+  uint64_t dropped = exec_->total_dropped();
+  uint64_t dropped_dead = exec_->total_dropped_dead();
+  uint64_t lost = exec_->total_lost_on_crash();
   if (dropped + dropped_dead + lost + crashes_ + recovery_events_.size() > 0) {
     char line[192];
     std::snprintf(line, sizeof(line),
@@ -731,7 +827,7 @@ void BicliqueEngine::FinalizeDiagnostics() {
   counters.messages_dropped_dead = stats.messages_dropped_dead;
   counters.messages_lost_on_crash = stats.messages_lost_on_crash;
   counters.makespan_ns = stats.makespan_ns;
-  diagnoser_->Finalize(loop_->now(), counters);
+  diagnoser_->Finalize(clock_->now(), counters);
 }
 
 EngineStats BicliqueEngine::Stats() const {
@@ -747,11 +843,11 @@ EngineStats BicliqueEngine::Stats() const {
     stats.expired_subindexes += js.expired_subindexes;
     stats.restored_tuples += js.restored_tuples;
   }
-  stats.messages = net_.total_messages();
-  stats.bytes = net_.total_bytes();
-  stats.messages_dropped = net_.total_dropped();
-  stats.messages_dropped_dead = net_.total_dropped_dead();
-  stats.messages_lost_on_crash = net_.total_lost_on_crash();
+  stats.messages = exec_->total_messages();
+  stats.bytes = exec_->total_bytes();
+  stats.messages_dropped = exec_->total_dropped();
+  stats.messages_dropped_dead = exec_->total_dropped_dead();
+  stats.messages_lost_on_crash = exec_->total_lost_on_crash();
   stats.crashes = crashes_;
   stats.recoveries = recovery_events_.size();
   stats.checkpoints = ckpt_store_.checkpoints_taken();
@@ -764,13 +860,13 @@ EngineStats BicliqueEngine::Stats() const {
   }
   stats.state_bytes = tracker_.current_bytes();
   stats.peak_state_bytes = tracker_.peak_bytes();
-  stats.makespan_ns = loop_->now() - start_time_;
+  stats.makespan_ns = clock_->now() - start_time_;
   if (stats.makespan_ns > 0) {
-    for (const auto& node : net_.nodes()) {
-      double busy = static_cast<double>(node->stats().busy_ns) /
+    exec_->ForEachUnit([&stats](runtime::Unit& unit) {
+      double busy = static_cast<double>(unit.stats().busy_ns) /
                     static_cast<double>(stats.makespan_ns);
       stats.max_busy_fraction = std::max(stats.max_busy_fraction, busy);
-    }
+    });
     double joiner_busy_sum = 0;
     for (const auto& [unit_id, entry] : joiners_) {
       double busy = static_cast<double>(entry.node->stats().busy_ns) /

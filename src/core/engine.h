@@ -24,11 +24,13 @@
 #include "obs/metrics.h"
 #include "obs/time_series.h"
 #include "obs/trace.h"
+#include "runtime/executor.h"
 #include "sim/fault.h"
-#include "sim/network.h"
 #include "workload/generator.h"
 
 namespace bistream {
+
+class EventLoop;
 
 /// \brief Full engine configuration.
 struct BicliqueOptions {
@@ -72,6 +74,22 @@ struct BicliqueOptions {
   /// multiple of the window. Must be >= 1.0: retiring before the unit's
   /// stored window has fully aged out loses results.
   double retire_grace_factor = 1.5;
+
+  // --- Runtime backend ----------------------------------------------------
+  /// Execution backend: kSim runs every unit on the deterministic event
+  /// loop in virtual time; kParallel gives each unit a worker thread and
+  /// measures the wall clock. Only meaningful to harness-level drivers that
+  /// construct the executor from options; an engine built directly on an
+  /// Executor* uses whatever backend it was given.
+  runtime::BackendKind backend = runtime::BackendKind::kSim;
+  /// Parallel backend: bounded per-unit inbox capacity. A full inbox blocks
+  /// senders (backpressure), which is what makes firehose injection safe.
+  size_t queue_capacity = 1024;
+  /// Parallel backend: worker-thread budget guard. 0 = auto (one thread per
+  /// unit, the only supported execution model); a nonzero value is checked
+  /// against the topology's thread need (routers + joiners) and the config
+  /// is rejected when it would not fit.
+  uint32_t workers = 0;
 
   /// \brief Joiner crash recovery (DESIGN.md §8).
   struct FaultToleranceOptions {
@@ -162,12 +180,20 @@ struct EngineStats {
   uint64_t restored_tuples = 0;
 };
 
-/// \brief The BiStream join-biclique engine over the simulated cluster.
+/// \brief The BiStream join-biclique engine over a runtime substrate.
 class BicliqueEngine {
  public:
+  /// \brief Convenience: builds the engine on a sim backend over `loop`
+  /// (the engine owns the SimNetwork it creates on top).
   /// \param loop shared event loop (not owned)
   /// \param sink result consumer (not owned)
   BicliqueEngine(EventLoop* loop, BicliqueOptions options, ResultSink* sink);
+
+  /// \brief Builds the engine on an externally-owned executor (any
+  /// backend). Options that assume sim-only capabilities (fault injection,
+  /// mid-run telemetry) are rejected when the executor is concurrent.
+  BicliqueEngine(runtime::Executor* exec, BicliqueOptions options,
+                 ResultSink* sink);
 
   BicliqueEngine(const BicliqueEngine&) = delete;
   BicliqueEngine& operator=(const BicliqueEngine&) = delete;
@@ -237,8 +263,12 @@ class BicliqueEngine {
 
   EngineStats Stats() const;
   const MemoryTracker& memory() const { return tracker_; }
-  SimNetwork& network() { return net_; }
-  EventLoop* loop() { return loop_; }
+  /// \brief The runtime backend this engine runs on.
+  runtime::Executor& executor() { return *exec_; }
+  const runtime::Executor& executor() const { return *exec_; }
+  /// \brief The driver-side clock (the executor's). Under sim this is the
+  /// event loop; ops controllers schedule their cadences here.
+  runtime::Clock* clock() const { return clock_; }
   const BicliqueOptions& options() const { return options_; }
   const TopologyManager& topology() const { return topology_; }
 
@@ -273,13 +303,14 @@ class BicliqueEngine {
     return tracer_->ComputeBreakdown();
   }
 
-  /// \brief Joiner / its node by unit id (null if unknown).
+  /// \brief Joiner / its unit by unit id (null if unknown).
   Joiner* joiner(uint32_t unit_id);
-  SimNode* joiner_node(uint32_t unit_id);
+  runtime::Unit* joiner_node(uint32_t unit_id);
 
   /// \brief Applies `fn` to every live joiner of `side`.
-  void ForEachLiveJoiner(RelationId side,
-                         const std::function<void(Joiner&, SimNode&)>& fn);
+  void ForEachLiveJoiner(
+      RelationId side,
+      const std::function<void(Joiner&, runtime::Unit&)>& fn);
 
   const std::vector<std::unique_ptr<Router>>& routers() const {
     return routers_;
@@ -293,9 +324,12 @@ class BicliqueEngine {
  private:
   struct JoinerEntry {
     std::unique_ptr<Joiner> joiner;
-    SimNode* node = nullptr;
+    runtime::Unit* node = nullptr;
   };
 
+  /// Shared constructor body: validates options, builds the sink chain,
+  /// observability, routers and the initial joiner units.
+  void Init();
   /// Creates the unit, node, channels; returns the unit id. A set
   /// `subgroup` pins the placement (recovery replacements must sit in the
   /// failed unit's subgroup); unset picks the least-populated one.
@@ -320,23 +354,30 @@ class BicliqueEngine {
   /// Registers the engine-scope callback gauges (once, at construction).
   void RegisterEngineGauges();
   /// Registers one unit's `joiner.<id>.*` callback gauges.
-  void RegisterJoinerGauges(uint32_t unit_id, Joiner* joiner, SimNode* node);
+  void RegisterJoinerGauges(uint32_t unit_id, Joiner* joiner,
+                            runtime::Unit* node);
 
-  EventLoop* loop_;
   BicliqueOptions options_;
   ResultSink* sink_;
   /// Installed between the joiners and the user sink when fault tolerance
   /// is enabled (filters replay-flagged duplicates); sink_ points at it.
   std::unique_ptr<RecoveryDedupSink> dedup_sink_;
+  /// Serializes OnResult when the backend is concurrent (joiners emit from
+  /// different worker threads); sink_ points at it.
+  std::unique_ptr<LockingResultSink> locking_sink_;
   MemoryTracker tracker_;
-  SimNetwork net_;
+  /// Set only by the EventLoop convenience constructor, which builds (and
+  /// owns) the sim backend itself.
+  std::unique_ptr<runtime::Executor> owned_exec_;
+  runtime::Executor* exec_;
+  runtime::Clock* clock_;
   TopologyManager topology_;
   std::vector<std::unique_ptr<Router>> routers_;
-  std::vector<SimNode*> router_nodes_;
-  std::vector<Channel*> source_channels_;
+  std::vector<runtime::Unit*> router_nodes_;
+  std::vector<runtime::Transport*> source_channels_;
   std::unordered_map<uint32_t, JoinerEntry> joiners_;
-  /// channels_[router][unit_id] -> channel.
-  std::vector<std::unordered_map<uint32_t, Channel*>> channels_;
+  /// channels_[router][unit_id] -> transport.
+  std::vector<std::unordered_map<uint32_t, runtime::Transport*>> channels_;
   uint64_t next_router_rr_ = 0;
   uint64_t input_tuples_ = 0;
   std::vector<BatchEntry> pending_injections_;

@@ -19,22 +19,22 @@ ChainedIndexOptions IndexOptionsFor(const JoinerOptions& options,
 }
 }  // namespace
 
-Joiner::Joiner(JoinerOptions options, EventLoop* loop, ResultSink* sink,
+Joiner::Joiner(JoinerOptions options, runtime::Clock* clock, ResultSink* sink,
                MemoryTracker* parent_tracker)
     : options_(options),
-      loop_(loop),
+      clock_(clock),
       sink_(sink),
       tracker_("joiner-" + std::to_string(options.unit_id), parent_tracker),
       index_(IndexOptionsFor(options_, &tracker_)),
       buffer_(options_.num_routers, options_.start_round) {
-  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(clock_ != nullptr);
   BISTREAM_CHECK(sink_ != nullptr);
   if (options_.checkpoint_rounds > 0) {
     BISTREAM_CHECK(options_.ordered)
         << "checkpointing requires the order-consistent protocol";
     next_checkpoint_round_ = options_.start_round + options_.checkpoint_rounds;
   }
-  last_progress_time_ = loop_->now();
+  last_progress_time_ = clock_->now();
 }
 
 SimTime Joiner::Handle(const Message& msg) {
@@ -51,7 +51,7 @@ SimTime Joiner::Handle(const Message& msg) {
     }
     case Message::Kind::kPunctuation: {
       SimTime cost = options_.cost.punctuation_ns;
-      last_progress_time_ = loop_->now();
+      last_progress_time_ = clock_->now();
       if (!options_.ordered) {
         stats_.busy_punct_ns += cost;
         return cost;
@@ -99,10 +99,10 @@ void Joiner::TraceArrival(const Message& msg) {
   if (!Tracing(msg)) return;
   if (msg.stream == StreamKind::kStore) {
     options_.tracer->OnStoreArrival(msg.tuple.relation, msg.tuple.id,
-                                    loop_->now());
+                                    clock_->now());
   } else {
     options_.tracer->OnJoinArrival(msg.tuple.relation, msg.tuple.id,
-                                   loop_->now());
+                                   clock_->now());
   }
 }
 
@@ -125,7 +125,7 @@ SimTime Joiner::ProcessTuple(const Message& msg) {
   // arrival, so the ordering component reads as zero — as it should.
   if (Tracing(msg)) {
     options_.tracer->OnRelease(msg.tuple.relation, msg.tuple.id,
-                               loop_->now());
+                               clock_->now());
   }
   return JoinBranch(msg.tuple, msg.replayed);
 }
@@ -155,7 +155,7 @@ SimTime Joiner::JoinBranch(const Tuple& probe, bool replayed) {
     }
     result.ts = std::max(probe.ts, stored.ts);
     result.key = probe.key;
-    result.emit_time = loop_->now();
+    result.emit_time = clock_->now();
     result.latency_ns =
         probe.origin <= result.emit_time ? result.emit_time - probe.origin : 0;
     result.producer_unit = options_.unit_id;
@@ -178,7 +178,7 @@ SimTime Joiner::JoinBranch(const Tuple& probe, bool replayed) {
     // Probe cost only — expiry housekeeping is amortized window maintenance,
     // not latency attributable to this tuple.
     options_.tracer->OnProbe(probe.relation, probe.id, candidates, matches,
-                             probe_cost, loop_->now());
+                             probe_cost, clock_->now());
   }
   SimTime expire_cost = dropped_subindexes * options_.cost.expire_subindex_ns;
   if (replayed) {

@@ -23,9 +23,9 @@
 #include "core/result_sink.h"
 #include "index/chained_index.h"
 #include "obs/trace.h"
-#include "sim/cost_model.h"
-#include "sim/event_loop.h"
-#include "sim/message.h"
+#include "runtime/clock.h"
+#include "runtime/cost_model.h"
+#include "runtime/message.h"
 #include "tuple/join_predicate.h"
 
 namespace bistream {
@@ -85,16 +85,16 @@ struct JoinerStats {
   SimTime busy_msg_ns = 0;      ///< message/batch framing overhead
 };
 
-/// \brief One biclique processing unit. Install Handle() as its SimNode
+/// \brief One biclique processing unit. Install Handle() as its unit
 /// handler.
 class Joiner {
  public:
   /// \param sink result consumer (not owned)
   /// \param parent_tracker memory accounting parent (may be null)
-  Joiner(JoinerOptions options, EventLoop* loop, ResultSink* sink,
+  Joiner(JoinerOptions options, runtime::Clock* clock, ResultSink* sink,
          MemoryTracker* parent_tracker);
 
-  /// \brief SimNode handler.
+  /// \brief Unit message handler.
   SimTime Handle(const Message& msg);
 
   uint32_t unit_id() const { return options_.unit_id; }
@@ -158,7 +158,7 @@ class Joiner {
   void CheckCaughtUp();
 
   JoinerOptions options_;
-  EventLoop* loop_;
+  runtime::Clock* clock_;
   ResultSink* sink_;
   MemoryTracker tracker_;
   ChainedIndex index_;

@@ -25,25 +25,35 @@ void OrderBuffer::AddTuple(Message msg) {
 void OrderBuffer::AddPunctuation(const Message& punct,
                                  std::vector<Message>* released) {
   BISTREAM_CHECK(punct.kind == Message::Kind::kPunctuation);
-  if (punct.round < next_release_) {
-    // A late-joining unit may be handed punctuations for rounds before its
-    // start round (not in normal operation, but harmless): ignore.
-    return;
+  if (punct.final_punct) {
+    // The router halts after this round: it implicitly closes every later
+    // round (recorded even for pre-start rounds — the halt still matters).
+    final_rounds_[punct.router_id] = punct.round;
   }
-  Round& round = rounds_[punct.round];
-  ++round.puncts_received;
-  BISTREAM_CHECK_LE(round.puncts_received, num_routers_)
-      << "more punctuations than routers for round " << punct.round;
+  if (punct.round >= next_release_) {
+    Round& round = rounds_[punct.round];
+    ++round.puncts_received;
+    BISTREAM_CHECK_LE(round.puncts_received + FinishedBefore(punct.round),
+                      num_routers_)
+        << "more punctuations than routers for round " << punct.round;
+  }
+  // A punctuation for a round before next_release_ (a late-joining unit
+  // handed history it does not need) adds no count, but a *final* one may
+  // still complete buffered rounds, so the release loop runs regardless.
 
   while (true) {
     auto it = rounds_.find(next_release_);
     if (it == rounds_.end()) {
       // Round has neither tuples nor punctuations yet: nothing to do. (A
-      // fully absent round cannot be skipped — its punctuations are still
-      // in flight.)
+      // fully absent round cannot be skipped — either its punctuations are
+      // still in flight, or every router has halted and nothing past this
+      // point was ever sequenced.)
       break;
     }
-    if (it->second.puncts_received < num_routers_) break;
+    if (it->second.puncts_received + FinishedBefore(next_release_) <
+        num_routers_) {
+      break;
+    }
     // Deterministic global order within the round: (seq, router_id). The
     // same (seq, router) pair can appear on both the store and the join
     // stream at different joiners, but never twice at one joiner.
@@ -59,6 +69,14 @@ void OrderBuffer::AddPunctuation(const Message& punct,
     rounds_.erase(it);
     ++next_release_;
   }
+}
+
+uint32_t OrderBuffer::FinishedBefore(uint64_t round) const {
+  uint32_t finished = 0;
+  for (const auto& [router, final_round] : final_rounds_) {
+    if (final_round < round) ++finished;
+  }
+  return finished;
 }
 
 }  // namespace bistream

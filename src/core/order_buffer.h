@@ -23,7 +23,7 @@
 #include <map>
 #include <vector>
 
-#include "sim/message.h"
+#include "runtime/message.h"
 
 namespace bistream {
 
@@ -56,10 +56,19 @@ class OrderBuffer {
     uint32_t puncts_received = 0;
   };
 
+  /// \brief Routers whose final punctuation round precedes `round` — they
+  /// halted earlier and implicitly close every round after their last.
+  uint32_t FinishedBefore(uint64_t round) const;
+
   uint32_t num_routers_;
   uint64_t next_release_;
   std::map<uint64_t, Round> rounds_;
   size_t buffered_ = 0;
+  /// Router id -> the round its final punctuation announced. Routers stop
+  /// at different rounds on a wall-clock backend (independent tick
+  /// cadences); a round is complete once every router either punctuated it
+  /// directly or finished before it.
+  std::map<uint32_t, uint64_t> final_rounds_;
 };
 
 }  // namespace bistream

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "core/result_sink.h"
-#include "sim/event_loop.h"
+#include "common/time.h"
 #include "tuple/tuple.h"
 
 namespace bistream {

@@ -10,6 +10,7 @@
 #define BISTREAM_CORE_RESULT_SINK_H_
 
 #include <cstdint>
+#include <mutex>
 
 #include "common/histogram.h"
 #include "tuple/tuple.h"
@@ -60,6 +61,25 @@ class CollectorSink final : public ResultSink {
   Histogram latency_;
   SimTime last_emit_time_ = 0;
   ResultChecker checker_;
+};
+
+/// \brief Serializing decorator for concurrent backends. Joiners on a
+/// multithreaded executor emit results from different worker threads; this
+/// wrapper funnels them through one mutex so any single-threaded sink
+/// (CollectorSink included) can sit behind it unchanged. The engine
+/// installs it automatically when Executor::concurrent() is true.
+class LockingResultSink final : public ResultSink {
+ public:
+  explicit LockingResultSink(ResultSink* wrapped) : wrapped_(wrapped) {}
+
+  void OnResult(const JoinResult& result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrapped_->OnResult(result);
+  }
+
+ private:
+  ResultSink* wrapped_;
+  std::mutex mu_;
 };
 
 }  // namespace bistream

@@ -6,12 +6,12 @@
 
 namespace bistream {
 
-Router::Router(RouterOptions options, EventLoop* loop, UnitSendFn send)
+Router::Router(RouterOptions options, runtime::Clock* clock, UnitSendFn send)
     : options_(options),
-      loop_(loop),
+      clock_(clock),
       send_(std::move(send)),
       policy_(options.subgroups_r, options.subgroups_s) {
-  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(clock_ != nullptr);
   BISTREAM_CHECK(send_ != nullptr);
   BISTREAM_CHECK_GT(options_.punct_interval, 0ULL);
 }
@@ -35,14 +35,14 @@ void Router::Start() {
   BISTREAM_CHECK(view_ != nullptr) << "Start() before initial epoch";
   BISTREAM_CHECK(!started_);
   started_ = true;
-  loop_->ScheduleAfter(options_.punct_interval, [this] { Tick(); });
+  clock_->ScheduleAfter(options_.punct_interval, [this] { Tick(); });
 }
 
 void Router::Tick() {
   if (stopped_) return;
   EmitPunctuation();
   AdvanceRound();
-  loop_->ScheduleAfter(options_.punct_interval, [this] { Tick(); });
+  clock_->ScheduleAfter(options_.punct_interval, [this] { Tick(); });
 }
 
 void Router::FlushAllBatches() {
@@ -82,13 +82,13 @@ SimTime Router::EnqueueCopy(uint32_t unit, const Tuple& tuple,
   return 0;
 }
 
-void Router::EmitPunctuation() {
+void Router::EmitPunctuation(bool final) {
   ++stats_.punctuations;
   // A round's tuples must precede its punctuation on every channel
   // (pairwise FIFO): drain all pending mini-batches first.
   FlushAllBatches();
   for (uint32_t target : view_->punct_targets) {
-    send_(target, MakePunctuation(options_.router_id, seq_, round_));
+    send_(target, MakePunctuation(options_.router_id, seq_, round_, final));
   }
 }
 
@@ -205,7 +205,11 @@ SimTime Router::Handle(const Message& msg) {
     case Message::Kind::kControl:
       if (msg.control == ControlOp::kStopFlush && !stopped_) {
         // Close the final round so joiners flush their buffers, then halt.
-        EmitPunctuation();
+        // The punctuation is marked final: on a wall-clock backend the
+        // routers' tick cadences drift, so this router's last round number
+        // can trail its peers' — order buffers must not wait on it for the
+        // higher rounds.
+        EmitPunctuation(/*final=*/true);
         stopped_ = true;
       }
       return options_.cost.punctuation_ns;
@@ -234,7 +238,7 @@ SimTime Router::RouteTuple(const Tuple& tuple) {
   ++stats_.tuples_routed;
   RouteDecision decision = policy_.Route(tuple, *view_);
   if (options_.tracer != nullptr && options_.tracer->enabled()) {
-    options_.tracer->OnRouted(tuple.relation, tuple.id, loop_->now());
+    options_.tracer->OnRouted(tuple.relation, tuple.id, clock_->now());
   }
 
   SimTime send_cost =

@@ -22,9 +22,9 @@
 #include "core/routing.h"
 #include "core/topology.h"
 #include "obs/trace.h"
-#include "sim/cost_model.h"
-#include "sim/event_loop.h"
-#include "sim/message.h"
+#include "runtime/clock.h"
+#include "runtime/cost_model.h"
+#include "runtime/message.h"
 
 namespace bistream {
 
@@ -75,11 +75,15 @@ struct ReplayRequest {
   uint64_t from_round = 0;
 };
 
-/// \brief One router service instance. Install Handle() as the SimNode
+/// \brief One router service instance. Install Handle() as the unit's
 /// handler; drive punctuation with Start()/the stop-flush control.
+///
+/// `clock` should be the unit's own clock (runtime::Unit::clock()) so the
+/// punctuation cadence runs in the unit's execution context on every
+/// backend.
 class Router {
  public:
-  Router(RouterOptions options, EventLoop* loop, UnitSendFn send);
+  Router(RouterOptions options, runtime::Clock* clock, UnitSendFn send);
 
   /// \brief Installs the view used from the given activation round on.
   /// The initial view must be scheduled for round 0 before Start().
@@ -89,8 +93,8 @@ class Router {
   /// \brief Begins the punctuation cadence.
   void Start();
 
-  /// \brief SimNode handler: routes tuple messages; a kStopFlush control
-  /// emits the final punctuation and halts the cadence.
+  /// \brief Unit message handler: routes tuple messages; a kStopFlush
+  /// control emits the final punctuation and halts the cadence.
   SimTime Handle(const Message& msg);
 
   uint64_t current_round() const { return round_; }
@@ -123,7 +127,9 @@ class Router {
   SimTime FlushUnit(uint32_t unit);
   /// Sends every pending batch (before punctuations close the round).
   void FlushAllBatches();
-  void EmitPunctuation();
+  /// \param final true on the stop-flush punctuation: announces this router
+  /// will punctuate no further rounds (see Message::final_punct).
+  void EmitPunctuation(bool final = false);
   void Tick();
   /// Advances to the next round, applying a pending epoch if scheduled.
   void AdvanceRound();
@@ -138,7 +144,7 @@ class Router {
   void GcReplayLogs();
 
   RouterOptions options_;
-  EventLoop* loop_;
+  runtime::Clock* clock_;
   UnitSendFn send_;
   RoutingPolicy policy_;
   std::shared_ptr<const TopologyView> view_;

@@ -3,7 +3,9 @@
 /// examples, and integration tests.
 ///
 /// A runner materializes a workload, drives it through a freshly built
-/// engine (biclique or matrix) on its own event loop, and returns the
+/// engine (biclique or matrix) on its own runtime backend (the
+/// deterministic event loop, or worker threads when
+/// BicliqueOptions::backend is kParallel), and returns the
 /// metrics bundle every experiment in DESIGN.md reports: throughput,
 /// latency distribution, state bytes, traffic, bottleneck utilization, and
 /// (optionally) the exactly-once check against the oracle.
@@ -12,6 +14,7 @@
 #define BISTREAM_HARNESS_RUNNER_H_
 
 #include <functional>
+#include <string>
 
 #include "core/engine.h"
 #include "matrix/matrix_engine.h"
@@ -31,6 +34,16 @@ struct RunReport {
   Histogram latency;
   /// Input tuples per virtual second, over the injection span.
   double throughput_tps = 0;
+  /// Which runtime backend produced this report ("sim" or "parallel").
+  std::string backend = "sim";
+  /// Wall-clock measurements. Only the parallel backend measures real
+  /// time; under sim wall_measured stays false and ToJson() emits the wall
+  /// fields as null (virtual time is not wall time).
+  bool wall_measured = false;
+  /// Wall nanoseconds from Start() to quiescence (parallel only).
+  SimTime wall_makespan_ns = 0;
+  /// Input tuples per wall second over the whole run (parallel only).
+  double wall_throughput_tps = 0;
   /// Oracle verification (only populated when `check` was requested).
   CheckReport check;
   bool checked = false;

@@ -20,9 +20,9 @@
 #include "common/memory_tracker.h"
 #include "core/result_sink.h"
 #include "index/chained_index.h"
-#include "sim/cost_model.h"
+#include "runtime/cost_model.h"
 #include "sim/event_loop.h"
-#include "sim/message.h"
+#include "runtime/message.h"
 
 namespace bistream {
 

@@ -20,7 +20,7 @@
 
 #include "common/time.h"
 #include "obs/json.h"
-#include "sim/event_loop.h"
+#include "common/time.h"
 
 namespace bistream {
 

@@ -54,10 +54,11 @@ Status TimeSeries::WriteJson(const std::string& path) const {
   return WriteJsonFile(path, ToJson());
 }
 
-TelemetrySampler::TelemetrySampler(EventLoop* loop, MetricsRegistry* registry,
+TelemetrySampler::TelemetrySampler(runtime::Clock* clock,
+                                   MetricsRegistry* registry,
                                    TelemetrySamplerOptions options)
-    : loop_(loop), registry_(registry), options_(options) {
-  BISTREAM_CHECK(loop_ != nullptr);
+    : clock_(clock), registry_(registry), options_(options) {
+  BISTREAM_CHECK(clock_ != nullptr);
   BISTREAM_CHECK(registry_ != nullptr);
 }
 
@@ -65,8 +66,8 @@ void TelemetrySampler::Start(std::function<bool()> stopped) {
   if (options_.sample_period == 0) return;
   BISTREAM_CHECK(!active_);
   active_ = true;
-  last_sample_time_ = loop_->now();
-  loop_->ScheduleRepeating(
+  last_sample_time_ = clock_->now();
+  clock_->ScheduleRepeating(
       options_.sample_period, [this, stopped = std::move(stopped)] {
         SampleNow();
         if (stopped && stopped()) {
@@ -87,7 +88,7 @@ bool TelemetrySampler::IsBusyCumulative(const std::string& name) {
 }
 
 void TelemetrySampler::SampleNow() {
-  SimTime now = loop_->now();
+  SimTime now = clock_->now();
   SampleRow sample = registry_->Sample();
   if (options_.derive_busy_fractions) {
     double dt = static_cast<double>(now - last_sample_time_);

@@ -1,7 +1,8 @@
 /// \file time_series.h
 /// \brief In-memory metric time series + the virtual-clock sampler.
 ///
-/// The TelemetrySampler rides the simulator's event loop: every
+/// The TelemetrySampler rides the runtime clock (the simulator's event
+/// loop under the sim backend): every
 /// `sample_period` of *virtual* time it evaluates every counter and gauge in
 /// the engine's MetricsRegistry and appends one row to a TimeSeries. This
 /// replaces the old single end-of-run aggregate with within-run visibility —
@@ -26,7 +27,7 @@
 #include "common/time.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
-#include "sim/event_loop.h"
+#include "runtime/clock.h"
 
 namespace bistream {
 
@@ -82,7 +83,7 @@ struct TelemetrySamplerOptions {
 /// is gone by construction.
 class TelemetrySampler {
  public:
-  TelemetrySampler(EventLoop* loop, MetricsRegistry* registry,
+  TelemetrySampler(runtime::Clock* clock, MetricsRegistry* registry,
                    TelemetrySamplerOptions options);
 
   /// \brief Starts periodic sampling. `stopped` is polled each tick; once it
@@ -118,7 +119,7 @@ class TelemetrySampler {
   static bool IsBusyCumulative(const std::string& name);
 
  private:
-  EventLoop* loop_;
+  runtime::Clock* clock_;
   MetricsRegistry* registry_;
   TelemetrySamplerOptions options_;
   TimeSeries series_;

@@ -19,15 +19,15 @@ Autoscaler::Autoscaler(BicliqueEngine* engine, AutoscalerOptions options)
 void Autoscaler::Start() {
   BISTREAM_CHECK(!started_);
   started_ = true;
-  engine_->loop()->ScheduleAfter(options_.interval, [this] { Tick(); });
+  engine_->clock()->ScheduleAfter(options_.interval, [this] { Tick(); });
 }
 
 double Autoscaler::SampleMetric() {
   double total = 0;
   size_t count = 0;
-  SimTime now = engine_->loop()->now();
+  SimTime now = engine_->clock()->now();
   const MetricsRegistry& metrics = engine_->metrics();
-  engine_->ForEachLiveJoiner(options_.side, [&](Joiner& joiner, SimNode&) {
+  engine_->ForEachLiveJoiner(options_.side, [&](Joiner& joiner, runtime::Unit&) {
     // Only active units drive the decision: draining units are already on
     // their way out and would bias the average down.
     uint32_t unit = joiner.unit_id();
@@ -75,7 +75,7 @@ void Autoscaler::Tick() {
   if (stopped_) return;
 
   AutoscalerSample sample;
-  sample.time = engine_->loop()->now();
+  sample.time = engine_->clock()->now();
   sample.metric_value = SampleMetric();
   sample.active_replicas = engine_->ActiveJoiners(options_.side);
 
@@ -117,7 +117,7 @@ void Autoscaler::Tick() {
   }
 
   timeline_.push_back(sample);
-  engine_->loop()->ScheduleAfter(options_.interval, [this] { Tick(); });
+  engine_->clock()->ScheduleAfter(options_.interval, [this] { Tick(); });
 }
 
 }  // namespace bistream

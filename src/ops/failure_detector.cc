@@ -17,7 +17,7 @@ FailureDetector::FailureDetector(BicliqueEngine* engine,
 void FailureDetector::Start() {
   BISTREAM_CHECK(!started_);
   started_ = true;
-  engine_->loop()->ScheduleAfter(options_.check_interval, [this] { Tick(); });
+  engine_->clock()->ScheduleAfter(options_.check_interval, [this] { Tick(); });
 }
 
 void FailureDetector::Tick() {
@@ -30,7 +30,7 @@ void FailureDetector::Tick() {
   // which would invalidate the records this loop walks. One recovery per
   // scan — the epoch/replay machinery is per-activation-round, and a
   // rescan after the backoff handles multi-failure storms.
-  SimTime now = engine_->loop()->now();
+  SimTime now = engine_->clock()->now();
   uint32_t suspect = 0;
   SimTime suspect_silence = 0;
   bool found = false;
@@ -80,7 +80,7 @@ void FailureDetector::Tick() {
     stopped_ = true;
     return;
   }
-  engine_->loop()->ScheduleAfter(
+  engine_->clock()->ScheduleAfter(
       acted ? options_.backoff : options_.check_interval, [this] { Tick(); });
 }
 

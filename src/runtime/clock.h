@@ -1,0 +1,62 @@
+/// \file clock.h
+/// \brief The runtime substrate's time and timer interface.
+///
+/// Everything core/ knows about time goes through a Clock: the current
+/// timestamp (virtual nanoseconds under the simulator, wall nanoseconds
+/// under a real backend) and one-shot / repeating timers. The sim backend's
+/// EventLoop implements Clock directly; the parallel backend hands each
+/// unit a clock whose timers are delivered through the unit's own task
+/// queue, so timer callbacks never race the unit's handler.
+
+#ifndef BISTREAM_RUNTIME_CLOCK_H_
+#define BISTREAM_RUNTIME_CLOCK_H_
+
+#include <functional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/time.h"
+
+namespace bistream {
+namespace runtime {
+
+/// \brief Timestamp + timer source. Implementations define whether now()
+/// is virtual (deterministic simulation) or wall-clock (real execution);
+/// core/ code must not assume either.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// \brief Current time in nanoseconds (virtual or wall, backend-defined).
+  virtual SimTime now() const = 0;
+
+  /// \brief Schedules `fn` to run at absolute time `when` (clamped to
+  /// now() when already past). The execution context is backend-defined:
+  /// the simulator runs it on the event loop; a unit-affine clock of the
+  /// parallel backend runs it on that unit's worker thread.
+  virtual void ScheduleAt(SimTime when, std::function<void()> fn) = 0;
+
+  /// \brief Schedules `fn` to run `delay` nanoseconds from now.
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now() + delay, std::move(fn));
+  }
+
+  /// \brief Runs `fn` every `period` ns, starting one period from now, for
+  /// as long as `fn` returns true. A tick that returns false is the last —
+  /// nothing stays scheduled, so the backend can quiesce. The rearm happens
+  /// inside the tick itself, so on a unit-affine clock every tick runs on
+  /// that unit's thread.
+  void ScheduleRepeating(SimTime period, std::function<bool()> fn) {
+    BISTREAM_CHECK(fn != nullptr);
+    BISTREAM_CHECK_GT(period, 0ULL);
+    ScheduleAfter(period, [this, period, fn = std::move(fn)]() mutable {
+      if (!fn()) return;
+      ScheduleRepeating(period, std::move(fn));
+    });
+  }
+};
+
+}  // namespace runtime
+}  // namespace bistream
+
+#endif  // BISTREAM_RUNTIME_CLOCK_H_

@@ -8,8 +8,8 @@
 /// against bench/micro_index on commodity hardware; every figure-level bench
 /// allows overriding them (--cost_probe_ns etc.) for sensitivity analysis.
 
-#ifndef BISTREAM_SIM_COST_MODEL_H_
-#define BISTREAM_SIM_COST_MODEL_H_
+#ifndef BISTREAM_RUNTIME_COST_MODEL_H_
+#define BISTREAM_RUNTIME_COST_MODEL_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -91,4 +91,4 @@ struct CostModel {
 
 }  // namespace bistream
 
-#endif  // BISTREAM_SIM_COST_MODEL_H_
+#endif  // BISTREAM_RUNTIME_COST_MODEL_H_

@@ -1,0 +1,111 @@
+/// \file executor.h
+/// \brief The runtime substrate: everything core/ needs from an execution
+/// backend.
+///
+/// An Executor owns the cluster's units and transports and drives them to
+/// completion. Two backends implement it: the deterministic simulator
+/// (sim/SimNetwork — virtual time, cost-model charges, fault injection)
+/// and the multithreaded parallel executor (runtime/parallel — one worker
+/// thread per unit, wall-clock time, measured busy accounting). Core engine
+/// code programs against this interface only; which backend it gets is a
+/// construction-time choice.
+
+#ifndef BISTREAM_RUNTIME_EXECUTOR_H_
+#define BISTREAM_RUNTIME_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/time.h"
+#include "runtime/clock.h"
+#include "runtime/cost_model.h"
+#include "runtime/transport.h"
+#include "runtime/unit.h"
+
+namespace bistream {
+namespace runtime {
+
+/// \brief Which execution backend an Executor implements.
+enum class BackendKind : uint8_t {
+  /// Deterministic single-threaded simulation on virtual time.
+  kSim = 0,
+  /// Real threads on wall-clock time.
+  kParallel = 1,
+};
+
+inline const char* BackendName(BackendKind kind) {
+  return kind == BackendKind::kSim ? "sim" : "parallel";
+}
+
+/// \brief Execution backend: unit/transport factory plus the run loop.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual BackendKind kind() const = 0;
+
+  /// \brief True when units execute concurrently (handlers on different
+  /// units may run at the same time). Engines use this to gate features
+  /// that assume single-threaded execution (fault injection, elastic
+  /// scaling, mid-run sampling) and to lock shared sinks.
+  bool concurrent() const { return kind() != BackendKind::kSim; }
+
+  /// \brief Creates a unit with a debug label; the executor keeps ownership.
+  virtual Unit* AddUnit(const std::string& label) = 0;
+
+  /// \brief Creates a transport to `dst` with backend-default behaviour.
+  virtual Transport* Connect(Unit* dst) = 0;
+
+  /// \brief Creates a transport to `dst` with explicit options (latency /
+  /// jitter / fault knobs are sim-only; the parallel backend ignores them).
+  virtual Transport* Connect(Unit* dst, ChannelOptions options) = 0;
+
+  /// \brief The driver-side clock (virtual under sim, wall under parallel).
+  /// Individual units additionally expose unit-affine clocks via
+  /// Unit::clock().
+  virtual Clock* clock() = 0;
+
+  /// \brief The cost model units charge virtual time from. The parallel
+  /// backend carries one too (handlers still compute the virtual charges;
+  /// the executor just ignores them in favor of measured time).
+  virtual const CostModel& cost() const = 0;
+
+  /// \brief Runs until `deadline`. The sim backend executes every event
+  /// with timestamp <= deadline and advances virtual now() to the deadline.
+  /// The parallel backend treats this as a driver-side service point: it
+  /// drains driver tasks and returns immediately — wall time is not
+  /// throttled to the workload's virtual arrival schedule (injection runs
+  /// firehose; a full unit queue blocks the driver as backpressure).
+  virtual void RunUntil(SimTime deadline) = 0;
+
+  /// \brief Runs until the whole cluster is quiescent: no queued messages,
+  /// no pending tasks, and no armed one-shot work. Repeating timers whose
+  /// callback has stopped rearming do not hold this open.
+  virtual void RunUntilIdle() = 0;
+
+  /// \brief In-flight work items (events under sim; queued messages plus
+  /// pending tasks/timers under parallel). An observability gauge, not a
+  /// synchronization primitive.
+  virtual uint64_t pending_events() const = 0;
+
+  /// \brief Total messages sent across all transports.
+  virtual uint64_t total_messages() const = 0;
+  /// \brief Total bytes sent across all transports.
+  virtual uint64_t total_bytes() const = 0;
+  /// \brief Messages silently lost in transit (fault injection; 0 on
+  /// backends without a fault model).
+  virtual uint64_t total_dropped() const = 0;
+  /// \brief Deliveries discarded because the destination unit was down.
+  virtual uint64_t total_dropped_dead() const = 0;
+  /// \brief Inbox messages wiped by unit crashes.
+  virtual uint64_t total_lost_on_crash() const = 0;
+
+  /// \brief Visits every unit the executor owns, in creation order.
+  virtual void ForEachUnit(const std::function<void(Unit&)>& fn) = 0;
+};
+
+}  // namespace runtime
+}  // namespace bistream
+
+#endif  // BISTREAM_RUNTIME_EXECUTOR_H_

@@ -1,4 +1,4 @@
-#include "sim/message.h"
+#include "runtime/message.h"
 
 #include <cstdio>
 
@@ -65,12 +65,14 @@ Message MakeTupleMessage(Tuple tuple, StreamKind stream, uint32_t router_id,
   return msg;
 }
 
-Message MakePunctuation(uint32_t router_id, uint64_t seq, uint64_t round) {
+Message MakePunctuation(uint32_t router_id, uint64_t seq, uint64_t round,
+                        bool final_punct) {
   Message msg;
   msg.kind = Message::Kind::kPunctuation;
   msg.router_id = router_id;
   msg.seq = seq;
   msg.round = round;
+  msg.final_punct = final_punct;
   return msg;
 }
 

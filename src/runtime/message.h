@@ -1,5 +1,5 @@
 /// \file message.h
-/// \brief Messages exchanged between simulated services.
+/// \brief Messages exchanged between engine units, on any backend.
 ///
 /// One concrete message type keeps the hot path allocation-light; the
 /// router/joiner protocols of both engines (biclique and matrix) are encoded
@@ -8,8 +8,8 @@
 /// protocol's signal counters; kControl messages carry coordinator commands
 /// (topology epoch changes for elastic scaling).
 
-#ifndef BISTREAM_SIM_MESSAGE_H_
-#define BISTREAM_SIM_MESSAGE_H_
+#ifndef BISTREAM_RUNTIME_MESSAGE_H_
+#define BISTREAM_RUNTIME_MESSAGE_H_
 
 #include <cstdint>
 #include <string>
@@ -82,6 +82,13 @@ struct Message {
   uint64_t seq = 0;
   /// Punctuation round this message belongs to / announces.
   uint64_t round = 0;
+  /// True on the punctuation a stopping router emits for its last round:
+  /// the router will punctuate no further rounds, so order buffers may
+  /// treat every later round as already closed by it. Routers on a
+  /// wall-clock backend stop at *different* final rounds (their tick
+  /// cadences run on independent worker threads); without this marker the
+  /// highest rounds would wait forever for punctuations that never come.
+  bool final_punct = false;
 
   // --- kControl fields ---
   ControlOp control = ControlOp::kNone;
@@ -99,8 +106,10 @@ Message MakeTupleMessage(Tuple tuple, StreamKind stream, uint32_t router_id,
                          uint64_t seq, uint64_t round);
 
 /// \brief Builds a punctuation (signal-tuple) message announcing that the
-/// router has finished emitting round `round` at counter `seq`.
-Message MakePunctuation(uint32_t router_id, uint64_t seq, uint64_t round);
+/// router has finished emitting round `round` at counter `seq`. Pass
+/// `final_punct` on the stopping router's last round.
+Message MakePunctuation(uint32_t router_id, uint64_t seq, uint64_t round,
+                        bool final_punct = false);
 
 /// \brief Builds a coordinator control message.
 Message MakeControl(ControlOp op, uint64_t arg);
@@ -110,4 +119,4 @@ Message MakeBatch(std::vector<BatchEntry> entries, uint32_t router_id);
 
 }  // namespace bistream
 
-#endif  // BISTREAM_SIM_MESSAGE_H_
+#endif  // BISTREAM_RUNTIME_MESSAGE_H_

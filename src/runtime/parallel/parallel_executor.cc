@@ -1,0 +1,357 @@
+#include "runtime/parallel/parallel_executor.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bistream {
+namespace runtime {
+
+// --- ParallelUnit ---
+
+ParallelUnit::ParallelUnit(ParallelExecutor* exec, uint32_t id,
+                           std::string label, size_t queue_capacity)
+    : exec_(exec),
+      id_(id),
+      label_(std::move(label)),
+      capacity_(queue_capacity),
+      clock_(this) {
+  BISTREAM_CHECK(exec_ != nullptr);
+  BISTREAM_CHECK_GE(capacity_, size_t{1});
+}
+
+ParallelUnit::~ParallelUnit() { StopWorker(); }
+
+void ParallelUnit::SetHandler(NodeHandler handler) {
+  // Pre-start wiring: the worker reads handler_ only after a delivery,
+  // whose queue mutex orders it after this write.
+  std::lock_guard<std::mutex> lk(mu_);
+  handler_ = std::move(handler);
+}
+
+void ParallelUnit::Deliver(Message msg) {
+  // Count the message before it becomes poppable: were the increment to
+  // follow the push, the receiving worker could pop, finish, and decrement
+  // first, letting the executor observe a transient zero and declare
+  // quiescence with work still in flight.
+  exec_->IncOutstanding();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [this] { return inbox_.size() < capacity_ || stop_; });
+    BISTREAM_CHECK(!stop_) << "delivery to " << label_
+                           << " after executor shutdown";
+    inbox_.push_back(std::move(msg));
+    if (inbox_.size() > max_queue_depth_) max_queue_depth_ = inbox_.size();
+    if (inbox_.size() > window_queue_hwm_) window_queue_hwm_ = inbox_.size();
+  }
+  not_empty_.notify_one();
+}
+
+void ParallelUnit::Fail() {
+  BISTREAM_CHECK(false) << "the parallel backend has no process-failure "
+                           "model; crash injection is sim-only";
+}
+
+void ParallelUnit::Restart() {
+  BISTREAM_CHECK(false) << "the parallel backend has no process-failure "
+                           "model; crash injection is sim-only";
+}
+
+size_t ParallelUnit::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return inbox_.size();
+}
+
+size_t ParallelUnit::window_queue_hwm() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return window_queue_hwm_;
+}
+
+void ParallelUnit::ResetWindowQueueHwm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  window_queue_hwm_ = inbox_.size();
+}
+
+double ParallelUnit::SampleUtilization(SimTime now) {
+  // Same windowed busy-fraction the sim node reports; only meaningful when
+  // the executor is quiescent (post-run) or from the worker itself.
+  SimTime elapsed = now - last_sample_time_;
+  SimTime busy = stats_.busy_ns;
+  double util = 0.0;
+  if (elapsed > 0) {
+    util = static_cast<double>(busy - last_sample_busy_) /
+           static_cast<double>(elapsed);
+  }
+  last_sample_time_ = now;
+  last_sample_busy_ = busy;
+  return util;
+}
+
+SimTime ParallelUnit::UnitClock::now() const { return unit_->exec_->NowNs(); }
+
+void ParallelUnit::UnitClock::ScheduleAt(SimTime when,
+                                         std::function<void()> fn) {
+  unit_->exec_->ArmTimer(unit_, when, std::move(fn));
+}
+
+void ParallelUnit::PostTask(std::function<void()> fn) {
+  // Increment-before-push, same reason as Deliver().
+  exec_->IncOutstanding();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  not_empty_.notify_one();
+}
+
+void ParallelUnit::StartWorker() {
+  worker_ = std::thread([this] { Run(); });
+}
+
+void ParallelUnit::StopWorker() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void ParallelUnit::Run() {
+  for (;;) {
+    std::function<void()> task;
+    Message msg;
+    bool have_msg = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      not_empty_.wait(lk, [this] {
+        return stop_ || !tasks_.empty() || !inbox_.empty();
+      });
+      // Timer tasks first: they are rare control work (punctuation ticks)
+      // and must not starve behind a full data backlog.
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (!inbox_.empty()) {
+        msg = std::move(inbox_.front());
+        inbox_.pop_front();
+        have_msg = true;
+        // Publish queue peaks into stats_ while we hold mu_ anyway.
+        stats_.max_queue_depth = max_queue_depth_;
+        not_full_.notify_one();
+      } else {
+        return;  // stop_ && drained.
+      }
+    }
+    if (task) {
+      // Timer callbacks are loop work, not unit service time — mirrors the
+      // sim, where Router::Tick runs as an event-loop event and only the
+      // messages it sends get charged at their receivers.
+      task();
+      exec_->DecOutstanding();
+      continue;
+    }
+    if (!have_msg) continue;
+    BISTREAM_CHECK(handler_ != nullptr)
+        << "unit " << label_ << " serviced before SetHandler";
+    ++stats_.messages_processed;
+    if (msg.kind == Message::Kind::kTuple) {
+      ++stats_.tuple_messages;
+    } else if (msg.kind == Message::Kind::kBatch) {
+      stats_.tuple_messages += msg.batch.size();
+    } else if (msg.kind == Message::Kind::kPunctuation) {
+      ++stats_.punctuation_messages;
+    }
+    SimTime start = exec_->NowNs();
+    handler_(msg);  // Virtual-time return value ignored: time is measured.
+    SimTime service = exec_->NowNs() - start;
+    stats_.busy_ns += service;
+    switch (msg.kind) {
+      case Message::Kind::kTuple:
+        stats_.busy_tuple_ns += service;
+        break;
+      case Message::Kind::kPunctuation:
+        stats_.busy_punctuation_ns += service;
+        break;
+      case Message::Kind::kBatch:
+        stats_.busy_batch_ns += service;
+        break;
+      case Message::Kind::kControl:
+        stats_.busy_control_ns += service;
+        break;
+    }
+    exec_->DecOutstanding();
+  }
+}
+
+// --- ParallelTransport ---
+
+void ParallelTransport::Send(Message msg) {
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(msg.WireBytes(), std::memory_order_relaxed);
+  dst_->Deliver(std::move(msg));
+}
+
+// --- ParallelExecutor ---
+
+ParallelExecutor::ParallelExecutor(const CostModel& cost,
+                                   ParallelExecutorOptions options)
+    : cost_(cost),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      driver_clock_(this) {
+  BISTREAM_CHECK_GE(options_.queue_capacity, size_t{1});
+  timer_thread_ = std::thread([this] { TimerLoop(); });
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  for (auto& unit : units_) unit->StopWorker();
+}
+
+SimTime ParallelExecutor::NowNs() const {
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Unit* ParallelExecutor::AddUnit(const std::string& label) {
+  units_.push_back(std::make_unique<ParallelUnit>(
+      this, next_unit_id_++, label, options_.queue_capacity));
+  units_.back()->StartWorker();
+  return units_.back().get();
+}
+
+Transport* ParallelExecutor::Connect(Unit* dst) {
+  transports_.push_back(
+      std::make_unique<ParallelTransport>(static_cast<ParallelUnit*>(dst)));
+  return transports_.back().get();
+}
+
+Transport* ParallelExecutor::Connect(Unit* dst, ChannelOptions /*options*/) {
+  return Connect(dst);
+}
+
+void ParallelExecutor::RunUntil(SimTime /*deadline*/) { DrainDriverTasks(); }
+
+void ParallelExecutor::RunUntilIdle() {
+  for (;;) {
+    DrainDriverTasks();
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    if (outstanding_.load(std::memory_order_acquire) == 0) return;
+    {
+      std::lock_guard<std::mutex> dlk(driver_mu_);
+      if (!driver_tasks_.empty()) continue;  // Run our own work first.
+    }
+    // The wait_for bound is a belt-and-braces fallback; DecOutstanding and
+    // PostDriverTask both notify.
+    idle_cv_.wait_for(lk, std::chrono::milliseconds(5));
+  }
+}
+
+uint64_t ParallelExecutor::total_messages() const {
+  uint64_t total = 0;
+  for (const auto& t : transports_) total += t->messages_sent();
+  return total;
+}
+
+uint64_t ParallelExecutor::total_bytes() const {
+  uint64_t total = 0;
+  for (const auto& t : transports_) total += t->bytes_sent();
+  return total;
+}
+
+void ParallelExecutor::ForEachUnit(const std::function<void(Unit&)>& fn) {
+  for (auto& unit : units_) fn(*unit);
+}
+
+SimTime ParallelExecutor::DriverClock::now() const { return exec_->NowNs(); }
+
+void ParallelExecutor::DriverClock::ScheduleAt(SimTime when,
+                                               std::function<void()> fn) {
+  exec_->ArmTimer(nullptr, when, std::move(fn));
+}
+
+void ParallelExecutor::ArmTimer(ParallelUnit* unit, SimTime when,
+                                std::function<void()> fn) {
+  BISTREAM_CHECK(fn != nullptr);
+  IncOutstanding();
+  {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    timer_heap_.push(TimerEntry{when, next_timer_seq_++, unit, std::move(fn)});
+  }
+  timer_cv_.notify_all();
+}
+
+void ParallelExecutor::TimerLoop() {
+  std::unique_lock<std::mutex> lk(timer_mu_);
+  for (;;) {
+    if (timer_stop_) return;
+    if (timer_heap_.empty()) {
+      timer_cv_.wait(lk);
+      continue;
+    }
+    SimTime when = timer_heap_.top().when;
+    if (NowNs() < when) {
+      timer_cv_.wait_until(lk, epoch_ + std::chrono::nanoseconds(when));
+      continue;
+    }
+    // priority_queue::top() is const; move the payload out before popping
+    // (safe: popped immediately).
+    TimerEntry& top = const_cast<TimerEntry&>(timer_heap_.top());
+    ParallelUnit* unit = top.unit;
+    std::function<void()> fn = std::move(top.fn);
+    timer_heap_.pop();
+    lk.unlock();
+    // Hand the callback to its execution context *before* releasing this
+    // timer's outstanding count, so quiescence can't be observed between.
+    if (unit != nullptr) {
+      unit->PostTask(std::move(fn));
+    } else {
+      PostDriverTask(std::move(fn));
+    }
+    DecOutstanding();
+    lk.lock();
+  }
+}
+
+void ParallelExecutor::PostDriverTask(std::function<void()> fn) {
+  IncOutstanding();
+  {
+    std::lock_guard<std::mutex> lk(driver_mu_);
+    driver_tasks_.push_back(std::move(fn));
+  }
+  idle_cv_.notify_all();
+}
+
+void ParallelExecutor::DrainDriverTasks() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lk(driver_mu_);
+      if (driver_tasks_.empty()) return;
+      task = std::move(driver_tasks_.front());
+      driver_tasks_.pop_front();
+    }
+    task();
+    DecOutstanding();
+  }
+}
+
+void ParallelExecutor::DecOutstanding() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace runtime
+}  // namespace bistream

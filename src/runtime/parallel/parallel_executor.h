@@ -1,0 +1,289 @@
+/// \file parallel_executor.h
+/// \brief The multithreaded wall-clock execution backend.
+///
+/// Each unit is a dedicated worker thread draining a bounded MPSC FIFO
+/// queue; transports hand messages straight to the destination queue, so
+/// delivery is pairwise FIFO per sender — exactly the transport assumption
+/// (Definition 8) the order-consistent punctuation protocol needs, which is
+/// why the protocol carries over from the simulator unchanged. Time is the
+/// wall clock (nanoseconds since executor construction) and NodeStats busy
+/// time is measured around the handler instead of charged from the cost
+/// model.
+///
+/// Threading model:
+///  - One worker thread per unit (a unit is logically single-threaded, so
+///    its handler never races itself). Multiplexing units onto fewer
+///    threads would deadlock under backpressure — a router blocked pushing
+///    into a full joiner queue must not occupy the thread that joiner
+///    needs to drain it — so the thread count equals the unit count.
+///  - One timer thread owns the timer heap. Unit-affine timers (armed via
+///    Unit::clock()) are dispatched into the unit's own task queue and run
+///    on its worker thread; driver timers (armed via Executor::clock())
+///    run on the driver thread inside RunUntil/RunUntilIdle.
+///  - A full destination queue blocks the sender (backpressure). The
+///    driver injecting tuples is throttled the same way, which is what
+///    makes firehose injection safe.
+///  - Quiescence is an atomic count of in-flight work items (queued
+///    messages, queued tasks, armed timers). Every enqueue of child work
+///    happens before the parent item's decrement, so observing zero with
+///    acquire ordering means the cluster is quiescent and all unit stats
+///    are safe to read.
+///
+/// Not implemented (engines must gate on Executor::concurrent()): the
+/// process-failure model (Fail/Restart), message dropping, reordering
+/// fault injection, and mid-run telemetry sampling.
+
+#ifndef BISTREAM_RUNTIME_PARALLEL_PARALLEL_EXECUTOR_H_
+#define BISTREAM_RUNTIME_PARALLEL_PARALLEL_EXECUTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.h"
+
+namespace bistream {
+namespace runtime {
+
+class ParallelExecutor;
+
+struct ParallelExecutorOptions {
+  /// Bounded per-unit message-queue capacity; a full queue blocks senders.
+  size_t queue_capacity = 1024;
+};
+
+/// \brief One engine unit backed by a dedicated worker thread.
+class ParallelUnit final : public Unit {
+ public:
+  ParallelUnit(ParallelExecutor* exec, uint32_t id, std::string label,
+               size_t queue_capacity);
+  ~ParallelUnit() override;
+
+  ParallelUnit(const ParallelUnit&) = delete;
+  ParallelUnit& operator=(const ParallelUnit&) = delete;
+
+  /// \brief Installs the handler. Must happen before the first delivery.
+  void SetHandler(NodeHandler handler) override;
+
+  /// \brief Enqueues a message; blocks while the queue is at capacity
+  /// (sender-side backpressure). Callable from any thread.
+  void Deliver(Message msg) override;
+
+  /// \brief The process-failure model is sim-only; engines gate crash
+  /// injection on Executor::concurrent(), so reaching this is a bug.
+  void Fail() override;
+  void Restart() override;
+  bool alive() const override { return true; }
+
+  uint32_t id() const override { return id_; }
+  const std::string& label() const override { return label_; }
+
+  /// \brief Stable only after the executor has quiesced (the worker writes
+  /// these fields without a lock; RunUntilIdle's acquire on the in-flight
+  /// counter publishes them).
+  const NodeStats& stats() const override { return stats_; }
+
+  size_t queue_depth() const override;
+  size_t window_queue_hwm() const override;
+  void ResetWindowQueueHwm() override;
+  double SampleUtilization(SimTime now) override;
+
+  /// \brief Unit-affine clock: timers run on this unit's worker thread.
+  Clock* clock() override { return &clock_; }
+
+ private:
+  friend class ParallelExecutor;
+
+  /// Clock whose timers are delivered through the owning unit's task queue.
+  class UnitClock final : public Clock {
+   public:
+    explicit UnitClock(ParallelUnit* unit) : unit_(unit) {}
+    SimTime now() const override;
+    void ScheduleAt(SimTime when, std::function<void()> fn) override;
+
+   private:
+    ParallelUnit* unit_;
+  };
+
+  /// \brief Enqueues a closure to run on the worker thread (timer
+  /// dispatch). Unbounded: timer callbacks must never block the timer
+  /// thread behind data backpressure.
+  void PostTask(std::function<void()> fn);
+
+  void StartWorker();
+  void StopWorker();
+  void Run();
+
+  ParallelExecutor* exec_;
+  uint32_t id_;
+  std::string label_;
+  size_t capacity_;
+  UnitClock clock_;
+  NodeHandler handler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Message> inbox_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  size_t window_queue_hwm_ = 0;  // Guarded by mu_ (senders update it).
+  size_t max_queue_depth_ = 0;   // Guarded by mu_; copied to stats_ on read.
+
+  /// Written only by the worker thread (busy/message counters), except the
+  /// queue-depth fields the worker copies from the mu_-guarded mirrors.
+  NodeStats stats_;
+  SimTime last_sample_time_ = 0;
+  SimTime last_sample_busy_ = 0;
+
+  std::thread worker_;
+};
+
+/// \brief A transport delivering directly into the destination's queue.
+class ParallelTransport final : public Transport {
+ public:
+  explicit ParallelTransport(ParallelUnit* dst) : dst_(dst) {}
+
+  void Send(Message msg) override;
+
+  ParallelUnit* destination() const override { return dst_; }
+  uint64_t messages_sent() const override {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_sent() const override {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t messages_dropped() const override { return 0; }
+
+ private:
+  ParallelUnit* dst_;
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+};
+
+/// \brief The wall-clock, thread-per-unit Executor implementation.
+class ParallelExecutor final : public Executor {
+ public:
+  explicit ParallelExecutor(const CostModel& cost,
+                            ParallelExecutorOptions options = {});
+  ~ParallelExecutor() override;
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  BackendKind kind() const override { return BackendKind::kParallel; }
+
+  Unit* AddUnit(const std::string& label) override;
+  Transport* Connect(Unit* dst) override;
+  /// \brief Options are accepted for interface parity but ignored: the
+  /// in-process handoff has no modeled latency/jitter/drop and is always
+  /// FIFO.
+  Transport* Connect(Unit* dst, ChannelOptions options) override;
+
+  Clock* clock() override { return &driver_clock_; }
+  const CostModel& cost() const override { return cost_; }
+
+  /// \brief Driver-side service point: drains driver-clock tasks and
+  /// returns immediately. Wall execution is not throttled to the virtual
+  /// deadline — see the file comment.
+  void RunUntil(SimTime deadline) override;
+
+  /// \brief Blocks until every queued message, task, and armed timer has
+  /// completed. Also the publication point for unit stats.
+  void RunUntilIdle() override;
+
+  uint64_t pending_events() const override {
+    return static_cast<uint64_t>(
+        outstanding_.load(std::memory_order_acquire));
+  }
+
+  uint64_t total_messages() const override;
+  uint64_t total_bytes() const override;
+  uint64_t total_dropped() const override { return 0; }
+  uint64_t total_dropped_dead() const override { return 0; }
+  uint64_t total_lost_on_crash() const override { return 0; }
+
+  void ForEachUnit(const std::function<void(Unit&)>& fn) override;
+
+  /// \brief Worker threads spawned (== units created).
+  size_t worker_threads() const { return units_.size(); }
+
+  /// \brief Wall nanoseconds since executor construction.
+  SimTime NowNs() const;
+
+ private:
+  friend class ParallelUnit;
+
+  class DriverClock final : public Clock {
+   public:
+    explicit DriverClock(ParallelExecutor* exec) : exec_(exec) {}
+    SimTime now() const override;
+    void ScheduleAt(SimTime when, std::function<void()> fn) override;
+
+   private:
+    ParallelExecutor* exec_;
+  };
+
+  struct TimerEntry {
+    SimTime when;
+    uint64_t seq;
+    ParallelUnit* unit;  // nullptr => driver-clock timer.
+    std::function<void()> fn;
+  };
+  struct TimerLater {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// \brief Arms a timer. `unit == nullptr` targets the driver thread.
+  void ArmTimer(ParallelUnit* unit, SimTime when, std::function<void()> fn);
+  void TimerLoop();
+  void PostDriverTask(std::function<void()> fn);
+  void DrainDriverTasks();
+
+  void IncOutstanding() {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void DecOutstanding();
+
+  CostModel cost_;
+  ParallelExecutorOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+  DriverClock driver_clock_;
+
+  std::vector<std::unique_ptr<ParallelUnit>> units_;
+  std::vector<std::unique_ptr<ParallelTransport>> transports_;
+  uint32_t next_unit_id_ = 0;
+
+  /// In-flight work items; zero (with acquire) means quiescent.
+  std::atomic<int64_t> outstanding_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater>
+      timer_heap_;
+  uint64_t next_timer_seq_ = 0;
+  bool timer_stop_ = false;
+  std::thread timer_thread_;
+
+  std::mutex driver_mu_;
+  std::deque<std::function<void()>> driver_tasks_;
+};
+
+}  // namespace runtime
+}  // namespace bistream
+
+#endif  // BISTREAM_RUNTIME_PARALLEL_PARALLEL_EXECUTOR_H_

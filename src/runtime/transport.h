@@ -1,0 +1,59 @@
+/// \file transport.h
+/// \brief The runtime substrate's point-to-point send interface.
+///
+/// A Transport is a unidirectional FIFO link from one sender to one
+/// destination unit — the abstraction behind the paper's pairwise-FIFO
+/// assumption (Definition 8). The sim backend implements it with modeled
+/// latency/jitter/fault channels; the parallel backend with a direct
+/// bounded-queue handoff (in-process delivery is trivially FIFO per sender).
+
+#ifndef BISTREAM_RUNTIME_TRANSPORT_H_
+#define BISTREAM_RUNTIME_TRANSPORT_H_
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "runtime/message.h"
+#include "runtime/unit.h"
+
+namespace bistream {
+
+/// \brief Per-channel delivery behaviour. The latency/jitter/fault knobs
+/// are honored by the sim backend only; the parallel backend delivers
+/// immediately and always preserves FIFO.
+struct ChannelOptions {
+  /// Base one-way latency.
+  SimTime latency_ns = 200 * kMicrosecond;
+  /// Uniform jitter in [0, jitter_ns] added per message.
+  SimTime jitter_ns = 0;
+  /// When true (default) deliveries never reorder within the channel.
+  bool preserve_fifo = true;
+  /// Probability a message is silently lost (fault injection; the
+  /// order-consistent protocol assumes a lossless transport — Definition 7
+  /// — and tests use this knob to show the oracle detects violations).
+  double drop_probability = 0.0;
+};
+
+namespace runtime {
+
+/// \brief A unidirectional link to one unit. Send may block (parallel
+/// backend backpressure when the destination queue is full) but never
+/// reorders messages from the same sender.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// \brief Sends a message toward the destination unit. Wire bytes are
+  /// accounted for the communication-cost experiments.
+  virtual void Send(Message msg) = 0;
+
+  virtual Unit* destination() const = 0;
+  virtual uint64_t messages_sent() const = 0;
+  virtual uint64_t bytes_sent() const = 0;
+  virtual uint64_t messages_dropped() const = 0;
+};
+
+}  // namespace runtime
+}  // namespace bistream
+
+#endif  // BISTREAM_RUNTIME_TRANSPORT_H_

@@ -1,0 +1,117 @@
+/// \file unit.h
+/// \brief The runtime substrate's processing-unit interface.
+///
+/// A Unit models the paper's "processing unit" (a Storm executor / container
+/// pod): a logically single-threaded server with a FIFO input queue, a
+/// message handler, and busy-time accounting. The sim backend services the
+/// queue on the deterministic event loop and charges virtual nanoseconds
+/// returned by the handler; the parallel backend dedicates a worker thread
+/// per unit and measures real wall time around the handler instead.
+
+#ifndef BISTREAM_RUNTIME_UNIT_H_
+#define BISTREAM_RUNTIME_UNIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/time.h"
+#include "runtime/clock.h"
+#include "runtime/message.h"
+
+namespace bistream {
+
+/// \brief Handler invoked once per serviced message; returns the virtual
+/// service time (ns) the message consumed. Backends that measure real time
+/// (the parallel executor) ignore the return value.
+using NodeHandler = std::function<SimTime(const Message& msg)>;
+
+/// \brief Cumulative per-unit statistics. Under the sim backend the busy
+/// fields are virtual nanoseconds from the cost model; under the parallel
+/// backend they are measured wall nanoseconds.
+struct NodeStats {
+  uint64_t messages_processed = 0;
+  uint64_t tuple_messages = 0;
+  uint64_t punctuation_messages = 0;
+  SimTime busy_ns = 0;
+  /// Per-event-type decomposition of busy_ns: where this unit's service
+  /// time actually goes (data vs. protocol vs. control), surfaced by the
+  /// telemetry layer. Sums to busy_ns.
+  SimTime busy_tuple_ns = 0;
+  SimTime busy_punctuation_ns = 0;
+  SimTime busy_batch_ns = 0;
+  SimTime busy_control_ns = 0;
+  size_t max_queue_depth = 0;
+  /// Deliveries that arrived while the node was down (silently dropped).
+  uint64_t messages_dropped_dead = 0;
+  /// Queued messages wiped by a crash (in-memory inbox lost with the
+  /// process).
+  uint64_t messages_lost_on_crash = 0;
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+};
+
+namespace runtime {
+
+/// \brief One processing unit of the engine, backend-agnostic.
+///
+/// Thread-safety contract: SetHandler is called once before the first
+/// Deliver. Deliver may be called from any thread (backends serialize
+/// internally). stats() is stable only after the executor has quiesced
+/// (RunUntilIdle returned) — reading it mid-run is backend-defined.
+class Unit {
+ public:
+  virtual ~Unit() = default;
+
+  /// \brief Installs the message handler. Must be set before first delivery.
+  virtual void SetHandler(NodeHandler handler) = 0;
+
+  /// \brief Enqueues a message for FIFO service.
+  virtual void Deliver(Message msg) = 0;
+
+  /// \brief Kills the unit (process-failure model). Backends without a
+  /// failure model may refuse; engines must gate crash injection on the
+  /// executor's capabilities.
+  virtual void Fail() = 0;
+
+  /// \brief Brings a failed unit back up with an empty inbox.
+  virtual void Restart() = 0;
+
+  /// \brief False between Fail() and Restart().
+  virtual bool alive() const = 0;
+
+  virtual uint32_t id() const = 0;
+  virtual const std::string& label() const = 0;
+  virtual const NodeStats& stats() const = 0;
+
+  /// \brief Messages waiting for service.
+  virtual size_t queue_depth() const = 0;
+
+  /// \brief Highest queue depth since the last ResetWindowQueueHwm() call.
+  /// stats().max_queue_depth keeps the run-global peak; this per-window
+  /// high-watermark is what the telemetry sampler exports, so transient
+  /// backpressure spikes between samples are not understated.
+  virtual size_t window_queue_hwm() const = 0;
+
+  /// \brief Opens a new high-watermark window. A standing backlog still
+  /// counts against the fresh window, so the mark restarts at the current
+  /// depth rather than zero.
+  virtual void ResetWindowQueueHwm() = 0;
+
+  /// \brief Windowed utilization: busy fraction since the previous call
+  /// (or since construction for the first call). Advances the sample point.
+  virtual double SampleUtilization(SimTime now) = 0;
+
+  /// \brief This unit's clock. Timers scheduled here run in the unit's own
+  /// execution context (the event loop under sim, the unit's worker thread
+  /// under parallel), so unit code can self-schedule without locking.
+  virtual Clock* clock() = 0;
+
+  /// \brief Cumulative busy time (virtual or wall, backend-defined).
+  SimTime busy_ns() const { return stats().busy_ns; }
+};
+
+}  // namespace runtime
+}  // namespace bistream
+
+#endif  // BISTREAM_RUNTIME_UNIT_H_

@@ -12,15 +12,6 @@ void EventLoop::ScheduleAt(SimTime when, std::function<void()> fn) {
   heap_.push(Event{when, next_seq_++, std::move(fn)});
 }
 
-void EventLoop::ScheduleRepeating(SimTime period, std::function<bool()> fn) {
-  BISTREAM_CHECK(fn != nullptr);
-  BISTREAM_CHECK_GT(period, 0ULL);
-  ScheduleAfter(period, [this, period, fn = std::move(fn)]() mutable {
-    if (!fn()) return;
-    ScheduleRepeating(period, std::move(fn));
-  });
-}
-
 uint64_t EventLoop::RunUntilIdle() {
   uint64_t ran = 0;
   while (!heap_.empty()) {

@@ -16,11 +16,16 @@
 #include <vector>
 
 #include "common/time.h"
+#include "runtime/clock.h"
 
 namespace bistream {
 
-/// \brief Min-heap driven virtual-time event scheduler.
-class EventLoop {
+/// \brief Min-heap driven virtual-time event scheduler. Implements the
+/// runtime substrate's Clock interface: every unit of the sim backend
+/// shares this one clock, so timers interleave deterministically with
+/// message deliveries. (Clock::ScheduleAfter/ScheduleRepeating come from
+/// the base; they build on the two overrides below.)
+class EventLoop : public runtime::Clock {
  public:
   EventLoop() = default;
 
@@ -28,22 +33,11 @@ class EventLoop {
   EventLoop& operator=(const EventLoop&) = delete;
 
   /// \brief Current virtual time (nanoseconds).
-  SimTime now() const { return now_; }
+  SimTime now() const override { return now_; }
 
   /// \brief Schedules `fn` to run at absolute virtual time `when`.
   /// `when` earlier than now() is clamped to now() (fires next).
-  void ScheduleAt(SimTime when, std::function<void()> fn);
-
-  /// \brief Schedules `fn` to run `delay` nanoseconds from now.
-  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
-  }
-
-  /// \brief Runs `fn` every `period` ns, starting one period from now, for
-  /// as long as `fn` returns true. A tick that returns false is the last —
-  /// nothing stays queued, so RunUntilIdle can drain. This is the hook the
-  /// telemetry sampler (and other periodic controllers) ride on.
-  void ScheduleRepeating(SimTime period, std::function<bool()> fn);
+  void ScheduleAt(SimTime when, std::function<void()> fn) override;
 
   /// \brief Runs events until the queue drains. Returns events executed.
   uint64_t RunUntilIdle();

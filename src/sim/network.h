@@ -7,6 +7,10 @@
 /// to be non-decreasing per channel. Tests and E12 disable the clamp via the
 /// fault options to reproduce the missed/duplicate-result scenarios that the
 /// order-consistent protocol exists to prevent.
+///
+/// SimNetwork is the sim implementation of the runtime substrate's Executor
+/// interface — the deterministic, virtual-time backend the engines default
+/// to. The runtime/parallel executor is the wall-clock alternative.
 
 #ifndef BISTREAM_SIM_NETWORK_H_
 #define BISTREAM_SIM_NETWORK_H_
@@ -17,28 +21,15 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "sim/cost_model.h"
+#include "runtime/cost_model.h"
+#include "runtime/executor.h"
 #include "sim/event_loop.h"
 #include "sim/node.h"
 
 namespace bistream {
 
-/// \brief Per-channel delivery behaviour.
-struct ChannelOptions {
-  /// Base one-way latency.
-  SimTime latency_ns = 200 * kMicrosecond;
-  /// Uniform jitter in [0, jitter_ns] added per message.
-  SimTime jitter_ns = 0;
-  /// When true (default) deliveries never reorder within the channel.
-  bool preserve_fifo = true;
-  /// Probability a message is silently lost (fault injection; the
-  /// order-consistent protocol assumes a lossless transport — Definition 7
-  /// — and tests use this knob to show the oracle detects violations).
-  double drop_probability = 0.0;
-};
-
 /// \brief A unidirectional FIFO (or deliberately faulty) link to one node.
-class Channel {
+class Channel : public runtime::Transport {
  public:
   Channel(EventLoop* loop, SimNode* dst, ChannelOptions options, Rng rng);
 
@@ -47,12 +38,12 @@ class Channel {
 
   /// \brief Sends a message; it is delivered to the destination node after
   /// the modeled latency. Wire bytes are accounted for E11.
-  void Send(Message msg);
+  void Send(Message msg) override;
 
-  SimNode* destination() const { return dst_; }
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
+  SimNode* destination() const override { return dst_; }
+  uint64_t messages_sent() const override { return messages_sent_; }
+  uint64_t bytes_sent() const override { return bytes_sent_; }
+  uint64_t messages_dropped() const override { return messages_dropped_; }
 
  private:
   EventLoop* loop_;
@@ -67,7 +58,7 @@ class Channel {
 
 /// \brief Owns the simulated cluster's nodes and channels and aggregates
 /// network-wide traffic counters (the communication-cost experiment E11).
-class SimNetwork {
+class SimNetwork : public runtime::Executor {
  public:
   /// \param loop the shared event loop (not owned)
   /// \param cost default channel latency/jitter source
@@ -84,19 +75,41 @@ class SimNetwork {
   Channel* Connect(SimNode* dst, ChannelOptions options);
 
   EventLoop* loop() const { return loop_; }
-  const CostModel& cost() const { return cost_; }
+
+  // --- runtime::Executor implementation ---
+  runtime::BackendKind kind() const override {
+    return runtime::BackendKind::kSim;
+  }
+  runtime::Unit* AddUnit(const std::string& label) override {
+    return AddNode(label);
+  }
+  runtime::Transport* Connect(runtime::Unit* dst) override {
+    return Connect(static_cast<SimNode*>(dst));
+  }
+  runtime::Transport* Connect(runtime::Unit* dst,
+                              ChannelOptions options) override {
+    return Connect(static_cast<SimNode*>(dst), options);
+  }
+  runtime::Clock* clock() override { return loop_; }
+  const CostModel& cost() const override { return cost_; }
+  void RunUntil(SimTime deadline) override { loop_->RunUntil(deadline); }
+  void RunUntilIdle() override { loop_->RunUntilIdle(); }
+  uint64_t pending_events() const override { return loop_->pending(); }
+  void ForEachUnit(const std::function<void(runtime::Unit&)>& fn) override {
+    for (const auto& node : nodes_) fn(*node);
+  }
 
   /// \brief Total messages sent across all channels.
-  uint64_t total_messages() const;
+  uint64_t total_messages() const override;
   /// \brief Total bytes sent across all channels.
-  uint64_t total_bytes() const;
+  uint64_t total_bytes() const override;
   /// \brief Messages silently lost in transit across all channels (the
   /// drop_probability fault knob).
-  uint64_t total_dropped() const;
+  uint64_t total_dropped() const override;
   /// \brief Deliveries discarded because the destination node was down.
-  uint64_t total_dropped_dead() const;
+  uint64_t total_dropped_dead() const override;
   /// \brief Inbox messages wiped by node crashes.
-  uint64_t total_lost_on_crash() const;
+  uint64_t total_lost_on_crash() const override;
 
   const std::vector<std::unique_ptr<SimNode>>& nodes() const {
     return nodes_;

@@ -3,10 +3,11 @@
 /// input queue, sequential service, and utilization accounting.
 ///
 /// Nodes model the paper's "processing units" (Storm executors / the
-/// thesis's container pods). Each delivered message is serviced in FIFO
-/// order; the handler returns the virtual service time it consumed, which
-/// extends the node's busy horizon. Utilization over a sampling interval is
-/// what the ops/autoscaler module reads as its "CPU" metric.
+/// thesis's container pods) and implement the runtime substrate's Unit
+/// interface. Each delivered message is serviced in FIFO order; the handler
+/// returns the virtual service time it consumed, which extends the node's
+/// busy horizon. Utilization over a sampling interval is what the
+/// ops/autoscaler module reads as its "CPU" metric.
 ///
 /// Nodes also carry the failure model: Fail() kills the process (the inbox
 /// is lost, later deliveries are dropped and counted) and Restart() brings
@@ -22,40 +23,13 @@
 #include <functional>
 #include <string>
 
+#include "runtime/unit.h"
 #include "sim/event_loop.h"
-#include "sim/message.h"
 
 namespace bistream {
 
-/// \brief Handler invoked once per serviced message; returns the virtual
-/// service time (ns) the message consumed.
-using NodeHandler = std::function<SimTime(const Message& msg)>;
-
-/// \brief Cumulative node statistics.
-struct NodeStats {
-  uint64_t messages_processed = 0;
-  uint64_t tuple_messages = 0;
-  uint64_t punctuation_messages = 0;
-  SimTime busy_ns = 0;
-  /// Per-event-type decomposition of busy_ns: where this unit's service
-  /// time actually goes (data vs. protocol vs. control), surfaced by the
-  /// telemetry layer. Sums to busy_ns.
-  SimTime busy_tuple_ns = 0;
-  SimTime busy_punctuation_ns = 0;
-  SimTime busy_batch_ns = 0;
-  SimTime busy_control_ns = 0;
-  size_t max_queue_depth = 0;
-  /// Deliveries that arrived while the node was down (silently dropped).
-  uint64_t messages_dropped_dead = 0;
-  /// Queued messages wiped by a crash (in-memory inbox lost with the
-  /// process).
-  uint64_t messages_lost_on_crash = 0;
-  uint64_t crashes = 0;
-  uint64_t restarts = 0;
-};
-
 /// \brief A single-threaded simulated service instance.
-class SimNode {
+class SimNode : public runtime::Unit {
  public:
   SimNode(EventLoop* loop, uint32_t id, std::string label);
 
@@ -63,55 +37,58 @@ class SimNode {
   SimNode& operator=(const SimNode&) = delete;
 
   /// \brief Installs the message handler. Must be set before first delivery.
-  void SetHandler(NodeHandler handler) { handler_ = std::move(handler); }
+  void SetHandler(NodeHandler handler) override {
+    handler_ = std::move(handler);
+  }
 
   /// \brief Enqueues a message for service (called by Channel at the
   /// message's delivery time).
-  void Deliver(Message msg);
+  void Deliver(Message msg) override;
 
   /// \brief Kills the node: the queued inbox is lost with the process, any
   /// in-flight service is abandoned, and later deliveries are dropped (and
   /// counted) until Restart(). Idempotent. The crash is silent — no other
   /// service is informed.
-  void Fail();
+  void Fail() override;
 
   /// \brief Brings a failed node back up with an empty inbox. The handler
   /// stays installed, but any in-memory state the handler's owner held is
   /// the owner's problem — the sim models only the process lifecycle.
-  void Restart();
+  void Restart() override;
 
   /// \brief False between Fail() and Restart().
-  bool alive() const { return alive_; }
+  bool alive() const override { return alive_; }
 
-  uint32_t id() const { return id_; }
-  const std::string& label() const { return label_; }
-  const NodeStats& stats() const { return stats_; }
+  uint32_t id() const override { return id_; }
+  const std::string& label() const override { return label_; }
+  const NodeStats& stats() const override { return stats_; }
 
   /// \brief Virtual time when the node finishes its current backlog.
   SimTime busy_until() const { return busy_until_; }
 
   /// \brief Messages waiting for service.
-  size_t queue_depth() const { return inbox_.size(); }
+  size_t queue_depth() const override { return inbox_.size(); }
 
   /// \brief Highest queue depth since the last ResetWindowQueueHwm() call.
   /// stats().max_queue_depth keeps the run-global peak; this per-window
   /// high-watermark is what the telemetry sampler exports, so transient
   /// backpressure spikes between samples are not understated.
-  size_t window_queue_hwm() const { return window_queue_hwm_; }
+  size_t window_queue_hwm() const override { return window_queue_hwm_; }
 
   /// \brief Opens a new high-watermark window. A standing backlog still
   /// counts against the fresh window, so the mark restarts at the current
   /// depth rather than zero.
-  void ResetWindowQueueHwm() { window_queue_hwm_ = inbox_.size(); }
+  void ResetWindowQueueHwm() override { window_queue_hwm_ = inbox_.size(); }
 
   /// \brief Windowed utilization: busy fraction since the previous call
   /// (or since construction for the first call). Advances the sample point.
   /// The autoscaler's CPU-utilization proxy. Values can exceed 1.0 when the
   /// node's backlog extends beyond `now` (overload).
-  double SampleUtilization(SimTime now);
+  double SampleUtilization(SimTime now) override;
 
-  /// \brief Cumulative busy virtual time.
-  SimTime busy_ns() const { return stats_.busy_ns; }
+  /// \brief The shared event loop: every sim unit's timers and service
+  /// events interleave on the one deterministic clock.
+  runtime::Clock* clock() override { return loop_; }
 
  private:
   void MaybeScheduleService();

@@ -96,6 +96,37 @@ void CheckBreakdown(const JsonValue* breakdown, const std::string& where) {
   }
 }
 
+/// The backend tag must be a known runtime backend, and the wall-clock
+/// fields must match it: real numbers when a wall-clock backend measured
+/// them ("parallel"), explicit nulls under virtual time ("sim"). Returns
+/// true when the run declares the sim backend (callers use this to scope
+/// the time-series requirement, which only sim runs can satisfy).
+bool CheckBackend(const JsonValue* report, const std::string& where) {
+  const JsonValue* backend = report->Find("backend");
+  if (backend == nullptr || !backend->is_string()) {
+    return true;  // Key absence already reported by CheckRequired.
+  }
+  std::string name = backend->AsString();
+  if (name != "sim" && name != "parallel") {
+    Fail(where + " backend '" + name + "' is not one of sim|parallel");
+    return true;
+  }
+  bool wall = name == "parallel";
+  for (const char* key : {"wall_makespan_ns", "wall_throughput_tps"}) {
+    const JsonValue* value = report->Find(key);
+    if (value == nullptr) continue;  // Absence already reported.
+    if (wall && !value->is_number()) {
+      Fail(where + " " + key + " must be a number under the parallel backend");
+    }
+    if (!wall && !value->is_null()) {
+      Fail(where + " " + key +
+           " must be null under the sim backend (virtual time is not wall "
+           "time)");
+    }
+  }
+  return !wall;
+}
+
 /// Any invariant violation recorded by the run's auditor fails the smoke
 /// test: benches must produce audit-clean runs.
 void CheckDiagnostics(const JsonValue* diagnostics, const std::string& where) {
@@ -110,7 +141,11 @@ void CheckDiagnostics(const JsonValue* diagnostics, const std::string& where) {
 /// Per-node stage times must partition busy time exactly: the profile
 /// exports the residual as unattributed_ns, so drift in the stage
 /// accounting shows up here instead of silently skewing attributions.
-void CheckProfile(const JsonValue* profile, const std::string& where) {
+/// Only sim runs are held to the partition (`strict_residual`): under the
+/// parallel backend busy_ns is measured wall time while stage_ns are the
+/// cost model's virtual charges, so the residual is meaningless there.
+void CheckProfile(const JsonValue* profile, const std::string& where,
+                  bool strict_residual) {
   if (profile == nullptr || !profile->is_object()) return;
   const JsonValue* nodes = profile->Find("nodes");
   if (nodes == nullptr || !nodes->is_array()) {
@@ -128,7 +163,7 @@ void CheckProfile(const JsonValue* profile, const std::string& where) {
       }
     }
     const JsonValue* residual = node.Find("unattributed_ns");
-    if (residual != nullptr && residual->is_number() &&
+    if (strict_residual && residual != nullptr && residual->is_number() &&
         std::fabs(residual->AsNumber()) > 1.0) {
       Fail(where + " node " + label + " stage times leave " +
            std::to_string(residual->AsNumber()) +
@@ -182,6 +217,7 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
       RequiredKeys(schema, "profile_required");
 
   size_t runs_with_series = 0;
+  size_t sim_runs = 0;
   for (size_t i = 0; i < runs->size(); ++i) {
     std::string where = "runs[" + std::to_string(i) + "]";
     const JsonValue& run = runs->at(i);
@@ -189,6 +225,8 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
     const JsonValue* report = run.Find("report");
     if (report == nullptr) continue;
     CheckRequired(report, report_required, where + ".report");
+    bool is_sim = CheckBackend(report, where + ".report");
+    if (is_sim) ++sim_runs;
     CheckRequired(report->Find("engine"), engine_required,
                   where + ".report.engine");
     CheckRequired(report->Find("latency"), latency_required,
@@ -205,7 +243,7 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
     CheckBreakdown(report->Find("breakdown"), where + ".report.breakdown");
     CheckDiagnostics(report->Find("diagnostics"),
                      where + ".report.diagnostics");
-    CheckProfile(report->Find("profile"), where + ".report.profile");
+    CheckProfile(report->Find("profile"), where + ".report.profile", is_sim);
 
     const JsonValue* series = report->Find("series");
     if (series != nullptr) {
@@ -221,6 +259,9 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
   if (const JsonValue* v = schema.Find("min_runs_with_series")) {
     min_with_series = v->AsNumber();
   }
+  // Only sim runs can carry a virtual-time series; an all-parallel artifact
+  // (e.g. a --backend=parallel sweep) is exempt from the requirement.
+  if (sim_runs == 0) min_with_series = 0;
   if (static_cast<double>(runs_with_series) < min_with_series) {
     Fail("only " + std::to_string(runs_with_series) +
          " runs carry a non-empty time series, schema requires " +

@@ -7,6 +7,8 @@
 
 #include <vector>
 
+#include "sim/event_loop.h"
+
 namespace bistream {
 namespace {
 

@@ -107,6 +107,70 @@ TEST(OptionsValidationTest, RejectsRetireGraceBelowWindow) {
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
+TEST(OptionsValidationTest, RejectsZeroQueueCapacity) {
+  BicliqueOptions options = Valid();
+  options.queue_capacity = 0;
+  Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsValidationTest, SimBackendRejectsWorkerBudget) {
+  BicliqueOptions options = Valid();
+  options.workers = 4;
+  EXPECT_FALSE(options.Validate().ok());
+
+  options.backend = runtime::BackendKind::kParallel;
+  options.workers = 0;  // Auto: one thread per unit.
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidationTest, ParallelWorkerBudgetMustCoverUnits) {
+  BicliqueOptions options = Valid();
+  options.backend = runtime::BackendKind::kParallel;
+  options.num_routers = 2;
+  options.joiners_r = 2;
+  options.joiners_s = 2;
+  options.subgroups_r = 2;
+  options.subgroups_s = 2;
+
+  options.workers = 5;  // 2 routers + 4 joiners need 6.
+  Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  options.workers = 6;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidationTest, ParallelBackendRejectsSimOnlyFeatures) {
+  BicliqueOptions options = Valid();
+  options.backend = runtime::BackendKind::kParallel;
+  EXPECT_TRUE(options.Validate().ok());
+
+  options.fault_tolerance.enabled = true;
+  EXPECT_FALSE(options.Validate().ok());
+  options.fault_tolerance.enabled = false;
+
+  options.fault_reorder = true;
+  EXPECT_FALSE(options.Validate().ok());
+  options.fault_reorder = false;
+
+  options.channel_drop_probability = 0.1;
+  EXPECT_FALSE(options.Validate().ok());
+  options.channel_drop_probability = 0;
+
+  options.telemetry.sample_period = 50 * kMillisecond;
+  EXPECT_FALSE(options.Validate().ok());
+  options.telemetry.sample_period = 0;
+
+  options.telemetry.trace_every = 32;
+  EXPECT_FALSE(options.Validate().ok());
+  options.telemetry.trace_every = 0;
+
+  EXPECT_TRUE(options.Validate().ok());
+}
+
 TEST(OptionsValidationTest, FaultToleranceRequiresOrderedProtocol) {
   BicliqueOptions options = Valid();
   options.fault_tolerance.enabled = true;

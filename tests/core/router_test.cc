@@ -8,6 +8,8 @@
 #include <map>
 #include <vector>
 
+#include "sim/event_loop.h"
+
 namespace bistream {
 namespace {
 

@@ -1,0 +1,196 @@
+// ParallelExecutor: the thread-per-unit wall-clock backend must honor the
+// substrate contracts the engine relies on — pairwise-FIFO delivery per
+// sender, quiescence that covers cascaded work, unit-affine timers that run
+// on the unit's own worker thread, sender backpressure on a bounded inbox,
+// and measured (wall) busy accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/parallel/parallel_executor.h"
+
+namespace bistream {
+namespace runtime {
+namespace {
+
+// Handler-side state is written only by the unit's worker thread, and the
+// quiescence protocol publishes those writes before RunUntilIdle returns,
+// so plain (non-atomic) state read after RunUntilIdle is race-free. That
+// property is itself part of what these tests pin down (TSan enforces it).
+
+TEST(ParallelExecutorTest, PairwiseFifoPerSender) {
+  ParallelExecutor exec(CostModel::Default());
+  Unit* dst = exec.AddUnit("dst");
+  std::vector<std::pair<uint32_t, uint64_t>> seen;
+  dst->SetHandler([&](const Message& msg) -> SimTime {
+    seen.emplace_back(msg.router_id, msg.seq);
+    return 0;
+  });
+  Transport* transport = exec.Connect(dst);
+
+  constexpr uint64_t kPerSender = 200;
+  auto sender = [transport](uint32_t sender_id) {
+    for (uint64_t i = 0; i < kPerSender; ++i) {
+      transport->Send(MakePunctuation(sender_id, i, 0));
+    }
+  };
+  std::thread a(sender, 0);
+  std::thread b(sender, 1);
+  a.join();
+  b.join();
+  exec.RunUntilIdle();
+
+  ASSERT_EQ(seen.size(), 2 * kPerSender);
+  // The interleaving is nondeterministic, but each sender's subsequence
+  // must arrive in send order (Definition 8's transport assumption).
+  uint64_t next_seq[2] = {0, 0};
+  for (const auto& [sender_id, seq] : seen) {
+    ASSERT_LT(sender_id, 2u);
+    EXPECT_EQ(seq, next_seq[sender_id]);
+    next_seq[sender_id] = seq + 1;
+  }
+}
+
+TEST(ParallelExecutorTest, RunUntilIdleCoversCascadedWork) {
+  ParallelExecutor exec(CostModel::Default());
+  Unit* first = exec.AddUnit("first");
+  Unit* second = exec.AddUnit("second");
+  Transport* to_second = exec.Connect(second);
+
+  uint64_t forwarded = 0;
+  first->SetHandler([&](const Message& msg) -> SimTime {
+    to_second->Send(msg);
+    return 0;
+  });
+  second->SetHandler([&](const Message&) -> SimTime {
+    ++forwarded;
+    return 0;
+  });
+
+  Transport* to_first = exec.Connect(first);
+  constexpr uint64_t kMessages = 300;
+  for (uint64_t i = 0; i < kMessages; ++i) {
+    to_first->Send(MakePunctuation(0, i, 0));
+  }
+  // Quiescence must include the second hop, not just the directly injected
+  // messages.
+  exec.RunUntilIdle();
+  EXPECT_EQ(forwarded, kMessages);
+  EXPECT_EQ(first->stats().messages_processed, kMessages);
+  EXPECT_EQ(second->stats().messages_processed, kMessages);
+  EXPECT_EQ(exec.total_messages(), 2 * kMessages);
+  EXPECT_EQ(exec.worker_threads(), 2u);
+}
+
+TEST(ParallelExecutorTest, UnitTimersRunOnTheUnitsWorkerThread) {
+  ParallelExecutor exec(CostModel::Default());
+  Unit* unit = exec.AddUnit("unit");
+  std::thread::id handler_thread;
+  unit->SetHandler([&](const Message&) -> SimTime {
+    handler_thread = std::this_thread::get_id();
+    return 0;
+  });
+  exec.Connect(unit)->Send(MakePunctuation(0, 0, 0));
+  exec.RunUntilIdle();
+  ASSERT_NE(handler_thread, std::thread::id());
+
+  std::thread::id timer_thread;
+  unit->clock()->ScheduleAfter(kMillisecond, [&] {
+    timer_thread = std::this_thread::get_id();
+  });
+  exec.RunUntilIdle();
+  // The timer callback must share the unit's execution context — that is
+  // what lets Router::Tick touch router state without locks.
+  EXPECT_EQ(timer_thread, handler_thread);
+}
+
+TEST(ParallelExecutorTest, ScheduleRepeatingStopsAndQuiesces) {
+  ParallelExecutor exec(CostModel::Default());
+  Unit* unit = exec.AddUnit("unit");
+  unit->SetHandler([](const Message&) -> SimTime { return 0; });
+
+  int ticks = 0;
+  unit->clock()->ScheduleRepeating(100 * kMicrosecond,
+                                   [&] { return ++ticks < 3; });
+  // A repeating timer whose callback returns false leaves nothing armed, so
+  // RunUntilIdle returns instead of hanging on a perpetual rearm.
+  exec.RunUntilIdle();
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(ParallelExecutorTest, DriverTimersRunOnTheDriverThread) {
+  ParallelExecutor exec(CostModel::Default());
+  std::thread::id timer_thread;
+  bool fired = false;
+  exec.clock()->ScheduleAfter(kMillisecond, [&] {
+    timer_thread = std::this_thread::get_id();
+    fired = true;
+  });
+  exec.RunUntilIdle();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(timer_thread, std::this_thread::get_id());
+}
+
+TEST(ParallelExecutorTest, BoundedInboxBackpressureLosesNothing) {
+  ParallelExecutorOptions options;
+  options.queue_capacity = 2;
+  ParallelExecutor exec(CostModel::Default(), options);
+  Unit* dst = exec.AddUnit("slow");
+  dst->SetHandler([](const Message&) -> SimTime {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    return 0;
+  });
+  Transport* transport = exec.Connect(dst);
+
+  constexpr uint64_t kPerSender = 50;
+  auto sender = [transport](uint32_t sender_id) {
+    for (uint64_t i = 0; i < kPerSender; ++i) {
+      transport->Send(MakePunctuation(sender_id, i, 0));
+    }
+  };
+  std::thread a(sender, 0);
+  std::thread b(sender, 1);
+  a.join();
+  b.join();
+  exec.RunUntilIdle();
+
+  EXPECT_EQ(dst->stats().messages_processed, 2 * kPerSender);
+  EXPECT_EQ(exec.total_dropped(), 0u);
+  // The inbox is bounded: senders blocked instead of growing the queue.
+  EXPECT_LE(dst->stats().max_queue_depth, options.queue_capacity);
+}
+
+TEST(ParallelExecutorTest, BusyTimeIsMeasuredAndDecomposed) {
+  ParallelExecutor exec(CostModel::Default());
+  Unit* unit = exec.AddUnit("unit");
+  unit->SetHandler([](const Message&) -> SimTime {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    // The virtual charge is ignored by the wall-clock backend.
+    return 123456789;
+  });
+  Transport* transport = exec.Connect(unit);
+  for (uint64_t i = 0; i < 10; ++i) {
+    transport->Send(MakePunctuation(0, i, 0));
+  }
+  exec.RunUntilIdle();
+
+  const NodeStats& stats = unit->stats();
+  EXPECT_EQ(stats.messages_processed, 10u);
+  EXPECT_EQ(stats.punctuation_messages, 10u);
+  // Measured wall time: at least the sleeps, nowhere near the fake virtual
+  // charge.
+  EXPECT_GE(stats.busy_ns, 10 * 200 * kMicrosecond);
+  EXPECT_LT(stats.busy_ns, 10 * 123456789ULL);
+  EXPECT_EQ(stats.busy_tuple_ns + stats.busy_punctuation_ns +
+                stats.busy_batch_ns + stats.busy_control_ns,
+            stats.busy_ns);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace bistream

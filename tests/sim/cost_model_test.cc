@@ -1,4 +1,4 @@
-#include "sim/cost_model.h"
+#include "runtime/cost_model.h"
 
 #include <gtest/gtest.h>
 
