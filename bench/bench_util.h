@@ -43,10 +43,11 @@ inline Config BenchInit(int argc, char** argv) {
   return parsed;
 }
 
-/// \brief Applies the bench-default telemetry configuration — 50 ms virtual
-/// sampling and 1-in-32 tuple tracing — overridable with --sample_ms /
-/// --trace_every (0 disables either). Tracing never perturbs results or
-/// virtual time, so it is safe to leave on for every measured run.
+/// \brief Applies the bench-default telemetry configuration — 50 ms
+/// sampling (virtual ms under sim, wall ms under parallel) and 1-in-32
+/// tuple tracing — overridable with --sample_ms / --trace_every (0 disables
+/// either). Tracing never perturbs results or virtual time, so it is safe
+/// to leave on for every measured run.
 inline void ApplyTelemetryFlags(const Config& config,
                                 BicliqueOptions* options) {
   options->telemetry.sample_period =
@@ -57,17 +58,13 @@ inline void ApplyTelemetryFlags(const Config& config,
 
 /// \brief Applies the runtime-backend flags: `--backend=sim|parallel`
 /// (default sim), `--queue_capacity=N` (parallel inbox bound), and
-/// `--workers=N` (0 = one thread per unit). The parallel backend measures
-/// wall-clock time, so the virtual-time telemetry sampler and tracer are
-/// forced off after ApplyTelemetryFlags — call this second.
+/// `--workers=N` (0 = one thread per unit). Telemetry flags carry over to
+/// either backend: under parallel the sampler paces on a wall-clock thread
+/// and --sample_ms means wall milliseconds.
 inline void ApplyBackendFlags(const Config& config, BicliqueOptions* options) {
   std::string backend = config.GetString("backend", "sim");
   if (backend == "parallel") {
     options->backend = runtime::BackendKind::kParallel;
-    // Virtual-time sampling/tracing has no meaning on worker threads;
-    // Validate() rejects it, so zero whatever the telemetry flags set.
-    options->telemetry.sample_period = 0;
-    options->telemetry.trace_every = 0;
   } else {
     BISTREAM_CHECK(backend == "sim")
         << "--backend expects 'sim' or 'parallel', got '" << backend << "'";

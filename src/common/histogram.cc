@@ -67,7 +67,7 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 void Histogram::Reset() {
-  std::fill(buckets_.begin(), buckets_.end(), 0);
+  for (RelaxedCell<uint64_t>& bucket : buckets_) bucket = 0;
   count_ = 0;
   min_ = UINT64_MAX;
   max_ = 0;
@@ -97,10 +97,10 @@ uint64_t Histogram::ValueAtQuantile(double q) const {
     seen += buckets_[bucket];
     if (seen > rank) {
       uint64_t upper = BucketUpperBound(bucket);
-      return upper < max_ ? upper : max_;
+      return upper < max_.load() ? upper : max_.load();
     }
   }
-  return max_;
+  return max_.load();
 }
 
 Histogram::Snapshot Histogram::TakeSnapshot() const {

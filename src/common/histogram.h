@@ -5,6 +5,16 @@
 /// quantile queries are cheap and the memory footprint is fixed regardless of
 /// the number of recorded samples. Used by the metrics layer for end-to-end
 /// result latency (E4, E5) and by the autoscaler for smoothing.
+///
+/// Thread contract: all mutable state lives in RelaxedCells, so a histogram
+/// with a single writer (a Timer shard, a sim-side collector) may be read —
+/// Merge, quantiles, TakeSnapshot — from another thread mid-run without
+/// tearing. A mid-run read is an *approximation*: the reader can observe
+/// count_ ahead of sum_ (or vice versa) because the fields update one
+/// relaxed store at a time. That is the monitoring-grade guarantee the
+/// wall-clock sampler needs; exact totals are read after the writer joins
+/// or the executor's quiescence handshake publishes everything. Concurrent
+/// *writers* remain a design bug (RelaxedCell increments are load+store).
 
 #ifndef BISTREAM_COMMON_HISTOGRAM_H_
 #define BISTREAM_COMMON_HISTOGRAM_H_
@@ -12,6 +22,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/relaxed.h"
 
 namespace bistream {
 
@@ -47,9 +59,9 @@ class Histogram {
   /// \brief Drops all recorded samples.
   void Reset();
 
-  uint64_t count() const { return count_; }
-  uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  uint64_t max() const { return max_; }
+  uint64_t count() const { return count_.load(); }
+  uint64_t min() const { return count_.load() == 0 ? 0 : min_.load(); }
+  uint64_t max() const { return max_.load(); }
   double mean() const;
   double stddev() const;
 
@@ -81,12 +93,12 @@ class Histogram {
   static uint64_t BucketUpperBound(int bucket);
   static int NumBuckets();
 
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  uint64_t min_ = UINT64_MAX;
-  uint64_t max_ = 0;
-  double sum_ = 0;
-  double sum_squares_ = 0;
+  std::vector<RelaxedCell<uint64_t>> buckets_;
+  RelaxedCell<uint64_t> count_ = 0;
+  RelaxedCell<uint64_t> min_ = UINT64_MAX;
+  RelaxedCell<uint64_t> max_ = 0;
+  RelaxedCell<double> sum_ = 0;
+  RelaxedCell<double> sum_squares_ = 0;
 };
 
 }  // namespace bistream

@@ -1,0 +1,87 @@
+/// \file relaxed.h
+/// \brief Tear-free counter cell for single-writer hot paths.
+///
+/// The engine's per-unit statistics (NodeStats, RouterStats, JoinerStats,
+/// ...) are written by exactly one thread at a time — the unit's worker
+/// under the parallel backend, the event loop under sim — but the wall-clock
+/// telemetry sampler reads them from its own thread mid-run. A plain field
+/// would make every such read a data race; a full atomic RMW would put a
+/// lock-prefixed instruction on the sim hot path for no benefit (there is
+/// never writer/writer contention).
+///
+/// RelaxedCell threads that needle: storage is std::atomic<T> but every
+/// operation is a relaxed load and/or a relaxed store — `+=` compiles to the
+/// same load/add/store the plain field did, with no lock prefix and no
+/// fences. Readers on other threads get tear-free, eventually-visible
+/// values, which is exactly the guarantee a monitoring gauge needs (the
+/// precise cross-thread totals are read after the executor quiesces, whose
+/// acquire/release handshake publishes everything).
+///
+/// Contract: a cell must have a single writer, or its writers must already
+/// be serialized by an external mutex. Concurrent unserialized writers lose
+/// increments (load+store is not fetch_add) — that situation is a design
+/// bug, not something this type papers over.
+
+#ifndef BISTREAM_COMMON_RELAXED_H_
+#define BISTREAM_COMMON_RELAXED_H_
+
+#include <atomic>
+#include <ostream>
+
+namespace bistream {
+
+template <typename T>
+class RelaxedCell {
+ public:
+  constexpr RelaxedCell() = default;
+  constexpr RelaxedCell(T value) : value_(value) {}  // NOLINT: implicit
+
+  // Copyable so the stat structs that embed cells stay copyable.
+  RelaxedCell(const RelaxedCell& other) : value_(other.load()) {}
+  RelaxedCell& operator=(const RelaxedCell& other) {
+    store(other.load());
+    return *this;
+  }
+
+  RelaxedCell& operator=(T value) {
+    store(value);
+    return *this;
+  }
+
+  operator T() const { return load(); }  // NOLINT: implicit
+
+  T load() const { return value_.load(std::memory_order_relaxed); }
+  void store(T value) { value_.store(value, std::memory_order_relaxed); }
+
+  // Single-writer read-modify-writes: relaxed load + relaxed store, no RMW.
+  RelaxedCell& operator+=(T delta) {
+    store(load() + delta);
+    return *this;
+  }
+  RelaxedCell& operator-=(T delta) {
+    store(load() - delta);
+    return *this;
+  }
+  RelaxedCell& operator++() {
+    store(load() + 1);
+    return *this;
+  }
+  T operator++(int) {
+    T old = load();
+    store(old + 1);
+    return old;
+  }
+
+ private:
+  std::atomic<T> value_{};
+};
+
+// Streams as the underlying value (the CHECK macros stream their operands).
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const RelaxedCell<T>& cell) {
+  return os << cell.load();
+}
+
+}  // namespace bistream
+
+#endif  // BISTREAM_COMMON_RELAXED_H_

@@ -94,17 +94,10 @@ Status BicliqueOptions::Validate() const {
           "channel_drop_probability is a sim-transport fault; the parallel "
           "transport is lossless");
     }
-    if (telemetry.sample_period > 0) {
-      return Status::InvalidArgument(
-          "mid-run telemetry sampling reads unit counters while workers "
-          "write them; set telemetry.sample_period = 0 under the parallel "
-          "backend");
-    }
-    if (telemetry.trace_every > 0) {
-      return Status::InvalidArgument(
-          "the tuple tracer is not thread-safe; set telemetry.trace_every "
-          "= 0 under the parallel backend");
-    }
+    // Telemetry sampling and tuple tracing are supported on both backends:
+    // under parallel the sampler runs on its own wall-clock thread over
+    // tear-free relaxed cells, and the tracer buffers hop events per worker
+    // thread (see DESIGN.md §9.2).
   }
   return Status::OK();
 }
@@ -155,8 +148,13 @@ void BicliqueEngine::Init() {
   }
 
   tracer_ = std::make_unique<TupleTracer>(options_.telemetry.trace_every);
+  tracer_->SetConcurrent(exec_->concurrent());
   TelemetrySamplerOptions sampler_options;
   sampler_options.sample_period = options_.telemetry.sample_period;
+  // On a concurrent backend the sampler paces itself on a dedicated
+  // wall-clock thread; virtual-time self-scheduling would hold RunUntilIdle
+  // open and drift under backpressure.
+  sampler_options.wall_clock = exec_->concurrent();
   sampler_ =
       std::make_unique<TelemetrySampler>(clock_, &metrics_, sampler_options);
   RegisterEngineGauges();
@@ -273,6 +271,17 @@ void BicliqueEngine::Init() {
     metrics_.RegisterGauge(scope + "queue_peak", [node] {
       return static_cast<double>(node->stats().max_queue_depth);
     });
+    // Inbox contention (parallel backend; always 0 under sim): sender
+    // backpressure stalls and enqueue→dequeue queueing delay.
+    metrics_.RegisterGauge(scope + "blocked_sends", [node] {
+      return static_cast<double>(node->stats().blocked_sends);
+    });
+    metrics_.RegisterGauge(scope + "blocked_ns", [node] {
+      return static_cast<double>(node->stats().blocked_ns);
+    });
+    metrics_.RegisterGauge(scope + "dequeue_wait_ns", [node] {
+      return static_cast<double>(node->stats().dequeue_wait_ns);
+    });
   }
 
   // Initial joiner units, active from round 0.
@@ -342,6 +351,15 @@ void BicliqueEngine::RegisterEngineGauges() {
     }
     return static_cast<double>(total);
   });
+  // Timer-thread dispatch health (parallel backend; always 0 under sim):
+  // the worst lag between a timer's deadline and its dispatch, and the
+  // number of timers fired.
+  metrics_.RegisterGauge("engine.timer_lag_max_ns", [this] {
+    return static_cast<double>(exec_->timer_lag_max_ns());
+  });
+  metrics_.RegisterGauge("engine.timer_fires", [this] {
+    return static_cast<double>(exec_->timer_fires());
+  });
 }
 
 void BicliqueEngine::RegisterJoinerGauges(uint32_t unit_id, Joiner* joiner,
@@ -399,6 +417,16 @@ void BicliqueEngine::RegisterJoinerGauges(uint32_t unit_id, Joiner* joiner,
   metrics_.RegisterGauge(scope + "queue_peak", [node] {
     return static_cast<double>(node->stats().max_queue_depth);
   });
+  // Inbox contention (parallel backend; always 0 under sim).
+  metrics_.RegisterGauge(scope + "blocked_sends", [node] {
+    return static_cast<double>(node->stats().blocked_sends);
+  });
+  metrics_.RegisterGauge(scope + "blocked_ns", [node] {
+    return static_cast<double>(node->stats().blocked_ns);
+  });
+  metrics_.RegisterGauge(scope + "dequeue_wait_ns", [node] {
+    return static_cast<double>(node->stats().dequeue_wait_ns);
+  });
   metrics_.RegisterGauge(scope + "release_round", [joiner] {
     return static_cast<double>(joiner->release_round());
   });
@@ -455,6 +483,9 @@ uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round,
     joiner_options.checkpoint_rounds = options_.fault_tolerance.checkpoint_rounds;
   }
   joiner_options.tracer = tracer_.get();
+  // Wall backends measure stage time around the index calls; the sim
+  // charges modeled virtual cost (see JoinerOptions::measure_wall_stages).
+  joiner_options.measure_wall_stages = exec_->concurrent();
 
   JoinerEntry entry;
   entry.node = exec_->AddUnit("joiner-" + std::to_string(unit_id) +
@@ -497,7 +528,12 @@ void BicliqueEngine::InjectNow(Tuple tuple) {
   BISTREAM_CHECK(started_) << "InjectNow before Start";
   tuple.origin = clock_->now();
   ++input_tuples_;
-  if (tracer_->enabled()) tracer_->OnIngress(tuple, clock_->now());
+  if (tracer_->enabled() &&
+      tracer_->OnIngress(tuple, tuple.origin) != nullptr) {
+    // Mark the selected tuple so every copy carries the decision; workers
+    // on a concurrent backend filter on the bit instead of the span index.
+    tuple.traced = true;
+  }
   if (options_.batch_size <= 1) {
     Message msg = MakeTupleMessage(std::move(tuple), StreamKind::kStore,
                                    /*router_id=*/0, /*seq=*/0, /*round=*/0);
@@ -810,6 +846,11 @@ std::string BicliqueEngine::DescribeTopology() const {
 }
 
 void BicliqueEngine::FinalizeDiagnostics() {
+  // Wall-clock sampling runs on its own thread: join it (taking the closing
+  // sample) before anything reads the series. Likewise fold the workers'
+  // trace buffers into the spans. Both are idempotent no-ops under sim.
+  sampler_->Stop();
+  tracer_->MergeThreadBuffers();
   if (diagnoser_ == nullptr || diagnoser_->finalized()) return;
   EngineStats stats = Stats();
   FinalCounters counters;

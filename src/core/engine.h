@@ -103,9 +103,12 @@ struct BicliqueOptions {
 
   /// \brief Observability (DESIGN.md §9). Both knobs default off; neither
   /// perturbs virtual time — traced runs are bit-identical to untraced.
+  /// Both work on either backend: under parallel the sampler paces on a
+  /// dedicated wall-clock thread and the tracer buffers per worker (§9.2).
   struct TelemetryOptions {
-    /// TelemetrySampler cadence (virtual time): snapshot every registry
-    /// counter and gauge into the engine's TimeSeries. 0 = no sampling.
+    /// TelemetrySampler cadence: snapshot every registry counter and gauge
+    /// into the engine's TimeSeries. Virtual ns under sim, wall ns under
+    /// the parallel backend. 0 = no sampling.
     SimTime sample_period = 0;
     /// Deterministic tuple tracing: record a per-hop TraceSpan for every
     /// N-th injected tuple. 0 = tracing off.
@@ -191,7 +194,8 @@ class BicliqueEngine {
 
   /// \brief Builds the engine on an externally-owned executor (any
   /// backend). Options that assume sim-only capabilities (fault injection,
-  /// mid-run telemetry) are rejected when the executor is concurrent.
+  /// transport faults) are rejected when the executor is concurrent;
+  /// telemetry sampling and tracing work on both backends.
   BicliqueEngine(runtime::Executor* exec, BicliqueOptions options,
                  ResultSink* sink);
 
@@ -379,7 +383,9 @@ class BicliqueEngine {
   /// channels_[router][unit_id] -> transport.
   std::vector<std::unordered_map<uint32_t, runtime::Transport*>> channels_;
   uint64_t next_router_rr_ = 0;
-  uint64_t input_tuples_ = 0;
+  /// RelaxedCell: written by the driver, read tear-free by the wall-clock
+  /// sampler's engine.input_tuples gauge.
+  RelaxedCell<uint64_t> input_tuples_ = 0;
   std::vector<BatchEntry> pending_injections_;
   SimTime start_time_ = 0;
   bool started_ = false;

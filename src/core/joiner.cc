@@ -41,7 +41,11 @@ SimTime Joiner::Handle(const Message& msg) {
   switch (msg.kind) {
     case Message::Kind::kTuple: {
       SimTime cost = options_.cost.MessageCost(msg.WireBytes());
-      (msg.replayed ? stats_.busy_replay_ns : stats_.busy_msg_ns) += cost;
+      // Framing is charged as modeled virtual cost only; under wall-stage
+      // accounting it stays in the worker's busy_ns residual.
+      if (!options_.measure_wall_stages) {
+        (msg.replayed ? stats_.busy_replay_ns : stats_.busy_msg_ns) += cost;
+      }
       TraceArrival(msg);
       if (!options_.ordered) {
         return cost + ProcessTuple(msg);
@@ -53,16 +57,23 @@ SimTime Joiner::Handle(const Message& msg) {
       SimTime cost = options_.cost.punctuation_ns;
       last_progress_time_ = clock_->now();
       if (!options_.ordered) {
-        stats_.busy_punct_ns += cost;
+        if (!options_.measure_wall_stages) stats_.busy_punct_ns += cost;
         return cost;
       }
+      SimTime punct_start = StageStart();
       std::vector<Message> released;
       buffer_.AddPunctuation(msg, &released);
+      // Under wall accounting the punct bucket covers the order-buffer
+      // release scan and the checkpoint; the released tuples' store/probe
+      // work charges its own buckets inside ProcessTuple.
+      Charge(stats_.busy_punct_ns, punct_start, 0);
       for (const Message& m : released) {
         cost += ProcessTuple(m);
       }
+      SimTime ckpt_start = StageStart();
       SimTime ckpt = MaybeCheckpoint();
-      stats_.busy_punct_ns += options_.cost.punctuation_ns + ckpt;
+      Charge(stats_.busy_punct_ns, ckpt_start,
+             options_.cost.punctuation_ns + ckpt);
       cost += ckpt;
       CheckCaughtUp();
       return cost;
@@ -71,7 +82,9 @@ SimTime Joiner::Handle(const Message& msg) {
       // One framework-overhead charge for the whole batch; per-tuple work
       // still accrues (that is the batching win).
       SimTime cost = options_.cost.MessageCost(msg.WireBytes());
-      (msg.replayed ? stats_.busy_replay_ns : stats_.busy_msg_ns) += cost;
+      if (!options_.measure_wall_stages) {
+        (msg.replayed ? stats_.busy_replay_ns : stats_.busy_msg_ns) += cost;
+      }
       for (const BatchEntry& entry : msg.batch) {
         Message unpacked = MakeTupleMessage(entry.tuple, entry.stream,
                                             msg.router_id, entry.seq,
@@ -89,7 +102,9 @@ SimTime Joiner::Handle(const Message& msg) {
     case Message::Kind::kControl:
       // Drain/retire are routing-side decisions; the joiner itself has no
       // state transition to make (its index simply ages out).
-      stats_.busy_msg_ns += options_.cost.punctuation_ns;
+      if (!options_.measure_wall_stages) {
+        stats_.busy_msg_ns += options_.cost.punctuation_ns;
+      }
       return options_.cost.punctuation_ns;
   }
   return 0;
@@ -98,11 +113,9 @@ SimTime Joiner::Handle(const Message& msg) {
 void Joiner::TraceArrival(const Message& msg) {
   if (!Tracing(msg)) return;
   if (msg.stream == StreamKind::kStore) {
-    options_.tracer->OnStoreArrival(msg.tuple.relation, msg.tuple.id,
-                                    clock_->now());
+    options_.tracer->OnStoreArrival(msg.tuple, clock_->now());
   } else {
-    options_.tracer->OnJoinArrival(msg.tuple.relation, msg.tuple.id,
-                                   clock_->now());
+    options_.tracer->OnJoinArrival(msg.tuple, clock_->now());
   }
 }
 
@@ -113,7 +126,7 @@ SimTime Joiner::ProcessTuple(const Message& msg) {
         << options_.unit_id;
     SimTime cost = StoreBranch(msg.tuple, msg.replayed);
     if (Tracing(msg)) {
-      options_.tracer->OnStore(msg.tuple.relation, msg.tuple.id, cost);
+      options_.tracer->OnStore(msg.tuple, cost);
     }
     return cost;
   }
@@ -124,21 +137,22 @@ SimTime Joiner::ProcessTuple(const Message& msg) {
   // ordering-buffer delay's endpoint); unordered processing releases on
   // arrival, so the ordering component reads as zero — as it should.
   if (Tracing(msg)) {
-    options_.tracer->OnRelease(msg.tuple.relation, msg.tuple.id,
-                               clock_->now());
+    options_.tracer->OnRelease(msg.tuple, clock_->now());
   }
   return JoinBranch(msg.tuple, msg.replayed);
 }
 
 SimTime Joiner::StoreBranch(const Tuple& tuple, bool replayed) {
+  SimTime start = StageStart();
   index_.Insert(tuple);
   ++stats_.stored;
-  (replayed ? stats_.busy_replay_ns : stats_.busy_store_ns) +=
-      options_.cost.insert_ns;
+  Charge(replayed ? stats_.busy_replay_ns : stats_.busy_store_ns, start,
+         options_.cost.insert_ns);
   return options_.cost.insert_ns;
 }
 
 SimTime Joiner::JoinBranch(const Tuple& probe, bool replayed) {
+  SimTime start = StageStart();
   ++stats_.probes;
 
   uint64_t subindexes_before = index_.stats().expired_subindexes;
@@ -174,27 +188,37 @@ SimTime Joiner::JoinBranch(const Tuple& probe, bool replayed) {
   stats_.expired_tuples = index_.stats().expired_tuples;
 
   SimTime probe_cost = options_.cost.ProbeCost(candidates, matches);
-  if (!replayed && options_.tracer != nullptr && options_.tracer->enabled()) {
+  if (!replayed && options_.tracer != nullptr &&
+      options_.tracer->ShouldRecord(probe)) {
     // Probe cost only — expiry housekeeping is amortized window maintenance,
-    // not latency attributable to this tuple.
-    options_.tracer->OnProbe(probe.relation, probe.id, candidates, matches,
-                             probe_cost, clock_->now());
+    // not latency attributable to this tuple. The span keeps the modeled
+    // cost under wall accounting too, so breakdowns stay comparable.
+    options_.tracer->OnProbe(probe, candidates, matches, probe_cost,
+                             clock_->now());
   }
   SimTime expire_cost = dropped_subindexes * options_.cost.expire_subindex_ns;
-  if (replayed) {
+  if (options_.measure_wall_stages) {
+    // Expiry folds into the probe bucket: both happen inside one
+    // ExpireAndProbe call and cannot be wall-timed apart.
+    Charge(replayed ? stats_.busy_replay_ns : stats_.busy_probe_ns, start, 0);
+  } else if (replayed) {
     stats_.busy_replay_ns += probe_cost + expire_cost;
   } else {
     stats_.busy_probe_ns += probe_cost;
     stats_.busy_expire_ns += expire_cost;
   }
+  PublishExpiryLag();
   return probe_cost + expire_cost;
 }
 
-EventTime Joiner::expiry_lag() const {
+void Joiner::PublishExpiryLag() {
   EventTime observed = index_.last_expire_observed_ts();
   EventTime oldest = index_.oldest_live_max_ts();
-  if (observed == kNoEventTime || oldest == kNoEventTime) return 0;
-  return observed > oldest ? observed - oldest : 0;
+  if (observed == kNoEventTime || oldest == kNoEventTime) {
+    expiry_lag_ = 0;
+    return;
+  }
+  expiry_lag_ = observed > oldest ? observed - oldest : 0;
 }
 
 SimTime Joiner::MaybeCheckpoint() {
@@ -215,11 +239,13 @@ SimTime Joiner::MaybeCheckpoint() {
 void Joiner::OnCrash() {
   index_.Clear();
   catch_up_waiters_.clear();
+  PublishExpiryLag();
 }
 
 void Joiner::RestoreWindow(const std::vector<Tuple>& tuples) {
   stats_.restored_tuples += tuples.size();
   index_.RestoreFrom(tuples);
+  PublishExpiryLag();
 }
 
 void Joiner::NotifyWhenCaughtUp(uint64_t round, std::function<void()> fn) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "common/relaxed.h"
 #include "core/order_buffer.h"
 #include "core/result_sink.h"
 #include "index/chained_index.h"
@@ -56,6 +57,13 @@ struct JoinerOptions {
   /// Records arrival/release/store/probe hops of sampled tuples; charges no
   /// virtual time.
   TupleTracer* tracer = nullptr;
+  /// Wall-clock stage accounting (the parallel backend): charge the busy_*
+  /// buckets with measured wall time per stage instead of modeled virtual
+  /// cost. Store and probe (expiry folded in) are measured around the index
+  /// calls; punctuation around the order-buffer insert and checkpoint;
+  /// message framing is left to the worker's busy_ns residual, so the
+  /// buckets sum to <= busy_ns rather than exactly (see DESIGN.md §9.2).
+  bool measure_wall_stages = false;
 };
 
 /// \brief Receives a round-aligned window snapshot. `round` is the last
@@ -63,26 +71,31 @@ struct JoinerOptions {
 using CheckpointFn = std::function<void(uint32_t unit, uint64_t round,
                                         std::vector<Tuple> tuples)>;
 
-/// \brief Per-joiner statistics.
+/// \brief Per-joiner statistics. RelaxedCells: written only by the joiner's
+/// own execution context, read tear-free by the wall-clock sampler mid-run
+/// and exactly by the driver after quiescence.
 struct JoinerStats {
-  uint64_t stored = 0;
-  uint64_t probes = 0;
-  uint64_t results = 0;
-  uint64_t probe_candidates = 0;
-  uint64_t expired_tuples = 0;
-  uint64_t expired_subindexes = 0;
-  uint64_t checkpoints = 0;
-  uint64_t restored_tuples = 0;
-  /// Virtual-time decomposition of this unit's service time by pipeline
-  /// stage. Every nanosecond Handle() returns is attributed to exactly one
-  /// bucket, so the six sum to the unit's SimNode busy_ns — the per-stage
-  /// cost profile the diagnosis layer exports.
-  SimTime busy_store_ns = 0;    ///< index inserts
-  SimTime busy_probe_ns = 0;    ///< probe work (candidates + matches)
-  SimTime busy_expire_ns = 0;   ///< Theorem-1 sub-index discards
-  SimTime busy_punct_ns = 0;    ///< punctuation protocol + checkpoints
-  SimTime busy_replay_ns = 0;   ///< recovery replay traffic (all stages)
-  SimTime busy_msg_ns = 0;      ///< message/batch framing overhead
+  RelaxedCell<uint64_t> stored = 0;
+  RelaxedCell<uint64_t> probes = 0;
+  RelaxedCell<uint64_t> results = 0;
+  RelaxedCell<uint64_t> probe_candidates = 0;
+  RelaxedCell<uint64_t> expired_tuples = 0;
+  RelaxedCell<uint64_t> expired_subindexes = 0;
+  RelaxedCell<uint64_t> checkpoints = 0;
+  RelaxedCell<uint64_t> restored_tuples = 0;
+  /// Decomposition of this unit's service time by pipeline stage. Under
+  /// virtual cost (the sim) every nanosecond Handle() returns is attributed
+  /// to exactly one bucket, so the six sum to the unit's SimNode busy_ns —
+  /// the per-stage cost profile the diagnosis layer exports. Under
+  /// wall-clock stage accounting (JoinerOptions::measure_wall_stages) the
+  /// buckets hold measured wall time: expiry folds into the probe bucket,
+  /// framing stays unattributed, and the buckets sum to <= busy_ns.
+  RelaxedCell<SimTime> busy_store_ns = 0;   ///< index inserts
+  RelaxedCell<SimTime> busy_probe_ns = 0;   ///< probe work (+ expiry, wall)
+  RelaxedCell<SimTime> busy_expire_ns = 0;  ///< Theorem-1 discards (sim)
+  RelaxedCell<SimTime> busy_punct_ns = 0;   ///< punctuation + checkpoints
+  RelaxedCell<SimTime> busy_replay_ns = 0;  ///< recovery replay (all stages)
+  RelaxedCell<SimTime> busy_msg_ns = 0;     ///< message framing (sim)
 };
 
 /// \brief One biclique processing unit. Install Handle() as its unit
@@ -112,7 +125,9 @@ class Joiner {
   /// \brief Event-time lag (µs) between the most advanced Theorem-1 expiry
   /// scan and the oldest surviving sub-index; 0 before any scan. Bounded by
   /// window + expiry_slack — the window invariant the auditor checks.
-  EventTime expiry_lag() const;
+  /// Served from a cell the joiner republishes after every probe, so the
+  /// sampler may call it mid-run without touching index internals.
+  EventTime expiry_lag() const { return expiry_lag_; }
 
   // ----------------------------------------------------- fault tolerance --
 
@@ -146,10 +161,29 @@ class Joiner {
   SimTime JoinBranch(const Tuple& probe, bool replayed);
   /// Records a traced tuple's arrival hop (no-op for untraced/replayed).
   void TraceArrival(const Message& msg);
-  /// True when the tracer should see this message's hops.
+  /// Stage-measurement start marker: the wall clock when measure_wall_stages
+  /// is on, 0 (unused) otherwise.
+  SimTime StageStart() const {
+    return options_.measure_wall_stages ? clock_->now() : 0;
+  }
+  /// Charges `bucket` with the wall time since `start` under wall-stage
+  /// accounting, with the modeled virtual cost otherwise.
+  void Charge(RelaxedCell<SimTime>& bucket, SimTime start, SimTime modeled) {
+    if (options_.measure_wall_stages) {
+      SimTime now = clock_->now();
+      bucket += now > start ? now - start : 0;
+    } else {
+      bucket += modeled;
+    }
+  }
+  /// Recomputes and republishes the expiry-lag cell from the index.
+  void PublishExpiryLag();
+  /// True when the tracer should see this message's hops. ShouldRecord
+  /// keeps the clock read off the untraced hot path on the parallel
+  /// backend.
   bool Tracing(const Message& msg) const {
-    return options_.tracer != nullptr && options_.tracer->enabled() &&
-           !msg.replayed;
+    return options_.tracer != nullptr && !msg.replayed &&
+           options_.tracer->ShouldRecord(msg.tuple);
   }
   /// Snapshots the window if the checkpoint cadence is due; returns the
   /// virtual-time charge.
@@ -167,7 +201,10 @@ class Joiner {
   CheckpointFn checkpoint_fn_;
   /// First round tag at/after which the next checkpoint fires.
   uint64_t next_checkpoint_round_ = 0;
-  SimTime last_progress_time_ = 0;
+  /// RelaxedCells below: written on the joiner's execution context, read
+  /// tear-free by the failure detector / sampler gauges mid-run.
+  RelaxedCell<SimTime> last_progress_time_ = 0;
+  RelaxedCell<EventTime> expiry_lag_ = 0;
   struct CatchUpWaiter {
     uint64_t round = 0;
     std::function<void()> fn;

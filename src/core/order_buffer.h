@@ -23,6 +23,7 @@
 #include <map>
 #include <vector>
 
+#include "common/relaxed.h"
 #include "runtime/message.h"
 
 namespace bistream {
@@ -61,9 +62,12 @@ class OrderBuffer {
   uint32_t FinishedBefore(uint64_t round) const;
 
   uint32_t num_routers_;
-  uint64_t next_release_;
+  /// RelaxedCells: mutated only on the joiner's execution context; the
+  /// wall-clock sampler reads them tear-free via buffered() and
+  /// next_release_round().
+  RelaxedCell<uint64_t> next_release_;
   std::map<uint64_t, Round> rounds_;
-  size_t buffered_ = 0;
+  RelaxedCell<size_t> buffered_ = 0;
   /// Router id -> the round its final punctuation announced. Routers stop
   /// at different rounds on a wall-clock backend (independent tick
   /// cadences); a round is complete once every router either punctuated it

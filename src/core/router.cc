@@ -237,8 +237,8 @@ SimTime Router::RouteTuple(const Tuple& tuple) {
   ++seq_;
   ++stats_.tuples_routed;
   RouteDecision decision = policy_.Route(tuple, *view_);
-  if (options_.tracer != nullptr && options_.tracer->enabled()) {
-    options_.tracer->OnRouted(tuple.relation, tuple.id, clock_->now());
+  if (options_.tracer != nullptr && options_.tracer->ShouldRecord(tuple)) {
+    options_.tracer->OnRouted(tuple, clock_->now());
   }
 
   SimTime send_cost =

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 
+#include "common/relaxed.h"
 #include "core/routing.h"
 #include "core/topology.h"
 #include "obs/trace.h"
@@ -54,17 +55,18 @@ struct RouterOptions {
   TupleTracer* tracer = nullptr;
 };
 
-/// \brief Per-router statistics.
+/// \brief Per-router statistics. RelaxedCells: written only by the router's
+/// own execution context, read tear-free by the wall-clock sampler.
 struct RouterStats {
-  uint64_t tuples_routed = 0;
-  uint64_t store_messages = 0;
-  uint64_t join_messages = 0;
-  uint64_t punctuations = 0;
+  RelaxedCell<uint64_t> tuples_routed = 0;
+  RelaxedCell<uint64_t> store_messages = 0;
+  RelaxedCell<uint64_t> join_messages = 0;
+  RelaxedCell<uint64_t> punctuations = 0;
   /// Tuples that arrived after the stop-flush; they cannot be sequenced
   /// into a punctuated round anymore and are dropped (a driver bug).
-  uint64_t dropped_after_stop = 0;
+  RelaxedCell<uint64_t> dropped_after_stop = 0;
   /// Tuple copies re-sent to replacement units during recovery.
-  uint64_t replayed_messages = 0;
+  RelaxedCell<uint64_t> replayed_messages = 0;
 };
 
 /// \brief One pending recovery replay: resend the failed unit's logged
@@ -155,10 +157,12 @@ class Router {
   std::map<uint32_t, std::map<uint64_t, std::vector<BatchEntry>>> replay_log_;
   /// Replays keyed by the activation round that triggers them.
   std::multimap<uint64_t, ReplayRequest> pending_replays_;
-  uint64_t seq_ = 0;
-  uint64_t round_ = 0;
+  /// Sequencing state: mutated only on the router's worker; RelaxedCells so
+  /// the sampler's round/seq gauges read them tear-free mid-run.
+  RelaxedCell<uint64_t> seq_ = 0;
+  RelaxedCell<uint64_t> round_ = 0;
   bool started_ = false;
-  bool stopped_ = false;
+  RelaxedCell<bool> stopped_ = false;
   RouterStats stats_;
 };
 

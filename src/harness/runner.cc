@@ -36,12 +36,15 @@ double ComputeThroughput(const std::vector<TimedTuple>& stream) {
 }  // namespace
 
 void RunReport::CaptureTelemetry(BicliqueEngine& engine_ref) {
+  // Finalize first (idempotent): it joins the wall-clock sampler thread —
+  // which takes the closing sample — and folds the workers' trace buffers,
+  // so the series/spans copied below are complete on every backend.
+  engine_ref.FinalizeDiagnostics();
   series = engine_ref.telemetry_series();
   breakdown = engine_ref.ComputeLatencyBreakdown();
   trace_spans = engine_ref.tracer().spans().size();
   sample_period_ns = engine_ref.options().telemetry.sample_period;
   if (engine_ref.diagnoser() != nullptr) {
-    engine_ref.FinalizeDiagnostics();
     diagnostics = engine_ref.diagnoser()->DiagnosticsJson();
     profile = engine_ref.diagnoser()->ProfileJson();
   }

@@ -1,6 +1,38 @@
 #include "obs/metrics.h"
 
+#include <unordered_map>
+
 namespace bistream {
+
+namespace {
+std::atomic<uint64_t> g_timer_serial{0};
+}  // namespace
+
+Timer::Timer() : serial_(g_timer_serial.fetch_add(1)) {}
+
+Histogram* Timer::LocalShard() {
+  struct CacheEntry {
+    uint64_t serial;
+    Histogram* shard;
+  };
+  thread_local std::unordered_map<const Timer*, CacheEntry> cache;
+  auto it = cache.find(this);
+  if (it != cache.end() && it->second.serial == serial_) {
+    return it->second.shard;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  shards_.push_back(std::make_unique<Histogram>());
+  Histogram* shard = shards_.back().get();
+  cache[this] = CacheEntry{serial_, shard};
+  return shard;
+}
+
+Histogram Timer::Merged() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Histogram out;
+  for (const auto& shard : shards_) out.Merge(*shard);
+  return out;
+}
 
 std::string MetricsRegistry::ScopedName(const std::string& unit_kind,
                                         uint32_t unit_id,
@@ -9,6 +41,7 @@ std::string MetricsRegistry::ScopedName(const std::string& unit_kind,
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::make_unique<Counter>()).first;
@@ -16,54 +49,78 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return it->second.get();
 }
 
-Histogram* MetricsRegistry::GetTimer(const std::string& name) {
+Timer* MetricsRegistry::GetTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = timers_.find(name);
   if (it == timers_.end()) {
-    it = timers_.emplace(name, std::make_unique<Histogram>()).first;
+    it = timers_.emplace(name, std::make_unique<Timer>()).first;
   }
   return it->second.get();
 }
 
 void MetricsRegistry::RegisterGauge(const std::string& name,
                                     std::function<double()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
   gauges_[name] = std::move(fn);
 }
 
 void MetricsRegistry::UnregisterGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   gauges_.erase(name);
 }
 
 void MetricsRegistry::UnregisterGaugesWithPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = gauges_.lower_bound(prefix);
-  while (it != gauges_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+  while (it != gauges_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0) {
     it = gauges_.erase(it);
   }
 }
 
 std::optional<double> MetricsRegistry::ReadGauge(
     const std::string& name) const {
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) return std::nullopt;
-  return it->second();
+  std::function<double()> fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) return std::nullopt;
+    fn = it->second;
+  }
+  // Evaluated outside mu_: a callback must never run under the registry
+  // lock (it may be arbitrarily slow, and consumers read concurrently).
+  return fn();
 }
 
 std::optional<uint64_t> MetricsRegistry::ReadCounter(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) return std::nullopt;
   return it->second->value();
 }
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::Sample() const {
-  // Both maps iterate sorted; merge them to keep the combined list sorted.
+  // Snapshot the gauge callbacks under the lock, evaluate them outside it.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      counters.emplace_back(name, counter.get());
+    }
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, fn] : gauges_) gauges.emplace_back(name, fn);
+  }
+  // Both lists iterate sorted; merge them to keep the combined list sorted.
   std::vector<std::pair<std::string, double>> out;
-  out.reserve(counters_.size() + gauges_.size());
-  auto c = counters_.begin();
-  auto g = gauges_.begin();
-  while (c != counters_.end() || g != gauges_.end()) {
+  out.reserve(counters.size() + gauges.size());
+  auto c = counters.begin();
+  auto g = gauges.begin();
+  while (c != counters.end() || g != gauges.end()) {
     bool take_counter =
-        g == gauges_.end() ||
-        (c != counters_.end() && c->first < g->first);
+        g == gauges.end() || (c != counters.end() && c->first < g->first);
     if (take_counter) {
       out.emplace_back(c->first, static_cast<double>(c->second->value()));
       ++c;
@@ -77,12 +134,35 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::Sample() const {
 
 std::vector<std::pair<std::string, Histogram::Snapshot>>
 MetricsRegistry::SampleTimers() const {
+  std::vector<std::pair<std::string, const Timer*>> timers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    timers.reserve(timers_.size());
+    for (const auto& [name, timer] : timers_) {
+      timers.emplace_back(name, timer.get());
+    }
+  }
   std::vector<std::pair<std::string, Histogram::Snapshot>> out;
-  out.reserve(timers_.size());
-  for (const auto& [name, hist] : timers_) {
-    out.emplace_back(name, hist->TakeSnapshot());
+  out.reserve(timers.size());
+  for (const auto& [name, timer] : timers) {
+    out.emplace_back(name, timer->TakeSnapshot());
   }
   return out;
+}
+
+size_t MetricsRegistry::counter_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_.size();
+}
+
+size_t MetricsRegistry::gauge_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return gauges_.size();
+}
+
+size_t MetricsRegistry::timer_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return timers_.size();
 }
 
 }  // namespace bistream

@@ -2,11 +2,19 @@
 /// \brief Named metric registry: counters, callback gauges, histogram timers.
 ///
 /// One registry per engine. Hot-path updates go through stable Counter* /
-/// Histogram* pointers obtained once at wiring time — an update is a single
-/// add with no lookup, no lock, no allocation (the simulator is
-/// single-threaded; "lock-free-style" here means the update cost profile,
-/// not atomics). Gauges are registered as callbacks and are only evaluated
-/// when sampled, so instrumented code pays nothing between samples.
+/// Timer* pointers obtained once at wiring time — an update is a single
+/// relaxed atomic add (counters) or a record into a thread-private histogram
+/// shard (timers): no lookup, no lock, no allocation. Gauges are registered
+/// as callbacks and are only evaluated when sampled, so instrumented code
+/// pays nothing between samples.
+///
+/// Thread safety: every registry operation is safe to call concurrently —
+/// registration races lookup races sampling. Counter::Increment is a relaxed
+/// fetch-add; Timer::Record lands in a per-thread Histogram shard and
+/// SampleTimers() merges the shards (Histogram::Merge) into one snapshot, so
+/// recording threads never contend on a shared histogram. Gauge callbacks
+/// must themselves be safe to evaluate from the sampling thread (the
+/// engine's gauges read RelaxedCell-backed stats, which are).
 ///
 /// Naming convention (see DESIGN.md §9 for the full catalogue):
 ///   engine.<metric>               engine-wide scope
@@ -18,10 +26,12 @@
 #ifndef BISTREAM_OBS_METRICS_H_
 #define BISTREAM_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -32,14 +42,50 @@
 namespace bistream {
 
 /// \brief Monotonic event counter with a stable address for hot paths.
+/// Increment is a relaxed atomic add: safe from any thread, no ordering
+/// implied (totals are exact once the writers have quiesced).
 class Counter {
  public:
-  void Increment(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Duration recorder backed by per-thread Histogram shards.
+///
+/// Record() writes into a shard owned by the calling thread (created on its
+/// first record, cached in a thread_local), so concurrent recorders never
+/// touch the same histogram. Merged() / TakeSnapshot() fold every shard
+/// with Histogram::Merge — a read-side cost paid only at sample time.
+class Timer {
+ public:
+  Timer();
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// \brief Records one duration (ns). Callable from any thread.
+  void Record(uint64_t ns) { LocalShard()->Record(ns); }
+
+  /// \brief All shards merged into one histogram value.
+  Histogram Merged() const;
+
+  Histogram::Snapshot TakeSnapshot() const { return Merged().TakeSnapshot(); }
+  uint64_t count() const { return Merged().count(); }
+
+ private:
+  /// \brief This thread's shard, created under mu_ on first use. The
+  /// thread_local cache is keyed by a process-unique serial so a Timer
+  /// allocated at a recycled address cannot inherit a stale shard pointer.
+  Histogram* LocalShard();
+
+  const uint64_t serial_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Histogram>> shards_;
 };
 
 /// \brief Registry of named metrics scoped to one engine instance.
@@ -57,13 +103,15 @@ class MetricsRegistry {
   /// The pointer stays valid for the registry's lifetime.
   Counter* GetCounter(const std::string& name);
 
-  /// \brief Returns the histogram-backed timer with this name, creating it
-  /// on first use. Values are durations in virtual nanoseconds.
-  Histogram* GetTimer(const std::string& name);
+  /// \brief Returns the sharded timer with this name, creating it on first
+  /// use. Values are durations in nanoseconds (virtual or wall, caller's
+  /// convention).
+  Timer* GetTimer(const std::string& name);
 
   /// \brief Registers (or replaces — unit recovery re-registers) a gauge
-  /// evaluated lazily at sample time. Must be side-effect free: several
-  /// consumers (sampler, autoscaler, failure detector) read independently.
+  /// evaluated lazily at sample time. Must be side-effect free and safe to
+  /// call from the sampling thread: several consumers (sampler, autoscaler,
+  /// failure detector) read independently.
   void RegisterGauge(const std::string& name, std::function<double()> fn);
 
   /// \brief Drops a gauge (e.g. when its backing unit is destroyed).
@@ -82,19 +130,22 @@ class MetricsRegistry {
   /// sampler's entry point; counters and gauges share one namespace here.
   std::vector<std::pair<std::string, double>> Sample() const;
 
-  /// \brief Snapshots every timer, sorted by name.
+  /// \brief Snapshots every timer (shards merged), sorted by name.
   std::vector<std::pair<std::string, Histogram::Snapshot>> SampleTimers()
       const;
 
-  size_t counter_count() const { return counters_.size(); }
-  size_t gauge_count() const { return gauges_.size(); }
-  size_t timer_count() const { return timers_.size(); }
+  size_t counter_count() const;
+  size_t gauge_count() const;
+  size_t timer_count() const;
 
  private:
   // std::map keeps iteration (and therefore export) order deterministic;
-  // unique_ptr gives the stable hot-path addresses.
+  // unique_ptr gives the stable hot-path addresses. mu_ makes registration
+  // safe against concurrent lookup and sampling; the returned pointers are
+  // themselves thread-safe, so hot paths never re-enter the lock.
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> timers_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
   std::map<std::string, std::function<double()>> gauges_;
 };
 

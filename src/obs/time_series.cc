@@ -1,6 +1,7 @@
 #include "obs/time_series.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
@@ -62,11 +63,43 @@ TelemetrySampler::TelemetrySampler(runtime::Clock* clock,
   BISTREAM_CHECK(registry_ != nullptr);
 }
 
+TelemetrySampler::~TelemetrySampler() {
+  // Safety net: never destroy a live sampler thread. Normal runs go
+  // through Stop() (which also takes the final sample).
+  if (sampler_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(stop_mu_);
+      stop_requested_ = true;
+    }
+    stop_cv_.notify_all();
+    sampler_thread_.join();
+  }
+}
+
 void TelemetrySampler::Start(std::function<bool()> stopped) {
   if (options_.sample_period == 0) return;
   BISTREAM_CHECK(!active_);
   active_ = true;
   last_sample_time_ = clock_->now();
+  if (options_.wall_clock) {
+    // Real-time pacing on a dedicated thread. The thread owns all sampling
+    // state until Stop() joins it; the `stopped` poll is unused (it reads
+    // driver-side state this thread must not touch).
+    sampler_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lk(stop_mu_);
+      for (;;) {
+        if (stop_cv_.wait_for(
+                lk, std::chrono::nanoseconds(options_.sample_period),
+                [this] { return stop_requested_; })) {
+          return;  // Stop() takes the final sample after the join.
+        }
+        lk.unlock();
+        SampleNow();
+        lk.lock();
+      }
+    });
+    return;
+  }
   clock_->ScheduleRepeating(
       options_.sample_period, [this, stopped = std::move(stopped)] {
         SampleNow();
@@ -76,6 +109,20 @@ void TelemetrySampler::Start(std::function<bool()> stopped) {
         }
         return true;
       });
+}
+
+void TelemetrySampler::Stop() {
+  if (!sampler_thread_.joinable()) return;  // Sim mode / never started.
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  sampler_thread_.join();
+  // Closing totals, taken on the (now exclusive) calling thread. Also
+  // guarantees at least one row for runs shorter than a sample period.
+  SampleNow();
+  active_ = false;
 }
 
 bool TelemetrySampler::IsBusyCumulative(const std::string& name) {

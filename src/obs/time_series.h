@@ -1,10 +1,13 @@
 /// \file time_series.h
-/// \brief In-memory metric time series + the virtual-clock sampler.
+/// \brief In-memory metric time series + the telemetry sampler.
 ///
-/// The TelemetrySampler rides the runtime clock (the simulator's event
-/// loop under the sim backend): every
+/// The TelemetrySampler has two pacing modes. Under the sim backend it
+/// rides the runtime clock (the simulator's event loop): every
 /// `sample_period` of *virtual* time it evaluates every counter and gauge in
-/// the engine's MetricsRegistry and appends one row to a TimeSeries. This
+/// the engine's MetricsRegistry and appends one row to a TimeSeries. Under
+/// the parallel backend (`wall_clock`) a dedicated sampler thread takes the
+/// same snapshots every `sample_period` of *real* time while the workers
+/// run. This
 /// replaces the old single end-of-run aggregate with within-run visibility —
 /// throughput ramps, per-joiner busy fractions, state growth, recovery
 /// activity — at zero cost to the instrumented hot paths (gauges are lazy).
@@ -17,10 +20,13 @@
 #ifndef BISTREAM_OBS_TIME_SERIES_H_
 #define BISTREAM_OBS_TIME_SERIES_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -67,12 +73,21 @@ using SampleRow = std::vector<std::pair<std::string, double>>;
 
 /// \brief Options for TelemetrySampler.
 struct TelemetrySamplerOptions {
-  /// Virtual time between samples. 0 disables sampling entirely.
+  /// Time between samples (virtual ns under the sim backend, wall ns in
+  /// wall-clock mode). 0 disables sampling entirely.
   SimTime sample_period = 0;
   /// Derive a windowed `*_fraction` column from every cumulative busy
   /// gauge — any metric whose final name component starts with "busy" and
   /// ends with "_ns" (busy_ns, busy_probe_ns, ...).
   bool derive_busy_fractions = true;
+  /// Pace samples with a dedicated sampler thread on real time instead of
+  /// riding the backend clock's timers (the parallel backend's mode).
+  /// A repeating backend timer would both hold RunUntilIdle open for up to
+  /// one period after quiescence — inflating the measured makespan — and
+  /// drift whenever the driver blocks in a backpressured send; a free
+  /// thread does neither. The run must call Stop() after the executor
+  /// quiesces: it joins the thread and takes the final sample.
+  bool wall_clock = false;
 };
 
 /// \brief Periodically snapshots a MetricsRegistry into a TimeSeries.
@@ -85,11 +100,21 @@ class TelemetrySampler {
  public:
   TelemetrySampler(runtime::Clock* clock, MetricsRegistry* registry,
                    TelemetrySamplerOptions options);
+  ~TelemetrySampler();
 
-  /// \brief Starts periodic sampling. `stopped` is polled each tick; once it
-  /// returns true the sampler takes a final sample and stops rescheduling
-  /// (otherwise it would keep the event loop from draining forever).
+  /// \brief Starts periodic sampling. Under the clock-driven (sim) mode
+  /// `stopped` is polled each tick; once it returns true the sampler takes
+  /// a final sample and stops rescheduling (otherwise it would keep the
+  /// event loop from draining forever). In wall-clock mode the poll is
+  /// ignored — the sampler thread runs until Stop().
   void Start(std::function<bool()> stopped);
+
+  /// \brief Wall-clock mode teardown: joins the sampler thread, then takes
+  /// one final sample on the calling (driver) thread so the series always
+  /// ends with the run's closing totals. Idempotent; a no-op in sim mode
+  /// or when sampling never started. The join is also the happens-before
+  /// edge that lets the driver read series() without further locking.
+  void Stop();
 
   /// \brief Takes one sample immediately (also usable with period 0 for
   /// manual sampling at interesting instants).
@@ -127,8 +152,17 @@ class TelemetrySampler {
   std::function<void(SimTime, const SampleRow&)> observer_;
   std::function<void()> post_sample_hook_;
   // Windowed busy-fraction derivation state, private to this sampler.
+  // In wall-clock mode all of the above (series_, last_* state, observer
+  // calls) is touched exclusively by the sampler thread while it runs;
+  // Stop()'s join hands it back to the driver for the final sample.
   SimTime last_sample_time_ = 0;
   std::map<std::string, double> last_busy_ns_;
+
+  // Wall-clock mode only.
+  std::thread sampler_thread_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
 };
 
 }  // namespace bistream

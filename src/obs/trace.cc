@@ -1,6 +1,163 @@
 #include "obs/trace.h"
 
+#include <atomic>
+
 namespace bistream {
+
+namespace {
+std::atomic<uint64_t> g_tracer_serial{0};
+}  // namespace
+
+TupleTracer::TupleTracer(uint64_t trace_every)
+    : trace_every_(trace_every), serial_(g_tracer_serial.fetch_add(1)) {}
+
+std::vector<TupleTracer::TraceEvent>* TupleTracer::LocalBuffer() {
+  // Single-slot fast path: serials are process-unique, so a serial match
+  // alone identifies the tracer. One tracer is live at a time in practice,
+  // making this the steady state — the map below only backs concurrent
+  // tracers (tests) and slot misses.
+  thread_local uint64_t fast_serial = ~0ULL;
+  thread_local std::vector<TraceEvent>* fast_buffer = nullptr;
+  if (fast_serial == serial_) return fast_buffer;
+  struct CacheEntry {
+    uint64_t serial;
+    std::vector<TraceEvent>* buffer;
+  };
+  thread_local std::unordered_map<const TupleTracer*, CacheEntry> cache;
+  auto it = cache.find(this);
+  if (it != cache.end() && it->second.serial == serial_) {
+    fast_serial = serial_;
+    fast_buffer = it->second.buffer;
+    return it->second.buffer;
+  }
+  std::lock_guard<std::mutex> lk(buffers_mu_);
+  buffers_.push_back(std::make_unique<std::vector<TraceEvent>>());
+  std::vector<TraceEvent>* buffer = buffers_.back().get();
+  cache[this] = CacheEntry{serial_, buffer};
+  fast_serial = serial_;
+  fast_buffer = buffer;
+  return buffer;
+}
+
+void TupleTracer::ApplyEvent(const TraceEvent& event) {
+  auto it = by_tuple_.find(event.key);
+  if (it == by_tuple_.end()) return;
+  TraceSpan* span = it->second;
+  // First-arrival-wins for the timestamp hops and sums for the cost/count
+  // fields: both are order-independent, so the folded span is the same
+  // regardless of which thread's buffer is applied first.
+  switch (event.kind) {
+    case TraceEvent::Kind::kRouted:
+      if (span->routed == 0 || event.now < span->routed) {
+        span->routed = event.now;
+      }
+      break;
+    case TraceEvent::Kind::kStoreArrival:
+      if (span->store_arrival == 0 || event.now < span->store_arrival) {
+        span->store_arrival = event.now;
+      }
+      break;
+    case TraceEvent::Kind::kJoinArrival:
+      if (span->join_arrival == 0 || event.now < span->join_arrival) {
+        span->join_arrival = event.now;
+      }
+      ++span->probe_units;
+      break;
+    case TraceEvent::Kind::kRelease:
+      if (span->released == 0 || event.now < span->released) {
+        span->released = event.now;
+      }
+      break;
+    case TraceEvent::Kind::kStore:
+      span->store_cost_ns += event.cost_ns;
+      break;
+    case TraceEvent::Kind::kProbe:
+      span->probe_candidates += event.candidates;
+      span->results += event.matches;
+      span->probe_cost_ns += event.cost_ns;
+      if (event.matches > 0 &&
+          (span->emit == 0 || event.now < span->emit)) {
+        span->emit = event.now;
+      }
+      break;
+  }
+}
+
+void TupleTracer::MergeThreadBuffers() {
+  if (!concurrent_) return;
+  std::lock_guard<std::mutex> lk(buffers_mu_);
+  for (auto& buffer : buffers_) {
+    for (const TraceEvent& event : *buffer) ApplyEvent(event);
+    buffer->clear();
+  }
+}
+
+void TupleTracer::OnRouted(const Tuple& tuple, SimTime now) {
+  if (!enabled()) return;
+  if (concurrent_) {
+    if (!tuple.traced) return;
+    AppendEvent({TraceEvent::Kind::kRouted, Key(tuple.relation, tuple.id),
+                 now, 0, 0, 0});
+    return;
+  }
+  OnRouted(tuple.relation, tuple.id, now);
+}
+
+void TupleTracer::OnStoreArrival(const Tuple& tuple, SimTime now) {
+  if (!enabled()) return;
+  if (concurrent_) {
+    if (!tuple.traced) return;
+    AppendEvent({TraceEvent::Kind::kStoreArrival,
+                 Key(tuple.relation, tuple.id), now, 0, 0, 0});
+    return;
+  }
+  OnStoreArrival(tuple.relation, tuple.id, now);
+}
+
+void TupleTracer::OnJoinArrival(const Tuple& tuple, SimTime now) {
+  if (!enabled()) return;
+  if (concurrent_) {
+    if (!tuple.traced) return;
+    AppendEvent({TraceEvent::Kind::kJoinArrival,
+                 Key(tuple.relation, tuple.id), now, 0, 0, 0});
+    return;
+  }
+  OnJoinArrival(tuple.relation, tuple.id, now);
+}
+
+void TupleTracer::OnRelease(const Tuple& tuple, SimTime now) {
+  if (!enabled()) return;
+  if (concurrent_) {
+    if (!tuple.traced) return;
+    AppendEvent({TraceEvent::Kind::kRelease, Key(tuple.relation, tuple.id),
+                 now, 0, 0, 0});
+    return;
+  }
+  OnRelease(tuple.relation, tuple.id, now);
+}
+
+void TupleTracer::OnStore(const Tuple& tuple, uint64_t cost_ns) {
+  if (!enabled()) return;
+  if (concurrent_) {
+    if (!tuple.traced) return;
+    AppendEvent({TraceEvent::Kind::kStore, Key(tuple.relation, tuple.id), 0,
+                 0, 0, cost_ns});
+    return;
+  }
+  OnStore(tuple.relation, tuple.id, cost_ns);
+}
+
+void TupleTracer::OnProbe(const Tuple& tuple, uint64_t candidates,
+                          uint64_t matches, uint64_t cost_ns, SimTime now) {
+  if (!enabled()) return;
+  if (concurrent_) {
+    if (!tuple.traced) return;
+    AppendEvent({TraceEvent::Kind::kProbe, Key(tuple.relation, tuple.id),
+                 now, candidates, matches, cost_ns});
+    return;
+  }
+  OnProbe(tuple.relation, tuple.id, candidates, matches, cost_ns, now);
+}
 
 JsonValue TraceSpan::ToJson() const {
   JsonValue v = JsonValue::Object();

@@ -13,18 +13,32 @@
 /// every N-th one (the 1st, N+1-th, ...), so a fixed seed yields a fixed
 /// span population, and tracing perturbs neither routing nor virtual time —
 /// traced runs are bit-identical to untraced ones in results and makespan.
+/// Because ingress runs on the driver in both backends, sim and parallel
+/// runs of the same workload trace the same tuples.
 ///
 /// Hop recorders use set-if-zero semantics, and instrumentation points skip
 /// replay-flagged messages entirely, so recovery replay (which pushes the
 /// same tuples through the pipeline again) cannot overwrite or double-count
 /// the original timeline.
+///
+/// Concurrent mode (SetConcurrent(true); the parallel backend): hop
+/// recorders run on worker threads, so instead of mutating shared spans
+/// they append compact events to per-thread buffers — filtered by the
+/// Tuple::traced bit, no shared lookup on the hot path — and the driver
+/// folds the buffers into the spans after the executor quiesces
+/// (MergeThreadBuffers). Fold rules are order-independent (min for
+/// first-arrival timestamps, sums for costs/counts), so the resulting
+/// spans do not depend on thread scheduling.
 
 #ifndef BISTREAM_OBS_TRACE_H_
 #define BISTREAM_OBS_TRACE_H_
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/time.h"
 #include "obs/json.h"
@@ -73,23 +87,53 @@ struct LatencyBreakdown {
 class TupleTracer {
  public:
   /// \brief Traces every `trace_every`-th ingress tuple; 0 disables.
-  explicit TupleTracer(uint64_t trace_every) : trace_every_(trace_every) {}
+  explicit TupleTracer(uint64_t trace_every);
 
   TupleTracer(const TupleTracer&) = delete;
   TupleTracer& operator=(const TupleTracer&) = delete;
 
   bool enabled() const { return trace_every_ > 0; }
 
+  /// \brief Switches the hop recorders to per-thread event buffering (the
+  /// parallel backend). Call once at wiring time, before any recording.
+  void SetConcurrent(bool concurrent) { concurrent_ = concurrent; }
+  bool concurrent() const { return concurrent_; }
+
+  /// \brief Cheap inline pre-filter for hop call sites: true when recording
+  /// this tuple's hop could do anything. In concurrent mode the traced bit
+  /// decides outright, letting call sites skip the wall-clock read and the
+  /// out-of-line recorder call for the (N-1)-in-N untraced tuples — per-hop
+  /// clock reads are what tracing overhead on the parallel backend is made
+  /// of. In single-threaded mode untraced tuples still pass (only the span
+  /// index knows) and the recorder's Find() no-ops as before.
+  bool ShouldRecord(const Tuple& tuple) const {
+    return enabled() && (!concurrent_ || tuple.traced);
+  }
+
   /// \brief Ingress sampling decision; returns the new span when this tuple
   /// is selected, nullptr otherwise. Must be called exactly once per
-  /// injected tuple (the counter is the sampling clock).
+  /// injected tuple (the counter is the sampling clock). Driver-thread only
+  /// (injection is driver-side on every backend).
   TraceSpan* OnIngress(const Tuple& tuple, SimTime now);
 
   /// \brief Looks up a live span; nullptr when the tuple is untraced.
+  /// Driver-thread only.
   TraceSpan* Find(RelationId relation, uint64_t id);
 
-  // Hop recorders. All are no-ops for untraced tuples, and timestamp fields
-  // are set-if-zero so replays cannot rewrite history.
+  // Hop recorders, tuple-keyed. Safe from worker threads in concurrent
+  // mode (the Tuple::traced bit filters; events land in per-thread
+  // buffers). All are no-ops for untraced tuples, and timestamp fields are
+  // first-arrival-wins so replays cannot rewrite history.
+  void OnRouted(const Tuple& tuple, SimTime now);
+  void OnStoreArrival(const Tuple& tuple, SimTime now);
+  void OnJoinArrival(const Tuple& tuple, SimTime now);
+  void OnRelease(const Tuple& tuple, SimTime now);
+  void OnStore(const Tuple& tuple, uint64_t cost_ns);
+  void OnProbe(const Tuple& tuple, uint64_t candidates, uint64_t matches,
+               uint64_t cost_ns, SimTime now);
+
+  // Id-keyed recorder variants (legacy/test entry points). Single-threaded
+  // mode only: they consult the shared span index directly.
   void OnRouted(RelationId relation, uint64_t id, SimTime now);
   void OnStoreArrival(RelationId relation, uint64_t id, SimTime now);
   void OnJoinArrival(RelationId relation, uint64_t id, SimTime now);
@@ -97,6 +141,12 @@ class TupleTracer {
   void OnStore(RelationId relation, uint64_t id, uint64_t cost_ns);
   void OnProbe(RelationId relation, uint64_t id, uint64_t candidates,
                uint64_t matches, uint64_t cost_ns, SimTime now);
+
+  /// \brief Folds every per-thread event buffer into the spans. Driver-only
+  /// and only meaningful after the executor has quiesced (the quiescence
+  /// handshake publishes the buffers). Idempotent — buffers are drained.
+  /// A no-op outside concurrent mode.
+  void MergeThreadBuffers();
 
   uint64_t ingress_seen() const { return ingress_seen_; }
   uint64_t trace_every() const { return trace_every_; }
@@ -113,10 +163,40 @@ class TupleTracer {
     return (static_cast<uint64_t>(relation & 1u) << 63) | id;
   }
 
+  /// \brief One buffered hop observation (concurrent mode).
+  struct TraceEvent {
+    enum class Kind : uint8_t {
+      kRouted,
+      kStoreArrival,
+      kJoinArrival,
+      kRelease,
+      kStore,
+      kProbe,
+    };
+    Kind kind;
+    uint64_t key;
+    SimTime now;
+    uint64_t candidates;
+    uint64_t matches;
+    uint64_t cost_ns;
+  };
+
+  /// \brief The calling thread's event buffer, created on first use and
+  /// cached in a thread_local keyed by a process-unique serial (so a tracer
+  /// allocated at a recycled address cannot inherit a stale pointer).
+  std::vector<TraceEvent>* LocalBuffer();
+  void AppendEvent(TraceEvent event) { LocalBuffer()->push_back(event); }
+  void ApplyEvent(const TraceEvent& event);
+
   uint64_t trace_every_;
+  bool concurrent_ = false;
   uint64_t ingress_seen_ = 0;
   std::deque<TraceSpan> spans_;  // deque: stable addresses for Find().
   std::unordered_map<uint64_t, TraceSpan*> by_tuple_;
+
+  const uint64_t serial_;
+  std::mutex buffers_mu_;  // Guards buffer creation, not appends.
+  std::vector<std::unique_ptr<std::vector<TraceEvent>>> buffers_;
 };
 
 }  // namespace bistream

@@ -48,7 +48,8 @@ class Executor {
   /// \brief True when units execute concurrently (handlers on different
   /// units may run at the same time). Engines use this to gate features
   /// that assume single-threaded execution (fault injection, elastic
-  /// scaling, mid-run sampling) and to lock shared sinks.
+  /// scaling), to lock shared sinks, and to switch the telemetry sampler
+  /// and joiner stage accounting from virtual to wall-clock mode.
   bool concurrent() const { return kind() != BackendKind::kSim; }
 
   /// \brief Creates a unit with a debug label; the executor keeps ownership.
@@ -100,6 +101,15 @@ class Executor {
   virtual uint64_t total_dropped_dead() const = 0;
   /// \brief Inbox messages wiped by unit crashes.
   virtual uint64_t total_lost_on_crash() const = 0;
+
+  /// \brief Worst observed lateness of a fired timer (wall ns between a
+  /// timer's deadline and the timer thread dispatching it). 0 on the sim
+  /// backend, whose virtual timers are exact by construction.
+  virtual SimTime timer_lag_max_ns() const { return 0; }
+
+  /// \brief Timer callbacks dispatched so far. 0 under sim (virtual timers
+  /// are ordinary events there and need no lag accounting).
+  virtual uint64_t timer_fires() const { return 0; }
 
   /// \brief Visits every unit the executor owns, in creation order.
   virtual void ForEachUnit(const std::function<void(Unit&)>& fn) = 0;

@@ -37,10 +37,19 @@ void ParallelUnit::Deliver(Message msg) {
   exec_->IncOutstanding();
   {
     std::unique_lock<std::mutex> lk(mu_);
-    not_full_.wait(lk, [this] { return inbox_.size() < capacity_ || stop_; });
+    if (inbox_.size() >= capacity_ && !stop_) {
+      // Backpressure stall: record the count and the wall time spent
+      // blocked. Writers are serialized by mu_, so the relaxed cells are
+      // safe, and the sampler thread reads them tear-free mid-run.
+      SimTime blocked_start = exec_->NowNs();
+      ++stats_.blocked_sends;
+      not_full_.wait(lk,
+                     [this] { return inbox_.size() < capacity_ || stop_; });
+      stats_.blocked_ns += exec_->NowNs() - blocked_start;
+    }
     BISTREAM_CHECK(!stop_) << "delivery to " << label_
                            << " after executor shutdown";
-    inbox_.push_back(std::move(msg));
+    inbox_.push_back(InboxEntry{std::move(msg), exec_->NowNs()});
     if (inbox_.size() > max_queue_depth_) max_queue_depth_ = inbox_.size();
     if (inbox_.size() > window_queue_hwm_) window_queue_hwm_ = inbox_.size();
   }
@@ -123,6 +132,7 @@ void ParallelUnit::Run() {
   for (;;) {
     std::function<void()> task;
     Message msg;
+    SimTime enqueue_ns = 0;
     bool have_msg = false;
     {
       std::unique_lock<std::mutex> lk(mu_);
@@ -135,7 +145,8 @@ void ParallelUnit::Run() {
         task = std::move(tasks_.front());
         tasks_.pop_front();
       } else if (!inbox_.empty()) {
-        msg = std::move(inbox_.front());
+        msg = std::move(inbox_.front().msg);
+        enqueue_ns = inbox_.front().enqueue_ns;
         inbox_.pop_front();
         have_msg = true;
         // Publish queue peaks into stats_ while we hold mu_ anyway.
@@ -165,6 +176,9 @@ void ParallelUnit::Run() {
       ++stats_.punctuation_messages;
     }
     SimTime start = exec_->NowNs();
+    // Queueing delay (enqueue to pop): distinct from service time below, so
+    // the sampler can tell a slow handler from a deep backlog.
+    if (start > enqueue_ns) stats_.dequeue_wait_ns += start - enqueue_ns;
     handler_(msg);  // Virtual-time return value ignored: time is measured.
     SimTime service = exec_->NowNs() - start;
     stats_.busy_ns += service;
@@ -300,10 +314,17 @@ void ParallelExecutor::TimerLoop() {
       continue;
     }
     SimTime when = timer_heap_.top().when;
-    if (NowNs() < when) {
+    SimTime now = NowNs();
+    if (now < when) {
       timer_cv_.wait_until(lk, epoch_ + std::chrono::nanoseconds(when));
       continue;
     }
+    // Dispatch lag: how late the timer thread is firing this deadline.
+    // Single writer (this thread); the sampler reads the cells tear-free.
+    if (now - when > timer_lag_max_ns_.load()) {
+      timer_lag_max_ns_.store(now - when);
+    }
+    ++timer_fires_;
     // priority_queue::top() is const; move the payload out before popping
     // (safe: popped immediately).
     TimerEntry& top = const_cast<TimerEntry&>(timer_heap_.top());

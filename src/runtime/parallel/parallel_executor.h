@@ -30,8 +30,12 @@
 ///    are safe to read.
 ///
 /// Not implemented (engines must gate on Executor::concurrent()): the
-/// process-failure model (Fail/Restart), message dropping, reordering
-/// fault injection, and mid-run telemetry sampling.
+/// process-failure model (Fail/Restart), message dropping, and reordering
+/// fault injection. Mid-run telemetry IS supported: NodeStats fields are
+/// tear-free RelaxedCells, and the substrate additionally measures its own
+/// contention — sender blocking in Deliver (blocked_sends / blocked_ns),
+/// inbox queueing delay (dequeue_wait_ns), and timer-thread dispatch lag
+/// (timer_lag_max_ns / timer_fires) — for the wall-clock sampler to export.
 
 #ifndef BISTREAM_RUNTIME_PARALLEL_PARALLEL_EXECUTOR_H_
 #define BISTREAM_RUNTIME_PARALLEL_PARALLEL_EXECUTOR_H_
@@ -130,10 +134,17 @@ class ParallelUnit final : public Unit {
   UnitClock clock_;
   NodeHandler handler_;
 
+  /// Inbox entries carry their enqueue timestamp so the worker can account
+  /// queueing delay (dequeue_wait_ns) separately from service time.
+  struct InboxEntry {
+    Message msg;
+    SimTime enqueue_ns = 0;
+  };
+
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<Message> inbox_;
+  std::deque<InboxEntry> inbox_;
   std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
   size_t window_queue_hwm_ = 0;  // Guarded by mu_ (senders update it).
@@ -212,6 +223,13 @@ class ParallelExecutor final : public Executor {
   uint64_t total_dropped_dead() const override { return 0; }
   uint64_t total_lost_on_crash() const override { return 0; }
 
+  /// \brief Worst dispatch lateness over all fired timers (wall ns). The
+  /// timer thread is the single writer; reads are tear-free relaxed loads.
+  SimTime timer_lag_max_ns() const override {
+    return timer_lag_max_ns_.load();
+  }
+  uint64_t timer_fires() const override { return timer_fires_.load(); }
+
   void ForEachUnit(const std::function<void(Unit&)>& fn) override;
 
   /// \brief Worker threads spawned (== units created).
@@ -277,6 +295,9 @@ class ParallelExecutor final : public Executor {
       timer_heap_;
   uint64_t next_timer_seq_ = 0;
   bool timer_stop_ = false;
+  /// Written only by the timer thread (inside TimerLoop).
+  RelaxedCell<SimTime> timer_lag_max_ns_ = 0;
+  RelaxedCell<uint64_t> timer_fires_ = 0;
   std::thread timer_thread_;
 
   std::mutex driver_mu_;

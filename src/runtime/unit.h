@@ -15,6 +15,7 @@
 #include <functional>
 #include <string>
 
+#include "common/relaxed.h"
 #include "common/time.h"
 #include "runtime/clock.h"
 #include "runtime/message.h"
@@ -29,26 +30,40 @@ using NodeHandler = std::function<SimTime(const Message& msg)>;
 /// \brief Cumulative per-unit statistics. Under the sim backend the busy
 /// fields are virtual nanoseconds from the cost model; under the parallel
 /// backend they are measured wall nanoseconds.
+///
+/// Fields are RelaxedCells so the wall-clock telemetry sampler can read
+/// them tear-free from its own thread mid-run; each field still has a
+/// single writer (the unit's worker, or writers serialized by the unit's
+/// queue mutex), so the relaxed load+store updates lose nothing.
 struct NodeStats {
-  uint64_t messages_processed = 0;
-  uint64_t tuple_messages = 0;
-  uint64_t punctuation_messages = 0;
-  SimTime busy_ns = 0;
+  RelaxedCell<uint64_t> messages_processed = 0;
+  RelaxedCell<uint64_t> tuple_messages = 0;
+  RelaxedCell<uint64_t> punctuation_messages = 0;
+  RelaxedCell<SimTime> busy_ns = 0;
   /// Per-event-type decomposition of busy_ns: where this unit's service
   /// time actually goes (data vs. protocol vs. control), surfaced by the
   /// telemetry layer. Sums to busy_ns.
-  SimTime busy_tuple_ns = 0;
-  SimTime busy_punctuation_ns = 0;
-  SimTime busy_batch_ns = 0;
-  SimTime busy_control_ns = 0;
-  size_t max_queue_depth = 0;
+  RelaxedCell<SimTime> busy_tuple_ns = 0;
+  RelaxedCell<SimTime> busy_punctuation_ns = 0;
+  RelaxedCell<SimTime> busy_batch_ns = 0;
+  RelaxedCell<SimTime> busy_control_ns = 0;
+  RelaxedCell<size_t> max_queue_depth = 0;
+  /// Sends that found this unit's bounded inbox full and had to wait
+  /// (sender-side backpressure stalls), and the total wall time spent
+  /// waiting. Always 0 under sim (the simulated queue is unbounded).
+  RelaxedCell<uint64_t> blocked_sends = 0;
+  RelaxedCell<SimTime> blocked_ns = 0;
+  /// Total time messages sat in this unit's inbox between enqueue and the
+  /// worker popping them (queueing delay, not service). Always 0 under sim
+  /// (the event loop models queueing in virtual time instead).
+  RelaxedCell<SimTime> dequeue_wait_ns = 0;
   /// Deliveries that arrived while the node was down (silently dropped).
-  uint64_t messages_dropped_dead = 0;
+  RelaxedCell<uint64_t> messages_dropped_dead = 0;
   /// Queued messages wiped by a crash (in-memory inbox lost with the
   /// process).
-  uint64_t messages_lost_on_crash = 0;
-  uint64_t crashes = 0;
-  uint64_t restarts = 0;
+  RelaxedCell<uint64_t> messages_lost_on_crash = 0;
+  RelaxedCell<uint64_t> crashes = 0;
+  RelaxedCell<uint64_t> restarts = 0;
 };
 
 namespace runtime {
@@ -57,8 +72,10 @@ namespace runtime {
 ///
 /// Thread-safety contract: SetHandler is called once before the first
 /// Deliver. Deliver may be called from any thread (backends serialize
-/// internally). stats() is stable only after the executor has quiesced
-/// (RunUntilIdle returned) — reading it mid-run is backend-defined.
+/// internally). Individual stats() fields are tear-free to read from any
+/// thread mid-run (RelaxedCells) — that is what the wall-clock telemetry
+/// sampler does — but only eventually consistent; totals are exact once
+/// the executor has quiesced (RunUntilIdle returned).
 class Unit {
  public:
   virtual ~Unit() = default;

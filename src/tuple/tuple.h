@@ -46,6 +46,11 @@ struct Tuple {
   /// Virtual arrival time at the system edge (metrics only; set by the
   /// driver when the tuple is injected; not part of the wire size).
   SimTime origin = 0;
+  /// True when the tuple tracer selected this tuple at ingress (metrics
+  /// only; not part of the wire size). Carried on every copy so workers on
+  /// a concurrent backend can filter trace recording without consulting the
+  /// tracer's shared span index.
+  bool traced = false;
 
   /// \brief Wire size in bytes: fixed header plus the encoded row, if any.
   ///

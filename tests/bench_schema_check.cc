@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -127,6 +128,38 @@ bool CheckBackend(const JsonValue* report, const std::string& where) {
   return !wall;
 }
 
+/// A parallel run that sampled at all must carry the inbox-contention
+/// telemetry: per-unit blocked_sends / blocked_ns / dequeue_wait_ns columns
+/// and the timer-thread lag gauge. These are the wall-clock backend's
+/// saturation signals (DESIGN.md §9.2); a parallel artifact without them
+/// means the sampler ran against an uninstrumented substrate.
+void CheckContentionColumns(const JsonValue* series,
+                            const std::string& where) {
+  if (series == nullptr) return;
+  const JsonValue* metrics = series->Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return;
+  bool timer_lag = false;
+  for (const char* suffix :
+       {".blocked_sends", ".blocked_ns", ".dequeue_wait_ns"}) {
+    bool found = false;
+    for (const auto& [name, column] : metrics->members()) {
+      if (name == "engine.timer_lag_max_ns") timer_lag = true;
+      if (name.size() > std::strlen(suffix) &&
+          name.compare(name.size() - std::strlen(suffix), std::string::npos,
+                       suffix) == 0) {
+        found = true;
+      }
+    }
+    if (!found) {
+      Fail(where + " (parallel, sampled) has no column ending '" +
+           std::string(suffix) + "'");
+    }
+  }
+  if (!timer_lag) {
+    Fail(where + " (parallel, sampled) lacks 'engine.timer_lag_max_ns'");
+  }
+}
+
 /// Any invariant violation recorded by the run's auditor fails the smoke
 /// test: benches must produce audit-clean runs.
 void CheckDiagnostics(const JsonValue* diagnostics, const std::string& where) {
@@ -217,7 +250,6 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
       RequiredKeys(schema, "profile_required");
 
   size_t runs_with_series = 0;
-  size_t sim_runs = 0;
   for (size_t i = 0; i < runs->size(); ++i) {
     std::string where = "runs[" + std::to_string(i) + "]";
     const JsonValue& run = runs->at(i);
@@ -226,7 +258,6 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
     if (report == nullptr) continue;
     CheckRequired(report, report_required, where + ".report");
     bool is_sim = CheckBackend(report, where + ".report");
-    if (is_sim) ++sim_runs;
     CheckRequired(report->Find("engine"), engine_required,
                   where + ".report.engine");
     CheckRequired(report->Find("latency"), latency_required,
@@ -251,6 +282,9 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
       if (timestamps != nullptr && timestamps->is_array() &&
           timestamps->size() > 0) {
         ++runs_with_series;
+        if (!is_sim) {
+          CheckContentionColumns(series, where + ".report.series");
+        }
       }
     }
   }
@@ -259,9 +293,8 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
   if (const JsonValue* v = schema.Find("min_runs_with_series")) {
     min_with_series = v->AsNumber();
   }
-  // Only sim runs can carry a virtual-time series; an all-parallel artifact
-  // (e.g. a --backend=parallel sweep) is exempt from the requirement.
-  if (sim_runs == 0) min_with_series = 0;
+  // Both backends sample: sim on virtual time, parallel on a wall-clock
+  // thread. Every artifact owes at least one run with a real series.
   if (static_cast<double>(runs_with_series) < min_with_series) {
     Fail("only " + std::to_string(runs_with_series) +
          " runs carry a non-empty time series, schema requires " +

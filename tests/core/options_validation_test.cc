@@ -160,12 +160,12 @@ TEST(OptionsValidationTest, ParallelBackendRejectsSimOnlyFeatures) {
   EXPECT_FALSE(options.Validate().ok());
   options.channel_drop_probability = 0;
 
+  // Telemetry is NOT sim-only: the wall-clock sampler and the per-thread
+  // trace buffers make both knobs valid under the parallel backend.
   options.telemetry.sample_period = 50 * kMillisecond;
-  EXPECT_FALSE(options.Validate().ok());
-  options.telemetry.sample_period = 0;
-
   options.telemetry.trace_every = 32;
-  EXPECT_FALSE(options.Validate().ok());
+  EXPECT_TRUE(options.Validate().ok());
+  options.telemetry.sample_period = 0;
   options.telemetry.trace_every = 0;
 
   EXPECT_TRUE(options.Validate().ok());

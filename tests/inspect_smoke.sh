@@ -5,14 +5,20 @@
 #   2. a clean artifact reads healthy (exit 0),
 #   3. the A/B diff flags the injected slowdown and attributes it to the
 #      probe stage (exit 1),
-#   4. malformed input is rejected with exit 2.
+#   4. malformed input is rejected with exit 2,
+#   5. a wall-clock (--backend=parallel) artifact — sampled series, inbox
+#      contention columns and all — also reads healthy.
 # Usage:
-#   inspect_smoke.sh <bistream-inspect> <bench_binary> [bench args...]
+#   inspect_smoke.sh <bistream-inspect> <parallel_bench> <bench_binary> \
+#     [bench args...]
+# <parallel_bench> must accept --backend=parallel (e1 does; e7, the usual
+# <bench_binary>, does not).
 set -eu
 
 inspect="$1"
-bench="$2"
-shift 2
+parallel_bench="$2"
+bench="$3"
+shift 3
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -60,4 +66,17 @@ status=0
   status=$?
 [ "$status" -eq 2 ] || fail "malformed diff input: exit $status, expected 2"
 
-echo "OK: self-check, health, diff attribution, malformed-input rejection"
+# 5. Health verdict on a parallel-backend artifact: the wall sampler and
+# tracer were live on worker threads, so the artifact carries a real time
+# series (with the inbox-contention columns) that the tool must digest.
+par="$workdir/parallel.json"
+"$parallel_bench" --json_out="$par" --backend=parallel --units=4 \
+  --duration_ms=100 --iters=1 --probe_rate=1000 --sample_ms=10 \
+  --trace_every=64 > "$workdir/par_run.txt" 2>&1 ||
+  { cat "$workdir/par_run.txt" >&2; fail "parallel bench run failed"; }
+"$inspect" "$par" > "$workdir/par_health.txt" 2>&1 ||
+  { cat "$workdir/par_health.txt" >&2;
+    fail "healthy parallel artifact flagged (exit $?)"; }
+
+echo "OK: self-check, health, diff attribution, malformed-input rejection," \
+  "parallel health"

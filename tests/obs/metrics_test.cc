@@ -73,15 +73,19 @@ TEST(MetricsRegistryTest, SampleMergesCountersAndGaugesSorted) {
 
 TEST(MetricsRegistryTest, TimersSnapshot) {
   MetricsRegistry registry;
-  Histogram* t = registry.GetTimer("joiner.0.probe_ns");
+  Timer* t = registry.GetTimer("joiner.0.probe_ns");
   t->Record(100);
   t->Record(300);
+  EXPECT_EQ(registry.GetTimer("joiner.0.probe_ns"), t);
   auto timers = registry.SampleTimers();
   ASSERT_EQ(timers.size(), 1u);
   EXPECT_EQ(timers[0].first, "joiner.0.probe_ns");
   EXPECT_EQ(timers[0].second.count, 2u);
   EXPECT_EQ(timers[0].second.min, 100u);
   EXPECT_EQ(timers[0].second.max, 300u);
+  // Records from several threads land in per-thread shards that Merged()
+  // folds together.
+  EXPECT_EQ(t->count(), 2u);
 }
 
 TEST(TimeSeriesTest, BackfillsNewColumnsAndPadsMissing) {

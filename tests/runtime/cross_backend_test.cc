@@ -63,6 +63,65 @@ TEST(CrossBackendTest, EquiJoinHashRoutedMultisetMatches) {
                                 /*seed=*/7));
 }
 
+// Telemetry equivalence: with sampling and tracing on, the run-total
+// (monotonic) counters must be identical across backends — the wall-clock
+// sampler and per-thread trace buffers may not perturb or miscount the
+// computation. Cadence-dependent quantities (punctuation counts, sample-row
+// counts) legitimately differ: wall ticks are not virtual ticks.
+TEST(CrossBackendTest, TelemetryCountersMatchAcrossBackends) {
+  BicliqueOptions options;
+  options.window = 30 * kEventSecond;
+  options.archive_period = 1 * kEventSecond;
+  options.telemetry.sample_period = 10 * kMillisecond;
+  options.telemetry.trace_every = 16;
+  SyntheticWorkloadOptions workload =
+      MakeWorkload(2000, 300 * kMillisecond, /*key_domain=*/40, /*seed=*/13);
+
+  ASSERT_TRUE(options.Validate().ok());
+  RunReport sim = RunBicliqueWorkload(options, workload, /*check=*/true);
+  options.backend = runtime::BackendKind::kParallel;
+  ASSERT_TRUE(options.Validate().ok());
+  RunReport parallel = RunBicliqueWorkload(options, workload, /*check=*/true);
+
+  EXPECT_TRUE(sim.check.Clean());
+  EXPECT_TRUE(parallel.check.Clean());
+  EXPECT_EQ(parallel.engine.input_tuples, sim.engine.input_tuples);
+  EXPECT_EQ(parallel.engine.stored, sim.engine.stored);
+  EXPECT_EQ(parallel.engine.probes, sim.engine.probes);
+  EXPECT_EQ(parallel.engine.results, sim.engine.results);
+  EXPECT_GT(parallel.engine.results, 0u);
+
+  // Deterministic 1-in-N ingress selection: both backends trace the same
+  // tuples, and every traced tuple's span completes on both.
+  EXPECT_EQ(parallel.trace_spans, sim.trace_spans);
+  EXPECT_GT(parallel.trace_spans, 0u);
+  EXPECT_EQ(parallel.breakdown.spans, sim.breakdown.spans);
+
+  // Both backends sampled: at least the closing row, and the closing row's
+  // monotonic engine gauges agree with the final stats.
+  ASSERT_GE(sim.series.size(), 1u);
+  ASSERT_GE(parallel.series.size(), 1u);
+  for (const RunReport* report : {&sim, &parallel}) {
+    const std::vector<double>* inputs =
+        report->series.Column("engine.input_tuples");
+    ASSERT_NE(inputs, nullptr);
+    EXPECT_EQ(static_cast<uint64_t>(inputs->back()),
+              report->engine.input_tuples);
+    const std::vector<double>* puncts =
+        report->series.Column("router.0.punctuations");
+    ASSERT_NE(puncts, nullptr);
+    EXPECT_GT(puncts->back(), 0.0);
+  }
+
+  // The contention columns exist on both (always-0 under sim).
+  for (const char* column :
+       {"joiner.0.blocked_sends", "joiner.0.blocked_ns",
+        "joiner.0.dequeue_wait_ns", "engine.timer_lag_max_ns"}) {
+    EXPECT_NE(parallel.series.Column(column), nullptr) << column;
+    EXPECT_NE(sim.series.Column(column), nullptr) << column;
+  }
+}
+
 TEST(CrossBackendTest, BandJoinBroadcastRoutedMultisetMatches) {
   BicliqueOptions options;
   options.window = 30 * kEventSecond;
