@@ -4,9 +4,11 @@
 #ifndef BISTREAM_BENCH_BENCH_UTIL_H_
 #define BISTREAM_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <initializer_list>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -170,6 +172,56 @@ inline void ApplyCostFlags(const Config& config, CostModel* cost) {
       config.GetInt("net_jitter_us",
                     static_cast<int64_t>(cost->net_jitter_ns / 1000)) *
       1000);
+}
+
+/// \brief Drives a materialized stream through a hand-built engine, pacing
+/// arrivals on the backend's own notion of time.
+///
+/// Under the simulator this is the familiar `RunUntil(arrival); InjectNow`
+/// loop. Under the parallel backend virtual arrival times are compressed
+/// onto the wall clock (`compression` virtual seconds per wall second) and
+/// the driver sleeps between tuples — which is what lets wall-clock
+/// controllers (fault injector, failure detector, autoscaler) fire mid-run
+/// on the driver's service point rather than after all data has already
+/// been firehosed through. The periodic RunUntil calls are the service
+/// point: driver-clock timers run there.
+inline void PacedDrive(runtime::Executor* exec, BicliqueEngine* engine,
+                       const std::vector<TimedTuple>& stream,
+                       double compression) {
+  if (!exec->concurrent()) {
+    for (const TimedTuple& tt : stream) {
+      exec->RunUntil(tt.arrival);
+      engine->InjectNow(tt.tuple);
+    }
+    return;
+  }
+  BISTREAM_CHECK_GT(compression, 0.0);
+  SimTime start = exec->clock()->now();
+  for (const TimedTuple& tt : stream) {
+    SimTime target =
+        start + static_cast<SimTime>(static_cast<double>(tt.arrival) /
+                                     compression);
+    exec->RunUntil(target);
+    while (exec->clock()->now() < target) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      exec->RunUntil(target);
+    }
+    engine->InjectNow(tt.tuple);
+  }
+}
+
+/// \brief Marks a hand-built parallel run's report with its wall-clock
+/// measurements (the harness does this automatically for runner-driven
+/// benches).
+inline void MarkWallMeasured(RunReport* report) {
+  report->backend = "parallel";
+  report->wall_measured = true;
+  report->wall_makespan_ns = report->engine.makespan_ns;
+  if (report->wall_makespan_ns > 0) {
+    report->wall_throughput_tps =
+        static_cast<double>(report->engine.input_tuples) /
+        SimTimeToSeconds(report->wall_makespan_ns);
+  }
 }
 
 /// \brief Routers scale with the cluster in the scalability sweeps (the

@@ -5,9 +5,22 @@
 // replicas step up after each rate increase and back down after the drop;
 // utilization/memory re-converges toward the target; results stay
 // exactly-once throughout (no-migration scaling).
+//
+// `--backend=parallel` runs the same timeline on the multithreaded backend:
+// scale-out spawns a live joiner worker thread mid-run and scale-in drains
+// and retires one, while the autoscalers tick on the wall clock consuming
+// the sampler's measured busy fractions / state bytes. Virtual times are
+// compressed onto the wall clock (`--wall_compression`, default 100 virtual
+// seconds per wall second). Wall busy fractions depend on the host machine,
+// so the CPU timeline's shape is hardware-honest rather than modeled; the
+// memory timeline tracks event-time window state and scales like the sim.
+
+#include <memory>
 
 #include "bench_util.h"
 #include "ops/autoscaler.h"
+#include "runtime/parallel/parallel_executor.h"
+#include "sim/event_loop.h"
 
 using namespace bistream;  // NOLINT(build/namespaces)
 
@@ -49,21 +62,51 @@ void RunTimeline(ScaleMetric metric, const Config& config,
   options.telemetry.sample_period =
       static_cast<SimTime>(config.GetInt("sample_ms", 15000)) * kMillisecond;
 
+  ApplyBackendFlags(config, &options);
+  const bool parallel = options.backend == runtime::BackendKind::kParallel;
+  const double compression =
+      parallel ? static_cast<double>(config.GetInt("wall_compression", 100))
+               : 1.0;
+
   AutoscalerOptions scaler;
   scaler.metric = metric;
-  scaler.interval = 30 * kSecond;
   scaler.target_cpu = 0.80;
   scaler.target_memory_bytes = config.GetInt("target_mem_kb", 700) * 1024;
   scaler.min_replicas = 1;
   scaler.max_replicas = 3;
-  scaler.cooldown = 60 * kSecond;
+  // Under the parallel backend the control loop ticks on the wall clock, so
+  // its cadences compress along with the paced injection (30 virtual
+  // seconds -> 300 wall ms at the default compression). Same for the
+  // telemetry sampler the CPU metric's EWMA busy fractions come from.
+  scaler.interval =
+      static_cast<SimTime>(30 * kSecond / compression);
+  scaler.cooldown = static_cast<SimTime>(60 * kSecond / compression);
+  if (parallel) {
+    options.telemetry.sample_period = static_cast<SimTime>(
+        static_cast<double>(options.telemetry.sample_period) / compression);
+    // One wall round spans `compression` times more event time under the
+    // paced drive; the expiry disorder bound dilates with it.
+    options.event_time_dilation = compression;
+  }
 
   SyntheticSource source(workload);
   std::vector<TimedTuple> stream = DrainSource(&source);
 
-  EventLoop loop;
   CollectorSink sink(/*check=*/true);
-  BicliqueEngine engine(&loop, options, &sink);
+  EventLoop loop;  // Sim backend only; idle under parallel.
+  std::unique_ptr<runtime::ParallelExecutor> parallel_exec;
+  std::unique_ptr<BicliqueEngine> engine_ptr;
+  if (parallel) {
+    runtime::ParallelExecutorOptions exec_options;
+    exec_options.queue_capacity = options.queue_capacity;
+    parallel_exec = std::make_unique<runtime::ParallelExecutor>(options.cost,
+                                                                exec_options);
+    engine_ptr = std::make_unique<BicliqueEngine>(parallel_exec.get(),
+                                                  options, &sink);
+  } else {
+    engine_ptr = std::make_unique<BicliqueEngine>(&loop, options, &sink);
+  }
+  BicliqueEngine& engine = *engine_ptr;
   AutoscalerOptions r_side = scaler;
   r_side.side = kRelationR;
   AutoscalerOptions s_side = scaler;
@@ -74,14 +117,11 @@ void RunTimeline(ScaleMetric metric, const Config& config,
   engine.Start();
   scaler_r.Start();
   scaler_s.Start();
-  for (const TimedTuple& tt : stream) {
-    loop.RunUntil(tt.arrival);
-    engine.InjectNow(tt.tuple);
-  }
+  PacedDrive(&engine.executor(), &engine, stream, compression);
   scaler_r.Stop();
   scaler_s.Stop();
   engine.FlushAndStop();
-  loop.RunUntilIdle();
+  engine.executor().RunUntilIdle();
 
   const char* metric_name =
       metric == ScaleMetric::kCpu ? "cpu utilization" : "memory bytes";
@@ -90,12 +130,16 @@ void RunTimeline(ScaleMetric metric, const Config& config,
   TablePrinter table({"t_min", "rate_tps", "metric", "replicas", "desired",
                       "action"});
   for (const AutoscalerSample& s : scaler_r.timeline()) {
-    double rate = workload.rate_r.RateAt(s.time) * 2;  // Total input.
+    // Map wall sample times back onto the virtual timeline under parallel
+    // (s.time is wall ns there; t_min stays comparable across backends).
+    SimTime virtual_time =
+        static_cast<SimTime>(static_cast<double>(s.time) * compression);
+    double rate = workload.rate_r.RateAt(virtual_time) * 2;  // Total input.
     std::string value = metric == ScaleMetric::kCpu
                             ? TablePrinter::Num(s.metric_value * 100, 0) + "%"
                             : TablePrinter::Bytes(
                                   static_cast<int64_t>(s.metric_value));
-    table.AddRow({TablePrinter::Num(SimTimeToSeconds(s.time) / 60, 1),
+    table.AddRow({TablePrinter::Num(SimTimeToSeconds(virtual_time) / 60, 1),
                   TablePrinter::Num(rate, 0), value,
                   TablePrinter::Int(static_cast<int64_t>(s.active_replicas)),
                   TablePrinter::Int(static_cast<int64_t>(s.desired_replicas)),
@@ -115,6 +159,7 @@ void RunTimeline(ScaleMetric metric, const Config& config,
   report.check = check;
   report.checked = true;
   report.CaptureTelemetry(engine);
+  if (parallel) MarkWallMeasured(&report);
   JsonValue params = JsonValue::Object();
   params.Set("metric", JsonValue::String(metric == ScaleMetric::kCpu
                                              ? "cpu"

@@ -40,6 +40,11 @@ Status BicliqueOptions::Validate() const {
     return Status::InvalidArgument("punct_interval must be > 0");
   }
   if (batch_size < 1) return Status::InvalidArgument("batch_size must be >= 1");
+  if (event_time_dilation < 1.0) {
+    return Status::InvalidArgument(
+        "event_time_dilation must be >= 1.0 (event time advancing slower "
+        "than the backend clock never widens the disorder bound)");
+  }
   if (channel_drop_probability < 0.0 || channel_drop_probability > 1.0) {
     return Status::InvalidArgument(
         "channel_drop_probability must be in [0, 1]");
@@ -79,25 +84,23 @@ Status BicliqueOptions::Validate() const {
           std::to_string(joiners_r + joiners_s) + " joiners need " +
           std::to_string(threads_needed) + " threads");
     }
-    if (fault_tolerance.enabled) {
-      return Status::InvalidArgument(
-          "fault tolerance requires the sim backend: the parallel backend "
-          "has no process-failure model to recover from");
-    }
     if (fault_reorder) {
       return Status::InvalidArgument(
           "fault_reorder is a sim-transport fault; the parallel transport "
-          "is always FIFO");
+          "is always FIFO — real thread interleaving already exercises "
+          "cross-channel nondeterminism");
     }
     if (channel_drop_probability > 0.0) {
       return Status::InvalidArgument(
           "channel_drop_probability is a sim-transport fault; the parallel "
-          "transport is lossless");
+          "transport is lossless — to exercise loss on real threads, crash "
+          "whole units instead (fault_tolerance + CrashJoiner/FaultPlan)");
     }
-    // Telemetry sampling and tuple tracing are supported on both backends:
-    // under parallel the sampler runs on its own wall-clock thread over
-    // tear-free relaxed cells, and the tracer buffers hop events per worker
-    // thread (see DESIGN.md §9.2).
+    // Fault tolerance, elasticity, telemetry sampling and tuple tracing all
+    // work on both backends: under parallel a crash is real worker-thread
+    // teardown and recovery respawns a live thread (DESIGN.md §11), the
+    // sampler runs on its own wall-clock thread over tear-free relaxed
+    // cells, and the tracer buffers hop events per worker (§9.2).
   }
   return Status::OK();
 }
@@ -134,17 +137,20 @@ void BicliqueEngine::Init() {
   BISTREAM_CHECK(valid.ok()) << "invalid BicliqueOptions: "
                              << valid.ToString();
 
-  if (exec_->concurrent()) {
-    // Joiners call OnResult from different worker threads; serialize them
-    // before the user's sink.
-    locking_sink_ = std::make_unique<LockingResultSink>(sink_);
-    sink_ = locking_sink_.get();
-  }
+  // Sink chain, innermost first: joiners -> [locking] -> [dedup] -> user.
+  // The dedup filter sits inside the lock — its seen-set is plain state, so
+  // on a concurrent backend it must only ever run serialized.
   if (options_.fault_tolerance.enabled) {
     // Replayed probes may re-derive pairs already emitted before a crash;
     // the dedup filter drops exactly those (replay-flagged) duplicates.
     dedup_sink_ = std::make_unique<RecoveryDedupSink>(sink_);
     sink_ = dedup_sink_.get();
+  }
+  if (exec_->concurrent()) {
+    // Joiners call OnResult from different worker threads; serialize them
+    // before the dedup filter / user's sink.
+    locking_sink_ = std::make_unique<LockingResultSink>(sink_);
+    sink_ = locking_sink_.get();
   }
 
   tracer_ = std::make_unique<TupleTracer>(options_.telemetry.trace_every);
@@ -171,6 +177,9 @@ void BicliqueEngine::Init() {
             : static_cast<double>(options_.window + EffectiveExpirySlack());
     diagnoser_ = std::make_unique<Diagnoser>(
         &metrics_, diag_options, [this] {
+          // Called from the sampler thread on a concurrent backend while
+          // the driver may be scaling or recovering.
+          std::lock_guard<std::mutex> lk(state_mu_);
           std::vector<UnitMeta> units;
           for (const UnitRecord& u : topology_.units()) {
             UnitMeta meta;
@@ -216,10 +225,19 @@ void BicliqueEngine::Init() {
     auto router = std::make_unique<Router>(
         router_options, node->clock(),
         [this, i](uint32_t unit, Message msg) {
-          auto it = channels_[i].find(unit);
-          BISTREAM_CHECK(it != channels_[i].end())
-              << "router " << i << " has no channel to unit " << unit;
-          it->second->Send(std::move(msg));
+          // Runs on the router's worker thread (parallel backend) while the
+          // driver may be inserting channels for a new unit. Copy the
+          // transport pointer out, then send unlocked: Send can block on
+          // backpressure, and transports live for the engine's lifetime.
+          runtime::Transport* channel = nullptr;
+          {
+            std::lock_guard<std::mutex> lk(channels_mu_);
+            auto it = channels_[i].find(unit);
+            BISTREAM_CHECK(it != channels_[i].end())
+                << "router " << i << " has no channel to unit " << unit;
+            channel = it->second;
+          }
+          channel->Send(std::move(msg));
         });
     Router* router_ptr = router.get();
     node->SetHandler([router_ptr](const Message& msg) {
@@ -315,22 +333,55 @@ void BicliqueEngine::RegisterEngineGauges() {
   metrics_.RegisterGauge("engine.bytes", [this] {
     return static_cast<double>(exec_->total_bytes());
   });
+  // Gauges iterating driver-mutated state (topology_, joiners_,
+  // recovery_events_) lock state_mu_: the wall-clock sampler evaluates them
+  // mid-scale/mid-recovery on a concurrent backend. Callbacks run outside
+  // the registry lock, so this nests safely.
   metrics_.RegisterGauge("engine.active_joiners_r", [this] {
+    std::lock_guard<std::mutex> lk(state_mu_);
     return static_cast<double>(topology_.NumActive(kRelationR));
   });
   metrics_.RegisterGauge("engine.active_joiners_s", [this] {
+    std::lock_guard<std::mutex> lk(state_mu_);
     return static_cast<double>(topology_.NumActive(kRelationS));
   });
   metrics_.RegisterGauge("engine.crashes", [this] {
+    std::lock_guard<std::mutex> lk(state_mu_);
     return static_cast<double>(crashes_);
   });
   metrics_.RegisterGauge("engine.recoveries", [this] {
+    std::lock_guard<std::mutex> lk(state_mu_);
     return static_cast<double>(recovery_events_.size());
+  });
+  metrics_.RegisterGauge("engine.respawns", [this] {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    return static_cast<double>(recovery_events_.size());
+  });
+  metrics_.RegisterGauge("engine.detection_latency_ns", [this] {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    SimTime worst = 0;
+    for (const RecoveryEvent& e : recovery_events_) {
+      if (e.crashed_at > 0 && e.detected_at >= e.crashed_at) {
+        worst = std::max(worst, e.detected_at - e.crashed_at);
+      }
+    }
+    return static_cast<double>(worst);
+  });
+  metrics_.RegisterGauge("engine.recovery_wall_ns", [this] {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    SimTime worst = 0;
+    for (const RecoveryEvent& e : recovery_events_) {
+      if (e.caught_up_at > 0 && e.caught_up_at >= e.detected_at) {
+        worst = std::max(worst, e.caught_up_at - e.detected_at);
+      }
+    }
+    return static_cast<double>(worst);
   });
   metrics_.RegisterGauge("engine.checkpoints", [this] {
     return static_cast<double>(ckpt_store_.checkpoints_taken());
   });
   metrics_.RegisterGauge("engine.results", [this] {
+    std::lock_guard<std::mutex> lk(state_mu_);
     uint64_t total = 0;
     for (const auto& [unit_id, entry] : joiners_) {
       total += entry.joiner->stats().results;
@@ -338,6 +389,7 @@ void BicliqueEngine::RegisterEngineGauges() {
     return static_cast<double>(total);
   });
   metrics_.RegisterGauge("engine.stored", [this] {
+    std::lock_guard<std::mutex> lk(state_mu_);
     uint64_t total = 0;
     for (const auto& [unit_id, entry] : joiners_) {
       total += entry.joiner->stats().stored;
@@ -345,6 +397,7 @@ void BicliqueEngine::RegisterEngineGauges() {
     return static_cast<double>(total);
   });
   metrics_.RegisterGauge("engine.probes", [this] {
+    std::lock_guard<std::mutex> lk(state_mu_);
     uint64_t total = 0;
     for (const auto& [unit_id, entry] : joiners_) {
       total += entry.joiner->stats().probes;
@@ -445,8 +498,12 @@ EventTime BicliqueEngine::EffectiveExpirySlack() const {
   // arrival time (true for the provided sources); applications with
   // decoupled event time should set BicliqueOptions::expiry_slack to their
   // own disorder bound.
+  // Under a wall-paced driver one backend round spans event_time_dilation
+  // times more event time, so the round-granular disorder scales with it.
   EventTime disorder_bound = static_cast<EventTime>(
-      (3 * options_.punct_interval + options_.cost.net_jitter_ns) /
+      options_.event_time_dilation *
+      static_cast<double>(3 * options_.punct_interval +
+                          options_.cost.net_jitter_ns) /
       kMicrosecond);
   return std::max(options_.expiry_slack, disorder_bound);
 }
@@ -462,9 +519,15 @@ ChannelOptions BicliqueEngine::JoinerChannelOptions() const {
 
 uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round,
                                        std::optional<uint32_t> subgroup) {
-  uint32_t unit_id = subgroup.has_value()
-                         ? topology_.AddUnit(side, *subgroup)
-                         : topology_.AddUnit(side);
+  // Driver-thread only. The short lock scopes shield concurrent readers
+  // (sampler gauges iterating joiners_/topology_, router workers resolving
+  // channels_); thread spawn and joiner construction stay outside them.
+  uint32_t unit_id = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    unit_id = subgroup.has_value() ? topology_.AddUnit(side, *subgroup)
+                                   : topology_.AddUnit(side);
+  }
 
   JoinerOptions joiner_options;
   joiner_options.unit_id = unit_id;
@@ -503,10 +566,16 @@ uint32_t BicliqueEngine::AddJoinerUnit(RelationId side, uint64_t start_round,
       [joiner_ptr](const Message& msg) { return joiner_ptr->Handle(msg); });
 
   for (uint32_t i = 0; i < options_.num_routers; ++i) {
-    channels_[i][unit_id] = exec_->Connect(entry.node, JoinerChannelOptions());
+    runtime::Transport* channel =
+        exec_->Connect(entry.node, JoinerChannelOptions());
+    std::lock_guard<std::mutex> lk(channels_mu_);
+    channels_[i][unit_id] = channel;
   }
   RegisterJoinerGauges(unit_id, joiner_ptr, entry.node);
-  joiners_[unit_id] = std::move(entry);
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    joiners_[unit_id] = std::move(entry);
+  }
   return unit_id;
 }
 
@@ -584,69 +653,124 @@ void BicliqueEngine::RunToCompletion(StreamSource* source) {
   FinalizeDiagnostics();
 }
 
-uint64_t BicliqueEngine::NextActivationRound() const {
+BicliqueEngine::EpochFreeze BicliqueEngine::FreezeRouterRounds() {
+  // Lock order: router index order (the only multi-router lock site, so any
+  // consistent order works). With every router's round frozen, max+1 is
+  // strictly in each one's future — the activation CHECKs in
+  // ScheduleEpochLocked/ScheduleReplayLocked cannot race a round advance.
+  EpochFreeze freeze;
+  freeze.locks.reserve(routers_.size());
+  for (auto& router : routers_) {
+    freeze.locks.push_back(router->LockRound());
+  }
   uint64_t max_round = 0;
   for (const auto& router : routers_) {
     max_round = std::max(max_round, router->current_round());
   }
-  return max_round + 1;
+  freeze.activation = max_round + 1;
+  return freeze;
 }
 
-void BicliqueEngine::BroadcastEpoch(uint64_t activation_round) {
-  auto view = topology_.Snapshot();
+void BicliqueEngine::BroadcastEpochLocked(const EpochFreeze& freeze) {
+  std::shared_ptr<const TopologyView> view;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    view = topology_.Snapshot();
+  }
   for (auto& router : routers_) {
-    router->ScheduleEpoch(activation_round, view);
+    router->ScheduleEpochLocked(freeze.activation, view);
   }
 }
 
 Result<uint32_t> BicliqueEngine::ScaleOut(RelationId side) {
-  if (exec_->concurrent()) {
-    return Status::FailedPrecondition(
-        "elastic scaling mutates router epochs from the driver thread; not "
-        "supported on a concurrent backend");
-  }
-  uint64_t activation = NextActivationRound();
-  uint32_t unit_id = AddJoinerUnit(side, activation);
-  BroadcastEpoch(activation);
+  // Freeze rounds across the whole membership change: the replacement is
+  // created, then every router learns the new view at one activation round
+  // none of them has emitted yet. Router workers keep servicing tuples
+  // within their current round throughout; only round advances wait.
+  EpochFreeze freeze = FreezeRouterRounds();
+  uint32_t unit_id = AddJoinerUnit(side, freeze.activation);
+  BroadcastEpochLocked(freeze);
   BISTREAM_LOG(Info) << "scale-out: unit " << unit_id << " joins side "
                      << (side == kRelationR ? "R" : "S") << " at round "
-                     << activation;
+                     << freeze.activation;
   return unit_id;
 }
 
 Result<uint32_t> BicliqueEngine::ScaleIn(RelationId side) {
-  if (exec_->concurrent()) {
-    return Status::FailedPrecondition(
-        "elastic scaling mutates router epochs from the driver thread; not "
-        "supported on a concurrent backend");
+  uint32_t unit_id = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    BISTREAM_ASSIGN_OR_RETURN(unit_id, topology_.PickDrainCandidate(side));
+    RETURN_NOT_OK(topology_.StartDrain(unit_id));
   }
-  BISTREAM_ASSIGN_OR_RETURN(uint32_t unit_id,
-                            topology_.PickDrainCandidate(side));
-  RETURN_NOT_OK(topology_.StartDrain(unit_id));
-  BroadcastEpoch(NextActivationRound());
+  {
+    EpochFreeze freeze = FreezeRouterRounds();
+    BroadcastEpochLocked(freeze);
+  }
   BISTREAM_LOG(Info) << "scale-in: unit " << unit_id
                      << " starts draining on side "
                      << (side == kRelationR ? "R" : "S");
+  ArmRetirePoll(unit_id);
+  return unit_id;
+}
 
-  // Retire once the drained unit's stored window has certainly aged out:
-  // W (event time ~ virtual time in our workloads) times the grace factor,
-  // plus a few punctuation rounds of slack.
-  SimTime window_ns = static_cast<SimTime>(options_.window) * kMicrosecond;
-  SimTime delay =
-      static_cast<SimTime>(static_cast<double>(window_ns) *
-                           options_.retire_grace_factor) +
-      4 * options_.punct_interval;
-  clock_->ScheduleAfter(delay, [this, unit_id] {
-    Status status = topology_.Retire(unit_id);
-    if (!status.ok()) {
-      BISTREAM_LOG(Warning) << "retire of unit " << unit_id
-                            << " failed: " << status.ToString();
-      return;
+void BicliqueEngine::ArmRetirePoll(uint32_t unit_id) {
+  if (!exec_->concurrent()) {
+    // Sim: event time tracks virtual time in our workloads, so one shot
+    // after W * grace (plus punctuation slack) is deterministic and safe.
+    SimTime window_ns = static_cast<SimTime>(options_.window) * kMicrosecond;
+    SimTime delay =
+        static_cast<SimTime>(static_cast<double>(window_ns) *
+                             options_.retire_grace_factor) +
+        4 * options_.punct_interval;
+    clock_->ScheduleAfter(delay, [this, unit_id] {
+      Status status = topology_.Retire(unit_id);
+      if (!status.ok()) {
+        BISTREAM_LOG(Warning) << "retire of unit " << unit_id
+                              << " failed: " << status.ToString();
+        return;
+      }
+      BISTREAM_LOG(Info) << "retired drained unit " << unit_id;
+      EpochFreeze freeze = FreezeRouterRounds();
+      BroadcastEpochLocked(freeze);
+    });
+    return;
+  }
+  // Parallel: wall time has no fixed relation to event-time windows under
+  // firehose injection, so poll on the driver clock until the drained
+  // unit's index has fully aged out (every inserted tuple expired), then
+  // retire. The poll runs as a driver timer — same thread as every other
+  // control-plane mutation.
+  clock_->ScheduleRepeating(options_.punct_interval, [this, unit_id]() {
+    if (stopped_) return false;  // Run wind-down: leave the unit draining.
+    Joiner* drained = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      if (topology_.unit(unit_id).state != UnitState::kDraining) {
+        return false;  // Crashed (and recovered) or already retired.
+      }
+      auto it = joiners_.find(unit_id);
+      BISTREAM_CHECK(it != joiners_.end());
+      drained = it->second.joiner.get();
+    }
+    const JoinerStats& js = drained->stats();
+    if (js.expired_tuples < js.stored + js.restored_tuples) {
+      return true;  // Window not yet aged out; keep polling.
+    }
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      Status status = topology_.Retire(unit_id);
+      if (!status.ok()) {
+        BISTREAM_LOG(Warning) << "retire of unit " << unit_id
+                              << " failed: " << status.ToString();
+        return false;
+      }
     }
     BISTREAM_LOG(Info) << "retired drained unit " << unit_id;
-    BroadcastEpoch(NextActivationRound());
+    EpochFreeze freeze = FreezeRouterRounds();
+    BroadcastEpochLocked(freeze);
+    return false;
   });
-  return unit_id;
 }
 
 void BicliqueEngine::OnCheckpoint(uint32_t unit, uint64_t round,
@@ -661,22 +785,37 @@ void BicliqueEngine::OnCheckpoint(uint32_t unit, uint64_t round,
 }
 
 Status BicliqueEngine::CrashJoiner(uint32_t unit_id) {
-  if (exec_->concurrent()) {
-    return Status::FailedPrecondition(
-        "crash injection needs the sim process-failure model");
+  runtime::Unit* node = nullptr;
+  Joiner* joiner = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    auto it = joiners_.find(unit_id);
+    if (it == joiners_.end()) {
+      return Status::NotFound("unknown unit " + std::to_string(unit_id));
+    }
+    const UnitRecord& record = topology_.unit(unit_id);
+    if (record.state != UnitState::kActive &&
+        record.state != UnitState::kDraining) {
+      return Status::FailedPrecondition("unit is not live");
+    }
+    node = it->second.node;
+    joiner = it->second.joiner.get();
   }
-  auto it = joiners_.find(unit_id);
-  if (it == joiners_.end()) {
-    return Status::NotFound("unknown unit " + std::to_string(unit_id));
+  // Timestamp before the kill so detection latency is measured from the
+  // moment the unit went silent, not from after its worker was torn down.
+  SimTime crash_time = clock_->now();
+  // Outside state_mu_: on the parallel backend Fail() joins the worker
+  // thread, which may itself be blocked on state_mu_ (caught-up callback).
+  node->Fail();
+  joiner->OnCrash();
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ++crashes_;
+    crash_times_[unit_id] = crash_time;
   }
-  const UnitRecord& record = topology_.unit(unit_id);
-  if (record.state != UnitState::kActive &&
-      record.state != UnitState::kDraining) {
-    return Status::FailedPrecondition("unit is not live");
-  }
-  it->second.node->Fail();
-  it->second.joiner->OnCrash();
-  ++crashes_;
+  metrics_
+      .GetCounter(MetricsRegistry::ScopedName("joiner", unit_id, "crashed"))
+      ->Increment();
   BISTREAM_LOG(Warning) << "crash: unit " << unit_id
                         << " failed (window state lost, inbox dropped)";
   return Status::OK();
@@ -690,9 +829,12 @@ std::optional<uint32_t> BicliqueEngine::InjectCrash(
   // Unset victim: pick deterministically among the live joiners (topology
   // order is id order, so equal draws give equal victims).
   std::vector<uint32_t> live;
-  for (const UnitRecord& u : topology_.units()) {
-    if (u.state == UnitState::kActive || u.state == UnitState::kDraining) {
-      live.push_back(u.id);
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    for (const UnitRecord& u : topology_.units()) {
+      if (u.state == UnitState::kActive || u.state == UnitState::kDraining) {
+        live.push_back(u.id);
+      }
     }
   }
   if (live.empty()) return std::nullopt;
@@ -702,77 +844,132 @@ std::optional<uint32_t> BicliqueEngine::InjectCrash(
 }
 
 Result<uint32_t> BicliqueEngine::RecoverUnit(uint32_t failed_unit) {
-  if (exec_->concurrent()) {
-    return Status::FailedPrecondition(
-        "recovery needs the sim process-failure model");
-  }
   if (!options_.fault_tolerance.enabled) {
     return Status::FailedPrecondition("fault tolerance is disabled");
   }
-  auto it = joiners_.find(failed_unit);
-  if (it == joiners_.end()) {
-    return Status::NotFound("unknown unit " + std::to_string(failed_unit));
+  SimTime detected_at = clock_->now();
+  runtime::Unit* failed_node = nullptr;
+  Joiner* failed_joiner = nullptr;
+  UnitRecord record;
+  SimTime crashed_at = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    auto it = joiners_.find(failed_unit);
+    if (it == joiners_.end()) {
+      return Status::NotFound("unknown unit " + std::to_string(failed_unit));
+    }
+    record = topology_.unit(failed_unit);
+    failed_node = it->second.node;
+    failed_joiner = it->second.joiner.get();
+    auto ct = crash_times_.find(failed_unit);
+    if (ct != crash_times_.end()) crashed_at = ct->second;
   }
-  const UnitRecord record = topology_.unit(failed_unit);
 
   // Fence the suspect first: a false-positive detection must not leave two
   // units serving the same slot, so the suspect is killed even if alive.
-  if (it->second.node->alive()) {
+  // Outside state_mu_ — Fail() joins the worker thread.
+  if (failed_node->alive()) {
     BISTREAM_LOG(Warning) << "recovery: fencing still-alive suspect unit "
                           << failed_unit;
-    it->second.node->Fail();
-    it->second.joiner->OnCrash();
+    failed_node->Fail();
+    failed_joiner->OnCrash();
+    std::lock_guard<std::mutex> lk(state_mu_);
     ++crashes_;
+    crashed_at = detected_at;  // Never observed crashing: zero-latency fence.
   }
-  RETURN_NOT_OK(topology_.MarkFailed(failed_unit));
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    RETURN_NOT_OK(topology_.MarkFailed(failed_unit));
+  }
 
   // The restore point decides the replay span: a checkpoint tagged C holds
   // exactly rounds <= C, so replay resumes at C+1; with no checkpoint the
   // whole history since the unit's first round is replayed.
-  const Checkpoint* ckpt = ckpt_store_.Latest(failed_unit);
+  std::optional<Checkpoint> ckpt = ckpt_store_.Latest(failed_unit);
   uint64_t replay_from =
-      ckpt != nullptr ? ckpt->round + 1 : it->second.joiner->start_round();
-  uint64_t activation = NextActivationRound();
+      ckpt.has_value() ? ckpt->round + 1 : failed_joiner->start_round();
 
-  // The replacement inherits the failed unit's subgroup so the restored
-  // window stays reachable by the same probe set, and its order buffer
-  // starts at the first replayed round.
-  uint32_t replacement =
-      AddJoinerUnit(record.relation, replay_from, record.subgroup);
-  Joiner* repl = joiners_[replacement].joiner.get();
-  if (ckpt != nullptr) {
-    repl->RestoreWindow(ckpt->tuples);
-  }
+  // Freeze every router's round for the whole membership change: the
+  // replacement is provisioned, restored, and announced (epoch + replay) at
+  // one activation round no router has emitted yet. Router workers keep
+  // servicing their current round; only round advances wait.
+  uint32_t replacement = 0;
+  Joiner* repl = nullptr;
+  uint64_t activation = 0;
+  {
+    EpochFreeze freeze = FreezeRouterRounds();
+    activation = freeze.activation;
 
-  // New epoch (failed unit out, replacement in) and the replay both take
-  // effect at `activation`; replayed rounds precede live activation-round
-  // traffic on the replacement's FIFO channels, preserving round order.
-  BroadcastEpoch(activation);
-  for (auto& router : routers_) {
-    router->ScheduleReplay(
-        activation, ReplayRequest{failed_unit, replacement, replay_from});
+    // The replacement inherits the failed unit's subgroup so the restored
+    // window stays reachable by the same probe set, and its order buffer
+    // starts at the first replayed round.
+    replacement = AddJoinerUnit(record.relation, replay_from, record.subgroup);
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      repl = joiners_[replacement].joiner.get();
+    }
+    if (ckpt.has_value()) {
+      // Safe before any delivery reaches the fresh worker: the unit inbox
+      // mutex orders this restore before the first replayed message.
+      repl->RestoreWindow(ckpt->tuples);
+    }
+
+    // New epoch (failed unit out, replacement in) and the replay both take
+    // effect at `activation`; replayed rounds precede live activation-round
+    // traffic on the replacement's FIFO channels, preserving round order.
+    BroadcastEpochLocked(freeze);
+    for (auto& router : routers_) {
+      // Chained failure: if the failed unit was itself a replacement this
+      // router never activated, its pending replay (of the *original*
+      // failure's backlog) still names it. Hand that replay to the new
+      // replacement instead of scheduling a fresh one — the dead
+      // replacement's own log is empty on such a router. (The freeze holds
+      // every router's round lock, so the *Locked variants are legal here.)
+      if (!router->RemapReplaysLocked(failed_unit, replacement, activation)) {
+        router->ScheduleReplayLocked(
+            activation, ReplayRequest{failed_unit, replacement, replay_from});
+      }
+    }
   }
 
   RecoveryEvent event;
-  event.detected_at = clock_->now();
+  event.crashed_at = crashed_at;
+  event.detected_at = detected_at;
   event.failed_unit = failed_unit;
   event.replacement_unit = replacement;
-  if (ckpt != nullptr) event.checkpoint_round = ckpt->round;
+  if (ckpt.has_value()) event.checkpoint_round = ckpt->round;
   event.replay_from = replay_from;
   event.activation_round = activation;
-  event.restored_tuples = ckpt != nullptr ? ckpt->tuples.size() : 0;
+  event.restored_tuples = ckpt.has_value() ? ckpt->tuples.size() : 0;
   BISTREAM_LOG(Info) << "recovery: unit " << failed_unit << " -> replacement "
                      << replacement << ", restored "
                      << event.restored_tuples << " tuples from checkpoint, "
                      << "replay from round " << replay_from
                      << ", activation round " << activation;
-  recovery_events_.push_back(event);
-  size_t event_index = recovery_events_.size() - 1;
+  size_t event_index = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    recovery_events_.push_back(event);
+    event_index = recovery_events_.size() - 1;
+    crash_times_.erase(failed_unit);
+  }
+  metrics_
+      .GetCounter(
+          MetricsRegistry::ScopedName("joiner", failed_unit, "recovered"))
+      ->Increment();
+  // Outside state_mu_: when the replacement is already caught up the
+  // callback fires inline and re-locks it. Indexing stays valid across
+  // push_backs — events are never erased.
   repl->NotifyWhenCaughtUp(activation, [this, event_index] {
+    std::lock_guard<std::mutex> lk(state_mu_);
     recovery_events_[event_index].caught_up_at = clock_->now();
   });
 
-  ckpt_store_.Drop(failed_unit);
+  // The restored snapshot becomes the replacement's restore point until its
+  // first own checkpoint: the router logs for rounds <= ckpt->round are
+  // gone (trimmed on the original NoteCheckpoint), so a chained crash of
+  // the replacement can only recover from here.
+  ckpt_store_.Retag(failed_unit, replacement);
   return replacement;
 }
 
@@ -801,6 +998,7 @@ void BicliqueEngine::ForEachLiveJoiner(
 }
 
 std::string BicliqueEngine::DescribeTopology() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
   std::string out = "biclique cluster (epoch view ";
   out += std::to_string(topology_.units().size());
   out += " units, ";
@@ -872,6 +1070,7 @@ void BicliqueEngine::FinalizeDiagnostics() {
 }
 
 EngineStats BicliqueEngine::Stats() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
   EngineStats stats;
   stats.input_tuples = input_tuples_;
   for (const auto& [unit_id, entry] : joiners_) {
@@ -891,6 +1090,17 @@ EngineStats BicliqueEngine::Stats() const {
   stats.messages_lost_on_crash = exec_->total_lost_on_crash();
   stats.crashes = crashes_;
   stats.recoveries = recovery_events_.size();
+  stats.respawns = recovery_events_.size();
+  for (const RecoveryEvent& e : recovery_events_) {
+    if (e.crashed_at > 0 && e.detected_at >= e.crashed_at) {
+      stats.detection_latency_max_ns =
+          std::max(stats.detection_latency_max_ns, e.detected_at - e.crashed_at);
+    }
+    if (e.caught_up_at > 0 && e.caught_up_at >= e.detected_at) {
+      stats.recovery_wall_max_ns =
+          std::max(stats.recovery_wall_max_ns, e.caught_up_at - e.detected_at);
+    }
+  }
   stats.checkpoints = ckpt_store_.checkpoints_taken();
   stats.checkpoint_bytes = ckpt_store_.bytes_written();
   for (const auto& router : routers_) {

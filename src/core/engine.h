@@ -2,15 +2,25 @@
 /// \brief BicliqueEngine: the assembled BiStream system.
 ///
 /// Wires routers, joiners, channels and the result sink into a running
-/// simulated cluster, exposes the elastic-scaling control plane
-/// (ScaleOut/ScaleIn, used by the ops::Autoscaler), and aggregates the
-/// metrics every experiment reports. See DESIGN.md §5 for the architecture
-/// and the ordering/epoch invariants.
+/// cluster (simulated or thread-per-unit parallel), exposes the
+/// elastic-scaling control plane (ScaleOut/ScaleIn, used by the
+/// ops::Autoscaler) and the fault-tolerance control plane
+/// (CrashJoiner/RecoverUnit), and aggregates the metrics every experiment
+/// reports. See DESIGN.md §5 for the architecture and the ordering/epoch
+/// invariants, §8 for recovery, §11 for the concurrent control plane.
+///
+/// Threading (parallel backend): control-plane mutations run only on the
+/// driver thread — crashes, detector/autoscaler ticks and retire polls all
+/// fire through the driver clock. The mutexes below protect those driver
+/// mutations against concurrent *readers* on other threads (the wall-clock
+/// sampler's gauges, router workers looking up channels, joiner workers
+/// firing caught-up callbacks), not against concurrent mutators.
 
 #ifndef BISTREAM_CORE_ENGINE_H_
 #define BISTREAM_CORE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +64,13 @@ struct BicliqueOptions {
   /// Allowed lateness for Theorem-1 expiry; needed when the input streams'
   /// timestamps can regress (derived streams), see ChainedIndexOptions.
   EventTime expiry_slack = 0;
+  /// Ratio of event-time advance to backend-clock advance (>= 1). Drivers
+  /// that compress virtual arrival times onto the wall clock (the benches'
+  /// PacedDrive under --backend=parallel) dilate the event-time span of one
+  /// punctuation round by this factor, and the round-granular probe
+  /// disorder the expiry slack must absorb dilates with it. Leave at 1 when
+  /// event time tracks the backend clock (simulator, uncompressed drivers).
+  double event_time_dilation = 1.0;
   /// Punctuation cadence (virtual time).
   SimTime punct_interval = 10 * kMillisecond;
   /// Router mini-batch size per destination (1 = unbatched). Batches are
@@ -181,6 +198,15 @@ struct EngineStats {
   uint64_t suppressed_duplicates = 0;
   /// Tuples loaded from checkpoints into replacement windows.
   uint64_t restored_tuples = 0;
+  /// Replacement workers spawned by recovery (== recovery events).
+  uint64_t respawns = 0;
+  /// Worst crash-to-detection gap across recoveries (detected_at -
+  /// crashed_at; virtual ns under sim, wall ns under parallel). 0 when no
+  /// recovery observed its crash.
+  SimTime detection_latency_max_ns = 0;
+  /// Worst detection-to-caught-up gap across recoveries (caught_up_at -
+  /// detected_at). 0 when no recovery has caught up yet.
+  SimTime recovery_wall_max_ns = 0;
 };
 
 /// \brief The BiStream join-biclique engine over a runtime substrate.
@@ -193,9 +219,10 @@ class BicliqueEngine {
   BicliqueEngine(EventLoop* loop, BicliqueOptions options, ResultSink* sink);
 
   /// \brief Builds the engine on an externally-owned executor (any
-  /// backend). Options that assume sim-only capabilities (fault injection,
-  /// transport faults) are rejected when the executor is concurrent;
-  /// telemetry sampling and tracing work on both backends.
+  /// backend). Options that assume sim-only transport capabilities
+  /// (fault_reorder, channel_drop_probability) are rejected when the
+  /// executor is concurrent; fault tolerance, elasticity, telemetry
+  /// sampling and tracing work on both backends.
   BicliqueEngine(runtime::Executor* exec, BicliqueOptions options,
                  ResultSink* sink);
 
@@ -256,8 +283,11 @@ class BicliqueEngine {
   /// Returns the replacement unit id. Requires fault_tolerance.enabled.
   Result<uint32_t> RecoverUnit(uint32_t failed_unit);
 
-  /// \brief Completed recoveries, in order.
-  const std::vector<RecoveryEvent>& recovery_events() const {
+  /// \brief Completed recoveries, in order. Returns a copy: on the parallel
+  /// backend replacement workers patch caught_up_at into the live list
+  /// concurrently with readers.
+  std::vector<RecoveryEvent> recovery_events() const {
+    std::lock_guard<std::mutex> lk(state_mu_);
     return recovery_events_;
   }
   const CheckpointStore& checkpoint_store() const { return ckpt_store_; }
@@ -342,14 +372,30 @@ class BicliqueEngine {
   /// Checkpoint sink for every joiner: stores the snapshot and lets the
   /// routers trim their replay logs.
   void OnCheckpoint(uint32_t unit, uint64_t round, std::vector<Tuple> tuples);
-  /// Pushes a new snapshot to every router at round `activation`.
-  void BroadcastEpoch(uint64_t activation_round);
+  /// \brief All routers' round counters frozen (ft locks held in router
+  /// index order) so a control-plane operation can pick one activation
+  /// round strictly in every router's future and schedule epochs/replays
+  /// against it atomically — a router that applied an epoch late would
+  /// never punctuate the new unit for the gap rounds and stall its order
+  /// buffer. Locks release when the struct dies.
+  struct EpochFreeze {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    /// max(current rounds) + 1: not yet emitted by any router.
+    uint64_t activation = 0;
+  };
+  EpochFreeze FreezeRouterRounds();
+  /// Pushes a fresh topology snapshot to every router at the freeze's
+  /// activation round (the freeze's router locks must still be held).
+  void BroadcastEpochLocked(const EpochFreeze& freeze);
+  /// Retires a drained unit once its window has fully aged out. The sim
+  /// backend schedules this once after a virtual-time grace; the parallel
+  /// backend polls on the driver clock (wall time has no fixed relation to
+  /// event-time windows under firehose injection).
+  void ArmRetirePoll(uint32_t unit_id);
   /// Sends the pending source-side ingestion batch, if any.
   void FlushSourceBatch();
   /// Periodic source-batch flush (bounds batching latency).
   void SourceFlushTick();
-  /// First round strictly after every router's current round.
-  uint64_t NextActivationRound() const;
   ChannelOptions JoinerChannelOptions() const;
   /// Effective Theorem-1 lateness allowance (µs): the configured
   /// expiry_slack or the engine's own disorder bound, whichever is larger.
@@ -391,8 +437,20 @@ class BicliqueEngine {
   bool started_ = false;
   bool stopped_ = false;
   CheckpointStore ckpt_store_;
+  /// Guards the engine state the driver mutates and other threads read:
+  /// topology_, joiners_, recovery_events_, crashes_, crash_times_. Gauge
+  /// callbacks may take it (they run outside the registry lock). Never held
+  /// across Unit::Fail() (joins a worker that may want it) or across
+  /// NotifyWhenCaughtUp (an immediate-fire callback re-locks it).
+  mutable std::mutex state_mu_;
+  /// Guards channels_: router workers look transports up per send while the
+  /// driver inserts entries for new units.
+  mutable std::mutex channels_mu_;
   std::vector<RecoveryEvent> recovery_events_;
   uint64_t crashes_ = 0;
+  /// When each still-unrecovered crash landed; consumed by RecoverUnit to
+  /// compute detection latency.
+  std::unordered_map<uint32_t, SimTime> crash_times_;
   // Observability. Declaration order matters only for construction; the
   // registry's gauge closures capture `this` and unit pointers, all of
   // which outlive the registry's consumers (joiners_ entries are never

@@ -238,7 +238,10 @@ SimTime Joiner::MaybeCheckpoint() {
 
 void Joiner::OnCrash() {
   index_.Clear();
-  catch_up_waiters_.clear();
+  {
+    std::lock_guard<std::mutex> lk(waiters_mu_);
+    catch_up_waiters_.clear();
+  }
   PublishExpiryLag();
 }
 
@@ -249,26 +252,39 @@ void Joiner::RestoreWindow(const std::vector<Tuple>& tuples) {
 }
 
 void Joiner::NotifyWhenCaughtUp(uint64_t round, std::function<void()> fn) {
-  if (buffer_.next_release_round() >= round) {
-    fn();
-    return;
+  // Register-vs-release race (parallel backend): reading the release round
+  // under waiters_mu_ makes the outcome airtight — if the worker's
+  // CheckCaughtUp already ran for `round`, its mutex release published the
+  // advanced round and we fire inline; otherwise our registration is
+  // ordered before the worker's next CheckCaughtUp, which fires it.
+  {
+    std::lock_guard<std::mutex> lk(waiters_mu_);
+    if (buffer_.next_release_round() < round) {
+      catch_up_waiters_.push_back(CatchUpWaiter{round, std::move(fn)});
+      return;
+    }
   }
-  catch_up_waiters_.push_back(CatchUpWaiter{round, std::move(fn)});
+  fn();
 }
 
 void Joiner::CheckCaughtUp() {
-  if (catch_up_waiters_.empty()) return;
-  uint64_t reached = buffer_.next_release_round();
-  std::vector<CatchUpWaiter> still_waiting;
+  // Extract the ready waiters under the lock, invoke them outside it: the
+  // callbacks take engine locks of their own.
   std::vector<CatchUpWaiter> ready;
-  for (CatchUpWaiter& waiter : catch_up_waiters_) {
-    if (reached >= waiter.round) {
-      ready.push_back(std::move(waiter));
-    } else {
-      still_waiting.push_back(std::move(waiter));
+  {
+    std::lock_guard<std::mutex> lk(waiters_mu_);
+    if (catch_up_waiters_.empty()) return;
+    uint64_t reached = buffer_.next_release_round();
+    std::vector<CatchUpWaiter> still_waiting;
+    for (CatchUpWaiter& waiter : catch_up_waiters_) {
+      if (reached >= waiter.round) {
+        ready.push_back(std::move(waiter));
+      } else {
+        still_waiting.push_back(std::move(waiter));
+      }
     }
+    catch_up_waiters_ = std::move(still_waiting);
   }
-  catch_up_waiters_ = std::move(still_waiting);
   for (CatchUpWaiter& waiter : ready) waiter.fn();
 }
 

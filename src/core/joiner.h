@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/memory_tracker.h"
@@ -209,6 +210,11 @@ class Joiner {
     uint64_t round = 0;
     std::function<void()> fn;
   };
+  /// Guards catch_up_waiters_: the driver registers (NotifyWhenCaughtUp)
+  /// while this unit's worker releases rounds and fires (CheckCaughtUp).
+  /// Both sides touching the same mutex also closes the register/fire race:
+  /// whichever runs second sees the other's effect.
+  std::mutex waiters_mu_;
   std::vector<CatchUpWaiter> catch_up_waiters_;
 };
 

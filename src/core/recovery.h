@@ -14,6 +14,7 @@
 #define BISTREAM_CORE_RECOVERY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "core/result_sink.h"
+#include "common/relaxed.h"
 #include "common/time.h"
 #include "tuple/tuple.h"
 
@@ -37,32 +39,67 @@ struct Checkpoint {
 /// \brief Durable checkpoint storage (models a replicated store the failed
 /// process cannot take down with it). Only the latest snapshot per unit is
 /// retained — recovery never needs an older one.
+///
+/// Thread-safe: on the parallel backend every joiner worker Put()s its own
+/// snapshots while the driver reads and drops during recovery, so the map is
+/// mutex-guarded and the counters are tear-free cells for the sampler's
+/// gauges.
 class CheckpointStore {
  public:
   void Put(uint32_t unit, uint64_t round, std::vector<Tuple> tuples) {
+    std::lock_guard<std::mutex> lk(mu_);
     ++checkpoints_taken_;
-    for (const Tuple& t : tuples) bytes_written_ += t.SerializedSize();
+    uint64_t bytes = 0;
+    for (const Tuple& t : tuples) bytes += t.SerializedSize();
+    bytes_written_ += bytes;
     latest_[unit] = Checkpoint{unit, round, std::move(tuples)};
   }
 
-  /// \brief Latest snapshot for `unit`, or null when none was ever taken.
-  const Checkpoint* Latest(uint32_t unit) const {
+  /// \brief Copy of the latest snapshot for `unit`, or nullopt when none was
+  /// ever taken. Returns by value: a pointer into the map would race with
+  /// concurrent Put()s from other units' workers.
+  std::optional<Checkpoint> Latest(uint32_t unit) const {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = latest_.find(unit);
-    return it == latest_.end() ? nullptr : &it->second;
+    if (it == latest_.end()) return std::nullopt;
+    return it->second;
   }
 
   /// \brief Discards a unit's snapshot (after its recovery completed or the
   /// unit retired).
-  void Drop(uint32_t unit) { latest_.erase(unit); }
+  void Drop(uint32_t unit) {
+    std::lock_guard<std::mutex> lk(mu_);
+    latest_.erase(unit);
+  }
+
+  /// \brief Moves `from`'s snapshot under `to` (recovery handoff): until the
+  /// replacement takes its first own checkpoint, the restored snapshot is
+  /// its restore point too — a chained crash of the replacement must not
+  /// lose it, because the router logs for the rounds it covers were already
+  /// trimmed. Not a new durable write, so the counters don't move. No-op
+  /// when `from` has no snapshot.
+  void Retag(uint32_t from, uint32_t to) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = latest_.find(from);
+    if (it == latest_.end()) return;
+    Checkpoint ckpt = std::move(it->second);
+    latest_.erase(it);
+    ckpt.unit = to;
+    latest_[to] = std::move(ckpt);
+  }
 
   uint64_t checkpoints_taken() const { return checkpoints_taken_; }
   uint64_t bytes_written() const { return bytes_written_; }
-  size_t stored_units() const { return latest_.size(); }
+  size_t stored_units() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return latest_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<uint32_t, Checkpoint> latest_;
-  uint64_t checkpoints_taken_ = 0;
-  uint64_t bytes_written_ = 0;
+  RelaxedCell<uint64_t> checkpoints_taken_ = 0;
+  RelaxedCell<uint64_t> bytes_written_ = 0;
 };
 
 /// \brief Filters the duplicates that checkpoint+replay necessarily
@@ -72,6 +109,11 @@ class CheckpointStore {
 /// Only results carrying the `replayed` flag are ever suppressed, so a
 /// genuine protocol bug (an unflagged duplicate) still reaches the checking
 /// collector and fails the oracle.
+///
+/// Not internally synchronized: `seen_` is a plain set, so on a concurrent
+/// backend this sink must sit *inside* the LockingResultSink (the engine
+/// builds the chain joiners -> locking -> dedup -> user). The suppressed
+/// counter is a tear-free cell so mid-run gauges may read it.
 class RecoveryDedupSink final : public ResultSink {
  public:
   explicit RecoveryDedupSink(ResultSink* down) : down_(down) {}
@@ -90,12 +132,17 @@ class RecoveryDedupSink final : public ResultSink {
  private:
   ResultSink* down_;
   std::unordered_set<uint64_t> seen_;
-  uint64_t suppressed_ = 0;
+  RelaxedCell<uint64_t> suppressed_ = 0;
 };
 
 /// \brief Audit record of one completed recovery.
 struct RecoveryEvent {
-  /// Virtual time the failure was acted on (RecoverUnit entry).
+  /// Time the crash was applied (CrashJoiner), when the engine saw it; 0
+  /// for recoveries of units it never observed crashing (fenced false
+  /// positives). detected_at - crashed_at is the detection latency.
+  SimTime crashed_at = 0;
+  /// Time the failure was acted on (RecoverUnit entry). Virtual under the
+  /// sim, wall nanoseconds on the parallel backend.
   SimTime detected_at = 0;
   /// Virtual time the replacement finished releasing the replayed backlog
   /// (reached its activation round); 0 until then.

@@ -18,13 +18,21 @@ Router::Router(RouterOptions options, runtime::Clock* clock, UnitSendFn send)
 
 void Router::ScheduleEpoch(uint64_t activation_round,
                            std::shared_ptr<const TopologyView> view) {
+  std::lock_guard<std::mutex> lk(ft_mu_);
+  ScheduleEpochLocked(activation_round, std::move(view));
+}
+
+void Router::ScheduleEpochLocked(uint64_t activation_round,
+                                 std::shared_ptr<const TopologyView> view) {
   BISTREAM_CHECK(view != nullptr);
   if (view_ == nullptr && activation_round <= round_) {
+    // Initial install: always before Start(), so no worker reads view_ yet.
     view_ = std::move(view);
     return;
   }
   // Future epochs must activate at a round this router has not reached;
   // activating mid-round would desynchronize routing tables across routers.
+  // With ft_mu_ held the round cannot advance under this check.
   BISTREAM_CHECK_GT(activation_round, round_)
       << "epoch scheduled for a round router " << options_.router_id
       << " already passed";
@@ -93,18 +101,31 @@ void Router::EmitPunctuation(bool final) {
 }
 
 void Router::AdvanceRound() {
-  ++round_;
-  auto it = pending_epochs_.find(round_);
-  if (it != pending_epochs_.end()) {
-    view_ = std::move(it->second);
-    pending_epochs_.erase(it);
-  }
-  auto range = pending_replays_.equal_range(round_);
-  if (range.first != range.second) {
+  // Take the round step and extract this round's pending control-plane work
+  // under ft_mu_, then act on it unlocked (SendReplay blocks on
+  // backpressure; holding the lock across sends could deadlock against a
+  // checkpoint acknowledgement from the stalled destination).
+  std::shared_ptr<const TopologyView> new_view;
+  std::vector<ReplayRequest> replays;
+  uint64_t round = 0;
+  {
+    std::lock_guard<std::mutex> lk(ft_mu_);
+    ++round_;
+    round = round_;
+    auto it = pending_epochs_.find(round);
+    if (it != pending_epochs_.end()) {
+      new_view = std::move(it->second);
+      pending_epochs_.erase(it);
+    }
+    auto range = pending_replays_.equal_range(round);
     for (auto rit = range.first; rit != range.second; ++rit) {
-      SendReplay(rit->second, round_);
+      replays.push_back(rit->second);
     }
     pending_replays_.erase(range.first, range.second);
+  }
+  if (new_view != nullptr) view_ = std::move(new_view);
+  for (const ReplayRequest& request : replays) {
+    SendReplay(request, round);
   }
   GcReplayLogs();
 }
@@ -112,10 +133,13 @@ void Router::AdvanceRound() {
 void Router::LogCopy(uint32_t unit, const Tuple& tuple, StreamKind stream,
                      uint64_t seq, uint64_t round) {
   if (!options_.retain_for_replay) return;
+  std::lock_guard<std::mutex> lk(ft_mu_);
   replay_log_[unit][round].push_back(BatchEntry{tuple, stream, seq, round});
 }
 
 void Router::NoteCheckpoint(uint32_t unit, uint64_t round) {
+  // Called from the checkpointing joiner's worker on the parallel backend.
+  std::lock_guard<std::mutex> lk(ft_mu_);
   auto it = replay_log_.find(unit);
   if (it == replay_log_.end()) return;
   std::map<uint64_t, std::vector<BatchEntry>>& rounds = it->second;
@@ -125,6 +149,12 @@ void Router::NoteCheckpoint(uint32_t unit, uint64_t round) {
 
 void Router::ScheduleReplay(uint64_t activation_round,
                             ReplayRequest request) {
+  std::lock_guard<std::mutex> lk(ft_mu_);
+  ScheduleReplayLocked(activation_round, request);
+}
+
+void Router::ScheduleReplayLocked(uint64_t activation_round,
+                                  ReplayRequest request) {
   BISTREAM_CHECK(options_.retain_for_replay)
       << "replay scheduled on a router without a replay log";
   BISTREAM_CHECK_GT(activation_round, round_)
@@ -133,24 +163,55 @@ void Router::ScheduleReplay(uint64_t activation_round,
   pending_replays_.emplace(activation_round, request);
 }
 
+bool Router::RemapReplaysLocked(uint32_t dead_replacement,
+                                uint32_t new_replacement,
+                                uint64_t new_activation) {
+  BISTREAM_CHECK_GT(new_activation, round_)
+      << "remapped replay scheduled for a round router "
+      << options_.router_id << " already passed";
+  std::vector<ReplayRequest> moved;
+  for (auto it = pending_replays_.begin(); it != pending_replays_.end();) {
+    if (it->second.replacement_unit == dead_replacement) {
+      moved.push_back(it->second);
+      it = pending_replays_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (ReplayRequest request : moved) {
+    request.replacement_unit = new_replacement;
+    pending_replays_.emplace(new_activation, request);
+  }
+  return !moved.empty();
+}
+
 void Router::SendReplay(const ReplayRequest& request,
                         uint64_t activation_round) {
-  auto log_it = replay_log_.find(request.failed_unit);
-  for (uint64_t r = request.from_round; r < activation_round; ++r) {
+  // Move the failed unit's log out under the lock, send unlocked (the
+  // replacement's inbox can exert backpressure). Re-logging each copy under
+  // the replacement goes through LogCopy, which re-takes the lock per call.
+  std::map<uint64_t, std::vector<BatchEntry>> log;
+  {
+    std::lock_guard<std::mutex> lk(ft_mu_);
+    auto log_it = replay_log_.find(request.failed_unit);
     if (log_it != replay_log_.end()) {
-      auto round_it = log_it->second.find(r);
-      if (round_it != log_it->second.end()) {
-        for (const BatchEntry& entry : round_it->second) {
-          Message copy = MakeTupleMessage(entry.tuple, entry.stream,
-                                          options_.router_id, entry.seq, r);
-          copy.replayed = true;
-          // Re-log under the replacement so a second crash during catch-up
-          // is itself recoverable.
-          LogCopy(request.replacement_unit, entry.tuple, entry.stream,
-                  entry.seq, r);
-          send_(request.replacement_unit, std::move(copy));
-          ++stats_.replayed_messages;
-        }
+      log = std::move(log_it->second);
+      replay_log_.erase(log_it);
+    }
+  }
+  for (uint64_t r = request.from_round; r < activation_round; ++r) {
+    auto round_it = log.find(r);
+    if (round_it != log.end()) {
+      for (const BatchEntry& entry : round_it->second) {
+        Message copy = MakeTupleMessage(entry.tuple, entry.stream,
+                                        options_.router_id, entry.seq, r);
+        copy.replayed = true;
+        // Re-log under the replacement so a second crash during catch-up
+        // is itself recoverable.
+        LogCopy(request.replacement_unit, entry.tuple, entry.stream,
+                entry.seq, r);
+        send_(request.replacement_unit, std::move(copy));
+        ++stats_.replayed_messages;
       }
     }
     // Close each replayed round even when it logged no copies: the
@@ -158,11 +219,11 @@ void Router::SendReplay(const ReplayRequest& request,
     send_(request.replacement_unit,
           MakePunctuation(options_.router_id, seq_, r));
   }
-  replay_log_.erase(request.failed_unit);
 }
 
 void Router::GcReplayLogs() {
-  if (!options_.retain_for_replay || replay_log_.empty()) return;
+  if (!options_.retain_for_replay) return;
+  std::lock_guard<std::mutex> lk(ft_mu_);
   for (auto it = replay_log_.begin(); it != replay_log_.end();) {
     uint32_t unit = it->first;
     bool in_view =
@@ -184,6 +245,7 @@ void Router::GcReplayLogs() {
 }
 
 size_t Router::replay_log_entries() const {
+  std::lock_guard<std::mutex> lk(ft_mu_);
   size_t total = 0;
   for (const auto& [unit, rounds] : replay_log_) {
     for (const auto& [round, entries] : rounds) total += entries.size();

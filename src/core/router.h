@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/relaxed.h"
 #include "core/routing.h"
@@ -92,6 +93,19 @@ class Router {
   void ScheduleEpoch(uint64_t activation_round,
                      std::shared_ptr<const TopologyView> view);
 
+  /// \brief Freezes this router's round counter for a multi-router epoch
+  /// change. The engine locks every router (index order), computes one
+  /// activation round strictly in each one's future, registers the epoch /
+  /// replays with the *Locked variants, then releases. While held, this
+  /// router keeps routing tuples within its current round but cannot
+  /// advance to the next one.
+  std::unique_lock<std::mutex> LockRound() {
+    return std::unique_lock<std::mutex>(ft_mu_);
+  }
+  /// \brief ScheduleEpoch body; caller must hold LockRound().
+  void ScheduleEpochLocked(uint64_t activation_round,
+                           std::shared_ptr<const TopologyView> view);
+
   /// \brief Begins the punctuation cadence.
   void Start();
 
@@ -115,6 +129,19 @@ class Router {
   /// replayed copies precede any live activation-round traffic on the
   /// replacement's FIFO channel, so the round order is preserved.
   void ScheduleReplay(uint64_t activation_round, ReplayRequest request);
+  /// \brief ScheduleReplay body; caller must hold LockRound().
+  void ScheduleReplayLocked(uint64_t activation_round, ReplayRequest request);
+
+  /// \brief Chained-failure handoff; caller must hold LockRound(). Any
+  /// pending replay whose replacement is `dead_replacement` (a replacement
+  /// that crashed before this router reached its activation round) is
+  /// re-targeted at `new_replacement` and rescheduled for `new_activation`.
+  /// Returns true when something was remapped — the caller then skips
+  /// scheduling a fresh replay on this router, because the dead
+  /// replacement's own log is empty here (it never received live traffic)
+  /// and the remapped request already carries the original backlog.
+  bool RemapReplaysLocked(uint32_t dead_replacement,
+                          uint32_t new_replacement, uint64_t new_activation);
 
   /// \brief Bytes currently held in replay logs (for tests / metrics).
   size_t replay_log_entries() const;
@@ -149,7 +176,16 @@ class Router {
   runtime::Clock* clock_;
   UnitSendFn send_;
   RoutingPolicy policy_;
+  /// Current view: read/written only in this router's execution context
+  /// (initial install happens before Start, epoch swaps in AdvanceRound).
   std::shared_ptr<const TopologyView> view_;
+  /// Guards the state shared between this router's worker and the driver's
+  /// control plane: pending_epochs_, pending_replays_, replay_log_, and the
+  /// round_ increment (so an engine holding LockRound() sees a frozen
+  /// round). Never held across send_ — sends can block on backpressure,
+  /// and the blocked destination's worker may need this lock to ack a
+  /// checkpoint (NoteCheckpoint).
+  mutable std::mutex ft_mu_;
   std::map<uint64_t, std::shared_ptr<const TopologyView>> pending_epochs_;
   /// Pending mini-batches per destination unit (batch_size > 1 only).
   std::map<uint32_t, std::vector<BatchEntry>> pending_batches_;

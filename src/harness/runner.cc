@@ -70,6 +70,14 @@ JsonValue RunReport::ToJson() const {
   stats.Set("makespan_ns", JsonValue::Number(engine.makespan_ns));
   stats.Set("crashes", JsonValue::Number(engine.crashes));
   stats.Set("recoveries", JsonValue::Number(engine.recoveries));
+  stats.Set("respawns", JsonValue::Number(engine.respawns));
+  // Worst-case crash->detection and detection->caught-up spans over the
+  // run's recoveries (virtual ns under sim, measured wall ns under the
+  // parallel backend); zero when the run had no recoveries.
+  stats.Set("detection_latency_ns",
+            JsonValue::Number(engine.detection_latency_max_ns));
+  stats.Set("recovery_wall_ns",
+            JsonValue::Number(engine.recovery_wall_max_ns));
   stats.Set("checkpoints", JsonValue::Number(engine.checkpoints));
   stats.Set("replayed_messages", JsonValue::Number(engine.replayed_messages));
   stats.Set("suppressed_duplicates",

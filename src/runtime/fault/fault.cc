@@ -1,4 +1,4 @@
-#include "sim/fault.h"
+#include "runtime/fault/fault.h"
 
 #include <algorithm>
 
@@ -6,12 +6,13 @@
 
 namespace bistream {
 
-FaultInjector::FaultInjector(EventLoop* loop, FaultPlan plan, CrashFn crash)
-    : loop_(loop),
+FaultInjector::FaultInjector(runtime::Clock* clock, FaultPlan plan,
+                             CrashFn crash)
+    : clock_(clock),
       plan_(std::move(plan)),
       crash_(std::move(crash)),
       rng_(plan_.seed) {
-  BISTREAM_CHECK(loop_ != nullptr);
+  BISTREAM_CHECK(clock_ != nullptr);
   BISTREAM_CHECK(crash_ != nullptr);
   BISTREAM_CHECK_GE(plan_.crash_rate_per_sec, 0.0);
 }
@@ -25,7 +26,7 @@ void FaultInjector::Start() {
   }
   if (plan_.crash_rate_per_sec > 0 && plan_.horizon > 0) {
     double mean_gap_ns = 1e9 / plan_.crash_rate_per_sec;
-    SimTime t = loop_->now();
+    SimTime t = clock_->now();
     while (true) {
       t += static_cast<SimTime>(rng_.NextExponential(mean_gap_ns));
       if (t > plan_.horizon) break;
@@ -44,10 +45,10 @@ void FaultInjector::Start() {
     sc.draw = rng_.Next64();
   }
   for (const ScheduledCrash& sc : schedule_) {
-    loop_->ScheduleAt(sc.crash.at, [this, sc] {
+    clock_->ScheduleAt(sc.crash.at, [this, sc] {
       std::optional<uint32_t> victim = crash_(sc.crash, sc.draw);
       if (victim.has_value()) {
-        timeline_.push_back(InjectedFault{loop_->now(), *victim});
+        timeline_.push_back(InjectedFault{clock_->now(), *victim});
       }
     });
   }

@@ -1,0 +1,111 @@
+/// \file fault.h
+/// \brief Declarative, deterministic crash injection, backend-neutral.
+///
+/// A FaultPlan names the crashes of a run, either explicitly (crash unit 3
+/// at t = 1.5 s) or stochastically (a Poisson process with a given rate over
+/// a horizon). The FaultInjector expands the plan into a concrete, seeded
+/// schedule at Start() and fires each crash through a caller-supplied
+/// callback — this layer knows nothing about engines or topologies, so
+/// victim resolution (e.g. "a random live joiner") lives with the caller,
+/// fed by a deterministic 64-bit draw from the plan's RNG. Equal seeds give
+/// bit-identical crash schedules, which is what lets the recovery tests
+/// assert exactly-once results deterministically across runs.
+///
+/// The injector targets any runtime::Clock: under the simulator that is the
+/// EventLoop (virtual time, deterministic firing order); under the parallel
+/// backend it is the executor's driver clock, whose timer thread fires the
+/// crash on the driver while worker threads are live — a real mid-run kill.
+/// Only the *schedule* is deterministic on a wall clock; where the crash
+/// lands relative to in-flight tuples is decided by real interleaving, and
+/// exactly-once then rests on checkpoint/replay + dedup, not on timing.
+
+#ifndef BISTREAM_RUNTIME_FAULT_FAULT_H_
+#define BISTREAM_RUNTIME_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/clock.h"
+
+namespace bistream {
+
+/// \brief The declarative crash schedule of one run.
+struct FaultPlan {
+  /// \brief One planned crash.
+  struct Crash {
+    /// Time at which the process dies (virtual or wall, backend-defined).
+    SimTime at = 0;
+    /// Explicit victim (a joiner unit id). Unset = let the crash callback
+    /// pick a victim from the supplied random draw.
+    std::optional<uint32_t> unit;
+  };
+
+  /// Explicit crashes, in any order.
+  std::vector<Crash> crashes;
+
+  /// Additional Poisson crash process: mean crashes per second, generated
+  /// over [0, horizon]. 0 disables.
+  double crash_rate_per_sec = 0.0;
+  SimTime horizon = 0;
+
+  /// Seed for the Poisson arrivals and the victim-selection draws.
+  uint64_t seed = 0x5EED;
+};
+
+/// \brief Applies one crash. `draw` is a deterministic uniform 64-bit value
+/// for victim selection when `crash.unit` is unset. Returns the crashed unit
+/// id, or nullopt when no victim could be crashed (already down, none live).
+using CrashFn =
+    std::function<std::optional<uint32_t>(const FaultPlan::Crash& crash,
+                                          uint64_t draw)>;
+
+/// \brief One crash that actually landed (the injector's timeline).
+struct InjectedFault {
+  SimTime at = 0;
+  uint32_t unit = 0;
+};
+
+/// \brief Schedules a FaultPlan's crashes on a backend clock.
+class FaultInjector {
+ public:
+  /// \param clock shared backend clock (not owned). Under the parallel
+  ///   backend pass the executor's driver clock so the CrashFn runs on the
+  ///   driver thread, where engine mutation is legal.
+  /// \param crash crash application callback (typically bound to
+  ///   BicliqueEngine::InjectCrash)
+  FaultInjector(runtime::Clock* clock, FaultPlan plan, CrashFn crash);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// \brief Expands the plan (explicit + Poisson arrivals) into a concrete
+  /// schedule and registers every crash with the clock. Call once.
+  void Start();
+
+  /// \brief Crashes in the expanded schedule (known after Start()).
+  size_t scheduled_crashes() const { return schedule_.size(); }
+
+  /// \brief Crashes that landed, in firing order.
+  const std::vector<InjectedFault>& timeline() const { return timeline_; }
+
+ private:
+  struct ScheduledCrash {
+    FaultPlan::Crash crash;
+    uint64_t draw = 0;
+  };
+
+  runtime::Clock* clock_;
+  FaultPlan plan_;
+  CrashFn crash_;
+  Rng rng_;
+  bool started_ = false;
+  std::vector<ScheduledCrash> schedule_;
+  std::vector<InjectedFault> timeline_;
+};
+
+}  // namespace bistream
+
+#endif  // BISTREAM_RUNTIME_FAULT_FAULT_H_

@@ -37,15 +37,25 @@ void ParallelUnit::Deliver(Message msg) {
   exec_->IncOutstanding();
   {
     std::unique_lock<std::mutex> lk(mu_);
-    if (inbox_.size() >= capacity_ && !stop_) {
+    if (inbox_.size() >= capacity_ && !stop_ && !dead_) {
       // Backpressure stall: record the count and the wall time spent
       // blocked. Writers are serialized by mu_, so the relaxed cells are
       // safe, and the sampler thread reads them tear-free mid-run.
       SimTime blocked_start = exec_->NowNs();
       ++stats_.blocked_sends;
-      not_full_.wait(lk,
-                     [this] { return inbox_.size() < capacity_ || stop_; });
+      not_full_.wait(lk, [this] {
+        return inbox_.size() < capacity_ || stop_ || dead_;
+      });
       stats_.blocked_ns += exec_->NowNs() - blocked_start;
+    }
+    if (dead_) {
+      // The in-flight send fails: the destination process is gone. This is
+      // the backpressure-safe crash semantics — a sender blocked on a full
+      // inbox is released, not deadlocked, when the receiver dies.
+      ++stats_.messages_dropped_dead;
+      lk.unlock();
+      exec_->DecOutstanding();
+      return;
     }
     BISTREAM_CHECK(!stop_) << "delivery to " << label_
                            << " after executor shutdown";
@@ -57,13 +67,41 @@ void ParallelUnit::Deliver(Message msg) {
 }
 
 void ParallelUnit::Fail() {
-  BISTREAM_CHECK(false) << "the parallel backend has no process-failure "
-                           "model; crash injection is sim-only";
+  std::thread victim;
+  size_t wiped = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_.load(std::memory_order_relaxed)) return;  // Idempotent.
+    // Queued-but-unprocessed messages die with the process; pending timer
+    // tasks target a thread that no longer exists.
+    stats_.messages_lost_on_crash += inbox_.size();
+    wiped = inbox_.size() + tasks_.size();
+    inbox_.clear();
+    tasks_.clear();
+    ++stats_.crashes;
+    dead_.store(true, std::memory_order_release);
+    victim = std::move(worker_);
+  }
+  // Wake the worker (to exit) and any senders blocked on the full inbox
+  // (to fail their sends).
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  // Join at a message boundary: a C++ thread cannot be interrupted
+  // mid-handler, so the in-service message (if any) completes and its
+  // outputs land. Everything queued behind it is already gone.
+  if (victim.joinable()) victim.join();
+  // Each wiped entry held one in-flight count from its enqueue.
+  for (size_t i = 0; i < wiped; ++i) exec_->DecOutstanding();
 }
 
 void ParallelUnit::Restart() {
-  BISTREAM_CHECK(false) << "the parallel backend has no process-failure "
-                           "model; crash injection is sim-only";
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!dead_.load(std::memory_order_relaxed)) return;  // Idempotent.
+    ++stats_.restarts;
+    dead_.store(false, std::memory_order_release);
+  }
+  StartWorker();
 }
 
 size_t ParallelUnit::queue_depth() const {
@@ -107,7 +145,14 @@ void ParallelUnit::PostTask(std::function<void()> fn) {
   // Increment-before-push, same reason as Deliver().
   exec_->IncOutstanding();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
+    if (dead_.load(std::memory_order_relaxed)) {
+      // A timer firing for a dead unit vanishes — there is no worker to
+      // run it, and holding its outstanding count would wedge quiescence.
+      lk.unlock();
+      exec_->DecOutstanding();
+      return;
+    }
     tasks_.push_back(std::move(fn));
   }
   not_empty_.notify_one();
@@ -137,8 +182,12 @@ void ParallelUnit::Run() {
     {
       std::unique_lock<std::mutex> lk(mu_);
       not_empty_.wait(lk, [this] {
-        return stop_ || !tasks_.empty() || !inbox_.empty();
+        return stop_ || dead_.load(std::memory_order_relaxed) ||
+               !tasks_.empty() || !inbox_.empty();
       });
+      // Crash: Fail() wiped the queues under mu_ before setting dead_, so
+      // there is nothing left to drain — the worker just exits.
+      if (dead_.load(std::memory_order_relaxed)) return;
       // Timer tasks first: they are rare control work (punctuation ticks)
       // and must not starve behind a full data backlog.
       if (!tasks_.empty()) {
@@ -227,6 +276,7 @@ ParallelExecutor::~ParallelExecutor() {
   }
   timer_cv_.notify_all();
   if (timer_thread_.joinable()) timer_thread_.join();
+  std::lock_guard<std::mutex> lk(units_mu_);
   for (auto& unit : units_) unit->StopWorker();
 }
 
@@ -238,13 +288,19 @@ SimTime ParallelExecutor::NowNs() const {
 }
 
 Unit* ParallelExecutor::AddUnit(const std::string& label) {
-  units_.push_back(std::make_unique<ParallelUnit>(
-      this, next_unit_id_++, label, options_.queue_capacity));
-  units_.back()->StartWorker();
-  return units_.back().get();
+  ParallelUnit* unit;
+  {
+    std::lock_guard<std::mutex> lk(units_mu_);
+    units_.push_back(std::make_unique<ParallelUnit>(
+        this, next_unit_id_++, label, options_.queue_capacity));
+    unit = units_.back().get();
+  }
+  unit->StartWorker();
+  return unit;
 }
 
 Transport* ParallelExecutor::Connect(Unit* dst) {
+  std::lock_guard<std::mutex> lk(units_mu_);
   transports_.push_back(
       std::make_unique<ParallelTransport>(static_cast<ParallelUnit*>(dst)));
   return transports_.back().get();
@@ -272,18 +328,35 @@ void ParallelExecutor::RunUntilIdle() {
 }
 
 uint64_t ParallelExecutor::total_messages() const {
+  std::lock_guard<std::mutex> lk(units_mu_);
   uint64_t total = 0;
   for (const auto& t : transports_) total += t->messages_sent();
   return total;
 }
 
 uint64_t ParallelExecutor::total_bytes() const {
+  std::lock_guard<std::mutex> lk(units_mu_);
   uint64_t total = 0;
   for (const auto& t : transports_) total += t->bytes_sent();
   return total;
 }
 
+uint64_t ParallelExecutor::total_dropped_dead() const {
+  std::lock_guard<std::mutex> lk(units_mu_);
+  uint64_t total = 0;
+  for (const auto& u : units_) total += u->stats().messages_dropped_dead;
+  return total;
+}
+
+uint64_t ParallelExecutor::total_lost_on_crash() const {
+  std::lock_guard<std::mutex> lk(units_mu_);
+  uint64_t total = 0;
+  for (const auto& u : units_) total += u->stats().messages_lost_on_crash;
+  return total;
+}
+
 void ParallelExecutor::ForEachUnit(const std::function<void(Unit&)>& fn) {
+  std::lock_guard<std::mutex> lk(units_mu_);
   for (auto& unit : units_) fn(*unit);
 }
 

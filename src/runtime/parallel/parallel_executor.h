@@ -29,9 +29,16 @@
 ///    acquire ordering means the cluster is quiescent and all unit stats
 ///    are safe to read.
 ///
-/// Not implemented (engines must gate on Executor::concurrent()): the
-/// process-failure model (Fail/Restart), message dropping, and reordering
-/// fault injection. Mid-run telemetry IS supported: NodeStats fields are
+/// Process failure is real thread lifecycle: Fail() poisons the unit under
+/// its queue mutex (queued work dies, counted messages_lost_on_crash),
+/// wakes blocked senders (whose in-flight sends drop, counted
+/// messages_dropped_dead), and joins the worker — the crash lands at a
+/// message boundary, since a C++ thread cannot be safely interrupted
+/// mid-handler. Restart() spawns a fresh worker on the same inbox. Not
+/// implemented (engines must gate on Executor::concurrent()): message
+/// dropping and reordering fault injection — those model lossy transports,
+/// which the in-process handoff is not. Mid-run telemetry IS supported:
+/// NodeStats fields are
 /// tear-free RelaxedCells, and the substrate additionally measures its own
 /// contention — sender blocking in Deliver (blocked_sends / blocked_ns),
 /// inbox queueing delay (dequeue_wait_ns), and timer-thread dispatch lag
@@ -82,11 +89,17 @@ class ParallelUnit final : public Unit {
   /// (sender-side backpressure). Callable from any thread.
   void Deliver(Message msg) override;
 
-  /// \brief The process-failure model is sim-only; engines gate crash
-  /// injection on Executor::concurrent(), so reaching this is a bug.
+  /// \brief Kills the unit: wipes the inbox and task queue (counting
+  /// messages_lost_on_crash), releases blocked senders (their sends drop
+  /// dead), and joins the worker thread. The in-service message, if any,
+  /// completes first — the crash lands at a message boundary. Idempotent.
+  /// Callable from any thread except this unit's own worker.
   void Fail() override;
+  /// \brief Spawns a fresh worker for a failed unit. Idempotent.
   void Restart() override;
-  bool alive() const override { return true; }
+  bool alive() const override {
+    return !dead_.load(std::memory_order_acquire);
+  }
 
   uint32_t id() const override { return id_; }
   const std::string& label() const override { return label_; }
@@ -147,6 +160,9 @@ class ParallelUnit final : public Unit {
   std::deque<InboxEntry> inbox_;
   std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
+  /// Crash flag: transitions happen under mu_ (so condvar predicates are
+  /// race-free); atomic so alive() is readable from any thread lock-free.
+  std::atomic<bool> dead_{false};
   size_t window_queue_hwm_ = 0;  // Guarded by mu_ (senders update it).
   size_t max_queue_depth_ = 0;   // Guarded by mu_; copied to stats_ on read.
 
@@ -220,8 +236,8 @@ class ParallelExecutor final : public Executor {
   uint64_t total_messages() const override;
   uint64_t total_bytes() const override;
   uint64_t total_dropped() const override { return 0; }
-  uint64_t total_dropped_dead() const override { return 0; }
-  uint64_t total_lost_on_crash() const override { return 0; }
+  uint64_t total_dropped_dead() const override;
+  uint64_t total_lost_on_crash() const override;
 
   /// \brief Worst dispatch lateness over all fired timers (wall ns). The
   /// timer thread is the single writer; reads are tear-free relaxed loads.
@@ -233,7 +249,10 @@ class ParallelExecutor final : public Executor {
   void ForEachUnit(const std::function<void(Unit&)>& fn) override;
 
   /// \brief Worker threads spawned (== units created).
-  size_t worker_threads() const { return units_.size(); }
+  size_t worker_threads() const {
+    std::lock_guard<std::mutex> lk(units_mu_);
+    return units_.size();
+  }
 
   /// \brief Wall nanoseconds since executor construction.
   SimTime NowNs() const;
@@ -280,6 +299,10 @@ class ParallelExecutor final : public Executor {
   std::chrono::steady_clock::time_point epoch_;
   DriverClock driver_clock_;
 
+  /// Guards units_/transports_: the driver adds units mid-run (recovery
+  /// respawn, scale-out) while the sampler thread walks ForEachUnit and
+  /// sums transport totals.
+  mutable std::mutex units_mu_;
   std::vector<std::unique_ptr<ParallelUnit>> units_;
   std::vector<std::unique_ptr<ParallelTransport>> transports_;
   uint32_t next_unit_id_ = 0;

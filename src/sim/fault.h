@@ -1,102 +1,14 @@
 /// \file fault.h
-/// \brief Declarative, deterministic crash injection for the simulated
-/// cluster.
-///
-/// A FaultPlan names the crashes of a run, either explicitly (crash unit 3
-/// at t = 1.5 s) or stochastically (a Poisson process with a given rate over
-/// a horizon). The FaultInjector expands the plan into a concrete, seeded
-/// schedule at Start() and fires each crash through a caller-supplied
-/// callback — the sim layer knows nothing about engines or topologies, so
-/// victim resolution (e.g. "a random live joiner") lives with the caller,
-/// fed by a deterministic 64-bit draw from the plan's RNG. Equal seeds give
-/// bit-identical crash schedules, which is what lets the recovery tests
-/// assert exactly-once results deterministically across runs.
+/// \brief Compatibility shim: the fault plan / injector moved to the
+/// backend-neutral runtime layer (runtime/fault/fault.h) so the same seeded
+/// FaultPlan can kill simulated nodes or real worker threads. Sim callers
+/// keep constructing `FaultInjector(&loop, ...)` — EventLoop implements
+/// runtime::Clock.
 
 #ifndef BISTREAM_SIM_FAULT_H_
 #define BISTREAM_SIM_FAULT_H_
 
-#include <cstdint>
-#include <functional>
-#include <optional>
-#include <vector>
-
-#include "common/rng.h"
+#include "runtime/fault/fault.h"
 #include "sim/event_loop.h"
-
-namespace bistream {
-
-/// \brief The declarative crash schedule of one run.
-struct FaultPlan {
-  /// \brief One planned crash.
-  struct Crash {
-    /// Virtual time at which the process dies.
-    SimTime at = 0;
-    /// Explicit victim (a joiner unit id). Unset = let the crash callback
-    /// pick a victim from the supplied random draw.
-    std::optional<uint32_t> unit;
-  };
-
-  /// Explicit crashes, in any order.
-  std::vector<Crash> crashes;
-
-  /// Additional Poisson crash process: mean crashes per virtual second,
-  /// generated over [0, horizon]. 0 disables.
-  double crash_rate_per_sec = 0.0;
-  SimTime horizon = 0;
-
-  /// Seed for the Poisson arrivals and the victim-selection draws.
-  uint64_t seed = 0x5EED;
-};
-
-/// \brief Applies one crash. `draw` is a deterministic uniform 64-bit value
-/// for victim selection when `crash.unit` is unset. Returns the crashed unit
-/// id, or nullopt when no victim could be crashed (already down, none live).
-using CrashFn =
-    std::function<std::optional<uint32_t>(const FaultPlan::Crash& crash,
-                                          uint64_t draw)>;
-
-/// \brief One crash that actually landed (the injector's timeline).
-struct InjectedFault {
-  SimTime at = 0;
-  uint32_t unit = 0;
-};
-
-/// \brief Schedules a FaultPlan's crashes on the event loop.
-class FaultInjector {
- public:
-  /// \param loop shared event loop (not owned)
-  /// \param crash crash application callback (typically bound to
-  ///   BicliqueEngine::InjectCrash)
-  FaultInjector(EventLoop* loop, FaultPlan plan, CrashFn crash);
-
-  FaultInjector(const FaultInjector&) = delete;
-  FaultInjector& operator=(const FaultInjector&) = delete;
-
-  /// \brief Expands the plan (explicit + Poisson arrivals) into a concrete
-  /// schedule and registers every crash with the loop. Call once.
-  void Start();
-
-  /// \brief Crashes in the expanded schedule (known after Start()).
-  size_t scheduled_crashes() const { return schedule_.size(); }
-
-  /// \brief Crashes that landed, in firing order.
-  const std::vector<InjectedFault>& timeline() const { return timeline_; }
-
- private:
-  struct ScheduledCrash {
-    FaultPlan::Crash crash;
-    uint64_t draw = 0;
-  };
-
-  EventLoop* loop_;
-  FaultPlan plan_;
-  CrashFn crash_;
-  Rng rng_;
-  bool started_ = false;
-  std::vector<ScheduledCrash> schedule_;
-  std::vector<InjectedFault> timeline_;
-};
-
-}  // namespace bistream
 
 #endif  // BISTREAM_SIM_FAULT_H_

@@ -160,6 +160,38 @@ void CheckContentionColumns(const JsonValue* series,
   }
 }
 
+/// A faulted run on the parallel backend (crashes > 0) must carry the
+/// recovery observability fields as real numbers: crash/recovery counts,
+/// thread respawns, and the measured wall latencies for detection and
+/// catch-up. A parallel recovery that never respawned a worker thread means
+/// the engine recovered on paper but not in the runtime.
+void CheckRecoveryFields(const JsonValue* engine,
+                         const std::vector<std::string>& required,
+                         bool is_sim, const std::string& where) {
+  if (engine == nullptr || !engine->is_object()) return;
+  const JsonValue* crashes = engine->Find("crashes");
+  if (is_sim || crashes == nullptr || !crashes->is_number() ||
+      crashes->AsNumber() <= 0) {
+    return;
+  }
+  for (const std::string& key : required) {
+    const JsonValue* value = engine->Find(key);
+    if (value == nullptr || !value->is_number()) {
+      Fail(where + " (parallel, faulted) lacks numeric recovery field '" +
+           key + "'");
+    }
+  }
+  const JsonValue* recoveries = engine->Find("recoveries");
+  const JsonValue* respawns = engine->Find("respawns");
+  if (recoveries != nullptr && recoveries->is_number() &&
+      recoveries->AsNumber() > 0 && respawns != nullptr &&
+      respawns->is_number() && respawns->AsNumber() <= 0) {
+    Fail(where + " (parallel, faulted) reports " +
+         std::to_string(recoveries->AsNumber()) +
+         " recoveries but zero worker-thread respawns");
+  }
+}
+
 /// Any invariant violation recorded by the run's auditor fails the smoke
 /// test: benches must produce audit-clean runs.
 void CheckDiagnostics(const JsonValue* diagnostics, const std::string& where) {
@@ -248,6 +280,8 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
       RequiredKeys(schema, "diagnostics_required");
   std::vector<std::string> profile_required =
       RequiredKeys(schema, "profile_required");
+  std::vector<std::string> recovery_required =
+      RequiredKeys(schema, "recovery_required");
 
   size_t runs_with_series = 0;
   for (size_t i = 0; i < runs->size(); ++i) {
@@ -270,6 +304,8 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
                   where + ".report.diagnostics");
     CheckRequired(report->Find("profile"), profile_required,
                   where + ".report.profile");
+    CheckRecoveryFields(report->Find("engine"), recovery_required, is_sim,
+                        where + ".report.engine");
     CheckSeries(report->Find("series"), where + ".report.series");
     CheckBreakdown(report->Find("breakdown"), where + ".report.breakdown");
     CheckDiagnostics(report->Find("diagnostics"),

@@ -148,16 +148,25 @@ TEST(OptionsValidationTest, ParallelBackendRejectsSimOnlyFeatures) {
   options.backend = runtime::BackendKind::kParallel;
   EXPECT_TRUE(options.Validate().ok());
 
+  // Fault tolerance (and elasticity) are NOT sim-only: on the parallel
+  // backend a crash is real worker-thread teardown and recovery respawns a
+  // live thread.
   options.fault_tolerance.enabled = true;
-  EXPECT_FALSE(options.Validate().ok());
+  EXPECT_TRUE(options.Validate().ok());
   options.fault_tolerance.enabled = false;
 
+  // The transport-level faults stay sim-only — and the messages must point
+  // at the parallel-backend alternative.
   options.fault_reorder = true;
-  EXPECT_FALSE(options.Validate().ok());
+  Status reorder_status = options.Validate();
+  ASSERT_FALSE(reorder_status.ok());
+  EXPECT_NE(reorder_status.ToString().find("parallel"), std::string::npos);
   options.fault_reorder = false;
 
   options.channel_drop_probability = 0.1;
-  EXPECT_FALSE(options.Validate().ok());
+  Status drop_status = options.Validate();
+  ASSERT_FALSE(drop_status.ok());
+  EXPECT_NE(drop_status.ToString().find("CrashJoiner"), std::string::npos);
   options.channel_drop_probability = 0;
 
   // Telemetry is NOT sim-only: the wall-clock sampler and the per-thread

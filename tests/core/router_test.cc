@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "sim/event_loop.h"
@@ -34,13 +35,15 @@ class RouterTest : public ::testing::Test {
     for (int i = 0; i < 3; ++i) topo_.AddUnit(kRelationS);
   }
 
-  Router MakeRouter(SimTime punct_interval = 10 * kMillisecond) {
+  // Router holds a mutex now (non-movable): hand out a reference to a
+  // fixture-owned instance.
+  Router& MakeRouter(SimTime punct_interval = 10 * kMillisecond) {
     RouterOptions options;
     options.router_id = 7;
     options.punct_interval = punct_interval;
-    Router router(options, &loop_, capture_.Fn());
-    router.ScheduleEpoch(0, topo_.Snapshot());
-    return router;
+    router_ = std::make_unique<Router>(options, &loop_, capture_.Fn());
+    router_->ScheduleEpoch(0, topo_.Snapshot());
+    return *router_;
   }
 
   Message InputTuple(RelationId rel, int64_t key) {
@@ -53,10 +56,11 @@ class RouterTest : public ::testing::Test {
   EventLoop loop_;
   TopologyManager topo_;
   Capture capture_;
+  std::unique_ptr<Router> router_;
 };
 
 TEST_F(RouterTest, ForksTupleIntoStoreAndJoinCopies) {
-  Router router = MakeRouter();
+  Router& router = MakeRouter();
   router.Handle(InputTuple(kRelationR, 42));
   // 1 store copy (R side) + 3 join copies (all S units, ContRand).
   ASSERT_EQ(capture_.sent.size(), 4u);
@@ -73,7 +77,7 @@ TEST_F(RouterTest, ForksTupleIntoStoreAndJoinCopies) {
 }
 
 TEST_F(RouterTest, SeqIncrementsPerTuple) {
-  Router router = MakeRouter();
+  Router& router = MakeRouter();
   router.Handle(InputTuple(kRelationR, 1));
   router.Handle(InputTuple(kRelationS, 2));
   EXPECT_EQ(router.current_seq(), 2u);
@@ -83,7 +87,7 @@ TEST_F(RouterTest, SeqIncrementsPerTuple) {
 }
 
 TEST_F(RouterTest, PunctuationCadenceAdvancesRounds) {
-  Router router = MakeRouter(5 * kMillisecond);
+  Router& router = MakeRouter(5 * kMillisecond);
   router.Start();
   loop_.RunUntil(16 * kMillisecond);  // Ticks at 5, 10, 15 ms.
   EXPECT_EQ(router.current_round(), 3u);
@@ -96,7 +100,7 @@ TEST_F(RouterTest, PunctuationCadenceAdvancesRounds) {
 }
 
 TEST_F(RouterTest, TupleRoundTracksCurrentRound) {
-  Router router = MakeRouter(5 * kMillisecond);
+  Router& router = MakeRouter(5 * kMillisecond);
   router.Start();
   loop_.RunUntil(11 * kMillisecond);  // round_ == 2 now.
   router.Handle(InputTuple(kRelationR, 5));
@@ -106,7 +110,7 @@ TEST_F(RouterTest, TupleRoundTracksCurrentRound) {
 }
 
 TEST_F(RouterTest, EpochActivatesExactlyAtItsRound) {
-  Router router = MakeRouter(5 * kMillisecond);
+  Router& router = MakeRouter(5 * kMillisecond);
   uint32_t new_unit = topo_.AddUnit(kRelationS);
   router.ScheduleEpoch(2, topo_.Snapshot());
   router.Start();
@@ -131,7 +135,7 @@ TEST_F(RouterTest, EpochActivatesExactlyAtItsRound) {
 }
 
 TEST_F(RouterTest, StopFlushEmitsFinalPunctuationAndHalts) {
-  Router router = MakeRouter();
+  Router& router = MakeRouter();
   router.Start();
   router.Handle(MakeControl(ControlOp::kStopFlush, 0));
   EXPECT_TRUE(router.stopped());
@@ -142,7 +146,7 @@ TEST_F(RouterTest, StopFlushEmitsFinalPunctuationAndHalts) {
 }
 
 TEST_F(RouterTest, TuplesAfterStopAreDroppedAndCounted) {
-  Router router = MakeRouter();
+  Router& router = MakeRouter();
   router.Start();
   router.Handle(MakeControl(ControlOp::kStopFlush, 0));
   size_t before = capture_.sent.size();
@@ -153,7 +157,7 @@ TEST_F(RouterTest, TuplesAfterStopAreDroppedAndCounted) {
 }
 
 TEST_F(RouterTest, StatsCountStreams) {
-  Router router = MakeRouter();
+  Router& router = MakeRouter();
   router.Handle(InputTuple(kRelationR, 1));
   router.Handle(InputTuple(kRelationR, 2));
   EXPECT_EQ(router.stats().tuples_routed, 2u);
@@ -162,7 +166,7 @@ TEST_F(RouterTest, StatsCountStreams) {
 }
 
 TEST_F(RouterTest, HandleReturnsPositiveServiceCost) {
-  Router router = MakeRouter();
+  Router& router = MakeRouter();
   EXPECT_GT(router.Handle(InputTuple(kRelationR, 1)), 0u);
   EXPECT_GT(router.Handle(MakeControl(ControlOp::kStopFlush, 0)), 0u);
 }

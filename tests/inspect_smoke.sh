@@ -7,18 +7,23 @@
 #      probe stage (exit 1),
 #   4. malformed input is rejected with exit 2,
 #   5. a wall-clock (--backend=parallel) artifact — sampled series, inbox
-#      contention columns and all — also reads healthy.
+#      contention columns and all — also reads healthy,
+#   6. a wall-clock artifact with a mid-run crash (a worker thread really
+#      killed, detected, and respawned) reads healthy, surfaces the
+#      recovery telemetry, and honors the --max_detection_ms cap.
 # Usage:
-#   inspect_smoke.sh <bistream-inspect> <parallel_bench> <bench_binary> \
-#     [bench args...]
+#   inspect_smoke.sh <bistream-inspect> <parallel_bench> <fault_bench> \
+#     <bench_binary> [bench args...]
 # <parallel_bench> must accept --backend=parallel (e1 does; e7, the usual
-# <bench_binary>, does not).
+# <bench_binary>, does not). <fault_bench> is e15: its parallel mode kills
+# live joiner threads on a seeded schedule.
 set -eu
 
 inspect="$1"
 parallel_bench="$2"
-bench="$3"
-shift 3
+fault_bench="$3"
+bench="$4"
+shift 4
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -78,5 +83,21 @@ par="$workdir/parallel.json"
   { cat "$workdir/par_health.txt" >&2;
     fail "healthy parallel artifact flagged (exit $?)"; }
 
+# 6. Health verdict on a crashed-and-recovered wall-clock artifact: the
+# engine stats must carry the measured detection/recovery latencies and the
+# worker respawn count, the tool must surface them, and the (generous)
+# detection-latency cap must hold.
+faulted="$workdir/faulted.json"
+"$fault_bench" --json_out="$faulted" --backend=parallel \
+  --total_tuples=3000 > "$workdir/fault_run.txt" 2>&1 ||
+  { cat "$workdir/fault_run.txt" >&2; fail "faulted bench run failed"; }
+"$inspect" --max_detection_ms=5000 "$faulted" \
+  > "$workdir/fault_health.txt" 2>&1 ||
+  { cat "$workdir/fault_health.txt" >&2;
+    fail "recovered faulted artifact flagged (exit $?)"; }
+grep -q "fault recovery:" "$workdir/fault_health.txt" ||
+  { cat "$workdir/fault_health.txt" >&2;
+    fail "health report missing the fault recovery section"; }
+
 echo "OK: self-check, health, diff attribution, malformed-input rejection," \
-  "parallel health"
+  "parallel health, crash-recovery health"

@@ -1,0 +1,373 @@
+// Fault tolerance on real threads: crashes on the parallel backend kill
+// live worker threads, detection is wall-clock punctuation silence, and
+// recovery respawns a worker and replays through the real transport. These
+// tests drive the same protocol the simulator suite verifies
+// (tests/core/fault_recovery_test.cc) against real interleavings:
+// driver-injected deterministic crashes, wall-clock detector recoveries,
+// chained failure of a not-yet-caught-up replacement, and the
+// crash/rescale interplay. Every run must stay exactly-once against the
+// ReferenceJoin oracle.
+//
+// Crash timing here is deterministic where it matters (anchored to tuple
+// positions on the driver thread, not wall timers); only the detector
+// tests use wall-clock cadences, with assertions tolerant of scheduling
+// noise (an occasional false-positive fence is legal protocol behavior).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "harness/runner.h"
+#include "ops/failure_detector.h"
+#include "runtime/fault/fault.h"
+#include "runtime/parallel/parallel_executor.h"
+#include "sim/event_loop.h"
+
+namespace bistream {
+namespace {
+
+// Virtual seconds per wall second for the paced drive; one wall
+// punctuation round spans this many virtual (= event) milliseconds per
+// wall millisecond, so the engine's expiry disorder bound must dilate.
+constexpr double kCompression = 10.0;
+
+SyntheticWorkloadOptions FaultWorkload(uint64_t total_tuples, uint64_t seed) {
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 40;
+  workload.rate_r = RateSchedule::Constant(500);
+  workload.rate_s = RateSchedule::Constant(500);
+  workload.total_tuples = total_tuples;
+  workload.seed = seed;
+  return workload;
+}
+
+BicliqueOptions FaultTolerantOptions(uint64_t checkpoint_rounds) {
+  BicliqueOptions options;
+  options.num_routers = 2;
+  options.joiners_r = 2;
+  options.joiners_s = 2;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 250 * kEventMilli;
+  options.punct_interval = 10 * kMillisecond;
+  options.fault_tolerance.enabled = true;
+  options.fault_tolerance.checkpoint_rounds = checkpoint_rounds;
+  options.backend = runtime::BackendKind::kParallel;
+  options.event_time_dilation = kCompression;
+  return options;
+}
+
+// Paces the stream onto the wall clock, running any registered driver
+// action when its tuple index is reached (before injecting that tuple).
+// Actions run on the driver thread, where engine mutation is legal.
+void PacedDriveWithActions(
+    runtime::ParallelExecutor* exec, BicliqueEngine* engine,
+    const std::vector<TimedTuple>& stream,
+    const std::map<size_t, std::function<void()>>& actions) {
+  SimTime start = exec->clock()->now();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    auto action = actions.find(i);
+    if (action != actions.end()) action->second();
+    SimTime target =
+        start + static_cast<SimTime>(
+                    static_cast<double>(stream[i].arrival) / kCompression);
+    exec->RunUntil(target);
+    while (exec->clock()->now() < target) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      exec->RunUntil(target);
+    }
+    engine->InjectNow(stream[i].tuple);
+  }
+}
+
+// Idle linger before the stop-flush: keeps punctuation heartbeats and
+// activation rounds alive until every crash has a caught-up recovery (see
+// bench/e15_fault_recovery.cc for the full rationale). Bounded.
+void SettleRecoveries(runtime::ParallelExecutor* exec,
+                      BicliqueEngine* engine) {
+  SimTime deadline = exec->clock()->now() + 2 * kSecond;
+  for (;;) {
+    exec->RunUntil(0);
+    EngineStats stats = engine->Stats();
+    bool settled = stats.crashes == stats.recoveries;
+    if (settled) {
+      for (const RecoveryEvent& event : engine->recovery_events()) {
+        if (event.caught_up_at == 0) {
+          settled = false;
+          break;
+        }
+      }
+    }
+    if (settled || exec->clock()->now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+struct ParallelFaultRun {
+  EngineStats stats;
+  CheckReport check;
+  std::vector<RecoveryEvent> recoveries;
+  std::vector<DetectionEvent> detections;
+};
+
+// Runs `stream` on the parallel backend with driver actions anchored at
+// tuple indexes; when `detect` is set, a wall-clock failure detector runs.
+ParallelFaultRun RunParallel(
+    const BicliqueOptions& options, const std::vector<TimedTuple>& stream,
+    const std::map<size_t, std::function<void()>>& actions,
+    BicliqueEngine** engine_out = nullptr,
+    const FailureDetectorOptions* detect = nullptr,
+    const FaultPlan* plan = nullptr) {
+  runtime::ParallelExecutorOptions exec_options;
+  exec_options.queue_capacity = options.queue_capacity;
+  runtime::ParallelExecutor exec(options.cost, exec_options);
+  CollectorSink sink(/*check=*/true);
+  BicliqueEngine engine(&exec, options, &sink);
+  if (engine_out != nullptr) *engine_out = &engine;
+
+  std::unique_ptr<FailureDetector> detector;
+  if (detect != nullptr) {
+    detector = std::make_unique<FailureDetector>(&engine, *detect);
+  }
+  std::unique_ptr<FaultInjector> injector;
+  if (plan != nullptr) {
+    injector = std::make_unique<FaultInjector>(
+        exec.clock(), *plan,
+        [&engine](const FaultPlan::Crash& crash, uint64_t draw) {
+          return engine.InjectCrash(crash, draw);
+        });
+    injector->Start();
+  }
+  if (detector != nullptr) detector->Start();
+
+  engine.Start();
+  PacedDriveWithActions(&exec, &engine, stream, actions);
+  SettleRecoveries(&exec, &engine);
+  engine.FlushAndStop();
+  exec.RunUntilIdle();
+
+  ParallelFaultRun run;
+  run.stats = engine.Stats();
+  run.check = sink.checker().Check(stream, engine.options().predicate,
+                                   engine.options().window);
+  run.recoveries = engine.recovery_events();
+  if (detector != nullptr) run.detections = detector->detections();
+  if (engine_out != nullptr) *engine_out = nullptr;
+  return run;
+}
+
+// A deterministic driver-side crash + immediate recovery: no detector, no
+// wall timers — the crash lands between two specific tuples, so the replay
+// span and exactly-once outcome must hold on every schedule.
+TEST(ParallelFaultTest, DriverInjectedCrashRecoversExactlyOnce) {
+  SyntheticSource source(FaultWorkload(3000, 31));
+  std::vector<TimedTuple> stream = DrainSource(&source);
+  BicliqueOptions options = FaultTolerantOptions(8);
+
+  std::map<size_t, std::function<void()>> actions;
+  BicliqueEngine* engine = nullptr;
+  actions[1500] = [&engine] {
+    ASSERT_TRUE(engine->CrashJoiner(1).ok());
+    ASSERT_TRUE(engine->RecoverUnit(1).ok());
+  };
+  ParallelFaultRun run = RunParallel(options, stream, actions, &engine);
+
+  EXPECT_EQ(run.stats.crashes, 1u);
+  EXPECT_EQ(run.stats.recoveries, 1u);
+  EXPECT_EQ(run.stats.respawns, 1u) << "recovery must spawn a real worker";
+  ASSERT_EQ(run.recoveries.size(), 1u);
+  const RecoveryEvent& event = run.recoveries[0];
+  EXPECT_EQ(event.failed_unit, 1u);
+  // 1500 tuples at the paced rate is ~15 wall rounds; with a checkpoint
+  // every 8 released rounds a restore point must exist.
+  ASSERT_TRUE(event.checkpoint_round.has_value());
+  EXPECT_EQ(event.replay_from, *event.checkpoint_round + 1);
+  EXPECT_GT(event.activation_round, event.replay_from);
+  EXPECT_GT(event.restored_tuples, 0u);
+  EXPECT_GT(event.caught_up_at, event.detected_at);
+  EXPECT_GT(run.stats.replayed_messages, 0u);
+  EXPECT_TRUE(run.check.Clean()) << run.check.ToString();
+}
+
+// Chained failure: the replacement is killed right after recovery, before
+// it can reach its activation round or take a checkpoint of its own. The
+// second recovery must hand the pending replay to the new replacement
+// (Router::RemapReplaysLocked) and restore from the re-tagged snapshot —
+// the router logs for the rounds it covers were trimmed at the original
+// checkpoint, so losing it would be unrecoverable.
+TEST(ParallelFaultTest, ReplacementCrashBeforeCatchUpStaysExactlyOnce) {
+  SyntheticSource source(FaultWorkload(3000, 32));
+  std::vector<TimedTuple> stream = DrainSource(&source);
+  BicliqueOptions options = FaultTolerantOptions(8);
+
+  std::map<size_t, std::function<void()>> actions;
+  BicliqueEngine* engine = nullptr;
+  actions[1500] = [&engine] {
+    ASSERT_TRUE(engine->CrashJoiner(1).ok());
+    Result<uint32_t> first = engine->RecoverUnit(1);
+    ASSERT_TRUE(first.ok());
+    // Kill the replacement immediately: its activation round is in the
+    // future, so every router still holds a pending replay naming it.
+    ASSERT_TRUE(engine->CrashJoiner(*first).ok());
+    ASSERT_TRUE(engine->RecoverUnit(*first).ok());
+  };
+  ParallelFaultRun run = RunParallel(options, stream, actions, &engine);
+
+  EXPECT_EQ(run.stats.crashes, 2u);
+  EXPECT_EQ(run.stats.recoveries, 2u);
+  EXPECT_EQ(run.stats.respawns, 2u);
+  ASSERT_EQ(run.recoveries.size(), 2u);
+  const RecoveryEvent& first = run.recoveries[0];
+  const RecoveryEvent& second = run.recoveries[1];
+  EXPECT_EQ(second.failed_unit, first.replacement_unit);
+  // The dead replacement never checkpointed, so the second restore must
+  // come from the first's re-tagged snapshot: same round, same contents,
+  // same replay start.
+  ASSERT_TRUE(first.checkpoint_round.has_value());
+  ASSERT_TRUE(second.checkpoint_round.has_value());
+  EXPECT_EQ(*second.checkpoint_round, *first.checkpoint_round);
+  EXPECT_EQ(second.replay_from, first.replay_from);
+  EXPECT_EQ(second.restored_tuples, first.restored_tuples);
+  EXPECT_GT(second.caught_up_at, second.detected_at);
+  EXPECT_TRUE(run.check.Clean()) << run.check.ToString();
+}
+
+// Crash/rescale interplay: recover a crashed unit, then scale the same
+// side down (draining whichever unit the policy picks, possibly the
+// replacement) and scale the opposite side out — all against live worker
+// threads. Results must stay exactly-once through the overlapping
+// membership changes.
+TEST(ParallelFaultTest, RescaleAfterRecoveryStaysExactlyOnce) {
+  SyntheticSource source(FaultWorkload(3000, 33));
+  std::vector<TimedTuple> stream = DrainSource(&source);
+  BicliqueOptions options = FaultTolerantOptions(16);
+
+  std::map<size_t, std::function<void()>> actions;
+  BicliqueEngine* engine = nullptr;
+  actions[900] = [&engine] {
+    ASSERT_TRUE(engine->CrashJoiner(0).ok());
+    ASSERT_TRUE(engine->RecoverUnit(0).ok());
+  };
+  actions[1500] = [&engine] {
+    ASSERT_TRUE(engine->ScaleIn(kRelationR).ok());
+    ASSERT_TRUE(engine->ScaleOut(kRelationS).ok());
+  };
+  ParallelFaultRun run = RunParallel(options, stream, actions, &engine);
+
+  EXPECT_EQ(run.stats.crashes, 1u);
+  EXPECT_EQ(run.stats.recoveries, 1u);
+  EXPECT_TRUE(run.check.Clean()) << run.check.ToString();
+}
+
+// The wall-clock path end to end: a planned crash kills a worker thread
+// mid-run, the detector notices real punctuation silence, and recovery
+// respawns and catches up — with the measured latencies surfaced in the
+// engine stats. Scheduling noise can add a false-positive fence on a slow
+// machine, so counts are lower bounds; exactness of the result multiset is
+// not negotiable.
+TEST(ParallelFaultTest, WallClockDetectorRecoversKilledWorker) {
+  SyntheticSource source(FaultWorkload(3000, 34));
+  std::vector<TimedTuple> stream = DrainSource(&source);
+  BicliqueOptions options = FaultTolerantOptions(16);
+
+  FailureDetectorOptions detect;
+  detect.check_interval = 10 * kMillisecond;
+  detect.timeout = 40 * kMillisecond;
+  detect.backoff = 50 * kMillisecond;
+
+  FaultPlan plan;
+  plan.crashes.push_back({.at = 150 * kMillisecond, .unit = 2});
+
+  ParallelFaultRun run = RunParallel(options, stream, {}, nullptr, &detect,
+                                     &plan);
+
+  EXPECT_GE(run.stats.crashes, 1u);
+  EXPECT_GE(run.stats.recoveries, 1u);
+  EXPECT_GE(run.stats.respawns, 1u);
+  ASSERT_GE(run.detections.size(), 1u);
+  bool planned_victim_detected = false;
+  for (const DetectionEvent& detection : run.detections) {
+    if (detection.failed_unit == 2u) {
+      planned_victim_detected = true;
+      EXPECT_GE(detection.silence_ns, detect.timeout);
+    }
+  }
+  EXPECT_TRUE(planned_victim_detected);
+  // Measured wall latencies: the crash cannot be detected before the
+  // silence bound has elapsed, and a caught-up recovery takes nonzero wall
+  // time. Upper bounds are generous (loaded CI machines).
+  EXPECT_GT(run.stats.detection_latency_max_ns, SimTime{10 * kMillisecond});
+  EXPECT_LT(run.stats.detection_latency_max_ns, SimTime{2 * kSecond});
+  EXPECT_GT(run.stats.recovery_wall_max_ns, SimTime{0});
+  EXPECT_TRUE(run.check.Clean()) << run.check.ToString();
+}
+
+// Cross-backend fault equivalence: the same seeded crash produces the
+// oracle's exact multiset on both backends. Clean against the same oracle
+// on both sides means the simulated recovery and the real-thread recovery
+// computed identical result sets.
+TEST(ParallelFaultTest, FaultEquivalenceAcrossBackends) {
+  SyntheticSource source(FaultWorkload(3000, 35));
+  std::vector<TimedTuple> stream = DrainSource(&source);
+
+  // Sim: virtual-time plan, virtual detector cadences.
+  BicliqueOptions sim_options = FaultTolerantOptions(16);
+  sim_options.backend = runtime::BackendKind::kSim;
+  sim_options.event_time_dilation = 1.0;
+  CheckReport sim_check;
+  uint64_t sim_results = 0;
+  {
+    EventLoop loop;
+    CollectorSink sink(/*check=*/true);
+    BicliqueEngine engine(&loop, sim_options, &sink);
+    FaultPlan plan;
+    plan.crashes.push_back({.at = 1500 * kMillisecond, .unit = 1});
+    FaultInjector injector(
+        &loop, plan, [&engine](const FaultPlan::Crash& crash, uint64_t draw) {
+          return engine.InjectCrash(crash, draw);
+        });
+    FailureDetectorOptions detect;
+    detect.check_interval = 20 * kMillisecond;
+    detect.timeout = 60 * kMillisecond;
+    detect.backoff = 100 * kMillisecond;
+    FailureDetector detector(&engine, detect);
+    injector.Start();
+    detector.Start();
+    engine.Start();
+    for (const TimedTuple& tt : stream) {
+      loop.RunUntil(tt.arrival);
+      engine.InjectNow(tt.tuple);
+    }
+    engine.FlushAndStop();
+    loop.RunUntilIdle();
+    sim_check = sink.checker().Check(stream, sim_options.predicate,
+                                     sim_options.window);
+    sim_results = sink.count();
+    EXPECT_EQ(engine.Stats().crashes, 1u);
+  }
+  EXPECT_TRUE(sim_check.Clean()) << sim_check.ToString();
+
+  // Parallel: the same crash anchored deterministically at the equivalent
+  // stream position (tuple ~1500 of 3000 ≈ t=1.5 s virtual).
+  BicliqueOptions par_options = FaultTolerantOptions(16);
+  std::map<size_t, std::function<void()>> actions;
+  BicliqueEngine* engine = nullptr;
+  actions[1500] = [&engine] {
+    ASSERT_TRUE(engine->CrashJoiner(1).ok());
+    ASSERT_TRUE(engine->RecoverUnit(1).ok());
+  };
+  ParallelFaultRun par = RunParallel(par_options, stream, actions, &engine);
+  EXPECT_EQ(par.stats.crashes, 1u);
+  EXPECT_TRUE(par.check.Clean()) << par.check.ToString();
+
+  // Both Clean against the same oracle => identical multisets.
+  EXPECT_EQ(par.check.expected, sim_check.expected);
+  EXPECT_EQ(par.check.produced, sim_check.produced);
+  EXPECT_GT(sim_results, 0u);
+}
+
+}  // namespace
+}  // namespace bistream

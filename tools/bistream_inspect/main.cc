@@ -12,6 +12,9 @@
 //   --max_errors=0         health: max tolerated invariant violations
 //   --max_peak_busy=0      health: cap on any node's busy fraction
 //                          (0 disables the check)
+//   --max_detection_ms=0   health: cap on the worst measured crash
+//                          detection latency (0 disables; only meaningful
+//                          for wall-clock artifacts with faults)
 //   --stage_ratio=1.5      diff: a stage regressed when its total virtual
 //                          time grew by at least this factor ...
 //   --share_delta=0.05     ... and its share of busy time grew by at least
@@ -23,6 +26,7 @@
 // 2 malformed input or usage error. The tier-1 inspect smoke test drives
 // all three.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -37,7 +41,8 @@ namespace {
 
 struct Thresholds {
   double max_errors = 0;
-  double max_peak_busy = 0;  // 0 = disabled
+  double max_peak_busy = 0;   // 0 = disabled
+  double max_detection_ms = 0;  // 0 = disabled
   double stage_ratio = 1.5;
   double share_delta = 0.05;
   double latency_ratio = 1.5;
@@ -65,6 +70,17 @@ struct ArtifactSummary {
   std::string peak_busy_scope;
   double mean_throughput_tps = 0;
   double mean_p99_ns = 0;
+  /// Fault-recovery telemetry, summed (counters) / maxed (latencies) over
+  /// runs. All zero for fault-free artifacts.
+  double crashes = 0;
+  double recoveries = 0;
+  double respawns = 0;
+  double suppressed_duplicates = 0;
+  double detection_latency_max_ns = 0;
+  double recovery_wall_max_ns = 0;
+  /// True when any run was wall-measured (backend "parallel"): recoveries
+  /// there must come with real worker-thread respawns.
+  bool wall_measured = false;
 };
 
 /// Parses and validates one artifact. Returns non-OK for anything the
@@ -157,6 +173,24 @@ Result<ArtifactSummary> Summarize(const JsonValue& artifact,
     if (const JsonValue* latency = report->Find("latency")) {
       p99_sum += NumberOr(latency->Find("p99_ns"), 0);
     }
+    if (const JsonValue* backend = report->Find("backend")) {
+      if (backend->is_string() && backend->AsString() == "parallel") {
+        out.wall_measured = true;
+      }
+    }
+    if (const JsonValue* engine = report->Find("engine")) {
+      out.crashes += NumberOr(engine->Find("crashes"), 0);
+      out.recoveries += NumberOr(engine->Find("recoveries"), 0);
+      out.respawns += NumberOr(engine->Find("respawns"), 0);
+      out.suppressed_duplicates +=
+          NumberOr(engine->Find("suppressed_duplicates"), 0);
+      out.detection_latency_max_ns =
+          std::max(out.detection_latency_max_ns,
+                   NumberOr(engine->Find("detection_latency_ns"), 0));
+      out.recovery_wall_max_ns =
+          std::max(out.recovery_wall_max_ns,
+                   NumberOr(engine->Find("recovery_wall_ns"), 0));
+    }
   }
   out.mean_throughput_tps = throughput_sum / static_cast<double>(out.runs);
   out.mean_p99_ns = p99_sum / static_cast<double>(out.runs);
@@ -207,6 +241,32 @@ int AnalyzeHealth(const ArtifactSummary& s, const Thresholds& t,
     PrintStageTable(s);
     std::printf("  peak node busy fraction: %.3f (%s)\n",
                 s.peak_busy_fraction, s.peak_busy_scope.c_str());
+    if (s.crashes > 0) {
+      std::printf(
+          "  fault recovery: %.0f crash(es), %.0f recovered, "
+          "%.0f worker respawn(s)\n",
+          s.crashes, s.recoveries, s.respawns);
+      std::printf(
+          "    detection latency max: %.1f ms, recovery wall max: %.1f ms, "
+          "replay duplicates suppressed: %.0f\n",
+          s.detection_latency_max_ns / 1e6, s.recovery_wall_max_ns / 1e6,
+          s.suppressed_duplicates);
+    }
+  }
+  // A wall-clock recovery without a worker respawn means the replacement
+  // never got a real thread — the recovery protocol "succeeded" on a dead
+  // unit. Never legal, so no threshold to tune.
+  if (s.wall_measured && s.recoveries > 0 && s.respawns <= 0) {
+    std::printf(
+        "BREACH: %.0f wall-clock recover(ies) but zero worker respawns\n",
+        s.recoveries);
+    ++breaches;
+  }
+  if (t.max_detection_ms > 0 &&
+      s.detection_latency_max_ns > t.max_detection_ms * 1e6) {
+    std::printf("BREACH: crash detection took %.1f ms, tolerated %.1f ms\n",
+                s.detection_latency_max_ns / 1e6, t.max_detection_ms);
+    ++breaches;
   }
   if (s.diagnostic_errors > t.max_errors) {
     std::printf("BREACH: %.0f invariant violation(s), tolerated %.0f\n",
@@ -283,7 +343,8 @@ int AnalyzeDiff(const ArtifactSummary& base, const ArtifactSummary& cand,
 
 // ------------------------------------------------------------ self check --
 
-JsonValue MakeSyntheticRun(double store_ns, double probe_ns, double errors) {
+JsonValue MakeSyntheticRun(double store_ns, double probe_ns, double errors,
+                           double recoveries = 0, double respawns = 0) {
   JsonValue stages = JsonValue::Object();
   stages.Set("store", JsonValue::Number(store_ns));
   stages.Set("probe", JsonValue::Number(probe_ns));
@@ -323,6 +384,18 @@ JsonValue MakeSyntheticRun(double store_ns, double probe_ns, double errors) {
   report.Set("profile", std::move(profile));
   report.Set("throughput_tps", JsonValue::Number(1000.0));
   report.Set("latency", std::move(latency));
+  if (recoveries > 0) {
+    // A faulted wall-clock run: crashes + recoveries in the engine stats.
+    JsonValue engine = JsonValue::Object();
+    engine.Set("crashes", JsonValue::Number(recoveries));
+    engine.Set("recoveries", JsonValue::Number(recoveries));
+    engine.Set("respawns", JsonValue::Number(respawns));
+    engine.Set("detection_latency_ns", JsonValue::Number(5e7));
+    engine.Set("recovery_wall_ns", JsonValue::Number(1e8));
+    engine.Set("suppressed_duplicates", JsonValue::Number(0));
+    report.Set("engine", std::move(engine));
+    report.Set("backend", JsonValue::String("parallel"));
+  }
 
   JsonValue run = JsonValue::Object();
   run.Set("params", JsonValue::Object());
@@ -331,9 +404,11 @@ JsonValue MakeSyntheticRun(double store_ns, double probe_ns, double errors) {
 }
 
 JsonValue MakeSyntheticArtifact(double store_ns, double probe_ns,
-                                double errors) {
+                                double errors, double recoveries = 0,
+                                double respawns = 0) {
   JsonValue runs = JsonValue::Array();
-  runs.Push(MakeSyntheticRun(store_ns, probe_ns, errors));
+  runs.Push(MakeSyntheticRun(store_ns, probe_ns, errors, recoveries,
+                             respawns));
   JsonValue artifact = JsonValue::Object();
   artifact.Set("experiment", JsonValue::String("self-check"));
   artifact.Set("runs", std::move(runs));
@@ -380,6 +455,26 @@ int SelfCheck(const Thresholds& t) {
              cand_store / base_store < t.stage_ratio,
          "regression attributes to the probe stage only");
 
+  // Recovery verdicts: a recovered wall-clock run reads healthy, the same
+  // run with no worker respawn breaches, and a slow detection trips the
+  // --max_detection_ms cap.
+  JsonValue recovered = MakeSyntheticArtifact(10000, 20000, 0, 1, 1);
+  JsonValue respawnless = MakeSyntheticArtifact(10000, 20000, 0, 1, 0);
+  Result<ArtifactSummary> recovered_summary = Summarize(recovered, "rec");
+  Result<ArtifactSummary> respawnless_summary =
+      Summarize(respawnless, "norespawn");
+  Expect(recovered_summary.ok() && respawnless_summary.ok(),
+         "faulted artifacts summarize");
+  if (g_failures > 0) return 1;
+  Expect(AnalyzeHealth(*recovered_summary, t, false) == 0,
+         "recovered wall-clock run reads healthy");
+  Expect(AnalyzeHealth(*respawnless_summary, t, false) > 0,
+         "recovery without worker respawn breaches health");
+  Thresholds strict = t;
+  strict.max_detection_ms = 10;  // Synthetic detection latency is 50 ms.
+  Expect(AnalyzeHealth(*recovered_summary, strict, false) > 0,
+         "slow detection breaches --max_detection_ms");
+
   JsonValue malformed = JsonValue::Object();
   malformed.Set("experiment", JsonValue::String("x"));
   Expect(!Summarize(malformed, "malformed").ok(),
@@ -399,6 +494,8 @@ int Main(int argc, char** argv) {
   Thresholds t;
   t.max_errors = config.GetDouble("max_errors", t.max_errors);
   t.max_peak_busy = config.GetDouble("max_peak_busy", t.max_peak_busy);
+  t.max_detection_ms =
+      config.GetDouble("max_detection_ms", t.max_detection_ms);
   t.stage_ratio = config.GetDouble("stage_ratio", t.stage_ratio);
   t.share_delta = config.GetDouble("share_delta", t.share_delta);
   t.latency_ratio = config.GetDouble("latency_ratio", t.latency_ratio);
