@@ -56,6 +56,15 @@ inline void ApplyTelemetryFlags(const Config& config,
       static_cast<SimTime>(config.GetInt("sample_ms", 50)) * kMillisecond;
   options->telemetry.trace_every =
       static_cast<uint64_t>(config.GetInt("trace_every", 32));
+  // --timeline_out=PATH turns the execution-timeline recorder on and names
+  // the Chrome trace-event file the reporter writes at Finish(). Off by
+  // default: with no recorder installed the hot paths take a single
+  // null-check and record nothing (see DESIGN.md §12).
+  options->telemetry.timeline =
+      !config.GetString("timeline_out", "").empty();
+  options->telemetry.timeline_ring = static_cast<size_t>(
+      config.GetInt("timeline_ring",
+                    static_cast<int64_t>(options->telemetry.timeline_ring)));
 }
 
 /// \brief Applies the runtime-backend flags: `--backend=sim|parallel`
@@ -99,6 +108,7 @@ class BenchReporter {
       : experiment_(experiment),
         path_(config.GetString("json_out",
                                "BENCH_" + experiment + ".json")),
+        timeline_path_(config.GetString("timeline_out", "")),
         runs_(JsonValue::Array()) {}
 
   /// \brief Records one sweep point with numeric parameters, e.g.
@@ -118,6 +128,24 @@ class BenchReporter {
     run.Set("params", std::move(params));
     run.Set("report", report.ToJson());
     runs_.Push(std::move(run));
+    if (report.timeline_recorder != nullptr) {
+      // Keep one trace for --timeline_out: the first crashed run (the
+      // flight-recorder postmortem is the interesting artifact), else the
+      // first run that recorded a timeline at all. timeline_trace() folds
+      // lazily, so only the runs actually kept pay for serialization.
+      bool crashed = report.engine.crashes > 0;
+      if (timeline_trace_ == nullptr || (crashed && !timeline_crashed_)) {
+        timeline_trace_ = report.timeline_trace();
+        timeline_crashed_ = crashed;
+      }
+      // Dropped events are reported, never silent (ISSUE §satellites).
+      const JsonValue* dropped = report.timeline.Find("events_dropped");
+      if (dropped != nullptr && dropped->AsNumber() > 0) {
+        BISTREAM_LOG(Warning)
+            << "timeline dropped " << dropped->AsNumber()
+            << " events (ring wrapped); raise --timeline_ring";
+      }
+    }
   }
 
   /// \brief Attaches an extra top-level field (capacities, notes, ...).
@@ -142,13 +170,31 @@ class BenchReporter {
       BISTREAM_LOG(Warning) << "failed to write " << path_ << ": "
                             << status.ToString();
     }
+    if (!timeline_path_.empty()) {
+      if (timeline_trace_ != nullptr) {
+        Status trace_status = WriteJsonFile(timeline_path_, *timeline_trace_);
+        if (trace_status.ok()) {
+          std::printf("timeline trace: %s (open in chrome://tracing)\n",
+                      timeline_path_.c_str());
+        } else {
+          BISTREAM_LOG(Warning) << "failed to write " << timeline_path_
+                                << ": " << trace_status.ToString();
+        }
+      } else {
+        BISTREAM_LOG(Warning)
+            << "--timeline_out set but no run recorded a timeline";
+      }
+    }
   }
 
  private:
   std::string experiment_;
   std::string path_;
+  std::string timeline_path_;
   std::vector<std::pair<std::string, JsonValue>> extra_;
   JsonValue runs_;
+  std::shared_ptr<const JsonValue> timeline_trace_;
+  bool timeline_crashed_ = false;
 };
 
 /// \brief Applies --cost_* overrides to a cost model (sensitivity knobs).

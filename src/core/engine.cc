@@ -155,6 +155,20 @@ void BicliqueEngine::Init() {
 
   tracer_ = std::make_unique<TupleTracer>(options_.telemetry.trace_every);
   tracer_->SetConcurrent(exec_->concurrent());
+  if (options_.telemetry.timeline) {
+    TimelineRecorder::Options timeline_options;
+    timeline_options.ring_capacity = options_.telemetry.timeline_ring;
+    timeline_ = std::make_shared<TimelineRecorder>(timeline_options);
+    // Installed before any AddUnit call so every lane registers its name
+    // and worker threads see the sink from their first event on. Ownership
+    // is shared: the executor may be caller-owned and outlive this engine,
+    // and its parked workers hold the recorder pointer across their
+    // instrumented waits, so the recorder must live as long as the
+    // executor's threads.
+    exec_->SetTimeline(timeline_);
+    timeline_->SetLaneName(runtime::kDriverLane, "driver");
+    timeline_->SetLaneName(runtime::kTimerLane, "timers");
+  }
   TelemetrySamplerOptions sampler_options;
   sampler_options.sample_period = options_.telemetry.sample_period;
   // On a concurrent backend the sampler paces itself on a dedicated
@@ -219,6 +233,8 @@ void BicliqueEngine::Init() {
     router_options.retain_for_replay = options_.fault_tolerance.enabled;
     router_options.cost = options_.cost;
     router_options.tracer = tracer_.get();
+    router_options.timeline = timeline_.get();
+    router_options.timeline_lane = node->id();
     // The punctuation cadence runs on the router unit's own clock, so the
     // tick executes in the unit's context on every backend (the event loop
     // under sim, the unit's worker thread under parallel).
@@ -778,6 +794,11 @@ void BicliqueEngine::OnCheckpoint(uint32_t unit, uint64_t round,
   BISTREAM_LOG(Debug) << "checkpoint: unit " << unit << " round " << round
                       << " (" << tuples.size() << " tuples)";
   ckpt_store_.Put(unit, round, std::move(tuples));
+  // On the joiner's own lane: under parallel this runs on its worker
+  // thread, under sim inside its handler's lane scope.
+  runtime::TimelineRecord(timeline_.get(),
+                          runtime::TimelineEventType::kCheckpoint,
+                          clock_->now(), round);
   // Acknowledged: the routers no longer need this unit's log up to `round`.
   for (auto& router : routers_) {
     router->NoteCheckpoint(unit, round);
@@ -813,6 +834,9 @@ Status BicliqueEngine::CrashJoiner(uint32_t unit_id) {
     ++crashes_;
     crash_times_[unit_id] = crash_time;
   }
+  runtime::TimelineRecord(timeline_.get(),
+                          runtime::TimelineEventType::kCrash, crash_time,
+                          unit_id);
   metrics_
       .GetCounter(MetricsRegistry::ScopedName("joiner", unit_id, "crashed"))
       ->Increment();
@@ -882,6 +906,10 @@ Result<uint32_t> BicliqueEngine::RecoverUnit(uint32_t failed_unit) {
     RETURN_NOT_OK(topology_.MarkFailed(failed_unit));
   }
 
+  runtime::TimelineRecord(timeline_.get(),
+                          runtime::TimelineEventType::kDetect, detected_at,
+                          failed_unit);
+
   // The restore point decides the replay span: a checkpoint tagged C holds
   // exactly rounds <= C, so replay resumes at C+1; with no checkpoint the
   // whole history since the unit's first round is replayed.
@@ -932,6 +960,10 @@ Result<uint32_t> BicliqueEngine::RecoverUnit(uint32_t failed_unit) {
     }
   }
 
+  runtime::TimelineRecord(timeline_.get(),
+                          runtime::TimelineEventType::kRespawn,
+                          clock_->now(), replacement);
+
   RecoveryEvent event;
   event.crashed_at = crashed_at;
   event.detected_at = detected_at;
@@ -970,6 +1002,16 @@ Result<uint32_t> BicliqueEngine::RecoverUnit(uint32_t failed_unit) {
   // gone (trimmed on the original NoteCheckpoint), so a chained crash of
   // the replacement can only recover from here.
   ckpt_store_.Retag(failed_unit, replacement);
+
+  // Flight-recorder postmortem: snapshot every thread's ring now, with the
+  // crash, detection, and respawn events all landed, while workers keep
+  // running (the snapshot discards — never tears — slots being rewritten).
+  if (timeline_ != nullptr) {
+    timeline_->AddFlightDump("recovery: unit " +
+                                 std::to_string(failed_unit) + " -> " +
+                                 std::to_string(replacement),
+                             timeline_->FlightSnapshot());
+  }
   return replacement;
 }
 
@@ -1049,6 +1091,14 @@ void BicliqueEngine::FinalizeDiagnostics() {
   // trace buffers into the spans. Both are idempotent no-ops under sim.
   sampler_->Stop();
   tracer_->MergeThreadBuffers();
+  if (timeline_ != nullptr && timeline_summary_.is_null()) {
+    // Freeze the artifact summary (ring-cursor reads, a few loads per
+    // lane). The full Chrome trace is NOT built here: folding and
+    // serializing a few hundred thousand ring slots is real CPU, so it
+    // happens lazily in RunReport::timeline_trace(), outside anything the
+    // run's makespan or an overhead bound could charge.
+    timeline_summary_ = timeline_->SummaryJson();
+  }
   if (diagnoser_ == nullptr || diagnoser_->finalized()) return;
   EngineStats stats = Stats();
   FinalCounters counters;

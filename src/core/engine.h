@@ -33,6 +33,7 @@
 #include "obs/diagnose/diagnoser.h"
 #include "obs/metrics.h"
 #include "obs/time_series.h"
+#include "obs/timeline/timeline.h"
 #include "obs/trace.h"
 #include "runtime/executor.h"
 #include "sim/fault.h"
@@ -138,6 +139,16 @@ struct BicliqueOptions {
     DetectorOptions detectors;
     /// Invariant violations abort instead of only logging kError (tests).
     bool strict_audit = false;
+    /// Execution-timeline recorder (DESIGN.md §12): per-thread event rings
+    /// capturing task/wait/block spans and lifecycle instants, folded
+    /// post-run into a Chrome trace-event document. Off by default; when
+    /// off the executors' hot paths see a null sink (one branch, nothing
+    /// else — the zero-perturbation contract).
+    bool timeline = false;
+    /// Events retained per recording thread. Small values turn the
+    /// recorder into a flight recorder: the ring keeps only the newest
+    /// events, and a crash recovery snapshots them as a postmortem dump.
+    size_t timeline_ring = 32768;
   };
   TelemetryOptions telemetry;
 
@@ -321,6 +332,18 @@ class BicliqueEngine {
   /// \brief The per-tuple tracer (disabled unless telemetry.trace_every).
   const TupleTracer& tracer() const { return *tracer_; }
 
+  /// \brief The execution-timeline recorder (null unless
+  /// telemetry.timeline). Shared — the harness keeps it alive past the
+  /// engine so the Chrome trace can be folded lazily, after the measured
+  /// run, only when something actually wants the document.
+  std::shared_ptr<const TimelineRecorder> timeline_recorder() const {
+    return timeline_;
+  }
+
+  /// \brief Timeline artifact summary, frozen by FinalizeDiagnostics
+  /// (JSON null when recording was off). Cheap: ring-cursor reads only.
+  const JsonValue& timeline_summary() const { return timeline_summary_; }
+
   /// \brief The diagnosis layer (null when telemetry.diagnostics is off).
   /// Online consumers: the autoscaler reads SmoothedBusyFraction, the
   /// failure detector reads HeartbeatSilence, both falling back to their
@@ -459,6 +482,13 @@ class BicliqueEngine {
   std::unique_ptr<TupleTracer> tracer_;
   std::unique_ptr<TelemetrySampler> sampler_;
   std::unique_ptr<Diagnoser> diagnoser_;
+  /// Shared with the executor: a worker thread parked in an instrumented
+  /// wait holds the recorder pointer across the park, so the executor keeps
+  /// its own reference until its threads are joined (see
+  /// Executor::SetTimeline).
+  std::shared_ptr<TimelineRecorder> timeline_;
+  /// Frozen by FinalizeDiagnostics (JSON null when recording off).
+  JsonValue timeline_summary_;
 };
 
 }  // namespace bistream

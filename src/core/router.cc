@@ -124,6 +124,10 @@ void Router::AdvanceRound() {
     pending_replays_.erase(range.first, range.second);
   }
   if (new_view != nullptr) view_ = std::move(new_view);
+  if (options_.timeline != nullptr) {
+    options_.timeline->Record(runtime::TimelineEventType::kPunctRound,
+                              clock_->now(), options_.timeline_lane, round);
+  }
   for (const ReplayRequest& request : replays) {
     SendReplay(request, round);
   }
@@ -187,6 +191,11 @@ bool Router::RemapReplaysLocked(uint32_t dead_replacement,
 
 void Router::SendReplay(const ReplayRequest& request,
                         uint64_t activation_round) {
+  if (options_.timeline != nullptr) {
+    options_.timeline->Record(runtime::TimelineEventType::kReplay,
+                              clock_->now(), options_.timeline_lane,
+                              request.replacement_unit);
+  }
   // Move the failed unit's log out under the lock, send unlocked (the
   // replacement's inbox can exert backpressure). Re-logging each copy under
   // the replacement goes through LogCopy, which re-takes the lock per call.

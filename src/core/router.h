@@ -25,6 +25,7 @@
 #include "core/topology.h"
 #include "obs/trace.h"
 #include "runtime/clock.h"
+#include "runtime/timeline.h"
 #include "runtime/cost_model.h"
 #include "runtime/message.h"
 
@@ -54,6 +55,12 @@ struct RouterOptions {
   /// Optional per-tuple tracer (engine-owned; may be null or disabled).
   /// Records the route hop of sampled tuples; charges no virtual time.
   TupleTracer* tracer = nullptr;
+  /// Optional execution-timeline sink (engine-owned; may be null) and the
+  /// lane — this router's *unit* id, not router_id — its control events
+  /// (punctuation rounds, replays) land on. Explicit because under sim the
+  /// punctuation tick runs outside any handler's lane scope.
+  runtime::TimelineSink* timeline = nullptr;
+  uint32_t timeline_lane = runtime::kDriverLane;
 };
 
 /// \brief Per-router statistics. RelaxedCells: written only by the router's

@@ -48,6 +48,19 @@ void RunReport::CaptureTelemetry(BicliqueEngine& engine_ref) {
     diagnostics = engine_ref.diagnoser()->DiagnosticsJson();
     profile = engine_ref.diagnoser()->ProfileJson();
   }
+  timeline = engine_ref.timeline_summary();
+  timeline_recorder = engine_ref.timeline_recorder();
+}
+
+std::shared_ptr<const JsonValue> RunReport::timeline_trace() const {
+  if (timeline_trace_cache_ == nullptr && timeline_recorder != nullptr) {
+    // First ask: fold the (now quiescent) rings into the globally ordered
+    // timeline and serialize. Post-run work by construction — the engine
+    // and its threads are long gone; only the shared recorder survives.
+    timeline_trace_cache_ = std::make_shared<const JsonValue>(
+        timeline_recorder->ToChromeTrace(timeline_recorder->Fold(), backend));
+  }
+  return timeline_trace_cache_;
 }
 
 JsonValue RunReport::ToJson() const {
@@ -149,6 +162,9 @@ JsonValue RunReport::ToJson() const {
     empty.Set("nodes", JsonValue::Array());
     out.Set("profile", std::move(empty));
   }
+  // Timeline summary follows the wall-field convention: an object when the
+  // run recorded one, an explicit null otherwise.
+  out.Set("timeline", timeline.is_object() ? timeline : JsonValue::Null());
   return out;
 }
 

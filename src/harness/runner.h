@@ -63,6 +63,23 @@ struct RunReport {
   /// artifact (matrix runs included) carries both keys.
   JsonValue diagnostics;
   JsonValue profile;
+  /// Execution-timeline summary (see DESIGN.md §12): events recorded /
+  /// dropped and per-thread ring high-water marks. Stays Null when the run
+  /// did not record a timeline; ToJson() then emits an explicit null so
+  /// dropped events are reported, never silently absent.
+  JsonValue timeline;
+  /// The run's timeline recorder, shared past the engine's lifetime (null
+  /// when the timeline was off). The Chrome trace-event document is folded
+  /// from it lazily by timeline_trace() — deliberately NOT during the run,
+  /// so serializing a few hundred thousand events never lands inside the
+  /// measured makespan or the micro_obs overhead bound.
+  std::shared_ptr<const TimelineRecorder> timeline_recorder;
+
+  /// \brief The full Chrome trace-event document (chrome://tracing
+  /// format), folded on first call and cached. Null when the timeline was
+  /// off; the bench reporter writes it to --timeline_out rather than
+  /// embedding it in the artifact.
+  std::shared_ptr<const JsonValue> timeline_trace() const;
 
   /// \brief Copies the engine's telemetry (time series, breakdown, span
   /// count, diagnosis sections) into this report, finalizing the end-of-run
@@ -74,6 +91,10 @@ struct RunReport {
   /// check outcome, time series, and latency breakdown — for the
   /// BENCH_*.json artifacts (see DESIGN.md §9).
   JsonValue ToJson() const;
+
+ private:
+  /// timeline_trace() memo (the fold is deterministic, so caching is safe).
+  mutable std::shared_ptr<const JsonValue> timeline_trace_cache_;
 };
 
 /// \brief Runs a synthetic workload through a biclique engine built from

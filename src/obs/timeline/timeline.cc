@@ -1,0 +1,425 @@
+#include "obs/timeline/timeline.h"
+
+#include <algorithm>
+
+namespace bistream {
+
+namespace {
+
+std::atomic<uint64_t> g_timeline_serial{0};
+
+using runtime::TimelineEventType;
+
+/// Chrome tids: unit lanes keep their id; the pseudo-lanes map to readable
+/// high numbers so they sort after every real unit in the trace viewer.
+uint64_t LaneTid(uint32_t lane) {
+  if (lane == runtime::kDriverLane) return 1000000;
+  if (lane == runtime::kTimerLane) return 1000001;
+  return lane;
+}
+
+bool IsBegin(TimelineEventType type) {
+  return type == TimelineEventType::kTaskBegin ||
+         type == TimelineEventType::kDequeueWaitBegin ||
+         type == TimelineEventType::kSenderBlock;
+}
+
+bool IsEnd(TimelineEventType type) {
+  return type == TimelineEventType::kTaskEnd ||
+         type == TimelineEventType::kDequeueWaitEnd ||
+         type == TimelineEventType::kSenderWake;
+}
+
+/// Span name shared by a Begin/End pair (the End variants reuse the Begin
+/// name so Chrome's LIFO matching sees one duration event).
+const char* SpanName(TimelineEventType type) {
+  switch (type) {
+    case TimelineEventType::kTaskBegin:
+    case TimelineEventType::kTaskEnd:
+      return "task";
+    case TimelineEventType::kDequeueWaitBegin:
+    case TimelineEventType::kDequeueWaitEnd:
+      return "dequeue_wait";
+    case TimelineEventType::kSenderBlock:
+    case TimelineEventType::kSenderWake:
+      return "blocked_send";
+    default:
+      return runtime::TimelineEventName(type);
+  }
+}
+
+JsonValue EventJson(const TimelineEvent& event) {
+  JsonValue object = JsonValue::Object();
+  object.Set("at", JsonValue::Number(event.at));
+  object.Set("lane", JsonValue::Number(static_cast<uint64_t>(event.lane)));
+  object.Set("type",
+             JsonValue::String(runtime::TimelineEventName(event.type)));
+  object.Set("arg", JsonValue::Number(event.arg));
+  return object;
+}
+
+}  // namespace
+
+TimelineRecorder::TimelineRecorder(Options options)
+    : capacity_(options.ring_capacity == 0 ? 1 : options.ring_capacity),
+      serial_(g_timeline_serial.fetch_add(1)) {}
+
+TimelineRecorder::Ring* TimelineRecorder::LocalRing() {
+  // Same single-slot TLS cache the tuple tracer uses: one recorder is live
+  // at a time in practice, so after the first event a thread records, every
+  // later Record() is a pair of thread-local loads away from its ring.
+  thread_local uint64_t fast_serial = ~0ULL;
+  thread_local Ring* fast_ring = nullptr;
+  if (fast_serial == serial_) return fast_ring;
+  struct CacheEntry {
+    uint64_t serial;
+    Ring* ring;
+  };
+  thread_local std::unordered_map<const TimelineRecorder*, CacheEntry> cache;
+  auto it = cache.find(this);
+  if (it != cache.end() && it->second.serial == serial_) {
+    fast_serial = serial_;
+    fast_ring = it->second.ring;
+    return fast_ring;
+  }
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  rings_.push_back(std::make_unique<Ring>(capacity_, rings_.size()));
+  Ring* ring = rings_.back().get();
+  cache[this] = CacheEntry{serial_, ring};
+  fast_serial = serial_;
+  fast_ring = ring;
+  return ring;
+}
+
+void TimelineRecorder::Record(runtime::TimelineEventType type, SimTime at,
+                              uint32_t lane, uint64_t arg) {
+  Ring* ring = LocalRing();
+  uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[head % capacity_];
+  slot.at.store(at);
+  slot.arg.store(arg);
+  slot.lane.store(lane);
+  slot.type.store(static_cast<uint32_t>(type));
+  // Publish after the slot: a reader that observes this head knows every
+  // slot below it is complete.
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void TimelineRecorder::SetLaneName(uint32_t lane, const std::string& name) {
+  std::lock_guard<std::mutex> lk(names_mu_);
+  lane_names_[lane] = name;
+}
+
+void TimelineRecorder::SnapshotRing(const Ring& ring, bool concurrent,
+                                    std::vector<TimelineEvent>* out) const {
+  uint64_t h1 = ring.head.load(std::memory_order_acquire);
+  uint64_t lo = h1 > capacity_ ? h1 - capacity_ : 0;
+  if (concurrent) {
+    // Copy first, then re-read the head: any sequence whose slot the writer
+    // could have been rewriting during the copy window [h1, h2] is
+    // discarded (its copied fields are tear-free individually but may mix
+    // two events). seq s is safe iff its next overwrite, s + capacity, had
+    // not started by h2 — i.e. s + capacity > h2.
+    std::vector<TimelineEvent> copied;
+    copied.reserve(h1 - lo);
+    for (uint64_t seq = lo; seq < h1; ++seq) {
+      const Slot& slot = ring.slots[seq % capacity_];
+      TimelineEvent event;
+      event.at = slot.at.load();
+      event.arg = slot.arg.load();
+      event.lane = slot.lane.load();
+      event.type = static_cast<runtime::TimelineEventType>(slot.type.load());
+      event.ring_serial = ring.serial;
+      event.seq = seq;
+      copied.push_back(event);
+    }
+    uint64_t h2 = ring.head.load(std::memory_order_acquire);
+    uint64_t safe_lo = h2 >= capacity_ ? h2 - capacity_ + 1 : 0;
+    for (TimelineEvent& event : copied) {
+      if (event.seq >= safe_lo) out->push_back(event);
+    }
+    return;
+  }
+  for (uint64_t seq = lo; seq < h1; ++seq) {
+    const Slot& slot = ring.slots[seq % capacity_];
+    TimelineEvent event;
+    event.at = slot.at.load();
+    event.arg = slot.arg.load();
+    event.lane = slot.lane.load();
+    event.type = static_cast<runtime::TimelineEventType>(slot.type.load());
+    event.ring_serial = ring.serial;
+    event.seq = seq;
+    out->push_back(event);
+  }
+}
+
+namespace {
+void SortEvents(std::vector<TimelineEvent>* events) {
+  std::sort(events->begin(), events->end(),
+            [](const TimelineEvent& a, const TimelineEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.lane != b.lane) return a.lane < b.lane;
+              if (a.ring_serial != b.ring_serial) {
+                return a.ring_serial < b.ring_serial;
+              }
+              return a.seq < b.seq;
+            });
+}
+}  // namespace
+
+std::vector<TimelineEvent> TimelineRecorder::Fold() const {
+  std::vector<TimelineEvent> events;
+  {
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    for (const auto& ring : rings_) SnapshotRing(*ring, false, &events);
+  }
+  SortEvents(&events);
+  return events;
+}
+
+std::vector<TimelineEvent> TimelineRecorder::FlightSnapshot() const {
+  std::vector<TimelineEvent> events;
+  {
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    for (const auto& ring : rings_) SnapshotRing(*ring, true, &events);
+  }
+  SortEvents(&events);
+  return events;
+}
+
+void TimelineRecorder::AddFlightDump(const std::string& label,
+                                     std::vector<TimelineEvent> events) {
+  std::lock_guard<std::mutex> lk(dumps_mu_);
+  dumps_.emplace_back(label, std::move(events));
+}
+
+uint64_t TimelineRecorder::events_recorded() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t TimelineRecorder::events_dropped() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    if (head > capacity_) dropped += head - capacity_;
+  }
+  return dropped;
+}
+
+std::vector<uint64_t> TimelineRecorder::ring_hwms() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  std::vector<uint64_t> hwms;
+  hwms.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    hwms.push_back(std::min<uint64_t>(head, capacity_));
+  }
+  return hwms;
+}
+
+size_t TimelineRecorder::flight_dumps() const {
+  std::lock_guard<std::mutex> lk(dumps_mu_);
+  return dumps_.size();
+}
+
+JsonValue TimelineRecorder::SummaryJson() const {
+  JsonValue summary = JsonValue::Object();
+  summary.Set("events_recorded", JsonValue::Number(events_recorded()));
+  summary.Set("events_dropped", JsonValue::Number(events_dropped()));
+  JsonValue hwms = JsonValue::Array();
+  for (uint64_t hwm : ring_hwms()) hwms.Push(JsonValue::Number(hwm));
+  summary.Set("ring_hwm", std::move(hwms));
+  summary.Set("flight_dumps",
+              JsonValue::Number(static_cast<uint64_t>(flight_dumps())));
+  return summary;
+}
+
+JsonValue TimelineRecorder::ToChromeTrace(
+    const std::vector<TimelineEvent>& events,
+    const std::string& backend) const {
+  // Group per lane, preserving fold order within each lane.
+  std::map<uint32_t, std::vector<const TimelineEvent*>> lanes;
+  for (const TimelineEvent& event : events) {
+    lanes[event.lane].push_back(&event);
+  }
+
+  JsonValue trace_events = JsonValue::Array();
+  auto meta = [&trace_events](uint64_t tid, const std::string& name) {
+    JsonValue m = JsonValue::Object();
+    m.Set("ph", JsonValue::String("M"));
+    m.Set("name", JsonValue::String("thread_name"));
+    m.Set("pid", JsonValue::Number(0));
+    m.Set("tid", JsonValue::Number(tid));
+    JsonValue args = JsonValue::Object();
+    args.Set("name", JsonValue::String(name));
+    m.Set("args", std::move(args));
+    trace_events.Push(std::move(m));
+  };
+  {
+    std::lock_guard<std::mutex> lk(names_mu_);
+    for (const auto& [lane, lane_events] : lanes) {
+      (void)lane_events;
+      auto it = lane_names_.find(lane);
+      std::string name;
+      if (it != lane_names_.end()) {
+        name = it->second;
+      } else if (lane == runtime::kDriverLane) {
+        name = "driver";
+      } else if (lane == runtime::kTimerLane) {
+        name = "timers";
+      } else {
+        name = "unit-" + std::to_string(lane);
+      }
+      meta(LaneTid(lane), name);
+    }
+  }
+
+  auto emit = [&trace_events](const char* ph, const char* name, uint64_t tid,
+                              SimTime at, uint64_t arg, bool with_arg) {
+    JsonValue e = JsonValue::Object();
+    e.Set("ph", JsonValue::String(ph));
+    e.Set("name", JsonValue::String(name));
+    e.Set("pid", JsonValue::Number(0));
+    e.Set("tid", JsonValue::Number(tid));
+    e.Set("ts", JsonValue::Number(static_cast<double>(at) / 1000.0));
+    if (with_arg) {
+      JsonValue args = JsonValue::Object();
+      args.Set("arg", JsonValue::Number(arg));
+      e.Set("args", std::move(args));
+    }
+    trace_events.Push(std::move(e));
+  };
+
+  for (const auto& [lane, lane_events] : lanes) {
+    uint64_t tid = LaneTid(lane);
+    // A wrapped ring can open mid-span (its Begin overwritten) or a crash
+    // can cut a span short; sanitize so every lane is a coherent LIFO
+    // stack — stray Ends are skipped, unclosed Begins are closed at the
+    // lane's last timestamp.
+    std::vector<TimelineEventType> stack;
+    SimTime last_at = 0;
+    for (const TimelineEvent* event : lane_events) {
+      SimTime at = std::max(event->at, last_at);
+      last_at = at;
+      if (IsBegin(event->type)) {
+        stack.push_back(event->type);
+        emit("B", SpanName(event->type), tid, at, event->arg, true);
+      } else if (IsEnd(event->type)) {
+        if (stack.empty() ||
+            std::string(SpanName(stack.back())) != SpanName(event->type)) {
+          continue;  // Stray End: its Begin fell off the ring.
+        }
+        stack.pop_back();
+        emit("E", SpanName(event->type), tid, at, event->arg, false);
+      } else {
+        emit("i", SpanName(event->type), tid, at, event->arg, true);
+      }
+    }
+    while (!stack.empty()) {
+      emit("E", SpanName(stack.back()), tid, last_at, 0, false);
+      stack.pop_back();
+    }
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(trace_events));
+  doc.Set("displayTimeUnit", JsonValue::String("ms"));
+
+  JsonValue bistream = JsonValue::Object();
+  bistream.Set("backend", JsonValue::String(backend));
+  bistream.Set("summary", SummaryJson());
+  JsonValue dumps = JsonValue::Array();
+  {
+    std::lock_guard<std::mutex> lk(dumps_mu_);
+    for (const auto& [label, dump_events] : dumps_) {
+      JsonValue dump = JsonValue::Object();
+      dump.Set("label", JsonValue::String(label));
+      JsonValue list = JsonValue::Array();
+      for (const TimelineEvent& event : dump_events) {
+        list.Push(EventJson(event));
+      }
+      dump.Set("events", std::move(list));
+      dumps.Push(std::move(dump));
+    }
+  }
+  bistream.Set("flight_recorder", std::move(dumps));
+  doc.Set("bistream", std::move(bistream));
+  return doc;
+}
+
+Status ValidateChromeTrace(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("trace document is not a JSON object");
+  }
+  const JsonValue* trace_events = doc.Find("traceEvents");
+  if (trace_events == nullptr || !trace_events->is_array()) {
+    return Status::InvalidArgument("trace document has no traceEvents array");
+  }
+  struct LaneState {
+    std::vector<std::string> stack;
+    double last_ts = 0;
+    bool any = false;
+  };
+  std::map<double, LaneState> by_tid;
+  for (const JsonValue& event : trace_events->elements()) {
+    if (!event.is_object()) {
+      return Status::InvalidArgument("traceEvents entry is not an object");
+    }
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* name = event.Find("name");
+    if (ph == nullptr || !ph->is_string() || name == nullptr ||
+        !name->is_string()) {
+      return Status::InvalidArgument("trace event missing ph/name");
+    }
+    if (ph->AsString() == "M") continue;
+    const JsonValue* tid = event.Find("tid");
+    const JsonValue* ts = event.Find("ts");
+    if (tid == nullptr || !tid->is_number() || ts == nullptr ||
+        !ts->is_number()) {
+      return Status::InvalidArgument("trace event missing tid/ts");
+    }
+    LaneState& lane = by_tid[tid->AsNumber()];
+    if (lane.any && ts->AsNumber() < lane.last_ts) {
+      return Status::InvalidArgument(
+          "timestamps regress on tid " + std::to_string(tid->AsNumber()) +
+          " at ts " + std::to_string(ts->AsNumber()));
+    }
+    lane.last_ts = ts->AsNumber();
+    lane.any = true;
+    if (ph->AsString() == "B") {
+      lane.stack.push_back(name->AsString());
+    } else if (ph->AsString() == "E") {
+      if (lane.stack.empty()) {
+        return Status::InvalidArgument("unmatched span end '" +
+                                       name->AsString() + "' on tid " +
+                                       std::to_string(tid->AsNumber()));
+      }
+      if (lane.stack.back() != name->AsString()) {
+        return Status::InvalidArgument(
+            "span end '" + name->AsString() + "' does not match open '" +
+            lane.stack.back() + "' on tid " +
+            std::to_string(tid->AsNumber()));
+      }
+      lane.stack.pop_back();
+    } else if (ph->AsString() != "i" && ph->AsString() != "I") {
+      return Status::InvalidArgument("unsupported trace phase '" +
+                                     ph->AsString() + "'");
+    }
+  }
+  for (const auto& [tid, lane] : by_tid) {
+    if (!lane.stack.empty()) {
+      return Status::InvalidArgument(
+          "unclosed span '" + lane.stack.back() + "' on tid " +
+          std::to_string(tid));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bistream

@@ -1,0 +1,161 @@
+/// \file timeline.h
+/// \brief Execution timeline recorder: per-thread event rings, deterministic
+/// fold, Chrome trace-event export, and crash-time flight snapshots.
+///
+/// Implements runtime::TimelineSink (see src/runtime/timeline.h for the
+/// event model). Each recording thread owns one fixed-capacity SPSC ring:
+/// the thread is the only writer, slot fields are relaxed-atomic cells so
+/// cross-thread readers (the flight snapshot) see tear-free values, and the
+/// monotonic head cursor is released after the slot so a published head
+/// guarantees a complete slot. The ring wraps — it always retains the
+/// newest `capacity` events and counts what it overwrote, so the same
+/// mechanism serves both the full-timeline mode (ring sized to the run) and
+/// the bounded flight-recorder mode (small ring, last-N-events postmortem).
+///
+/// Two read paths:
+///   - Fold(): post-quiescence, writers stopped. Merges every ring into one
+///     globally ordered timeline: sort by (timestamp, lane, ring serial,
+///     sequence). The key is total, so two folds of the same rings are
+///     byte-identical, and a sim run (one ring, virtual timestamps) folds
+///     byte-identically across runs.
+///   - FlightSnapshot(): mid-run, writers live (the driver takes it inside
+///     recovery while workers keep recording). Per ring: read head h1
+///     (acquire), copy every slot (relaxed), read head h2 (acquire), then
+///     keep only sequences in (h2 - capacity, h1) — slots the writer cannot
+///     have touched during the copy. Honest and TSan-clean: racing events
+///     are dropped, never torn.
+
+#ifndef BISTREAM_OBS_TIMELINE_TIMELINE_H_
+#define BISTREAM_OBS_TIMELINE_TIMELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/relaxed.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "obs/json.h"
+#include "runtime/timeline.h"
+
+namespace bistream {
+
+/// \brief One event out of a fold or flight snapshot.
+struct TimelineEvent {
+  SimTime at = 0;
+  uint32_t lane = 0;
+  runtime::TimelineEventType type = runtime::TimelineEventType::kTaskBegin;
+  uint64_t arg = 0;
+  uint64_t ring_serial = 0;  ///< Which thread's ring recorded it.
+  uint64_t seq = 0;          ///< Position in that ring's event stream.
+};
+
+class TimelineRecorder : public runtime::TimelineSink {
+ public:
+  struct Options {
+    /// Events retained per thread. The full-timeline default comfortably
+    /// holds a bench smoke run; flight-recorder users size it down to the
+    /// postmortem window they want.
+    size_t ring_capacity = 32768;
+  };
+
+  explicit TimelineRecorder(Options options);
+  ~TimelineRecorder() override = default;
+
+  TimelineRecorder(const TimelineRecorder&) = delete;
+  TimelineRecorder& operator=(const TimelineRecorder&) = delete;
+
+  // --- hot path (any thread) ---
+  void Record(runtime::TimelineEventType type, SimTime at, uint32_t lane,
+              uint64_t arg) override;
+
+  // --- driver side ---
+  void SetLaneName(uint32_t lane, const std::string& name) override;
+
+  /// \brief Post-quiescence merge of all rings, globally ordered. Pure
+  /// function of ring state: calling it twice yields identical vectors.
+  std::vector<TimelineEvent> Fold() const;
+
+  /// \brief Concurrent-safe snapshot (see file comment). Used by the
+  /// flight recorder at failure-detection time.
+  std::vector<TimelineEvent> FlightSnapshot() const;
+
+  /// \brief Stores a postmortem snapshot (taken at recovery time) for
+  /// inclusion in the exported trace. `label` names the trigger, e.g.
+  /// "recovery unit 5".
+  void AddFlightDump(const std::string& label,
+                     std::vector<TimelineEvent> events);
+
+  /// Events ever recorded across all rings.
+  uint64_t events_recorded() const;
+  /// Events overwritten before any fold could retain them.
+  uint64_t events_dropped() const;
+  /// Per-ring high-water marks (retained event counts), serial order.
+  std::vector<uint64_t> ring_hwms() const;
+  size_t flight_dumps() const;
+
+  /// \brief Artifact summary: {events_recorded, events_dropped,
+  /// ring_hwm: [...], flight_dumps}. Dropped events are always present in
+  /// the artifact — never silently elided.
+  JsonValue SummaryJson() const;
+
+  /// \brief Builds a Chrome trace-event document (chrome://tracing /
+  /// Perfetto "JSON object format"): `traceEvents` with one tid lane per
+  /// unit plus driver and timer lanes, thread_name metadata, and a
+  /// `bistream` section carrying the backend tag and any flight dumps.
+  JsonValue ToChromeTrace(const std::vector<TimelineEvent>& events,
+                          const std::string& backend) const;
+
+ private:
+  /// Ring slot. Fields are independent relaxed cells — the head protocol
+  /// (release store after the last field) is what makes a published slot
+  /// complete; the cells only make concurrent reads of a slot that is
+  /// being rewritten tear-free per field (the flight snapshot then drops
+  /// those slots entirely).
+  struct Slot {
+    RelaxedCell<uint64_t> at;
+    RelaxedCell<uint64_t> arg;
+    RelaxedCell<uint32_t> lane;
+    RelaxedCell<uint32_t> type;
+  };
+
+  struct Ring {
+    Ring(size_t capacity, uint64_t serial)
+        : slots(capacity), serial(serial) {}
+    std::vector<Slot> slots;
+    std::atomic<uint64_t> head{0};  ///< Events ever written; release-stored.
+    uint64_t serial;                ///< Creation order, process-unique-ish.
+  };
+
+  Ring* LocalRing();
+  void SnapshotRing(const Ring& ring, bool concurrent,
+                    std::vector<TimelineEvent>* out) const;
+
+  const size_t capacity_;
+  const uint64_t serial_;  ///< Recorder identity for the TLS ring cache.
+
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+
+  mutable std::mutex names_mu_;
+  std::map<uint32_t, std::string> lane_names_;
+
+  mutable std::mutex dumps_mu_;
+  std::vector<std::pair<std::string, std::vector<TimelineEvent>>> dumps_;
+};
+
+/// \brief Sanity-checks a Chrome trace document produced by ToChromeTrace
+/// (or handed to `bistream-inspect timeline`): `traceEvents` must exist,
+/// every "B" must close with an "E" on the same tid in LIFO order, and
+/// timestamps on each tid must be non-decreasing. Returns the first
+/// violation; OK means every lane is a coherent nested span stack.
+Status ValidateChromeTrace(const JsonValue& doc);
+
+}  // namespace bistream
+
+#endif  // BISTREAM_OBS_TIMELINE_TIMELINE_H_

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "common/time.h"
@@ -25,6 +26,8 @@
 
 namespace bistream {
 namespace runtime {
+
+class TimelineSink;
 
 /// \brief Which execution backend an Executor implements.
 enum class BackendKind : uint8_t {
@@ -110,6 +113,22 @@ class Executor {
   /// \brief Timer callbacks dispatched so far. 0 under sim (virtual timers
   /// are ordinary events there and need no lag accounting).
   virtual uint64_t timer_fires() const { return 0; }
+
+  /// \brief Installs the execution-timeline recorder. Backends emit
+  /// scheduling events (task begin/end, dequeue waits, sender blocking,
+  /// timer fires) into it; see runtime/timeline.h for the event model. Set
+  /// before units are created so lane names register. Ownership is shared:
+  /// the executor keeps its reference until it is destroyed (worker threads
+  /// parked in instrumented waits hold the raw pointer across the park, so
+  /// the sink must outlive them — shared ownership makes that structural
+  /// rather than a caller obligation). Default: timeline not supported,
+  /// events discarded.
+  virtual void SetTimeline(std::shared_ptr<TimelineSink> sink) {
+    (void)sink;
+  }
+
+  /// \brief The installed timeline sink, or nullptr when recording is off.
+  virtual TimelineSink* timeline() const { return nullptr; }
 
   /// \brief Visits every unit the executor owns, in creation order.
   virtual void ForEachUnit(const std::function<void(Unit&)>& fn) = 0;

@@ -40,13 +40,20 @@ void ParallelUnit::Deliver(Message msg) {
     if (inbox_.size() >= capacity_ && !stop_ && !dead_) {
       // Backpressure stall: record the count and the wall time spent
       // blocked. Writers are serialized by mu_, so the relaxed cells are
-      // safe, and the sampler thread reads them tear-free mid-run.
+      // safe, and the sampler thread reads them tear-free mid-run. The
+      // timeline span lands on the *sender's* lane (this thread), with the
+      // destination unit as the argument.
+      TimelineSink* timeline = exec_->timeline();
       SimTime blocked_start = exec_->NowNs();
+      TimelineRecord(timeline, TimelineEventType::kSenderBlock,
+                     blocked_start, id_);
       ++stats_.blocked_sends;
       not_full_.wait(lk, [this] {
         return inbox_.size() < capacity_ || stop_ || dead_;
       });
-      stats_.blocked_ns += exec_->NowNs() - blocked_start;
+      SimTime woke = exec_->NowNs();
+      stats_.blocked_ns += woke - blocked_start;
+      TimelineRecord(timeline, TimelineEventType::kSenderWake, woke, id_);
     }
     if (dead_) {
       // The in-flight send fails: the destination process is gone. This is
@@ -174,6 +181,8 @@ void ParallelUnit::StopWorker() {
 }
 
 void ParallelUnit::Run() {
+  // Every event this thread records belongs to this unit's lane.
+  ThreadTimelineLane() = id_;
   for (;;) {
     std::function<void()> task;
     Message msg;
@@ -181,10 +190,22 @@ void ParallelUnit::Run() {
     bool have_msg = false;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      not_empty_.wait(lk, [this] {
+      auto ready = [this] {
         return stop_ || dead_.load(std::memory_order_relaxed) ||
                !tasks_.empty() || !inbox_.empty();
-      });
+      };
+      TimelineSink* timeline = exec_->timeline();
+      if (timeline != nullptr && !ready()) {
+        // Idle span: only opened when the inbox is actually empty, so an
+        // always-busy worker pays nothing beyond the predicate check.
+        timeline->Record(TimelineEventType::kDequeueWaitBegin,
+                         exec_->NowNs(), id_, 0);
+        not_empty_.wait(lk, ready);
+        timeline->Record(TimelineEventType::kDequeueWaitEnd, exec_->NowNs(),
+                         id_, 0);
+      } else {
+        not_empty_.wait(lk, ready);
+      }
       // Crash: Fail() wiped the queues under mu_ before setting dead_, so
       // there is nothing left to drain — the worker just exits.
       if (dead_.load(std::memory_order_relaxed)) return;
@@ -208,8 +229,19 @@ void ParallelUnit::Run() {
     if (task) {
       // Timer callbacks are loop work, not unit service time — mirrors the
       // sim, where Router::Tick runs as an event-loop event and only the
-      // messages it sends get charged at their receivers.
-      task();
+      // messages it sends get charged at their receivers. They still get a
+      // timeline span (arg = kTimerTaskArg) so punctuation ticks are
+      // visible on the unit's lane.
+      if (TimelineSink* timeline = exec_->timeline()) {
+        SimTime task_start = exec_->NowNs();
+        timeline->Record(TimelineEventType::kTaskBegin, task_start, id_,
+                         kTimerTaskArg);
+        task();
+        timeline->Record(TimelineEventType::kTaskEnd, exec_->NowNs(), id_,
+                         kTimerTaskArg);
+      } else {
+        task();
+      }
       exec_->DecOutstanding();
       continue;
     }
@@ -228,9 +260,16 @@ void ParallelUnit::Run() {
     // Queueing delay (enqueue to pop): distinct from service time below, so
     // the sampler can tell a slow handler from a deep backlog.
     if (start > enqueue_ns) stats_.dequeue_wait_ns += start - enqueue_ns;
+    // The task span reuses the clock reads the busy accounting already
+    // makes: recording costs two ring writes, nothing more.
+    TimelineSink* timeline = exec_->timeline();
+    TimelineRecord(timeline, TimelineEventType::kTaskBegin, start,
+                   static_cast<uint64_t>(msg.kind));
     handler_(msg);  // Virtual-time return value ignored: time is measured.
     SimTime service = exec_->NowNs() - start;
     stats_.busy_ns += service;
+    TimelineRecord(timeline, TimelineEventType::kTaskEnd, start + service,
+                   static_cast<uint64_t>(msg.kind));
     switch (msg.kind) {
       case Message::Kind::kTuple:
         stats_.busy_tuple_ns += service;
@@ -294,6 +333,9 @@ Unit* ParallelExecutor::AddUnit(const std::string& label) {
     units_.push_back(std::make_unique<ParallelUnit>(
         this, next_unit_id_++, label, options_.queue_capacity));
     unit = units_.back().get();
+  }
+  if (TimelineSink* timeline = this->timeline()) {
+    timeline->SetLaneName(unit->id_, label);
   }
   unit->StartWorker();
   return unit;
@@ -379,6 +421,7 @@ void ParallelExecutor::ArmTimer(ParallelUnit* unit, SimTime when,
 }
 
 void ParallelExecutor::TimerLoop() {
+  ThreadTimelineLane() = kTimerLane;
   std::unique_lock<std::mutex> lk(timer_mu_);
   for (;;) {
     if (timer_stop_) return;
@@ -398,6 +441,8 @@ void ParallelExecutor::TimerLoop() {
       timer_lag_max_ns_.store(now - when);
     }
     ++timer_fires_;
+    TimelineRecord(timeline(), TimelineEventType::kTimerFire, now,
+                   now - when);
     // priority_queue::top() is const; move the payload out before popping
     // (safe: popped immediately).
     TimerEntry& top = const_cast<TimerEntry&>(timer_heap_.top());

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "runtime/executor.h"
+#include "runtime/timeline.h"
 
 namespace bistream {
 namespace runtime {
@@ -246,6 +247,24 @@ class ParallelExecutor final : public Executor {
   }
   uint64_t timer_fires() const override { return timer_fires_.load(); }
 
+  /// \brief Timeline sink handoff: the hot paths read an atomic raw
+  /// pointer; the shared_ptr reference is retained (previous sinks go to a
+  /// retired list) until the executor — and therefore every worker thread,
+  /// joined in ~ParallelExecutor — is gone. A worker parked inside an
+  /// instrumented dequeue-wait holds the raw pointer across the park, so
+  /// the sink's lifetime must cover the threads', not the installer's.
+  void SetTimeline(std::shared_ptr<TimelineSink> sink) override {
+    std::lock_guard<std::mutex> lk(timeline_owner_mu_);
+    timeline_.store(sink.get(), std::memory_order_release);
+    if (timeline_owner_ != nullptr) {
+      timeline_retired_.push_back(std::move(timeline_owner_));
+    }
+    timeline_owner_ = std::move(sink);
+  }
+  TimelineSink* timeline() const override {
+    return timeline_.load(std::memory_order_acquire);
+  }
+
   void ForEachUnit(const std::function<void(Unit&)>& fn) override;
 
   /// \brief Worker threads spawned (== units created).
@@ -325,6 +344,11 @@ class ParallelExecutor final : public Executor {
 
   std::mutex driver_mu_;
   std::deque<std::function<void()>> driver_tasks_;
+
+  std::atomic<TimelineSink*> timeline_{nullptr};
+  std::mutex timeline_owner_mu_;
+  std::shared_ptr<TimelineSink> timeline_owner_;
+  std::vector<std::shared_ptr<TimelineSink>> timeline_retired_;
 };
 
 }  // namespace runtime

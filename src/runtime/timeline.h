@@ -1,0 +1,127 @@
+/// \file timeline.h
+/// \brief Execution-timeline event model and recording interface.
+///
+/// The runtime substrate (parallel executor, sim nodes, routers, the
+/// engine's recovery coordinator) emits scheduling and lifecycle events —
+/// task begin/end, inbox dequeue waits, sender blocking, timer fires,
+/// punctuation rounds, checkpoint/replay, crash/detect/respawn — into a
+/// TimelineSink. The concrete recorder (per-thread SPSC rings, Chrome
+/// trace export) lives in src/obs/timeline; this header holds only the
+/// event model and the abstract sink so the runtime layer stays free of
+/// any obs dependency (obs links runtime, not the other way around).
+///
+/// Every event carries a *lane*: the unit id whose execution it belongs
+/// to, or one of the two pseudo-lanes below. Worker threads set their
+/// lane once at loop entry; the driver and timer threads use the
+/// pseudo-lanes; sim sets a lane scope around each handler dispatch. The
+/// Chrome export renders one track per lane.
+
+#ifndef BISTREAM_RUNTIME_TIMELINE_H_
+#define BISTREAM_RUNTIME_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+
+namespace bistream {
+namespace runtime {
+
+/// \brief What happened. Begin/End pairs render as nested Chrome spans on
+/// their lane; the rest render as instants.
+enum class TimelineEventType : uint8_t {
+  kTaskBegin = 0,     ///< Unit handler dispatch started (arg: message kind).
+  kTaskEnd,           ///< Handler returned (at = begin + service).
+  kDequeueWaitBegin,  ///< Worker went idle waiting on an empty inbox.
+  kDequeueWaitEnd,    ///< Worker woke with work (or stop) available.
+  kSenderBlock,       ///< Send blocked on a full inbox (arg: dest unit).
+  kSenderWake,        ///< Blocked send admitted (arg: dest unit).
+  kTimerFire,         ///< Timer callback dispatched (arg: lag ns).
+  kPunctRound,        ///< Router advanced a punctuation round (arg: round).
+  kCheckpoint,        ///< Joiner checkpoint taken (arg: round).
+  kReplay,            ///< Replay span sent to a respawned unit (arg: unit).
+  kCrash,             ///< Unit killed (arg: unit).
+  kDetect,            ///< Failure detector fired (arg: failed unit).
+  kRespawn,           ///< Replacement unit live (arg: replacement unit).
+};
+
+inline const char* TimelineEventName(TimelineEventType type) {
+  switch (type) {
+    case TimelineEventType::kTaskBegin: return "task";
+    case TimelineEventType::kTaskEnd: return "task_end";
+    case TimelineEventType::kDequeueWaitBegin: return "dequeue_wait";
+    case TimelineEventType::kDequeueWaitEnd: return "dequeue_wait_end";
+    case TimelineEventType::kSenderBlock: return "blocked_send";
+    case TimelineEventType::kSenderWake: return "blocked_send_end";
+    case TimelineEventType::kTimerFire: return "timer_fire";
+    case TimelineEventType::kPunctRound: return "punct_round";
+    case TimelineEventType::kCheckpoint: return "checkpoint";
+    case TimelineEventType::kReplay: return "replay";
+    case TimelineEventType::kCrash: return "crash";
+    case TimelineEventType::kDetect: return "detect";
+    case TimelineEventType::kRespawn: return "respawn";
+  }
+  return "unknown";
+}
+
+/// Pseudo-lanes: the driver thread (injection, recovery coordination) and
+/// the parallel backend's central timer thread. Real unit ids are small,
+/// so the top of the id space is safe to reserve.
+inline constexpr uint32_t kDriverLane = 0xfffffffeu;
+inline constexpr uint32_t kTimerLane = 0xffffffffu;
+
+/// kTaskBegin/kTaskEnd arg distinguishing a timer-posted task (punctuation
+/// tick) from message service, whose arg is the small Message::Kind value.
+inline constexpr uint64_t kTimerTaskArg = 0xff;
+
+/// \brief Abstract recorder. Record() must be wait-free and allocation-free
+/// on the hot path (the obs implementation writes a fixed ring slot); it is
+/// called concurrently from every worker thread plus the driver and timer
+/// threads. SetLaneName is driver-side (unit creation/respawn) and may lock.
+class TimelineSink {
+ public:
+  virtual ~TimelineSink() = default;
+
+  virtual void Record(TimelineEventType type, SimTime at, uint32_t lane,
+                      uint64_t arg) = 0;
+
+  virtual void SetLaneName(uint32_t lane, const std::string& name) = 0;
+};
+
+/// \brief The lane the current thread's events belong to. Worker threads
+/// set this to their unit id at loop entry; everything else defaults to
+/// the driver lane.
+inline uint32_t& ThreadTimelineLane() {
+  thread_local uint32_t lane = kDriverLane;
+  return lane;
+}
+
+/// \brief RAII lane override for the sim backend, where every handler runs
+/// on the one driver thread: ServiceOne scopes the lane to the node id so
+/// events recorded inside the handler land on that unit's track.
+class TimelineLaneScope {
+ public:
+  explicit TimelineLaneScope(uint32_t lane) : prev_(ThreadTimelineLane()) {
+    ThreadTimelineLane() = lane;
+  }
+  ~TimelineLaneScope() { ThreadTimelineLane() = prev_; }
+
+  TimelineLaneScope(const TimelineLaneScope&) = delete;
+  TimelineLaneScope& operator=(const TimelineLaneScope&) = delete;
+
+ private:
+  uint32_t prev_;
+};
+
+/// \brief Null-safe record on the current thread's lane: compiles to a
+/// single branch when the timeline is disabled (sink == nullptr), which is
+/// the zero-perturbation guarantee the benches rely on.
+inline void TimelineRecord(TimelineSink* sink, TimelineEventType type,
+                           SimTime at, uint64_t arg = 0) {
+  if (sink) sink->Record(type, at, ThreadTimelineLane(), arg);
+}
+
+}  // namespace runtime
+}  // namespace bistream
+
+#endif  // BISTREAM_RUNTIME_TIMELINE_H_

@@ -39,7 +39,12 @@ SimNetwork::SimNetwork(EventLoop* loop, const CostModel& cost, uint64_t seed)
 
 SimNode* SimNetwork::AddNode(const std::string& label) {
   nodes_.push_back(std::make_unique<SimNode>(loop_, next_node_id_++, label));
-  return nodes_.back().get();
+  SimNode* node = nodes_.back().get();
+  if (timeline_ != nullptr) {
+    node->SetTimeline(timeline_.get());
+    timeline_->SetLaneName(node->id(), label);
+  }
+  return node;
 }
 
 Channel* SimNetwork::Connect(SimNode* dst) {

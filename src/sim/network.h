@@ -115,6 +115,23 @@ class SimNetwork : public runtime::Executor {
     return nodes_;
   }
 
+  /// \brief Installs the timeline recorder on every current and future
+  /// node. The shared reference is held until the network is destroyed
+  /// (matching the Executor ownership contract; single-threaded, so the
+  /// retention is about interface symmetry, not thread lifetimes).
+  void SetTimeline(std::shared_ptr<runtime::TimelineSink> sink) override {
+    timeline_ = std::move(sink);
+    for (auto& node : nodes_) node->SetTimeline(timeline_.get());
+    if (timeline_ != nullptr) {
+      for (auto& node : nodes_) {
+        timeline_->SetLaneName(node->id(), node->label());
+      }
+    }
+  }
+  runtime::TimelineSink* timeline() const override {
+    return timeline_.get();
+  }
+
  private:
   EventLoop* loop_;
   CostModel cost_;
@@ -122,6 +139,7 @@ class SimNetwork : public runtime::Executor {
   uint32_t next_node_id_ = 0;
   std::vector<std::unique_ptr<SimNode>> nodes_;
   std::vector<std::unique_ptr<Channel>> channels_;
+  std::shared_ptr<runtime::TimelineSink> timeline_;
 };
 
 }  // namespace bistream

@@ -65,7 +65,22 @@ void SimNode::ServiceOne() {
     ++stats_.punctuation_messages;
   }
 
-  SimTime service = handler_(msg);
+  // Timeline span in virtual time: the handler dispatch happens at now(),
+  // the task "ends" when the charged service time elapses. The lane scope
+  // routes any events the handler records (punctuation rounds, checkpoints)
+  // onto this unit's track — the sim runs every handler on the one driver
+  // thread, so the thread-local lane is the only lane signal there is.
+  SimTime dispatch = loop_->now();
+  SimTime service;
+  {
+    runtime::TimelineLaneScope lane(id_);
+    runtime::TimelineRecord(timeline_, runtime::TimelineEventType::kTaskBegin,
+                            dispatch, static_cast<uint64_t>(msg.kind));
+    service = handler_(msg);
+    runtime::TimelineRecord(timeline_, runtime::TimelineEventType::kTaskEnd,
+                            dispatch + service,
+                            static_cast<uint64_t>(msg.kind));
+  }
   stats_.busy_ns += service;
   switch (msg.kind) {
     case Message::Kind::kTuple:

@@ -23,6 +23,7 @@
 #include <functional>
 #include <string>
 
+#include "runtime/timeline.h"
 #include "runtime/unit.h"
 #include "sim/event_loop.h"
 
@@ -90,6 +91,10 @@ class SimNode : public runtime::Unit {
   /// events interleave on the one deterministic clock.
   runtime::Clock* clock() override { return loop_; }
 
+  /// \brief Timeline recorder (virtual-timestamp parity with the parallel
+  /// backend); SimNetwork wires this when a sink is installed.
+  void SetTimeline(runtime::TimelineSink* timeline) { timeline_ = timeline; }
+
  private:
   void MaybeScheduleService();
   void ServiceOne();
@@ -106,6 +111,7 @@ class SimNode : public runtime::Unit {
   size_t window_queue_hwm_ = 0;
   SimTime last_sample_time_ = 0;
   SimTime last_sample_busy_ = 0;
+  runtime::TimelineSink* timeline_ = nullptr;
 };
 
 }  // namespace bistream

@@ -192,6 +192,48 @@ void CheckRecoveryFields(const JsonValue* engine,
   }
 }
 
+/// The timeline section is nullable — an explicit null when the run did not
+/// record an execution timeline (the default; the recorder is opt-in via
+/// --timeline_out), an object with the recorder's accounting when it did.
+/// A recording run owes honest drop accounting: events_recorded /
+/// events_dropped as numbers and per-thread ring high-water marks, so a
+/// wrapped ring is visible in the artifact rather than silently truncated.
+void CheckTimeline(const JsonValue* timeline,
+                   const std::vector<std::string>& required,
+                   const std::string& where) {
+  if (timeline == nullptr) return;  // Absence reported by CheckRequired.
+  if (timeline->is_null()) return;  // Timeline off: explicit null is legal.
+  if (!timeline->is_object()) {
+    Fail(where + " must be null (timeline off) or an object");
+    return;
+  }
+  for (const std::string& key : required) {
+    const JsonValue* value = timeline->Find(key);
+    if (value == nullptr) {
+      Fail(where + " lacks key '" + key + "'");
+    }
+  }
+  const JsonValue* recorded = timeline->Find("events_recorded");
+  const JsonValue* dropped = timeline->Find("events_dropped");
+  if (recorded != nullptr && !recorded->is_number()) {
+    Fail(where + " events_recorded is not a number");
+  }
+  if (dropped != nullptr && !dropped->is_number()) {
+    Fail(where + " events_dropped is not a number");
+  }
+  if (recorded != nullptr && dropped != nullptr && recorded->is_number() &&
+      dropped->is_number() &&
+      dropped->AsNumber() > recorded->AsNumber()) {
+    Fail(where + " drops exceed recorded events (" +
+         std::to_string(dropped->AsNumber()) + " > " +
+         std::to_string(recorded->AsNumber()) + ")");
+  }
+  const JsonValue* hwm = timeline->Find("ring_hwm");
+  if (hwm != nullptr && !hwm->is_array()) {
+    Fail(where + " ring_hwm is not an array");
+  }
+}
+
 /// Any invariant violation recorded by the run's auditor fails the smoke
 /// test: benches must produce audit-clean runs.
 void CheckDiagnostics(const JsonValue* diagnostics, const std::string& where) {
@@ -282,6 +324,8 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
       RequiredKeys(schema, "profile_required");
   std::vector<std::string> recovery_required =
       RequiredKeys(schema, "recovery_required");
+  std::vector<std::string> timeline_required =
+      RequiredKeys(schema, "timeline_required");
 
   size_t runs_with_series = 0;
   for (size_t i = 0; i < runs->size(); ++i) {
@@ -311,6 +355,8 @@ int Run(const std::string& schema_path, const std::string& artifact_path) {
     CheckDiagnostics(report->Find("diagnostics"),
                      where + ".report.diagnostics");
     CheckProfile(report->Find("profile"), where + ".report.profile", is_sim);
+    CheckTimeline(report->Find("timeline"), timeline_required,
+                  where + ".report.timeline");
 
     const JsonValue* series = report->Find("series");
     if (series != nullptr) {

@@ -10,7 +10,12 @@
 #      contention columns and all — also reads healthy,
 #   6. a wall-clock artifact with a mid-run crash (a worker thread really
 #      killed, detected, and respawned) reads healthy, surfaces the
-#      recovery telemetry, and honors the --max_detection_ms cap.
+#      recovery telemetry, and honors the --max_detection_ms cap,
+#   7. a Chrome trace exported by --timeline_out reads healthy under the
+#      `timeline` subcommand (per-lane utilization summary),
+#   8. a crash run's trace carries the flight-recorder postmortem and the
+#      summary shows crash -> detect -> respawn in order,
+#   9. a truncated trace JSON is rejected with exit 2.
 # Usage:
 #   inspect_smoke.sh <bistream-inspect> <parallel_bench> <fault_bench> \
 #     <bench_binary> [bench args...]
@@ -75,9 +80,10 @@ status=0
 # tracer were live on worker threads, so the artifact carries a real time
 # series (with the inbox-contention columns) that the tool must digest.
 par="$workdir/parallel.json"
+trace="$workdir/trace.json"
 "$parallel_bench" --json_out="$par" --backend=parallel --units=4 \
   --duration_ms=100 --iters=1 --probe_rate=1000 --sample_ms=10 \
-  --trace_every=64 > "$workdir/par_run.txt" 2>&1 ||
+  --trace_every=64 --timeline_out="$trace" > "$workdir/par_run.txt" 2>&1 ||
   { cat "$workdir/par_run.txt" >&2; fail "parallel bench run failed"; }
 "$inspect" "$par" > "$workdir/par_health.txt" 2>&1 ||
   { cat "$workdir/par_health.txt" >&2;
@@ -88,8 +94,10 @@ par="$workdir/parallel.json"
 # worker respawn count, the tool must surface them, and the (generous)
 # detection-latency cap must hold.
 faulted="$workdir/faulted.json"
+fault_trace="$workdir/fault_trace.json"
 "$fault_bench" --json_out="$faulted" --backend=parallel \
-  --total_tuples=3000 > "$workdir/fault_run.txt" 2>&1 ||
+  --total_tuples=3000 --timeline_out="$fault_trace" \
+  > "$workdir/fault_run.txt" 2>&1 ||
   { cat "$workdir/fault_run.txt" >&2; fail "faulted bench run failed"; }
 "$inspect" --max_detection_ms=5000 "$faulted" \
   > "$workdir/fault_health.txt" 2>&1 ||
@@ -99,5 +107,36 @@ grep -q "fault recovery:" "$workdir/fault_health.txt" ||
   { cat "$workdir/fault_health.txt" >&2;
     fail "health report missing the fault recovery section"; }
 
+# 7. The Chrome trace from the healthy parallel run reads cleanly: per-lane
+# utilization table, no breaches (exit 0).
+[ -s "$trace" ] || fail "--timeline_out produced no trace file"
+"$inspect" timeline "$trace" > "$workdir/timeline.txt" 2>&1 ||
+  { cat "$workdir/timeline.txt" >&2;
+    fail "healthy timeline flagged (exit $?)"; }
+grep -q "lane" "$workdir/timeline.txt" ||
+  { cat "$workdir/timeline.txt" >&2;
+    fail "timeline summary missing the per-lane table"; }
+
+# 8. The crash run's trace carries the flight-recorder dump and the
+# postmortem shows crash -> detect -> respawn with measured gaps.
+[ -s "$fault_trace" ] || fail "crash run produced no trace file"
+"$inspect" timeline "$fault_trace" > "$workdir/fault_timeline.txt" 2>&1 ||
+  { cat "$workdir/fault_timeline.txt" >&2;
+    fail "crash-run timeline flagged (exit $?)"; }
+grep -q "flight recorder" "$workdir/fault_timeline.txt" ||
+  { cat "$workdir/fault_timeline.txt" >&2;
+    fail "crash-run timeline missing the flight-recorder postmortem"; }
+grep -q "crash" "$workdir/fault_timeline.txt" ||
+  { cat "$workdir/fault_timeline.txt" >&2;
+    fail "crash-run postmortem missing the crash event"; }
+
+# 9. A truncated trace must exit 2.
+head -c 40 "$trace" > "$workdir/trace_truncated.json"
+status=0
+"$inspect" timeline "$workdir/trace_truncated.json" > /dev/null 2>&1 ||
+  status=$?
+[ "$status" -eq 2 ] || fail "malformed trace input: exit $status, expected 2"
+
 echo "OK: self-check, health, diff attribution, malformed-input rejection," \
-  "parallel health, crash-recovery health"
+  "parallel health, crash-recovery health, timeline summary," \
+  "flight-recorder postmortem, malformed-trace rejection"

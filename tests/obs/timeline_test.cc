@@ -1,0 +1,295 @@
+// Tests of the execution-timeline recorder (DESIGN.md §12): ring
+// wraparound/overflow accounting, fold determinism, byte-identical sim
+// timelines, Chrome-trace export validity on a live parallel engine, and a
+// concurrency hammer (worker threads recording while the driver takes
+// flight snapshots) for the tsan preset.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/runner.h"
+#include "obs/timeline/timeline.h"
+#include "runtime/timeline.h"
+
+namespace bistream {
+namespace {
+
+using runtime::TimelineEventType;
+
+BicliqueOptions SmallEngine() {
+  BicliqueOptions options;
+  options.num_routers = 2;
+  options.joiners_r = 2;
+  options.joiners_s = 2;
+  options.window = 1 * kEventSecond;
+  options.archive_period = 250 * kEventMilli;
+  return options;
+}
+
+SyntheticWorkloadOptions SmallWorkload(uint64_t total_tuples) {
+  SyntheticWorkloadOptions workload;
+  workload.key_domain = 200;
+  workload.rate_r = RateSchedule::Constant(1000);
+  workload.rate_s = RateSchedule::Constant(1000);
+  workload.total_tuples = total_tuples;
+  workload.seed = 977;
+  return workload;
+}
+
+TEST(TimelineRecorderTest, RingWrapRetainsNewestAndCountsDrops) {
+  TimelineRecorder::Options options;
+  options.ring_capacity = 8;
+  TimelineRecorder recorder(options);
+  for (uint64_t i = 0; i < 20; ++i) {
+    recorder.Record(TimelineEventType::kPunctRound, /*at=*/i, /*lane=*/0,
+                    /*arg=*/i);
+  }
+  std::vector<TimelineEvent> events = recorder.Fold();
+  ASSERT_EQ(events.size(), 8u);
+  // The ring always wraps, retaining the newest `capacity` events.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].at, 12 + i);
+    EXPECT_EQ(events[i].arg, 12 + i);
+  }
+  EXPECT_EQ(recorder.events_recorded(), 20u);
+  EXPECT_EQ(recorder.events_dropped(), 12u);
+  ASSERT_EQ(recorder.ring_hwms().size(), 1u);
+  EXPECT_EQ(recorder.ring_hwms()[0], 8u);
+}
+
+TEST(TimelineRecorderTest, NoWrapMeansNoDrops) {
+  TimelineRecorder recorder(TimelineRecorder::Options{});
+  for (uint64_t i = 0; i < 100; ++i) {
+    recorder.Record(TimelineEventType::kTaskBegin, i, 0, 0);
+  }
+  EXPECT_EQ(recorder.events_recorded(), 100u);
+  EXPECT_EQ(recorder.events_dropped(), 0u);
+  EXPECT_EQ(recorder.Fold().size(), 100u);
+}
+
+TEST(TimelineRecorderTest, FoldIsDeterministicAcrossCalls) {
+  TimelineRecorder recorder(TimelineRecorder::Options{});
+  // Record from several threads: per-thread rings, interleaved arbitrarily.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (uint64_t i = 0; i < 500; ++i) {
+        recorder.Record(TimelineEventType::kTaskBegin, /*at=*/i,
+                        /*lane=*/static_cast<uint32_t>(t), /*arg=*/i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::vector<TimelineEvent> first = recorder.Fold();
+  std::vector<TimelineEvent> second = recorder.Fold();
+  ASSERT_EQ(first.size(), 2000u);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].at, second[i].at);
+    EXPECT_EQ(first[i].lane, second[i].lane);
+    EXPECT_EQ(first[i].seq, second[i].seq);
+    EXPECT_EQ(first[i].ring_serial, second[i].ring_serial);
+  }
+  // The Chrome export of the same fold is byte-identical too.
+  std::string dump_a = recorder.ToChromeTrace(first, "parallel").Dump(2);
+  std::string dump_b = recorder.ToChromeTrace(second, "parallel").Dump(2);
+  EXPECT_EQ(dump_a, dump_b);
+  // The global order is total: sorted by (at, lane, ring, seq).
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(first[i - 1].at, first[i].at);
+  }
+}
+
+TEST(TimelineRecorderTest, ChromeExportValidatesAndNamesLanes) {
+  TimelineRecorder recorder(TimelineRecorder::Options{});
+  recorder.SetLaneName(0, "unit-a");
+  recorder.SetLaneName(1, "unit-b");
+  recorder.Record(TimelineEventType::kTaskBegin, 100, 0, 1);
+  recorder.Record(TimelineEventType::kPunctRound, 150, 0, 7);
+  recorder.Record(TimelineEventType::kTaskEnd, 200, 0, 1);
+  recorder.Record(TimelineEventType::kDequeueWaitBegin, 50, 1, 0);
+  recorder.Record(TimelineEventType::kDequeueWaitEnd, 90, 1, 0);
+  JsonValue doc = recorder.ToChromeTrace(recorder.Fold(), "sim");
+  EXPECT_TRUE(ValidateChromeTrace(doc).ok());
+  std::string dump = doc.Dump(2);
+  EXPECT_NE(dump.find("unit-a"), std::string::npos);
+  EXPECT_NE(dump.find("unit-b"), std::string::npos);
+  EXPECT_NE(dump.find("punct_round"), std::string::npos);
+}
+
+TEST(TimelineRecorderTest, ExportSanitizesWrappedRings) {
+  // A wrapped ring can lose a span's Begin (stray End) or retain a Begin
+  // whose End fell outside the window (unclosed). The export must still
+  // produce a validator-clean document.
+  TimelineRecorder::Options options;
+  options.ring_capacity = 5;
+  TimelineRecorder recorder(options);
+  for (uint64_t i = 0; i < 6; ++i) {
+    recorder.Record(TimelineEventType::kTaskBegin, 10 * i, 0, 0);
+    recorder.Record(TimelineEventType::kTaskEnd, 10 * i + 5, 0, 0);
+  }
+  recorder.Record(TimelineEventType::kTaskBegin, 100, 0, 0);  // Unclosed.
+  JsonValue doc = recorder.ToChromeTrace(recorder.Fold(), "parallel");
+  EXPECT_TRUE(ValidateChromeTrace(doc).ok()) << doc.Dump(2);
+}
+
+TEST(ValidateChromeTraceTest, RejectsBrokenDocuments) {
+  EXPECT_FALSE(ValidateChromeTrace(JsonValue::Object()).ok());
+
+  auto event = [](const char* ph, const char* name, double ts) {
+    JsonValue e = JsonValue::Object();
+    e.Set("ph", JsonValue::String(ph));
+    e.Set("name", JsonValue::String(name));
+    e.Set("ts", JsonValue::Number(ts));
+    e.Set("pid", JsonValue::Number(1));
+    e.Set("tid", JsonValue::Number(0));
+    return e;
+  };
+  // Mismatched span names.
+  JsonValue events = JsonValue::Array();
+  events.Push(event("B", "task", 0));
+  events.Push(event("E", "dequeue_wait", 10));
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(events));
+  EXPECT_FALSE(ValidateChromeTrace(doc).ok());
+
+  // Unclosed span.
+  JsonValue events2 = JsonValue::Array();
+  events2.Push(event("B", "task", 0));
+  JsonValue doc2 = JsonValue::Object();
+  doc2.Set("traceEvents", std::move(events2));
+  EXPECT_FALSE(ValidateChromeTrace(doc2).ok());
+
+  // Backwards time within a lane.
+  JsonValue events3 = JsonValue::Array();
+  events3.Push(event("B", "task", 100));
+  events3.Push(event("E", "task", 50));
+  JsonValue doc3 = JsonValue::Object();
+  doc3.Set("traceEvents", std::move(events3));
+  EXPECT_FALSE(ValidateChromeTrace(doc3).ok());
+
+  // A well-formed document passes.
+  JsonValue events4 = JsonValue::Array();
+  events4.Push(event("B", "task", 0));
+  events4.Push(event("E", "task", 10));
+  JsonValue doc4 = JsonValue::Object();
+  doc4.Set("traceEvents", std::move(events4));
+  EXPECT_TRUE(ValidateChromeTrace(doc4).ok());
+}
+
+TEST(TimelineEngineTest, SimTimelineIsByteIdenticalAcrossRuns) {
+  BicliqueOptions options = SmallEngine();
+  options.telemetry.timeline = true;
+  RunReport first = RunBicliqueWorkload(options, SmallWorkload(2000));
+  RunReport second = RunBicliqueWorkload(options, SmallWorkload(2000));
+  ASSERT_NE(first.timeline_trace(), nullptr);
+  ASSERT_NE(second.timeline_trace(), nullptr);
+  // Deterministic virtual time + single-ring fold: identical runs export
+  // identical documents, byte for byte.
+  EXPECT_EQ(first.timeline_trace()->Dump(2), second.timeline_trace()->Dump(2));
+  EXPECT_TRUE(ValidateChromeTrace(*first.timeline_trace()).ok());
+  // Virtual-time stamps: events carry sim timestamps, and the summary
+  // accounts every recorded event.
+  const JsonValue* recorded = first.timeline.Find("events_recorded");
+  ASSERT_NE(recorded, nullptr);
+  EXPECT_GT(recorded->AsNumber(), 0);
+  const JsonValue* dropped = first.timeline.Find("events_dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->AsNumber(), 0);
+}
+
+TEST(TimelineEngineTest, DisabledTimelineRecordsNothing) {
+  BicliqueOptions options = SmallEngine();
+  RunReport report = RunBicliqueWorkload(options, SmallWorkload(1000));
+  EXPECT_EQ(report.timeline_trace(), nullptr);
+  EXPECT_TRUE(report.timeline.is_null());
+}
+
+TEST(TimelineEngineTest, ParallelTraceHasCoherentWorkerLanes) {
+  BicliqueOptions options = SmallEngine();
+  options.backend = runtime::BackendKind::kParallel;
+  options.telemetry.timeline = true;
+  // Keep the wall-clock sampler live during the run: its thread reads unit
+  // stats while workers record timeline events.
+  options.telemetry.sample_period = 5 * kMillisecond;
+  RunReport report = RunBicliqueWorkload(options, SmallWorkload(4000));
+  ASSERT_NE(report.timeline_trace(), nullptr);
+  // One coherent lane per worker thread: begin/end properly nested, time
+  // monotone per lane — the tier-1 nesting checker.
+  EXPECT_TRUE(ValidateChromeTrace(*report.timeline_trace()).ok());
+  const JsonValue* events = report.timeline_trace()->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->size(), 0u);
+  // Every unit lane (2 routers + 4 joiners) plus the timer pseudo-lane
+  // carries a thread_name metadata record.
+  size_t named_lanes = 0;
+  for (const JsonValue& event : events->elements()) {
+    const JsonValue* ph = event.Find("ph");
+    if (ph != nullptr && ph->is_string() && ph->AsString() == "M") {
+      ++named_lanes;
+    }
+  }
+  EXPECT_GE(named_lanes, 6u);
+  const JsonValue* recorded = report.timeline.Find("events_recorded");
+  ASSERT_NE(recorded, nullptr);
+  EXPECT_GT(recorded->AsNumber(), 0);
+}
+
+TEST(TimelineRecorderTest, ConcurrentRecordAndFlightSnapshot) {
+  // Hammer: worker threads record continuously into a tiny (constantly
+  // wrapping) ring while the driver takes flight snapshots mid-flight —
+  // the crash-postmortem access pattern. Snapshots must never tear: every
+  // event they return was fully written.
+  TimelineRecorder::Options options;
+  options.ring_capacity = 64;
+  TimelineRecorder recorder(options);
+  std::atomic<bool> stop{false};
+  std::atomic<int> started{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder, &stop, &started, t] {
+      uint64_t i = 0;
+      do {
+        // at == arg lets the reader detect torn slots.
+        recorder.Record(TimelineEventType::kTaskBegin, i,
+                        static_cast<uint32_t>(t), i);
+        if (i == 0) started.fetch_add(1);
+        ++i;
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  // Wait until every writer's ring exists: on a loaded machine the snapshot
+  // rounds over an empty rings list would otherwise outrun thread startup.
+  while (started.load() < 4) std::this_thread::yield();
+  for (int round = 0; round < 200; ++round) {
+    std::vector<TimelineEvent> snapshot = recorder.FlightSnapshot();
+    for (const TimelineEvent& event : snapshot) {
+      EXPECT_EQ(event.at, event.arg) << "torn slot in flight snapshot";
+      EXPECT_LT(event.lane, 4u);
+      EXPECT_EQ(event.type, TimelineEventType::kTaskBegin);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : writers) thread.join();
+  EXPECT_GT(recorder.events_recorded(), 0u);
+  // Quiescent now: the fold sees exactly the retained window per ring.
+  std::vector<TimelineEvent> events = recorder.Fold();
+  EXPECT_LE(events.size(), 4u * 64u);
+  recorder.AddFlightDump("hammer", recorder.FlightSnapshot());
+  EXPECT_EQ(recorder.flight_dumps(), 1u);
+  JsonValue doc = recorder.ToChromeTrace(events, "parallel");
+  EXPECT_TRUE(ValidateChromeTrace(doc).ok());
+  const JsonValue* bistream = doc.Find("bistream");
+  ASSERT_NE(bistream, nullptr);
+  const JsonValue* dumps = bistream->Find("flight_recorder");
+  ASSERT_NE(dumps, nullptr);
+  EXPECT_EQ(dumps->size(), 1u);
+}
+
+}  // namespace
+}  // namespace bistream

@@ -6,6 +6,13 @@
 //                                               per-stage profile sections
 //   bistream-inspect --diff <base> <candidate>  A/B regression diff with
 //                                               per-stage attribution
+//   bistream-inspect timeline <trace.json>      execution-timeline report
+//                                               over a --timeline_out Chrome
+//                                               trace: per-worker
+//                                               utilization/blocking, the
+//                                               longest stall with its
+//                                               cause, and the flight-
+//                                               recorder crash postmortem
 //   bistream-inspect --self-check               verdict-logic self test
 //
 // Thresholds (all overridable):
@@ -35,6 +42,7 @@
 
 #include "common/config.h"
 #include "obs/json.h"
+#include "obs/timeline/timeline.h"
 
 namespace bistream {
 namespace {
@@ -341,6 +349,195 @@ int AnalyzeDiff(const ArtifactSummary& base, const ArtifactSummary& cand,
   return regressions;
 }
 
+// -------------------------------------------------------------- timeline --
+
+/// Per-worker-lane aggregates over one Chrome trace (all times in µs, the
+/// trace-event unit).
+struct LaneUsage {
+  std::string name;
+  double first_us = 0;
+  double last_us = 0;
+  double task_us = 0;
+  double wait_us = 0;
+  double blocked_us = 0;
+  size_t spans = 0;
+  bool any = false;
+};
+
+/// Analyzes a validated Chrome trace: per-lane utilization/blocking, the
+/// longest stall with its cause, and the flight-recorder postmortem
+/// (crash -> detect -> respawn must appear in order). Returns the number of
+/// breaches (out-of-order postmortems).
+int AnalyzeTimeline(const JsonValue& doc, bool verbose) {
+  std::map<int64_t, LaneUsage> lanes;
+  const JsonValue* events = doc.Find("traceEvents");
+  // Span begins per lane, name+ts (ValidateChromeTrace guaranteed LIFO).
+  std::map<int64_t, std::vector<std::pair<std::string, double>>> stacks;
+  double stall_us = 0;
+  int64_t stall_tid = 0;
+  double stall_at_us = 0;
+  std::string stall_cause;
+  for (const JsonValue& event : events->elements()) {
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* tid = event.Find("tid");
+    if (ph == nullptr || tid == nullptr) continue;
+    int64_t lane = static_cast<int64_t>(tid->AsNumber());
+    LaneUsage& usage = lanes[lane];
+    const std::string& phase = ph->AsString();
+    if (phase == "M") {
+      const JsonValue* args = event.Find("args");
+      const JsonValue* name =
+          args != nullptr ? args->Find("name") : nullptr;
+      if (name != nullptr && name->is_string()) usage.name = name->AsString();
+      continue;
+    }
+    double ts = NumberOr(event.Find("ts"), 0);
+    if (!usage.any || ts < usage.first_us) usage.first_us = ts;
+    if (ts > usage.last_us) usage.last_us = ts;
+    usage.any = true;
+    const JsonValue* name = event.Find("name");
+    std::string span = name != nullptr && name->is_string()
+                           ? name->AsString()
+                           : std::string();
+    if (phase == "B") {
+      stacks[lane].emplace_back(span, ts);
+    } else if (phase == "E") {
+      auto& stack = stacks[lane];
+      if (stack.empty()) continue;
+      double dur = ts - stack.back().second;
+      double begin = stack.back().second;
+      stack.pop_back();
+      ++usage.spans;
+      if (span == "task") {
+        usage.task_us += dur;
+      } else {
+        // Both stall kinds: dequeue_wait (idle, inbox empty) and
+        // blocked_send (backpressure on a full destination inbox).
+        if (span == "dequeue_wait") {
+          usage.wait_us += dur;
+        } else {
+          usage.blocked_us += dur;
+        }
+        if (dur > stall_us) {
+          stall_us = dur;
+          stall_tid = lane;
+          stall_at_us = begin;
+          stall_cause = span;
+        }
+      }
+    }
+  }
+
+  if (verbose) {
+    const JsonValue* bistream = doc.Find("bistream");
+    const JsonValue* summary =
+        bistream != nullptr ? bistream->Find("summary") : nullptr;
+    const JsonValue* backend =
+        bistream != nullptr ? bistream->Find("backend") : nullptr;
+    std::printf("timeline report (%s backend)\n",
+                backend != nullptr && backend->is_string()
+                    ? backend->AsString().c_str()
+                    : "?");
+    if (summary != nullptr) {
+      std::printf("  events recorded: %.0f, dropped: %.0f\n",
+                  NumberOr(summary->Find("events_recorded"), 0),
+                  NumberOr(summary->Find("events_dropped"), 0));
+    }
+    std::printf("  %-16s %10s %8s %8s %8s %7s\n", "lane", "span_ms",
+                "task%", "wait%", "block%", "spans");
+    for (const auto& [tid, usage] : lanes) {
+      if (!usage.any) continue;
+      double span = usage.last_us - usage.first_us;
+      double denom = span > 0 ? span : 1;
+      std::string label =
+          usage.name.empty() ? std::to_string(tid) : usage.name;
+      std::printf("  %-16s %10.2f %7.1f%% %7.1f%% %7.1f%% %7zu\n",
+                  label.c_str(), span / 1000.0, usage.task_us / denom * 100,
+                  usage.wait_us / denom * 100,
+                  usage.blocked_us / denom * 100, usage.spans);
+    }
+    if (stall_us > 0) {
+      const LaneUsage& usage = lanes[stall_tid];
+      std::string label =
+          usage.name.empty() ? std::to_string(stall_tid) : usage.name;
+      std::printf(
+          "  longest stall: %.2f ms on %s at t=%.2f ms — %s\n",
+          stall_us / 1000.0, label.c_str(), stall_at_us / 1000.0,
+          stall_cause == "dequeue_wait"
+              ? "dequeue_wait (inbox empty, worker idle)"
+              : "blocked_send (backpressure: destination inbox full)");
+    } else {
+      std::printf("  longest stall: none recorded\n");
+    }
+  }
+
+  // Flight-recorder postmortem: every dump must show crash -> detect ->
+  // respawn in timestamp order. The gaps are the measured detection and
+  // respawn latencies.
+  int breaches = 0;
+  const JsonValue* bistream = doc.Find("bistream");
+  const JsonValue* dumps =
+      bistream != nullptr ? bistream->Find("flight_recorder") : nullptr;
+  size_t dump_count = dumps != nullptr ? dumps->size() : 0;
+  if (verbose && dump_count > 0) {
+    std::printf("  flight recorder: %zu dump(s)\n", dump_count);
+  }
+  for (size_t i = 0; i < dump_count; ++i) {
+    const JsonValue& dump = dumps->at(i);
+    const JsonValue* label = dump.Find("label");
+    const JsonValue* dump_events = dump.Find("events");
+    double crash_ns = -1;
+    double detect_ns = -1;
+    double respawn_ns = -1;
+    size_t count = 0;
+    if (dump_events != nullptr) {
+      count = dump_events->size();
+      for (const JsonValue& event : dump_events->elements()) {
+        const JsonValue* type = event.Find("type");
+        if (type == nullptr || !type->is_string()) continue;
+        double at = NumberOr(event.Find("at"), 0);
+        // Keep the first crash and the detect/respawn that follow it (one
+        // dump per recovery; later events would belong to the next one).
+        if (type->AsString() == "crash" && crash_ns < 0) crash_ns = at;
+        if (type->AsString() == "detect" && detect_ns < 0) detect_ns = at;
+        if (type->AsString() == "respawn" && respawn_ns < 0) respawn_ns = at;
+      }
+    }
+    if (verbose) {
+      std::printf("    [%zu] %s: %zu events", i,
+                  label != nullptr && label->is_string()
+                      ? label->AsString().c_str()
+                      : "?",
+                  count);
+      if (crash_ns >= 0 && detect_ns >= 0 && respawn_ns >= 0) {
+        std::printf(
+            "; crash @%.2f ms -> detect +%.2f ms -> respawn +%.2f ms",
+            crash_ns / 1e6, (detect_ns - crash_ns) / 1e6,
+            (respawn_ns - detect_ns) / 1e6);
+      }
+      std::printf("\n");
+    }
+    if (crash_ns < 0 || detect_ns < 0 || respawn_ns < 0) {
+      std::printf(
+          "BREACH: flight dump %zu lacks the crash/detect/respawn triple\n",
+          i);
+      ++breaches;
+      continue;
+    }
+    if (!(crash_ns <= detect_ns && detect_ns <= respawn_ns)) {
+      std::printf(
+          "BREACH: flight dump %zu postmortem out of order "
+          "(crash=%.0f detect=%.0f respawn=%.0f ns)\n",
+          i, crash_ns, detect_ns, respawn_ns);
+      ++breaches;
+    }
+  }
+  if (verbose && breaches == 0) {
+    std::printf("timeline healthy: spans nested, postmortems in order\n");
+  }
+  return breaches;
+}
+
 // ------------------------------------------------------------ self check --
 
 JsonValue MakeSyntheticRun(double store_ns, double probe_ns, double errors,
@@ -415,6 +612,70 @@ JsonValue MakeSyntheticArtifact(double store_ns, double probe_ns,
   return artifact;
 }
 
+/// Builds a synthetic Chrome trace with one worker lane. `order` positions
+/// the postmortem triple: "ok" emits crash<=detect<=respawn, "bad" swaps
+/// detect before crash.
+JsonValue MakeSyntheticTrace(bool nested, const std::string& order) {
+  JsonValue events = JsonValue::Array();
+  auto push = [&events](const char* ph, const char* name, double ts) {
+    JsonValue e = JsonValue::Object();
+    e.Set("ph", JsonValue::String(ph));
+    e.Set("name", JsonValue::String(name));
+    e.Set("ts", JsonValue::Number(ts));
+    e.Set("pid", JsonValue::Number(1));
+    e.Set("tid", JsonValue::Number(0));
+    events.Push(std::move(e));
+  };
+  push("B", "task", 0);
+  push("E", "task", 100);
+  push("B", "dequeue_wait", 100);
+  if (nested) {
+    push("E", "dequeue_wait", 400);
+  } else {
+    push("E", "task", 400);  // Mismatched name: broken nesting.
+  }
+  push("B", "task", 400);
+  push("E", "task", 450);
+
+  JsonValue dump_events = JsonValue::Array();
+  auto instant = [&dump_events](const char* type, double at) {
+    JsonValue e = JsonValue::Object();
+    e.Set("at", JsonValue::Number(at));
+    e.Set("lane", JsonValue::Number(0));
+    e.Set("type", JsonValue::String(type));
+    e.Set("arg", JsonValue::Number(0));
+    dump_events.Push(std::move(e));
+  };
+  if (order == "ok") {
+    instant("crash", 1e6);
+    instant("detect", 3e6);
+    instant("respawn", 9e6);
+  } else {
+    instant("detect", 1e6);
+    instant("crash", 3e6);
+    instant("respawn", 9e6);
+  }
+  JsonValue dump = JsonValue::Object();
+  dump.Set("label", JsonValue::String("synthetic recovery"));
+  dump.Set("events", std::move(dump_events));
+  JsonValue dumps = JsonValue::Array();
+  dumps.Push(std::move(dump));
+
+  JsonValue summary = JsonValue::Object();
+  summary.Set("events_recorded", JsonValue::Number(6));
+  summary.Set("events_dropped", JsonValue::Number(0));
+  JsonValue bistream = JsonValue::Object();
+  bistream.Set("backend", JsonValue::String("parallel"));
+  bistream.Set("summary", std::move(summary));
+  bistream.Set("flight_recorder", std::move(dumps));
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", JsonValue::String("ms"));
+  doc.Set("bistream", std::move(bistream));
+  return doc;
+}
+
 int g_failures = 0;
 
 void Expect(bool ok, const char* what) {
@@ -480,6 +741,24 @@ int SelfCheck(const Thresholds& t) {
   Expect(!Summarize(malformed, "malformed").ok(),
          "artifact without runs is rejected");
 
+  // Timeline verdicts: a well-nested trace with an ordered postmortem reads
+  // healthy; broken nesting is rejected by the validator; a misordered
+  // crash/detect/respawn triple breaches.
+  JsonValue healthy_trace = MakeSyntheticTrace(true, "ok");
+  JsonValue broken_trace = MakeSyntheticTrace(false, "ok");
+  JsonValue misordered_trace = MakeSyntheticTrace(true, "bad");
+  Expect(ValidateChromeTrace(healthy_trace).ok(),
+         "nested trace passes validation");
+  Expect(!ValidateChromeTrace(broken_trace).ok(),
+         "broken span nesting is rejected");
+  Expect(AnalyzeTimeline(healthy_trace, false) == 0,
+         "ordered postmortem reads healthy");
+  Expect(AnalyzeTimeline(misordered_trace, false) > 0,
+         "misordered postmortem breaches");
+  JsonValue no_events = JsonValue::Object();
+  Expect(!ValidateChromeTrace(no_events).ok(),
+         "trace without traceEvents is rejected");
+
   return g_failures == 0 ? 0 : 1;
 }
 
@@ -507,6 +786,28 @@ int Main(int argc, char** argv) {
   }
 
   const std::vector<std::string>& paths = config.positional();
+  if (!paths.empty() && paths[0] == "timeline") {
+    if (paths.size() != 2) {
+      std::fprintf(stderr,
+                   "usage: bistream-inspect timeline <trace.json>\n");
+      return 2;
+    }
+    Result<JsonValue> doc = ReadJsonFile(paths[1]);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "malformed input: %s: %s\n", paths[1].c_str(),
+                   doc.status().message().c_str());
+      return 2;
+    }
+    // Structural validation first: a trace whose spans do not nest (or
+    // whose lanes run backwards in time) is malformed input, not a breach.
+    Status valid = ValidateChromeTrace(*doc);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "malformed trace: %s: %s\n", paths[1].c_str(),
+                   valid.message().c_str());
+      return 2;
+    }
+    return AnalyzeTimeline(*doc, true) > 0 ? 1 : 0;
+  }
   if (config.GetBool("diff", false)) {
     if (paths.size() != 2) {
       std::fprintf(stderr,
@@ -530,6 +831,7 @@ int Main(int argc, char** argv) {
         stderr,
         "usage: bistream-inspect <artifact.json>\n"
         "       bistream-inspect --diff <base.json> <candidate.json>\n"
+        "       bistream-inspect timeline <trace.json>\n"
         "       bistream-inspect --self_check\n");
     return 2;
   }
