@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e10_multiway"
+  "../bench/e10_multiway.pdb"
+  "CMakeFiles/e10_multiway.dir/e10_multiway.cc.o"
+  "CMakeFiles/e10_multiway.dir/e10_multiway.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

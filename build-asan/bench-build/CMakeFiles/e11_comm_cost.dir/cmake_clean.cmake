@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e11_comm_cost"
+  "../bench/e11_comm_cost.pdb"
+  "CMakeFiles/e11_comm_cost.dir/e11_comm_cost.cc.o"
+  "CMakeFiles/e11_comm_cost.dir/e11_comm_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_comm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e11_comm_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e12_ordering"
+  "../bench/e12_ordering.pdb"
+  "CMakeFiles/e12_ordering.dir/e12_ordering.cc.o"
+  "CMakeFiles/e12_ordering.dir/e12_ordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e13_batching"
+  "../bench/e13_batching.pdb"
+  "CMakeFiles/e13_batching.dir/e13_batching.cc.o"
+  "CMakeFiles/e13_batching.dir/e13_batching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

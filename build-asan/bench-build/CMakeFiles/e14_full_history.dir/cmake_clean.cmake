@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e14_full_history"
+  "../bench/e14_full_history.pdb"
+  "CMakeFiles/e14_full_history.dir/e14_full_history.cc.o"
+  "CMakeFiles/e14_full_history.dir/e14_full_history.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_full_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e15_fault_recovery"
+  "../bench/e15_fault_recovery.pdb"
+  "CMakeFiles/e15_fault_recovery.dir/e15_fault_recovery.cc.o"
+  "CMakeFiles/e15_fault_recovery.dir/e15_fault_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_fault_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

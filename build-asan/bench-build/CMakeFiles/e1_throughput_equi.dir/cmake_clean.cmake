@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e1_throughput_equi"
+  "../bench/e1_throughput_equi.pdb"
+  "CMakeFiles/e1_throughput_equi.dir/e1_throughput_equi.cc.o"
+  "CMakeFiles/e1_throughput_equi.dir/e1_throughput_equi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_throughput_equi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e2_throughput_band"
+  "../bench/e2_throughput_band.pdb"
+  "CMakeFiles/e2_throughput_band.dir/e2_throughput_band.cc.o"
+  "CMakeFiles/e2_throughput_band.dir/e2_throughput_band.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_throughput_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e2_throughput_band.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e3_memory_window"
+  "../bench/e3_memory_window.pdb"
+  "CMakeFiles/e3_memory_window.dir/e3_memory_window.cc.o"
+  "CMakeFiles/e3_memory_window.dir/e3_memory_window.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_memory_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e4_latency_rate"
+  "../bench/e4_latency_rate.pdb"
+  "CMakeFiles/e4_latency_rate.dir/e4_latency_rate.cc.o"
+  "CMakeFiles/e4_latency_rate.dir/e4_latency_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_latency_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

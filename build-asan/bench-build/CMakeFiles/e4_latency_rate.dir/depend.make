@@ -1,0 +1,2 @@
+# Empty dependencies file for e4_latency_rate.
+# This may be replaced when dependencies are built.

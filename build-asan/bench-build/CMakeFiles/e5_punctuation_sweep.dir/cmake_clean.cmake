@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e5_punctuation_sweep"
+  "../bench/e5_punctuation_sweep.pdb"
+  "CMakeFiles/e5_punctuation_sweep.dir/e5_punctuation_sweep.cc.o"
+  "CMakeFiles/e5_punctuation_sweep.dir/e5_punctuation_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_punctuation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e6_archive_period"
+  "../bench/e6_archive_period.pdb"
+  "CMakeFiles/e6_archive_period.dir/e6_archive_period.cc.o"
+  "CMakeFiles/e6_archive_period.dir/e6_archive_period.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_archive_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

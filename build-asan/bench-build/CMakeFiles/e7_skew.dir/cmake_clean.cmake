@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e7_skew"
+  "../bench/e7_skew.pdb"
+  "CMakeFiles/e7_skew.dir/e7_skew.cc.o"
+  "CMakeFiles/e7_skew.dir/e7_skew.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e8_elasticity"
+  "../bench/e8_elasticity.pdb"
+  "CMakeFiles/e8_elasticity.dir/e8_elasticity.cc.o"
+  "CMakeFiles/e8_elasticity.dir/e8_elasticity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

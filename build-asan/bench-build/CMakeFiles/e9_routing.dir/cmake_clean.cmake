@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e9_routing"
+  "../bench/e9_routing.pdb"
+  "CMakeFiles/e9_routing.dir/e9_routing.cc.o"
+  "CMakeFiles/e9_routing.dir/e9_routing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_obs"
+  "../bench/micro_obs.pdb"
+  "CMakeFiles/micro_obs.dir/micro_obs.cc.o"
+  "CMakeFiles/micro_obs.dir/micro_obs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_click_attribution.dir/ad_click_attribution.cpp.o"
+  "CMakeFiles/ad_click_attribution.dir/ad_click_attribution.cpp.o.d"
+  "ad_click_attribution"
+  "ad_click_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_click_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

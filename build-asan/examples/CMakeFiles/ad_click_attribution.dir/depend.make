@@ -1,0 +1,2 @@
+# Empty dependencies file for ad_click_attribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aml_structuring.dir/aml_structuring.cpp.o"
+  "CMakeFiles/aml_structuring.dir/aml_structuring.cpp.o.d"
+  "aml_structuring"
+  "aml_structuring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aml_structuring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aml_structuring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_scaling.dir/elastic_scaling.cpp.o"
+  "CMakeFiles/elastic_scaling.dir/elastic_scaling.cpp.o.d"
+  "elastic_scaling"
+  "elastic_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/funnel_multiway.dir/funnel_multiway.cpp.o"
+  "CMakeFiles/funnel_multiway.dir/funnel_multiway.cpp.o.d"
+  "funnel_multiway"
+  "funnel_multiway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/funnel_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_band_join.dir/stock_band_join.cpp.o"
+  "CMakeFiles/stock_band_join.dir/stock_band_join.cpp.o.d"
+  "stock_band_join"
+  "stock_band_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_band_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_order_totals.dir/tpch_order_totals.cpp.o"
+  "CMakeFiles/tpch_order_totals.dir/tpch_order_totals.cpp.o.d"
+  "tpch_order_totals"
+  "tpch_order_totals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_order_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

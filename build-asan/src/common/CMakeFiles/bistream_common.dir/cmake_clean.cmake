@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_common.dir/config.cc.o"
+  "CMakeFiles/bistream_common.dir/config.cc.o.d"
+  "CMakeFiles/bistream_common.dir/histogram.cc.o"
+  "CMakeFiles/bistream_common.dir/histogram.cc.o.d"
+  "CMakeFiles/bistream_common.dir/logging.cc.o"
+  "CMakeFiles/bistream_common.dir/logging.cc.o.d"
+  "CMakeFiles/bistream_common.dir/status.cc.o"
+  "CMakeFiles/bistream_common.dir/status.cc.o.d"
+  "libbistream_common.a"
+  "libbistream_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/bistream_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/bistream_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/joiner.cc" "src/core/CMakeFiles/bistream_core.dir/joiner.cc.o" "gcc" "src/core/CMakeFiles/bistream_core.dir/joiner.cc.o.d"
+  "/root/repo/src/core/multiway.cc" "src/core/CMakeFiles/bistream_core.dir/multiway.cc.o" "gcc" "src/core/CMakeFiles/bistream_core.dir/multiway.cc.o.d"
+  "/root/repo/src/core/order_buffer.cc" "src/core/CMakeFiles/bistream_core.dir/order_buffer.cc.o" "gcc" "src/core/CMakeFiles/bistream_core.dir/order_buffer.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/bistream_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/bistream_core.dir/query.cc.o.d"
+  "/root/repo/src/core/router.cc" "src/core/CMakeFiles/bistream_core.dir/router.cc.o" "gcc" "src/core/CMakeFiles/bistream_core.dir/router.cc.o.d"
+  "/root/repo/src/core/routing.cc" "src/core/CMakeFiles/bistream_core.dir/routing.cc.o" "gcc" "src/core/CMakeFiles/bistream_core.dir/routing.cc.o.d"
+  "/root/repo/src/core/topology.cc" "src/core/CMakeFiles/bistream_core.dir/topology.cc.o" "gcc" "src/core/CMakeFiles/bistream_core.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/index/CMakeFiles/bistream_index.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/bistream_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/runtime/CMakeFiles/bistream_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/bistream_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/bistream_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tuple/CMakeFiles/bistream_tuple.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/bistream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

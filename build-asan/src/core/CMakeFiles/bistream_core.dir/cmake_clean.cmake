@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_core.dir/engine.cc.o"
+  "CMakeFiles/bistream_core.dir/engine.cc.o.d"
+  "CMakeFiles/bistream_core.dir/joiner.cc.o"
+  "CMakeFiles/bistream_core.dir/joiner.cc.o.d"
+  "CMakeFiles/bistream_core.dir/multiway.cc.o"
+  "CMakeFiles/bistream_core.dir/multiway.cc.o.d"
+  "CMakeFiles/bistream_core.dir/order_buffer.cc.o"
+  "CMakeFiles/bistream_core.dir/order_buffer.cc.o.d"
+  "CMakeFiles/bistream_core.dir/query.cc.o"
+  "CMakeFiles/bistream_core.dir/query.cc.o.d"
+  "CMakeFiles/bistream_core.dir/router.cc.o"
+  "CMakeFiles/bistream_core.dir/router.cc.o.d"
+  "CMakeFiles/bistream_core.dir/routing.cc.o"
+  "CMakeFiles/bistream_core.dir/routing.cc.o.d"
+  "CMakeFiles/bistream_core.dir/topology.cc.o"
+  "CMakeFiles/bistream_core.dir/topology.cc.o.d"
+  "libbistream_core.a"
+  "libbistream_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

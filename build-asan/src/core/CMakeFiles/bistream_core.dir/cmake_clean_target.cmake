@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbistream_core.a"
+)

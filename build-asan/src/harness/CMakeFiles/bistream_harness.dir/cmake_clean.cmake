@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_harness.dir/runner.cc.o"
+  "CMakeFiles/bistream_harness.dir/runner.cc.o.d"
+  "CMakeFiles/bistream_harness.dir/table.cc.o"
+  "CMakeFiles/bistream_harness.dir/table.cc.o.d"
+  "libbistream_harness.a"
+  "libbistream_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/chained_index.cc" "src/index/CMakeFiles/bistream_index.dir/chained_index.cc.o" "gcc" "src/index/CMakeFiles/bistream_index.dir/chained_index.cc.o.d"
+  "/root/repo/src/index/sub_index.cc" "src/index/CMakeFiles/bistream_index.dir/sub_index.cc.o" "gcc" "src/index/CMakeFiles/bistream_index.dir/sub_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/tuple/CMakeFiles/bistream_tuple.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/bistream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_index.dir/chained_index.cc.o"
+  "CMakeFiles/bistream_index.dir/chained_index.cc.o.d"
+  "CMakeFiles/bistream_index.dir/sub_index.cc.o"
+  "CMakeFiles/bistream_index.dir/sub_index.cc.o.d"
+  "libbistream_index.a"
+  "libbistream_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

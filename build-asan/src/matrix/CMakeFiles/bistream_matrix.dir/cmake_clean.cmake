@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_matrix.dir/matrix_cell.cc.o"
+  "CMakeFiles/bistream_matrix.dir/matrix_cell.cc.o.d"
+  "CMakeFiles/bistream_matrix.dir/matrix_engine.cc.o"
+  "CMakeFiles/bistream_matrix.dir/matrix_engine.cc.o.d"
+  "libbistream_matrix.a"
+  "libbistream_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/diagnose/auditor.cc" "src/obs/CMakeFiles/bistream_obs.dir/diagnose/auditor.cc.o" "gcc" "src/obs/CMakeFiles/bistream_obs.dir/diagnose/auditor.cc.o.d"
+  "/root/repo/src/obs/diagnose/detectors.cc" "src/obs/CMakeFiles/bistream_obs.dir/diagnose/detectors.cc.o" "gcc" "src/obs/CMakeFiles/bistream_obs.dir/diagnose/detectors.cc.o.d"
+  "/root/repo/src/obs/diagnose/diagnoser.cc" "src/obs/CMakeFiles/bistream_obs.dir/diagnose/diagnoser.cc.o" "gcc" "src/obs/CMakeFiles/bistream_obs.dir/diagnose/diagnoser.cc.o.d"
+  "/root/repo/src/obs/diagnose/diagnostics.cc" "src/obs/CMakeFiles/bistream_obs.dir/diagnose/diagnostics.cc.o" "gcc" "src/obs/CMakeFiles/bistream_obs.dir/diagnose/diagnostics.cc.o.d"
+  "/root/repo/src/obs/diagnose/profiler.cc" "src/obs/CMakeFiles/bistream_obs.dir/diagnose/profiler.cc.o" "gcc" "src/obs/CMakeFiles/bistream_obs.dir/diagnose/profiler.cc.o.d"
+  "/root/repo/src/obs/json.cc" "src/obs/CMakeFiles/bistream_obs.dir/json.cc.o" "gcc" "src/obs/CMakeFiles/bistream_obs.dir/json.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/obs/CMakeFiles/bistream_obs.dir/metrics.cc.o" "gcc" "src/obs/CMakeFiles/bistream_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/obs/time_series.cc" "src/obs/CMakeFiles/bistream_obs.dir/time_series.cc.o" "gcc" "src/obs/CMakeFiles/bistream_obs.dir/time_series.cc.o.d"
+  "/root/repo/src/obs/timeline/timeline.cc" "src/obs/CMakeFiles/bistream_obs.dir/timeline/timeline.cc.o" "gcc" "src/obs/CMakeFiles/bistream_obs.dir/timeline/timeline.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/obs/CMakeFiles/bistream_obs.dir/trace.cc.o" "gcc" "src/obs/CMakeFiles/bistream_obs.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/bistream_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tuple/CMakeFiles/bistream_tuple.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/runtime/CMakeFiles/bistream_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

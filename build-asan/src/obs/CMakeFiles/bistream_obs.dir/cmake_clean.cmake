@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_obs.dir/diagnose/auditor.cc.o"
+  "CMakeFiles/bistream_obs.dir/diagnose/auditor.cc.o.d"
+  "CMakeFiles/bistream_obs.dir/diagnose/detectors.cc.o"
+  "CMakeFiles/bistream_obs.dir/diagnose/detectors.cc.o.d"
+  "CMakeFiles/bistream_obs.dir/diagnose/diagnoser.cc.o"
+  "CMakeFiles/bistream_obs.dir/diagnose/diagnoser.cc.o.d"
+  "CMakeFiles/bistream_obs.dir/diagnose/diagnostics.cc.o"
+  "CMakeFiles/bistream_obs.dir/diagnose/diagnostics.cc.o.d"
+  "CMakeFiles/bistream_obs.dir/diagnose/profiler.cc.o"
+  "CMakeFiles/bistream_obs.dir/diagnose/profiler.cc.o.d"
+  "CMakeFiles/bistream_obs.dir/json.cc.o"
+  "CMakeFiles/bistream_obs.dir/json.cc.o.d"
+  "CMakeFiles/bistream_obs.dir/metrics.cc.o"
+  "CMakeFiles/bistream_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/bistream_obs.dir/time_series.cc.o"
+  "CMakeFiles/bistream_obs.dir/time_series.cc.o.d"
+  "CMakeFiles/bistream_obs.dir/timeline/timeline.cc.o"
+  "CMakeFiles/bistream_obs.dir/timeline/timeline.cc.o.d"
+  "CMakeFiles/bistream_obs.dir/trace.cc.o"
+  "CMakeFiles/bistream_obs.dir/trace.cc.o.d"
+  "libbistream_obs.a"
+  "libbistream_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_ops.dir/autoscaler.cc.o"
+  "CMakeFiles/bistream_ops.dir/autoscaler.cc.o.d"
+  "CMakeFiles/bistream_ops.dir/failure_detector.cc.o"
+  "CMakeFiles/bistream_ops.dir/failure_detector.cc.o.d"
+  "libbistream_ops.a"
+  "libbistream_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

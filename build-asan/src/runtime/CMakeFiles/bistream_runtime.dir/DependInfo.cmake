@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/fault/fault.cc" "src/runtime/CMakeFiles/bistream_runtime.dir/fault/fault.cc.o" "gcc" "src/runtime/CMakeFiles/bistream_runtime.dir/fault/fault.cc.o.d"
+  "/root/repo/src/runtime/message.cc" "src/runtime/CMakeFiles/bistream_runtime.dir/message.cc.o" "gcc" "src/runtime/CMakeFiles/bistream_runtime.dir/message.cc.o.d"
+  "/root/repo/src/runtime/parallel/parallel_executor.cc" "src/runtime/CMakeFiles/bistream_runtime.dir/parallel/parallel_executor.cc.o" "gcc" "src/runtime/CMakeFiles/bistream_runtime.dir/parallel/parallel_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/bistream_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tuple/CMakeFiles/bistream_tuple.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_runtime.dir/fault/fault.cc.o"
+  "CMakeFiles/bistream_runtime.dir/fault/fault.cc.o.d"
+  "CMakeFiles/bistream_runtime.dir/message.cc.o"
+  "CMakeFiles/bistream_runtime.dir/message.cc.o.d"
+  "CMakeFiles/bistream_runtime.dir/parallel/parallel_executor.cc.o"
+  "CMakeFiles/bistream_runtime.dir/parallel/parallel_executor.cc.o.d"
+  "libbistream_runtime.a"
+  "libbistream_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_sim.dir/event_loop.cc.o"
+  "CMakeFiles/bistream_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/bistream_sim.dir/network.cc.o"
+  "CMakeFiles/bistream_sim.dir/network.cc.o.d"
+  "CMakeFiles/bistream_sim.dir/node.cc.o"
+  "CMakeFiles/bistream_sim.dir/node.cc.o.d"
+  "libbistream_sim.a"
+  "libbistream_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

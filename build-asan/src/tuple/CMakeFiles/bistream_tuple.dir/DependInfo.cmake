@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuple/join_predicate.cc" "src/tuple/CMakeFiles/bistream_tuple.dir/join_predicate.cc.o" "gcc" "src/tuple/CMakeFiles/bistream_tuple.dir/join_predicate.cc.o.d"
+  "/root/repo/src/tuple/schema.cc" "src/tuple/CMakeFiles/bistream_tuple.dir/schema.cc.o" "gcc" "src/tuple/CMakeFiles/bistream_tuple.dir/schema.cc.o.d"
+  "/root/repo/src/tuple/tuple.cc" "src/tuple/CMakeFiles/bistream_tuple.dir/tuple.cc.o" "gcc" "src/tuple/CMakeFiles/bistream_tuple.dir/tuple.cc.o.d"
+  "/root/repo/src/tuple/value.cc" "src/tuple/CMakeFiles/bistream_tuple.dir/value.cc.o" "gcc" "src/tuple/CMakeFiles/bistream_tuple.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/bistream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

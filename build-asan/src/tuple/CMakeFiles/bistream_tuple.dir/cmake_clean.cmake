@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_tuple.dir/join_predicate.cc.o"
+  "CMakeFiles/bistream_tuple.dir/join_predicate.cc.o.d"
+  "CMakeFiles/bistream_tuple.dir/schema.cc.o"
+  "CMakeFiles/bistream_tuple.dir/schema.cc.o.d"
+  "CMakeFiles/bistream_tuple.dir/tuple.cc.o"
+  "CMakeFiles/bistream_tuple.dir/tuple.cc.o.d"
+  "CMakeFiles/bistream_tuple.dir/value.cc.o"
+  "CMakeFiles/bistream_tuple.dir/value.cc.o.d"
+  "libbistream_tuple.a"
+  "libbistream_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

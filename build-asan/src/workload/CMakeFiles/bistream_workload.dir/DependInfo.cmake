@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/bistream_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/bistream_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/rate_schedule.cc" "src/workload/CMakeFiles/bistream_workload.dir/rate_schedule.cc.o" "gcc" "src/workload/CMakeFiles/bistream_workload.dir/rate_schedule.cc.o.d"
+  "/root/repo/src/workload/reference_join.cc" "src/workload/CMakeFiles/bistream_workload.dir/reference_join.cc.o" "gcc" "src/workload/CMakeFiles/bistream_workload.dir/reference_join.cc.o.d"
+  "/root/repo/src/workload/tpch_stream.cc" "src/workload/CMakeFiles/bistream_workload.dir/tpch_stream.cc.o" "gcc" "src/workload/CMakeFiles/bistream_workload.dir/tpch_stream.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/workload/CMakeFiles/bistream_workload.dir/zipf.cc.o" "gcc" "src/workload/CMakeFiles/bistream_workload.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/tuple/CMakeFiles/bistream_tuple.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/index/CMakeFiles/bistream_index.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/bistream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_workload.dir/generator.cc.o"
+  "CMakeFiles/bistream_workload.dir/generator.cc.o.d"
+  "CMakeFiles/bistream_workload.dir/rate_schedule.cc.o"
+  "CMakeFiles/bistream_workload.dir/rate_schedule.cc.o.d"
+  "CMakeFiles/bistream_workload.dir/reference_join.cc.o"
+  "CMakeFiles/bistream_workload.dir/reference_join.cc.o.d"
+  "CMakeFiles/bistream_workload.dir/tpch_stream.cc.o"
+  "CMakeFiles/bistream_workload.dir/tpch_stream.cc.o.d"
+  "CMakeFiles/bistream_workload.dir/zipf.cc.o"
+  "CMakeFiles/bistream_workload.dir/zipf.cc.o.d"
+  "libbistream_workload.a"
+  "libbistream_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batching_test.dir/core/batching_test.cc.o"
+  "CMakeFiles/batching_test.dir/core/batching_test.cc.o.d"
+  "batching_test"
+  "batching_test.pdb"
+  "batching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schema_check.dir/bench_schema_check.cc.o"
+  "CMakeFiles/bench_schema_check.dir/bench_schema_check.cc.o.d"
+  "bench_schema_check"
+  "bench_schema_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schema_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chained_index_test.dir/index/chained_index_test.cc.o"
+  "CMakeFiles/chained_index_test.dir/index/chained_index_test.cc.o.d"
+  "chained_index_test"
+  "chained_index_test.pdb"
+  "chained_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chained_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

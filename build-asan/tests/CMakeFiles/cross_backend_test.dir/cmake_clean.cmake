@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_backend_test.dir/runtime/cross_backend_test.cc.o"
+  "CMakeFiles/cross_backend_test.dir/runtime/cross_backend_test.cc.o.d"
+  "cross_backend_test"
+  "cross_backend_test.pdb"
+  "cross_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_test.dir/obs/diagnose_test.cc.o"
+  "CMakeFiles/diagnose_test.dir/obs/diagnose_test.cc.o.d"
+  "diagnose_test"
+  "diagnose_test.pdb"
+  "diagnose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

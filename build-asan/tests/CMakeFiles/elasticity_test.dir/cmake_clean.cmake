@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticity_test.dir/core/elasticity_test.cc.o"
+  "CMakeFiles/elasticity_test.dir/core/elasticity_test.cc.o.d"
+  "elasticity_test"
+  "elasticity_test.pdb"
+  "elasticity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

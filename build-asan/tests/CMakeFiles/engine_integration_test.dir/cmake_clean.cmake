@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_integration_test.dir/core/engine_integration_test.cc.o"
+  "CMakeFiles/engine_integration_test.dir/core/engine_integration_test.cc.o.d"
+  "engine_integration_test"
+  "engine_integration_test.pdb"
+  "engine_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_recovery_test.dir/core/fault_recovery_test.cc.o"
+  "CMakeFiles/fault_recovery_test.dir/core/fault_recovery_test.cc.o.d"
+  "fault_recovery_test"
+  "fault_recovery_test.pdb"
+  "fault_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_history_test.dir/core/full_history_test.cc.o"
+  "CMakeFiles/full_history_test.dir/core/full_history_test.cc.o.d"
+  "full_history_test"
+  "full_history_test.pdb"
+  "full_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_predicate_test.dir/tuple/join_predicate_test.cc.o"
+  "CMakeFiles/join_predicate_test.dir/tuple/join_predicate_test.cc.o.d"
+  "join_predicate_test"
+  "join_predicate_test.pdb"
+  "join_predicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joiner_test.dir/core/joiner_test.cc.o"
+  "CMakeFiles/joiner_test.dir/core/joiner_test.cc.o.d"
+  "joiner_test"
+  "joiner_test.pdb"
+  "joiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_tracker_test.dir/common/memory_tracker_test.cc.o"
+  "CMakeFiles/memory_tracker_test.dir/common/memory_tracker_test.cc.o.d"
+  "memory_tracker_test"
+  "memory_tracker_test.pdb"
+  "memory_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiway_test.dir/core/multiway_test.cc.o"
+  "CMakeFiles/multiway_test.dir/core/multiway_test.cc.o.d"
+  "multiway_test"
+  "multiway_test.pdb"
+  "multiway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

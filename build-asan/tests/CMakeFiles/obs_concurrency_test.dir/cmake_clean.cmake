@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_concurrency_test.dir/runtime/obs_concurrency_test.cc.o"
+  "CMakeFiles/obs_concurrency_test.dir/runtime/obs_concurrency_test.cc.o.d"
+  "obs_concurrency_test"
+  "obs_concurrency_test.pdb"
+  "obs_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

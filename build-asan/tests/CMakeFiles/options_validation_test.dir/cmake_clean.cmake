@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/options_validation_test.dir/core/options_validation_test.cc.o"
+  "CMakeFiles/options_validation_test.dir/core/options_validation_test.cc.o.d"
+  "options_validation_test"
+  "options_validation_test.pdb"
+  "options_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/options_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

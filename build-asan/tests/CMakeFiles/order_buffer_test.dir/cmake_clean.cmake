@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_buffer_test.dir/core/order_buffer_test.cc.o"
+  "CMakeFiles/order_buffer_test.dir/core/order_buffer_test.cc.o.d"
+  "order_buffer_test"
+  "order_buffer_test.pdb"
+  "order_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_protocol_test.dir/core/ordering_protocol_test.cc.o"
+  "CMakeFiles/ordering_protocol_test.dir/core/ordering_protocol_test.cc.o.d"
+  "ordering_protocol_test"
+  "ordering_protocol_test.pdb"
+  "ordering_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_fault_test.dir/runtime/parallel_fault_test.cc.o"
+  "CMakeFiles/parallel_fault_test.dir/runtime/parallel_fault_test.cc.o.d"
+  "parallel_fault_test"
+  "parallel_fault_test.pdb"
+  "parallel_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_differential_test.dir/core/random_differential_test.cc.o"
+  "CMakeFiles/random_differential_test.dir/core/random_differential_test.cc.o.d"
+  "random_differential_test"
+  "random_differential_test.pdb"
+  "random_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_join_test.dir/workload/reference_join_test.cc.o"
+  "CMakeFiles/reference_join_test.dir/workload/reference_join_test.cc.o.d"
+  "reference_join_test"
+  "reference_join_test.pdb"
+  "reference_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

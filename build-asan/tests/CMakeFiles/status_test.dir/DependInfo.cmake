@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/status_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/status_test.dir/common/status_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/harness/CMakeFiles/bistream_harness.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/matrix/CMakeFiles/bistream_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ops/CMakeFiles/bistream_ops.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/bistream_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/bistream_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/bistream_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/runtime/CMakeFiles/bistream_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/bistream_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/index/CMakeFiles/bistream_index.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tuple/CMakeFiles/bistream_tuple.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/bistream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sub_index_test.dir/index/sub_index_test.cc.o"
+  "CMakeFiles/sub_index_test.dir/index/sub_index_test.cc.o.d"
+  "sub_index_test"
+  "sub_index_test.pdb"
+  "sub_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sub_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

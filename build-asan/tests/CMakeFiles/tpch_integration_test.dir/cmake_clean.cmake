@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_integration_test.dir/workload/tpch_integration_test.cc.o"
+  "CMakeFiles/tpch_integration_test.dir/workload/tpch_integration_test.cc.o.d"
+  "tpch_integration_test"
+  "tpch_integration_test.pdb"
+  "tpch_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

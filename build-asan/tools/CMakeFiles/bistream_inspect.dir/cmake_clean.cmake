@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistream_inspect.dir/bistream_inspect/main.cc.o"
+  "CMakeFiles/bistream_inspect.dir/bistream_inspect/main.cc.o.d"
+  "bistream-inspect"
+  "bistream-inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistream_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
